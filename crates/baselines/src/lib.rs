@@ -1,0 +1,35 @@
+//! # indigo-baselines
+//!
+//! Optimized "third-party" comparison codes for the paper's §5.17
+//! experiment (Fig 16 / Table 6). The paper compares its style variants
+//! against Lonestar (CPU) and Gardenia (GPU); both are C++/CUDA code bases
+//! we cannot link, so this crate implements *the same documented
+//! optimizations* from scratch:
+//!
+//! * [`bfs`] — direction-optimizing BFS (Beamer et al., the optimization
+//!   behind both suites' BFS),
+//! * [`sssp`] — delta-stepping bucket scheduling (Lonestar's priority
+//!   scheduler that "processes the vertices in ascending distance"),
+//! * [`cc`] — union-find with path-halving hooks (Afforest-style, far less
+//!   work than label propagation),
+//! * [`mis`] — priority MIS with early neighbor-max short-circuiting
+//!   (CPU only — the paper notes MIS is missing from Gardenia),
+//! * [`pr`] — pull PageRank with a precomputed reciprocal-degree table,
+//! * [`tc`] — orientation (redundant-edge-removal) triangle counting, the
+//!   Gardenia optimization the paper credits for its TC results.
+//!
+//! Each baseline produces output in the same shape as `indigo-core` so the
+//! same verifiers apply, and each has a CPU entry point plus (where the
+//! paper compares on GPUs) a simulated-GPU entry point.
+
+pub mod bfs;
+pub mod cc;
+pub mod mis;
+pub mod pr;
+pub mod sssp;
+pub mod tc;
+
+/// Thread count helper shared by the CPU baselines.
+pub(crate) fn pool(threads: usize) -> indigo_exec::OmpPool {
+    indigo_exec::OmpPool::new(threads.max(1))
+}

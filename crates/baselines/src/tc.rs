@@ -1,0 +1,195 @@
+//! Orientation (redundant-edge-removal) triangle counting — the Gardenia
+//! optimization the paper credits for beating its TC styles (§5.17).
+//!
+//! Preprocessing orients every undirected edge from the lower to the higher
+//! endpoint in the (degree, id) total order; each triangle then appears as
+//! exactly one directed wedge intersection, cutting the intersection work
+//! several-fold on skewed graphs. Preprocessing is counted as graph setup,
+//! not kernel time, matching how such baselines report throughput.
+
+use indigo_core::GraphInput;
+use indigo_exec::Schedule;
+use indigo_graph::{Csr, NodeId};
+use indigo_gpusim::{Assign, BufKind, Device, GpuBuf, ReduceStyle, Sim};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The oriented (DAG) adjacency: for each vertex, its out-neighbors in the
+/// (degree, id) order, sorted by id.
+pub struct Oriented {
+    row: Vec<usize>,
+    nbr: Vec<NodeId>,
+}
+
+impl Oriented {
+    /// Builds the orientation from an undirected CSR.
+    pub fn build(g: &Csr) -> Self {
+        let n = g.num_nodes();
+        let rank = |v: NodeId| (g.degree(v), v);
+        let mut row = Vec::with_capacity(n + 1);
+        let mut nbr = Vec::with_capacity(g.num_edges() / 2);
+        row.push(0);
+        for v in 0..n as NodeId {
+            for &u in g.neighbors(v) {
+                if rank(u) > rank(v) {
+                    nbr.push(u);
+                }
+            }
+            // neighbors were id-sorted; the (degree, id) filter keeps the
+            // id order within the kept subsequence only if ids were sorted —
+            // they were, so `nbr` stays sorted per row
+            row.push(nbr.len());
+        }
+        Oriented { row, nbr }
+    }
+
+    /// Out-neighbors of `v`.
+    pub fn out(&self, v: NodeId) -> &[NodeId] {
+        &self.nbr[self.row[v as usize]..self.row[v as usize + 1]]
+    }
+
+    /// Total directed (oriented) edges = undirected edge count.
+    pub fn num_out_edges(&self) -> usize {
+        self.nbr.len()
+    }
+}
+
+/// CPU orientation TC. Returns `(count, seconds)` — seconds exclude the
+/// orientation build (see module docs).
+pub fn cpu(input: &GraphInput, threads: usize) -> (u64, f64) {
+    let g = &input.csr;
+    let oriented = Oriented::build(g);
+    let pool = crate::pool(threads);
+    let start = std::time::Instant::now();
+    let count = AtomicU64::new(0);
+    pool.parallel_for(g.num_nodes(), Schedule::Dynamic { chunk: 64 }, |vi, _| {
+        let v = vi as NodeId;
+        let out_v = oriented.out(v);
+        let mut local = 0u64;
+        for &u in out_v {
+            local += sorted_intersect(out_v, oriented.out(u));
+        }
+        if local > 0 {
+            count.fetch_add(local, Ordering::Relaxed);
+        }
+    });
+    (count.load(Ordering::Relaxed), start.elapsed().as_secs_f64())
+}
+
+/// Simulated-GPU orientation TC (warp granularity over vertices, binary
+/// search in the shorter list, reduction-add counter).
+pub fn gpu(input: &GraphInput, device: Device) -> (u64, f64) {
+    let oriented = Oriented::build(&input.csr);
+    let n = input.csr.num_nodes();
+    let row_u32: Vec<u32> = oriented.row.iter().map(|&o| o as u32).collect();
+    let row = GpuBuf::from_slice(&row_u32);
+    let nbr = GpuBuf::from_slice(&oriented.nbr);
+    let mut sim = Sim::new(device);
+    let count = sim.launch_reduce_u64(
+        n,
+        Assign::WarpPerItem,
+        false,
+        ReduceStyle::ReductionAdd,
+        BufKind::Atomic,
+        |ctx, vi| {
+            let beg = ctx.ld(&row, vi) as usize;
+            let end = ctx.ld(&row, vi + 1) as usize;
+            let lanes = ctx.lane_count();
+            let mut i = beg + ctx.lane();
+            let mut local = 0u64;
+            while i < end {
+                let u = ctx.ld(&nbr, i) as usize;
+                let ubeg = ctx.ld(&row, u) as usize;
+                let uend = ctx.ld(&row, u + 1) as usize;
+                // intersect out(v) x out(u): scan v's list, bsearch u's
+                for k in beg..end {
+                    let w = ctx.ld(&nbr, k);
+                    let (mut lo, mut hi) = (ubeg, uend);
+                    while lo < hi {
+                        let mid = lo + (hi - lo) / 2;
+                        match ctx.ld(&nbr, mid).cmp(&w) {
+                            std::cmp::Ordering::Equal => {
+                                local += 1;
+                                break;
+                            }
+                            std::cmp::Ordering::Less => lo = mid + 1,
+                            std::cmp::Ordering::Greater => hi = mid,
+                        }
+                    }
+                }
+                i += lanes;
+            }
+            if local > 0 {
+                ctx.reduce_add_u64(local);
+            }
+        },
+    );
+    (count, sim.elapsed_secs())
+}
+
+/// Size of the intersection of two sorted slices.
+fn sorted_intersect(a: &[NodeId], b: &[NodeId], ) -> u64 {
+    let (mut i, mut j, mut c) = (0, 0, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                c += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_core::serial;
+    use indigo_graph::gen::{self, toy};
+    use indigo_gpusim::titan_v;
+
+    #[test]
+    fn orientation_halves_edges() {
+        let g = toy::complete(10);
+        let o = Oriented::build(&g);
+        assert_eq!(o.num_out_edges(), g.num_edges() / 2);
+        // every out-list is sorted
+        for v in 0..10u32 {
+            assert!(o.out(v).windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn cpu_matches_serial() {
+        for g in [
+            toy::complete(8),
+            toy::two_triangles(),
+            gen::gnp(150, 0.08, 17),
+            gen::clique_overlap(300, 2.0, 3),
+        ] {
+            let input = GraphInput::new(g);
+            let expect = serial::triangles(&input.csr);
+            assert_eq!(cpu(&input, 3).0, expect, "{}", input.name());
+        }
+    }
+
+    #[test]
+    fn gpu_matches_serial() {
+        for g in [toy::complete(8), gen::gnp(100, 0.1, 17)] {
+            let input = GraphInput::new(g);
+            let expect = serial::triangles(&input.csr);
+            let (got, secs) = gpu(&input, titan_v());
+            assert_eq!(got, expect, "{}", input.name());
+            assert!(secs > 0.0);
+        }
+    }
+
+    #[test]
+    fn triangle_free() {
+        let input = GraphInput::new(gen::grid2d(7, 7));
+        assert_eq!(cpu(&input, 2).0, 0);
+        assert_eq!(gpu(&input, titan_v()).0, 0);
+    }
+}

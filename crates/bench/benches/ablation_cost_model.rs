@@ -1,0 +1,59 @@
+//! Ablation bench: how the reproduced findings depend on the GPU cost
+//! model's components (DESIGN.md §6, §8).
+//!
+//! Each group reruns a finding-defining contrast under one knockout:
+//! if the contrast survives the knockout, the finding does not rest on
+//! that model component.
+
+use indigo_bench::{bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::ablation;
+use indigo_gpusim::titan_v;
+use indigo_styles::{Algorithm, Granularity, GpuReduction, Model, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let soc = input(SuiteGraph::SocialNetwork);
+    let cop = input(SuiteGraph::CoPapers);
+
+    let devices = [
+        ("base", titan_v()),
+        ("no-coalescing", ablation::no_coalescing(titan_v())),
+        ("no-atomic-contention", ablation::no_atomic_contention(titan_v())),
+        ("no-latency-hiding", ablation::no_latency_hiding(titan_v())),
+        ("free-launches", ablation::free_launches(titan_v())),
+    ];
+
+    // finding 1 (Fig 9): warp beats thread on skewed graphs
+    for (abl, device) in devices {
+        for gran in [Granularity::Thread, Granularity::Warp] {
+            let mut cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cuda);
+            cfg.granularity = Some(gran);
+            bench_gpu_variant(
+                &mut c,
+                "ablation_granularity",
+                &format!("{abl}/bfs/{}", gran.label()),
+                &cfg,
+                &soc,
+                device,
+            );
+        }
+    }
+
+    // finding 2 (Fig 10): reduction-add beats global-add beats block-add
+    for (abl, device) in devices {
+        for red in GpuReduction::ALL {
+            let mut cfg = StyleConfig::baseline(Algorithm::Pr, Model::Cuda);
+            cfg.gpu_reduction = Some(red);
+            bench_gpu_variant(
+                &mut c,
+                "ablation_reductions",
+                &format!("{abl}/pr/{}", red.label()),
+                &cfg,
+                &cop,
+                device,
+            );
+        }
+    }
+    c.final_summary();
+}

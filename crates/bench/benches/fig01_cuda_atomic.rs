@@ -1,0 +1,32 @@
+//! Fig 1 bench: Atomic vs default CudaAtomic on both simulated GPUs
+//! (SSSP and TC — TC shows the mild penalty, §5.1).
+
+use indigo_bench::{bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::{rtx3090, titan_v};
+use indigo_styles::{Algorithm, AtomicKind, Model, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let rmat = input(SuiteGraph::Rmat);
+    for (dev_name, device) in [("titanv", titan_v()), ("rtx3090", rtx3090())] {
+        for algo in [Algorithm::Sssp, Algorithm::Tc] {
+            for kind in AtomicKind::ALL {
+                let mut cfg = StyleConfig::baseline(algo, Model::Cuda);
+                cfg.atomic = Some(kind);
+                if cfg.check().is_err() {
+                    continue; // e.g. PR excludes CudaAtomic
+                }
+                bench_gpu_variant(
+                    &mut c,
+                    "fig01_cuda_atomic",
+                    &format!("{dev_name}/{}/{}", algo.label(), kind.label()),
+                    &cfg,
+                    &rmat,
+                    device,
+                );
+            }
+        }
+    }
+    c.final_summary();
+}

@@ -1,0 +1,41 @@
+//! Fig 2 bench: vertex- vs edge-based iteration, GPU (2a) and CPU (2b),
+//! plus the thread-granularity TC subset (2c).
+
+use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::rtx3090;
+use indigo_styles::{Algorithm, Direction, Model, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let soc = input(SuiteGraph::SocialNetwork);
+    for algo in [Algorithm::Sssp, Algorithm::Tc, Algorithm::Mis] {
+        for dir in Direction::ALL {
+            let mut gpu = StyleConfig::baseline(algo, Model::Cuda);
+            gpu.direction = dir;
+            if gpu.check().is_ok() {
+                bench_gpu_variant(
+                    &mut c,
+                    "fig02_direction_gpu",
+                    &format!("{}/{}", algo.label(), dir.label()),
+                    &gpu,
+                    &soc,
+                    rtx3090(),
+                );
+            }
+            let mut cpu = StyleConfig::baseline(algo, Model::Cpp);
+            cpu.direction = dir;
+            if cpu.check().is_ok() {
+                bench_cpu_variant(
+                    &mut c,
+                    "fig02_direction_cpu",
+                    &format!("{}/{}", algo.label(), dir.label()),
+                    &cpu,
+                    &soc,
+                    4,
+                );
+            }
+        }
+    }
+    c.final_summary();
+}

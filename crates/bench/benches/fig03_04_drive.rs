@@ -1,0 +1,41 @@
+//! Figs 3/4 bench: topology- vs data-driven (both worklist policies) on
+//! the high-diameter road map, where the work-efficiency gap peaks.
+
+use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::titan_v;
+use indigo_styles::{Algorithm, Drive, Model, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let road = input(SuiteGraph::RoadMap);
+    for drive in Drive::ALL {
+        let mut gpu = StyleConfig::baseline(Algorithm::Sssp, Model::Cuda);
+        gpu.drive = drive;
+        if gpu.check().is_ok() {
+            bench_gpu_variant(
+                &mut c,
+                "fig03_04_drive_gpu",
+                &format!("sssp/{}", drive.label()),
+                &gpu,
+                &road,
+                titan_v(),
+            );
+        }
+        for model in [Model::Omp, Model::Cpp] {
+            let mut cpu = StyleConfig::baseline(Algorithm::Sssp, model);
+            cpu.drive = drive;
+            if cpu.check().is_ok() {
+                bench_cpu_variant(
+                    &mut c,
+                    "fig03_04_drive_cpu",
+                    &format!("{}/sssp/{}", model.label(), drive.label()),
+                    &cpu,
+                    &road,
+                    4,
+                );
+            }
+        }
+    }
+    c.final_summary();
+}

@@ -1,0 +1,47 @@
+//! Fig 5 bench: push vs pull on all three models (BFS on the grid, where
+//! push's INF-skip matters most, and PR where pull wins).
+
+use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::rtx3090;
+use indigo_styles::{Algorithm, Determinism, Flow, Model, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let grid = input(SuiteGraph::Grid2d);
+    for algo in [Algorithm::Bfs, Algorithm::Pr] {
+        for flow in Flow::ALL {
+            let mut gpu = StyleConfig::baseline(algo, Model::Cuda);
+            gpu.flow = Some(flow);
+            if algo == Algorithm::Pr {
+                gpu.determinism = Determinism::Deterministic;
+            }
+            if gpu.check().is_ok() {
+                bench_gpu_variant(
+                    &mut c,
+                    "fig05_flow_gpu",
+                    &format!("{}/{}", algo.label(), flow.label()),
+                    &gpu,
+                    &grid,
+                    rtx3090(),
+                );
+            }
+            let mut cpu = StyleConfig::baseline(algo, Model::Omp);
+            cpu.flow = Some(flow);
+            if algo == Algorithm::Pr {
+                cpu.determinism = Determinism::Deterministic;
+            }
+            if cpu.check().is_ok() {
+                bench_cpu_variant(
+                    &mut c,
+                    "fig05_flow_cpu",
+                    &format!("{}/{}", algo.label(), flow.label()),
+                    &cpu,
+                    &grid,
+                    4,
+                );
+            }
+        }
+    }
+    c.final_summary();
+}

@@ -1,0 +1,30 @@
+//! Figs 6/7 bench: read-write vs RMW (6) and deterministic vs
+//! non-deterministic (7) SSSP on both model kinds.
+
+use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::titan_v;
+use indigo_styles::{Algorithm, Determinism, Model, StyleConfig, Update};
+
+fn main() {
+    let mut c = criterion();
+    let rmat = input(SuiteGraph::Rmat);
+    for update in Update::ALL {
+        for det in Determinism::ALL {
+            let mut gpu = StyleConfig::baseline(Algorithm::Sssp, Model::Cuda);
+            gpu.update = update;
+            gpu.determinism = det;
+            let name = format!("sssp/{}/{}", update.label(), det.label());
+            if gpu.check().is_ok() {
+                bench_gpu_variant(&mut c, "fig06_07_gpu", &name, &gpu, &rmat, titan_v());
+            }
+            let mut omp = StyleConfig::baseline(Algorithm::Sssp, Model::Omp);
+            omp.update = update;
+            omp.determinism = det;
+            if omp.check().is_ok() {
+                bench_cpu_variant(&mut c, "fig06_07_omp", &name, &omp, &rmat, 4);
+            }
+        }
+    }
+    c.final_summary();
+}

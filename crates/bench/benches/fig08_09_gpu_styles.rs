@@ -1,0 +1,30 @@
+//! Figs 8/9 bench: persistent vs non-persistent threads (8) and
+//! thread/warp/block granularity on the road map vs the social network (9).
+
+use indigo_bench::{bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::rtx3090;
+use indigo_styles::{Algorithm, Granularity, Model, Persistence, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    for which in [SuiteGraph::RoadMap, SuiteGraph::SocialNetwork] {
+        let inp = input(which);
+        for gran in Granularity::ALL {
+            for pers in Persistence::ALL {
+                let mut cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cuda);
+                cfg.granularity = Some(gran);
+                cfg.persistence = Some(pers);
+                bench_gpu_variant(
+                    &mut c,
+                    "fig08_09_gpu_styles",
+                    &format!("{}/bfs/{}/{}", inp.name(), gran.label(), pers.label()),
+                    &cfg,
+                    &inp,
+                    rtx3090(),
+                );
+            }
+        }
+    }
+    c.final_summary();
+}

@@ -1,0 +1,39 @@
+//! Figs 10/11 bench: the three GPU reduction styles (10) and the three CPU
+//! reduction styles (11) on PR and TC.
+
+use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_gpusim::rtx3090;
+use indigo_styles::{Algorithm, CpuReduction, GpuReduction, Model, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let cop = input(SuiteGraph::CoPapers);
+    for algo in [Algorithm::Pr, Algorithm::Tc] {
+        for red in GpuReduction::ALL {
+            let mut cfg = StyleConfig::baseline(algo, Model::Cuda);
+            cfg.gpu_reduction = Some(red);
+            bench_gpu_variant(
+                &mut c,
+                "fig10_gpu_reductions",
+                &format!("{}/{}", algo.label(), red.label()),
+                &cfg,
+                &cop,
+                rtx3090(),
+            );
+        }
+        for red in CpuReduction::ALL {
+            let mut cfg = StyleConfig::baseline(algo, Model::Omp);
+            cfg.cpu_reduction = Some(red);
+            bench_cpu_variant(
+                &mut c,
+                "fig11_cpu_reductions",
+                &format!("{}/{}", algo.label(), red.label()),
+                &cfg,
+                &cop,
+                4,
+            );
+        }
+    }
+    c.final_summary();
+}

@@ -1,0 +1,38 @@
+//! Figs 12/13 bench: OpenMP default vs dynamic scheduling (12) and C++
+//! blocked vs cyclic distribution (13).
+
+use indigo_bench::{bench_cpu_variant, criterion, input};
+use indigo_graph::gen::SuiteGraph;
+use indigo_styles::{Algorithm, CppSchedule, Model, OmpSchedule, StyleConfig};
+
+fn main() {
+    let mut c = criterion();
+    let cop = input(SuiteGraph::CoPapers);
+    for algo in [Algorithm::Cc, Algorithm::Tc, Algorithm::Pr] {
+        for sched in OmpSchedule::ALL {
+            let mut cfg = StyleConfig::baseline(algo, Model::Omp);
+            cfg.omp_schedule = Some(sched);
+            bench_cpu_variant(
+                &mut c,
+                "fig12_omp_schedule",
+                &format!("{}/{}", algo.label(), sched.label()),
+                &cfg,
+                &cop,
+                4,
+            );
+        }
+        for sched in CppSchedule::ALL {
+            let mut cfg = StyleConfig::baseline(algo, Model::Cpp);
+            cfg.cpp_schedule = Some(sched);
+            bench_cpu_variant(
+                &mut c,
+                "fig13_cpp_schedule",
+                &format!("{}/{}", algo.label(), sched.label()),
+                &cfg,
+                &cop,
+                4,
+            );
+        }
+    }
+    c.final_summary();
+}

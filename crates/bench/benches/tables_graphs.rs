@@ -1,0 +1,28 @@
+//! Tables 4/5 bench: generator and property-analysis throughput for the
+//! five input families.
+
+use criterion::Criterion;
+use indigo_bench::{bench_scale, criterion};
+use indigo_graph::gen::{suite_graph, SUITE_GRAPHS};
+use indigo_graph::stats::GraphStats;
+
+fn main() {
+    let mut c: Criterion = criterion();
+    let scale = bench_scale();
+    {
+        let mut g = c.benchmark_group("table4_generators");
+        for which in SUITE_GRAPHS {
+            g.bench_function(which.label(), |b| b.iter(|| suite_graph(which, scale)));
+        }
+        g.finish();
+    }
+    {
+        let mut g = c.benchmark_group("table5_stats");
+        for which in SUITE_GRAPHS {
+            let graph = suite_graph(which, scale);
+            g.bench_function(which.label(), |b| b.iter(|| GraphStats::compute(&graph)));
+        }
+        g.finish();
+    }
+    c.final_summary();
+}

@@ -1,0 +1,263 @@
+//! CPU maximal independent set in every applicable style.
+//!
+//! Priority-greedy (Luby-with-fixed-priorities) MIS: every vertex gets a
+//! deterministic random priority; an undecided vertex whose priority beats
+//! all of its undecided neighbors joins the set, excluding those neighbors.
+//! With a fixed priority order this converges to the *unique*
+//! lexicographically-first MIS, so every style variant — and the serial
+//! reference — computes the same set, which is how the suite verifies MIS.
+//!
+//! Styles:
+//! * **push** — a winning vertex marks its neighbors `Out` (writes to
+//!   neighbors);
+//! * **pull** — a vertex inspects its neighbors and marks *itself* `Out`
+//!   when it sees an `In` neighbor (single writer per vertex);
+//! * **vertex-based** — one kernel does the priority scan and decision;
+//! * **edge-based** — a per-edge kernel records "has a better undecided
+//!   neighbor" stamps and propagates `Out`, followed by a small per-vertex
+//!   decision kernel (the natural way to write edge-centric MIS);
+//! * **data-driven (no duplicates)** — a worklist of still-undecided
+//!   vertices/edges, stamped per §2.3;
+//! * **deterministic** — double-buffered status array (§2.6).
+
+use super::CpuExec;
+use crate::serial::mis_priority;
+use indigo_exec::sync::atomic_vec;
+use indigo_exec::worklist::{DoubleWorklist, Stamps};
+use indigo_graph::NodeId;
+use indigo_styles::{Determinism, Direction, Flow, StyleConfig};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+const UNDECIDED: u32 = 0;
+const IN: u32 = 1;
+const OUT: u32 = 2;
+
+/// Runs the MIS variant `cfg`; returns membership flags and iteration count.
+pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (Vec<bool>, usize) {
+    let n = input.num_nodes();
+    let csr = &input.csr;
+    let coo = &input.coo;
+    let flow = cfg.flow.expect("MIS has push and pull variants");
+    let det = cfg.determinism == Determinism::Deterministic;
+    let edge_based = cfg.direction == Direction::EdgeBased;
+    let data_driven = cfg.drive.is_data_driven();
+    let seed = crate::MIS_SEED;
+    // stamp maxes go through the critical section in the Omp model
+    let stamp_ops = exec.min_ops(cfg.update);
+
+    let status = atomic_vec(n, UNDECIDED);
+    let status_read = det.then(|| atomic_vec(n, UNDECIDED));
+    // per-iteration "has a better undecided neighbor" stamps (edge style)
+    let blocked = edge_based.then(|| atomic_vec(n, 0));
+
+    let items_total = if edge_based { coo.num_edges() } else { n };
+    let wl = data_driven.then(|| {
+        let dw = DoubleWorklist::with_capacity(items_total + 1);
+        for item in 0..items_total {
+            dw.current().push(item as u32);
+        }
+        (dw, Stamps::new(items_total))
+    });
+    let critical = exec.critical_stamps();
+
+    let mut iterations = 0u32;
+    loop {
+        iterations += 1;
+        let rd: &[AtomicU32] = status_read.as_deref().unwrap_or(&status);
+
+        // Priority comparison against the *read* view: v loses if some
+        // undecided neighbor has higher (priority, id).
+        let beats = |v: NodeId, u: NodeId| mis_priority(v, seed) > mis_priority(u, seed);
+
+        if edge_based {
+            let blocked = blocked.as_ref().unwrap();
+            // kernel A: per-edge blocking + Out propagation
+            let edge_body = |e: usize| {
+                let (v, u) = (coo.src(e), coo.dst(e));
+                let sv = rd[v as usize].load(Ordering::Relaxed);
+                let su = rd[u as usize].load(Ordering::Relaxed);
+                match flow {
+                    Flow::Push => {
+                        if sv == IN && su == UNDECIDED {
+                            status[u as usize].store(OUT, Ordering::Relaxed);
+                        }
+                    }
+                    Flow::Pull => {
+                        if su == IN && sv == UNDECIDED {
+                            status[v as usize].store(OUT, Ordering::Relaxed);
+                        }
+                    }
+                }
+                if sv == UNDECIDED && su == UNDECIDED && beats(u, v) {
+                    stamp_ops.max_update(&blocked[v as usize], iterations);
+                }
+            };
+            match &wl {
+                Some((dw, stamps)) => {
+                    let current = dw.current();
+                    exec.pfor(current.len(), |idx, _| edge_body(current.get(idx) as usize));
+                    // repopulate: edges with any undecided endpoint stay live
+                    let iter = iterations;
+                    exec.pfor(current.len(), |idx, _| {
+                        let e = current.get(idx) as usize;
+                        let (v, u) = (coo.src(e), coo.dst(e));
+                        if status[v as usize].load(Ordering::Relaxed) == UNDECIDED
+                            || status[u as usize].load(Ordering::Relaxed) == UNDECIDED
+                        {
+                            if stamps.try_claim(e as u32, iter, critical) {
+                                dw.next().push(e as u32);
+                            }
+                        }
+                    });
+                }
+                None => exec.pfor(coo.num_edges(), |e, _| edge_body(e)),
+            }
+            // kernel B: decide winners. Out-propagation from fresh winners is
+            // kernel A's job next iteration (that is what makes it edge-based),
+            // and an In neighbor from an earlier iteration has already marked
+            // this vertex Out in kernel A, so the stamp check suffices.
+            exec.pfor(n, |vi, _| {
+                if rd[vi].load(Ordering::Relaxed) == UNDECIDED
+                    && status[vi].load(Ordering::Relaxed) == UNDECIDED
+                    && blocked[vi].load(Ordering::Relaxed) != iterations
+                {
+                    status[vi].store(IN, Ordering::Relaxed);
+                }
+            });
+        } else {
+            // vertex-based single kernel
+            let vertex_body = |v: NodeId| {
+                if rd[v as usize].load(Ordering::Relaxed) != UNDECIDED
+                    || status[v as usize].load(Ordering::Relaxed) != UNDECIDED
+                {
+                    return;
+                }
+                let mut wins = true;
+                for &u in csr.neighbors(v) {
+                    let su = rd[u as usize].load(Ordering::Relaxed);
+                    if su == IN {
+                        if flow == Flow::Pull {
+                            status[v as usize].store(OUT, Ordering::Relaxed);
+                        }
+                        wins = false;
+                        break;
+                    }
+                    if su == UNDECIDED && beats(u, v) {
+                        wins = false;
+                        if flow == Flow::Push {
+                            break;
+                        }
+                    }
+                }
+                if wins {
+                    status[v as usize].store(IN, Ordering::Relaxed);
+                    if flow == Flow::Push {
+                        for &u in csr.neighbors(v) {
+                            if status[u as usize].load(Ordering::Relaxed) == UNDECIDED {
+                                status[u as usize].store(OUT, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            };
+            match &wl {
+                Some((dw, stamps)) => {
+                    let current = dw.current();
+                    exec.pfor(current.len(), |idx, _| vertex_body(current.get(idx)));
+                    let iter = iterations;
+                    exec.pfor(current.len(), |idx, _| {
+                        let v = current.get(idx);
+                        if status[v as usize].load(Ordering::Relaxed) == UNDECIDED
+                            && stamps.try_claim(v, iter, critical)
+                        {
+                            dw.next().push(v);
+                        }
+                    });
+                }
+                None => exec.pfor(n, |vi, _| vertex_body(vi as NodeId)),
+            }
+        }
+
+        if let Some(rd_arr) = &status_read {
+            exec.pfor(n, |i, _| {
+                rd_arr[i].store(status[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            });
+        }
+
+        let done = match &wl {
+            Some((dw, _)) => {
+                dw.swap();
+                dw.current().is_empty()
+            }
+            None => (0..n).all(|i| status[i].load(Ordering::Relaxed) != UNDECIDED),
+        };
+        if done || n == 0 {
+            break;
+        }
+    }
+
+    let set = (0..n)
+        .map(|i| status[i].load(Ordering::Relaxed) == IN)
+        .collect();
+    (set, iterations as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serial, GraphInput};
+    use indigo_graph::gen::{self, toy};
+    use indigo_styles::{enumerate, Algorithm, Model};
+
+    #[test]
+    fn all_cpu_mis_variants_compute_the_greedy_set() {
+        let graphs = vec![
+            toy::path(13),
+            toy::star(9),
+            toy::complete(6),
+            toy::two_triangles(),
+            gen::gnp(50, 0.1, 7),
+            gen::grid2d(6, 6),
+        ];
+        for g in graphs {
+            let input = GraphInput::new(g);
+            let expect = serial::mis(&input.csr, crate::MIS_SEED);
+            for model in [Model::Omp, Model::Cpp] {
+                for cfg in enumerate::variants(Algorithm::Mis, model) {
+                    let exec = CpuExec::new(&cfg, 3);
+                    let (got, iters) = run(&cfg, &input, &exec);
+                    assert!(iters >= 1);
+                    assert_eq!(got, expect, "{} on {}", cfg.name(), input.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn complete_graph_selects_exactly_one() {
+        let input = GraphInput::new(toy::complete(20));
+        let cfg = StyleConfig::baseline(Algorithm::Mis, Model::Cpp);
+        let exec = CpuExec::new(&cfg, 4);
+        let (set, _) = run(&cfg, &input, &exec);
+        assert_eq!(set.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(vec![0], vec![], vec![], "e"));
+        let cfg = StyleConfig::baseline(Algorithm::Mis, Model::Omp);
+        let exec = CpuExec::new(&cfg, 2);
+        let (set, _) = run(&cfg, &input, &exec);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_all_join() {
+        let input =
+            GraphInput::new(indigo_graph::Csr::from_raw(vec![0, 0, 0, 0], vec![], vec![], "i3"));
+        let cfg = StyleConfig::baseline(Algorithm::Mis, Model::Cpp);
+        let exec = CpuExec::new(&cfg, 2);
+        let (set, _) = run(&cfg, &input, &exec);
+        assert_eq!(set, vec![true; 3]);
+    }
+}

@@ -1,0 +1,223 @@
+//! CPU PageRank in every applicable style.
+//!
+//! Vertex-based, topology-driven (Table 2). The style axes that remain are
+//! the data-flow direction (§2.4: pull reads neighbor ranks, push
+//! atomically scatters contributions), determinism (§2.6: push is
+//! deterministic-only, pull comes in both), the CPU reduction style used
+//! for the convergence delta (§2.10.2), and the model's loop schedule.
+//!
+//! Iterates `rank' = (1-d)/n + d · Σ rank[u]/deg(u)` until the L1 delta
+//! drops below [`crate::PR_EPSILON`] or [`crate::PR_MAX_ITERS`] is hit.
+
+use super::CpuExec;
+use indigo_exec::sync::{omp_critical, AtomicF32};
+use indigo_styles::{CpuReduction, Determinism, Flow, StyleConfig};
+
+
+/// Cache-line-padded accumulator for the `reduction`-clause style's
+/// privatized partials (avoids false sharing between worker threads).
+#[repr(align(64))]
+struct PaddedF32(AtomicF32);
+
+/// The three reduction styles of Listing 11, applied to the delta sum.
+struct DeltaReducer {
+    style: CpuReduction,
+    global: AtomicF32,
+    partials: Vec<PaddedF32>,
+}
+
+impl DeltaReducer {
+    fn new(style: CpuReduction, threads: usize) -> Self {
+        DeltaReducer {
+            style,
+            global: AtomicF32::new(0.0),
+            partials: (0..threads).map(|_| PaddedF32(AtomicF32::new(0.0))).collect(),
+        }
+    }
+
+    fn reset(&self) {
+        self.global.store(0.0);
+        for p in &self.partials {
+            p.0.store(0.0);
+        }
+    }
+
+    /// One contribution from worker `tid` (Listing 11's `sum += val`).
+    #[inline]
+    fn add(&self, tid: usize, val: f32) {
+        match self.style {
+            CpuReduction::AtomicRed => {
+                self.global.fetch_add(val);
+            }
+            CpuReduction::CriticalRed => omp_critical(|| {
+                let cur = self.global.load();
+                self.global.store(cur + val);
+            }),
+            CpuReduction::ClauseRed => {
+                // privatized partial: uncontended, fetch_add never retries
+                self.partials[tid].0.fetch_add(val);
+            }
+        }
+    }
+
+    /// Combines after the parallel region (the clause's implicit join).
+    fn total(&self) -> f32 {
+        match self.style {
+            CpuReduction::ClauseRed => self.partials.iter().map(|p| p.0.load()).sum(),
+            _ => self.global.load(),
+        }
+    }
+}
+
+/// Runs the PR variant `cfg`; returns ranks and the iteration count.
+pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (Vec<f32>, usize) {
+    let n = input.num_nodes();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let csr = &input.csr;
+    let flow = cfg.flow.expect("PR has push and pull variants");
+    let det = cfg.determinism == Determinism::Deterministic;
+    let damping = crate::PR_DAMPING;
+    let base = (1.0 - damping) / n as f32;
+    let reducer = DeltaReducer::new(
+        cfg.cpu_reduction.expect("CPU PR variants carry a reduction style"),
+        exec.threads(),
+    );
+
+    let rank: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(1.0 / n as f32)).collect();
+    // push always needs a scatter target; deterministic pull needs the
+    // second buffer too
+    let next: Option<Vec<AtomicF32>> =
+        (det || flow == Flow::Push).then(|| (0..n).map(|_| AtomicF32::new(0.0)).collect());
+
+    let mut iterations = 0usize;
+    while iterations < crate::PR_MAX_ITERS {
+        iterations += 1;
+        reducer.reset();
+        match flow {
+            Flow::Pull => {
+                let write = next.as_deref();
+                exec.pfor(n, |vi, tid| {
+                    let mut sum = 0.0f32;
+                    for &u in csr.neighbors(vi as u32) {
+                        let du = csr.degree(u).max(1) as f32;
+                        sum += rank[u as usize].load() / du;
+                    }
+                    let nv = base + damping * sum;
+                    reducer.add(tid, (nv - rank[vi].load()).abs());
+                    match write {
+                        Some(w) => w[vi].store(nv),      // deterministic (6b)
+                        None => rank[vi].store(nv),      // in-place (6a)
+                    }
+                });
+                if let Some(w) = write {
+                    // publish the new ranks (swap via copy keeps `rank` the
+                    // canonical array)
+                    exec.pfor(n, |i, _| rank[i].store(w[i].load()));
+                }
+            }
+            Flow::Push => {
+                let scatter = next.as_deref().expect("push PR always double-buffers");
+                // zero the scatter target
+                exec.pfor(n, |i, _| scatter[i].store(0.0));
+                // scatter contributions with atomic adds (Listing 4a shape)
+                exec.pfor(n, |vi, _| {
+                    let v = vi as u32;
+                    let dv = csr.degree(v).max(1) as f32;
+                    let contrib = rank[vi].load() / dv;
+                    for &u in csr.neighbors(v) {
+                        scatter[u as usize].fetch_add(contrib);
+                    }
+                });
+                // gather: finalize, measure delta, publish
+                exec.pfor(n, |vi, tid| {
+                    let nv = base + damping * scatter[vi].load();
+                    reducer.add(tid, (nv - rank[vi].load()).abs());
+                    rank[vi].store(nv);
+                });
+            }
+        }
+        if reducer.total() < crate::PR_EPSILON {
+            break;
+        }
+    }
+    (rank.iter().map(|c| c.load()).collect(), iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serial, GraphInput};
+    use indigo_graph::gen::{self, toy};
+    use indigo_styles::{enumerate, Algorithm, Model};
+
+    fn close(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 2e-3)
+    }
+
+    #[test]
+    fn all_cpu_pr_variants_match_reference() {
+        let graphs = vec![toy::star(15), toy::cycle(9), gen::gnp(60, 0.08, 4)];
+        for g in graphs {
+            let input = GraphInput::new(g);
+            let expect = serial::pagerank(
+                &input.csr,
+                crate::PR_DAMPING,
+                crate::PR_EPSILON,
+                crate::PR_MAX_ITERS,
+            );
+            for model in [Model::Omp, Model::Cpp] {
+                for cfg in enumerate::variants(Algorithm::Pr, model) {
+                    let exec = CpuExec::new(&cfg, 3);
+                    let (got, iters) = run(&cfg, &input, &exec);
+                    assert!(iters >= 1);
+                    assert!(
+                        close(&got, &expect),
+                        "{} on {}: {:?} vs {:?}",
+                        cfg.name(),
+                        input.name(),
+                        &got[..3.min(got.len())],
+                        &expect[..3.min(expect.len())]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ranks_sum_to_one() {
+        let input = GraphInput::new(gen::preferential_attachment(300, 4, 5));
+        let cfg = StyleConfig::baseline(Algorithm::Pr, Model::Cpp);
+        let exec = CpuExec::new(&cfg, 4);
+        let (ranks, _) = run(&cfg, &input, &exec);
+        let sum: f32 = ranks.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-2, "sum {sum}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(vec![0], vec![], vec![], "e"));
+        let cfg = StyleConfig::baseline(Algorithm::Pr, Model::Omp);
+        let exec = CpuExec::new(&cfg, 2);
+        let (ranks, iters) = run(&cfg, &input, &exec);
+        assert!(ranks.is_empty());
+        assert_eq!(iters, 0);
+    }
+
+    #[test]
+    fn reduction_styles_agree_on_totals() {
+        // the three reducers must compute the same delta sums, so iteration
+        // counts must match across reduction styles
+        let input = GraphInput::new(gen::gnp(80, 0.06, 8));
+        let mut iters = Vec::new();
+        for red in CpuReduction::ALL {
+            let mut cfg = StyleConfig::baseline(Algorithm::Pr, Model::Cpp);
+            cfg.cpu_reduction = Some(red);
+            let exec = CpuExec::new(&cfg, 3);
+            iters.push(run(&cfg, &input, &exec).1);
+        }
+        assert_eq!(iters[0], iters[1]);
+        assert_eq!(iters[1], iters[2]);
+    }
+}

@@ -1,0 +1,447 @@
+//! The CPU relaxation engine: BFS, SSSP, and CC in every applicable style.
+//!
+//! All three problems are monotonic min-relaxations over the paper's
+//! Listing 4 skeleton — they differ only in initialization and in the value
+//! an edge contributes:
+//!
+//! | problem | init                      | relax of edge `(v, u)`           |
+//! |---------|---------------------------|----------------------------------|
+//! | BFS     | `src = 0`, rest `INF`     | `min(level[u], level[v] + 1)`    |
+//! | SSSP    | `src = 0`, rest `INF`     | `min(dist[u], dist[v] + w)`      |
+//! | CC      | `label[v] = v`            | `min(label[u], label[v])`        |
+//!
+//! The engine realizes every style axis: vertex/edge iteration (§2.1),
+//! topology/data drive with either worklist policy (§2.2, §2.3), push/pull
+//! flow (§2.4), read-write / read-modify-write updates (§2.5), and the
+//! double-buffered deterministic variant (§2.6). Scheduling and the critical
+//! -section RMW path come from [`super::CpuExec`].
+//!
+//! Duplicates-allowed worklists have no tight size bound; when a push is
+//! dropped on a full list the engine schedules a full topology sweep that
+//! rediscovers all active vertices, preserving correctness (monotonicity
+//! makes re-processing harmless).
+
+use super::CpuExec;
+use indigo_exec::sync::{atomic_vec, snapshot, MinOps};
+use indigo_exec::worklist::{DoubleWorklist, Stamps};
+use indigo_graph::{NodeId, INF};
+use indigo_styles::{Determinism, Direction, Drive, Flow, StyleConfig, WorklistDup};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Which min-relaxation problem to solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RelaxKind {
+    /// Hop levels from a source.
+    Bfs,
+    /// Weighted distances from a source.
+    Sssp,
+    /// Min-label connected components.
+    Cc,
+}
+
+impl RelaxKind {
+    /// Value added to the upstream value when traversing an edge with
+    /// weight `w`.
+    #[inline]
+    fn contrib(self, w: u32) -> u32 {
+        match self {
+            RelaxKind::Bfs => 1,
+            RelaxKind::Sssp => w,
+            RelaxKind::Cc => 0,
+        }
+    }
+}
+
+/// Runs the relaxation configured by `cfg`; returns the converged values and
+/// the number of iterations (parallel rounds) taken.
+pub fn run(
+    kind: RelaxKind,
+    cfg: &StyleConfig,
+    input: &crate::GraphInput,
+    exec: &CpuExec,
+    source: NodeId,
+) -> (Vec<u32>, usize) {
+    let n = input.num_nodes();
+    let ops = exec.min_ops(cfg.update);
+    let det = cfg.determinism == Determinism::Deterministic;
+
+    // value arrays: `read` only differs from `write` in deterministic mode
+    let write = atomic_vec(n, INF);
+    init_values(kind, &write, source);
+    let read = det.then(|| {
+        let r = atomic_vec(n, INF);
+        init_values(kind, &r, source);
+        r
+    });
+
+    let iterations = match cfg.drive {
+        Drive::TopologyDriven => {
+            topo_loop(kind, cfg, input, exec, ops, &write, read.as_deref())
+        }
+        Drive::DataDriven(dup) => {
+            data_loop(kind, cfg, input, exec, ops, &write, read.as_deref(), dup, source)
+        }
+    };
+    (snapshot(&write), iterations)
+}
+
+fn init_values(kind: RelaxKind, vals: &[AtomicU32], source: NodeId) {
+    match kind {
+        RelaxKind::Bfs | RelaxKind::Sssp => {
+            if !vals.is_empty() {
+                vals[source as usize].store(0, Ordering::Relaxed);
+            }
+        }
+        RelaxKind::Cc => {
+            for (v, cell) in vals.iter().enumerate() {
+                cell.store(v as u32, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One edge relaxation in the configured flow direction. Returns the updated
+/// endpoint if the stored value decreased.
+#[inline]
+fn relax_edge(
+    kind: RelaxKind,
+    flow: Flow,
+    ops: MinOps,
+    read: &[AtomicU32],
+    write: &[AtomicU32],
+    v: NodeId,
+    u: NodeId,
+    w: u32,
+) -> Option<NodeId> {
+    let (from, to) = match flow {
+        Flow::Push => (v, u), // value flows from v to its neighbor (4a)
+        Flow::Pull => (u, v), // vertex pulls from its neighbor (4b)
+    };
+    let val = read[from as usize].load(Ordering::Relaxed);
+    if val == INF {
+        return None;
+    }
+    let nd = val.saturating_add(kind.contrib(w));
+    ops.min_update(&write[to as usize], nd).then_some(to)
+}
+
+/// Copies `write` into `read` with the model's parallel for — the extra
+/// synchronization/memory cost of the deterministic style (§2.6).
+fn sync_read(exec: &CpuExec, read: &[AtomicU32], write: &[AtomicU32]) {
+    exec.pfor(read.len(), |i, _| {
+        read[i].store(write[i].load(Ordering::Relaxed), Ordering::Relaxed);
+    });
+}
+
+// ---------------------------------------------------------------------
+// topology-driven driver (Listing 2a): sweep everything until a fixpoint
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn topo_loop(
+    kind: RelaxKind,
+    cfg: &StyleConfig,
+    input: &crate::GraphInput,
+    exec: &CpuExec,
+    ops: MinOps,
+    write: &[AtomicU32],
+    read: Option<&[AtomicU32]>,
+) -> usize {
+    let flow = cfg.flow.expect("relaxation variants always have a flow");
+    let csr = &input.csr;
+    let coo = &input.coo;
+    let mut iterations = 0;
+    loop {
+        iterations += 1;
+        let changed = AtomicBool::new(false);
+        let rd = read.unwrap_or(write);
+        match cfg.direction {
+            Direction::VertexBased => exec.pfor(csr.num_nodes(), |vi, _| {
+                let v = vi as NodeId;
+                // push loads its source value once and skips untouched
+                // vertices entirely (Listing 4a) — the work asymmetry that
+                // §5.4 credits push for
+                if flow == Flow::Push {
+                    let val = rd[vi].load(Ordering::Relaxed);
+                    if val == INF {
+                        return;
+                    }
+                    let range = csr.neighbor_range(v);
+                    for (off, &u) in csr.neighbors(v).iter().enumerate() {
+                        let w = csr.weights()[range.start + off];
+                        let nd = val.saturating_add(kind.contrib(w));
+                        if ops.min_update(&write[u as usize], nd) {
+                            changed.store(true, Ordering::Relaxed);
+                        }
+                    }
+                    return;
+                }
+                let range = csr.neighbor_range(v);
+                for (off, &u) in csr.neighbors(v).iter().enumerate() {
+                    let w = csr.weights()[range.start + off];
+                    if relax_edge(kind, flow, ops, rd, write, v, u, w).is_some() {
+                        changed.store(true, Ordering::Relaxed);
+                    }
+                }
+            }),
+            Direction::EdgeBased => exec.pfor(coo.num_edges(), |e, _| {
+                let (v, u, w) = (coo.src(e), coo.dst(e), coo.weight(e));
+                if relax_edge(kind, flow, ops, rd, write, v, u, w).is_some() {
+                    changed.store(true, Ordering::Relaxed);
+                }
+            }),
+        }
+        if let Some(rd) = read {
+            sync_read(exec, rd, write);
+        }
+        if !changed.load(Ordering::Relaxed) {
+            return iterations;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// data-driven driver (Listing 2b): drain a worklist
+// ---------------------------------------------------------------------
+
+/// Work items are vertices for vertex-based codes and edge indices for
+/// edge-based codes; a successful update of vertex `u` re-activates `u`
+/// (vertex style) or all of `u`'s outgoing edges (edge style).
+#[allow(clippy::too_many_arguments)]
+fn data_loop(
+    kind: RelaxKind,
+    cfg: &StyleConfig,
+    input: &crate::GraphInput,
+    exec: &CpuExec,
+    ops: MinOps,
+    write: &[AtomicU32],
+    read: Option<&[AtomicU32]>,
+    dup: WorklistDup,
+    source: NodeId,
+) -> usize {
+    // data-driven is push-only (enforced by StyleConfig::check)
+    debug_assert_eq!(cfg.flow, Some(Flow::Push));
+    let csr = &input.csr;
+    let coo = &input.coo;
+    let n = csr.num_nodes();
+    let m = coo.num_edges();
+    if n == 0 {
+        return 0;
+    }
+    let edge_items = cfg.direction == Direction::EdgeBased;
+    let nodup = dup == WorklistDup::NoDuplicates;
+
+    // capacity: no-duplicates lists are bounded by the item count; the
+    // duplicates style gets slack plus the sweep fallback
+    let items_total = if edge_items { m } else { n };
+    let capacity = if nodup { items_total + 1 } else { 2 * items_total + 64 };
+    let wl = DoubleWorklist::with_capacity(capacity);
+    let stamps = nodup.then(|| Stamps::new(items_total));
+    let critical = exec.critical_stamps();
+
+    // initial worklist
+    match kind {
+        RelaxKind::Bfs | RelaxKind::Sssp => {
+            if edge_items {
+                for e in csr.neighbor_range(source) {
+                    wl.current().push(e as u32);
+                }
+            } else {
+                wl.current().push(source);
+            }
+        }
+        RelaxKind::Cc => {
+            for item in 0..items_total {
+                wl.current().push(item as u32);
+            }
+        }
+    }
+
+    let mut iterations = 0u32;
+    let mut full_sweep = false;
+    loop {
+        iterations += 1;
+        let overflow = AtomicBool::new(false);
+        let changed = AtomicBool::new(false);
+        let rd = read.unwrap_or(write);
+
+        // re-activation: push the follow-up items for an updated vertex
+        let activate = |to: NodeId| {
+            changed.store(true, Ordering::Relaxed);
+            if edge_items {
+                for e in csr.neighbor_range(to) {
+                    push_item(&wl, stamps.as_ref(), e as u32, iterations, critical, &overflow);
+                }
+            } else {
+                push_item(&wl, stamps.as_ref(), to, iterations, critical, &overflow);
+            }
+        };
+
+        let process_item = |item: u32| {
+            if edge_items {
+                let e = item as usize;
+                let (v, u, w) = (coo.src(e), coo.dst(e), coo.weight(e));
+                if let Some(to) = relax_edge(kind, Flow::Push, ops, rd, write, v, u, w) {
+                    activate(to);
+                }
+            } else {
+                // data-driven is push-only: hoist the source load (4a)
+                let v = item;
+                let val = rd[v as usize].load(Ordering::Relaxed);
+                if val == INF {
+                    return;
+                }
+                let range = csr.neighbor_range(v);
+                for (off, &u) in csr.neighbors(v).iter().enumerate() {
+                    let w = csr.weights()[range.start + off];
+                    let nd = val.saturating_add(kind.contrib(w));
+                    if ops.min_update(&write[u as usize], nd) {
+                        activate(u);
+                    }
+                }
+            }
+        };
+
+        if full_sweep {
+            // recovery sweep after a dropped push: process every item
+            exec.pfor(items_total, |i, _| process_item(i as u32));
+        } else {
+            let current = wl.current();
+            exec.pfor(current.len(), |idx, _| process_item(current.get(idx)));
+        }
+
+        let overflowed = overflow.load(Ordering::Relaxed);
+        if let Some(rd) = read {
+            sync_read(exec, rd, write);
+        }
+        if full_sweep && !changed.load(Ordering::Relaxed) {
+            return iterations as usize;
+        }
+        full_sweep = overflowed;
+        wl.swap();
+        if !full_sweep && wl.current().is_empty() {
+            return iterations as usize;
+        }
+    }
+}
+
+#[inline]
+fn push_item(
+    wl: &DoubleWorklist,
+    stamps: Option<&Stamps>,
+    item: u32,
+    iter: u32,
+    critical: bool,
+    overflow: &AtomicBool,
+) {
+    if let Some(st) = stamps {
+        if !st.try_claim(item, iter, critical) {
+            return; // already on the next worklist (Listing 3b)
+        }
+    }
+    if !wl.next().try_push(item) {
+        overflow.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serial, GraphInput, SOURCE};
+    use indigo_graph::gen::{self, toy};
+    use indigo_styles::{enumerate, Algorithm, Model};
+
+    fn algo(kind: RelaxKind) -> Algorithm {
+        match kind {
+            RelaxKind::Bfs => Algorithm::Bfs,
+            RelaxKind::Sssp => Algorithm::Sssp,
+            RelaxKind::Cc => Algorithm::Cc,
+        }
+    }
+
+    fn reference(kind: RelaxKind, input: &GraphInput) -> Vec<u32> {
+        match kind {
+            RelaxKind::Bfs => serial::bfs(&input.csr, SOURCE),
+            RelaxKind::Sssp => serial::sssp(&input.csr, SOURCE),
+            RelaxKind::Cc => serial::cc(&input.csr),
+        }
+    }
+
+    /// Every CPU variant of BFS/SSSP/CC must match the serial oracle on a
+    /// battery of small graphs.
+    #[test]
+    fn all_cpu_variants_match_reference() {
+        let graphs = vec![
+            toy::path(17),
+            toy::two_triangles(),
+            toy::star(12),
+            toy::weighted_diamond(),
+            gen::gnp(60, 0.07, 5),
+            gen::grid2d(7, 5),
+        ];
+        for g in graphs {
+            let input = GraphInput::new(g);
+            for kind in [RelaxKind::Bfs, RelaxKind::Sssp, RelaxKind::Cc] {
+                let expect = reference(kind, &input);
+                for model in [Model::Omp, Model::Cpp] {
+                    for cfg in enumerate::variants(algo(kind), model) {
+                        let exec = CpuExec::new(&cfg, 3);
+                        let (got, iters) = run(kind, &cfg, &input, &exec, SOURCE);
+                        assert!(iters >= 1);
+                        assert_eq!(
+                            got,
+                            expect,
+                            "{} on {}",
+                            cfg.name(),
+                            input.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_iteration_count_is_stable() {
+        let input = GraphInput::new(gen::gnp(80, 0.06, 9));
+        let mut cfg = StyleConfig::baseline(Algorithm::Sssp, Model::Cpp);
+        cfg.determinism = Determinism::Deterministic;
+        let exec = CpuExec::new(&cfg, 4);
+        let (_, i1) = run(RelaxKind::Sssp, &cfg, &input, &exec, SOURCE);
+        let (_, i2) = run(RelaxKind::Sssp, &cfg, &input, &exec, SOURCE);
+        assert_eq!(i1, i2, "deterministic style must repeat its iteration count");
+    }
+
+    #[test]
+    fn empty_graph_terminates() {
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(vec![0], vec![], vec![], "e"));
+        let cfg = StyleConfig::baseline(Algorithm::Cc, Model::Cpp);
+        let exec = CpuExec::new(&cfg, 2);
+        let (vals, _) = run(RelaxKind::Cc, &cfg, &input, &exec, 0);
+        assert!(vals.is_empty());
+    }
+
+    #[test]
+    fn worklist_overflow_recovery_still_correct() {
+        // a dense-ish graph with duplicates-allowed edge worklists forces
+        // the overflow → full-sweep path
+        let input = GraphInput::new(gen::gnp(40, 0.4, 2));
+        let expect = serial::sssp(&input.csr, SOURCE);
+        for model in [Model::Omp, Model::Cpp] {
+            let picked = enumerate::variants(Algorithm::Sssp, model)
+                .into_iter()
+                .filter(|c| {
+                    c.direction == Direction::EdgeBased
+                        && c.drive == Drive::DataDriven(WorklistDup::Duplicates)
+                })
+                .take(2)
+                .collect::<Vec<_>>();
+            assert!(!picked.is_empty());
+            for cfg in picked {
+                let exec = CpuExec::new(&cfg, 3);
+                let (got, _) = run(RelaxKind::Sssp, &cfg, &input, &exec, SOURCE);
+                assert_eq!(got, expect, "{}", cfg.name());
+            }
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! GPU maximal independent set (the CUDA analog of [`crate::cpu::mis`]).
+//!
+//! Same priority-greedy fixpoint, structured the way CUDA MIS codes are:
+//! every iteration runs a *blocking* kernel A at the configured granularity
+//! (stamping vertices that see a better undecided neighbor, and propagating
+//! `Out` per the flow style) followed by a thread-granularity decision
+//! kernel B. Cross-lane joins are unnecessary: each lane stamps the shared
+//! per-vertex `blocked` slot with `atomicMax`, exactly how a real kernel
+//! avoids warp-wide reductions here.
+
+use super::{assign_of, atomic_kind_of, persistent_of, DeviceGraph};
+use crate::serial::mis_hash;
+use indigo_gpusim::{Assign, GpuBuf, LaneCtx, Sim};
+use indigo_styles::{Determinism, Direction, Flow, StyleConfig};
+
+const UNDECIDED: u32 = 0;
+const IN: u32 = 1;
+const OUT: u32 = 2;
+
+/// Runs the MIS variant `cfg`; returns membership flags and iterations.
+pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<bool>, usize) {
+    let n = dg.n;
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let akind = atomic_kind_of(cfg);
+    let assign = assign_of(cfg);
+    let persistent = persistent_of(cfg);
+    let flow = cfg.flow.expect("MIS has push and pull variants");
+    let det = cfg.determinism == Determinism::Deterministic;
+    let edge_based = cfg.direction == Direction::EdgeBased;
+    let data_driven = cfg.drive.is_data_driven();
+    let seed = crate::MIS_SEED;
+
+    let status = GpuBuf::new(n, UNDECIDED).with_kind(akind);
+    let status_read = det.then(|| GpuBuf::new(n, UNDECIDED).with_kind(akind));
+    let blocked = GpuBuf::new(n, 0).with_kind(akind);
+    // iteration stamp of each vertex's In decision (push propagation)
+    let fresh = GpuBuf::new(n, 0);
+    let hash: Vec<u32> = (0..n as u32).map(|v| mis_hash(v, seed)).collect();
+    let prio = GpuBuf::from_slice(&hash);
+
+    let items_total = if edge_based { dg.m } else { n };
+    // no-duplicates worklists (the only MIS drive besides topology)
+    let wl = data_driven.then(|| {
+        let cur = GpuBuf::new(items_total + 1, 0);
+        let cur_size = GpuBuf::new(1, 0).with_kind(akind);
+        let nxt = GpuBuf::new(items_total + 1, 0);
+        let nxt_size = GpuBuf::new(1, 0).with_kind(akind);
+        let stamps = GpuBuf::new(items_total, 0).with_kind(akind);
+        for i in 0..items_total {
+            cur.host_write(i, i as u32);
+        }
+        cur_size.host_write(0, items_total as u32);
+        (cur, cur_size, nxt, nxt_size, stamps)
+    });
+
+    // (priority, id) comparison: one hash load per side
+    let beats = |ctx: &mut LaneCtx, a: u32, b: u32| -> bool {
+        let pa = ctx.ld(&prio, a as usize);
+        let pb = ctx.ld(&prio, b as usize);
+        (pa, a) > (pb, b)
+    };
+
+    let mut iterations = 0u32;
+    let mut swap = false;
+    loop {
+        iterations += 1;
+        let iter = iterations;
+        let rd = status_read.as_ref().unwrap_or(&status);
+
+        // kernel A: blocking stamps + Out propagation
+        let edge_body = |ctx: &mut LaneCtx, e: usize| {
+            let v = ctx.ld(&dg.src, e);
+            let u = ctx.ld(&dg.dst, e);
+            let sv = ctx.ld(rd, v as usize);
+            let su = ctx.ld(rd, u as usize);
+            match flow {
+                Flow::Push => {
+                    if sv == IN && su == UNDECIDED {
+                        ctx.st(&status, u as usize, OUT);
+                    }
+                }
+                Flow::Pull => {
+                    if su == IN && sv == UNDECIDED {
+                        ctx.st(&status, v as usize, OUT);
+                    }
+                }
+            }
+            if sv == UNDECIDED && su == UNDECIDED && beats(ctx, u, v) {
+                ctx.atomic_max(&blocked, v as usize, iter);
+            }
+        };
+        let vertex_body = |ctx: &mut LaneCtx, v: u32| {
+            let sv = ctx.ld(rd, v as usize);
+            // early exit for vertices with nothing left to do: pull only ever
+            // writes to itself, push-In still has Outs to propagate
+            match flow {
+                Flow::Push if sv == OUT => return,
+                Flow::Pull if sv != UNDECIDED => return,
+                _ => {}
+            }
+            let beg = ctx.ld(&dg.row, v as usize) as usize;
+            let end = ctx.ld(&dg.row, v as usize + 1) as usize;
+            let mut i = beg + ctx.lane();
+            let lanes = ctx.lane_count();
+            while i < end {
+                let u = ctx.ld(&dg.nbr, i);
+                let su = ctx.ld(rd, u as usize);
+                match flow {
+                    Flow::Push => {
+                        if sv == IN && su == UNDECIDED {
+                            ctx.st(&status, u as usize, OUT);
+                        }
+                    }
+                    Flow::Pull => {
+                        if su == IN && sv == UNDECIDED {
+                            ctx.st(&status, v as usize, OUT);
+                        }
+                    }
+                }
+                if sv == UNDECIDED && su == UNDECIDED && beats(ctx, u, v) {
+                    ctx.atomic_max(&blocked, v as usize, iter);
+                }
+                i += lanes;
+            }
+        };
+
+        // vertex-based push decides *and* pushes Out marks in one kernel
+        // (as Listing 4a's flow implies): with a data-driven worklist the
+        // winner leaves the list immediately, so deferring Out propagation
+        // to the next iteration's kernel A would lose it.
+        let decide = |sim: &mut Sim| {
+            if edge_based || flow == Flow::Pull {
+                launch_decide(sim, n, rd, &status, &blocked, iter);
+                return;
+            }
+            launch_decide_fresh(sim, n, rd, &status, &blocked, &fresh, iter);
+            {
+                // push propagation from this iteration's winners: a winner
+                // is IN now but was not in the read view (`fresh` stamps
+                // disambiguate for the non-deterministic single-buffer case,
+                // where `rd` aliases `status`)
+                sim.launch(n, assign, persistent, |ctx, vi| {
+                    if ctx.ld(&fresh, vi) != iter {
+                        return;
+                    }
+                    let beg = ctx.ld(&dg.row, vi) as usize;
+                    let end = ctx.ld(&dg.row, vi + 1) as usize;
+                    let lanes = ctx.lane_count();
+                    let mut i = beg + ctx.lane();
+                    while i < end {
+                        let u = ctx.ld(&dg.nbr, i);
+                        if ctx.ld(&status, u as usize) == UNDECIDED {
+                            ctx.st(&status, u as usize, OUT);
+                        }
+                        i += lanes;
+                    }
+                });
+            }
+        };
+
+        match &wl {
+            Some((a, a_size, b, b_size, stamps)) => {
+                let (cur, cur_size, nxt, nxt_size) =
+                    if swap { (b, b_size, a, a_size) } else { (a, a_size, b, b_size) };
+                let len = cur_size.host_read(0) as usize;
+                sim.launch(len, assign, persistent, |ctx, idx| {
+                    let item = ctx.ld(cur, idx);
+                    if edge_based {
+                        edge_body(ctx, item as usize);
+                    } else {
+                        vertex_body(ctx, item);
+                    }
+                });
+                // kernel B before repopulation so fresh decisions are seen
+                decide(sim);
+                // repopulate: still-live items move to the next list
+                sim.launch(len, Assign::ThreadPerItem, persistent, |ctx, idx| {
+                    let item = ctx.ld(cur, idx);
+                    let live = if edge_based {
+                        let v = ctx.ld(&dg.src, item as usize);
+                        let u = ctx.ld(&dg.dst, item as usize);
+                        ctx.ld(&status, v as usize) == UNDECIDED
+                            || ctx.ld(&status, u as usize) == UNDECIDED
+                    } else {
+                        ctx.ld(&status, item as usize) == UNDECIDED
+                    };
+                    if live && ctx.atomic_max(stamps, item as usize, iter) != iter {
+                        let slot = ctx.atomic_add(nxt_size, 0, 1) as usize;
+                        ctx.st(nxt, slot, item);
+                    }
+                });
+                cur_size.host_write(0, 0);
+                swap = !swap;
+                if let Some(r) = &status_read {
+                    copy(sim, r, &status);
+                }
+                if nxt_size.host_read(0) == 0 {
+                    break;
+                }
+            }
+            None => {
+                if edge_based {
+                    sim.launch(dg.m, assign, persistent, |ctx, e| edge_body(ctx, e));
+                } else {
+                    sim.launch(n, assign, persistent, |ctx, v| vertex_body(ctx, v as u32));
+                }
+                decide(sim);
+                if let Some(r) = &status_read {
+                    copy(sim, r, &status);
+                }
+                if (0..n).all(|i| status.host_read(i) != UNDECIDED) {
+                    break;
+                }
+            }
+        }
+    }
+
+    let set = (0..n).map(|i| status.host_read(i) == IN).collect();
+    (set, iterations as usize)
+}
+
+/// Kernel B: an undecided vertex not blocked this iteration joins the set.
+fn launch_decide(
+    sim: &mut Sim,
+    n: usize,
+    rd: &GpuBuf,
+    status: &GpuBuf,
+    blocked: &GpuBuf,
+    iter: u32,
+) {
+    sim.launch(n, Assign::ThreadPerItem, false, |ctx, vi| {
+        if ctx.ld(rd, vi) == UNDECIDED
+            && ctx.ld(status, vi) == UNDECIDED
+            && ctx.ld(blocked, vi) != iter
+        {
+            ctx.st(status, vi, IN);
+        }
+    });
+}
+
+/// `launch_decide` variant that also stamps the winners' iteration (used by
+/// vertex-based push to find fresh winners for Out propagation).
+fn launch_decide_fresh(
+    sim: &mut Sim,
+    n: usize,
+    rd: &GpuBuf,
+    status: &GpuBuf,
+    blocked: &GpuBuf,
+    fresh: &GpuBuf,
+    iter: u32,
+) {
+    sim.launch(n, Assign::ThreadPerItem, false, |ctx, vi| {
+        if ctx.ld(rd, vi) == UNDECIDED
+            && ctx.ld(status, vi) == UNDECIDED
+            && ctx.ld(blocked, vi) != iter
+        {
+            ctx.st(status, vi, IN);
+            ctx.st(fresh, vi, iter);
+        }
+    });
+}
+
+fn copy(sim: &mut Sim, dst: &GpuBuf, src: &GpuBuf) {
+    sim.launch(src.len(), Assign::ThreadPerItem, false, |ctx, i| {
+        let v = ctx.ld(src, i);
+        ctx.st(dst, i, v);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serial, GraphInput};
+    use indigo_graph::gen::{self, toy};
+    use indigo_gpusim::rtx3090;
+    use indigo_styles::{enumerate, Algorithm, Model};
+
+    #[test]
+    fn all_gpu_mis_variants_compute_the_greedy_set() {
+        let graphs = vec![
+            toy::path(11),
+            toy::complete(6),
+            toy::star(8),
+            gen::gnp(40, 0.12, 7),
+        ];
+        for g in graphs {
+            let input = GraphInput::new(g);
+            let dg = DeviceGraph::upload(&input);
+            let expect = serial::mis(&input.csr, crate::MIS_SEED);
+            for cfg in enumerate::variants(Algorithm::Mis, Model::Cuda) {
+                let mut sim = Sim::new(rtx3090());
+                let (got, iters) = run(&cfg, &dg, &mut sim);
+                assert!(iters >= 1);
+                assert_eq!(got, expect, "{} on {}", cfg.name(), input.name());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(vec![0], vec![], vec![], "e"));
+        let dg = DeviceGraph::upload(&input);
+        let cfg = StyleConfig::baseline(Algorithm::Mis, Model::Cuda);
+        let mut sim = Sim::new(rtx3090());
+        let (set, _) = run(&cfg, &dg, &mut sim);
+        assert!(set.is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! GPU PageRank (the CUDA analog of [`crate::cpu::pr`]).
+//!
+//! Pull variants use the simulator's cooperative launch: lanes stride the
+//! neighbor loop accumulating into the group scratch (the warp-shuffle /
+//! shared-memory partial of a real kernel) and the epilogue finalizes the
+//! vertex. Push variants run the three-launch zero/scatter/gather shape
+//! with `atomicAdd(float*)` scatters. The per-iteration convergence delta is
+//! reduced with the configured §2.10.1 style. PR never uses CudaAtomic
+//! (no float support, §5.1), so all buffers are classic-atomic class.
+
+use super::{assign_of, persistent_of, DeviceGraph};
+use indigo_gpusim::{Assign, BufKind, GpuBufF32, LaneCtx, ReduceStyle, Sim};
+use indigo_styles::{Determinism, Flow, GpuReduction, StyleConfig};
+
+/// Maps the style enum onto the simulator's reduction plumbing.
+fn reduce_style_of(cfg: &StyleConfig) -> ReduceStyle {
+    match cfg.gpu_reduction.expect("GPU PR variants carry a reduction style") {
+        GpuReduction::GlobalAdd => ReduceStyle::GlobalAdd,
+        GpuReduction::BlockAdd => ReduceStyle::BlockAdd,
+        GpuReduction::ReductionAdd => ReduceStyle::ReductionAdd,
+    }
+}
+
+/// Runs the PR variant `cfg`; returns ranks and the iteration count.
+pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<f32>, usize) {
+    let n = dg.n;
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let assign = assign_of(cfg);
+    let persistent = persistent_of(cfg);
+    let flow = cfg.flow.expect("PR has push and pull variants");
+    let det = cfg.determinism == Determinism::Deterministic;
+    let style = reduce_style_of(cfg);
+    let damping = crate::PR_DAMPING;
+    let base = (1.0 - damping) / n as f32;
+
+    let rank = GpuBufF32::new(n, 1.0 / n as f32).with_kind(BufKind::Atomic);
+    let aux = (det || flow == Flow::Push)
+        .then(|| GpuBufF32::new(n, 0.0).with_kind(BufKind::Atomic));
+
+    // degree via the row array (two coalescing-friendly loads)
+    let degree = |ctx: &mut LaneCtx, v: u32| -> f32 {
+        let beg = ctx.ld(&dg.row, v as usize);
+        let end = ctx.ld(&dg.row, v as usize + 1);
+        (end - beg).max(1) as f32
+    };
+
+    let mut iterations = 0usize;
+    while iterations < crate::PR_MAX_ITERS {
+        iterations += 1;
+        let delta = match flow {
+            Flow::Pull => {
+                let write = aux.as_ref().unwrap_or(&rank);
+                let d = sim.launch_coop(
+                    n,
+                    assign,
+                    persistent,
+                    Some((style, BufKind::Atomic)),
+                    |ctx, vi| {
+                        let v = vi as u32;
+                        let beg = ctx.ld(&dg.row, vi) as usize;
+                        let end = ctx.ld(&dg.row, vi + 1) as usize;
+                        let _ = v;
+                        let lanes = ctx.lane_count();
+                        let mut i = beg + ctx.lane();
+                        let mut partial = 0.0f32;
+                        while i < end {
+                            let u = ctx.ld(&dg.nbr, i);
+                            let du = degree(ctx, u);
+                            partial += ctx.ld_f32(&rank, u as usize) / du;
+                            i += lanes;
+                        }
+                        ctx.scratch_add_f32(partial);
+                    },
+                    |ctx, vi| {
+                        let nv = base + damping * ctx.group_f32();
+                        let old = ctx.ld_f32(&rank, vi);
+                        ctx.reduce_add_f32((nv - old).abs());
+                        ctx.st_f32(write, vi, nv);
+                    },
+                );
+                if let Some(w) = &aux {
+                    // publish the deterministic buffer back into `rank`
+                    sim.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                        let v = ctx.ld_f32(w, i);
+                        ctx.st_f32(&rank, i, v);
+                    });
+                }
+                d.1
+            }
+            Flow::Push => {
+                let scatter = aux.as_ref().expect("push PR double-buffers");
+                sim.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                    ctx.st_f32(scatter, i, 0.0);
+                });
+                sim.launch(n, assign, persistent, |ctx, vi| {
+                    let v = vi as u32;
+                    let dv = degree(ctx, v);
+                    let contrib = ctx.ld_f32(&rank, vi) / dv;
+                    let beg = ctx.ld(&dg.row, vi) as usize;
+                    let end = ctx.ld(&dg.row, vi + 1) as usize;
+                    let lanes = ctx.lane_count();
+                    let mut i = beg + ctx.lane();
+                    while i < end {
+                        let u = ctx.ld(&dg.nbr, i);
+                        ctx.atomic_add_f32(scatter, u as usize, contrib);
+                        i += lanes;
+                    }
+                });
+                sim.launch_reduce_f32(
+                    n,
+                    Assign::ThreadPerItem,
+                    false,
+                    style,
+                    BufKind::Atomic,
+                    |ctx, vi| {
+                        let nv = base + damping * ctx.ld_f32(scatter, vi);
+                        let old = ctx.ld_f32(&rank, vi);
+                        ctx.reduce_add_f32((nv - old).abs());
+                        ctx.st_f32(&rank, vi, nv);
+                    },
+                )
+            }
+        };
+        if delta < crate::PR_EPSILON {
+            break;
+        }
+    }
+    (rank.to_vec(), iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serial, GraphInput};
+    use indigo_graph::gen::{self, toy};
+    use indigo_gpusim::titan_v;
+    use indigo_styles::{enumerate, Algorithm, Model};
+
+    fn close(a: &[f32], b: &[f32]) -> bool {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 2e-3)
+    }
+
+    #[test]
+    fn all_gpu_pr_variants_match_reference() {
+        let graphs = vec![toy::star(12), toy::cycle(7), gen::gnp(50, 0.1, 4)];
+        for g in graphs {
+            let input = GraphInput::new(g);
+            let dg = DeviceGraph::upload(&input);
+            let expect = serial::pagerank(
+                &input.csr,
+                crate::PR_DAMPING,
+                crate::PR_EPSILON,
+                crate::PR_MAX_ITERS,
+            );
+            for cfg in enumerate::variants(Algorithm::Pr, Model::Cuda) {
+                let mut sim = Sim::new(titan_v());
+                let (got, iters) = run(&cfg, &dg, &mut sim);
+                assert!(iters >= 1);
+                assert!(
+                    close(&got, &expect),
+                    "{} on {}",
+                    cfg.name(),
+                    input.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(vec![0], vec![], vec![], "e"));
+        let dg = DeviceGraph::upload(&input);
+        let cfg = StyleConfig::baseline(Algorithm::Pr, Model::Cuda);
+        let mut sim = Sim::new(titan_v());
+        let (ranks, iters) = run(&cfg, &dg, &mut sim);
+        assert!(ranks.is_empty());
+        assert_eq!(iters, 0);
+    }
+}

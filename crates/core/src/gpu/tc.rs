@@ -1,0 +1,175 @@
+//! GPU triangle counting (the CUDA analog of [`crate::cpu::tc`]).
+//!
+//! Counting rule as on the CPU: for every edge `(v, u)` with `v < u`, count
+//! common neighbors `w > u`. Granularity applies to the *inner* loop in both
+//! directions (which is why the paper's Table 3 gives TC the full 3-way
+//! granularity split even edge-based):
+//!
+//! * vertex-based — lanes stride `adj(v)`; each lane merge-intersects for
+//!   its neighbors `u > v`;
+//! * edge-based — lanes stride `adj(v)` elements `> u` and binary-search
+//!   `adj(u)`.
+//!
+//! The global count uses the configured §2.10.1 reduction style, and —
+//! uniquely among the algorithms (§5.1) — the CudaAtomic style only touches
+//! the single counter add, so its penalty is mild.
+
+use super::{assign_of, atomic_kind_of, persistent_of, DeviceGraph};
+use indigo_gpusim::{LaneCtx, ReduceStyle, Sim};
+use indigo_styles::{Direction, GpuReduction, StyleConfig};
+
+fn reduce_style_of(cfg: &StyleConfig) -> ReduceStyle {
+    match cfg.gpu_reduction.expect("GPU TC variants carry a reduction style") {
+        GpuReduction::GlobalAdd => ReduceStyle::GlobalAdd,
+        GpuReduction::BlockAdd => ReduceStyle::BlockAdd,
+        GpuReduction::ReductionAdd => ReduceStyle::ReductionAdd,
+    }
+}
+
+/// Runs the TC variant `cfg`; returns the triangle count (iterations = 1).
+pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (u64, usize) {
+    let assign = assign_of(cfg);
+    let persistent = persistent_of(cfg);
+    let style = reduce_style_of(cfg);
+    let kind = atomic_kind_of(cfg);
+
+    let count = match cfg.direction {
+        Direction::VertexBased => {
+            sim.launch_reduce_u64(dg.n, assign, persistent, style, kind, |ctx, vi| {
+                let v = vi as u32;
+                let beg = ctx.ld(&dg.row, vi) as usize;
+                let end = ctx.ld(&dg.row, vi + 1) as usize;
+                let lanes = ctx.lane_count();
+                let mut i = beg + ctx.lane();
+                let mut local = 0u64;
+                while i < end {
+                    let u = ctx.ld(&dg.nbr, i);
+                    if u > v {
+                        local += merge_intersect(ctx, dg, v, u);
+                    }
+                    i += lanes;
+                }
+                if local > 0 {
+                    ctx.reduce_add_u64(local);
+                }
+            })
+        }
+        Direction::EdgeBased => {
+            sim.launch_reduce_u64(dg.m, assign, persistent, style, kind, |ctx, e| {
+                let v = ctx.ld(&dg.src, e);
+                let u = ctx.ld(&dg.dst, e);
+                if v >= u {
+                    return;
+                }
+                // lanes stride v's neighbors above u, binary-searching u's
+                let vbeg = ctx.ld(&dg.row, v as usize) as usize;
+                let vend = ctx.ld(&dg.row, v as usize + 1) as usize;
+                let ubeg = ctx.ld(&dg.row, u as usize) as usize;
+                let uend = ctx.ld(&dg.row, u as usize + 1) as usize;
+                let lanes = ctx.lane_count();
+                let mut i = vbeg + ctx.lane();
+                let mut local = 0u64;
+                while i < vend {
+                    let w = ctx.ld(&dg.nbr, i);
+                    if w > u && bsearch(ctx, dg, ubeg, uend, w) {
+                        local += 1;
+                    }
+                    i += lanes;
+                }
+                if local > 0 {
+                    ctx.reduce_add_u64(local);
+                }
+            })
+        }
+    };
+    (count, 1)
+}
+
+/// Sequential sorted-merge intersection of `adj(v)` and `adj(u)` above `u`
+/// (one lane does the whole merge; loads are priced per element).
+fn merge_intersect(ctx: &mut LaneCtx, dg: &DeviceGraph, v: u32, u: u32) -> u64 {
+    let mut i = ctx.ld(&dg.row, v as usize) as usize;
+    let vend = ctx.ld(&dg.row, v as usize + 1) as usize;
+    let mut j = ctx.ld(&dg.row, u as usize) as usize;
+    let uend = ctx.ld(&dg.row, u as usize + 1) as usize;
+    let mut count = 0u64;
+    let mut a = None;
+    let mut b = None;
+    while i < vend && j < uend {
+        let av = *a.get_or_insert_with(|| ctx.ld(&dg.nbr, i));
+        let bv = *b.get_or_insert_with(|| ctx.ld(&dg.nbr, j));
+        match av.cmp(&bv) {
+            std::cmp::Ordering::Less => {
+                i += 1;
+                a = None;
+            }
+            std::cmp::Ordering::Greater => {
+                j += 1;
+                b = None;
+            }
+            std::cmp::Ordering::Equal => {
+                if av > u {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+                a = None;
+                b = None;
+            }
+        }
+    }
+    count
+}
+
+/// Binary search for `target` in the sorted `nbr[beg..end]` range.
+fn bsearch(ctx: &mut LaneCtx, dg: &DeviceGraph, beg: usize, end: usize, target: u32) -> bool {
+    let (mut lo, mut hi) = (beg, end);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let x = ctx.ld(&dg.nbr, mid);
+        match x.cmp(&target) {
+            std::cmp::Ordering::Equal => return true,
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{serial, GraphInput};
+    use indigo_graph::gen::{self, toy};
+    use indigo_gpusim::rtx3090;
+    use indigo_styles::{enumerate, Algorithm, Model};
+
+    #[test]
+    fn all_gpu_tc_variants_match_reference() {
+        let graphs = vec![
+            toy::complete(8),
+            toy::two_triangles(),
+            gen::gnp(50, 0.18, 6),
+            gen::clique_overlap(120, 2.0, 1),
+        ];
+        for g in graphs {
+            let input = GraphInput::new(g);
+            let dg = DeviceGraph::upload(&input);
+            let expect = serial::triangles(&input.csr);
+            for cfg in enumerate::variants(Algorithm::Tc, Model::Cuda) {
+                let mut sim = Sim::new(rtx3090());
+                let (got, _) = run(&cfg, &dg, &mut sim);
+                assert_eq!(got, expect, "{} on {}", cfg.name(), input.name());
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_free() {
+        let input = GraphInput::new(gen::grid2d(6, 6));
+        let dg = DeviceGraph::upload(&input);
+        let cfg = StyleConfig::baseline(Algorithm::Tc, Model::Cuda);
+        let mut sim = Sim::new(rtx3090());
+        assert_eq!(run(&cfg, &dg, &mut sim).0, 0);
+    }
+}

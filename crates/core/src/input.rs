@@ -1,0 +1,71 @@
+//! Prepared program input: one graph in every layout the styles need.
+//!
+//! The paper stores each input twice — CSR for vertex-based codes, COO for
+//! edge-based codes (§4.2) — and the SSSP codes need weights. [`GraphInput`]
+//! prepares all of that once so the measured region of every run contains
+//! only the algorithm itself, as in the paper's methodology.
+
+use indigo_graph::{Coo, Csr};
+
+/// A fully-prepared input graph.
+pub struct GraphInput {
+    /// CSR layout; weighted iff the source graph was (or had synthetic
+    /// weights attached).
+    pub csr: Csr,
+    /// COO layout derived from `csr` (identical edge order).
+    pub coo: Coo,
+}
+
+impl GraphInput {
+    /// Prepares `g`, attaching deterministic synthetic weights when the
+    /// graph has none (the paper runs SSSP on all five inputs).
+    pub fn new(g: Csr) -> Self {
+        let csr = if g.is_weighted() { g } else { g.with_synthetic_weights() };
+        let coo = Coo::from_csr(&csr);
+        GraphInput { csr, coo }
+    }
+
+    /// Input display name.
+    pub fn name(&self) -> &str {
+        self.csr.name()
+    }
+
+    /// Vertex count.
+    pub fn num_nodes(&self) -> usize {
+        self.csr.num_nodes()
+    }
+
+    /// Directed edge count (the paper's throughput denominator).
+    pub fn num_edges(&self) -> usize {
+        self.csr.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_graph::gen::toy;
+
+    #[test]
+    fn attaches_weights_when_missing() {
+        let input = GraphInput::new(toy::path(4));
+        assert!(input.csr.is_weighted());
+        assert!(input.coo.is_weighted());
+    }
+
+    #[test]
+    fn keeps_existing_weights() {
+        let g = toy::weighted_diamond();
+        let w = g.weights().to_vec();
+        let input = GraphInput::new(g);
+        assert_eq!(input.csr.weights(), &w[..]);
+    }
+
+    #[test]
+    fn layouts_agree() {
+        let input = GraphInput::new(toy::complete(5));
+        assert_eq!(input.num_nodes(), 5);
+        assert_eq!(input.num_edges(), 20);
+        assert_eq!(input.coo.num_edges(), input.csr.num_edges());
+    }
+}

@@ -1,0 +1,54 @@
+//! Algorithm outputs.
+
+/// The result value of one program run, by algorithm family.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Output {
+    /// BFS: hop count from the source per vertex (`u32::MAX` = unreachable).
+    Levels(Vec<u32>),
+    /// SSSP: weighted distance from the source (`u32::MAX` = unreachable).
+    Distances(Vec<u32>),
+    /// CC: per-vertex component label (the minimum vertex id in the
+    /// component, which is what min-label propagation converges to).
+    Labels(Vec<u32>),
+    /// MIS: membership flags of the computed independent set.
+    MisSet(Vec<bool>),
+    /// PR: PageRank score per vertex.
+    Ranks(Vec<f32>),
+    /// TC: global triangle count.
+    Triangles(u64),
+}
+
+impl Output {
+    /// Short descriptor for logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Output::Levels(_) => "levels",
+            Output::Distances(_) => "distances",
+            Output::Labels(_) => "labels",
+            Output::MisSet(_) => "mis-set",
+            Output::Ranks(_) => "ranks",
+            Output::Triangles(_) => "triangles",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_distinct() {
+        let outs = [
+            Output::Levels(vec![]),
+            Output::Distances(vec![]),
+            Output::Labels(vec![]),
+            Output::MisSet(vec![]),
+            Output::Ranks(vec![]),
+            Output::Triangles(0),
+        ];
+        let mut kinds: Vec<_> = outs.iter().map(|o| o.kind()).collect();
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), outs.len());
+    }
+}

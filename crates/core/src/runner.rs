@@ -1,0 +1,176 @@
+//! Variant dispatch: one entry point that runs any of the 1098 programs.
+//!
+//! [`run_variant`] takes a fully-specified [`StyleConfig`], a prepared
+//! [`GraphInput`], and a [`Target`], and returns the output plus the run
+//! time: wall-clock for the CPU models (as in the paper) and simulated
+//! device time for the GPU model. Graph preparation/upload is excluded from
+//! timing, matching the paper's kernel-throughput methodology (§4.5).
+
+use crate::cpu::{self, relax::RelaxKind, CpuExec};
+use crate::gpu::{self, DeviceGraph};
+use crate::{GraphInput, Output, SOURCE};
+use indigo_gpusim::{Device, Sim};
+use indigo_styles::{Algorithm, StyleConfig};
+
+/// Where to run a variant.
+pub enum Target {
+    /// One of the simulated GPUs.
+    Gpu(Device),
+    /// A CPU model with the given worker count.
+    Cpu {
+        /// Worker threads for the pool / thread team.
+        threads: usize,
+    },
+}
+
+impl Target {
+    /// CPU target helper.
+    pub fn cpu(threads: usize) -> Target {
+        Target::Cpu { threads }
+    }
+
+    /// GPU target helper.
+    pub fn gpu(device: Device) -> Target {
+        Target::Gpu(device)
+    }
+}
+
+/// The outcome of one program run.
+pub struct RunResult {
+    /// Algorithm output (verify with [`crate::verify::check`]).
+    pub output: Output,
+    /// Measured time: wall-clock (CPU) or simulated seconds (GPU).
+    pub secs: f64,
+    /// Parallel iterations/rounds the variant took to converge.
+    pub iterations: usize,
+}
+
+impl RunResult {
+    /// The paper's §4.5 metric: giga-edges per second.
+    pub fn gigaedges_per_sec(&self, num_edges: usize) -> f64 {
+        if self.secs <= 0.0 {
+            return 0.0;
+        }
+        num_edges as f64 / self.secs / 1e9
+    }
+}
+
+/// Runs `cfg` on `input` at `target`.
+pub fn run_variant(cfg: &StyleConfig, input: &GraphInput, target: &Target) -> RunResult {
+    cfg.check().unwrap_or_else(|e| panic!("invalid variant {}: {e}", cfg.name()));
+    match target {
+        Target::Cpu { threads } => run_cpu(cfg, input, *threads),
+        Target::Gpu(device) => {
+            let dg = DeviceGraph::upload(input);
+            run_gpu(cfg, &dg, *device)
+        }
+    }
+}
+
+/// GPU path against an already-uploaded graph (lets callers amortize the
+/// upload over many variants).
+pub fn run_gpu(cfg: &StyleConfig, dg: &DeviceGraph, device: Device) -> RunResult {
+    assert!(!cfg.model.is_cpu(), "run_gpu needs a CUDA-model variant");
+    let mut sim = Sim::new(device);
+    let (output, iterations) = match cfg.algorithm {
+        Algorithm::Bfs => {
+            let (v, i) = gpu::relax::run(RelaxKind::Bfs, cfg, dg, &mut sim, SOURCE);
+            (Output::Levels(v), i)
+        }
+        Algorithm::Sssp => {
+            let (v, i) = gpu::relax::run(RelaxKind::Sssp, cfg, dg, &mut sim, SOURCE);
+            (Output::Distances(v), i)
+        }
+        Algorithm::Cc => {
+            let (v, i) = gpu::relax::run(RelaxKind::Cc, cfg, dg, &mut sim, SOURCE);
+            (Output::Labels(v), i)
+        }
+        Algorithm::Mis => {
+            let (v, i) = gpu::mis::run(cfg, dg, &mut sim);
+            (Output::MisSet(v), i)
+        }
+        Algorithm::Pr => {
+            let (v, i) = gpu::pr::run(cfg, dg, &mut sim);
+            (Output::Ranks(v), i)
+        }
+        Algorithm::Tc => {
+            let (c, i) = gpu::tc::run(cfg, dg, &mut sim);
+            (Output::Triangles(c), i)
+        }
+    };
+    RunResult { output, secs: sim.elapsed_secs(), iterations }
+}
+
+fn run_cpu(cfg: &StyleConfig, input: &GraphInput, threads: usize) -> RunResult {
+    // pool spawn-up is setup, not kernel time
+    let exec = CpuExec::new(cfg, threads);
+    let start = std::time::Instant::now();
+    let (output, iterations) = match cfg.algorithm {
+        Algorithm::Bfs => {
+            let (v, i) = cpu::relax::run(RelaxKind::Bfs, cfg, input, &exec, SOURCE);
+            (Output::Levels(v), i)
+        }
+        Algorithm::Sssp => {
+            let (v, i) = cpu::relax::run(RelaxKind::Sssp, cfg, input, &exec, SOURCE);
+            (Output::Distances(v), i)
+        }
+        Algorithm::Cc => {
+            let (v, i) = cpu::relax::run(RelaxKind::Cc, cfg, input, &exec, SOURCE);
+            (Output::Labels(v), i)
+        }
+        Algorithm::Mis => {
+            let (v, i) = cpu::mis::run(cfg, input, &exec);
+            (Output::MisSet(v), i)
+        }
+        Algorithm::Pr => {
+            let (v, i) = cpu::pr::run(cfg, input, &exec);
+            (Output::Ranks(v), i)
+        }
+        Algorithm::Tc => {
+            let (c, i) = cpu::tc::run(cfg, input, &exec);
+            (Output::Triangles(c), i)
+        }
+    };
+    RunResult { output, secs: start.elapsed().as_secs_f64(), iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_graph::gen;
+    use indigo_gpusim::rtx3090;
+    use indigo_styles::Model;
+
+    #[test]
+    fn runs_every_algorithm_on_both_target_kinds() {
+        let input = GraphInput::new(gen::gnp(30, 0.15, 2));
+        for algo in Algorithm::ALL {
+            for (model, target) in [
+                (Model::Cpp, Target::cpu(2)),
+                (Model::Cuda, Target::gpu(rtx3090())),
+            ] {
+                let cfg = StyleConfig::baseline(algo, model);
+                let r = run_variant(&cfg, &input, &target);
+                assert!(r.secs > 0.0, "{}", cfg.name());
+                assert!(crate::verify::check(&cfg, &input, &r.output).is_ok(), "{}", cfg.name());
+            }
+        }
+    }
+
+    #[test]
+    fn throughput_metric_sane() {
+        let r = RunResult { output: Output::Triangles(1), secs: 2.0, iterations: 1 };
+        assert_eq!(r.gigaedges_per_sec(4_000_000_000), 2.0);
+        let z = RunResult { output: Output::Triangles(1), secs: 0.0, iterations: 1 };
+        assert_eq!(z.gigaedges_per_sec(100), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "CUDA-model")]
+    fn run_gpu_rejects_cpu_variants() {
+        let input = GraphInput::new(gen::gnp(10, 0.2, 1));
+        let dg = DeviceGraph::upload(&input);
+        let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Omp);
+        run_gpu(&cfg, &dg, rtx3090());
+    }
+}

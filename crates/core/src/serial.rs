@@ -1,0 +1,308 @@
+//! Simple serial reference implementations (paper §4.1).
+//!
+//! Deliberately written in the most obviously-correct way — these are the
+//! oracles every one of the thousand-plus parallel variants is checked
+//! against, so clarity beats speed.
+
+use indigo_graph::{Csr, NodeId, INF};
+use std::collections::VecDeque;
+
+/// Serial BFS: hop levels from `src` (`INF` for unreachable vertices).
+pub fn bfs(g: &Csr, src: NodeId) -> Vec<u32> {
+    let mut level = vec![INF; g.num_nodes()];
+    if g.num_nodes() == 0 {
+        return level;
+    }
+    let mut queue = VecDeque::new();
+    level[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let next = level[v as usize] + 1;
+        for &u in g.neighbors(v) {
+            if level[u as usize] == INF {
+                level[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    level
+}
+
+/// Serial Dijkstra: weighted distances from `src` (`INF` unreachable).
+pub fn sssp(g: &Csr, src: NodeId) -> Vec<u32> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut dist = vec![INF; g.num_nodes()];
+    if g.num_nodes() == 0 {
+        return dist;
+    }
+    let mut heap = BinaryHeap::new();
+    dist[src as usize] = 0;
+    heap.push(Reverse((0u32, src)));
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v as usize] {
+            continue;
+        }
+        let range = g.neighbor_range(v);
+        for (off, &u) in g.neighbors(v).iter().enumerate() {
+            let w = g.weights()[range.start + off];
+            let nd = d + w;
+            if nd < dist[u as usize] {
+                dist[u as usize] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+    dist
+}
+
+/// Serial connected components: labels each vertex with the minimum vertex
+/// id in its component (the fixpoint of min-label propagation).
+pub fn cc(g: &Csr) -> Vec<u32> {
+    let n = g.num_nodes();
+    let mut label = vec![INF; n];
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != INF {
+            continue;
+        }
+        // s is the smallest unvisited id, hence the minimum of its component
+        label[s] = s as u32;
+        stack.push(s as NodeId);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v) {
+                if label[u as usize] == INF {
+                    label[u as usize] = s as u32;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    label
+}
+
+/// Deterministic 32-bit MIS priority hash for vertex `v` (shared by every
+/// model/variant; the GPU codes store these in a device array).
+#[inline]
+pub fn mis_hash(v: NodeId, seed: u64) -> u32 {
+    (indigo_graph::weights::mix64(seed ^ (v as u64 + 1)) >> 32) as u32
+}
+
+/// Total-order MIS priority: the 32-bit hash with the vertex id as a
+/// tie-break. Higher priority wins the greedy selection.
+#[inline]
+pub fn mis_priority(v: NodeId, seed: u64) -> u64 {
+    ((mis_hash(v, seed) as u64) << 32) | v as u64
+}
+
+/// Serial greedy MIS by descending priority — the unique "lexicographically
+/// first by priority" maximal independent set that all parallel variants
+/// converge to.
+pub fn mis(g: &Csr, seed: u64) -> Vec<bool> {
+    let n = g.num_nodes();
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(mis_priority(v, seed)));
+    let mut in_set = vec![false; n];
+    let mut excluded = vec![false; n];
+    for v in order {
+        if !excluded[v as usize] {
+            in_set[v as usize] = true;
+            for &u in g.neighbors(v) {
+                excluded[u as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+/// Serial PageRank (pull, double-buffered) run to the same `(epsilon,
+/// max_iters)` stopping rule as the parallel codes.
+pub fn pagerank(g: &Csr, damping: f32, epsilon: f32, max_iters: usize) -> Vec<f32> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = (1.0 - damping) / n as f32;
+    let mut rank = vec![1.0 / n as f32; n];
+    let mut next = vec![0.0f32; n];
+    for _ in 0..max_iters {
+        let mut delta = 0.0f32;
+        for v in 0..n as NodeId {
+            let mut sum = 0.0f32;
+            for &u in g.neighbors(v) {
+                let du = g.degree(u).max(1) as f32;
+                sum += rank[u as usize] / du;
+            }
+            let nv = base + damping * sum;
+            delta += (nv - rank[v as usize]).abs();
+            next[v as usize] = nv;
+        }
+        std::mem::swap(&mut rank, &mut next);
+        if delta < epsilon {
+            break;
+        }
+    }
+    rank
+}
+
+/// Serial triangle count: for every edge `(v, u)` with `v < u`, counts
+/// common neighbors `w > u` (each triangle counted exactly once).
+pub fn triangles(g: &Csr) -> u64 {
+    let mut count = 0u64;
+    for v in 0..g.num_nodes() as NodeId {
+        for &u in g.neighbors(v) {
+            if u <= v {
+                continue;
+            }
+            count += intersect_above(g.neighbors(v), g.neighbors(u), u);
+        }
+    }
+    count
+}
+
+/// Number of common elements of two sorted lists that are `> floor`.
+pub fn intersect_above(a: &[NodeId], b: &[NodeId], floor: NodeId) -> u64 {
+    let mut i = a.partition_point(|&x| x <= floor);
+    let mut j = b.partition_point(|&x| x <= floor);
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_graph::gen::{self, toy};
+
+    #[test]
+    fn bfs_on_path() {
+        let g = toy::path(5);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = toy::two_triangles();
+        let l = bfs(&g, 0);
+        assert_eq!(&l[..3], &[0, 1, 1]);
+        assert!(l[3..].iter().all(|&x| x == INF));
+    }
+
+    #[test]
+    fn sssp_diamond_shortest_route() {
+        let g = toy::weighted_diamond();
+        let d = sssp(&g, 0);
+        assert_eq!(d, vec![0, 1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn sssp_equals_bfs_on_unit_weights() {
+        let mut g = gen::gnp(60, 0.08, 11);
+        g = {
+            // give every edge weight 1 by building a weighted twin
+            let mut b = indigo_graph::GraphBuilder::new_weighted(g.num_nodes());
+            for (v, u, _) in g.iter_edges() {
+                if v < u {
+                    b.add_weighted_edge(v, u, 1);
+                }
+            }
+            b.build("unit")
+        };
+        assert_eq!(sssp(&g, 0), bfs(&g, 0));
+    }
+
+    #[test]
+    fn cc_two_triangles() {
+        let g = toy::two_triangles();
+        assert_eq!(cc(&g), vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn cc_isolated_vertices_are_own_components() {
+        let g = indigo_graph::Csr::from_raw(vec![0, 0, 0], vec![], vec![], "iso2");
+        assert_eq!(cc(&g), vec![0, 1]);
+    }
+
+    #[test]
+    fn mis_is_independent_and_maximal() {
+        let g = gen::gnp(120, 0.05, 3);
+        let set = mis(&g, crate::MIS_SEED);
+        for v in 0..g.num_nodes() as NodeId {
+            if set[v as usize] {
+                for &u in g.neighbors(v) {
+                    assert!(!set[u as usize], "edge ({v},{u}) inside the set");
+                }
+            } else {
+                assert!(
+                    g.neighbors(v).iter().any(|&u| set[u as usize]),
+                    "vertex {v} could be added: not maximal"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mis_star_center_or_leaves() {
+        let g = toy::star(10);
+        let set = mis(&g, crate::MIS_SEED);
+        let count = set.iter().filter(|&&b| b).count();
+        if set[0] {
+            assert_eq!(count, 1, "center excludes all leaves");
+        } else {
+            assert_eq!(count, 9, "all leaves");
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hubs() {
+        let g = toy::star(20);
+        let r = pagerank(&g, crate::PR_DAMPING, crate::PR_EPSILON, crate::PR_MAX_ITERS);
+        let sum: f32 = r.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        assert!(r[0] > r[1] * 3.0, "hub must dominate: {} vs {}", r[0], r[1]);
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = toy::cycle(8);
+        let r = pagerank(&g, crate::PR_DAMPING, 1e-7, 500);
+        for &x in &r {
+            assert!((x - 0.125).abs() < 1e-4, "{r:?}");
+        }
+    }
+
+    #[test]
+    fn triangles_counts() {
+        assert_eq!(triangles(&toy::complete(4)), 4);
+        assert_eq!(triangles(&toy::complete(5)), 10);
+        assert_eq!(triangles(&toy::two_triangles()), 2);
+        assert_eq!(triangles(&toy::cycle(5)), 0);
+        assert_eq!(triangles(&toy::star(10)), 0);
+    }
+
+    #[test]
+    fn intersect_above_basics() {
+        assert_eq!(intersect_above(&[1, 2, 5, 9], &[2, 5, 7, 9], 2), 2); // 5, 9
+        assert_eq!(intersect_above(&[1, 2], &[3, 4], 0), 0);
+        assert_eq!(intersect_above(&[], &[1], 0), 0);
+    }
+
+    #[test]
+    fn mis_priorities_are_distinct() {
+        let mut ps: Vec<u64> = (0..1000u32).map(|v| mis_priority(v, 1)).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        assert_eq!(ps.len(), 1000);
+    }
+}

@@ -1,0 +1,117 @@
+//! Solution verification against the serial references (paper §4.1).
+
+use crate::{serial, GraphInput, Output};
+use indigo_styles::{Algorithm, StyleConfig};
+
+/// Absolute per-vertex tolerance for PageRank (floating-point accumulation
+/// order differs across styles/models).
+pub const PR_TOLERANCE: f32 = 2e-3;
+
+/// Checks `output` against the serial reference for `cfg.algorithm`.
+/// `Err` carries a description of the first mismatch.
+pub fn check(cfg: &StyleConfig, input: &GraphInput, output: &Output) -> Result<(), String> {
+    match (cfg.algorithm, output) {
+        (Algorithm::Bfs, Output::Levels(got)) => {
+            exact(got, &serial::bfs(&input.csr, crate::SOURCE), "level")
+        }
+        (Algorithm::Sssp, Output::Distances(got)) => {
+            exact(got, &serial::sssp(&input.csr, crate::SOURCE), "distance")
+        }
+        (Algorithm::Cc, Output::Labels(got)) => {
+            exact(got, &serial::cc(&input.csr), "label")
+        }
+        (Algorithm::Mis, Output::MisSet(got)) => {
+            let expect = serial::mis(&input.csr, crate::MIS_SEED);
+            if got == &expect {
+                Ok(())
+            } else {
+                let v = got.iter().zip(&expect).position(|(a, b)| a != b).unwrap();
+                Err(format!("MIS membership differs at vertex {v}"))
+            }
+        }
+        (Algorithm::Pr, Output::Ranks(got)) => {
+            let expect = serial::pagerank(
+                &input.csr,
+                crate::PR_DAMPING,
+                crate::PR_EPSILON,
+                crate::PR_MAX_ITERS,
+            );
+            if got.len() != expect.len() {
+                return Err(format!("rank length {} != {}", got.len(), expect.len()));
+            }
+            for (v, (a, b)) in got.iter().zip(&expect).enumerate() {
+                if (a - b).abs() > PR_TOLERANCE {
+                    return Err(format!("rank of vertex {v}: {a} vs {b}"));
+                }
+            }
+            Ok(())
+        }
+        (Algorithm::Tc, Output::Triangles(got)) => {
+            let expect = serial::triangles(&input.csr);
+            if *got == expect {
+                Ok(())
+            } else {
+                Err(format!("triangle count {got} != {expect}"))
+            }
+        }
+        (algo, out) => Err(format!("output kind {} does not fit {algo:?}", out.kind())),
+    }
+}
+
+fn exact(got: &[u32], expect: &[u32], what: &str) -> Result<(), String> {
+    if got.len() != expect.len() {
+        return Err(format!("{what} length {} != {}", got.len(), expect.len()));
+    }
+    match got.iter().zip(expect).position(|(a, b)| a != b) {
+        None => Ok(()),
+        Some(v) => Err(format!("{what} of vertex {v}: {} vs {}", got[v], expect[v])),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_graph::gen::toy;
+    use indigo_styles::Model;
+
+    #[test]
+    fn accepts_correct_output() {
+        let input = GraphInput::new(toy::path(5));
+        let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+        let good = Output::Levels(serial::bfs(&input.csr, crate::SOURCE));
+        assert!(check(&cfg, &input, &good).is_ok());
+    }
+
+    #[test]
+    fn rejects_wrong_values() {
+        let input = GraphInput::new(toy::path(5));
+        let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+        let mut levels = serial::bfs(&input.csr, crate::SOURCE);
+        levels[3] += 1;
+        let err = check(&cfg, &input, &Output::Levels(levels)).unwrap_err();
+        assert!(err.contains("vertex 3"), "{err}");
+    }
+
+    #[test]
+    fn rejects_mismatched_kind() {
+        let input = GraphInput::new(toy::path(5));
+        let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+        assert!(check(&cfg, &input, &Output::Triangles(0)).is_err());
+    }
+
+    #[test]
+    fn pr_tolerance_accepts_small_drift() {
+        let input = GraphInput::new(toy::cycle(6));
+        let cfg = StyleConfig::baseline(Algorithm::Pr, Model::Cpp);
+        let mut ranks = serial::pagerank(
+            &input.csr,
+            crate::PR_DAMPING,
+            crate::PR_EPSILON,
+            crate::PR_MAX_ITERS,
+        );
+        ranks[0] += PR_TOLERANCE / 2.0;
+        assert!(check(&cfg, &input, &Output::Ranks(ranks.clone())).is_ok());
+        ranks[0] += PR_TOLERANCE * 2.0;
+        assert!(check(&cfg, &input, &Output::Ranks(ranks)).is_err());
+    }
+}

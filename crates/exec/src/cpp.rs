@@ -1,0 +1,147 @@
+//! C++11-threads-analog execution: explicit thread teams with blocked or
+//! cyclic loop distribution (§2.12, Listings 13a/13b).
+//!
+//! The paper's C++ codes create `std::thread`s per parallel kernel and join
+//! them — there is no runtime scheduler, so the *programmer* chooses the
+//! iteration-to-thread mapping. [`CppThreads`] reproduces that: every
+//! [`CppThreads::parallel_for`] spawns a fresh team (scoped threads) and the
+//! [`CppSched`] selects the distribution.
+
+/// Iteration-to-thread mapping for the C++ model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CppSched {
+    /// Contiguous chunk per thread (Listing 13a).
+    Blocked,
+    /// Round-robin: thread `t` takes `t, t + T, t + 2T, …` (Listing 13b).
+    Cyclic,
+}
+
+/// A C++-threads-style execution context (just a thread count; teams are
+/// spawned per kernel, like `std::thread` usage in the paper's codes).
+#[derive(Clone, Copy, Debug)]
+pub struct CppThreads {
+    threads: usize,
+}
+
+impl CppThreads {
+    /// Context with `threads >= 1` threads per kernel.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1);
+        CppThreads { threads }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `body(i, tid)` for every `i` in `0..n`, distributed per `sched`.
+    /// Joins the team before returning.
+    pub fn parallel_for<F>(&self, n: usize, sched: CppSched, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let threads = self.threads.min(n.max(1));
+        let body = &body;
+        std::thread::scope(|scope| {
+            for tid in 0..threads {
+                scope.spawn(move || match sched {
+                    CppSched::Blocked => {
+                        let beg = tid * n / threads;
+                        let end = (tid + 1) * n / threads;
+                        for i in beg..end {
+                            body(i, tid);
+                        }
+                    }
+                    CppSched::Cyclic => {
+                        let mut i = tid;
+                        while i < n {
+                            body(i, tid);
+                            i += threads;
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Spawns the team once with `f(tid)` — for kernels that manage their own
+    /// loop structure (worklist draining).
+    pub fn parallel_region<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        let f = &f;
+        std::thread::scope(|scope| {
+            for tid in 0..self.threads {
+                scope.spawn(move || f(tid));
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn blocked_covers_all() {
+        let cpp = CppThreads::new(4);
+        let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+        cpp.parallel_for(103, CppSched::Blocked, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn cyclic_covers_all() {
+        let cpp = CppThreads::new(4);
+        let hits: Vec<AtomicUsize> = (0..103).map(|_| AtomicUsize::new(0)).collect();
+        cpp.parallel_for(103, CppSched::Cyclic, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn cyclic_assignment_is_round_robin() {
+        let cpp = CppThreads::new(3);
+        let owner: Vec<AtomicUsize> = (0..9).map(|_| AtomicUsize::new(99)).collect();
+        cpp.parallel_for(9, CppSched::Cyclic, |i, tid| {
+            owner[i].store(tid, Ordering::Relaxed);
+        });
+        let owners: Vec<usize> = owner.iter().map(|o| o.load(Ordering::Relaxed)).collect();
+        assert_eq!(owners, vec![0, 1, 2, 0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let cpp = CppThreads::new(16);
+        let count = AtomicUsize::new(0);
+        cpp.parallel_for(3, CppSched::Blocked, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn zero_items_noop() {
+        let cpp = CppThreads::new(2);
+        cpp.parallel_for(0, CppSched::Cyclic, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn region_runs_each_tid() {
+        let cpp = CppThreads::new(6);
+        let mask = AtomicUsize::new(0);
+        cpp.parallel_region(|tid| {
+            mask.fetch_or(1 << tid, Ordering::Relaxed);
+        });
+        assert_eq!(mask.load(Ordering::Relaxed), 0b111111);
+    }
+}

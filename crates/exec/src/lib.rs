@@ -1,0 +1,48 @@
+//! # indigo-exec
+//!
+//! CPU execution substrate for the indigo-rs suite: the two CPU programming
+//! models of the paper (§4.1) built from scratch so every scheduling and
+//! synchronization *style* under study is explicit rather than hidden inside
+//! a runtime.
+//!
+//! * [`omp`] — an OpenMP analog: a persistent worker pool with
+//!   `parallel_for` supporting the default (static) and `schedule(dynamic)`
+//!   policies (§2.11), plus `critical`-section and `atomic` update paths.
+//!   GCC's OpenMP has no atomic min/max, which the paper identifies as the
+//!   reason its OpenMP codes use slow critical sections (§5.3.1); the
+//!   [`sync`] module reproduces that asymmetry.
+//! * [`cpp`] — a C++11-threads analog: explicit thread teams with blocked
+//!   and cyclic loop distribution (§2.12) and fast CAS-loop atomics.
+//! * [`sync`] — atomic cells (including CAS-loop `fetch_min`/`fetch_max` and
+//!   an atomic `f32`), the global critical section, and the style-dispatched
+//!   [`sync::MinOps`] used by the algorithm kernels.
+//! * [`worklist`] — the shared worklists of §2.3, in both the
+//!   duplicates-allowed and no-duplicates (iteration-stamp) flavors.
+//!
+//! Work-stealing runtimes (rayon) are deliberately not used: they would
+//! erase the very scheduling axis the study measures.
+
+pub mod cpp;
+pub mod omp;
+pub mod sync;
+pub mod worklist;
+
+pub use cpp::CppThreads;
+pub use omp::{OmpPool, Schedule};
+
+/// A named thread-count configuration standing in for one of the paper's two
+/// CPU systems (§4.3). The paper used 16 threads on System 1 and 32 on
+/// System 2; profiles scale to the host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SystemProfile {
+    /// Display name, e.g. `"sys1"`.
+    pub name: &'static str,
+    /// Worker-thread count for both CPU models.
+    pub threads: usize,
+}
+
+/// The two evaluation profiles (Threadripper-like and dual-Xeon-like).
+pub const SYSTEM_PROFILES: [SystemProfile; 2] = [
+    SystemProfile { name: "sys1", threads: 4 },
+    SystemProfile { name: "sys2", threads: 8 },
+];

@@ -1,0 +1,301 @@
+//! OpenMP-analog worker pool: `#pragma omp parallel for` with the default
+//! (static) and `schedule(dynamic)` policies of §2.11.
+//!
+//! A fixed team of persistent workers sleeps between parallel regions, like
+//! an OpenMP runtime. [`OmpPool::parallel_for`] has an implicit barrier at
+//! the end of the region, matching OpenMP semantics. Static scheduling gives
+//! each thread one contiguous chunk of iterations; dynamic scheduling hands
+//! out chunks from a shared atomic counter at runtime — the load-balancing /
+//! overhead trade-off the paper measures in Figure 12.
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Loop schedule (§2.11).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Schedule {
+    /// Static blocked chunking — OpenMP's default (Listing 12a).
+    Default,
+    /// Runtime chunk distribution (Listing 12b). OpenMP's default dynamic
+    /// chunk size is 1; [`Schedule::dynamic`] uses that.
+    Dynamic {
+        /// Iterations handed out per grab.
+        chunk: usize,
+    },
+}
+
+impl Schedule {
+    /// `schedule(dynamic)` with the OpenMP default chunk size of 1.
+    pub fn dynamic() -> Schedule {
+        Schedule::Dynamic { chunk: 1 }
+    }
+}
+
+/// Type-erased pointer to the per-worker closure of the active region.
+///
+/// The closure lives on the stack frame of `parallel_for`, which cannot
+/// return before every worker has finished the region (the implicit
+/// barrier), so the pointer never dangles.
+#[derive(Clone, Copy)]
+struct JobPtr(*const (dyn Fn(usize) + Sync));
+
+// Safety: the pointee is `Sync` (workers only get `&` access) and outlives
+// the region per the barrier argument above.
+unsafe impl Send for JobPtr {}
+
+struct State {
+    generation: u64,
+    job: Option<JobPtr>,
+    remaining: usize,
+    shutdown: bool,
+}
+
+struct Control {
+    state: Mutex<State>,
+    start: Condvar,
+    done: Condvar,
+}
+
+/// A persistent OpenMP-style worker team.
+pub struct OmpPool {
+    control: Arc<Control>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl OmpPool {
+    /// Spawns a team of `threads` workers (`threads >= 1`).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "pool needs at least one thread");
+        let control = Arc::new(Control {
+            state: Mutex::new(State {
+                generation: 0,
+                job: None,
+                remaining: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|tid| {
+                let control = Arc::clone(&control);
+                std::thread::Builder::new()
+                    .name(format!("omp-worker-{tid}"))
+                    .spawn(move || worker_loop(tid, &control))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        OmpPool { control, workers, threads }
+    }
+
+    /// Team size.
+    pub fn num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `#pragma omp parallel for schedule(...)` over `0..n`.
+    ///
+    /// `body(i, tid)` is invoked exactly once for every `i` in `0..n`; `tid`
+    /// identifies the executing worker (for privatized `reduction`-clause
+    /// partials). Returns after the implicit barrier.
+    pub fn parallel_for<F>(&self, n: usize, schedule: Schedule, body: F)
+    where
+        F: Fn(usize, usize) + Sync,
+    {
+        if n == 0 {
+            return;
+        }
+        let threads = self.threads;
+        let cursor = AtomicUsize::new(0);
+        let runner = move |tid: usize| match schedule {
+            Schedule::Default => {
+                let (beg, end) = blocked_range(n, tid, threads);
+                for i in beg..end {
+                    body(i, tid);
+                }
+            }
+            Schedule::Dynamic { chunk } => {
+                let chunk = chunk.max(1);
+                loop {
+                    let beg = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if beg >= n {
+                        break;
+                    }
+                    for i in beg..(beg + chunk).min(n) {
+                        body(i, tid);
+                    }
+                }
+            }
+        };
+        self.run_region(&runner);
+    }
+
+    /// Runs `f(tid)` once on every worker (a bare `#pragma omp parallel`).
+    pub fn parallel_region<F>(&self, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_region(&f);
+    }
+
+    fn run_region(&self, f: &(dyn Fn(usize) + Sync)) {
+        // Erase the stack lifetime; see the JobPtr safety argument.
+        let ptr = JobPtr(unsafe {
+            std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
+        });
+        let mut st = self.control.state.lock();
+        st.job = Some(ptr);
+        st.remaining = self.threads;
+        st.generation += 1;
+        self.control.start.notify_all();
+        while st.remaining > 0 {
+            self.control.done.wait(&mut st);
+        }
+        st.job = None;
+    }
+}
+
+fn worker_loop(tid: usize, control: &Control) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job = {
+            let mut st = control.state.lock();
+            while !st.shutdown && st.generation == seen_generation {
+                control.start.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen_generation = st.generation;
+            st.job.expect("generation advanced without a job")
+        };
+        // Safety: pointee valid until we decrement `remaining` below.
+        unsafe { (*job.0)(tid) };
+        let mut st = control.state.lock();
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            control.done.notify_one();
+        }
+    }
+}
+
+impl Drop for OmpPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.control.state.lock();
+            st.shutdown = true;
+            self.control.start.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The contiguous iteration range of thread `tid` under static scheduling —
+/// the `beg`/`end` computation of Listing 13a.
+#[inline]
+pub fn blocked_range(n: usize, tid: usize, threads: usize) -> (usize, usize) {
+    (tid * n / threads, (tid + 1) * n / threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_iteration_static() {
+        let pool = OmpPool::new(4);
+        let hits = (0..100).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+        pool.parallel_for(100, Schedule::Default, |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn covers_every_iteration_dynamic() {
+        let pool = OmpPool::new(4);
+        for chunk in [1, 7, 100, 1000] {
+            let hits = (0..257).map(|_| AtomicUsize::new(0)).collect::<Vec<_>>();
+            pool.parallel_for(257, Schedule::Dynamic { chunk }, |i, _| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "chunk {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_iterations_is_a_noop() {
+        let pool = OmpPool::new(2);
+        pool.parallel_for(0, Schedule::Default, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn tid_is_in_range() {
+        let pool = OmpPool::new(3);
+        pool.parallel_for(50, Schedule::dynamic(), |_, tid| {
+            assert!(tid < 3);
+        });
+    }
+
+    #[test]
+    fn regions_are_reusable_and_barriered() {
+        let pool = OmpPool::new(4);
+        let sum = AtomicU64::new(0);
+        for round in 0..20u64 {
+            pool.parallel_for(64, Schedule::Default, |i, _| {
+                sum.fetch_add(round * i as u64, Ordering::Relaxed);
+            });
+            // barrier: after the call, all 64 adds for this round are visible
+            let expected: u64 = (0..=round).map(|r| r * (0..64).sum::<u64>()).sum();
+            assert_eq!(sum.load(Ordering::Relaxed), expected);
+        }
+    }
+
+    #[test]
+    fn parallel_region_runs_once_per_worker() {
+        let pool = OmpPool::new(5);
+        let count = AtomicUsize::new(0);
+        pool.parallel_region(|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn blocked_range_partitions_exactly() {
+        for n in [0usize, 1, 7, 100, 101] {
+            for threads in [1usize, 2, 3, 8] {
+                let mut total = 0;
+                let mut prev_end = 0;
+                for tid in 0..threads {
+                    let (b, e) = blocked_range(n, tid, threads);
+                    assert_eq!(b, prev_end);
+                    prev_end = e;
+                    total += e - b;
+                }
+                assert_eq!(prev_end, n);
+                assert_eq!(total, n);
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_pool_works() {
+        let pool = OmpPool::new(1);
+        let sum = AtomicU64::new(0);
+        pool.parallel_for(10, Schedule::dynamic(), |i, tid| {
+            assert_eq!(tid, 0);
+            sum.fetch_add(i as u64, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 45);
+    }
+}

@@ -1,0 +1,285 @@
+//! Shared-memory synchronization primitives, dispatched by style.
+//!
+//! The kernels update vertex values in one of two styles (§2.5): read-write
+//! (separate atomic load and store, sound only for monotonic updates) and
+//! read-modify-write (a single fused atomic such as `fetch_min`). On top of
+//! that, the *OpenMP model* has no atomic min/max — GCC's `#pragma omp
+//! atomic` supports only arithmetic updates — so its RMW path must go
+//! through a `critical` section (one global mutex), which the paper calls
+//! out as the source of several of its largest CPU slowdowns (§5.3.1,
+//! §5.10). [`MinOps`] packages those three behaviors behind one call site.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// The single global `#pragma omp critical` lock.
+///
+/// OpenMP's unnamed `critical` construct is one program-wide mutual
+/// exclusion region; modeling it with one global mutex (not striped, not
+/// per-address) is faithful and is what makes the critical styles slow.
+static OMP_CRITICAL: Mutex<()> = Mutex::new(());
+
+/// Runs `f` inside the global critical section.
+#[inline]
+pub fn omp_critical<R>(f: impl FnOnce() -> R) -> R {
+    let _guard = OMP_CRITICAL.lock();
+    f()
+}
+
+/// CAS-loop `fetch_min` (C++ `atomic` style). Returns the previous value.
+#[inline]
+pub fn fetch_min(cell: &AtomicU32, val: u32) -> u32 {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while val < cur {
+        match cell.compare_exchange_weak(cur, val, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(prev) => return prev,
+            Err(now) => cur = now,
+        }
+    }
+    cur
+}
+
+/// CAS-loop `fetch_max`. Returns the previous value.
+#[inline]
+pub fn fetch_max(cell: &AtomicU32, val: u32) -> u32 {
+    let mut cur = cell.load(Ordering::Relaxed);
+    while val > cur {
+        match cell.compare_exchange_weak(cur, val, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(prev) => return prev,
+            Err(now) => cur = now,
+        }
+    }
+    cur
+}
+
+/// An atomic `f32` built on `AtomicU32` bit transmutation — the CPU analog
+/// of CUDA's `atomicAdd(float*)`, needed by the PR codes.
+#[derive(Debug, Default)]
+pub struct AtomicF32 {
+    bits: AtomicU32,
+}
+
+impl AtomicF32 {
+    /// Creates a cell holding `v`.
+    pub fn new(v: f32) -> Self {
+        AtomicF32 { bits: AtomicU32::new(v.to_bits()) }
+    }
+
+    /// Atomic load.
+    #[inline]
+    pub fn load(&self) -> f32 {
+        f32::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    /// Atomic store.
+    #[inline]
+    pub fn store(&self, v: f32) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// CAS-loop `fetch_add`. Returns the previous value.
+    #[inline]
+    pub fn fetch_add(&self, v: f32) -> f32 {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match self
+                .bits
+                .compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(prev) => return f32::from_bits(prev),
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// How a kernel performs its conditional monotonic updates — the §2.5 style
+/// crossed with the model's synchronization capabilities.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MinOps {
+    /// Read-write style (Listing 5a): atomic load, compare, atomic store.
+    /// Sound for monotonic updates; can lose races but the algorithm
+    /// re-converges (§2.5).
+    ReadWrite,
+    /// RMW with a fast hardware CAS loop (C++ model, Listing 5b).
+    RmwAtomic,
+    /// RMW through the global `omp critical` lock (OpenMP model — no atomic
+    /// min/max exists there).
+    RmwCritical,
+}
+
+impl MinOps {
+    /// `dist[idx] = min(dist[idx], val)`; returns `true` if this call
+    /// lowered the stored value (used to populate worklists).
+    #[inline]
+    pub fn min_update(self, cell: &AtomicU32, val: u32) -> bool {
+        match self {
+            MinOps::ReadWrite => {
+                let old = cell.load(Ordering::Relaxed);
+                if val < old {
+                    cell.store(val, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            MinOps::RmwAtomic => fetch_min(cell, val) > val,
+            MinOps::RmwCritical => omp_critical(|| {
+                let old = cell.load(Ordering::Relaxed);
+                if val < old {
+                    cell.store(val, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }),
+        }
+    }
+
+    /// `cell = max(cell, val)`; returns the previous value (Listing 3b uses
+    /// this for the no-duplicates worklist stamp).
+    #[inline]
+    pub fn max_update(self, cell: &AtomicU32, val: u32) -> u32 {
+        match self {
+            MinOps::ReadWrite => {
+                let old = cell.load(Ordering::Relaxed);
+                if val > old {
+                    cell.store(val, Ordering::Relaxed);
+                }
+                old
+            }
+            MinOps::RmwAtomic => fetch_max(cell, val),
+            MinOps::RmwCritical => omp_critical(|| {
+                let old = cell.load(Ordering::Relaxed);
+                if val > old {
+                    cell.store(val, Ordering::Relaxed);
+                }
+                old
+            }),
+        }
+    }
+}
+
+/// Reinterprets a `&mut [u32]` as atomics for the duration of a parallel
+/// phase. Sound: `AtomicU32` has the same layout as `u32`, and the mutable
+/// borrow guarantees exclusivity for the lifetime.
+pub fn as_atomic_u32(data: &mut [u32]) -> &[AtomicU32] {
+    unsafe { &*(data as *mut [u32] as *const [AtomicU32]) }
+}
+
+/// Allocates a fresh atomic array initialized to `init`.
+pub fn atomic_vec(len: usize, init: u32) -> Vec<AtomicU32> {
+    (0..len).map(|_| AtomicU32::new(init)).collect()
+}
+
+/// Snapshots an atomic array into a plain vector (sequential phase only).
+pub fn snapshot(cells: &[AtomicU32]) -> Vec<u32> {
+    cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn fetch_min_lowers_only() {
+        let c = AtomicU32::new(10);
+        assert_eq!(fetch_min(&c, 5), 10);
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+        assert_eq!(fetch_min(&c, 7), 5); // no change
+        assert_eq!(c.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn fetch_max_raises_only() {
+        let c = AtomicU32::new(10);
+        assert_eq!(fetch_max(&c, 20), 10);
+        assert_eq!(c.load(Ordering::Relaxed), 20);
+        assert_eq!(fetch_max(&c, 3), 20);
+        assert_eq!(c.load(Ordering::Relaxed), 20);
+    }
+
+    #[test]
+    fn atomic_f32_add_accumulates() {
+        let c = AtomicF32::new(1.5);
+        assert_eq!(c.fetch_add(2.5), 1.5);
+        assert_eq!(c.load(), 4.0);
+        c.store(0.0);
+        assert_eq!(c.load(), 0.0);
+    }
+
+    #[test]
+    fn atomic_f32_concurrent_sum() {
+        let c = AtomicF32::new(0.0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.fetch_add(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.load(), 4000.0);
+    }
+
+    #[test]
+    fn min_ops_all_styles_agree_on_result() {
+        for ops in [MinOps::ReadWrite, MinOps::RmwAtomic, MinOps::RmwCritical] {
+            let c = AtomicU32::new(100);
+            assert!(ops.min_update(&c, 40), "{ops:?}");
+            assert!(!ops.min_update(&c, 60), "{ops:?}");
+            assert_eq!(c.load(Ordering::Relaxed), 40, "{ops:?}");
+        }
+    }
+
+    #[test]
+    fn min_ops_concurrent_rmw_is_exact() {
+        // RMW styles must never lose the global minimum under contention
+        for ops in [MinOps::RmwAtomic, MinOps::RmwCritical] {
+            let c = AtomicU32::new(u32::MAX);
+            std::thread::scope(|s| {
+                for t in 0..8u32 {
+                    let c = &c;
+                    s.spawn(move || {
+                        for k in 0..500u32 {
+                            ops.min_update(c, 1000 + (t * 500 + k) % 997);
+                        }
+                    });
+                }
+            });
+            assert_eq!(c.load(Ordering::Relaxed), 1000);
+        }
+    }
+
+    #[test]
+    fn as_atomic_round_trip() {
+        let mut data = vec![1u32, 2, 3];
+        {
+            let cells = as_atomic_u32(&mut data);
+            cells[1].store(42, Ordering::Relaxed);
+        }
+        assert_eq!(data, vec![1, 42, 3]);
+    }
+
+    #[test]
+    fn critical_section_is_exclusive() {
+        let counter = AtomicU32::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..250 {
+                        omp_critical(|| {
+                            // non-atomic read-modify-write protected by the lock
+                            let v = counter.load(Ordering::Relaxed);
+                            counter.store(v + 1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+    }
+}

@@ -1,0 +1,244 @@
+//! Shared worklists for the data-driven styles (§2.2, §2.3).
+//!
+//! [`Worklist`] is the paper's Listing 3a: a fixed-capacity array plus an
+//! atomic size counter; `push` is an `atomicAdd` on the counter followed by
+//! a store. [`Stamps`] adds the Listing 3b no-duplicates check: an
+//! iteration-stamp array updated with `atomicMax`, admitting each vertex at
+//! most once per iteration. [`DoubleWorklist`] pairs two lists for the usual
+//! read-current/populate-next iteration structure.
+
+use crate::sync::{fetch_max, omp_critical};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+
+/// A fixed-capacity concurrent push-only list of vertex ids.
+pub struct Worklist {
+    items: Vec<AtomicU32>,
+    len: AtomicUsize,
+}
+
+impl Worklist {
+    /// Allocates a list that can hold up to `capacity` items.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Worklist {
+            items: (0..capacity).map(|_| AtomicU32::new(0)).collect(),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Concurrent push (Listing 3a). Panics if capacity is exceeded — the
+    /// kernels size their lists at the per-iteration push bound, so overflow
+    /// is a bug, not a runtime condition.
+    #[inline]
+    pub fn push(&self, v: u32) {
+        let idx = self.len.fetch_add(1, Ordering::Relaxed);
+        assert!(idx < self.items.len(), "worklist overflow at capacity {}", self.items.len());
+        self.items[idx].store(v, Ordering::Relaxed);
+    }
+
+    /// Concurrent push that reports failure instead of panicking when the
+    /// capacity is exhausted. The duplicates-allowed styles use this: their
+    /// worklists have no tight size bound (§2.3 — capping the size is listed
+    /// as a benefit of the no-duplicates style), so the kernels fall back to
+    /// a full sweep when a push is dropped.
+    #[inline]
+    pub fn try_push(&self, v: u32) -> bool {
+        let idx = self.len.fetch_add(1, Ordering::Relaxed);
+        if idx < self.items.len() {
+            self.items[idx].store(v, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of items currently on the list.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed).min(self.items.len())
+    }
+
+    /// True when the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Item at `idx < len()` (Listing 2b's `worklist[idx]`).
+    #[inline]
+    pub fn get(&self, idx: usize) -> u32 {
+        self.items[idx].load(Ordering::Relaxed)
+    }
+
+    /// Resets the list to empty (sequential phase between iterations).
+    pub fn clear(&self) {
+        self.len.store(0, Ordering::Relaxed);
+    }
+
+    /// Copies the current contents out (for tests and debugging).
+    pub fn to_vec(&self) -> Vec<u32> {
+        (0..self.len()).map(|i| self.get(i)).collect()
+    }
+}
+
+/// Iteration-stamp array implementing the no-duplicates check (Listing 3b).
+pub struct Stamps {
+    cells: Vec<AtomicU32>,
+}
+
+impl Stamps {
+    /// One stamp per vertex, all initially 0 (iterations are numbered
+    /// starting at 1).
+    pub fn new(num_nodes: usize) -> Self {
+        Stamps { cells: (0..num_nodes).map(|_| AtomicU32::new(0)).collect() }
+    }
+
+    /// Returns `true` iff the caller is the first to claim vertex `v` in
+    /// iteration `iter` — `atomicMax(&stat[v], itr) != itr` from Listing 3b.
+    ///
+    /// `critical` selects the OpenMP-model path where the `atomicMax` must
+    /// be a critical section (GCC OpenMP has no atomic max, §5.3.1).
+    #[inline]
+    pub fn try_claim(&self, v: u32, iter: u32, critical: bool) -> bool {
+        let cell = &self.cells[v as usize];
+        let prev = if critical {
+            omp_critical(|| {
+                let old = cell.load(Ordering::Relaxed);
+                if iter > old {
+                    cell.store(iter, Ordering::Relaxed);
+                }
+                old
+            })
+        } else {
+            fetch_max(cell, iter)
+        };
+        prev != iter
+    }
+}
+
+/// A current/next worklist pair with swap, the standard data-driven
+/// iteration structure.
+pub struct DoubleWorklist {
+    lists: [Worklist; 2],
+    current: AtomicUsize,
+}
+
+impl DoubleWorklist {
+    /// Two lists of the given capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        DoubleWorklist {
+            lists: [Worklist::with_capacity(capacity), Worklist::with_capacity(capacity)],
+            current: AtomicUsize::new(0),
+        }
+    }
+
+    /// The list being drained this iteration.
+    pub fn current(&self) -> &Worklist {
+        &self.lists[self.current.load(Ordering::Relaxed)]
+    }
+
+    /// The list being populated for the next iteration.
+    pub fn next(&self) -> &Worklist {
+        &self.lists[1 - self.current.load(Ordering::Relaxed)]
+    }
+
+    /// Makes `next` current and clears the old current (sequential phase
+    /// between iterations only — not safe concurrently with pushes).
+    pub fn swap(&self) {
+        let cur = self.current.load(Ordering::Relaxed);
+        self.current.store(1 - cur, Ordering::Relaxed);
+        self.next().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let wl = Worklist::with_capacity(8);
+        wl.push(5);
+        wl.push(9);
+        assert_eq!(wl.len(), 2);
+        let mut v = wl.to_vec();
+        v.sort_unstable();
+        assert_eq!(v, vec![5, 9]);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_land() {
+        let wl = Worklist::with_capacity(4000);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let wl = &wl;
+                s.spawn(move || {
+                    for k in 0..1000 {
+                        wl.push(t * 1000 + k);
+                    }
+                });
+            }
+        });
+        assert_eq!(wl.len(), 4000);
+        let mut v = wl.to_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..4000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "worklist overflow")]
+    fn overflow_panics() {
+        let wl = Worklist::with_capacity(1);
+        wl.push(1);
+        wl.push(2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let wl = Worklist::with_capacity(4);
+        wl.push(1);
+        wl.clear();
+        assert!(wl.is_empty());
+    }
+
+    #[test]
+    fn stamps_admit_once_per_iteration() {
+        let st = Stamps::new(4);
+        for critical in [false, true] {
+            let iter = if critical { 2 } else { 1 };
+            assert!(st.try_claim(3, iter, critical), "first claim wins");
+            assert!(!st.try_claim(3, iter, critical), "second claim loses");
+            assert!(!st.try_claim(3, iter, critical));
+        }
+        // a later iteration re-admits the vertex
+        assert!(st.try_claim(3, 7, false));
+    }
+
+    #[test]
+    fn stamps_concurrent_single_winner() {
+        let st = Stamps::new(1);
+        let winners = std::sync::atomic::AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let st = &st;
+                let winners = &winners;
+                s.spawn(move || {
+                    if st.try_claim(0, 1, false) {
+                        winners.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn double_worklist_swap_cycle() {
+        let dw = DoubleWorklist::with_capacity(4);
+        dw.current().push(1);
+        dw.next().push(2);
+        assert_eq!(dw.current().to_vec(), vec![1]);
+        dw.swap();
+        assert_eq!(dw.current().to_vec(), vec![2]);
+        assert!(dw.next().is_empty(), "old current must be cleared");
+    }
+}

@@ -1,0 +1,132 @@
+//! Cost-model ablations.
+//!
+//! DESIGN.md §6 calls out the calibrated constants of the GPU model; this
+//! module provides controlled knock-outs so their influence on the
+//! reproduced findings can be measured (the `ablation_cost_model` bench and
+//! EXPERIMENTS.md record the outcomes):
+//!
+//! * [`no_coalescing`] — memory transactions are free, so coalesced and
+//!   scattered patterns tie: kills the §2.12 cyclic-vs-blocked and
+//!   edge-vs-vertex memory effects,
+//! * [`no_atomic_contention`] — atomics cost a flat rate regardless of
+//!   address distribution: kills the reduction-style ordering of Fig 10,
+//! * [`no_latency_hiding`] — an SM runs one warp at a time
+//!   (`warp_parallelism = 1`): inflates every kernel uniformly,
+//! * [`free_launches`] — zero launch/block-scheduling overhead: removes the
+//!   persistent-style trade-off of Fig 8 and flattens small-input runs.
+
+use crate::device::Device;
+
+/// Removes memory-transaction pricing entirely: loads/stores cost only the
+/// issue cycle regardless of how many segments a warp touches, so
+/// coalesced and scattered patterns tie. (The knockout for "does finding X
+/// depend on the coalescing model?")
+pub fn no_coalescing(mut d: Device) -> Device {
+    d.cost.mem_segment = 0.0;
+    d.name = "ablate-no-coalescing";
+    d
+}
+
+/// Atomics cost a flat rate independent of how many distinct addresses the
+/// warp touches.
+pub fn no_atomic_contention(mut d: Device) -> Device {
+    d.cost.atomic_per_addr = 0.0;
+    d.cost.atomic_aggregate = 0.0;
+    d.cost.shared_serial = 0.0;
+    d.cost.atomic_issue *= 8.0; // flat, address-independent
+    d.name = "ablate-no-atomic-contention";
+    d
+}
+
+/// The SM executes one warp at a time — no latency hiding.
+pub fn no_latency_hiding(mut d: Device) -> Device {
+    d.warp_parallelism = 1.0;
+    d.name = "ablate-no-latency-hiding";
+    d
+}
+
+/// Kernel launches and block scheduling are free.
+pub fn free_launches(mut d: Device) -> Device {
+    d.cost.launch = 0.0;
+    d.cost.block_sched = 0.0;
+    d.name = "ablate-free-launches";
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::titan_v;
+    use crate::launch::{Assign, Sim};
+    use crate::GpuBuf;
+
+    /// Under `no_coalescing`, coalesced and scattered loads cost the same —
+    /// the ablation really removes the effect the base model prices.
+    #[test]
+    fn no_coalescing_removes_the_gap() {
+        let run = |dev, stride: usize| {
+            let n = 1 << 20; // large enough that work dominates the launch cost
+            let data = GpuBuf::new(n, 0);
+            let mut s = Sim::new(dev);
+            s.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                ctx.ld(&data, (i * stride) % n);
+            });
+            s.elapsed_cycles()
+        };
+        let base_gap = run(titan_v(), 64) / run(titan_v(), 1);
+        let ablated_gap = run(no_coalescing(titan_v()), 64) / run(no_coalescing(titan_v()), 1);
+        assert!(base_gap > 3.0, "base model must price coalescing: {base_gap}");
+        assert!(ablated_gap < 1.1, "ablation must flatten it: {ablated_gap}");
+    }
+
+    /// Under `no_atomic_contention`, scattered and same-address atomics tie.
+    #[test]
+    fn no_atomic_contention_flattens_addresses() {
+        let run = |dev, same: bool| {
+            let n = 1 << 14;
+            let data = GpuBuf::new(n, 0).with_kind(crate::BufKind::Atomic);
+            let mut s = Sim::new(dev);
+            s.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                ctx.atomic_add(&data, if same { 0 } else { i }, 1);
+            });
+            s.elapsed_cycles()
+        };
+        let ablated = no_atomic_contention(titan_v());
+        let gap = run(ablated, false) / run(ablated, true);
+        assert!((0.9..1.1).contains(&gap), "ablated gap {gap}");
+    }
+
+    /// `no_latency_hiding` slows everything down, monotonically.
+    #[test]
+    fn no_latency_hiding_slows_down() {
+        let run = |dev| {
+            let n = 1 << 16;
+            let data = GpuBuf::new(n, 0);
+            let mut s = Sim::new(dev);
+            s.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                ctx.ld(&data, i);
+            });
+            s.elapsed_cycles()
+        };
+        assert!(run(no_latency_hiding(titan_v())) > run(titan_v()));
+    }
+
+    /// `free_launches` makes a many-launch workload cheaper but leaves a
+    /// single big kernel nearly unchanged.
+    #[test]
+    fn free_launches_amortize_iteration_loops() {
+        let many = |dev| {
+            let data = GpuBuf::new(256, 0);
+            let mut s = Sim::new(dev);
+            for _ in 0..50 {
+                s.launch(256, Assign::ThreadPerItem, false, |ctx, i| {
+                    ctx.ld(&data, i);
+                });
+            }
+            s.elapsed_cycles()
+        };
+        let base = many(titan_v());
+        let free = many(free_launches(titan_v()));
+        assert!(free < base / 3.0, "50 launches must get much cheaper: {free} vs {base}");
+    }
+}

@@ -1,0 +1,225 @@
+//! Instrumented device-memory buffers.
+//!
+//! Kernels may only touch shared state through [`GpuBuf`] (u32) and
+//! [`GpuBufF32`] handles, so the simulator sees every global-memory access.
+//! Each buffer carries a synthetic base address (buffers are given disjoint
+//! 1-TiB-aligned regions) used for 128-byte coalescing analysis, and a
+//! [`BufKind`] declaration deciding how accesses are costed:
+//!
+//! * `Plain` — an ordinary `__global__` array,
+//! * `Atomic` — an array targeted by classic `atomicMin()`-style intrinsics
+//!   (Listing 9a): RMW ops pay atomic costs, plain loads stay cheap,
+//! * `CudaAtomic` — a `cuda::atomic<T>` array with default settings
+//!   (Listing 9b): *every* access, including `load()`/`store()`, pays the
+//!   device's seq_cst/system-scope penalty.
+//!
+//! Functionally all flavors are host atomics, so simulation is exact and
+//! race-free regardless of the declared cost class.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+/// Cost class of a buffer (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BufKind {
+    /// Ordinary global array.
+    Plain,
+    /// Target of classic CUDA atomics.
+    Atomic,
+    /// `cuda::atomic<T>` array with default memory order and scope.
+    CudaAtomic,
+}
+
+static NEXT_BUF_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_base_addr() -> u64 {
+    // 1 TiB per buffer keeps segment spaces disjoint
+    NEXT_BUF_ID.fetch_add(1, Ordering::Relaxed) << 40
+}
+
+/// A `u32` device buffer.
+pub struct GpuBuf {
+    cells: Vec<AtomicU32>,
+    base: u64,
+    kind: BufKind,
+}
+
+impl GpuBuf {
+    /// Allocates `len` words initialized to `init`.
+    pub fn new(len: usize, init: u32) -> Self {
+        GpuBuf {
+            cells: (0..len).map(|_| AtomicU32::new(init)).collect(),
+            base: fresh_base_addr(),
+            kind: BufKind::Plain,
+        }
+    }
+
+    /// Allocates from host data.
+    pub fn from_slice(data: &[u32]) -> Self {
+        GpuBuf {
+            cells: data.iter().map(|&v| AtomicU32::new(v)).collect(),
+            base: fresh_base_addr(),
+            kind: BufKind::Plain,
+        }
+    }
+
+    /// Sets the cost class (builder style).
+    pub fn with_kind(mut self, kind: BufKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Declared cost class.
+    pub fn kind(&self) -> BufKind {
+        self.kind
+    }
+
+    /// Synthetic byte address of element `i` (for coalescing analysis).
+    #[inline]
+    pub(crate) fn addr(&self, i: usize) -> u64 {
+        self.base + (i as u64) * 4
+    }
+
+    /// Raw cell access for the simulator's functional path.
+    #[inline]
+    pub(crate) fn cell(&self, i: usize) -> &AtomicU32 {
+        &self.cells[i]
+    }
+
+    /// Host-side read (no cost accounting) — for setup and verification.
+    pub fn host_read(&self, i: usize) -> u32 {
+        self.cells[i].load(Ordering::Relaxed)
+    }
+
+    /// Host-side write (no cost accounting).
+    pub fn host_write(&self, i: usize, v: u32) {
+        self.cells[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Host-side snapshot of the whole buffer.
+    pub fn to_vec(&self) -> Vec<u32> {
+        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+}
+
+/// An `f32` device buffer (PageRank values). Bit-stored in `AtomicU32`.
+pub struct GpuBufF32 {
+    cells: Vec<AtomicU32>,
+    base: u64,
+    kind: BufKind,
+}
+
+impl GpuBufF32 {
+    /// Allocates `len` floats initialized to `init`.
+    pub fn new(len: usize, init: f32) -> Self {
+        GpuBufF32 {
+            cells: (0..len).map(|_| AtomicU32::new(init.to_bits())).collect(),
+            base: fresh_base_addr(),
+            kind: BufKind::Plain,
+        }
+    }
+
+    /// Sets the cost class (builder style).
+    pub fn with_kind(mut self, kind: BufKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Declared cost class.
+    pub fn kind(&self) -> BufKind {
+        self.kind
+    }
+
+    #[inline]
+    pub(crate) fn addr(&self, i: usize) -> u64 {
+        self.base + (i as u64) * 4
+    }
+
+    #[inline]
+    pub(crate) fn cell(&self, i: usize) -> &AtomicU32 {
+        &self.cells[i]
+    }
+
+    /// Host-side read (no cost accounting).
+    pub fn host_read(&self, i: usize) -> f32 {
+        f32::from_bits(self.cells[i].load(Ordering::Relaxed))
+    }
+
+    /// Host-side write (no cost accounting).
+    pub fn host_write(&self, i: usize, v: f32) {
+        self.cells[i].store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Host-side snapshot.
+    pub fn to_vec(&self) -> Vec<f32> {
+        self.cells
+            .iter()
+            .map(|c| f32::from_bits(c.load(Ordering::Relaxed)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffers_get_disjoint_address_spaces() {
+        let a = GpuBuf::new(16, 0);
+        let b = GpuBuf::new(16, 0);
+        // no element of a shares a 128-byte segment with any element of b
+        assert_ne!(a.addr(15) >> 7, b.addr(0) >> 7);
+        assert_ne!(a.base >> 40, b.base >> 40);
+    }
+
+    #[test]
+    fn consecutive_elements_share_segments() {
+        let a = GpuBuf::new(64, 0);
+        // 32 consecutive u32s span 128 bytes = 1 segment
+        assert_eq!(a.addr(0) >> 7, a.addr(31) >> 7);
+        assert_ne!(a.addr(0) >> 7, a.addr(32) >> 7);
+    }
+
+    #[test]
+    fn host_round_trip() {
+        let a = GpuBuf::from_slice(&[1, 2, 3]);
+        a.host_write(1, 42);
+        assert_eq!(a.to_vec(), vec![1, 42, 3]);
+        assert_eq!(a.host_read(2), 3);
+    }
+
+    #[test]
+    fn f32_round_trip() {
+        let a = GpuBufF32::new(4, 0.25);
+        assert_eq!(a.host_read(3), 0.25);
+        a.host_write(0, -1.5);
+        assert_eq!(a.to_vec(), vec![-1.5, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn kinds_are_settable() {
+        let a = GpuBuf::new(1, 0).with_kind(BufKind::CudaAtomic);
+        assert_eq!(a.kind(), BufKind::CudaAtomic);
+        let f = GpuBufF32::new(1, 0.0).with_kind(BufKind::Atomic);
+        assert_eq!(f.kind(), BufKind::Atomic);
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-warp lockstep cost accounting.
+//!
+//! A warp executes its lanes in lockstep: the k-th shared-memory-visible
+//! access of every lane happens in the same machine step. [`StepTable`]
+//! aggregates the accesses of one warp "round" by step ordinal, then
+//! [`StepTable::finalize`] prices each step:
+//!
+//! * loads/stores coalesce into distinct 128-byte segments,
+//! * global atomics pay per distinct address plus a cheap aggregation cost
+//!   for same-address lanes,
+//! * `cuda::atomic` steps are multiplied by the device penalty,
+//! * shared-memory atomics serialize by same-address multiplicity.
+//!
+//! Divergence falls out naturally: a lane that runs more steps than its
+//! warp-mates still creates (and prices) those extra steps.
+
+use crate::device::CostModel;
+
+/// What kind of machine step an ordinal slot holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessClass {
+    /// Plain global load or store (coalescable).
+    Mem,
+    /// Classic global atomic RMW (`atomicMin` etc.).
+    AtomicRmw,
+    /// `cuda::atomic` load/store with default settings.
+    CudaLdSt,
+    /// `cuda::atomic` RMW with default settings.
+    CudaAtomicRmw,
+    /// Shared-memory (block-scope) atomic.
+    SharedAtomic,
+}
+
+const MAX_LANES: usize = 32;
+
+/// One lockstep step: the set of addresses its lanes touch.
+#[derive(Clone)]
+struct Step {
+    class: AccessClass,
+    /// Distinct keys (segment ids for `Mem`/`CudaLdSt`, full addresses for
+    /// atomics) with per-key lane counts.
+    keys: [u64; MAX_LANES],
+    counts: [u16; MAX_LANES],
+    distinct: usize,
+    total: usize,
+}
+
+impl Step {
+    fn new(class: AccessClass) -> Self {
+        Step { class, keys: [0; MAX_LANES], counts: [0; MAX_LANES], distinct: 0, total: 0 }
+    }
+
+    fn reset(&mut self, class: AccessClass) {
+        self.class = class;
+        self.distinct = 0;
+        self.total = 0;
+    }
+
+    fn record(&mut self, key: u64) {
+        self.total += 1;
+        for k in 0..self.distinct {
+            if self.keys[k] == key {
+                self.counts[k] += 1;
+                return;
+            }
+        }
+        debug_assert!(self.distinct < MAX_LANES, "more lanes than WARP_SIZE in one step");
+        self.keys[self.distinct] = key;
+        self.counts[self.distinct] = 1;
+        self.distinct += 1;
+    }
+}
+
+/// Aggregates one warp round and prices it.
+pub struct StepTable {
+    steps: Vec<Step>,
+    used: usize,
+}
+
+impl Default for StepTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StepTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        StepTable { steps: Vec::new(), used: 0 }
+    }
+
+    /// Clears for the next warp round (keeps capacity).
+    pub fn clear(&mut self) {
+        self.used = 0;
+    }
+
+    /// Records one access: lane-local step `ordinal`, class, and address
+    /// (byte address; segmentation for coalescable classes happens here).
+    ///
+    /// If lanes disagree on the class at an ordinal (divergent code paths),
+    /// the step is split implicitly: the later class opens a fresh step at
+    /// the end. This is rare in the structured kernels and errs on the
+    /// expensive side, like real divergence.
+    #[inline]
+    pub fn record(&mut self, ordinal: usize, class: AccessClass, addr: u64) {
+        let key = match class {
+            AccessClass::Mem | AccessClass::CudaLdSt => addr >> 7, // 128 B segment
+            _ => addr,
+        };
+        if ordinal < self.used {
+            let step = &mut self.steps[ordinal];
+            if step.class == class {
+                step.record(key);
+                return;
+            }
+            // class mismatch: append a divergence step at the end
+            let idx = self.used;
+            self.ensure(idx + 1, class);
+            self.steps[idx].record(key);
+            return;
+        }
+        self.ensure(ordinal + 1, class);
+        self.steps[ordinal].record(key);
+    }
+
+    fn ensure(&mut self, upto: usize, class: AccessClass) {
+        while self.steps.len() < upto {
+            self.steps.push(Step::new(class));
+        }
+        for i in self.used..upto {
+            self.steps[i].reset(class);
+        }
+        self.used = self.used.max(upto);
+    }
+
+    /// Number of lockstep steps recorded this round.
+    pub fn steps_used(&self) -> usize {
+        self.used
+    }
+
+    /// Prices the round and returns warp cycles.
+    pub fn finalize(&self, c: &CostModel) -> f64 {
+        let mut cycles = 0.0;
+        for step in &self.steps[..self.used] {
+            if step.total == 0 {
+                continue;
+            }
+            cycles += match step.class {
+                AccessClass::Mem => c.issue + step.distinct as f64 * c.mem_segment,
+                AccessClass::CudaLdSt => {
+                    (c.issue + step.distinct as f64 * c.mem_segment) * c.cuda_ldst_mult
+                }
+                AccessClass::AtomicRmw => {
+                    c.atomic_issue
+                        + step.distinct as f64 * c.atomic_per_addr
+                        + (step.total - step.distinct) as f64 * c.atomic_aggregate
+                }
+                AccessClass::CudaAtomicRmw => {
+                    (c.atomic_issue
+                        + step.distinct as f64 * c.atomic_per_addr
+                        + (step.total - step.distinct) as f64 * c.atomic_aggregate)
+                        * c.cuda_atomic_mult
+                }
+                AccessClass::SharedAtomic => {
+                    let max_mult =
+                        step.counts[..step.distinct].iter().copied().max().unwrap_or(0);
+                    c.issue + max_mult as f64 * c.shared_serial
+                }
+            };
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::titan_v;
+
+    fn costs() -> CostModel {
+        titan_v().cost
+    }
+
+    #[test]
+    fn coalesced_load_is_one_segment() {
+        let mut t = StepTable::new();
+        for lane in 0..32u64 {
+            t.record(0, AccessClass::Mem, lane * 4); // consecutive u32s
+        }
+        let c = costs();
+        assert_eq!(t.finalize(&c), c.issue + c.mem_segment);
+    }
+
+    #[test]
+    fn scattered_load_pays_per_segment() {
+        let mut t = StepTable::new();
+        for lane in 0..32u64 {
+            t.record(0, AccessClass::Mem, lane * 4096); // all different segments
+        }
+        let c = costs();
+        assert_eq!(t.finalize(&c), c.issue + 32.0 * c.mem_segment);
+    }
+
+    #[test]
+    fn same_address_atomics_aggregate() {
+        let c = costs();
+        let mut same = StepTable::new();
+        let mut scattered = StepTable::new();
+        for lane in 0..32u64 {
+            same.record(0, AccessClass::AtomicRmw, 0);
+            scattered.record(0, AccessClass::AtomicRmw, lane * 4096);
+        }
+        assert!(same.finalize(&c) < scattered.finalize(&c));
+        assert_eq!(
+            same.finalize(&c),
+            c.atomic_issue + c.atomic_per_addr + 31.0 * c.atomic_aggregate
+        );
+    }
+
+    #[test]
+    fn cuda_atomic_multiplier_applies() {
+        let c = costs();
+        let mut classic = StepTable::new();
+        let mut cuda = StepTable::new();
+        classic.record(0, AccessClass::AtomicRmw, 128);
+        cuda.record(0, AccessClass::CudaAtomicRmw, 128);
+        let ratio = cuda.finalize(&c) / classic.finalize(&c);
+        assert!((ratio - c.cuda_atomic_mult).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shared_atomic_serializes_by_multiplicity() {
+        let c = costs();
+        let mut same = StepTable::new();
+        let mut spread = StepTable::new();
+        for lane in 0..32u64 {
+            same.record(0, AccessClass::SharedAtomic, 0);
+            spread.record(0, AccessClass::SharedAtomic, lane * 8);
+        }
+        assert_eq!(same.finalize(&c), c.issue + 32.0 * c.shared_serial);
+        assert_eq!(spread.finalize(&c), c.issue + c.shared_serial);
+    }
+
+    #[test]
+    fn divergent_lane_extends_the_round() {
+        let c = costs();
+        let mut t = StepTable::new();
+        // lane 0 performs 10 steps, the others 1
+        for step in 0..10u64 {
+            t.record(step as usize, AccessClass::Mem, step * 4096);
+        }
+        for lane in 1..32u64 {
+            t.record(0, AccessClass::Mem, lane * 4);
+        }
+        assert_eq!(t.steps_used(), 10);
+        assert!(t.finalize(&c) >= 10.0 * c.issue);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_capacity() {
+        let mut t = StepTable::new();
+        t.record(0, AccessClass::Mem, 0);
+        t.clear();
+        assert_eq!(t.steps_used(), 0);
+        assert_eq!(t.finalize(&costs()), 0.0);
+    }
+
+    #[test]
+    fn class_mismatch_splits_step() {
+        let mut t = StepTable::new();
+        t.record(0, AccessClass::Mem, 0);
+        t.record(0, AccessClass::AtomicRmw, 64); // different class, same ordinal
+        assert_eq!(t.steps_used(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Device descriptors and the cycle cost model.
+//!
+//! Two presets mirror the paper's GPUs (§4.3). The constants are *model*
+//! parameters, not datasheet values: they are calibrated so that the
+//! first-order style ratios published in §5 come out in the right regime
+//! (e.g. Fig 1's Atomic/CudaAtomic medians of ≈10× on the RTX 3090 and
+//! ≈100× on the TITAN V). Calibration tests live in `launch.rs` and in the
+//! harness integration suite.
+
+/// Cycle costs of the simulated machine events.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostModel {
+    /// Instruction-issue cost charged for every warp lockstep step.
+    pub issue: f64,
+    /// Cost per distinct 128-byte global-memory segment in a warp step
+    /// (amortized latency/bandwidth of one transaction).
+    pub mem_segment: f64,
+    /// Fixed cost of a global atomic warp step.
+    pub atomic_issue: f64,
+    /// Additional cost per *distinct address* a global atomic step touches
+    /// (scattered atomics serialize per address at the L2 banks).
+    pub atomic_per_addr: f64,
+    /// Cost per extra lane hitting an *already counted* address in a global
+    /// atomic step — cheap, modeling the hardware's same-address
+    /// aggregation of atomic adds.
+    pub atomic_aggregate: f64,
+    /// Cost per lane for a shared-memory (block-scope) atomic hitting the
+    /// same address — shared atomics serialize without aggregation.
+    pub shared_serial: f64,
+    /// Cost of one `__syncthreads()` block barrier.
+    pub barrier: f64,
+    /// Warp-shuffle step cost (×log2(32) for a full warp reduction).
+    pub shuffle_step: f64,
+    /// Fixed kernel-launch overhead, in cycles.
+    pub launch: f64,
+    /// Per-block scheduling overhead (what persistent threads amortize).
+    pub block_sched: f64,
+    /// Multiplier applied to *atomic RMW* steps on `cuda::atomic` arrays
+    /// with default (seq_cst, system scope) settings.
+    pub cuda_atomic_mult: f64,
+    /// Multiplier applied to plain `load()`/`store()` on `cuda::atomic`
+    /// arrays — these are seq_cst too, which §5.1 identifies as the reason
+    /// CC/MIS/BFS/SSSP suffer far more than TC.
+    pub cuda_ldst_mult: f64,
+}
+
+/// A simulated GPU.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Device {
+    /// Display name.
+    pub name: &'static str,
+    /// Streaming-multiprocessor count.
+    pub sm_count: usize,
+    /// Core clock in GHz (cycles → seconds conversion).
+    pub clock_ghz: f64,
+    /// Threads per block used by all launches (the paper's codes use a
+    /// fixed block size; 256 is the suite default).
+    pub block_dim: usize,
+    /// Blocks an SM keeps resident in the persistent style.
+    pub resident_blocks_per_sm: usize,
+    /// How many warps' cycles an SM can overlap (latency hiding): an SM's
+    /// time is `max(total_warp_cycles / warp_parallelism, longest_warp)`.
+    pub warp_parallelism: f64,
+    /// Event costs.
+    pub cost: CostModel,
+}
+
+impl Device {
+    /// Simulated seconds for a cycle count.
+    #[inline]
+    pub fn cycles_to_secs(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9)
+    }
+}
+
+/// TITAN V–like preset (Volta: older atomics path, dramatic default
+/// `cuda::atomic` penalty — Fig 1b shows median ratios around 100).
+pub fn titan_v() -> Device {
+    Device {
+        name: "TitanV-sim",
+        sm_count: 80,
+        clock_ghz: 1.2,
+        block_dim: 256,
+        resident_blocks_per_sm: 8,
+        warp_parallelism: 8.0,
+        cost: CostModel {
+            issue: 1.0,
+            mem_segment: 8.0,
+            atomic_issue: 6.0,
+            atomic_per_addr: 12.0,
+            atomic_aggregate: 2.0,
+            shared_serial: 4.0,
+            barrier: 24.0,
+            shuffle_step: 2.0,
+            launch: 1200.0,
+            block_sched: 60.0,
+            cuda_atomic_mult: 300.0,
+            cuda_ldst_mult: 350.0,
+        },
+    }
+}
+
+/// RTX 3090–like preset (Ampere: faster seq_cst path — Fig 1a shows median
+/// ratios around 10).
+pub fn rtx3090() -> Device {
+    Device {
+        name: "RTX3090-sim",
+        sm_count: 82,
+        clock_ghz: 1.74,
+        block_dim: 256,
+        resident_blocks_per_sm: 8,
+        warp_parallelism: 8.0,
+        cost: CostModel {
+            issue: 1.0,
+            mem_segment: 7.0,
+            atomic_issue: 5.0,
+            atomic_per_addr: 10.0,
+            atomic_aggregate: 2.0,
+            shared_serial: 4.0,
+            barrier: 20.0,
+            shuffle_step: 2.0,
+            launch: 1000.0,
+            block_sched: 50.0,
+            cuda_atomic_mult: 28.0,
+            cuda_ldst_mult: 32.0,
+        },
+    }
+}
+
+/// Both simulated GPUs, System 1 (TITAN V) first as in §4.3.
+pub fn gpus() -> [Device; 2] {
+    [titan_v(), rtx3090()]
+}
+
+/// Names of the two presets, for report headers.
+pub const GPUS: [&str; 2] = ["TitanV-sim", "RTX3090-sim"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_the_paper_says() {
+        let tv = titan_v();
+        let rtx = rtx3090();
+        // the Fig 1 asymmetry: TitanV's default cuda::atomic penalty is an
+        // order of magnitude worse than the RTX 3090's
+        assert!(tv.cost.cuda_atomic_mult > 5.0 * rtx.cost.cuda_atomic_mult);
+        assert!(tv.cost.cuda_ldst_mult > 5.0 * rtx.cost.cuda_ldst_mult);
+        // newer card clocks higher
+        assert!(rtx.clock_ghz > tv.clock_ghz);
+    }
+
+    #[test]
+    fn cycle_conversion() {
+        let d = titan_v();
+        let s = d.cycles_to_secs(1.2e9);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn block_dim_is_warp_multiple() {
+        for d in gpus() {
+            assert_eq!(d.block_dim % crate::WARP_SIZE, 0);
+        }
+    }
+}

@@ -1,0 +1,932 @@
+//! Kernel launches: grid/block/warp/lane structure, granularity assignment,
+//! persistent threads, reductions, and SM scheduling.
+//!
+//! Kernels are lane closures `Fn(&mut LaneCtx, item)` invoked once per
+//! (lane, item) pair; [`Assign`] decides how many lanes cooperate on one
+//! item (§2.8's thread/warp/block granularity) and the `persistent` flag
+//! selects the grid-stride style of §2.7. All shared-memory traffic flows
+//! through the [`LaneCtx`] so every access is both executed (host atomics —
+//! results are exact) and priced (the [`crate::cost::StepTable`]).
+//!
+//! Cooperative kernels (pull-style PageRank, warp/block triangle counting)
+//! additionally need a *group-local* sum across the lanes of one item —
+//! CUDA code does this with warp shuffles and shared memory. The simulator
+//! provides it as the lane *scratch* ([`LaneCtx::scratch_add_f32`]) plus an
+//! `epilogue` closure that [`Sim::launch_coop`] runs once per item after its
+//! lanes finish, with the group total visible; the shuffle/barrier cycles
+//! are charged at that boundary.
+
+use crate::buffer::{BufKind, GpuBuf, GpuBufF32};
+use crate::cost::{AccessClass, StepTable};
+use crate::device::Device;
+use crate::WARP_SIZE;
+use std::sync::atomic::Ordering;
+
+/// How many lanes process one work item (§2.8).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Assign {
+    /// One thread per item (Listing 8a).
+    ThreadPerItem,
+    /// One warp (32 lanes) per item (Listing 8b).
+    WarpPerItem,
+    /// One block per item (Listing 8c).
+    BlockPerItem,
+}
+
+/// Sum-reduction style (§2.10.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceStyle {
+    /// Every contribution is a global atomic add (Listing 10a).
+    GlobalAdd,
+    /// Shared-memory block accumulator, one global add per block
+    /// (Listing 10b).
+    BlockAdd,
+    /// Warp-shuffle + block reduction, one global add per block
+    /// (Listing 10c).
+    ReductionAdd,
+}
+
+/// Per-lane execution context: the only door to simulated global memory.
+pub struct LaneCtx<'a> {
+    table: &'a mut StepTable,
+    ordinal: usize,
+    lane: usize,
+    lane_count: usize,
+    red_u64: u64,
+    red_f32: f32,
+    red_calls: usize,
+    reduce: Option<(ReduceStyle, BufKind)>,
+    scratch_u64: u64,
+    scratch_f32: f32,
+    /// Group totals, populated only for epilogue contexts.
+    group_u64: u64,
+    group_f32: f32,
+}
+
+impl<'a> LaneCtx<'a> {
+    /// This lane's index within its item group (`0..lane_count`).
+    #[inline]
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Lanes cooperating on the current item (1, 32, or `block_dim`).
+    #[inline]
+    pub fn lane_count(&self) -> usize {
+        self.lane_count
+    }
+
+    fn ld_class(kind: BufKind) -> AccessClass {
+        match kind {
+            BufKind::Plain | BufKind::Atomic => AccessClass::Mem,
+            BufKind::CudaAtomic => AccessClass::CudaLdSt,
+        }
+    }
+
+    fn rmw_class(kind: BufKind) -> AccessClass {
+        match kind {
+            BufKind::Plain | BufKind::Atomic => AccessClass::AtomicRmw,
+            BufKind::CudaAtomic => AccessClass::CudaAtomicRmw,
+        }
+    }
+
+    #[inline]
+    fn step(&mut self, class: AccessClass, addr: u64) {
+        self.table.record(self.ordinal, class, addr);
+        self.ordinal += 1;
+    }
+
+    /// Global load.
+    #[inline]
+    pub fn ld(&mut self, buf: &GpuBuf, i: usize) -> u32 {
+        self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        buf.cell(i).load(Ordering::Relaxed)
+    }
+
+    /// Global store.
+    #[inline]
+    pub fn st(&mut self, buf: &GpuBuf, i: usize, v: u32) {
+        self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        buf.cell(i).store(v, Ordering::Relaxed);
+    }
+
+    /// `atomicMin` (Listing 5b / 9). Returns the previous value.
+    #[inline]
+    pub fn atomic_min(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
+        self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        buf.cell(i).fetch_min(v, Ordering::Relaxed)
+    }
+
+    /// `atomicMax` (Listing 3b). Returns the previous value.
+    #[inline]
+    pub fn atomic_max(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
+        self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        buf.cell(i).fetch_max(v, Ordering::Relaxed)
+    }
+
+    /// `atomicAdd` (Listing 3a's worklist push). Returns the previous value.
+    #[inline]
+    pub fn atomic_add(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
+        self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        buf.cell(i).fetch_add(v, Ordering::Relaxed)
+    }
+
+    /// `atomicCAS`. Returns the previous value.
+    #[inline]
+    pub fn atomic_cas(&mut self, buf: &GpuBuf, i: usize, cur: u32, new: u32) -> u32 {
+        self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        match buf.cell(i).compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(prev) | Err(prev) => prev,
+        }
+    }
+
+    /// `f32` global load.
+    #[inline]
+    pub fn ld_f32(&mut self, buf: &GpuBufF32, i: usize) -> f32 {
+        self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        f32::from_bits(buf.cell(i).load(Ordering::Relaxed))
+    }
+
+    /// `f32` global store.
+    #[inline]
+    pub fn st_f32(&mut self, buf: &GpuBufF32, i: usize, v: f32) {
+        self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        buf.cell(i).store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// `atomicAdd(float*)`. Returns the previous value.
+    #[inline]
+    pub fn atomic_add_f32(&mut self, buf: &GpuBufF32, i: usize, v: f32) -> f32 {
+        self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        let cell = buf.cell(i);
+        let mut cur = cell.load(Ordering::Relaxed);
+        loop {
+            let new = (f32::from_bits(cur) + v).to_bits();
+            match cell.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(prev) => return f32::from_bits(prev),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Contributes to the launch-wide `u64` sum reduction; cost depends on
+    /// the launch's [`ReduceStyle`].
+    #[inline]
+    pub fn reduce_add_u64(&mut self, v: u64) {
+        self.record_reduce_call();
+        self.red_u64 += v;
+    }
+
+    /// Contributes to the launch-wide `f32` sum reduction.
+    #[inline]
+    pub fn reduce_add_f32(&mut self, v: f32) {
+        self.record_reduce_call();
+        self.red_f32 += v;
+    }
+
+    /// Adds to the *item-group* scratch sum (register/shuffle cooperation;
+    /// free per call, priced once at the group boundary).
+    #[inline]
+    pub fn scratch_add_u64(&mut self, v: u64) {
+        self.scratch_u64 += v;
+    }
+
+    /// `f32` group scratch add.
+    #[inline]
+    pub fn scratch_add_f32(&mut self, v: f32) {
+        self.scratch_f32 += v;
+    }
+
+    /// The group scratch total — valid only inside an epilogue closure.
+    #[inline]
+    pub fn group_u64(&self) -> u64 {
+        self.group_u64
+    }
+
+    /// The `f32` group scratch total — valid only inside an epilogue.
+    #[inline]
+    pub fn group_f32(&self) -> f32 {
+        self.group_f32
+    }
+
+    fn record_reduce_call(&mut self) {
+        self.red_calls += 1;
+        match self.reduce {
+            Some((ReduceStyle::GlobalAdd, kind)) => {
+                // every lane's contribution is a global atomic on one shared
+                // counter address
+                self.step(Self::rmw_class(kind), GLOBAL_CTR_ADDR);
+            }
+            Some((ReduceStyle::BlockAdd, _)) => {
+                // shared-memory atomic on the block-local counter
+                self.step(AccessClass::SharedAtomic, SHARED_CTR_ADDR);
+            }
+            Some((ReduceStyle::ReductionAdd, _)) | None => {
+                // register accumulation; priced at warp/block boundaries
+            }
+        }
+    }
+}
+
+/// Synthetic address of the global reduction counter.
+const GLOBAL_CTR_ADDR: u64 = 0x7fff_0000_0000;
+/// Synthetic shared-memory address of the per-block counter.
+const SHARED_CTR_ADDR: u64 = 0x7ffe_0000_0000;
+
+/// A simulated GPU with an accumulating cycle clock.
+///
+/// One `Sim` spans one algorithm run: every launch adds its simulated
+/// cycles; [`Sim::elapsed_secs`] converts to seconds at the device clock.
+pub struct Sim {
+    device: Device,
+    cycles: f64,
+    launches: usize,
+}
+
+type Kernel<'k> = dyn Fn(&mut LaneCtx, usize) + 'k;
+
+impl Sim {
+    /// New simulator clocked at zero.
+    pub fn new(device: Device) -> Self {
+        Sim { device, cycles: 0.0, launches: 0 }
+    }
+
+    /// The device being simulated.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// Total simulated cycles so far.
+    pub fn elapsed_cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Total simulated seconds so far.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.device.cycles_to_secs(self.cycles)
+    }
+
+    /// Number of kernel launches so far.
+    pub fn launches(&self) -> usize {
+        self.launches
+    }
+
+    /// Resets the clock (e.g. to exclude initialization from timing).
+    pub fn reset_clock(&mut self) {
+        self.cycles = 0.0;
+        self.launches = 0;
+    }
+
+    /// Launches a kernel over `items` work items.
+    pub fn launch<F>(&mut self, items: usize, assign: Assign, persistent: bool, kernel: F)
+    where
+        F: Fn(&mut LaneCtx, usize),
+    {
+        self.run(items, assign, persistent, None, &kernel, None);
+    }
+
+    /// Launches a kernel carrying a `u64` sum reduction of the given style;
+    /// returns the reduced total. `kind` is the atomic flavor of the global
+    /// counter (classic vs `cuda::atomic`, §5.1's TC case).
+    pub fn launch_reduce_u64<F>(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        style: ReduceStyle,
+        kind: BufKind,
+        kernel: F,
+    ) -> u64
+    where
+        F: Fn(&mut LaneCtx, usize),
+    {
+        self.run(items, assign, persistent, Some((style, kind)), &kernel, None).0
+    }
+
+    /// Launches a kernel carrying an `f32` sum reduction; returns the total.
+    pub fn launch_reduce_f32<F>(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        style: ReduceStyle,
+        kind: BufKind,
+        kernel: F,
+    ) -> f32
+    where
+        F: Fn(&mut LaneCtx, usize),
+    {
+        self.run(items, assign, persistent, Some((style, kind)), &kernel, None).1
+    }
+
+    /// Cooperative launch: after an item's lanes finish, `epilogue` runs
+    /// once for that item with the lanes' scratch totals visible
+    /// ([`LaneCtx::group_f32`]); shuffle/barrier cycles for the group
+    /// reduction are charged at that boundary. Returns the launch-wide
+    /// reduction totals (0 when `reduce` is `None`).
+    pub fn launch_coop<F, E>(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        reduce: Option<(ReduceStyle, BufKind)>,
+        kernel: F,
+        epilogue: E,
+    ) -> (u64, f32)
+    where
+        F: Fn(&mut LaneCtx, usize),
+        E: Fn(&mut LaneCtx, usize),
+    {
+        self.run(items, assign, persistent, reduce, &kernel, Some(&epilogue))
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn run(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        reduce: Option<(ReduceStyle, BufKind)>,
+        kernel: &Kernel<'_>,
+        epilogue: Option<&Kernel<'_>>,
+    ) -> (u64, f32) {
+        let d = self.device;
+        let c = d.cost;
+        let block_dim = d.block_dim;
+        let warps_per_block = block_dim / WARP_SIZE;
+        let lanes_per_item = match assign {
+            Assign::ThreadPerItem => 1,
+            Assign::WarpPerItem => WARP_SIZE,
+            Assign::BlockPerItem => block_dim,
+        };
+        let items_per_block = block_dim / lanes_per_item;
+        let grid_blocks = if persistent {
+            (d.sm_count * d.resident_blocks_per_sm).max(1)
+        } else {
+            items.div_ceil(items_per_block).max(1)
+        };
+        let block_stride_items = grid_blocks * items_per_block;
+        // cycles of a group-scratch reduction over `lanes` lanes
+        let coop_cost = |lanes: usize| (lanes.max(2) as f64).log2() * c.shuffle_step;
+
+        let mut sm_work = vec![0.0f64; d.sm_count];
+        let mut sm_crit = vec![0.0f64; d.sm_count];
+        let mut table = StepTable::new();
+        let mut total_u64 = 0u64;
+        let mut total_f32 = 0.0f32;
+
+        for b in 0..grid_blocks {
+            let mut block_cycles = 0.0f64;
+            let mut longest_warp = 0.0f64;
+            let mut block_u64 = 0u64;
+            let mut block_f32 = 0.0f32;
+            let mut block_reduce_calls = 0usize;
+            let mut block_any = false;
+
+            let mut round = 0usize;
+            loop {
+                let mut round_any = false;
+                // block-granularity scratch spans the whole round
+                let mut round_scratch_u64 = 0u64;
+                let mut round_scratch_f32 = 0.0f32;
+                let mut round_item: Option<usize> = None;
+
+                for w in 0..warps_per_block {
+                    table.clear();
+                    let mut warp_any = false;
+                    let mut warp_reduce_calls = 0usize;
+                    let mut warp_scratch_u64 = 0u64;
+                    let mut warp_scratch_f32 = 0.0f32;
+                    let mut warp_item: Option<usize> = None;
+
+                    for l in 0..WARP_SIZE {
+                        let mapped = map_lane(
+                            assign,
+                            items,
+                            items_per_block,
+                            block_stride_items,
+                            b,
+                            w,
+                            round,
+                            l,
+                        );
+                        let Some((item, lane_id)) = mapped else { continue };
+                        warp_any = true;
+                        round_any = true;
+                        let mut ctx = LaneCtx {
+                            table: &mut table,
+                            ordinal: 0,
+                            lane: lane_id,
+                            lane_count: lanes_per_item,
+                            red_u64: 0,
+                            red_f32: 0.0,
+                            red_calls: 0,
+                            reduce,
+                            scratch_u64: 0,
+                            scratch_f32: 0.0,
+                            group_u64: 0,
+                            group_f32: 0.0,
+                        };
+                        kernel(&mut ctx, item);
+                        // thread-granularity epilogue runs inline, its
+                        // scratch is lane-private
+                        if assign == Assign::ThreadPerItem {
+                            if let Some(ep) = epilogue {
+                                ctx.group_u64 = ctx.scratch_u64;
+                                ctx.group_f32 = ctx.scratch_f32;
+                                ep(&mut ctx, item);
+                            }
+                        }
+                        warp_scratch_u64 += ctx.scratch_u64;
+                        warp_scratch_f32 += ctx.scratch_f32;
+                        warp_item = Some(item);
+                        block_u64 += ctx.red_u64;
+                        block_f32 += ctx.red_f32;
+                        warp_reduce_calls += ctx.red_calls;
+                    }
+
+                    // warp-granularity epilogue: one run per warp's item
+                    if assign == Assign::WarpPerItem && warp_any {
+                        if let Some(ep) = epilogue {
+                            let item = warp_item.expect("warp had an item");
+                            let ordinal = table.steps_used();
+                            let mut ctx = LaneCtx {
+                                table: &mut table,
+                                ordinal,
+                                lane: 0,
+                                lane_count: lanes_per_item,
+                                red_u64: 0,
+                                red_f32: 0.0,
+                                red_calls: 0,
+                                reduce,
+                                scratch_u64: 0,
+                                scratch_f32: 0.0,
+                                group_u64: warp_scratch_u64,
+                                group_f32: warp_scratch_f32,
+                            };
+                            ep(&mut ctx, item);
+                            block_u64 += ctx.red_u64;
+                            block_f32 += ctx.red_f32;
+                            warp_reduce_calls += ctx.red_calls;
+                        }
+                    }
+                    round_scratch_u64 += warp_scratch_u64;
+                    round_scratch_f32 += warp_scratch_f32;
+                    if warp_any {
+                        round_item = round_item.or(warp_item);
+                    }
+
+                    if warp_any {
+                        let mut wc = table.finalize(&c);
+                        if epilogue.is_some() && assign != Assign::ThreadPerItem {
+                            wc += coop_cost(WARP_SIZE);
+                        }
+                        if warp_reduce_calls > 0
+                            && matches!(reduce, Some((ReduceStyle::ReductionAdd, _)))
+                        {
+                            wc += coop_cost(WARP_SIZE);
+                        }
+                        block_reduce_calls += warp_reduce_calls;
+                        block_cycles += wc;
+                        longest_warp = longest_warp.max(wc);
+                        block_any = true;
+                    }
+                }
+
+                // block-granularity epilogue: once per round, after a barrier
+                if assign == Assign::BlockPerItem && round_any {
+                    if let Some(ep) = epilogue {
+                        let item = round_item.expect("round had an item");
+                        table.clear();
+                        let mut ctx = LaneCtx {
+                            table: &mut table,
+                            ordinal: 0,
+                            lane: 0,
+                            lane_count: lanes_per_item,
+                            red_u64: 0,
+                            red_f32: 0.0,
+                            red_calls: 0,
+                            reduce,
+                            scratch_u64: 0,
+                            scratch_f32: 0.0,
+                            group_u64: round_scratch_u64,
+                            group_f32: round_scratch_f32,
+                        };
+                        ep(&mut ctx, item);
+                        block_u64 += ctx.red_u64;
+                        block_f32 += ctx.red_f32;
+                        block_reduce_calls += ctx.red_calls;
+                        block_cycles += table.finalize(&c)
+                            + c.barrier
+                            + warps_per_block as f64 * c.shared_serial;
+                    }
+                }
+
+                round += 1;
+                if !round_any || !persistent {
+                    break;
+                }
+            }
+
+            if !block_any {
+                continue;
+            }
+            // per-block epilogue for the block-cooperative reduction styles
+            if block_reduce_calls > 0 {
+                if let Some((style, kind)) = &reduce {
+                    let global_add = match LaneCtx::rmw_class(*kind) {
+                        AccessClass::CudaAtomicRmw => {
+                            (c.atomic_issue + c.atomic_per_addr) * c.cuda_atomic_mult
+                        }
+                        _ => c.atomic_issue + c.atomic_per_addr,
+                    };
+                    match style {
+                        ReduceStyle::GlobalAdd => {}
+                        ReduceStyle::BlockAdd => {
+                            block_cycles += c.barrier + global_add;
+                        }
+                        ReduceStyle::ReductionAdd => {
+                            // two barriers (Listing 10c) + per-warp shared
+                            // stores + the single global add
+                            block_cycles += 2.0 * c.barrier
+                                + warps_per_block as f64 * c.shared_serial
+                                + global_add;
+                        }
+                    }
+                }
+            }
+            block_cycles += c.block_sched;
+
+            // greedy: next block goes to the least-loaded SM
+            let sm = (0..d.sm_count)
+                .min_by(|&a, &bb| sm_work[a].total_cmp(&sm_work[bb]))
+                .unwrap();
+            sm_work[sm] += block_cycles;
+            sm_crit[sm] = sm_crit[sm].max(longest_warp);
+            total_u64 += block_u64;
+            total_f32 += block_f32;
+        }
+
+        let kernel_time = (0..d.sm_count)
+            .map(|s| (sm_work[s] / d.warp_parallelism).max(sm_crit[s]))
+            .fold(0.0f64, f64::max);
+        self.cycles += kernel_time + c.launch;
+        self.launches += 1;
+        (total_u64, total_f32)
+    }
+}
+
+/// Maps (block, warp, round, lane-in-warp) to a work item and the lane's id
+/// within the item's lane group. Returns `None` for idle lanes.
+#[allow(clippy::too_many_arguments)]
+fn map_lane(
+    assign: Assign,
+    items: usize,
+    items_per_block: usize,
+    block_stride_items: usize,
+    block: usize,
+    warp: usize,
+    round: usize,
+    lane: usize,
+) -> Option<(usize, usize)> {
+    let block_first_item = block * items_per_block + round * block_stride_items;
+    let item = match assign {
+        Assign::ThreadPerItem => block_first_item + warp * WARP_SIZE + lane,
+        Assign::WarpPerItem => block_first_item + warp,
+        Assign::BlockPerItem => block_first_item,
+    };
+    if item >= items {
+        return None;
+    }
+    let lane_id = match assign {
+        Assign::ThreadPerItem => 0,
+        Assign::WarpPerItem => lane,
+        Assign::BlockPerItem => warp * WARP_SIZE + lane,
+    };
+    Some((item, lane_id))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{rtx3090, titan_v};
+
+    fn sim() -> Sim {
+        Sim::new(titan_v())
+    }
+
+    // ---------- functional correctness ----------
+
+    #[test]
+    fn thread_map_touches_every_item_once() {
+        for persistent in [false, true] {
+            let mut s = sim();
+            let out = GpuBuf::new(10_000, 0);
+            s.launch(10_000, Assign::ThreadPerItem, persistent, |ctx, i| {
+                ctx.atomic_add(&out, i, 1);
+            });
+            assert!(out.to_vec().iter().all(|&v| v == 1), "persistent={persistent}");
+        }
+    }
+
+    #[test]
+    fn warp_map_gives_each_item_32_lanes() {
+        for persistent in [false, true] {
+            let mut s = sim();
+            let out = GpuBuf::new(300, 0);
+            s.launch(300, Assign::WarpPerItem, persistent, |ctx, i| {
+                assert_eq!(ctx.lane_count(), 32);
+                ctx.atomic_add(&out, i, 1);
+            });
+            assert!(out.to_vec().iter().all(|&v| v == 32), "persistent={persistent}");
+        }
+    }
+
+    #[test]
+    fn block_map_gives_each_item_block_dim_lanes() {
+        let mut s = sim();
+        let bd = s.device().block_dim as u32;
+        let out = GpuBuf::new(50, 0);
+        s.launch(50, Assign::BlockPerItem, false, |ctx, i| {
+            assert_eq!(ctx.lane_count(), bd as usize);
+            ctx.atomic_add(&out, i, 1);
+        });
+        assert!(out.to_vec().iter().all(|&v| v == bd));
+    }
+
+    #[test]
+    fn block_map_persistent_covers_all_items() {
+        let mut s = sim();
+        let items = s.device().sm_count * s.device().resident_blocks_per_sm * 3 + 7;
+        let out = GpuBuf::new(items, 0);
+        s.launch(items, Assign::BlockPerItem, true, |ctx, i| {
+            if ctx.lane() == 0 {
+                ctx.atomic_add(&out, i, 1);
+            }
+        });
+        assert!(out.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn lane_ids_partition_the_group() {
+        let mut s = sim();
+        let seen = GpuBuf::new(32, 0);
+        s.launch(1, Assign::WarpPerItem, false, |ctx, _| {
+            ctx.atomic_add(&seen, ctx.lane(), 1);
+        });
+        assert!(seen.to_vec().iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn reductions_are_exact_in_every_style() {
+        for style in [ReduceStyle::GlobalAdd, ReduceStyle::BlockAdd, ReduceStyle::ReductionAdd] {
+            let mut s = sim();
+            let total = s.launch_reduce_u64(
+                5000,
+                Assign::ThreadPerItem,
+                false,
+                style,
+                BufKind::Atomic,
+                |ctx, i| ctx.reduce_add_u64(i as u64),
+            );
+            assert_eq!(total, (0..5000u64).sum::<u64>(), "{style:?}");
+        }
+    }
+
+    #[test]
+    fn f32_reduction_sums() {
+        let mut s = sim();
+        let total = s.launch_reduce_f32(
+            1000,
+            Assign::ThreadPerItem,
+            false,
+            ReduceStyle::ReductionAdd,
+            BufKind::Atomic,
+            |ctx, _| ctx.reduce_add_f32(0.5),
+        );
+        assert!((total - 500.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn coop_scratch_sums_per_group() {
+        // every lane contributes its lane id; the epilogue must see the
+        // group total and can publish it
+        for assign in [Assign::ThreadPerItem, Assign::WarpPerItem, Assign::BlockPerItem] {
+            let mut s = sim();
+            let out = GpuBuf::new(40, 0);
+            let lanes = match assign {
+                Assign::ThreadPerItem => 1usize,
+                Assign::WarpPerItem => 32,
+                Assign::BlockPerItem => s.device().block_dim,
+            };
+            let expect: u64 = (0..lanes as u64).sum::<u64>() + 7;
+            s.launch_coop(
+                40,
+                assign,
+                false,
+                None,
+                |ctx, _| {
+                    ctx.scratch_add_u64(ctx.lane() as u64);
+                    if ctx.lane() == 0 {
+                        ctx.scratch_add_u64(7);
+                    }
+                },
+                |ctx, i| {
+                    let total = ctx.group_u64() as u32;
+                    ctx.st(&out, i, total);
+                },
+            );
+            assert!(
+                out.to_vec().iter().all(|&v| v as u64 == expect),
+                "{assign:?}: {:?} != {expect}",
+                out.host_read(0)
+            );
+        }
+    }
+
+    #[test]
+    fn coop_epilogue_runs_once_per_item() {
+        for (assign, items) in [
+            (Assign::ThreadPerItem, 100usize),
+            (Assign::WarpPerItem, 100),
+            (Assign::BlockPerItem, 20),
+        ] {
+            for persistent in [false, true] {
+                let mut s = sim();
+                let count = GpuBuf::new(items, 0);
+                s.launch_coop(
+                    items,
+                    assign,
+                    persistent,
+                    None,
+                    |_, _| {},
+                    |ctx, i| {
+                        ctx.atomic_add(&count, i, 1);
+                    },
+                );
+                assert!(
+                    count.to_vec().iter().all(|&v| v == 1),
+                    "{assign:?} persistent={persistent}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let run = || {
+            let mut s = sim();
+            let buf = GpuBuf::new(1000, u32::MAX).with_kind(BufKind::Atomic);
+            s.launch(1000, Assign::ThreadPerItem, false, |ctx, i| {
+                ctx.atomic_min(&buf, (i * 7) % 1000, i as u32);
+            });
+            (s.elapsed_cycles(), buf.to_vec())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_items_costs_only_launch() {
+        let mut s = sim();
+        s.launch(0, Assign::ThreadPerItem, false, |_, _| panic!("no items"));
+        assert_eq!(s.elapsed_cycles(), s.device().cost.launch);
+    }
+
+    // ---------- cost-model shape calibration ----------
+
+    /// Coalesced (lane i → element i) vs scattered (lane i → element 4096 i)
+    /// loads: the paper's §2.12 coalescing argument.
+    #[test]
+    fn coalesced_loads_beat_scattered() {
+        let n = 1 << 20;
+        let data = GpuBuf::new(n, 0);
+        let mut coal = sim();
+        coal.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+            ctx.ld(&data, i);
+        });
+        let mut scat = sim();
+        scat.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+            ctx.ld(&data, (i * 128) % data.len());
+        });
+        let ratio = scat.elapsed_cycles() / coal.elapsed_cycles();
+        assert!(ratio > 4.0, "scattered/coalesced = {ratio}");
+    }
+
+    /// Fig 1: classic atomics vs default `cuda::atomic`, with the TITAN V
+    /// suffering roughly an order of magnitude more than the RTX 3090.
+    #[test]
+    fn cuda_atomic_penalty_orders_devices_like_fig1() {
+        let run = |dev: Device, kind: BufKind| {
+            let n = 1 << 16;
+            let mut s = Sim::new(dev);
+            let dist = GpuBuf::new(n, u32::MAX).with_kind(kind);
+            s.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                let v = ctx.ld(&dist, (i + 1) % n);
+                ctx.atomic_min(&dist, i, v.min(i as u32));
+            });
+            s.elapsed_cycles()
+        };
+        let tv_ratio = run(titan_v(), BufKind::CudaAtomic) / run(titan_v(), BufKind::Atomic);
+        let rtx_ratio = run(rtx3090(), BufKind::CudaAtomic) / run(rtx3090(), BufKind::Atomic);
+        assert!(tv_ratio > 30.0, "TitanV ratio {tv_ratio}");
+        assert!(rtx_ratio > 3.0 && rtx_ratio < 30.0, "RTX ratio {rtx_ratio}");
+        assert!(tv_ratio > 4.0 * rtx_ratio, "device asymmetry lost: {tv_ratio} vs {rtx_ratio}");
+    }
+
+    /// §5.8: warp granularity wins on skewed inner loops, thread granularity
+    /// wins on uniform small ones.
+    #[test]
+    fn granularity_tracks_inner_loop_skew() {
+        // skewed: item 0 has a huge inner loop, the rest tiny
+        let items = 2048;
+        let work = |i: usize| if i == 0 { 20_000 } else { 4 };
+        let data = GpuBuf::new(32_768, 1);
+        let run = |assign: Assign| {
+            let mut s = sim();
+            s.launch(items, assign, false, |ctx, i| {
+                let (lane, lanes) = (ctx.lane(), ctx.lane_count());
+                let mut k = lane;
+                while k < work(i) {
+                    ctx.ld(&data, k % data.len());
+                    k += lanes;
+                }
+            });
+            s.elapsed_cycles()
+        };
+        let thread = run(Assign::ThreadPerItem);
+        let warp = run(Assign::WarpPerItem);
+        assert!(warp < thread, "skew: warp {warp} must beat thread {thread}");
+
+        // uniform low-degree: thread must win (warp wastes 31 lanes)
+        let uniform = |assign: Assign| {
+            let mut s = sim();
+            s.launch(items, assign, false, |ctx, _| {
+                let (lane, lanes) = (ctx.lane(), ctx.lane_count());
+                let mut k = lane;
+                while k < 4 {
+                    ctx.ld(&data, k);
+                    k += lanes;
+                }
+            });
+            s.elapsed_cycles()
+        };
+        assert!(uniform(Assign::ThreadPerItem) < uniform(Assign::BlockPerItem));
+    }
+
+    /// §5.7: persistent ≈ non-persistent when nothing is precomputed
+    /// (ratios "very close to 1" in Fig 8).
+    #[test]
+    fn persistent_close_to_non_persistent() {
+        let data = GpuBuf::new(1 << 16, 1);
+        let run = |persistent: bool| {
+            let mut s = sim();
+            s.launch(1 << 16, Assign::ThreadPerItem, persistent, |ctx, i| {
+                ctx.ld(&data, i);
+            });
+            s.elapsed_cycles()
+        };
+        let ratio = run(true) / run(false);
+        assert!((0.5..2.0).contains(&ratio), "persistent/non = {ratio}");
+    }
+
+    /// §5.9 ordering for sum-heavy kernels: reduction-add fastest,
+    /// block-add slowest (its shared-atomic serialization + barrier cannot
+    /// offset the aggregated global adds).
+    #[test]
+    fn reduction_style_ordering_matches_fig10() {
+        let run = |style: ReduceStyle| {
+            let mut s = sim();
+            s.launch_reduce_u64(
+                1 << 15,
+                Assign::ThreadPerItem,
+                false,
+                style,
+                BufKind::Atomic,
+                |ctx, _| ctx.reduce_add_u64(1),
+            );
+            s.elapsed_cycles()
+        };
+        let global = run(ReduceStyle::GlobalAdd);
+        let block = run(ReduceStyle::BlockAdd);
+        let reduction = run(ReduceStyle::ReductionAdd);
+        assert!(reduction < global, "reduction {reduction} < global {global}");
+        assert!(global < block, "global {global} < block {block}");
+    }
+
+    #[test]
+    fn clock_accumulates_across_launches() {
+        let mut s = sim();
+        let data = GpuBuf::new(64, 0);
+        s.launch(64, Assign::ThreadPerItem, false, |ctx, i| {
+            ctx.ld(&data, i);
+        });
+        let one = s.elapsed_cycles();
+        s.launch(64, Assign::ThreadPerItem, false, |ctx, i| {
+            ctx.ld(&data, i);
+        });
+        assert!((s.elapsed_cycles() - 2.0 * one).abs() < 1e-9);
+        assert_eq!(s.launches(), 2);
+        s.reset_clock();
+        assert_eq!(s.elapsed_cycles(), 0.0);
+    }
+}

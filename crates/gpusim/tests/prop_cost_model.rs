@@ -1,0 +1,103 @@
+//! Property-based tests of the GPU simulator's cost model and launcher.
+
+use indigo_gpusim::{rtx3090, titan_v, Assign, BufKind, GpuBuf, ReduceStyle, Sim};
+use proptest::prelude::*;
+
+fn assigns() -> impl Strategy<Value = Assign> {
+    prop_oneof![
+        Just(Assign::ThreadPerItem),
+        Just(Assign::WarpPerItem),
+        Just(Assign::BlockPerItem),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Functional exactness: every item is processed exactly once under any
+    /// assignment/persistence combination.
+    #[test]
+    fn coverage_is_exact(items in 1usize..3000, assign in assigns(), persistent: bool) {
+        let mut sim = Sim::new(rtx3090());
+        let hits = GpuBuf::new(items, 0);
+        sim.launch(items, assign, persistent, |ctx, i| {
+            if ctx.lane() == 0 {
+                ctx.atomic_add(&hits, i, 1);
+            }
+        });
+        prop_assert!(hits.to_vec().iter().all(|&h| h == 1));
+    }
+
+    /// Cost monotonicity: more items never cost fewer cycles.
+    #[test]
+    fn cost_monotone_in_items(items in 32usize..2000, extra in 1usize..2000, assign in assigns()) {
+        let run = |n: usize| {
+            let data = GpuBuf::new(n, 0);
+            let mut sim = Sim::new(titan_v());
+            sim.launch(n, assign, false, |ctx, i| {
+                ctx.ld(&data, i);
+            });
+            sim.elapsed_cycles()
+        };
+        prop_assert!(run(items + extra) >= run(items));
+    }
+
+    /// Reductions are exact for arbitrary contribution patterns in every
+    /// style, under every assignment.
+    #[test]
+    fn reductions_exact(
+        values in proptest::collection::vec(0u64..1000, 1..500),
+        assign in assigns(),
+        style_idx in 0usize..3,
+    ) {
+        let style = [ReduceStyle::GlobalAdd, ReduceStyle::BlockAdd, ReduceStyle::ReductionAdd]
+            [style_idx];
+        let expect: u64 = values.iter().sum();
+        let vals = values.clone();
+        let mut sim = Sim::new(rtx3090());
+        let total = sim.launch_reduce_u64(
+            vals.len(),
+            assign,
+            false,
+            style,
+            BufKind::Atomic,
+            |ctx, i| {
+                if ctx.lane() == 0 {
+                    ctx.reduce_add_u64(vals[i]);
+                }
+            },
+        );
+        prop_assert_eq!(total, expect);
+    }
+
+    /// CudaAtomic-declared buffers never cost less than Atomic-declared
+    /// ones for the same access sequence.
+    #[test]
+    fn cuda_atomic_never_cheaper(items in 64usize..1500) {
+        let run = |kind: BufKind| {
+            let data = GpuBuf::new(items, 0).with_kind(kind);
+            let mut sim = Sim::new(titan_v());
+            sim.launch(items, Assign::ThreadPerItem, false, |ctx, i| {
+                let v = ctx.ld(&data, i);
+                ctx.atomic_add(&data, (i + 1) % items, v % 7);
+            });
+            sim.elapsed_cycles()
+        };
+        prop_assert!(run(BufKind::CudaAtomic) >= run(BufKind::Atomic));
+    }
+
+    /// Determinism: identical launches report identical cycles and state.
+    #[test]
+    fn launches_deterministic(items in 1usize..800, assign in assigns(), persistent: bool) {
+        let run = || {
+            let data = GpuBuf::new(items, 7).with_kind(BufKind::Atomic);
+            let mut sim = Sim::new(rtx3090());
+            sim.launch(items, assign, persistent, |ctx, i| {
+                let v = ctx.ld(&data, i);
+                ctx.atomic_min(&data, (i * 13) % items, v);
+            });
+            (sim.elapsed_cycles(), data.to_vec())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,212 @@
+//! Edge-accumulating graph builder.
+//!
+//! All generators and loaders funnel through [`GraphBuilder`]: it collects
+//! undirected edges, drops self-loops, deduplicates, symmetrizes (every
+//! undirected edge becomes two directed edges, per paper §4.2), sorts each
+//! adjacency list ascending, and emits a validated [`Csr`].
+
+use crate::{Csr, NodeId, Weight};
+
+/// Accumulates undirected edges and finalizes them into a [`Csr`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// Undirected edges, stored once in arbitrary endpoint order.
+    edges: Vec<(NodeId, NodeId)>,
+    weighted: bool,
+    weights: Vec<Weight>,
+}
+
+impl GraphBuilder {
+    /// Starts a builder for a graph on `num_nodes` vertices (ids `0..n`).
+    pub fn new(num_nodes: usize) -> Self {
+        assert!(num_nodes <= NodeId::MAX as usize, "node count exceeds u32 id space");
+        GraphBuilder { num_nodes, edges: Vec::new(), weighted: false, weights: Vec::new() }
+    }
+
+    /// Starts a builder that records a weight per undirected edge.
+    pub fn new_weighted(num_nodes: usize) -> Self {
+        let mut b = Self::new(num_nodes);
+        b.weighted = true;
+        b
+    }
+
+    /// Number of vertices the builder was created with.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of undirected edges added so far (before dedup).
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge. Self-loops are silently dropped (the paper's
+    /// inputs contain none); duplicates are removed at [`Self::build`] time.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        assert!(!self.weighted, "weighted builder requires add_weighted_edge");
+        self.push(a, b);
+    }
+
+    /// Adds an undirected weighted edge. If the same edge is added twice the
+    /// weight of the first occurrence (after normalization ordering) wins.
+    pub fn add_weighted_edge(&mut self, a: NodeId, b: NodeId, w: Weight) {
+        assert!(self.weighted, "unweighted builder; use add_edge");
+        let before = self.edges.len();
+        self.push(a, b);
+        if self.edges.len() > before {
+            self.weights.push(w);
+        }
+    }
+
+    fn push(&mut self, a: NodeId, b: NodeId) {
+        assert!((a as usize) < self.num_nodes && (b as usize) < self.num_nodes,
+            "edge endpoint out of range");
+        if a == b {
+            return;
+        }
+        // normalize so dedup treats (a,b) and (b,a) as the same edge
+        self.edges.push(if a < b { (a, b) } else { (b, a) });
+    }
+
+    /// Finalizes into a CSR: dedup, symmetrize, sort adjacencies.
+    pub fn build(self, name: impl Into<String>) -> Csr {
+        let n = self.num_nodes;
+        // sort undirected edges (keeping weights parallel) and dedup
+        let mut order: Vec<usize> = (0..self.edges.len()).collect();
+        order.sort_unstable_by_key(|&i| self.edges[i]);
+        let mut uniq: Vec<(NodeId, NodeId)> = Vec::with_capacity(self.edges.len());
+        let mut uniq_w: Vec<Weight> = Vec::new();
+        for &i in &order {
+            let e = self.edges[i];
+            if uniq.last() == Some(&e) {
+                continue;
+            }
+            uniq.push(e);
+            if self.weighted {
+                uniq_w.push(self.weights[i]);
+            }
+        }
+
+        // counting pass for the symmetrized degree of every vertex
+        let mut deg = vec![0usize; n];
+        for &(a, b) in &uniq {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        row_start.push(0);
+        for d in &deg {
+            acc += d;
+            row_start.push(acc);
+        }
+
+        // scatter pass
+        let mut cursor = row_start[..n].to_vec();
+        let mut nbr_list = vec![0 as NodeId; acc];
+        let mut weight = if self.weighted { vec![0 as Weight; acc] } else { Vec::new() };
+        for (k, &(a, b)) in uniq.iter().enumerate() {
+            let (ia, ib) = (cursor[a as usize], cursor[b as usize]);
+            nbr_list[ia] = b;
+            nbr_list[ib] = a;
+            if self.weighted {
+                weight[ia] = uniq_w[k];
+                weight[ib] = uniq_w[k];
+            }
+            cursor[a as usize] += 1;
+            cursor[b as usize] += 1;
+        }
+
+        // each adjacency list must be sorted ascending (TC relies on it);
+        // sort weights along with neighbors
+        for v in 0..n {
+            let r = row_start[v]..row_start[v + 1];
+            if self.weighted {
+                let mut pairs: Vec<(NodeId, Weight)> = nbr_list[r.clone()]
+                    .iter()
+                    .copied()
+                    .zip(weight[r.clone()].iter().copied())
+                    .collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                for (off, (u, w)) in pairs.into_iter().enumerate() {
+                    nbr_list[r.start + off] = u;
+                    weight[r.start + off] = w;
+                }
+            } else {
+                nbr_list[r].sort_unstable();
+            }
+        }
+
+        Csr::from_raw(row_start, nbr_list, weight, name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_symmetrize() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0); // duplicate in reverse order
+        b.add_edge(0, 1); // exact duplicate
+        b.add_edge(2, 3);
+        b.add_edge(1, 1); // self loop, dropped
+        let g = b.build("t");
+        assert_eq!(g.num_edges(), 4); // two undirected edges -> 4 directed
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+        assert_eq!(g.neighbors(2), &[3]);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn adjacency_sorted() {
+        let mut b = GraphBuilder::new(5);
+        for u in [4, 2, 3, 1] {
+            b.add_edge(0, u);
+        }
+        let g = b.build("star");
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn weights_follow_neighbors() {
+        let mut b = GraphBuilder::new_weighted(3);
+        b.add_weighted_edge(0, 2, 20);
+        b.add_weighted_edge(0, 1, 10);
+        let g = b.build("w");
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbor_weights(0), &[10, 20]);
+        assert_eq!(g.neighbor_weights(2), &[20]);
+    }
+
+    #[test]
+    fn duplicate_weighted_edge_keeps_one() {
+        let mut b = GraphBuilder::new_weighted(2);
+        b.add_weighted_edge(0, 1, 7);
+        b.add_weighted_edge(1, 0, 9);
+        let g = b.build("dupw");
+        assert_eq!(g.num_edges(), 2);
+        // both directions carry the same surviving weight
+        assert_eq!(g.neighbor_weights(0), g.neighbor_weights(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+
+    #[test]
+    fn isolated_vertices_allowed() {
+        let b = GraphBuilder::new(10);
+        let g = b.build("iso");
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(9), 0);
+    }
+}

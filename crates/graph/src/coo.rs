@@ -1,0 +1,144 @@
+//! Coordinate (edge-list) graph layout (paper §4.2, [14]).
+//!
+//! The edge-based codes iterate a flat array of directed edges:
+//! `src_list[e]`, `dst_list[e]`, `weight[e]` — the arrays of the paper's
+//! Listing 1b. A [`Coo`] is always derived from a [`Csr`] so the two layouts
+//! describe the identical graph and edge order, which the harness relies on
+//! when comparing vertex- and edge-based variants of the same program.
+
+use crate::{Csr, NodeId, Weight};
+
+/// An immutable graph in COO (coordinate) form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Coo {
+    num_nodes: usize,
+    src_list: Vec<NodeId>,
+    dst_list: Vec<NodeId>,
+    weight: Vec<Weight>,
+    name: String,
+}
+
+impl Coo {
+    /// Derives the COO layout from a CSR graph, preserving edge order.
+    pub fn from_csr(g: &Csr) -> Self {
+        let m = g.num_edges();
+        let mut src_list = Vec::with_capacity(m);
+        let mut dst_list = Vec::with_capacity(m);
+        for v in 0..g.num_nodes() as NodeId {
+            for &u in g.neighbors(v) {
+                src_list.push(v);
+                dst_list.push(u);
+            }
+        }
+        Coo {
+            num_nodes: g.num_nodes(),
+            src_list,
+            dst_list,
+            weight: g.weights().to_vec(),
+            name: g.name().to_string(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.src_list.len()
+    }
+
+    /// Input name, inherited from the source CSR.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// True if the graph carries edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        !self.weight.is_empty()
+    }
+
+    /// Source endpoint of edge `e` (`src_list` in Listing 1b).
+    #[inline]
+    pub fn src(&self, e: usize) -> NodeId {
+        self.src_list[e]
+    }
+
+    /// Destination endpoint of edge `e` (`dst_list` in Listing 1b).
+    #[inline]
+    pub fn dst(&self, e: usize) -> NodeId {
+        self.dst_list[e]
+    }
+
+    /// Weight of edge `e`; panics if unweighted.
+    #[inline]
+    pub fn weight(&self, e: usize) -> Weight {
+        self.weight[e]
+    }
+
+    /// Full source array.
+    #[inline]
+    pub fn src_list(&self) -> &[NodeId] {
+        &self.src_list
+    }
+
+    /// Full destination array.
+    #[inline]
+    pub fn dst_list(&self) -> &[NodeId] {
+        &self.dst_list
+    }
+
+    /// Full weight array (empty when unweighted).
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weight
+    }
+
+    /// Iterator over `(src, dst, edge_index)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, NodeId, usize)> + '_ {
+        (0..self.num_edges()).map(move |e| (self.src_list[e], self.dst_list[e], e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Csr;
+
+    fn triangle() -> Csr {
+        Csr::from_raw(
+            vec![0, 2, 4, 6],
+            vec![1, 2, 0, 2, 0, 1],
+            vec![5, 7, 5, 9, 7, 9],
+            "triangle",
+        )
+    }
+
+    #[test]
+    fn matches_csr_edge_order() {
+        let csr = triangle();
+        let coo = Coo::from_csr(&csr);
+        assert_eq!(coo.num_nodes(), 3);
+        assert_eq!(coo.num_edges(), 6);
+        let from_csr: Vec<_> = csr.iter_edges().collect();
+        let from_coo: Vec<_> = coo.iter().collect();
+        assert_eq!(from_csr, from_coo);
+        for (e, (_, _, i)) in coo.iter().enumerate() {
+            assert_eq!(coo.weight(e), csr.weight_at(i));
+        }
+    }
+
+    #[test]
+    fn unweighted_round_trip() {
+        let csr = Csr::from_raw(vec![0, 1, 2], vec![1, 0], vec![], "pair");
+        let coo = Coo::from_csr(&csr);
+        assert!(!coo.is_weighted());
+        assert_eq!(coo.src_list(), &[0, 1]);
+        assert_eq!(coo.dst_list(), &[1, 0]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Compressed-sparse-row graph layout (paper §4.2, [21]).
+//!
+//! `row_start[v] .. row_start[v + 1]` indexes into `nbr_list` / `weight`,
+//! exactly the `nbr_idx` / `nbr_list` / `e_weight` arrays of the paper's
+//! Listing 1a and 4. Every undirected edge appears as two directed edges.
+
+use crate::{NodeId, Weight};
+
+/// An immutable graph in CSR form.
+///
+/// Construct through [`crate::GraphBuilder`], a generator in [`crate::gen`],
+/// or a loader in [`crate::io`]; those paths guarantee the structural
+/// invariants that [`Csr::validate`] checks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    row_start: Vec<usize>,
+    nbr_list: Vec<NodeId>,
+    weight: Vec<Weight>,
+    name: String,
+}
+
+impl Csr {
+    /// Builds a CSR directly from its raw arrays.
+    ///
+    /// `row_start` must have length `n + 1`, start at 0, be non-decreasing,
+    /// and end at `nbr_list.len()`; `weight` must be empty (unweighted) or
+    /// have the same length as `nbr_list`. Panics otherwise — this is the
+    /// single choke point all construction paths flow through.
+    pub fn from_raw(
+        row_start: Vec<usize>,
+        nbr_list: Vec<NodeId>,
+        weight: Vec<Weight>,
+        name: impl Into<String>,
+    ) -> Self {
+        let g = Csr { row_start, nbr_list, weight, name: name.into() };
+        g.validate();
+        g
+    }
+
+    /// Checks the structural invariants; panics with a description on
+    /// violation. Cheap enough to run in tests and on every load.
+    pub fn validate(&self) {
+        assert!(!self.row_start.is_empty(), "row_start must have length n + 1 >= 1");
+        assert_eq!(self.row_start[0], 0, "row_start must begin at 0");
+        assert!(
+            self.row_start.windows(2).all(|w| w[0] <= w[1]),
+            "row_start must be non-decreasing"
+        );
+        assert_eq!(
+            *self.row_start.last().unwrap(),
+            self.nbr_list.len(),
+            "row_start must end at the number of directed edges"
+        );
+        assert!(
+            self.weight.is_empty() || self.weight.len() == self.nbr_list.len(),
+            "weight array must be empty or parallel to nbr_list"
+        );
+        let n = self.num_nodes() as NodeId;
+        assert!(
+            self.nbr_list.iter().all(|&u| u < n),
+            "neighbor ids must be < num_nodes"
+        );
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.row_start.len() - 1
+    }
+
+    /// Number of *directed* edges (twice the undirected edge count).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.nbr_list.len()
+    }
+
+    /// Human-readable input name (e.g. `"rmat18.sym"`), used in reports.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Replaces the report name (used when re-deriving graphs).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// True if the graph carries edge weights.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        !self.weight.is_empty()
+    }
+
+    /// The half-open index range of `v`'s adjacency in [`Self::nbr_list`].
+    #[inline]
+    pub fn neighbor_range(&self, v: NodeId) -> std::ops::Range<usize> {
+        self.row_start[v as usize]..self.row_start[v as usize + 1]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.row_start[v as usize + 1] - self.row_start[v as usize]
+    }
+
+    /// Neighbors of `v` as a slice (sorted ascending for builder-made graphs).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        &self.nbr_list[self.neighbor_range(v)]
+    }
+
+    /// Weights parallel to [`Self::neighbors`]; panics if unweighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> &[Weight] {
+        assert!(self.is_weighted(), "graph {} is unweighted", self.name);
+        &self.weight[self.neighbor_range(v)]
+    }
+
+    /// The full `row_start` array (`nbr_idx` in the paper's listings).
+    #[inline]
+    pub fn row_start(&self) -> &[usize] {
+        &self.row_start
+    }
+
+    /// The full neighbor array (`nbr_list` in the paper's listings).
+    #[inline]
+    pub fn nbr_list(&self) -> &[NodeId] {
+        &self.nbr_list
+    }
+
+    /// The full weight array (`e_weight` in the paper's listings);
+    /// empty when unweighted.
+    #[inline]
+    pub fn weights(&self) -> &[Weight] {
+        &self.weight
+    }
+
+    /// Weight of the `i`-th directed edge.
+    #[inline]
+    pub fn weight_at(&self, i: usize) -> Weight {
+        self.weight[i]
+    }
+
+    /// Iterator over `(v, u, edge_index)` for all directed edges.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, usize)> + '_ {
+        (0..self.num_nodes() as NodeId).flat_map(move |v| {
+            self.neighbor_range(v).map(move |i| (v, self.nbr_list[i], i))
+        })
+    }
+
+    /// In-memory size of the CSR arrays in mebibytes (paper Table 4 column).
+    pub fn size_mb(&self) -> f64 {
+        let bytes = self.row_start.len() * std::mem::size_of::<usize>()
+            + self.nbr_list.len() * std::mem::size_of::<NodeId>()
+            + self.weight.len() * std::mem::size_of::<Weight>();
+        bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Returns a copy with deterministic synthetic weights attached
+    /// (see [`crate::weights::edge_weight`]); used to run the weighted
+    /// algorithms on unweighted inputs, as the paper does.
+    ///
+    /// Weights are a pure function of the *undirected* edge endpoints, so the
+    /// two directed copies of an edge always agree.
+    pub fn with_synthetic_weights(&self) -> Csr {
+        let mut weight = Vec::with_capacity(self.nbr_list.len());
+        for v in 0..self.num_nodes() as NodeId {
+            for &u in self.neighbors(v) {
+                weight.push(crate::weights::edge_weight(v, u));
+            }
+        }
+        Csr {
+            row_start: self.row_start.clone(),
+            nbr_list: self.nbr_list.clone(),
+            weight,
+            name: self.name.clone(),
+        }
+    }
+
+    /// True if for every directed edge `(v, u)` the reverse `(u, v)` exists —
+    /// the symmetry property every generated input has.
+    pub fn is_symmetric(&self) -> bool {
+        (0..self.num_nodes() as NodeId).all(|v| {
+            self.neighbors(v)
+                .iter()
+                .all(|&u| self.neighbors(u).binary_search(&v).is_ok())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Csr {
+        // 0 - 1 - 2 (undirected path)
+        Csr::from_raw(vec![0, 1, 3, 4], vec![1, 0, 2, 1], vec![], "path3")
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let g = path3();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(!g.is_weighted());
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn iter_edges_covers_all() {
+        let g = path3();
+        let edges: Vec<_> = g.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1, 0), (1, 0, 1), (1, 2, 2), (2, 1, 3)]);
+    }
+
+    #[test]
+    fn synthetic_weights_symmetric() {
+        let g = path3().with_synthetic_weights();
+        assert!(g.is_weighted());
+        // weight(0,1) as stored at 0's row equals weight(1,0) at 1's row
+        assert_eq!(g.neighbor_weights(0)[0], g.neighbor_weights(1)[0]);
+        assert!(g.weights().iter().all(|&w| w >= 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "row_start must begin at 0")]
+    fn rejects_bad_row_start() {
+        Csr::from_raw(vec![1, 2], vec![0, 0], vec![], "bad");
+    }
+
+    #[test]
+    #[should_panic(expected = "neighbor ids")]
+    fn rejects_out_of_range_neighbor() {
+        Csr::from_raw(vec![0, 1], vec![7], vec![], "bad");
+    }
+
+    #[test]
+    fn empty_graph_is_valid() {
+        let g = Csr::from_raw(vec![0], vec![], vec![], "empty");
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_symmetric());
+    }
+
+    #[test]
+    fn size_mb_positive() {
+        assert!(path3().size_mb() > 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! 2-D grid generator — the `2d-2e20.sym` family.
+//!
+//! A `w × h` 4-neighbor lattice (no torus wrap): every vertex has degree ≤ 4,
+//! degrees are perfectly uniform in the interior, and the diameter is
+//! `w + h - 2` — the uniform-low-degree / high-diameter regime in which the
+//! paper finds thread granularity and data-driven worklists to matter most.
+
+use crate::{Csr, GraphBuilder, NodeId};
+
+/// Generates a `w × h` grid. Vertex `(x, y)` has id `y * w + x`.
+pub fn grid2d(w: usize, h: usize) -> Csr {
+    assert!(w >= 1 && h >= 1, "grid dimensions must be positive");
+    let mut b = GraphBuilder::new(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                b.add_edge(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < h {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+        }
+    }
+    b.build(format!("grid-{w}x{h}.sym"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_count_matches_formula() {
+        let (w, h) = (17, 9);
+        let g = grid2d(w, h);
+        let undirected = h * (w - 1) + w * (h - 1);
+        assert_eq!(g.num_edges(), 2 * undirected);
+    }
+
+    #[test]
+    fn degrees_bounded_by_four() {
+        let g = grid2d(8, 8);
+        let corner_deg = g.degree(0);
+        assert_eq!(corner_deg, 2);
+        // interior vertex
+        assert_eq!(g.degree((3 * 8 + 3) as u32), 4);
+        assert!((0..g.num_nodes() as u32).all(|v| g.degree(v) <= 4));
+    }
+
+    #[test]
+    fn single_row_is_a_path() {
+        let g = grid2d(5, 1);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn one_by_one_has_no_edges() {
+        let g = grid2d(1, 1);
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

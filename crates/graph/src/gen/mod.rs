@@ -1,0 +1,28 @@
+//! Seeded deterministic graph generators.
+//!
+//! The paper evaluates on five inputs chosen to span graph families
+//! (Table 4): a 2-D grid, a publication/collaboration network, an RMAT
+//! graph, a social network, and a road map. Each generator here targets one
+//! of those families, reproducing the family-defining properties the paper's
+//! §5.13 correlates against — degree distribution shape and diameter — at a
+//! configurable, laptop-friendly scale.
+//!
+//! Everything is a pure function of its arguments (including the `seed`), so
+//! experiments are exactly reproducible.
+
+mod cliques;
+mod grid;
+mod random;
+mod rmat;
+mod road;
+mod social;
+mod suite;
+pub mod toy;
+
+pub use cliques::clique_overlap;
+pub use grid::grid2d;
+pub use random::gnp;
+pub use rmat::rmat;
+pub use road::road;
+pub use social::preferential_attachment;
+pub use suite::{default_suite, suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};

@@ -1,0 +1,159 @@
+//! Minimal deterministic RNG and the G(n, p) generator used by tests.
+//!
+//! The generators deliberately use a tiny self-contained splitmix64 stream
+//! rather than a trait-object RNG: graph generation must be bit-reproducible
+//! across platforms and crate versions, because EXPERIMENTS.md records
+//! results against named (generator, seed) pairs.
+
+use crate::weights::mix64;
+use crate::{Csr, GraphBuilder, NodeId};
+
+/// splitmix64 sequence generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix {
+    state: u64,
+}
+
+impl SplitMix {
+    /// Creates a stream seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix { state: mix64(seed) }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` must be nonzero.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // 128-bit multiply avoids modulo bias for the bounds we use
+        ((self.u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Erdős–Rényi G(n, p) random graph (undirected, no self-loops).
+///
+/// Used by the property-test battery, not by the paper's evaluation inputs.
+/// Sampling is done by geometric edge skipping so sparse graphs cost
+/// `O(n + m)` rather than `O(n^2)`.
+pub fn gnp(n: usize, p: f64, seed: u64) -> Csr {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut b = GraphBuilder::new(n);
+    if n >= 2 && p > 0.0 {
+        if p >= 1.0 {
+            for a in 0..n {
+                for c in a + 1..n {
+                    b.add_edge(a as NodeId, c as NodeId);
+                }
+            }
+        } else {
+            let mut rng = SplitMix::new(seed ^ 0x676e_70); // "gnp"
+            let ln_q = (1.0 - p).ln();
+            // iterate over the upper triangle via skip distances
+            let total_pairs = n as u64 * (n as u64 - 1) / 2;
+            let mut idx: u64 = 0;
+            loop {
+                let r = rng.f64().max(f64::MIN_POSITIVE);
+                let skip = (r.ln() / ln_q).floor() as u64;
+                idx = match idx.checked_add(skip) {
+                    Some(i) if i < total_pairs => i,
+                    _ => break,
+                };
+                let (a, c) = pair_from_index(idx, n as u64);
+                b.add_edge(a as NodeId, c as NodeId);
+                idx += 1;
+                if idx >= total_pairs {
+                    break;
+                }
+            }
+        }
+    }
+    b.build(format!("gnp-{n}-{p}"))
+}
+
+/// Maps a linear index over the strict upper triangle of an `n × n` matrix to
+/// its `(row, col)` pair, `row < col`.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // row r occupies indices [r*n - r*(r+1)/2, ...) ; solve by scan-free math
+    let mut r = 0u64;
+    let mut base = 0u64;
+    // binary search over rows
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let start = mid * n - mid * (mid + 1) / 2;
+        if start <= idx {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    if lo > 0 {
+        r = lo - 1;
+        base = r * n - r * (r + 1) / 2;
+    }
+    let c = r + 1 + (idx - base);
+    (r, c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_index_round_trip() {
+        let n = 7u64;
+        let mut idx = 0u64;
+        for a in 0..n {
+            for c in a + 1..n {
+                assert_eq!(pair_from_index(idx, n), (a, c), "idx {idx}");
+                idx += 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gnp_p0_empty_p1_complete() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 10 * 9);
+    }
+
+    #[test]
+    fn gnp_density_close_to_p() {
+        let n = 400;
+        let p = 0.05;
+        let g = gnp(n, p, 99);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let actual = (g.num_edges() / 2) as f64;
+        assert!((actual - expected).abs() < 0.25 * expected, "actual {actual} vs {expected}");
+    }
+
+    #[test]
+    fn splitmix_below_in_range() {
+        let mut r = SplitMix::new(3);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    fn splitmix_f64_in_unit_interval() {
+        let mut r = SplitMix::new(4);
+        for _ in 0..1000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Road-network generator — the `USA-road-d.NY` family.
+//!
+//! Real road networks have near-uniform low degree (`d_avg ≈ 2.8`,
+//! `d_max = 8` for the NY map), no high-degree hubs, and very large diameter
+//! (721 on 264 k vertices). We synthesize that regime on a `w × h` lattice:
+//!
+//! * a serpentine path through every cell guarantees connectivity and a
+//!   long backbone,
+//! * vertical "cross streets" appear with probability `P_DOWN`, thinning the
+//!   lattice down to the road-map average degree,
+//! * occasional diagonals (probability `P_DIAG`) create the handful of
+//!   degree-5/6 intersections real maps have.
+//!
+//! The result is connected, planar-ish, degree-bounded, and high-diameter —
+//! the properties §5.13 of the paper identifies as the performance-relevant
+//! ones for this input.
+
+use super::random::SplitMix;
+use crate::{Csr, GraphBuilder, NodeId};
+
+const P_DOWN: f64 = 0.40;
+const P_DIAG: f64 = 0.05;
+
+/// Generates a road-map-like graph on a `w × h` lattice (needs `w >= 2`).
+pub fn road(w: usize, h: usize, seed: u64) -> Csr {
+    assert!(w >= 2 && h >= 1, "road lattice needs w >= 2, h >= 1");
+    let mut rng = SplitMix::new(seed ^ 0x526f_6164); // "Road" stream tag
+    let mut b = GraphBuilder::new(w * h);
+    let id = |x: usize, y: usize| (y * w + x) as NodeId;
+
+    for y in 0..h {
+        // serpentine backbone: the full row, plus one connector to the next row
+        for x in 0..w - 1 {
+            b.add_edge(id(x, y), id(x + 1, y));
+        }
+        if y + 1 < h {
+            let connector_x = if y % 2 == 0 { w - 1 } else { 0 };
+            b.add_edge(id(connector_x, y), id(connector_x, y + 1));
+        }
+    }
+    for y in 0..h.saturating_sub(1) {
+        for x in 0..w {
+            if rng.f64() < P_DOWN {
+                b.add_edge(id(x, y), id(x, y + 1));
+            }
+            if x + 1 < w && rng.f64() < P_DIAG {
+                b.add_edge(id(x, y), id(x + 1, y + 1));
+            }
+        }
+    }
+    b.build(format!("road-{w}x{h}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::GraphStats;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(road(40, 20, 7), road(40, 20, 7));
+    }
+
+    #[test]
+    fn different_seed_changes_graph() {
+        assert_ne!(road(40, 20, 7).num_edges(), road(40, 20, 8).num_edges());
+    }
+
+    #[test]
+    fn family_properties() {
+        let g = road(80, 40, 42);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.components, 1, "road graph must be connected");
+        assert!(s.avg_degree > 2.2 && s.avg_degree < 3.6, "d_avg = {}", s.avg_degree);
+        assert!(s.max_degree <= 8, "d_max = {}", s.max_degree);
+        // high diameter relative to size: NY map has 721 on 264k nodes;
+        // our lattice should comfortably exceed sqrt(n)
+        assert!(s.diameter_lb as f64 > (g.num_nodes() as f64).sqrt());
+    }
+
+    #[test]
+    fn minimal_lattice() {
+        let g = road(2, 1, 1);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 2);
+    }
+}

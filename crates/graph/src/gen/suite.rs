@@ -1,0 +1,163 @@
+//! The default 5-graph evaluation suite (analog of paper Tables 4/5).
+//!
+//! Each [`SuiteGraph`] names one of the paper's input families; [`Scale`]
+//! selects how large an instance to generate. `Scale::Default` is sized so
+//! that the *entire* style matrix (hundreds of programs × 5 inputs) finishes
+//! on a laptop in minutes, while still exceeding L2-cache sizes and keeping
+//! the family-defining degree/diameter regimes of the originals.
+
+use crate::Csr;
+
+/// One of the five evaluation inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SuiteGraph {
+    /// `2d-2e20.sym` family: uniform degree-4 grid, huge diameter.
+    Grid2d,
+    /// `coPapersDBLP` family: clique-overlap collaboration network.
+    CoPapers,
+    /// `rmat22.sym` family: skewed RMAT.
+    Rmat,
+    /// `soc-LiveJournal1` family: preferential-attachment social network.
+    SocialNetwork,
+    /// `USA-road-d.NY` family: sparse high-diameter road map.
+    RoadMap,
+}
+
+/// All five suite graphs, in the paper's Table 4 order.
+pub const SUITE_GRAPHS: [SuiteGraph; 5] = [
+    SuiteGraph::Grid2d,
+    SuiteGraph::CoPapers,
+    SuiteGraph::Rmat,
+    SuiteGraph::SocialNetwork,
+    SuiteGraph::RoadMap,
+];
+
+impl SuiteGraph {
+    /// Short display label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SuiteGraph::Grid2d => "2d-grid",
+            SuiteGraph::CoPapers => "copapers",
+            SuiteGraph::Rmat => "rmat",
+            SuiteGraph::SocialNetwork => "soc-net",
+            SuiteGraph::RoadMap => "road",
+        }
+    }
+
+    /// Name of the corresponding paper input.
+    pub fn paper_input(self) -> &'static str {
+        match self {
+            SuiteGraph::Grid2d => "2d-2e20.sym",
+            SuiteGraph::CoPapers => "coPapersDBLP",
+            SuiteGraph::Rmat => "rmat22.sym",
+            SuiteGraph::SocialNetwork => "soc-LiveJournal1",
+            SuiteGraph::RoadMap => "USA-road-d.NY",
+        }
+    }
+}
+
+/// Instance-size selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Scale {
+    /// A few hundred vertices — unit tests.
+    Tiny,
+    /// A few thousand vertices — integration tests, smoke experiments.
+    Small,
+    /// Tens of thousands of vertices — the default experiment scale.
+    Default,
+    /// Hundreds of thousands of vertices — closer to the paper's sizes.
+    Large,
+}
+
+/// Fixed seed for the suite instances, so every crate sees identical graphs.
+const SUITE_SEED: u64 = 0x1_D160; // "indigo"
+
+/// Generates one suite input at the requested scale (deterministic).
+pub fn suite_graph(which: SuiteGraph, scale: Scale) -> Csr {
+    use Scale::*;
+    use SuiteGraph::*;
+    match which {
+        Grid2d => {
+            let side = match scale {
+                Tiny => 16,
+                Small => 64,
+                Default => 224,
+                Large => 724,
+            };
+            super::grid2d(side, side)
+        }
+        CoPapers => {
+            let n = match scale {
+                Tiny => 200,
+                Small => 1_500,
+                Default => 12_000,
+                Large => 80_000,
+            };
+            super::clique_overlap(n, 0.8, SUITE_SEED)
+        }
+        Rmat => {
+            let sc = match scale {
+                Tiny => 8,
+                Small => 11,
+                Default => 15,
+                Large => 18,
+            };
+            super::rmat(sc, 8, SUITE_SEED)
+        }
+        SocialNetwork => {
+            let n = match scale {
+                Tiny => 250,
+                Small => 3_000,
+                Default => 30_000,
+                Large => 200_000,
+            };
+            super::preferential_attachment(n, 9, SUITE_SEED)
+        }
+        RoadMap => {
+            let (w, h) = match scale {
+                Tiny => (20, 12),
+                Small => (80, 48),
+                Default => (280, 160),
+                Large => (720, 400),
+            };
+            super::road(w, h, SUITE_SEED)
+        }
+    }
+}
+
+/// Generates all five suite inputs at `scale`, Table 4 order.
+pub fn default_suite(scale: Scale) -> Vec<Csr> {
+    SUITE_GRAPHS.iter().map(|&g| suite_graph(g, scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_generate_at_tiny() {
+        let gs = default_suite(Scale::Tiny);
+        assert_eq!(gs.len(), 5);
+        for g in &gs {
+            assert!(g.num_nodes() > 0);
+            assert!(g.is_symmetric());
+        }
+    }
+
+    #[test]
+    fn scales_are_monotone() {
+        for &which in &SUITE_GRAPHS {
+            let t = suite_graph(which, Scale::Tiny).num_nodes();
+            let s = suite_graph(which, Scale::Small).num_nodes();
+            assert!(t < s, "{:?}: {t} !< {s}", which);
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let mut labels: Vec<_> = SUITE_GRAPHS.iter().map(|g| g.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+}

@@ -1,0 +1,113 @@
+//! Tiny named graphs with hand-checkable solutions.
+//!
+//! Used across the workspace's unit tests to pin exact expected outputs
+//! (levels, distances, component counts, triangle counts).
+
+use crate::{Csr, GraphBuilder, NodeId};
+
+/// Path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as NodeId, v as NodeId);
+    }
+    b.build(format!("path{n}"))
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Csr {
+    assert!(n >= 3, "cycle needs n >= 3");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as NodeId, ((v + 1) % n) as NodeId);
+    }
+    b.build(format!("cycle{n}"))
+}
+
+/// Star: center 0 connected to `1..n`.
+pub fn star(n: usize) -> Csr {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as NodeId);
+    }
+    b.build(format!("star{n}"))
+}
+
+/// Complete graph K_n.
+pub fn complete(n: usize) -> Csr {
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n {
+        for c in a + 1..n {
+            b.add_edge(a as NodeId, c as NodeId);
+        }
+    }
+    b.build(format!("k{n}"))
+}
+
+/// Two disjoint triangles: components {0,1,2} and {3,4,5}.
+pub fn two_triangles() -> Csr {
+    let mut b = GraphBuilder::new(6);
+    for (a, c) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+        b.add_edge(a, c);
+    }
+    b.build("two-triangles")
+}
+
+/// The weighted diamond used in SSSP tests:
+///
+/// ```text
+///       1 ──(1)── 3
+///  (1)/            \(1)
+///   0               4      shortest 0→4 = 3 via either side? no:
+///  (4)\            /(1)    via 1,3: 1+1+1 = 3;  via 2: 4+1 = 5
+///       2 ────────┘
+/// ```
+pub fn weighted_diamond() -> Csr {
+    let mut b = GraphBuilder::new_weighted(5);
+    b.add_weighted_edge(0, 1, 1);
+    b.add_weighted_edge(1, 3, 1);
+    b.add_weighted_edge(3, 4, 1);
+    b.add_weighted_edge(0, 2, 4);
+    b.add_weighted_edge(2, 4, 1);
+    b.build("weighted-diamond")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_degrees() {
+        let g = path(5);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.num_edges(), 8);
+    }
+
+    #[test]
+    fn cycle_uniform_degree() {
+        let g = cycle(6);
+        assert!((0..6u32).all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_center() {
+        let g = star(10);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10u32).all(|v| g.degree(v) == 1));
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(5);
+        assert_eq!(g.num_edges(), 5 * 4);
+    }
+
+    #[test]
+    fn diamond_weights() {
+        let g = weighted_diamond();
+        assert!(g.is_weighted());
+        assert_eq!(g.neighbor_weights(0), &[1, 4]);
+    }
+}

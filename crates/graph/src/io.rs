@@ -1,0 +1,270 @@
+//! Loaders and writers for the file formats of the paper's input sources.
+//!
+//! * DIMACS shortest-path `.gr` (the `USA-road-d.*` files) — weighted.
+//! * SNAP-style whitespace edge lists (`soc-LiveJournal1.txt`) — unweighted,
+//!   `#` comments, ids remapped densely.
+//! * MatrixMarket `coordinate pattern` (`.mtx`, SuiteSparse) — 1-based.
+//!
+//! All loaders symmetrize and deduplicate through [`GraphBuilder`], matching
+//! the paper's preprocessing (§4.2: every undirected edge stored as two
+//! directed edges).
+
+use crate::{Csr, GraphBuilder, NodeId, Weight};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Errors raised by the loaders.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structural problem in the file, with a human-readable description.
+    Parse(String),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Parse(m) => write!(f, "parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<std::io::Error> for LoadError {
+    fn from(e: std::io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> LoadError {
+    LoadError::Parse(msg.into())
+}
+
+/// Loads a DIMACS `.gr` file (directed arcs `a u v w`, 1-based ids).
+pub fn load_dimacs_gr(path: impl AsRef<Path>) -> Result<Csr, LoadError> {
+    let file = std::fs::File::open(&path)?;
+    let name = file_stem(&path);
+    read_dimacs_gr(BufReader::new(file), name)
+}
+
+/// Parses DIMACS `.gr` from any reader (exposed for tests).
+pub fn read_dimacs_gr(r: impl Read, name: String) -> Result<Csr, LoadError> {
+    let reader = BufReader::new(r);
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let mut it = line.split_ascii_whitespace();
+        match it.next() {
+            None | Some("c") => continue,
+            Some("p") => {
+                let kind = it.next().ok_or_else(|| parse_err("p line missing kind"))?;
+                if kind != "sp" {
+                    return Err(parse_err(format!("unsupported problem kind {kind}")));
+                }
+                let n: usize = next_num(&mut it, lineno)?;
+                let _m: usize = next_num(&mut it, lineno)?;
+                builder = Some(GraphBuilder::new_weighted(n));
+            }
+            Some("a") => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse_err("arc before problem line"))?;
+                let u: usize = next_num(&mut it, lineno)?;
+                let v: usize = next_num(&mut it, lineno)?;
+                let w: Weight = next_num(&mut it, lineno)?;
+                if u == 0 || v == 0 {
+                    return Err(parse_err(format!("line {}: ids are 1-based", lineno + 1)));
+                }
+                b.add_weighted_edge((u - 1) as NodeId, (v - 1) as NodeId, w.max(1));
+            }
+            Some(other) => {
+                return Err(parse_err(format!("line {}: unknown record '{other}'", lineno + 1)))
+            }
+        }
+    }
+    builder
+        .map(|b| b.build(name))
+        .ok_or_else(|| parse_err("missing problem line"))
+}
+
+/// Loads a SNAP-style edge list: `# comments`, `src<TAB>dst` per line.
+/// Vertex ids are remapped to a dense `0..n` range in first-seen order.
+pub fn load_edge_list(path: impl AsRef<Path>) -> Result<Csr, LoadError> {
+    let file = std::fs::File::open(&path)?;
+    let name = file_stem(&path);
+    read_edge_list(BufReader::new(file), name)
+}
+
+/// Parses a SNAP-style edge list from any reader (exposed for tests).
+pub fn read_edge_list(r: impl Read, name: String) -> Result<Csr, LoadError> {
+    let reader = BufReader::new(r);
+    let mut remap: HashMap<u64, NodeId> = HashMap::new();
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_ascii_whitespace();
+        let u: u64 = next_num(&mut it, lineno)?;
+        let v: u64 = next_num(&mut it, lineno)?;
+        let mut id = |raw: u64| -> NodeId {
+            let next = remap.len() as NodeId;
+            *remap.entry(raw).or_insert(next)
+        };
+        let (a, b) = (id(u), id(v));
+        edges.push((a, b));
+    }
+    let mut builder = GraphBuilder::new(remap.len());
+    for (a, b) in edges {
+        builder.add_edge(a, b);
+    }
+    Ok(builder.build(name))
+}
+
+/// Loads a MatrixMarket `matrix coordinate` file (1-based; pattern or
+/// weighted-real entries — real weights are ignored, per the paper's use of
+/// synthetic weights on non-road inputs).
+pub fn load_matrix_market(path: impl AsRef<Path>) -> Result<Csr, LoadError> {
+    let file = std::fs::File::open(&path)?;
+    let name = file_stem(&path);
+    read_matrix_market(BufReader::new(file), name)
+}
+
+/// Parses MatrixMarket from any reader (exposed for tests).
+pub fn read_matrix_market(r: impl Read, name: String) -> Result<Csr, LoadError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    if !header.starts_with("%%MatrixMarket matrix coordinate") {
+        return Err(parse_err("not a MatrixMarket coordinate file"));
+    }
+    let mut builder: Option<GraphBuilder> = None;
+    for (lineno, line) in lines.enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_ascii_whitespace();
+        if builder.is_none() {
+            let rows: usize = next_num(&mut it, lineno)?;
+            let cols: usize = next_num(&mut it, lineno)?;
+            let _nnz: usize = next_num(&mut it, lineno)?;
+            if rows != cols {
+                return Err(parse_err("adjacency matrix must be square"));
+            }
+            builder = Some(GraphBuilder::new(rows));
+            continue;
+        }
+        let b = builder.as_mut().unwrap();
+        let u: usize = next_num(&mut it, lineno)?;
+        let v: usize = next_num(&mut it, lineno)?;
+        if u == 0 || v == 0 {
+            return Err(parse_err(format!("line {}: ids are 1-based", lineno + 1)));
+        }
+        b.add_edge((u - 1) as NodeId, (v - 1) as NodeId);
+    }
+    builder
+        .map(|b| b.build(name))
+        .ok_or_else(|| parse_err("missing size line"))
+}
+
+/// Writes `g` as a DIMACS `.gr` file (directed arcs, synthetic weights if
+/// the graph is unweighted). Useful for exporting generated inputs.
+pub fn write_dimacs_gr(g: &Csr, mut w: impl Write) -> std::io::Result<()> {
+    writeln!(w, "c generated by indigo-rs from {}", g.name())?;
+    writeln!(w, "p sp {} {}", g.num_nodes(), g.num_edges())?;
+    for (v, u, i) in g.iter_edges() {
+        let wt = if g.is_weighted() {
+            g.weight_at(i)
+        } else {
+            crate::weights::edge_weight(v, u)
+        };
+        writeln!(w, "a {} {} {}", v + 1, u + 1, wt)?;
+    }
+    Ok(())
+}
+
+fn file_stem(path: impl AsRef<Path>) -> String {
+    path.as_ref()
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "graph".to_string())
+}
+
+fn next_num<T: std::str::FromStr>(
+    it: &mut std::str::SplitAsciiWhitespace<'_>,
+    lineno: usize,
+) -> Result<T, LoadError> {
+    it.next()
+        .ok_or_else(|| parse_err(format!("line {}: missing field", lineno + 1)))?
+        .parse()
+        .map_err(|_| parse_err(format!("line {}: bad number", lineno + 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dimacs_round_trip() {
+        let g = crate::gen::toy::weighted_diamond();
+        let mut buf = Vec::new();
+        write_dimacs_gr(&g, &mut buf).unwrap();
+        let g2 = read_dimacs_gr(&buf[..], "weighted-diamond".into()).unwrap();
+        assert_eq!(g.num_nodes(), g2.num_nodes());
+        assert_eq!(g.num_edges(), g2.num_edges());
+        for v in 0..g.num_nodes() as NodeId {
+            assert_eq!(g.neighbors(v), g2.neighbors(v));
+            assert_eq!(g.neighbor_weights(v), g2.neighbor_weights(v));
+        }
+    }
+
+    #[test]
+    fn dimacs_rejects_garbage() {
+        assert!(read_dimacs_gr(&b"x nonsense"[..], "g".into()).is_err());
+        assert!(read_dimacs_gr(&b"a 1 2 3"[..], "g".into()).is_err());
+        assert!(read_dimacs_gr(&b"p sp 2 1\na 0 1 5"[..], "g".into()).is_err());
+    }
+
+    #[test]
+    fn edge_list_remaps_ids() {
+        let text = b"# comment\n100 200\n200 300\n100 300\n";
+        let g = read_edge_list(&text[..], "el".into()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn edge_list_self_loops_dropped() {
+        let g = read_edge_list(&b"1 1\n1 2\n"[..], "el".into()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn matrix_market_basic() {
+        let text = b"%%MatrixMarket matrix coordinate pattern symmetric\n% c\n3 3 2\n1 2\n2 3\n";
+        let g = read_matrix_market(&text[..], "mm".into()).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn matrix_market_rejects_non_square() {
+        let text = b"%%MatrixMarket matrix coordinate pattern general\n3 4 1\n1 2\n";
+        assert!(read_matrix_market(&text[..], "mm".into()).is_err());
+    }
+
+    #[test]
+    fn matrix_market_rejects_wrong_header() {
+        assert!(read_matrix_market(&b"hello\n1 1 0\n"[..], "mm".into()).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # indigo-graph
+//!
+//! Graph substrate for the indigo-rs reproduction of the SC'23 Indigo2 study.
+//!
+//! The paper stores every input in two layouts (§4.2): compressed sparse row
+//! (CSR) for the vertex-based codes and coordinate (COO) for the edge-based
+//! codes, with every undirected edge represented as two directed edges. This
+//! crate provides both layouts ([`Csr`], [`Coo`]), a deduplicating
+//! symmetrizing [`builder::GraphBuilder`], seeded generators for the five
+//! graph *families* used in the evaluation ([`gen`]), file loaders for the
+//! original DIMACS/SNAP/MatrixMarket formats ([`io`]), and the degree /
+//! diameter analysis behind the paper's Tables 4 and 5 ([`stats`]).
+//!
+//! Node ids are `u32` and edge weights are `u32`, matching the 32-bit data
+//! types the paper evaluates (§4.1).
+//!
+//! ```
+//! use indigo_graph::{gen, stats::GraphStats};
+//!
+//! let g = gen::grid2d(64, 64);           // 2d-2e20.sym family, small scale
+//! assert_eq!(g.num_nodes(), 64 * 64);
+//! let s = GraphStats::compute(&g);
+//! assert_eq!(s.max_degree, 4);
+//! ```
+
+pub mod builder;
+pub mod coo;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod stats;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use coo::Coo;
+pub use csr::Csr;
+
+/// Node identifier type used throughout the suite (32-bit, per paper §4.1).
+pub type NodeId = u32;
+/// Edge weight type used by the weighted algorithms (SSSP).
+pub type Weight = u32;
+
+/// Distance value treated as "infinity" by the shortest-path codes.
+///
+/// `u32::MAX` is reserved so that `dist + weight` cannot wrap for any real
+/// path in the graphs we generate (weights are capped at
+/// [`weights::MAX_WEIGHT`]).
+pub const INF: u32 = u32::MAX;

@@ -1,0 +1,70 @@
+//! Deterministic synthetic edge weights.
+//!
+//! The paper's SSSP codes run on weighted versions of all five inputs; the
+//! DIMACS road graph ships with real weights, the others receive synthetic
+//! ones. We derive a weight purely from the (unordered) edge endpoints with a
+//! strong integer mix, so the weight is stable across layouts, directions,
+//! runs, and machines.
+
+use crate::{NodeId, Weight};
+
+/// Largest synthetic weight; kept small so `u32` distances can never
+/// approach [`crate::INF`] on the graph scales the suite generates.
+pub const MAX_WEIGHT: Weight = 255;
+
+/// splitmix64 finalizer — a well-distributed 64-bit mix.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Weight of the undirected edge `{a, b}`, in `1..=MAX_WEIGHT`.
+///
+/// Symmetric by construction: the endpoints are ordered before mixing.
+#[inline]
+pub fn edge_weight(a: NodeId, b: NodeId) -> Weight {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    let h = mix64(((hi as u64) << 32) | lo as u64);
+    (h % MAX_WEIGHT as u64) as Weight + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symmetric() {
+        for a in 0..50u32 {
+            for b in 0..50u32 {
+                assert_eq!(edge_weight(a, b), edge_weight(b, a));
+            }
+        }
+    }
+
+    #[test]
+    fn in_range() {
+        for a in 0..1000u32 {
+            let w = edge_weight(a, a.wrapping_mul(2654435761) % 1000);
+            assert!((1..=MAX_WEIGHT).contains(&w));
+        }
+    }
+
+    #[test]
+    fn reasonably_spread() {
+        // weights should hit many distinct values, not collapse
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..500u32 {
+            seen.insert(edge_weight(a, a + 1));
+        }
+        assert!(seen.len() > 100, "only {} distinct weights", seen.len());
+    }
+
+    #[test]
+    fn mix64_is_not_identity() {
+        assert_ne!(mix64(0), 0);
+        assert_ne!(mix64(1), mix64(2));
+    }
+}

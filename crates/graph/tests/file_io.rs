@@ -1,0 +1,83 @@
+//! File-backed loader tests: write real files to a temp dir and load them
+//! back through the path-based entry points.
+
+use indigo_graph::gen::toy;
+use indigo_graph::{io, Csr};
+use std::io::Write;
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("indigo-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn dimacs_file_round_trip() {
+    let g = toy::weighted_diamond();
+    let path = tmp("diamond.gr");
+    let mut f = std::fs::File::create(&path).unwrap();
+    io::write_dimacs_gr(&g, &mut f).unwrap();
+    drop(f);
+    let loaded = io::load_dimacs_gr(&path).unwrap();
+    assert_eq!(loaded.num_nodes(), g.num_nodes());
+    assert_eq!(loaded.num_edges(), g.num_edges());
+    assert_eq!(loaded.name(), "diamond");
+    for v in 0..g.num_nodes() as u32 {
+        assert_eq!(loaded.neighbors(v), g.neighbors(v));
+        assert_eq!(loaded.neighbor_weights(v), g.neighbor_weights(v));
+    }
+}
+
+#[test]
+fn snap_edge_list_file() {
+    let path = tmp("snap.txt");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "# Directed graph: test").unwrap();
+    writeln!(f, "# FromNodeId\tToNodeId").unwrap();
+    writeln!(f, "0\t1").unwrap();
+    writeln!(f, "1\t2").unwrap();
+    writeln!(f, "2\t0").unwrap();
+    writeln!(f, "0\t1").unwrap(); // duplicate must collapse
+    drop(f);
+    let g = io::load_edge_list(&path).unwrap();
+    assert_eq!(g.num_nodes(), 3);
+    assert_eq!(g.num_edges(), 6); // triangle
+    assert!(g.is_symmetric());
+}
+
+#[test]
+fn matrix_market_file() {
+    let path = tmp("adj.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate pattern symmetric").unwrap();
+    writeln!(f, "% a comment").unwrap();
+    writeln!(f, "4 4 3").unwrap();
+    writeln!(f, "1 2").unwrap();
+    writeln!(f, "2 3").unwrap();
+    writeln!(f, "3 4").unwrap();
+    drop(f);
+    let g = io::load_matrix_market(&path).unwrap();
+    assert_eq!(g.num_nodes(), 4);
+    assert_eq!(g.num_edges(), 6); // path of 3 undirected edges
+}
+
+#[test]
+fn missing_file_is_io_error() {
+    let err = io::load_dimacs_gr("/nonexistent/xyz.gr").unwrap_err();
+    assert!(matches!(err, io::LoadError::Io(_)));
+}
+
+#[test]
+fn loaded_graph_is_usable_as_algorithm_input() {
+    // end-to-end: generated graph -> file -> loaded -> validated CSR
+    let g = indigo_graph::gen::gnp(50, 0.1, 3).with_synthetic_weights();
+    let path = tmp("gnp.gr");
+    let mut f = std::fs::File::create(&path).unwrap();
+    io::write_dimacs_gr(&g, &mut f).unwrap();
+    drop(f);
+    let loaded: Csr = io::load_dimacs_gr(&path).unwrap();
+    loaded.validate();
+    assert!(loaded.is_symmetric());
+    assert_eq!(loaded.num_edges(), g.num_edges());
+}

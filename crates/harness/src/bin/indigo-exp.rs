@@ -1,0 +1,144 @@
+//! `indigo-exp` — regenerates the paper's tables and figures.
+//!
+//! ```text
+//! indigo-exp all                        # every table and figure
+//! indigo-exp fig05 fig16               # a subset
+//! indigo-exp tables                    # Tables 1-5 only (no measuring)
+//! options:
+//!   --scale tiny|small|default|large   # input instance size (default: small)
+//!   --reps N                           # CPU wall-clock repetitions (default: 3)
+//!   --out DIR                          # report directory (default: results)
+//! ```
+
+use indigo_graph::gen::Scale;
+use indigo_harness::experiments::{self, correlation, fig14, fig15, fig16, tables, throughput};
+use indigo_harness::Report;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Small;
+    let mut reps = 3usize;
+    let mut out_dir = "results".to_string();
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = match it.next().as_deref() {
+                    Some("tiny") => Scale::Tiny,
+                    Some("small") => Scale::Small,
+                    Some("default") => Scale::Default,
+                    Some("large") => Scale::Large,
+                    other => {
+                        eprintln!("unknown scale {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--reps" => {
+                reps = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--reps needs a number"))
+            }
+            "--out" => out_dir = it.next().unwrap_or_else(|| die("--out needs a directory")),
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                return;
+            }
+            other => selected.push(other.to_string()),
+        }
+    }
+    if selected.is_empty() {
+        println!("{}", HELP);
+        return;
+    }
+
+    let wants = |id: &str| {
+        selected.iter().any(|s| s == id)
+            || selected.iter().any(|s| s == "all")
+            || (id.starts_with("table") && selected.iter().any(|s| s == "tables"))
+    };
+
+    let mut reports: Vec<Report> = Vec::new();
+    // tables need no measurements
+    if wants("table1") {
+        reports.push(tables::table1());
+    }
+    if wants("table2") {
+        reports.push(tables::table2());
+    }
+    if wants("table3") {
+        reports.push(tables::table3());
+    }
+    if wants("table45") {
+        reports.push(tables::tables45(scale));
+    }
+
+    let needs_dataset = experiments::PAIR_SPECS.iter().any(|s| wants(s.id))
+        || ["fig09", "fig10", "fig11", "fig14", "fig15", "fig16", "corr513"]
+            .iter()
+            .any(|id| wants(id));
+    if needs_dataset {
+        eprintln!(
+            "measuring full suite at {scale:?} scale ({} CPU reps); this runs all 1098 programs \
+             on 5 inputs...",
+            reps
+        );
+        let started = std::time::Instant::now();
+        let ds = experiments::Dataset::collect(scale, reps, |done, total| {
+            eprintln!("  input {done}/{total} done ({:.0?})", started.elapsed());
+        });
+        eprintln!("matrix complete: {} measurements", ds.measurements.len());
+
+        for spec in experiments::PAIR_SPECS {
+            if wants(spec.id) {
+                reports.push(experiments::pair_report(spec, &ds));
+            }
+        }
+        if wants("fig09") {
+            reports.push(throughput::fig09(&ds));
+        }
+        if wants("fig10") {
+            reports.push(throughput::fig10(&ds));
+        }
+        if wants("fig11") {
+            reports.push(throughput::fig11(&ds));
+        }
+        if wants("fig14") {
+            reports.push(fig14::fig14(&ds));
+        }
+        if wants("fig15") {
+            reports.push(fig15::fig15(&ds));
+        }
+        if wants("corr513") {
+            reports.push(correlation::correlation(&ds));
+        }
+        if wants("fig16") {
+            eprintln!("running baselines for fig16...");
+            reports.push(fig16::fig16(&ds));
+        }
+    }
+
+    for r in &reports {
+        println!("{}", r.render());
+        if let Err(e) = r.write_to(&out_dir) {
+            eprintln!("failed to write {}: {e}", r.id);
+        }
+    }
+    eprintln!("wrote {} reports to {out_dir}/", reports.len());
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(2)
+}
+
+const HELP: &str = "indigo-exp — regenerate the Indigo2 paper's tables and figures
+
+usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N] [--out DIR]
+
+ids: all, tables, table1 table2 table3 table45,
+     fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
+     fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16, corr513";

@@ -1,0 +1,97 @@
+//! §5.13: correlation of style performance with graph properties.
+//!
+//! For each style option, the per-input *relative* performance (median
+//! throughput of variants carrying the option divided by the median of all
+//! variants carrying the option's dimension, on the same input/target) is
+//! correlated against the input's properties across the five graphs.
+
+use super::Dataset;
+use crate::ratios::median_geps;
+use crate::report::Report;
+use crate::stats::pearson;
+use indigo_graph::gen::{suite_graph, SUITE_GRAPHS};
+use indigo_graph::stats::GraphStats;
+
+/// The graph properties the paper checks (§5.13).
+pub const PROPERTIES: &[&str] =
+    &["nodes", "edges", "avg_degree", "max_degree", "pct_ge32", "pct_ge512", "diameter"];
+
+fn property(stats: &GraphStats, name: &str) -> f64 {
+    match name {
+        "nodes" => stats.nodes as f64,
+        "edges" => stats.edges as f64,
+        "avg_degree" => stats.avg_degree,
+        "max_degree" => stats.max_degree as f64,
+        "pct_ge32" => stats.pct_deg_ge32,
+        "pct_ge512" => stats.pct_deg_ge512,
+        "diameter" => stats.diameter_lb as f64,
+        _ => unreachable!("unknown property {name}"),
+    }
+}
+
+/// Style options examined (dimension, option).
+pub const OPTIONS: &[(&str, &str)] = &[
+    ("granularity", "thread"),
+    ("granularity", "warp"),
+    ("granularity", "block"),
+    ("direction", "vertex"),
+    ("direction", "edge"),
+    ("drive", "topo"),
+    ("flow", "push"),
+    ("determinism", "nondet"),
+];
+
+/// Builds the §5.13 correlation report.
+pub fn correlation(ds: &Dataset) -> Report {
+    let mut r = Report::new(
+        "corr513",
+        "Correlation of style performance with graph properties (§5.13)",
+    );
+    let stats: Vec<(&'static str, GraphStats)> = SUITE_GRAPHS
+        .iter()
+        .map(|&g| (g.label(), GraphStats::compute(&suite_graph(g, ds.scale))))
+        .collect();
+
+    let mut header = format!("{:<20}", "style \\ property");
+    for p in PROPERTIES {
+        header.push_str(&format!(" {p:>11}"));
+    }
+    r.line(&header);
+    r.csv_row("dimension,option,property,correlation");
+
+    let mut strongest: (f64, String) = (0.0, String::new());
+    for &(dim, opt) in OPTIONS {
+        // relative performance of the option per input
+        let mut rel = Vec::new();
+        let mut used_props: Vec<Vec<f64>> = vec![Vec::new(); PROPERTIES.len()];
+        for (label, st) in &stats {
+            let with = median_geps(&ds.measurements, |m| {
+                m.graph == *label && m.cfg.dimension_label(dim) == Some(opt)
+            });
+            let all = median_geps(&ds.measurements, |m| {
+                m.graph == *label && m.cfg.dimension_label(dim).is_some()
+            });
+            if with.is_finite() && all.is_finite() && all > 0.0 {
+                rel.push(with / all);
+                for (k, p) in PROPERTIES.iter().enumerate() {
+                    used_props[k].push(property(st, p));
+                }
+            }
+        }
+        let mut row = format!("{:<20}", format!("{dim}:{opt}"));
+        for (k, p) in PROPERTIES.iter().enumerate() {
+            let c = pearson(&used_props[k], &rel);
+            row.push_str(&format!(" {c:>11.2}"));
+            r.csv_row(format!("{dim},{opt},{p},{c:.4}"));
+            if c.abs() > strongest.0.abs() {
+                strongest = (c, format!("{dim}:{opt} vs {p}"));
+            }
+        }
+        r.line(&row);
+    }
+    r.line(format!(
+        "strongest correlation: {:.2} ({})  [paper: 0.44, warp vs avg degree]",
+        strongest.0, strongest.1
+    ));
+    r
+}

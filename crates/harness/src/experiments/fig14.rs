@@ -1,0 +1,79 @@
+//! Figure 14: percentage of each style among the best-performing codes.
+//!
+//! For every (model, algorithm, input, target) cell, the highest-throughput
+//! variant is selected; the figure reports, per model and per style option,
+//! what share of those winners uses the option (paper §5.14). The six
+//! dimensions are the pairs applicable to all three programming models.
+
+use super::Dataset;
+use crate::report::Report;
+use indigo_styles::{Algorithm, Model};
+use std::collections::HashMap;
+
+/// The six pair-dimensions of the paper's Fig 14, with their option labels.
+pub const DIMS: &[(&str, &[&str])] = &[
+    ("direction", &["vertex", "edge"]),
+    ("drive", &["topo", "data-dup", "data-nodup"]),
+    ("flow", &["push", "pull"]),
+    ("update", &["rw", "rmw"]),
+    ("determinism", &["det", "nondet"]),
+];
+
+/// Winner variants per (model, algorithm, graph, target).
+pub fn winners(ds: &Dataset, model: Model) -> Vec<crate::matrix::Measurement> {
+    let mut best: HashMap<(Algorithm, &'static str, String), crate::matrix::Measurement> =
+        HashMap::new();
+    for m in ds.measurements.iter().filter(|m| m.cfg.model == model) {
+        let key = (m.cfg.algorithm, m.graph, m.target.clone());
+        match best.get(&key) {
+            Some(cur) if cur.geps >= m.geps => {}
+            _ => {
+                best.insert(key, m.clone());
+            }
+        }
+    }
+    best.into_values().collect()
+}
+
+/// Builds the Fig 14 report.
+pub fn fig14(ds: &Dataset) -> Report {
+    let mut r = Report::new(
+        "fig14",
+        "Percentage of each style in the best-performing codes (§5.14)",
+    );
+    // header
+    let mut header = format!("{:<12}", "model");
+    for (_, opts) in DIMS {
+        for opt in *opts {
+            header.push_str(&format!(" {opt:>10}"));
+        }
+    }
+    r.line(&header);
+    r.csv_row("model,dimension,option,percent");
+    for model in Model::ALL {
+        let winners = winners(ds, model);
+        let mut row = format!("{:<12}", model.display());
+        for (dim, opts) in DIMS {
+            // denominator: winners for which the dimension applies
+            let applicable: Vec<_> = winners
+                .iter()
+                .filter(|m| m.cfg.dimension_label(dim).is_some())
+                .collect();
+            for opt in *opts {
+                let hits = applicable
+                    .iter()
+                    .filter(|m| m.cfg.dimension_label(dim) == Some(opt))
+                    .count();
+                let pct = if applicable.is_empty() {
+                    f64::NAN
+                } else {
+                    100.0 * hits as f64 / applicable.len() as f64
+                };
+                row.push_str(&format!(" {pct:>9.0}%"));
+                r.csv_row(format!("{},{dim},{opt},{pct:.1}", model.label()));
+            }
+        }
+        r.line(&row);
+    }
+    r
+}

@@ -1,0 +1,81 @@
+//! Figure 15: style-combination matrix for the CUDA codes.
+//!
+//! Every cell (x, y) is the ratio of the median throughput of the variants
+//! carrying *both* styles x and y over the median of those with x but not
+//! y. The matrix is asymmetric because the baseline differs per cell
+//! (paper §5.15).
+
+use super::Dataset;
+use crate::ratios::median_geps;
+use crate::report::Report;
+use indigo_styles::Model;
+
+/// Style options of the combination matrix: (dimension, option) pairs.
+pub const STYLES: &[(&str, &str)] = &[
+    ("direction", "vertex"),
+    ("direction", "edge"),
+    ("drive", "topo"),
+    ("drive", "data-dup"),
+    ("drive", "data-nodup"),
+    ("flow", "push"),
+    ("flow", "pull"),
+    ("update", "rw"),
+    ("update", "rmw"),
+    ("determinism", "det"),
+    ("determinism", "nondet"),
+    ("persistence", "persist"),
+    ("persistence", "nonpersist"),
+    ("granularity", "thread"),
+    ("granularity", "warp"),
+    ("granularity", "block"),
+];
+
+/// Builds the Fig 15 report (CudaAtomic variants excluded, as in §5.1).
+pub fn fig15(ds: &Dataset) -> Report {
+    let mut r = Report::new(
+        "fig15",
+        "Median-throughput ratio of style_x with style_y over style_x without style_y (CUDA, §5.15)",
+    );
+    let ms: Vec<_> = ds
+        .measurements
+        .iter()
+        .filter(|m| {
+            m.cfg.model == Model::Cuda
+                && m.cfg.atomic != Some(indigo_styles::AtomicKind::CudaAtomic)
+        })
+        .cloned()
+        .collect();
+
+    let has = |m: &crate::matrix::Measurement, (dim, opt): (&str, &str)| {
+        m.cfg.dimension_label(dim) == Some(opt)
+    };
+
+    let mut header = format!("{:<12}", "x \\ y");
+    for &(_, opt) in STYLES {
+        header.push_str(&format!(" {opt:>11}"));
+    }
+    r.line(&header);
+    r.csv_row("style_x,style_y,ratio");
+    for &x in STYLES {
+        let mut row = format!("{:<12}", x.1);
+        for &y in STYLES {
+            if x.0 == y.0 {
+                row.push_str(&format!(" {:>11}", "-"));
+                continue;
+            }
+            let with_y = median_geps(&ms, |m| has(m, x) && has(m, y));
+            let without_y = median_geps(&ms, |m| {
+                has(m, x) && m.cfg.dimension_label(y.0).is_some() && !has(m, y)
+            });
+            let ratio = with_y / without_y;
+            if ratio.is_finite() {
+                row.push_str(&format!(" {ratio:>11.2}"));
+                r.csv_row(format!("{},{},{ratio:.4}", x.1, y.1));
+            } else {
+                row.push_str(&format!(" {:>11}", "n/a"));
+            }
+        }
+        r.line(&row);
+    }
+    r
+}

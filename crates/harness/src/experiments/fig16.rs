@@ -1,0 +1,179 @@
+//! Figure 16 / Table 6: the best style variants vs the optimized baselines
+//! (§5.17).
+//!
+//! For each (algorithm, model) the best-performing style is the one with
+//! the highest average throughput over all inputs; its per-input speedup
+//! over the baseline implementation is reported, plus the Table 6
+//! geometric means. MIS has no GPU baseline (absent from Gardenia).
+
+use super::Dataset;
+use crate::report::Report;
+use crate::stats::geomean;
+use indigo_core::GraphInput;
+use indigo_exec::SYSTEM_PROFILES;
+use indigo_graph::gen::{suite_graph, SUITE_GRAPHS};
+use indigo_gpusim::{rtx3090, titan_v, Device};
+use indigo_styles::{Algorithm, Model, StyleConfig};
+use std::collections::HashMap;
+
+/// Baseline throughput (GE/s) for `(algo, target)` on one input;
+/// `None` when the baseline does not exist (GPU MIS).
+fn baseline_geps(
+    algo: Algorithm,
+    input: &GraphInput,
+    gpu: Option<Device>,
+    threads: usize,
+) -> Option<f64> {
+    let m = input.num_edges() as f64;
+    let secs = match (algo, gpu) {
+        (Algorithm::Bfs, Some(d)) => indigo_baselines::bfs::gpu(input, d, indigo_core::SOURCE).1,
+        (Algorithm::Bfs, None) => indigo_baselines::bfs::cpu(input, threads, indigo_core::SOURCE).1,
+        (Algorithm::Sssp, Some(d)) => indigo_baselines::sssp::gpu(input, d, indigo_core::SOURCE).1,
+        (Algorithm::Sssp, None) => {
+            indigo_baselines::sssp::cpu(input, threads, indigo_core::SOURCE).1
+        }
+        (Algorithm::Cc, Some(d)) => indigo_baselines::cc::gpu(input, d).1,
+        (Algorithm::Cc, None) => indigo_baselines::cc::cpu(input, threads).1,
+        (Algorithm::Mis, Some(_)) => return None, // not in Gardenia (§5.17)
+        (Algorithm::Mis, None) => indigo_baselines::mis::cpu(input, threads).1,
+        (Algorithm::Pr, Some(d)) => indigo_baselines::pr::gpu(input, d).1,
+        (Algorithm::Pr, None) => indigo_baselines::pr::cpu(input, threads).1,
+        (Algorithm::Tc, Some(d)) => indigo_baselines::tc::gpu(input, d).1,
+        (Algorithm::Tc, None) => indigo_baselines::tc::cpu(input, threads).1,
+    };
+    (secs > 0.0).then(|| m / secs / 1e9)
+}
+
+/// The best style per (model, algorithm): highest average GE/s over all
+/// inputs and targets of that model.
+pub fn best_styles(ds: &Dataset) -> HashMap<(Model, Algorithm), StyleConfig> {
+    let mut sums: HashMap<String, (StyleConfig, f64, usize)> = HashMap::new();
+    for m in &ds.measurements {
+        if !m.geps.is_finite() {
+            continue;
+        }
+        let e = sums.entry(m.cfg.name()).or_insert((m.cfg, 0.0, 0));
+        e.1 += m.geps;
+        e.2 += 1;
+    }
+    let mut best: HashMap<(Model, Algorithm), (StyleConfig, f64)> = HashMap::new();
+    for (cfg, total, count) in sums.into_values() {
+        let avg = total / count as f64;
+        let key = (cfg.model, cfg.algorithm);
+        match best.get(&key) {
+            Some((_, cur)) if *cur >= avg => {}
+            _ => {
+                best.insert(key, (cfg, avg));
+            }
+        }
+    }
+    best.into_iter().map(|(k, (cfg, _))| (k, cfg)).collect()
+}
+
+/// Builds the Fig 16 + Table 6 report.
+pub fn fig16(ds: &Dataset) -> Report {
+    let mut r = Report::new(
+        "fig16",
+        "Best style per algorithm vs optimized baselines; Table 6 geomeans (§5.17)",
+    );
+    r.csv_row("model,target,algorithm,graph,best_style,speedup");
+    let best = best_styles(ds);
+
+    // per-model target list: (gpu device, threads) pairs
+    let gpu_targets: Vec<(String, Option<Device>, usize)> = vec![
+        (titan_v().name.to_string(), Some(titan_v()), 0),
+        (rtx3090().name.to_string(), Some(rtx3090()), 0),
+    ];
+    let cpu_targets: Vec<(String, Option<Device>, usize)> = SYSTEM_PROFILES
+        .iter()
+        .map(|p| (p.name.to_string(), None, p.threads))
+        .collect();
+
+    let mut table6: Vec<(Model, Vec<(Algorithm, f64)>)> = Vec::new();
+    for model in Model::ALL {
+        let targets = if model == Model::Cuda { &gpu_targets } else { &cpu_targets };
+        r.line(format!("-- {} --", model.display()));
+        let mut per_algo_geo: Vec<(Algorithm, f64)> = Vec::new();
+        for algo in Algorithm::ALL {
+            let Some(cfg) = best.get(&(model, algo)) else { continue };
+            let mut speedups = Vec::new();
+            for &which in &SUITE_GRAPHS {
+                let input = GraphInput::new(suite_graph(which, ds.scale));
+                for (tname, gpu, threads) in targets {
+                    let ours = ds
+                        .measurements
+                        .iter()
+                        .find(|m| {
+                            m.cfg == *cfg && m.graph == which.label() && &m.target == tname
+                        })
+                        .map(|m| m.geps);
+                    let Some(ours) = ours else { continue };
+                    let Some(base) = baseline_geps(algo, &input, *gpu, *threads) else {
+                        continue;
+                    };
+                    let speedup = ours / base;
+                    speedups.push(speedup);
+                    r.csv_row(format!(
+                        "{},{tname},{},{},{},{speedup:.4}",
+                        model.label(),
+                        algo.abbrev(),
+                        which.label(),
+                        cfg.name()
+                    ));
+                }
+            }
+            if !speedups.is_empty() {
+                let geo = geomean(&speedups);
+                per_algo_geo.push((algo, geo));
+                r.line(format!(
+                    "{:<5} best={}  speedup geomean {:.2} (min {:.2}, max {:.2}, n={})",
+                    algo.abbrev(),
+                    best[&(model, algo)].name(),
+                    geo,
+                    speedups.iter().copied().fold(f64::INFINITY, f64::min),
+                    speedups.iter().copied().fold(0.0f64, f64::max),
+                    speedups.len()
+                ));
+            } else {
+                r.line(format!("{:<5} (no baseline — N/A)", algo.abbrev()));
+            }
+        }
+        let geos: Vec<f64> = per_algo_geo.iter().map(|(_, g)| *g).collect();
+        r.line(format!(
+            "{} Table-6 geomean over algorithms: {:.2}",
+            model.display(),
+            geomean(&geos)
+        ));
+        table6.push((model, per_algo_geo));
+    }
+
+    r.line("");
+    r.line("Table 6 analog (average speedup over baseline codes):");
+    let order = [
+        Algorithm::Bfs,
+        Algorithm::Sssp,
+        Algorithm::Cc,
+        Algorithm::Mis,
+        Algorithm::Pr,
+        Algorithm::Tc,
+    ];
+    let mut head = format!("{:<12}", "Language");
+    for a in order {
+        head.push_str(&format!(" {:>6}", a.abbrev()));
+    }
+    head.push_str("  Geomean");
+    r.line(&head);
+    for (model, per_algo) in &table6 {
+        let mut row = format!("{:<12}", model.display());
+        for a in order {
+            match per_algo.iter().find(|(x, _)| *x == a) {
+                Some((_, g)) => row.push_str(&format!(" {g:>6.2}")),
+                None => row.push_str(&format!(" {:>6}", "N/A")),
+            }
+        }
+        let geos: Vec<f64> = per_algo.iter().map(|(_, g)| *g).collect();
+        row.push_str(&format!("  {:>7.2}", geomean(&geos)));
+        r.line(&row);
+    }
+    r
+}

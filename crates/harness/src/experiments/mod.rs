@@ -1,0 +1,275 @@
+//! One module (or spec entry) per paper table/figure.
+//!
+//! Figures 1–8, 12, and 13 are all "two options of one dimension, all other
+//! styles fixed" boxen plots; they share the [`PairSpec`] builder. Figures
+//! 9–11 plot raw throughputs of three-way styles; 14–16 and the §5.13
+//! correlation have dedicated modules, as do the Tables.
+
+pub mod correlation;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod tables;
+pub mod throughput;
+
+use crate::matrix::{Measurement, RunPlan};
+use crate::ratios;
+use crate::report::Report;
+use crate::stats::Summary;
+use indigo_graph::gen::Scale;
+use indigo_styles::{Algorithm, Model, StyleConfig};
+
+/// The full measured dataset all experiments derive from.
+pub struct Dataset {
+    /// Every suite variant on every input on every default target.
+    pub measurements: Vec<Measurement>,
+    /// Instance scale the measurements were taken at.
+    pub scale: Scale,
+}
+
+impl Dataset {
+    /// Runs the complete suite (all models, all algorithms, all inputs).
+    pub fn collect(scale: Scale, reps: usize, progress: impl FnMut(usize, usize)) -> Dataset {
+        let plan = RunPlan::for_algorithms(&Algorithm::ALL, &Model::ALL, scale, reps);
+        Dataset { measurements: plan.run(progress), scale }
+    }
+
+    /// Measurements restricted to one model.
+    pub fn of_model(&self, model: Model) -> Vec<Measurement> {
+        self.measurements.iter().filter(|m| m.cfg.model == model).cloned().collect()
+    }
+
+    /// Measurements of the two CPU models together.
+    pub fn cpu(&self) -> Vec<Measurement> {
+        self.measurements.iter().filter(|m| m.cfg.model.is_cpu()).cloned().collect()
+    }
+}
+
+/// Declarative description of one pairwise-ratio figure.
+pub struct PairSpec {
+    /// Report id (`"fig01"` …).
+    pub id: &'static str,
+    /// Paper caption.
+    pub title: &'static str,
+    /// Dimension key (see [`StyleConfig::dimension_label`]).
+    pub dim: &'static str,
+    /// Numerator option label.
+    pub numer: &'static str,
+    /// Denominator option label.
+    pub denom: &'static str,
+    /// Models included.
+    pub models: &'static [Model],
+    /// Algorithms included (`None` = all that carry the dimension).
+    pub algos: Option<&'static [Algorithm]>,
+    /// Additional variant predicate (e.g. Fig 2c's thread-granularity TC).
+    pub extra: Option<fn(&StyleConfig) -> bool>,
+}
+
+/// All pairwise-ratio figures of §5, in paper order.
+pub const PAIR_SPECS: &[PairSpec] = &[
+    PairSpec {
+        id: "fig01",
+        title: "Throughput ratios of Atomic over CudaAtomic (§5.1)",
+        dim: "atomic",
+        numer: "atomic",
+        denom: "cudaatomic",
+        models: &[Model::Cuda],
+        algos: None,
+        extra: None,
+    },
+    PairSpec {
+        id: "fig02",
+        title: "Throughput ratios of vertex- over edge-based (§5.2)",
+        dim: "direction",
+        numer: "vertex",
+        denom: "edge",
+        models: &[Model::Cuda, Model::Omp, Model::Cpp],
+        algos: None,
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig02c",
+        title: "Vertex/edge ratios of thread-granularity TC (§5.2, Fig 2c)",
+        dim: "direction",
+        numer: "vertex",
+        denom: "edge",
+        models: &[Model::Cuda],
+        algos: Some(&[Algorithm::Tc]),
+        extra: Some(|c| {
+            c.granularity == Some(indigo_styles::Granularity::Thread)
+                && exclude_cudaatomic(c)
+        }),
+    },
+    PairSpec {
+        id: "fig03",
+        title: "Topology-driven over data-driven with duplicates (§5.3.1)",
+        dim: "drive",
+        numer: "topo",
+        denom: "data-dup",
+        models: &[Model::Cuda, Model::Omp, Model::Cpp],
+        algos: Some(&[Algorithm::Cc, Algorithm::Bfs, Algorithm::Sssp]),
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig04",
+        title: "Topology-driven over data-driven without duplicates (§5.3.2)",
+        dim: "drive",
+        numer: "topo",
+        denom: "data-nodup",
+        models: &[Model::Cuda, Model::Omp, Model::Cpp],
+        algos: Some(&[Algorithm::Cc, Algorithm::Mis, Algorithm::Bfs, Algorithm::Sssp]),
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig05",
+        title: "Throughput ratios of push over pull (§5.4)",
+        dim: "flow",
+        numer: "push",
+        denom: "pull",
+        models: &[Model::Cuda, Model::Omp, Model::Cpp],
+        algos: None,
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig06",
+        title: "Read-write over read-modify-write (§5.5)",
+        dim: "update",
+        numer: "rw",
+        denom: "rmw",
+        models: &[Model::Cuda, Model::Omp, Model::Cpp],
+        algos: Some(&[Algorithm::Cc, Algorithm::Bfs, Algorithm::Sssp]),
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig07",
+        title: "Deterministic over internally non-deterministic (§5.6)",
+        dim: "determinism",
+        numer: "det",
+        denom: "nondet",
+        models: &[Model::Cuda, Model::Omp, Model::Cpp],
+        algos: None,
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig08",
+        title: "Persistent over non-persistent (§5.7)",
+        dim: "persistence",
+        numer: "persist",
+        denom: "nonpersist",
+        models: &[Model::Cuda],
+        algos: None,
+        extra: Some(exclude_cudaatomic),
+    },
+    PairSpec {
+        id: "fig12",
+        title: "Default over dynamic scheduling, OpenMP (§5.11)",
+        dim: "omp_schedule",
+        numer: "default",
+        denom: "dynamic",
+        models: &[Model::Omp],
+        algos: None,
+        extra: None,
+    },
+    PairSpec {
+        id: "fig13",
+        title: "Blocked over cyclic scheduling, C++ threads (§5.12)",
+        dim: "cpp_schedule",
+        numer: "blocked",
+        denom: "cyclic",
+        models: &[Model::Cpp],
+        algos: None,
+        extra: None,
+    },
+];
+
+/// §5.1 removes the CudaAtomic codes from all later sections "to narrow
+/// down the ranges of the presented throughput ratios".
+fn exclude_cudaatomic(c: &StyleConfig) -> bool {
+    c.atomic != Some(indigo_styles::AtomicKind::CudaAtomic)
+}
+
+/// Builds the report for one [`PairSpec`] from the dataset.
+pub fn pair_report(spec: &PairSpec, ds: &Dataset) -> Report {
+    let mut report = Report::new(spec.id, spec.title);
+    report.csv_row("target,algorithm,n,min,p25,median,p75,max,frac_above_1");
+    let selected: Vec<Measurement> = ds
+        .measurements
+        .iter()
+        .filter(|m| spec.models.contains(&m.cfg.model))
+        .filter(|m| spec.algos.map_or(true, |a| a.contains(&m.cfg.algorithm)))
+        .filter(|m| spec.extra.map_or(true, |f| f(&m.cfg)))
+        .cloned()
+        .collect();
+    let ratios = ratios::ratio_set(&selected, spec.dim, spec.numer, spec.denom);
+    if ratios.is_empty() {
+        report.line("(no variant pairs in the measured subset)");
+        return report;
+    }
+    let (lo, hi) = ratios
+        .iter()
+        .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| (lo.min(r.value), hi.max(r.value)));
+
+    let mut targets: Vec<String> = ratios.iter().map(|r| r.target.clone()).collect();
+    targets.sort();
+    targets.dedup();
+    for target in &targets {
+        report.line(format!("-- {target} --"));
+        report.line(Summary::header());
+        for algo in Algorithm::ALL {
+            let values: Vec<f64> = ratios
+                .iter()
+                .filter(|r| &r.target == target && r.algorithm == algo)
+                .map(|r| r.value)
+                .collect();
+            if let Some(s) = Summary::compute(&values) {
+                report.line(s.row(algo.abbrev()));
+                report.line(format!(
+                    "{:18} [{}]  (log scale {:.2e}..{:.2e}, '|' median)",
+                    "",
+                    s.strip(lo, hi, 46),
+                    lo,
+                    hi
+                ));
+                report.csv_row(format!(
+                    "{target},{},{},{},{},{},{},{},{}",
+                    algo.abbrev(),
+                    s.n,
+                    s.min,
+                    s.p25,
+                    s.median,
+                    s.p75,
+                    s.max,
+                    s.frac_above_one
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Runs every pairwise figure.
+pub fn all_pair_reports(ds: &Dataset) -> Vec<Report> {
+    PAIR_SPECS.iter().map(|s| pair_report(s, ds)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_have_unique_ids_and_valid_dims() {
+        let mut ids: Vec<&str> = PAIR_SPECS.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), PAIR_SPECS.len());
+        for s in PAIR_SPECS {
+            assert!(
+                StyleConfig::DIMENSIONS.contains(&s.dim),
+                "{} uses unknown dimension {}",
+                s.id,
+                s.dim
+            );
+            assert_ne!(s.numer, s.denom);
+        }
+    }
+}

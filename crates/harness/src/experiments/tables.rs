@@ -1,0 +1,84 @@
+//! Tables 1–5 of the paper.
+
+use crate::report::Report;
+use indigo_graph::gen::{suite_graph, Scale, SUITE_GRAPHS};
+use indigo_graph::stats::GraphStats;
+use indigo_styles::applicability;
+
+/// Table 1: the six graph problems.
+pub fn table1() -> Report {
+    let mut r = Report::new("table1", "Graph problems used in the study");
+    r.line("Category     | Name and abbreviation");
+    r.line("Connectivity | Connected Components (CC)");
+    r.line("Covering     | Maximal Independent Set (MIS)");
+    r.line("Eigenvector  | PageRank (PR)");
+    r.line("Substructure | Triangle Counting (TC)");
+    r.line("Shortest path| Breadth-First Search (BFS), Single Source Shortest Path (SSSP)");
+    r
+}
+
+/// Table 2: style applicability matrix (derived from the enumerator).
+pub fn table2() -> Report {
+    let mut r = Report::new("table2", "Included implementation styles (derived)");
+    for line in applicability::render_matrix().lines() {
+        r.line(line);
+    }
+    r
+}
+
+/// Table 3: number of code versions per model and algorithm.
+pub fn table3() -> Report {
+    let mut r = Report::new(
+        "table3",
+        "Number of code versions (paper: 754/176/176 = 1106; ours below)",
+    );
+    for line in applicability::render_counts().lines() {
+        r.line(line);
+    }
+    r
+}
+
+/// Tables 4 + 5: input graph information at the given scale.
+pub fn tables45(scale: Scale) -> Report {
+    let mut r = Report::new(
+        "table45",
+        format!("Graph and degree information at {scale:?} scale (paper Tables 4/5)"),
+    );
+    r.line("name | nodes | directed edges | size | d_avg | d_max | d>=32 | d>=512 | diam(lb) | comps");
+    r.csv_row("name,paper_input,nodes,edges,size_mb,avg_degree,max_degree,pct_ge32,pct_ge512,diameter_lb,components");
+    for which in SUITE_GRAPHS {
+        let g = suite_graph(which, scale);
+        let s = GraphStats::compute(&g);
+        r.line(s.table_row(which.label()));
+        r.csv_row(format!(
+            "{},{},{},{},{:.2},{:.2},{},{:.2},{:.4},{},{}",
+            which.label(),
+            which.paper_input(),
+            s.nodes,
+            s.edges,
+            s.size_mb,
+            s.avg_degree,
+            s.max_degree,
+            s.pct_deg_ge32,
+            s.pct_deg_ge512,
+            s.diameter_lb,
+            s.components
+        ));
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        assert!(table1().render().contains("PageRank"));
+        assert!(table2().render().contains("direction:vertex"));
+        assert!(table3().render().contains("CUDA"));
+        let t45 = tables45(Scale::Tiny);
+        assert!(t45.render().contains("road"));
+        assert_eq!(t45.csv.len(), 6); // header + 5 graphs
+    }
+}

@@ -1,0 +1,115 @@
+//! Figures 9–11: raw throughputs of three-way style dimensions.
+//!
+//! Fig 9 plots thread/warp/block throughputs on the road map and the social
+//! network; Fig 10 the three GPU reduction styles on PR/TC; Fig 11 the
+//! three CPU reduction styles on PR/TC.
+
+use super::Dataset;
+use crate::report::Report;
+use crate::stats::Summary;
+use indigo_styles::{Algorithm, Model};
+
+fn style_throughput_block(
+    report: &mut Report,
+    ds: &Dataset,
+    dim: &str,
+    options: &[&str],
+    models: &[Model],
+    algos: &[Algorithm],
+    graphs: Option<&[&str]>,
+) {
+    report.csv_row("target,graph,algorithm,style,n,median_geps,min,max");
+    let mut targets: Vec<String> = ds
+        .measurements
+        .iter()
+        .filter(|m| models.contains(&m.cfg.model))
+        .map(|m| m.target.clone())
+        .collect();
+    targets.sort();
+    targets.dedup();
+    for target in &targets {
+        report.line(format!("-- {target} --"));
+        report.line(Summary::header());
+        for algo in algos {
+            for &opt in options {
+                let values: Vec<f64> = ds
+                    .measurements
+                    .iter()
+                    .filter(|m| {
+                        m.target == *target
+                            && m.cfg.algorithm == *algo
+                            && models.contains(&m.cfg.model)
+                            && m.cfg.dimension_label(dim) == Some(opt)
+                            && graphs.map_or(true, |gs| gs.contains(&m.graph))
+                    })
+                    .map(|m| m.geps)
+                    .collect();
+                if let Some(s) = Summary::compute(&values) {
+                    report.line(s.row(&format!("{} {}", algo.abbrev(), opt)));
+                    report.csv_row(format!(
+                        "{target},{},{},{},{},{},{},{}",
+                        graphs.map_or("all", |g| g[0]),
+                        algo.abbrev(),
+                        opt,
+                        s.n,
+                        s.median,
+                        s.min,
+                        s.max
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Fig 9: GPU throughputs of thread/warp/block granularity on the road map
+/// (9a) and the social network (9b).
+pub fn fig09(ds: &Dataset) -> Report {
+    let mut r = Report::new(
+        "fig09",
+        "GPU throughputs of thread/warp/block granularity (§5.8)",
+    );
+    for (part, graph) in [("(a) road map", "road"), ("(b) social network", "soc-net")] {
+        r.line(format!("{part} [{graph}]"));
+        style_throughput_block(
+            &mut r,
+            ds,
+            "granularity",
+            &["thread", "warp", "block"],
+            &[Model::Cuda],
+            &Algorithm::ALL,
+            Some(&[graph]),
+        );
+    }
+    r
+}
+
+/// Fig 10: GPU reduction styles (PR and TC only).
+pub fn fig10(ds: &Dataset) -> Report {
+    let mut r = Report::new("fig10", "Throughputs of GPU reduction styles (§5.9)");
+    style_throughput_block(
+        &mut r,
+        ds,
+        "gpu_reduction",
+        &["global-add", "block-add", "reduction-add"],
+        &[Model::Cuda],
+        &[Algorithm::Pr, Algorithm::Tc],
+        None,
+    );
+    r
+}
+
+/// Fig 11: CPU reduction styles (PR and TC only).
+pub fn fig11(ds: &Dataset) -> Report {
+    let mut r = Report::new("fig11", "Throughputs of CPU reduction styles (§5.10)");
+    style_throughput_block(
+        &mut r,
+        ds,
+        "cpu_reduction",
+        &["atomic-red", "critical-red", "clause-red"],
+        &[Model::Omp, Model::Cpp],
+        &[Algorithm::Pr, Algorithm::Tc],
+        None,
+    );
+    r
+}

@@ -1,0 +1,26 @@
+//! # indigo-harness
+//!
+//! The measurement and reporting harness that regenerates every table and
+//! figure of the paper's evaluation (§4.5, §5):
+//!
+//! * [`matrix`] — runs a (filtered) variant × input × target matrix,
+//!   collecting verified [`Measurement`]s in the paper's giga-edges-per-
+//!   second metric (median of N repetitions for the wall-clocked CPU
+//!   models; the GPU simulator is deterministic, so one run suffices);
+//! * [`stats`] — quantile/letter-value summaries (the textual analog of the
+//!   paper's boxen plots), geometric means, and Pearson correlation;
+//! * [`ratios`] — the paper's "all other styles fixed" pairwise ratio
+//!   machinery (§5 intro), built on [`indigo_styles::StyleConfig::peer_key`];
+//! * [`experiments`] — one module per table/figure, each producing a
+//!   [`report::Report`];
+//! * the `indigo-exp` binary — CLI driver that writes reports and CSVs
+//!   under `results/`.
+
+pub mod experiments;
+pub mod matrix;
+pub mod ratios;
+pub mod report;
+pub mod stats;
+
+pub use matrix::{Measurement, RunPlan, TargetSpec};
+pub use report::Report;

@@ -1,0 +1,203 @@
+//! The run matrix: every selected variant on every input on every target.
+
+use indigo_core::{run_variant, verify, GraphInput, Target};
+use indigo_exec::SYSTEM_PROFILES;
+use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
+use indigo_gpusim::{rtx3090, titan_v, Device};
+use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
+
+/// One measured (variant, input, target) cell.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// The program variant.
+    pub cfg: StyleConfig,
+    /// Input graph label (`SuiteGraph::label`).
+    pub graph: &'static str,
+    /// Target label (`"TitanV-sim"`, `"sys1"`, …).
+    pub target: String,
+    /// Throughput in giga-edges per second (§4.5).
+    pub geps: f64,
+    /// Convergence iterations of the run.
+    pub iterations: usize,
+}
+
+/// A measurement target: one simulated GPU or one CPU system profile.
+#[derive(Clone, Debug)]
+pub enum TargetSpec {
+    /// Simulated GPU device.
+    Gpu(Device),
+    /// CPU profile: name + thread count.
+    Cpu(&'static str, usize),
+}
+
+impl TargetSpec {
+    /// Display label used in reports.
+    pub fn label(&self) -> String {
+        match self {
+            TargetSpec::Gpu(d) => d.name.to_string(),
+            TargetSpec::Cpu(name, _) => name.to_string(),
+        }
+    }
+
+    /// The default targets for a model: both GPUs for CUDA, both system
+    /// profiles for the CPU models (§4.3).
+    pub fn defaults_for(model: Model) -> Vec<TargetSpec> {
+        match model {
+            Model::Cuda => vec![TargetSpec::Gpu(titan_v()), TargetSpec::Gpu(rtx3090())],
+            _ => SYSTEM_PROFILES
+                .iter()
+                .map(|p| TargetSpec::Cpu(p.name, p.threads))
+                .collect(),
+        }
+    }
+}
+
+/// What to run.
+pub struct RunPlan {
+    /// Variants to measure.
+    pub variants: Vec<StyleConfig>,
+    /// Inputs (paper Table 4 families).
+    pub graphs: Vec<SuiteGraph>,
+    /// Instance scale.
+    pub scale: Scale,
+    /// Wall-clock repetitions for CPU runs (median taken; the paper uses 9).
+    pub reps: usize,
+    /// Verify every output against the serial reference (§4.1). Slows large
+    /// sweeps; recommended on.
+    pub verify: bool,
+}
+
+impl RunPlan {
+    /// Every variant of `algorithms` under `models`, all five inputs.
+    pub fn for_algorithms(
+        algorithms: &[Algorithm],
+        models: &[Model],
+        scale: Scale,
+        reps: usize,
+    ) -> RunPlan {
+        let variants = models
+            .iter()
+            .flat_map(|&m| algorithms.iter().flat_map(move |&a| enumerate::variants(a, m)))
+            .collect();
+        RunPlan { variants, graphs: SUITE_GRAPHS.to_vec(), scale, reps, verify: true }
+    }
+
+    /// Keeps only variants satisfying `pred`.
+    pub fn filter(mut self, pred: impl Fn(&StyleConfig) -> bool) -> RunPlan {
+        self.variants.retain(|c| pred(c));
+        self
+    }
+
+    /// Restricts the input set.
+    pub fn with_graphs(mut self, graphs: Vec<SuiteGraph>) -> RunPlan {
+        self.graphs = graphs;
+        self
+    }
+
+    /// Runs the full matrix on every default target of each variant's
+    /// model; `progress` is invoked with (done, total) after each cell.
+    pub fn run(&self, mut progress: impl FnMut(usize, usize)) -> Vec<Measurement> {
+        let mut out = Vec::new();
+        let total = self.graphs.len();
+        let mut done = 0usize;
+        for &which in &self.graphs {
+            let input = GraphInput::new(suite_graph(which, self.scale));
+            // upload once per (graph), reused by every GPU variant
+            let dg = indigo_core::gpu::DeviceGraph::upload(&input);
+            for cfg in &self.variants {
+                let targets = TargetSpec::defaults_for(cfg.model);
+                for target in targets {
+                    let m = self.run_cell(cfg, which, &input, &dg, &target);
+                    out.push(m);
+                }
+            }
+            done += 1;
+            progress(done, total);
+        }
+        out
+    }
+
+    fn run_cell(
+        &self,
+        cfg: &StyleConfig,
+        which: SuiteGraph,
+        input: &GraphInput,
+        dg: &indigo_core::gpu::DeviceGraph,
+        target: &TargetSpec,
+    ) -> Measurement {
+        let (result, reps) = match target {
+            TargetSpec::Gpu(device) => {
+                // the simulator is deterministic: one run is exact
+                (indigo_core::run_gpu(cfg, dg, *device), 1)
+            }
+            TargetSpec::Cpu(_, threads) => {
+                (run_variant(cfg, input, &Target::cpu(*threads)), self.reps.max(1))
+            }
+        };
+        let mut secs = vec![result.secs];
+        if reps > 1 {
+            if let TargetSpec::Cpu(_, threads) = target {
+                for _ in 1..reps {
+                    secs.push(run_variant(cfg, input, &Target::cpu(*threads)).secs);
+                }
+            }
+        }
+        secs.sort_by(f64::total_cmp);
+        let median = secs[secs.len() / 2];
+        if self.verify {
+            if let Err(e) = verify::check(cfg, input, &result.output) {
+                panic!("verification failed for {} on {}: {e}", cfg.name(), input.name());
+            }
+        }
+        let geps = if median > 0.0 {
+            input.num_edges() as f64 / median / 1e9
+        } else {
+            f64::INFINITY
+        };
+        Measurement {
+            cfg: *cfg,
+            graph: which.label(),
+            target: target.label(),
+            geps,
+            iterations: result.iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_matrix_runs_and_verifies() {
+        let plan = RunPlan::for_algorithms(&[Algorithm::Bfs], &[Model::Cpp], Scale::Tiny, 1)
+            .filter(|c| c.cpp_schedule == Some(indigo_styles::CppSchedule::Blocked))
+            .with_graphs(vec![SuiteGraph::Grid2d]);
+        let ms = plan.run(|_, _| {});
+        // 20 blocked BFS Cpp variants × 1 graph × 2 system profiles
+        assert_eq!(ms.len(), plan.variants.len() * 2);
+        assert!(ms.iter().all(|m| m.geps.is_finite() && m.geps > 0.0));
+    }
+
+    #[test]
+    fn gpu_cells_are_deterministic() {
+        let plan = RunPlan::for_algorithms(&[Algorithm::Tc], &[Model::Cuda], Scale::Tiny, 1)
+            .filter(|c| c.granularity == Some(indigo_styles::Granularity::Warp))
+            .with_graphs(vec![SuiteGraph::CoPapers]);
+        let a = plan.run(|_, _| {});
+        let b = plan.run(|_, _| {});
+        let ga: Vec<f64> = a.iter().map(|m| m.geps).collect();
+        let gb: Vec<f64> = b.iter().map(|m| m.geps).collect();
+        assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn target_labels_distinct() {
+        let cuda = TargetSpec::defaults_for(Model::Cuda);
+        let cpu = TargetSpec::defaults_for(Model::Omp);
+        assert_eq!(cuda.len(), 2);
+        assert_eq!(cpu.len(), 2);
+        assert_ne!(cuda[0].label(), cuda[1].label());
+        assert_ne!(cpu[0].label(), cpu[1].label());
+    }
+}

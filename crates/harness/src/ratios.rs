@@ -1,0 +1,133 @@
+//! "All other styles fixed" pairwise ratios (§5 intro).
+//!
+//! To contrast two options of one dimension, the paper divides the
+//! throughputs of variant pairs that differ *only* in that dimension —
+//! e.g. thread-level push vs thread-level pull. [`ratio_set`] reproduces
+//! that: measurements are grouped by `(graph, target, peer_key(dim))`, and
+//! within each group the throughput of the `numer`-labeled variant is
+//! divided by the `denom`-labeled one.
+
+use crate::matrix::Measurement;
+use std::collections::HashMap;
+
+/// One computed ratio with its provenance.
+#[derive(Clone, Debug)]
+pub struct Ratio {
+    /// Numerator style's measurement.
+    pub algorithm: indigo_styles::Algorithm,
+    /// Input label.
+    pub graph: &'static str,
+    /// Target label.
+    pub target: String,
+    /// `numer.geps / denom.geps`.
+    pub value: f64,
+}
+
+/// Computes all `numer`/`denom` ratios for dimension `dim` over a
+/// measurement set, holding every other dimension fixed.
+pub fn ratio_set(
+    measurements: &[Measurement],
+    dim: &str,
+    numer: &str,
+    denom: &str,
+) -> Vec<Ratio> {
+    let mut groups: HashMap<(String, &'static str, String), (Option<&Measurement>, Option<&Measurement>)> =
+        HashMap::new();
+    for m in measurements {
+        let Some(label) = m.cfg.dimension_label(dim) else { continue };
+        let key = (m.cfg.peer_key(dim), m.graph, m.target.clone());
+        let entry = groups.entry(key).or_default();
+        if label == numer {
+            entry.0 = Some(m);
+        } else if label == denom {
+            entry.1 = Some(m);
+        }
+    }
+    let mut out = Vec::new();
+    for ((_, graph, target), (a, b)) in groups {
+        if let (Some(a), Some(b)) = (a, b) {
+            if b.geps > 0.0 && a.geps.is_finite() && b.geps.is_finite() {
+                out.push(Ratio {
+                    algorithm: a.cfg.algorithm,
+                    graph,
+                    target,
+                    value: a.geps / b.geps,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Ratio values of one algorithm (for per-algorithm boxen groups).
+pub fn values_for(ratios: &[Ratio], algorithm: indigo_styles::Algorithm) -> Vec<f64> {
+    ratios
+        .iter()
+        .filter(|r| r.algorithm == algorithm)
+        .map(|r| r.value)
+        .collect()
+}
+
+/// Median throughput of the measurements selected by `pred`.
+pub fn median_geps(measurements: &[Measurement], pred: impl Fn(&Measurement) -> bool) -> f64 {
+    let mut v: Vec<f64> = measurements
+        .iter()
+        .filter(|m| pred(m) && m.geps.is_finite())
+        .map(|m| m.geps)
+        .collect();
+    if v.is_empty() {
+        return f64::NAN;
+    }
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_styles::{Algorithm, Flow, Model, StyleConfig};
+
+    fn meas(cfg: StyleConfig, geps: f64) -> Measurement {
+        Measurement { cfg, graph: "g", target: "t".into(), geps, iterations: 1 }
+    }
+
+    #[test]
+    fn pairs_only_differing_in_dim() {
+        let push = StyleConfig::baseline(Algorithm::Sssp, Model::Cpp);
+        let mut pull = push;
+        pull.flow = Some(Flow::Pull);
+        // a third variant differing in another dimension must not pair
+        let mut other = push;
+        other.determinism = indigo_styles::Determinism::Deterministic;
+        let ms = vec![meas(push, 4.0), meas(pull, 2.0), meas(other, 100.0)];
+        let rs = ratio_set(&ms, "flow", "push", "pull");
+        assert_eq!(rs.len(), 1);
+        assert!((rs[0].value - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unpaired_measurements_yield_nothing() {
+        let push = StyleConfig::baseline(Algorithm::Sssp, Model::Cpp);
+        let ms = vec![meas(push, 4.0)];
+        assert!(ratio_set(&ms, "flow", "push", "pull").is_empty());
+    }
+
+    #[test]
+    fn values_filter_by_algorithm() {
+        let push = StyleConfig::baseline(Algorithm::Sssp, Model::Cpp);
+        let mut pull = push;
+        pull.flow = Some(Flow::Pull);
+        let ms = vec![meas(push, 3.0), meas(pull, 1.0)];
+        let rs = ratio_set(&ms, "flow", "push", "pull");
+        assert_eq!(values_for(&rs, Algorithm::Sssp), vec![3.0]);
+        assert!(values_for(&rs, Algorithm::Bfs).is_empty());
+    }
+
+    #[test]
+    fn median_geps_selects() {
+        let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+        let ms = vec![meas(cfg, 1.0), meas(cfg, 5.0), meas(cfg, 3.0)];
+        assert_eq!(median_geps(&ms, |_| true), 3.0);
+        assert!(median_geps(&ms, |_| false).is_nan());
+    }
+}

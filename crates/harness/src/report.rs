@@ -1,0 +1,83 @@
+//! Report assembly and output.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One regenerated table/figure: human-readable text plus machine CSV.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Stable id, e.g. `"fig05"`.
+    pub id: String,
+    /// Title echoing the paper's caption.
+    pub title: String,
+    /// Rendered text (letter-value tables, strips, matrices).
+    pub text: String,
+    /// CSV rows (`header` first), for downstream plotting.
+    pub csv: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
+        Report { id: id.into(), title: title.into(), text: String::new(), csv: Vec::new() }
+    }
+
+    /// Appends a text line.
+    pub fn line(&mut self, s: impl AsRef<str>) -> &mut Self {
+        self.text.push_str(s.as_ref());
+        self.text.push('\n');
+        self
+    }
+
+    /// Appends a CSV row.
+    pub fn csv_row(&mut self, s: impl Into<String>) -> &mut Self {
+        self.csv.push(s.into());
+        self
+    }
+
+    /// Full display text (title + body).
+    pub fn render(&self) -> String {
+        format!("== {} — {} ==\n{}", self.id, self.title, self.text)
+    }
+
+    /// Writes `<dir>/<id>.txt` and (if any CSV rows) `<dir>/<id>.csv`.
+    pub fn write_to(&self, dir: impl AsRef<Path>) -> std::io::Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.txt", self.id)))?;
+        f.write_all(self.render().as_bytes())?;
+        if !self.csv.is_empty() {
+            let mut c = std::fs::File::create(dir.join(format!("{}.csv", self.id)))?;
+            for row in &self.csv {
+                writeln!(c, "{row}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_contains_title_and_body() {
+        let mut r = Report::new("fig99", "test figure");
+        r.line("hello");
+        let s = r.render();
+        assert!(s.contains("fig99"));
+        assert!(s.contains("test figure"));
+        assert!(s.contains("hello\n"));
+    }
+
+    #[test]
+    fn writes_files() {
+        let dir = std::env::temp_dir().join(format!("indigo-report-{}", std::process::id()));
+        let mut r = Report::new("t1", "t");
+        r.line("body").csv_row("a,b");
+        r.write_to(&dir).unwrap();
+        assert!(dir.join("t1.txt").exists());
+        assert!(dir.join("t1.csv").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,205 @@
+//! Distribution summaries: the textual analog of the paper's boxen
+//! (letter-value) plots, plus geometric means and Pearson correlation.
+
+/// Letter-value summary of a set of positive ratios/throughputs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub n: usize,
+    /// Minimum.
+    pub min: f64,
+    /// 12.5th percentile (outer letter value).
+    pub p12: f64,
+    /// Lower quartile.
+    pub p25: f64,
+    /// Median — the line in the paper's boxen plots.
+    pub median: f64,
+    /// Upper quartile.
+    pub p75: f64,
+    /// 87.5th percentile.
+    pub p87: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Fraction of samples above 1.0 (meaningful for ratios).
+    pub frac_above_one: f64,
+}
+
+impl Summary {
+    /// Computes the summary; returns `None` for an empty sample.
+    pub fn compute(values: &[f64]) -> Option<Summary> {
+        if values.is_empty() {
+            return None;
+        }
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(f64::total_cmp);
+        let q = |p: f64| -> f64 {
+            let idx = p * (v.len() - 1) as f64;
+            let lo = idx.floor() as usize;
+            let hi = idx.ceil() as usize;
+            let frac = idx - lo as f64;
+            v[lo] * (1.0 - frac) + v[hi] * frac
+        };
+        let above = v.iter().filter(|&&x| x > 1.0).count();
+        Some(Summary {
+            n: v.len(),
+            min: v[0],
+            p12: q(0.125),
+            p25: q(0.25),
+            median: q(0.5),
+            p75: q(0.75),
+            p87: q(0.875),
+            max: *v.last().unwrap(),
+            frac_above_one: above as f64 / v.len() as f64,
+        })
+    }
+
+    /// One formatted table row.
+    pub fn row(&self, label: &str) -> String {
+        format!(
+            "{label:<18} {:>5}  {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>9.3}  {:>5.1}%",
+            self.n,
+            self.min,
+            self.p12,
+            self.p25,
+            self.median,
+            self.p75,
+            self.p87,
+            self.max,
+            100.0 * self.frac_above_one
+        )
+    }
+
+    /// Header matching [`Summary::row`].
+    pub fn header() -> String {
+        format!(
+            "{:<18} {:>5}  {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}  {:>6}",
+            "group", "n", "min", "p12.5", "p25", "median", "p75", "p87.5", "max", ">1.0"
+        )
+    }
+
+    /// A log10-scale ASCII strip from min to max with quartile box and
+    /// median mark — the one-line boxen rendering used in the reports.
+    pub fn strip(&self, lo: f64, hi: f64, width: usize) -> String {
+        let lo = lo.max(1e-12).log10();
+        let hi = hi.max(1e-12).log10().max(lo + 1e-9);
+        let pos = |x: f64| -> usize {
+            let t = (x.max(1e-12).log10() - lo) / (hi - lo);
+            ((t.clamp(0.0, 1.0)) * (width.saturating_sub(1)) as f64).round() as usize
+        };
+        let mut chars = vec![' '; width];
+        for i in pos(self.min)..=pos(self.max) {
+            chars[i] = '-';
+        }
+        for i in pos(self.p25)..=pos(self.p75) {
+            chars[i] = '=';
+        }
+        for i in pos(self.p12)..=pos(self.p25) {
+            chars[i] = '~';
+        }
+        for i in pos(self.p75)..=pos(self.p87) {
+            chars[i] = '~';
+        }
+        chars[pos(self.median)] = '|';
+        chars.into_iter().collect()
+    }
+}
+
+/// Geometric mean of positive values (the paper's Table 6 aggregate).
+pub fn geomean(values: &[f64]) -> f64 {
+    let vals: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0 && v.is_finite()).collect();
+    if vals.is_empty() {
+        return f64::NAN;
+    }
+    (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+}
+
+/// Pearson correlation coefficient (§5.13).
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_quantiles_exact_on_small_sets() {
+        let s = Summary::compute(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 4.0);
+        assert!((s.frac_above_one - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::compute(&[]).is_none());
+        assert!(Summary::compute(&[f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::compute(&[2.5]).unwrap();
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.min, s.max);
+    }
+
+    #[test]
+    fn strip_marks_median() {
+        let s = Summary::compute(&[0.1, 1.0, 10.0]).unwrap();
+        let strip = s.strip(0.01, 100.0, 41);
+        assert_eq!(strip.len(), 41);
+        assert!(strip.contains('|'));
+        assert!(strip.contains('='));
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+        // zero/negative/non-finite values are excluded, not poisoning
+        assert!((geomean(&[4.0, 0.0, f64::INFINITY]) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_signs() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&xs, &up) - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &down) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let s = Summary::compute(&[1.0, 2.0]).unwrap();
+        // both render without panicking and start with the label column
+        assert!(Summary::header().starts_with("group"));
+        assert!(s.row("x").starts_with('x'));
+    }
+}

@@ -1,0 +1,6 @@
+//! Prints the Table 3 analog: variant counts per programming model and
+//! algorithm (`cargo run -p indigo-styles --example counts`).
+
+fn main() {
+    print!("{}", indigo_styles::applicability::render_counts());
+}

@@ -1,0 +1,175 @@
+//! The applicability matrix — our analog of the paper's Table 2.
+//!
+//! Rather than hand-maintaining a second copy of the rules, the matrix is
+//! *derived* from the enumerator: a `(dimension, option)` cell is marked `+`
+//! for an algorithm iff at least one valid variant of that algorithm uses
+//! that option. This keeps Table 2 and the validity predicate consistent by
+//! construction.
+
+use crate::config::StyleConfig;
+use crate::dims::{Algorithm, Model};
+use crate::enumerate;
+
+/// One row of the matrix: a dimension option and its per-algorithm marks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MatrixRow {
+    /// Dimension key (as accepted by [`StyleConfig::dimension_label`]).
+    pub dimension: &'static str,
+    /// Option label within the dimension.
+    pub option: &'static str,
+    /// `true` per algorithm in [`Algorithm::ALL`] order.
+    pub applies: [bool; 6],
+}
+
+/// The dimension/option pairs of Table 2, in the paper's row order.
+const ROWS: &[(&str, &[&str])] = &[
+    ("direction", &["vertex", "edge"]),
+    ("drive", &["topo", "data-dup", "data-nodup"]),
+    ("flow", &["push", "pull"]),
+    ("update", &["rw", "rmw"]),
+    ("determinism", &["det", "nondet"]),
+    ("persistence", &["persist", "nonpersist"]),
+    ("granularity", &["thread", "warp", "block"]),
+    ("atomic", &["atomic", "cudaatomic"]),
+    ("gpu_reduction", &["global-add", "block-add", "reduction-add"]),
+    ("cpu_reduction", &["atomic-red", "critical-red", "clause-red"]),
+    ("omp_schedule", &["default", "dynamic"]),
+    ("cpp_schedule", &["blocked", "cyclic"]),
+];
+
+/// Computes the full matrix by scanning every valid variant.
+pub fn matrix() -> Vec<MatrixRow> {
+    // collect per-algorithm sets of used (dimension, option) labels
+    let mut used: Vec<std::collections::HashSet<(String, String)>> =
+        vec![Default::default(); 6];
+    for cfg in enumerate::full_suite() {
+        let ai = Algorithm::ALL.iter().position(|&a| a == cfg.algorithm).unwrap();
+        for dim in StyleConfig::DIMENSIONS {
+            if let Some(opt) = cfg.dimension_label(dim) {
+                used[ai].insert((dim.to_string(), opt.to_string()));
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for &(dim, options) in ROWS {
+        for &opt in options {
+            let mut applies = [false; 6];
+            for (ai, set) in used.iter().enumerate() {
+                applies[ai] = set.contains(&(dim.to_string(), opt.to_string()));
+            }
+            rows.push(MatrixRow { dimension: dim, option: opt, applies });
+        }
+    }
+    rows
+}
+
+/// Renders the matrix as a pipe table (header matches the paper's order:
+/// CC, MIS, PR, TC, BFS, SSSP).
+pub fn render_matrix() -> String {
+    let mut out = String::from("style option | CC | MIS | PR | TC | BFS | SSSP\n");
+    for row in matrix() {
+        out.push_str(&format!("{}:{}", row.dimension, row.option));
+        for a in row.applies {
+            out.push_str(if a { " | +" } else { " | -" });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the Table 3 analog (variant counts per model and algorithm).
+pub fn render_counts() -> String {
+    let mut out = String::from("Language | CC | MIS | PR | TC | BFS | SSSP | Total\n");
+    let mut grand = 0usize;
+    for (m, counts, total) in enumerate::count_table() {
+        out.push_str(m.display());
+        for (_, c) in counts {
+            out.push_str(&format!(" | {c}"));
+        }
+        out.push_str(&format!(" | {total}\n"));
+        grand += total;
+    }
+    out.push_str(&format!("All models | | | | | | | {grand}\n"));
+    out
+}
+
+/// Convenience: does `algorithm` have any valid variant under `model`?
+pub fn supported(algorithm: Algorithm, model: Model) -> bool {
+    !enumerate::variants(algorithm, model).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row<'a>(rows: &'a [MatrixRow], dim: &str, opt: &str) -> &'a MatrixRow {
+        rows.iter()
+            .find(|r| r.dimension == dim && r.option == opt)
+            .unwrap_or_else(|| panic!("missing row {dim}:{opt}"))
+    }
+
+    /// Spot-check the derived matrix against the paper's printed Table 2.
+    #[test]
+    fn matches_paper_table2_highlights() {
+        let rows = matrix();
+        let [cc, mis, pr, tc, bfs, sssp] = [0, 1, 2, 3, 4, 5];
+
+        // PR is vertex-based only
+        assert!(row(&rows, "direction", "vertex").applies[pr]);
+        assert!(!row(&rows, "direction", "edge").applies[pr]);
+        // edge-based applies everywhere else
+        for a in [cc, mis, tc, bfs, sssp] {
+            assert!(row(&rows, "direction", "edge").applies[a]);
+        }
+        // data-driven: not PR, not TC; MIS nodup only
+        for a in [pr, tc] {
+            assert!(!row(&rows, "drive", "data-dup").applies[a]);
+            assert!(!row(&rows, "drive", "data-nodup").applies[a]);
+        }
+        assert!(!row(&rows, "drive", "data-dup").applies[mis]);
+        assert!(row(&rows, "drive", "data-nodup").applies[mis]);
+        // read-write: CC/BFS/SSSP only
+        for a in [cc, bfs, sssp] {
+            assert!(row(&rows, "update", "rw").applies[a]);
+        }
+        for a in [mis, pr, tc] {
+            assert!(!row(&rows, "update", "rw").applies[a]);
+        }
+        // CudaAtomic: excluded for PR
+        assert!(!row(&rows, "atomic", "cudaatomic").applies[pr]);
+        assert!(row(&rows, "atomic", "cudaatomic").applies[tc]);
+        // reductions: PR and TC only
+        for opt in ["global-add", "block-add", "reduction-add"] {
+            let r = row(&rows, "gpu_reduction", opt);
+            assert_eq!(r.applies, [false, false, true, true, false, false]);
+        }
+        // schedules apply to every algorithm
+        for opt in ["default", "dynamic"] {
+            assert_eq!(row(&rows, "omp_schedule", opt).applies, [true; 6]);
+        }
+    }
+
+    #[test]
+    fn render_matrix_has_all_rows() {
+        let text = render_matrix();
+        let expected_rows: usize = ROWS.iter().map(|(_, o)| o.len()).sum();
+        assert_eq!(text.lines().count(), expected_rows + 1);
+    }
+
+    #[test]
+    fn render_counts_mentions_all_models() {
+        let text = render_counts();
+        for m in Model::ALL {
+            assert!(text.contains(m.display()), "{text}");
+        }
+    }
+
+    #[test]
+    fn all_pairs_supported() {
+        for a in Algorithm::ALL {
+            for m in Model::ALL {
+                assert!(supported(a, m), "{a:?}/{m:?}");
+            }
+        }
+    }
+}

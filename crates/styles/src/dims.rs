@@ -1,0 +1,456 @@
+//! The style dimensions (paper §2.1–§2.12) plus the algorithm and
+//! programming-model axes.
+//!
+//! Every dimension is a small fieldless enum with an `ALL` constant (for the
+//! enumerator) and a stable lowercase `label` (for reports and the filter
+//! mini-language).
+
+/// The six graph problems of the study (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Algorithm {
+    /// Breadth-first search (shortest path category).
+    Bfs,
+    /// Single-source shortest path, Bellman-Ford style (§2's running example).
+    Sssp,
+    /// Connected components via label propagation (connectivity).
+    Cc,
+    /// Maximal independent set, priority/Luby style (covering).
+    Mis,
+    /// PageRank (eigenvector).
+    Pr,
+    /// Triangle counting (substructure).
+    Tc,
+}
+
+impl Algorithm {
+    /// All algorithms, in the paper's Table 2/3 column order.
+    pub const ALL: [Algorithm; 6] = [
+        Algorithm::Cc,
+        Algorithm::Mis,
+        Algorithm::Pr,
+        Algorithm::Tc,
+        Algorithm::Bfs,
+        Algorithm::Sssp,
+    ];
+
+    /// Lowercase label (`"bfs"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "bfs",
+            Algorithm::Sssp => "sssp",
+            Algorithm::Cc => "cc",
+            Algorithm::Mis => "mis",
+            Algorithm::Pr => "pr",
+            Algorithm::Tc => "tc",
+        }
+    }
+
+    /// Paper abbreviation (`"BFS"`, …).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "BFS",
+            Algorithm::Sssp => "SSSP",
+            Algorithm::Cc => "CC",
+            Algorithm::Mis => "MIS",
+            Algorithm::Pr => "PR",
+            Algorithm::Tc => "TC",
+        }
+    }
+
+    /// Whether the algorithm needs edge weights (only SSSP does).
+    pub fn needs_weights(self) -> bool {
+        matches!(self, Algorithm::Sssp)
+    }
+}
+
+/// The three programming models of the study (paper §4.1, Table 3).
+///
+/// `Cuda` is realized by the `indigo-gpusim` execution-model simulator;
+/// `Omp` and `Cpp` by the two CPU substrates in `indigo-exec`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Model {
+    /// CUDA analog, executed on the GPU simulator.
+    Cuda,
+    /// OpenMP analog (`parallel_for` pool with schedules and critical sections).
+    Omp,
+    /// C++11-threads analog (explicit threads, blocked/cyclic distribution).
+    Cpp,
+}
+
+impl Model {
+    /// All models, Table 3 row order.
+    pub const ALL: [Model; 3] = [Model::Cuda, Model::Omp, Model::Cpp];
+
+    /// Lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Model::Cuda => "cuda",
+            Model::Omp => "omp",
+            Model::Cpp => "cpp",
+        }
+    }
+
+    /// Display name used in the paper's tables.
+    pub fn display(self) -> &'static str {
+        match self {
+            Model::Cuda => "CUDA",
+            Model::Omp => "OpenMP",
+            Model::Cpp => "C++ threads",
+        }
+    }
+
+    /// True for the CPU models.
+    pub fn is_cpu(self) -> bool {
+        !matches!(self, Model::Cuda)
+    }
+}
+
+/// §2.1 — iterate over vertices or over edges.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// One work item per vertex, loop over its neighbors (Listing 1a).
+    VertexBased,
+    /// One work item per directed edge (Listing 1b).
+    EdgeBased,
+}
+
+impl Direction {
+    pub const ALL: [Direction; 2] = [Direction::VertexBased, Direction::EdgeBased];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Direction::VertexBased => "vertex",
+            Direction::EdgeBased => "edge",
+        }
+    }
+}
+
+/// §2.3 — worklist duplicate policy (data-driven only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorklistDup {
+    /// Threads push unconditionally (Listing 3a).
+    Duplicates,
+    /// An iteration-stamp check admits each vertex once (Listing 3b).
+    NoDuplicates,
+}
+
+impl WorklistDup {
+    pub const ALL: [WorklistDup; 2] = [WorklistDup::Duplicates, WorklistDup::NoDuplicates];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            WorklistDup::Duplicates => "dup",
+            WorklistDup::NoDuplicates => "nodup",
+        }
+    }
+}
+
+/// §2.2 — process everything, or only a worklist of likely-active elements.
+///
+/// The duplicate policy only exists for data-driven codes, so it is embedded
+/// here rather than being a free-floating dimension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Drive {
+    /// Process every vertex/edge each iteration (Listing 2a).
+    TopologyDriven,
+    /// Process only the worklist (Listing 2b), with the given dup policy.
+    DataDriven(WorklistDup),
+}
+
+impl Drive {
+    pub const ALL: [Drive; 3] = [
+        Drive::TopologyDriven,
+        Drive::DataDriven(WorklistDup::Duplicates),
+        Drive::DataDriven(WorklistDup::NoDuplicates),
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Drive::TopologyDriven => "topo",
+            Drive::DataDriven(WorklistDup::Duplicates) => "data-dup",
+            Drive::DataDriven(WorklistDup::NoDuplicates) => "data-nodup",
+        }
+    }
+
+    /// True for either data-driven flavor.
+    pub fn is_data_driven(self) -> bool {
+        matches!(self, Drive::DataDriven(_))
+    }
+}
+
+/// §2.4 — data-flow direction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Flow {
+    /// Vertex updates its neighbors (Listing 4a).
+    Push,
+    /// Vertex reads neighbors and updates itself (Listing 4b).
+    Pull,
+}
+
+impl Flow {
+    pub const ALL: [Flow; 2] = [Flow::Push, Flow::Pull];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Flow::Push => "push",
+            Flow::Pull => "pull",
+        }
+    }
+}
+
+/// §2.5 — how conditional updates are made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Update {
+    /// Separate atomic load, compare, atomic store (Listing 5a); only sound
+    /// for monotonic updates.
+    ReadWrite,
+    /// A single atomic read-modify-write such as `fetch_min` (Listing 5b).
+    ReadModifyWrite,
+}
+
+impl Update {
+    pub const ALL: [Update; 2] = [Update::ReadWrite, Update::ReadModifyWrite];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Update::ReadWrite => "rw",
+            Update::ReadModifyWrite => "rmw",
+        }
+    }
+}
+
+/// §2.6 — internal determinism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Determinism {
+    /// Reads and writes share one array (Listing 6a); the final result is
+    /// still deterministic, the iteration count is not.
+    NonDeterministic,
+    /// Double-buffered arrays (Listing 6b); fully repeatable execution.
+    Deterministic,
+}
+
+impl Determinism {
+    pub const ALL: [Determinism; 2] =
+        [Determinism::NonDeterministic, Determinism::Deterministic];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Determinism::NonDeterministic => "nondet",
+            Determinism::Deterministic => "det",
+        }
+    }
+}
+
+/// §2.7 — GPU-only: persistent threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Persistence {
+    /// Launch only as many threads as are resident; grid-stride loop
+    /// (Listing 7a).
+    Persistent,
+    /// Launch one thread per element (Listing 7b).
+    NonPersistent,
+}
+
+impl Persistence {
+    pub const ALL: [Persistence; 2] = [Persistence::Persistent, Persistence::NonPersistent];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Persistence::Persistent => "persist",
+            Persistence::NonPersistent => "nonpersist",
+        }
+    }
+}
+
+/// §2.8 — GPU-only: work-assignment granularity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Granularity {
+    /// One thread per vertex (Listing 8a).
+    Thread,
+    /// One 32-lane warp per vertex (Listing 8b).
+    Warp,
+    /// One block per vertex (Listing 8c).
+    Block,
+}
+
+impl Granularity {
+    pub const ALL: [Granularity; 3] =
+        [Granularity::Thread, Granularity::Warp, Granularity::Block];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Granularity::Thread => "thread",
+            Granularity::Warp => "warp",
+            Granularity::Block => "block",
+        }
+    }
+}
+
+/// §2.9 — GPU-only: classic atomics vs the libcu++ `cuda::atomic` types.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AtomicKind {
+    /// `atomicMin()` and friends (Listing 9a).
+    Atomic,
+    /// `cuda::atomic<T>` with default (seq_cst, system-scope) settings
+    /// (Listing 9b).
+    CudaAtomic,
+}
+
+impl AtomicKind {
+    pub const ALL: [AtomicKind; 2] = [AtomicKind::Atomic, AtomicKind::CudaAtomic];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            AtomicKind::Atomic => "atomic",
+            AtomicKind::CudaAtomic => "cudaatomic",
+        }
+    }
+}
+
+/// §2.10.1 — GPU-only reduction styles (PR and TC only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GpuReduction {
+    /// Every thread atomically updates the global accumulator (Listing 10a).
+    GlobalAdd,
+    /// Block-local shared-memory accumulator, one global update per block
+    /// (Listing 10b).
+    BlockAdd,
+    /// Warp shuffle reduction, then block reduction, then one global update
+    /// (Listing 10c).
+    ReductionAdd,
+}
+
+impl GpuReduction {
+    pub const ALL: [GpuReduction; 3] = [
+        GpuReduction::GlobalAdd,
+        GpuReduction::BlockAdd,
+        GpuReduction::ReductionAdd,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            GpuReduction::GlobalAdd => "global-add",
+            GpuReduction::BlockAdd => "block-add",
+            GpuReduction::ReductionAdd => "reduction-add",
+        }
+    }
+}
+
+/// §2.10.2 — CPU reduction styles (PR and TC only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CpuReduction {
+    /// `#pragma omp atomic` analog (Listing 11a).
+    AtomicRed,
+    /// `#pragma omp critical` analog — one global mutex (Listing 11b).
+    CriticalRed,
+    /// `reduction(+: …)` clause analog — privatized partials (Listing 11c).
+    ClauseRed,
+}
+
+impl CpuReduction {
+    pub const ALL: [CpuReduction; 3] = [
+        CpuReduction::AtomicRed,
+        CpuReduction::CriticalRed,
+        CpuReduction::ClauseRed,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CpuReduction::AtomicRed => "atomic-red",
+            CpuReduction::CriticalRed => "critical-red",
+            CpuReduction::ClauseRed => "clause-red",
+        }
+    }
+}
+
+/// §2.11 — OpenMP-only loop schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OmpSchedule {
+    /// Static chunking (Listing 12a).
+    Default,
+    /// `schedule(dynamic)` (Listing 12b).
+    Dynamic,
+}
+
+impl OmpSchedule {
+    pub const ALL: [OmpSchedule; 2] = [OmpSchedule::Default, OmpSchedule::Dynamic];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            OmpSchedule::Default => "default",
+            OmpSchedule::Dynamic => "dynamic",
+        }
+    }
+}
+
+/// §2.12 — C++-threads-only loop distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CppSchedule {
+    /// Contiguous chunk per thread (Listing 13a).
+    Blocked,
+    /// Round-robin (Listing 13b).
+    Cyclic,
+}
+
+impl CppSchedule {
+    pub const ALL: [CppSchedule; 2] = [CppSchedule::Blocked, CppSchedule::Cyclic];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            CppSchedule::Blocked => "blocked",
+            CppSchedule::Cyclic => "cyclic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_unique_per_dimension() {
+        fn check(labels: &[&str]) {
+            let mut v = labels.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), labels.len(), "dup in {labels:?}");
+        }
+        check(&Algorithm::ALL.map(|a| a.label()));
+        check(&Model::ALL.map(|m| m.label()));
+        check(&Direction::ALL.map(|d| d.label()));
+        check(&Drive::ALL.map(|d| d.label()));
+        check(&Flow::ALL.map(|f| f.label()));
+        check(&Update::ALL.map(|u| u.label()));
+        check(&Determinism::ALL.map(|d| d.label()));
+        check(&Persistence::ALL.map(|p| p.label()));
+        check(&Granularity::ALL.map(|g| g.label()));
+        check(&AtomicKind::ALL.map(|a| a.label()));
+        check(&GpuReduction::ALL.map(|r| r.label()));
+        check(&CpuReduction::ALL.map(|r| r.label()));
+        check(&OmpSchedule::ALL.map(|s| s.label()));
+        check(&CppSchedule::ALL.map(|s| s.label()));
+    }
+
+    #[test]
+    fn drive_embeds_dup_policy() {
+        assert!(Drive::DataDriven(WorklistDup::Duplicates).is_data_driven());
+        assert!(!Drive::TopologyDriven.is_data_driven());
+    }
+
+    #[test]
+    fn only_sssp_needs_weights() {
+        assert!(Algorithm::Sssp.needs_weights());
+        for a in Algorithm::ALL {
+            if a != Algorithm::Sssp {
+                assert!(!a.needs_weights());
+            }
+        }
+    }
+
+    #[test]
+    fn model_cpu_split() {
+        assert!(!Model::Cuda.is_cpu());
+        assert!(Model::Omp.is_cpu());
+        assert!(Model::Cpp.is_cpu());
+    }
+}

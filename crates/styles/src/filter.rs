@@ -1,0 +1,146 @@
+//! Config-file variant selection (paper §4.1: "we automated the
+//! code-generation process and use configuration files to select the desired
+//! versions").
+//!
+//! The mini-language is one constraint per whitespace-separated token:
+//! `dimension=option` or `dimension=opt1|opt2`. A variant matches when every
+//! constraint whose dimension applies to it is satisfied; lines starting
+//! with `#` are comments.
+//!
+//! ```
+//! use indigo_styles::{enumerate, filter::VariantFilter, Algorithm, Model};
+//!
+//! let f = VariantFilter::parse("model=cuda flow=push granularity=warp|block").unwrap();
+//! let picked = f.apply(&enumerate::variants(Algorithm::Bfs, Model::Cuda));
+//! assert!(picked.iter().all(|c| c.name().contains("push")));
+//! ```
+
+use crate::config::StyleConfig;
+
+/// A parsed set of constraints.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VariantFilter {
+    constraints: Vec<(String, Vec<String>)>,
+}
+
+/// Error from [`VariantFilter::parse`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct FilterError(pub String);
+
+impl std::fmt::Display for FilterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "filter error: {}", self.0)
+    }
+}
+
+impl std::error::Error for FilterError {}
+
+impl VariantFilter {
+    /// Parses filter text (possibly multi-line with `#` comments).
+    pub fn parse(text: &str) -> Result<VariantFilter, FilterError> {
+        let mut constraints = Vec::new();
+        for line in text.lines() {
+            let line = line.split('#').next().unwrap_or("");
+            for token in line.split_ascii_whitespace() {
+                let (dim, opts) = token
+                    .split_once('=')
+                    .ok_or_else(|| FilterError(format!("'{token}' is not dimension=option")))?;
+                if !StyleConfig::DIMENSIONS.contains(&dim) {
+                    return Err(FilterError(format!("unknown dimension '{dim}'")));
+                }
+                let opts: Vec<String> = opts.split('|').map(str::to_string).collect();
+                if opts.iter().any(|o| o.is_empty()) {
+                    return Err(FilterError(format!("empty option in '{token}'")));
+                }
+                constraints.push((dim.to_string(), opts));
+            }
+        }
+        Ok(VariantFilter { constraints })
+    }
+
+    /// True when the filter has no constraints (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+
+    /// Does `cfg` satisfy every applicable constraint?
+    ///
+    /// A constraint on a dimension that does not apply to `cfg` (e.g.
+    /// `granularity=warp` against an OpenMP variant) fails the match — asking
+    /// for warp variants should never return CPU codes.
+    pub fn matches(&self, cfg: &StyleConfig) -> bool {
+        self.constraints.iter().all(|(dim, opts)| {
+            cfg.dimension_label(dim)
+                .map(|l| opts.iter().any(|o| o == l))
+                .unwrap_or(false)
+        })
+    }
+
+    /// Filters a variant list.
+    pub fn apply(&self, variants: &[StyleConfig]) -> Vec<StyleConfig> {
+        variants.iter().copied().filter(|c| self.matches(c)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::{Algorithm, Model};
+    use crate::enumerate;
+
+    #[test]
+    fn parse_and_select() {
+        let f = VariantFilter::parse("flow=push update=rmw").unwrap();
+        let all = enumerate::variants(Algorithm::Sssp, Model::Cpp);
+        let picked = f.apply(&all);
+        assert!(!picked.is_empty());
+        assert!(picked.len() < all.len());
+        for c in picked {
+            assert_eq!(c.dimension_label("flow"), Some("push"));
+            assert_eq!(c.dimension_label("update"), Some("rmw"));
+        }
+    }
+
+    #[test]
+    fn alternatives_with_pipe() {
+        let f = VariantFilter::parse("granularity=warp|block").unwrap();
+        let all = enumerate::variants(Algorithm::Bfs, Model::Cuda);
+        let picked = f.apply(&all);
+        assert!(picked
+            .iter()
+            .all(|c| matches!(c.dimension_label("granularity"), Some("warp") | Some("block"))));
+        assert!(!picked.is_empty());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let f = VariantFilter::parse("# header\n\nflow=pull # trailing\n").unwrap();
+        assert_eq!(f.constraints.len(), 1);
+    }
+
+    #[test]
+    fn unknown_dimension_rejected() {
+        assert!(VariantFilter::parse("colour=red").is_err());
+    }
+
+    #[test]
+    fn missing_equals_rejected() {
+        assert!(VariantFilter::parse("pushy").is_err());
+    }
+
+    #[test]
+    fn inapplicable_dimension_excludes() {
+        // granularity never applies to CPU variants, so this must select none
+        let f = VariantFilter::parse("granularity=warp").unwrap();
+        let cpu = enumerate::variants(Algorithm::Bfs, Model::Omp);
+        assert!(f.apply(&cpu).is_empty());
+    }
+
+    #[test]
+    fn empty_filter_selects_all() {
+        let f = VariantFilter::parse("").unwrap();
+        assert!(f.is_empty());
+        let all = enumerate::variants(Algorithm::Cc, Model::Cpp);
+        assert_eq!(f.apply(&all).len(), all.len());
+    }
+}

@@ -1,0 +1,35 @@
+//! # indigo-styles
+//!
+//! The 13 parallelization/implementation style dimensions of the SC'23
+//! Indigo2 study (paper §2), the per-algorithm applicability matrix
+//! (Table 2), and the variant enumerator that combines the applicable styles
+//! into the suite of "programs" (Table 3).
+//!
+//! A [`StyleConfig`] is one fully-specified program variant: an algorithm, a
+//! programming model, and one choice for every dimension that applies to
+//! that pair. [`enumerate::variants`] generates every *valid* combination —
+//! the Rust analog of the paper's config-driven code generator — and
+//! [`filter::VariantFilter`] selects subsets the way the paper's
+//! configuration files do.
+//!
+//! ```
+//! use indigo_styles::{enumerate, Algorithm, Model};
+//!
+//! let cuda_sssp = enumerate::variants(Algorithm::Sssp, Model::Cuda);
+//! assert!(cuda_sssp.len() > 100); // hundreds of CUDA SSSP programs
+//! for v in &cuda_sssp {
+//!     assert!(v.check().is_ok());
+//! }
+//! ```
+
+pub mod applicability;
+pub mod config;
+pub mod dims;
+pub mod enumerate;
+pub mod filter;
+
+pub use config::StyleConfig;
+pub use dims::{
+    Algorithm, AtomicKind, CpuReduction, CppSchedule, Determinism, Direction, Drive, Flow,
+    GpuReduction, Granularity, Model, OmpSchedule, Persistence, Update, WorklistDup,
+};

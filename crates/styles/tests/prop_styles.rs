@@ -1,0 +1,131 @@
+//! Property-based tests for the style taxonomy.
+
+use indigo_styles::{
+    enumerate, Algorithm, AtomicKind, CppSchedule, CpuReduction, Determinism, Direction, Drive,
+    Flow, GpuReduction, Granularity, Model, OmpSchedule, Persistence, StyleConfig, Update,
+};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
+    proptest::sample::select(Algorithm::ALL.to_vec())
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    proptest::sample::select(Model::ALL.to_vec())
+}
+
+/// An arbitrary (mostly invalid) style configuration.
+fn arb_config() -> impl Strategy<Value = StyleConfig> {
+    (
+        arb_algorithm(),
+        arb_model(),
+        proptest::sample::select(Direction::ALL.to_vec()),
+        proptest::sample::select(Drive::ALL.to_vec()),
+        proptest::option::of(proptest::sample::select(Flow::ALL.to_vec())),
+        proptest::sample::select(Update::ALL.to_vec()),
+        proptest::sample::select(Determinism::ALL.to_vec()),
+        (
+            proptest::option::of(proptest::sample::select(Persistence::ALL.to_vec())),
+            proptest::option::of(proptest::sample::select(Granularity::ALL.to_vec())),
+            proptest::option::of(proptest::sample::select(AtomicKind::ALL.to_vec())),
+            proptest::option::of(proptest::sample::select(GpuReduction::ALL.to_vec())),
+            proptest::option::of(proptest::sample::select(CpuReduction::ALL.to_vec())),
+            proptest::option::of(proptest::sample::select(OmpSchedule::ALL.to_vec())),
+            proptest::option::of(proptest::sample::select(CppSchedule::ALL.to_vec())),
+        ),
+    )
+        .prop_map(
+            |(
+                algorithm,
+                model,
+                direction,
+                drive,
+                flow,
+                update,
+                determinism,
+                (persistence, granularity, atomic, gpu_reduction, cpu_reduction, omp_schedule, cpp_schedule),
+            )| StyleConfig {
+                algorithm,
+                model,
+                direction,
+                drive,
+                flow,
+                update,
+                determinism,
+                persistence,
+                granularity,
+                atomic,
+                gpu_reduction,
+                cpu_reduction,
+                omp_schedule,
+                cpp_schedule,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// `check()` and enumeration membership agree: a config is valid if and
+    /// only if the enumerator produces it.
+    #[test]
+    fn check_agrees_with_enumeration(cfg in arb_config()) {
+        let enumerated: HashSet<StyleConfig> =
+            enumerate::variants(cfg.algorithm, cfg.model).into_iter().collect();
+        prop_assert_eq!(
+            cfg.check().is_ok(),
+            enumerated.contains(&cfg),
+            "{} check={:?}",
+            cfg.name(),
+            cfg.check()
+        );
+    }
+
+    /// Names round-trip uniquely: name equality implies config equality
+    /// within the valid suite.
+    #[test]
+    fn names_injective_for_valid_configs(a in arb_config(), b in arb_config()) {
+        if a.check().is_ok() && b.check().is_ok() && a.name() == b.name() {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// peer_key(dim) equality means the configs differ at most in `dim`.
+    #[test]
+    fn peer_key_erases_exactly_one_dimension(a in arb_config(), b in arb_config()) {
+        for dim in StyleConfig::DIMENSIONS {
+            if a.peer_key(dim) == b.peer_key(dim) {
+                for other in StyleConfig::DIMENSIONS {
+                    if other != dim {
+                        prop_assert_eq!(
+                            a.dimension_label(other),
+                            b.dimension_label(other),
+                            "peer_key({}) matched but {} differs",
+                            dim,
+                            other
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every dimension label reported by a valid config parses back through
+    /// the filter language and re-selects the config. (Valid configs are
+    /// sampled from the enumerated suite — random configs are almost never
+    /// valid.)
+    #[test]
+    fn labels_round_trip_through_filter(pick in 0usize..usize::MAX) {
+        let suite = enumerate::full_suite();
+        let cfg = suite[pick % suite.len()];
+        for dim in StyleConfig::DIMENSIONS {
+            if let Some(label) = cfg.dimension_label(dim) {
+                let f = indigo_styles::filter::VariantFilter::parse(
+                    &format!("{dim}={label}")
+                ).unwrap();
+                prop_assert!(f.matches(&cfg), "{dim}={label} must match {}", cfg.name());
+            }
+        }
+    }
+}

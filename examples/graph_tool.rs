@@ -1,0 +1,86 @@
+//! A small graph utility: generate any of the suite families (or load a
+//! file) and export it as a DIMACS `.gr`, printing its Table-4/5 row.
+//!
+//! ```text
+//! cargo run --release --example graph_tool -- gen rmat 12 out.gr
+//! cargo run --release --example graph_tool -- gen road 100x60 out.gr
+//! cargo run --release --example graph_tool -- stats path/to/input.gr
+//! ```
+
+use indigo_graph::stats::GraphStats;
+use indigo_graph::{gen, io, Csr};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let (family, param, out) = (
+                args.get(1).map(String::as_str).unwrap_or("rmat"),
+                args.get(2).map(String::as_str).unwrap_or("10"),
+                args.get(3).map(String::as_str).unwrap_or("out.gr"),
+            );
+            let g = generate(family, param);
+            describe(&g);
+            let file = std::fs::File::create(out).expect("create output file");
+            io::write_dimacs_gr(&g, std::io::BufWriter::new(file)).expect("write DIMACS");
+            println!("wrote {out}");
+        }
+        Some("stats") => {
+            let path = args.get(1).expect("stats needs a file path");
+            let g = load(path);
+            describe(&g);
+        }
+        _ => {
+            eprintln!(
+                "usage:\n  graph_tool gen <grid|road|rmat|social|copapers|gnp> <param> <out.gr>\n  \
+                 graph_tool stats <file.gr|.txt|.mtx>"
+            );
+            std::process::exit(2);
+        }
+    }
+}
+
+fn generate(family: &str, param: &str) -> Csr {
+    let seed = 42;
+    match family {
+        "grid" => {
+            let side: usize = param.parse().expect("grid side");
+            gen::grid2d(side, side)
+        }
+        "road" => {
+            let (w, h) = param.split_once('x').expect("road WxH");
+            gen::road(w.parse().unwrap(), h.parse().unwrap(), seed)
+        }
+        "rmat" => gen::rmat(param.parse().expect("rmat scale"), 8, seed),
+        "social" => gen::preferential_attachment(param.parse().expect("n"), 9, seed),
+        "copapers" => gen::clique_overlap(param.parse().expect("n"), 0.8, seed),
+        "gnp" => {
+            let n: usize = param.parse().expect("n");
+            gen::gnp(n, 8.0 / n as f64, seed)
+        }
+        other => {
+            eprintln!("unknown family {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn load(path: &str) -> Csr {
+    let result = if path.ends_with(".gr") {
+        io::load_dimacs_gr(path)
+    } else if path.ends_with(".mtx") {
+        io::load_matrix_market(path)
+    } else {
+        io::load_edge_list(path)
+    };
+    result.unwrap_or_else(|e| {
+        eprintln!("failed to load {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn describe(g: &Csr) {
+    let s = GraphStats::compute(g);
+    println!("name | nodes | edges | size | d_avg | d_max | d>=32 | d>=512 | diam(lb) | comps");
+    println!("{}", s.table_row(g.name()));
+}

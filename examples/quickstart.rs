@@ -1,0 +1,53 @@
+//! Quickstart: generate a graph, pick a style variant, run it on a CPU
+//! model and on a simulated GPU, and verify both against the serial oracle.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use indigo_core::{run_variant, verify, GraphInput, Target};
+use indigo_graph::gen;
+use indigo_gpusim::rtx3090;
+use indigo_styles::{Algorithm, Model, StyleConfig};
+
+fn main() {
+    // 1. an input graph: a small social-network-like preferential-attachment
+    //    graph (the soc-LiveJournal1 family of the paper's Table 4)
+    let graph = gen::preferential_attachment(10_000, 9, 42);
+    println!(
+        "input: {} — {} vertices, {} directed edges",
+        graph.name(),
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let input = GraphInput::new(graph);
+
+    // 2. a style variant: BFS, C++-threads model, the canonical baseline
+    //    combination (vertex-based, topology-driven, push, RMW, non-det)
+    let cpu_cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+    println!("cpu variant: {}", cpu_cfg.name());
+    let cpu = run_variant(&cpu_cfg, &input, &Target::cpu(4));
+    println!(
+        "  -> {:.3} GE/s wall-clock, {} iterations, verified: {}",
+        cpu.gigaedges_per_sec(input.num_edges()),
+        cpu.iterations,
+        verify::check(&cpu_cfg, &input, &cpu.output).is_ok()
+    );
+
+    // 3. the same problem in the CUDA model on the simulated RTX 3090,
+    //    warp granularity (the paper's recommendation for skewed graphs)
+    let mut gpu_cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cuda);
+    gpu_cfg.granularity = Some(indigo_styles::Granularity::Warp);
+    println!("gpu variant: {}", gpu_cfg.name());
+    let gpu = run_variant(&gpu_cfg, &input, &Target::gpu(rtx3090()));
+    println!(
+        "  -> {:.3} GE/s simulated, {} iterations, verified: {}",
+        gpu.gigaedges_per_sec(input.num_edges()),
+        gpu.iterations,
+        verify::check(&gpu_cfg, &input, &gpu.output).is_ok()
+    );
+
+    // 4. how many programs does the full suite contain?
+    let total = indigo_styles::enumerate::full_suite().len();
+    println!("the full Indigo2-style suite enumerates {total} programs (paper: 1106)");
+}

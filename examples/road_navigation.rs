@@ -1,0 +1,83 @@
+//! Domain scenario: shortest-path queries on a road network.
+//!
+//! Road maps are the paper's high-diameter, uniform-low-degree regime —
+//! exactly where §5.3 finds data-driven worklists to beat topology-driven
+//! sweeps by orders of magnitude. This example runs both styles plus the
+//! optimized delta-stepping baseline on a generated road network and prints
+//! the comparison, then answers a few point-to-point queries.
+//!
+//! ```text
+//! cargo run --release --example road_navigation
+//! ```
+
+use indigo_core::{run_variant, GraphInput, Output, Target};
+use indigo_graph::gen;
+use indigo_styles::{enumerate, Algorithm, Drive, Model, WorklistDup};
+
+fn main() {
+    let graph = gen::road(220, 120, 7);
+    println!(
+        "road network: {} vertices, {} directed edges",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+    let input = GraphInput::new(graph);
+    let threads = 4;
+
+    // pick one topology-driven and one data-driven (no-dup) SSSP variant
+    // that agree on every other style
+    let variants = enumerate::variants(Algorithm::Sssp, Model::Cpp);
+    let topo = variants
+        .iter()
+        .find(|c| c.drive == Drive::TopologyDriven && c.name().contains("vertex-topo-push-rmw-nondet"))
+        .expect("topology-driven variant");
+    let data = variants
+        .iter()
+        .find(|c| {
+            c.drive == Drive::DataDriven(WorklistDup::NoDuplicates)
+                && c.direction == topo.direction
+                && c.flow == topo.flow
+                && c.update == topo.update
+                && c.determinism == topo.determinism
+                && c.cpp_schedule == topo.cpp_schedule
+        })
+        .expect("data-driven twin");
+
+    println!("\nSSSP styles on the high-diameter road map (§5.3's regime):");
+    let mut dist = Vec::new();
+    for cfg in [topo, data] {
+        let r = run_variant(cfg, &input, &Target::cpu(threads));
+        println!(
+            "  {:<55} {:>8.4} GE/s  ({} iterations)",
+            cfg.name(),
+            r.gigaedges_per_sec(input.num_edges()),
+            r.iterations
+        );
+        if let Output::Distances(d) = r.output {
+            dist = d;
+        }
+    }
+
+    let (base_dist, base_secs) =
+        indigo_baselines::sssp::cpu(&input, threads, indigo_core::SOURCE);
+    println!(
+        "  {:<55} {:>8.4} GE/s  (delta-stepping baseline)",
+        "lonestar-style delta-stepping",
+        input.num_edges() as f64 / base_secs / 1e9
+    );
+    assert_eq!(dist, base_dist, "all routes must agree");
+
+    // a few navigation queries from the depot (vertex 0)
+    println!("\nsample routes from the depot (vertex 0):");
+    let n = input.num_nodes() as u32;
+    for target in [n / 7, n / 3, n / 2, n - 1] {
+        let d = dist[target as usize];
+        if d == indigo_graph::INF {
+            println!("  -> intersection {target}: unreachable");
+        } else {
+            println!("  -> intersection {target}: total travel cost {d}");
+        }
+    }
+    let reachable = dist.iter().filter(|&&d| d != indigo_graph::INF).count();
+    println!("\n{reachable}/{} intersections reachable from the depot", input.num_nodes());
+}

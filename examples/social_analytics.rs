@@ -1,0 +1,75 @@
+//! Domain scenario: analytics over a social network.
+//!
+//! Runs the paper's four "analytics" problems — PageRank (influence),
+//! connected components (communities), MIS (independent moderator set),
+//! and triangle counting (clustering) — on a power-law graph, using the
+//! simulated GPU with the styles §5.16 recommends for skewed inputs
+//! (warp granularity, push, non-deterministic where applicable).
+//!
+//! ```text
+//! cargo run --release --example social_analytics
+//! ```
+
+use indigo_core::{run_variant, GraphInput, Output, Target};
+use indigo_graph::gen;
+use indigo_gpusim::rtx3090;
+use indigo_styles::{Algorithm, Granularity, Model, StyleConfig};
+
+fn main() {
+    let graph = gen::preferential_attachment(20_000, 9, 123);
+    let input = GraphInput::new(graph);
+    println!(
+        "social network: {} users, {} follow edges",
+        input.num_nodes(),
+        input.num_edges()
+    );
+
+    // §5.16: high-degree inputs prefer warp granularity in CUDA
+    let warp = |algo: Algorithm| {
+        let mut cfg = StyleConfig::baseline(algo, Model::Cuda);
+        cfg.granularity = Some(Granularity::Warp);
+        cfg
+    };
+    let target = Target::gpu(rtx3090());
+
+    // influence: PageRank
+    let pr = run_variant(&warp(Algorithm::Pr), &input, &target);
+    if let Output::Ranks(ranks) = &pr.output {
+        let mut top: Vec<(usize, f32)> = ranks.iter().copied().enumerate().collect();
+        top.sort_by(|a, b| b.1.total_cmp(&a.1));
+        println!("\ntop-5 influencers by PageRank ({} iterations):", pr.iterations);
+        for (user, score) in top.iter().take(5) {
+            println!("  user {user:>6}: score {score:.5}");
+        }
+    }
+
+    // communities: connected components
+    let cc = run_variant(&warp(Algorithm::Cc), &input, &target);
+    if let Output::Labels(labels) = &cc.output {
+        let mut distinct = labels.to_vec();
+        distinct.sort_unstable();
+        distinct.dedup();
+        println!("\ncommunities: {} connected component(s)", distinct.len());
+    }
+
+    // moderation: a maximal independent set (no two moderators adjacent)
+    let mis = run_variant(&warp(Algorithm::Mis), &input, &target);
+    if let Output::MisSet(set) = &mis.output {
+        let count = set.iter().filter(|&&b| b).count();
+        println!("moderator set: {count} users, independent and maximal");
+    }
+
+    // clustering: triangles
+    let tc = run_variant(&warp(Algorithm::Tc), &input, &target);
+    if let Output::Triangles(t) = tc.output {
+        println!("triangles: {t} (clustering signal)");
+    }
+
+    println!(
+        "\nsimulated GPU throughputs (GE/s): PR {:.3}, CC {:.3}, MIS {:.3}, TC {:.3}",
+        pr.gigaedges_per_sec(input.num_edges()),
+        cc.gigaedges_per_sec(input.num_edges()),
+        mis.gigaedges_per_sec(input.num_edges()),
+        tc.gigaedges_per_sec(input.num_edges()),
+    );
+}

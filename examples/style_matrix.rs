@@ -1,0 +1,35 @@
+//! Prints the suite's structural tables: the style applicability matrix
+//! (paper Table 2) and the variant counts per model (paper Table 3), plus
+//! a few sample variant names selected with the config-file filter syntax.
+//!
+//! ```text
+//! cargo run --example style_matrix [-- "<filter>"]
+//! cargo run --example style_matrix -- "model=cuda algo=sssp granularity=warp flow=push"
+//! ```
+
+use indigo_styles::{applicability, enumerate, filter::VariantFilter};
+
+fn main() {
+    println!("Table 2 analog — included implementation styles:\n");
+    print!("{}", applicability::render_matrix());
+    println!("\nTable 3 analog — number of code versions:\n");
+    print!("{}", applicability::render_counts());
+
+    let filter_text = std::env::args().nth(1).unwrap_or_else(|| {
+        "model=cuda flow=push granularity=warp determinism=nondet".to_string()
+    });
+    println!("\nvariants selected by filter '{filter_text}':");
+    match VariantFilter::parse(&filter_text) {
+        Ok(f) => {
+            let picked = f.apply(&enumerate::full_suite());
+            for cfg in picked.iter().take(12) {
+                println!("  {}", cfg.name());
+            }
+            if picked.len() > 12 {
+                println!("  ... and {} more", picked.len() - 12);
+            }
+            println!("  total: {}", picked.len());
+        }
+        Err(e) => eprintln!("bad filter: {e}"),
+    }
+}

@@ -1,0 +1,23 @@
+//! # indigo2 — meta-crate
+//!
+//! Re-exports the public API of the indigo-rs workspace, the Rust
+//! reproduction of *"Choosing the Best Parallelization and Implementation
+//! Styles for Graph Analytics Codes"* (SC '23). See the README for the
+//! architecture overview and DESIGN.md for the per-experiment index.
+//!
+//! ```
+//! use indigo2::{graph::gen, styles::{Algorithm, Model, StyleConfig}};
+//!
+//! let g = gen::grid2d(8, 8);
+//! let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+//! assert!(cfg.check().is_ok());
+//! assert_eq!(g.num_nodes(), 64);
+//! ```
+
+pub use indigo_baselines as baselines;
+pub use indigo_core as core;
+pub use indigo_exec as exec;
+pub use indigo_gpusim as gpusim;
+pub use indigo_graph as graph;
+pub use indigo_harness as harness;
+pub use indigo_styles as styles;

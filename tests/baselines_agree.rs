@@ -1,0 +1,101 @@
+//! Cross-crate integration: the §5.17 optimized baselines compute the same
+//! answers as the style suite on every input family.
+
+use indigo2::core::{serial, GraphInput, SOURCE};
+use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
+use indigo2::gpusim::{rtx3090, titan_v};
+
+#[test]
+fn cpu_baselines_match_serial_oracles_on_all_families() {
+    for which in SUITE_GRAPHS {
+        let input = GraphInput::new(suite_graph(which, Scale::Tiny));
+        let g = &input.csr;
+        assert_eq!(
+            indigo2::baselines::bfs::cpu(&input, 3, SOURCE).0,
+            serial::bfs(g, SOURCE),
+            "bfs on {which:?}"
+        );
+        assert_eq!(
+            indigo2::baselines::sssp::cpu(&input, 3, SOURCE).0,
+            serial::sssp(g, SOURCE),
+            "sssp on {which:?}"
+        );
+        assert_eq!(indigo2::baselines::cc::cpu(&input, 3).0, serial::cc(g), "cc on {which:?}");
+        assert_eq!(
+            indigo2::baselines::mis::cpu(&input, 3).0,
+            serial::mis(g, indigo2::core::MIS_SEED),
+            "mis on {which:?}"
+        );
+        assert_eq!(
+            indigo2::baselines::tc::cpu(&input, 3).0,
+            serial::triangles(g),
+            "tc on {which:?}"
+        );
+        let pr = indigo2::baselines::pr::cpu(&input, 3).0;
+        let expect = serial::pagerank(
+            g,
+            indigo2::core::PR_DAMPING,
+            indigo2::core::PR_EPSILON,
+            indigo2::core::PR_MAX_ITERS,
+        );
+        assert!(
+            pr.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 2e-3),
+            "pr on {which:?}"
+        );
+    }
+}
+
+#[test]
+fn gpu_baselines_match_serial_oracles_on_both_devices() {
+    for device in [titan_v(), rtx3090()] {
+        for which in SUITE_GRAPHS {
+            let input = GraphInput::new(suite_graph(which, Scale::Tiny));
+            let g = &input.csr;
+            assert_eq!(
+                indigo2::baselines::bfs::gpu(&input, device, SOURCE).0,
+                serial::bfs(g, SOURCE),
+                "bfs on {which:?} / {}",
+                device.name
+            );
+            assert_eq!(
+                indigo2::baselines::sssp::gpu(&input, device, SOURCE).0,
+                serial::sssp(g, SOURCE),
+                "sssp on {which:?} / {}",
+                device.name
+            );
+            assert_eq!(
+                indigo2::baselines::cc::gpu(&input, device).0,
+                serial::cc(g),
+                "cc on {which:?} / {}",
+                device.name
+            );
+            assert_eq!(
+                indigo2::baselines::tc::gpu(&input, device).0,
+                serial::triangles(g),
+                "tc on {which:?} / {}",
+                device.name
+            );
+        }
+    }
+}
+
+/// The optimized baselines should generally beat the *worst* style variant
+/// by a wide margin in simulated GPU time — the premise of Fig 16.
+#[test]
+fn gpu_sssp_baseline_beats_worst_style_variant() {
+    let input = GraphInput::new(suite_graph(SuiteGraph::RoadMap, Scale::Tiny));
+    let dg = indigo2::core::gpu::DeviceGraph::upload(&input);
+    let device = rtx3090();
+    let (_, base_secs) = indigo2::baselines::sssp::gpu(&input, device, SOURCE);
+    let worst = indigo2::styles::enumerate::variants(
+        indigo2::styles::Algorithm::Sssp,
+        indigo2::styles::Model::Cuda,
+    )
+    .iter()
+    .map(|cfg| indigo2::core::run_gpu(cfg, &dg, device).secs)
+    .fold(0.0f64, f64::max);
+    assert!(
+        base_secs < worst,
+        "baseline {base_secs} should beat the worst variant {worst}"
+    );
+}

@@ -1,0 +1,62 @@
+//! Cross-crate integration: the three programming models must agree.
+//!
+//! Every algorithm's output is model-independent (the styles change *how*
+//! the fixpoint is computed, never *which* fixpoint). This runs one
+//! representative variant per model per algorithm on every suite input and
+//! compares outputs across models directly, on top of the serial-oracle
+//! verification.
+
+use indigo2::core::{run_variant, verify, GraphInput, Output, Target};
+use indigo2::graph::gen::{suite_graph, Scale, SUITE_GRAPHS};
+use indigo2::gpusim::titan_v;
+use indigo2::styles::{Algorithm, Model, StyleConfig};
+
+fn target_for(model: Model) -> Target {
+    match model {
+        Model::Cuda => Target::gpu(titan_v()),
+        _ => Target::cpu(3),
+    }
+}
+
+fn ranks_close(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 4e-3)
+}
+
+#[test]
+fn all_models_agree_on_every_suite_input() {
+    for which in SUITE_GRAPHS {
+        let input = GraphInput::new(suite_graph(which, Scale::Tiny));
+        for algo in Algorithm::ALL {
+            let outputs: Vec<Output> = Model::ALL
+                .iter()
+                .map(|&model| {
+                    let cfg = StyleConfig::baseline(algo, model);
+                    let r = run_variant(&cfg, &input, &target_for(model));
+                    verify::check(&cfg, &input, &r.output)
+                        .unwrap_or_else(|e| panic!("{} on {}: {e}", cfg.name(), input.name()));
+                    r.output
+                })
+                .collect();
+            for pair in outputs.windows(2) {
+                match (&pair[0], &pair[1]) {
+                    (Output::Ranks(a), Output::Ranks(b)) => {
+                        assert!(ranks_close(a, b), "{algo:?} ranks diverge on {which:?}")
+                    }
+                    (a, b) => assert_eq!(a, b, "{algo:?} outputs diverge on {which:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn iteration_counts_are_positive_and_bounded() {
+    let input = GraphInput::new(suite_graph(indigo2::graph::gen::SuiteGraph::RoadMap, Scale::Tiny));
+    for model in Model::ALL {
+        let cfg = StyleConfig::baseline(Algorithm::Sssp, model);
+        let r = run_variant(&cfg, &input, &target_for(model));
+        assert!(r.iterations >= 1);
+        // Bellman-Ford style relaxation cannot exceed |V| rounds + slack
+        assert!(r.iterations <= input.num_nodes() + 2, "{model:?}: {}", r.iterations);
+    }
+}

@@ -1,0 +1,77 @@
+//! Cross-crate integration: the experiment harness produces coherent
+//! reports on small filtered run plans.
+
+use indigo2::graph::gen::{Scale, SuiteGraph};
+use indigo2::harness::experiments::{self, fig14, fig15, tables, Dataset};
+use indigo2::harness::{RunPlan, TargetSpec};
+use indigo2::styles::{Algorithm, Model};
+
+fn mini_dataset() -> Dataset {
+    // SSSP + TC on CUDA and Cpp, two inputs — small but exercises ratio
+    // pairing, reductions, and both target kinds
+    let plan = RunPlan::for_algorithms(
+        &[Algorithm::Sssp, Algorithm::Tc],
+        &[Model::Cuda, Model::Cpp],
+        Scale::Tiny,
+        1,
+    )
+    .with_graphs(vec![SuiteGraph::RoadMap, SuiteGraph::Rmat]);
+    Dataset { measurements: plan.run(|_, _| {}), scale: Scale::Tiny }
+}
+
+#[test]
+fn pair_figures_render_with_data() {
+    let ds = mini_dataset();
+    // fig05 (push/pull) applies to SSSP; fig01 (atomic kinds) to both
+    for spec in experiments::PAIR_SPECS.iter().filter(|s| ["fig01", "fig05"].contains(&s.id)) {
+        let report = experiments::pair_report(spec, &ds);
+        let text = report.render();
+        assert!(text.contains("SSSP"), "{}: {text}", spec.id);
+        assert!(report.csv.len() > 1, "{} produced no csv rows", spec.id);
+    }
+}
+
+#[test]
+fn fig14_reports_percentages_for_measured_models() {
+    let ds = mini_dataset();
+    let r = fig14::fig14(&ds);
+    let text = r.render();
+    assert!(text.contains("CUDA"));
+    assert!(text.contains("C++ threads"));
+    // percentages within a dimension sum to ~100 for models with winners
+    let vertex_edge: Vec<f64> = r
+        .csv
+        .iter()
+        .filter(|row| row.starts_with("cuda,direction"))
+        .map(|row| row.rsplit(',').next().unwrap().parse::<f64>().unwrap())
+        .collect();
+    let total: f64 = vertex_edge.iter().sum();
+    assert!((total - 100.0).abs() < 1.0, "direction percentages sum to {total}");
+}
+
+#[test]
+fn fig15_matrix_has_sensible_cells() {
+    let ds = mini_dataset();
+    let r = fig15::fig15(&ds);
+    assert!(r.render().contains("push"));
+    // every CSV ratio is positive and finite
+    for row in r.csv.iter().skip(1) {
+        let ratio: f64 = row.rsplit(',').next().unwrap().parse().unwrap();
+        assert!(ratio.is_finite() && ratio > 0.0, "{row}");
+    }
+}
+
+#[test]
+fn structural_tables_match_enumerator() {
+    let t3 = tables::table3().render();
+    assert!(t3.contains("| 734"), "CUDA total drifted: {t3}");
+    assert!(t3.contains("1098"), "grand total drifted: {t3}");
+    let t45 = tables::tables45(Scale::Tiny).render();
+    assert!(t45.lines().count() >= 7);
+}
+
+#[test]
+fn target_defaults_cover_both_systems() {
+    assert_eq!(TargetSpec::defaults_for(Model::Cuda).len(), 2);
+    assert_eq!(TargetSpec::defaults_for(Model::Cpp).len(), 2);
+}

@@ -1,0 +1,36 @@
+//! Cross-crate integration: a deterministic stratified sample of the whole
+//! 1098-program suite runs end-to-end through the public `run_variant` API
+//! and verifies on two different suite inputs.
+//!
+//! (The per-engine unit tests already run *every* variant against the
+//! oracles on toy graphs; this layer checks the public dispatch path and
+//! suite-scale inputs.)
+
+use indigo2::core::{run_variant, verify, GraphInput, Target};
+use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph};
+use indigo2::gpusim::rtx3090;
+use indigo2::styles::{enumerate, Model};
+
+#[test]
+fn stratified_sample_of_full_suite_verifies() {
+    let inputs = [
+        GraphInput::new(suite_graph(SuiteGraph::Rmat, Scale::Tiny)),
+        GraphInput::new(suite_graph(SuiteGraph::RoadMap, Scale::Tiny)),
+    ];
+    let suite = enumerate::full_suite();
+    // every 7th variant: deterministic, hits all algorithms and models
+    let sample: Vec<_> = suite.iter().step_by(7).collect();
+    assert!(sample.len() > 150, "sample too small: {}", sample.len());
+    for input in &inputs {
+        for cfg in &sample {
+            let target = match cfg.model {
+                Model::Cuda => Target::gpu(rtx3090()),
+                _ => Target::cpu(2),
+            };
+            let r = run_variant(cfg, input, &target);
+            verify::check(cfg, input, &r.output)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", cfg.name(), input.name()));
+            assert!(r.secs >= 0.0);
+        }
+    }
+}
