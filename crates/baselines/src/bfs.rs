@@ -8,8 +8,8 @@
 
 use indigo_core::GraphInput;
 use indigo_exec::Schedule;
-use indigo_graph::{NodeId, INF};
 use indigo_gpusim::{Assign, Device, GpuBuf, Sim};
+use indigo_graph::{NodeId, INF};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Frontier-size fraction (of directed edges) above which the traversal
@@ -67,7 +67,10 @@ pub fn cpu(input: &GraphInput, threads: usize, source: NodeId) -> (Vec<u32>, f64
             });
         }
         let len = next_len.load(Ordering::Relaxed);
-        frontier = next[..len].iter().map(|c| c.load(Ordering::Relaxed)).collect();
+        frontier = next[..len]
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
     }
     let out = level.iter().map(|c| c.load(Ordering::Relaxed)).collect();
     (out, start.elapsed().as_secs_f64())
@@ -153,12 +156,17 @@ pub fn gpu(input: &GraphInput, device: Device, source: NodeId) -> (Vec<u32>, f64
 mod tests {
     use super::*;
     use indigo_core::serial;
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::rtx3090;
+    use indigo_graph::gen::{self, toy};
 
     #[test]
     fn cpu_matches_serial_on_battery() {
-        for g in [toy::path(40), toy::star(30), gen::gnp(200, 0.03, 9), gen::grid2d(12, 9)] {
+        for g in [
+            toy::path(40),
+            toy::star(30),
+            gen::gnp(200, 0.03, 9),
+            gen::grid2d(12, 9),
+        ] {
             let input = GraphInput::new(g);
             let expect = serial::bfs(&input.csr, 0);
             let (got, secs) = cpu(&input, 3, 0);
@@ -169,7 +177,11 @@ mod tests {
 
     #[test]
     fn gpu_matches_serial_on_battery() {
-        for g in [toy::path(40), gen::gnp(150, 0.05, 9), gen::preferential_attachment(200, 4, 1)] {
+        for g in [
+            toy::path(40),
+            gen::gnp(150, 0.05, 9),
+            gen::preferential_attachment(200, 4, 1),
+        ] {
             let input = GraphInput::new(g);
             let expect = serial::bfs(&input.csr, 0);
             let (got, secs) = gpu(&input, rtx3090(), 0);

@@ -9,8 +9,8 @@
 
 use indigo_core::GraphInput;
 use indigo_exec::Schedule;
-use indigo_graph::NodeId;
 use indigo_gpusim::{Assign, Device, GpuBuf, Sim};
+use indigo_graph::NodeId;
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// CPU union-find CC. Returns `(labels, seconds)`.
@@ -33,12 +33,8 @@ pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<u32>, f64) {
                 return p;
             }
             // halve: point v at its grandparent (benign race)
-            let _ = parent[v as usize].compare_exchange(
-                p,
-                gp,
-                Ordering::Relaxed,
-                Ordering::Relaxed,
-            );
+            let _ =
+                parent[v as usize].compare_exchange(p, gp, Ordering::Relaxed, Ordering::Relaxed);
             v = gp;
         }
     };
@@ -125,8 +121,8 @@ pub fn gpu(input: &GraphInput, device: Device) -> (Vec<u32>, f64) {
 mod tests {
     use super::*;
     use indigo_core::serial;
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::rtx3090;
+    use indigo_graph::gen::{self, toy};
 
     #[test]
     fn cpu_matches_serial() {
@@ -145,7 +141,11 @@ mod tests {
 
     #[test]
     fn gpu_matches_serial() {
-        for g in [toy::two_triangles(), gen::gnp(150, 0.015, 7), gen::road(15, 8, 2)] {
+        for g in [
+            toy::two_triangles(),
+            gen::gnp(150, 0.015, 7),
+            gen::road(15, 8, 2),
+        ] {
             let input = GraphInput::new(g);
             let expect = serial::cc(&input.csr);
             let (got, secs) = gpu(&input, rtx3090());
@@ -156,8 +156,12 @@ mod tests {
 
     #[test]
     fn isolated_vertices_self_label() {
-        let input =
-            GraphInput::new(indigo_graph::Csr::from_raw(vec![0, 0, 0, 0], vec![], vec![], "i"));
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(
+            vec![0, 0, 0, 0],
+            vec![],
+            vec![],
+            "i",
+        ));
         assert_eq!(cpu(&input, 2).0, vec![0, 1, 2]);
         assert_eq!(gpu(&input, rtx3090()).0, vec![0, 1, 2]);
     }

@@ -62,7 +62,9 @@ pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<bool>, f64) {
             .filter(|&v| status[v as usize].load(Ordering::Relaxed) == UNDECIDED)
             .collect();
     }
-    let set = (0..n).map(|i| status[i].load(Ordering::Relaxed) == IN).collect();
+    let set = (0..n)
+        .map(|i| status[i].load(Ordering::Relaxed) == IN)
+        .collect();
     (set, start.elapsed().as_secs_f64())
 }
 
@@ -74,7 +76,12 @@ mod tests {
 
     #[test]
     fn matches_serial_greedy_set() {
-        for g in [toy::complete(9), toy::star(20), gen::gnp(250, 0.03, 11), gen::grid2d(8, 8)] {
+        for g in [
+            toy::complete(9),
+            toy::star(20),
+            gen::gnp(250, 0.03, 11),
+            gen::grid2d(8, 8),
+        ] {
             let input = GraphInput::new(g);
             let expect = serial::mis(&input.csr, indigo_core::MIS_SEED);
             let (got, _) = cpu(&input, 3);

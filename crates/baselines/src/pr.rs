@@ -20,14 +20,17 @@ pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<f32>, f64) {
     let damping = indigo_core::PR_DAMPING;
     let base = (1.0 - damping) / n as f32;
     // reciprocal degree table: one multiply per edge instead of a divide
-    let rcp: Vec<f32> = (0..n as u32).map(|v| 1.0 / g.degree(v).max(1) as f32).collect();
+    let rcp: Vec<f32> = (0..n as u32)
+        .map(|v| 1.0 / g.degree(v).max(1) as f32)
+        .collect();
     let rank: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(1.0 / n as f32)).collect();
     let next: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(0.0)).collect();
 
     #[repr(align(64))]
     struct Padded(AtomicF32);
-    let partials: Vec<Padded> =
-        (0..pool.num_threads()).map(|_| Padded(AtomicF32::new(0.0))).collect();
+    let partials: Vec<Padded> = (0..pool.num_threads())
+        .map(|_| Padded(AtomicF32::new(0.0)))
+        .collect();
 
     let mut iterations = 0usize;
     while iterations < indigo_core::PR_MAX_ITERS {
@@ -68,7 +71,9 @@ pub fn gpu(input: &GraphInput, device: Device) -> (Vec<f32>, f64) {
     let g = &input.csr;
     let damping = indigo_core::PR_DAMPING;
     let base = (1.0 - damping) / n as f32;
-    let rcp_host: Vec<f32> = (0..n as u32).map(|v| 1.0 / g.degree(v).max(1) as f32).collect();
+    let rcp_host: Vec<f32> = (0..n as u32)
+        .map(|v| 1.0 / g.degree(v).max(1) as f32)
+        .collect();
     let rcp = GpuBufF32::new(n, 0.0);
     for (i, &r) in rcp_host.iter().enumerate() {
         rcp.host_write(i, r);
@@ -119,8 +124,8 @@ pub fn gpu(input: &GraphInput, device: Device) -> (Vec<f32>, f64) {
 mod tests {
     use super::*;
     use indigo_core::serial;
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::rtx3090;
+    use indigo_graph::gen::{self, toy};
 
     fn close(a: &[f32], b: &[f32]) -> bool {
         a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() < 2e-3)
@@ -137,8 +142,11 @@ mod tests {
 
     #[test]
     fn cpu_matches_serial() {
-        for g in [toy::star(18), gen::gnp(150, 0.04, 13), gen::preferential_attachment(200, 3, 2)]
-        {
+        for g in [
+            toy::star(18),
+            gen::gnp(150, 0.04, 13),
+            gen::preferential_attachment(200, 3, 2),
+        ] {
             let input = GraphInput::new(g);
             let (got, _) = cpu(&input, 3);
             assert!(close(&got, &reference(&input)), "{}", input.name());

@@ -10,8 +10,8 @@
 use indigo_core::GraphInput;
 use indigo_exec::sync::fetch_min;
 use indigo_exec::Schedule;
-use indigo_graph::{NodeId, INF};
 use indigo_gpusim::{Assign, Device, GpuBuf, Sim};
+use indigo_graph::{NodeId, INF};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Bucket width for delta-stepping / threshold step for near–far
@@ -36,8 +36,9 @@ pub fn cpu(input: &GraphInput, threads: usize, source: NodeId) -> (Vec<u32>, f64
         // settle the current bucket to a fixpoint (light-edge reinsertions)
         while !buckets[current].is_empty() {
             let active = std::mem::take(&mut buckets[current]);
-            let pushed: Vec<std::sync::Mutex<Vec<(usize, u32)>>> =
-                (0..pool.num_threads()).map(|_| Default::default()).collect();
+            let pushed: Vec<std::sync::Mutex<Vec<(usize, u32)>>> = (0..pool.num_threads())
+                .map(|_| Default::default())
+                .collect();
             pool.parallel_for(active.len(), Schedule::Default, |ai, tid| {
                 let v = active[ai];
                 let dv = dist[v as usize].load(Ordering::Relaxed);
@@ -169,8 +170,8 @@ pub fn gpu(input: &GraphInput, device: Device, source: NodeId) -> (Vec<u32>, f64
 mod tests {
     use super::*;
     use indigo_core::serial;
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::titan_v;
+    use indigo_graph::gen::{self, toy};
 
     #[test]
     fn cpu_matches_dijkstra() {
@@ -189,7 +190,11 @@ mod tests {
 
     #[test]
     fn gpu_matches_dijkstra() {
-        for g in [toy::weighted_diamond(), gen::gnp(120, 0.05, 3), gen::road(20, 10, 5)] {
+        for g in [
+            toy::weighted_diamond(),
+            gen::gnp(120, 0.05, 3),
+            gen::road(20, 10, 5),
+        ] {
             let input = GraphInput::new(g);
             let expect = serial::sssp(&input.csr, 0);
             let (got, secs) = gpu(&input, titan_v(), 0);

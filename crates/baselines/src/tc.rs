@@ -9,8 +9,8 @@
 
 use indigo_core::GraphInput;
 use indigo_exec::Schedule;
-use indigo_graph::{Csr, NodeId};
 use indigo_gpusim::{Assign, BufKind, Device, GpuBuf, ReduceStyle, Sim};
+use indigo_graph::{Csr, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The oriented (DAG) adjacency: for each vertex, its out-neighbors in the
@@ -127,7 +127,7 @@ pub fn gpu(input: &GraphInput, device: Device) -> (u64, f64) {
 }
 
 /// Size of the intersection of two sorted slices.
-fn sorted_intersect(a: &[NodeId], b: &[NodeId], ) -> u64 {
+fn sorted_intersect(a: &[NodeId], b: &[NodeId]) -> u64 {
     let (mut i, mut j, mut c) = (0, 0, 0u64);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
@@ -147,8 +147,8 @@ fn sorted_intersect(a: &[NodeId], b: &[NodeId], ) -> u64 {
 mod tests {
     use super::*;
     use indigo_core::serial;
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::titan_v;
+    use indigo_graph::gen::{self, toy};
 
     #[test]
     fn orientation_halves_edges() {

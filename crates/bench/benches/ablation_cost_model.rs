@@ -6,10 +6,10 @@
 //! that model component.
 
 use indigo_bench::{bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::ablation;
 use indigo_gpusim::titan_v;
-use indigo_styles::{Algorithm, Granularity, GpuReduction, Model, StyleConfig};
+use indigo_graph::gen::SuiteGraph;
+use indigo_styles::{Algorithm, GpuReduction, Granularity, Model, StyleConfig};
 
 fn main() {
     let mut c = criterion();
@@ -19,7 +19,10 @@ fn main() {
     let devices = [
         ("base", titan_v()),
         ("no-coalescing", ablation::no_coalescing(titan_v())),
-        ("no-atomic-contention", ablation::no_atomic_contention(titan_v())),
+        (
+            "no-atomic-contention",
+            ablation::no_atomic_contention(titan_v()),
+        ),
         ("no-latency-hiding", ablation::no_latency_hiding(titan_v())),
         ("free-launches", ablation::free_launches(titan_v())),
     ];

@@ -2,8 +2,8 @@
 //! (SSSP and TC — TC shows the mild penalty, §5.1).
 
 use indigo_bench::{bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::{rtx3090, titan_v};
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, AtomicKind, Model, StyleConfig};
 
 fn main() {

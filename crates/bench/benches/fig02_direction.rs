@@ -2,8 +2,8 @@
 //! plus the thread-granularity TC subset (2c).
 
 use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, Direction, Model, StyleConfig};
 
 fn main() {

@@ -2,8 +2,8 @@
 //! the high-diameter road map, where the work-efficiency gap peaks.
 
 use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::titan_v;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, Drive, Model, StyleConfig};
 
 fn main() {

@@ -2,8 +2,8 @@
 //! push's INF-skip matters most, and PR where pull wins).
 
 use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, Determinism, Flow, Model, StyleConfig};
 
 fn main() {

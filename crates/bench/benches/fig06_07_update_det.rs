@@ -2,8 +2,8 @@
 //! non-deterministic (7) SSSP on both model kinds.
 
 use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::titan_v;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, Determinism, Model, StyleConfig, Update};
 
 fn main() {

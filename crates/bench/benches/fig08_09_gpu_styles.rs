@@ -2,8 +2,8 @@
 //! thread/warp/block granularity on the road map vs the social network (9).
 
 use indigo_bench::{bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, Granularity, Model, Persistence, StyleConfig};
 
 fn main() {

@@ -2,8 +2,8 @@
 //! reduction styles (11) on PR and TC.
 
 use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, CpuReduction, GpuReduction, Model, StyleConfig};
 
 fn main() {

@@ -4,8 +4,8 @@
 use criterion::Criterion;
 use indigo_bench::{bench_cpu_variant, bench_gpu_variant, criterion, input};
 use indigo_core::SOURCE;
-use indigo_graph::gen::SuiteGraph;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen::SuiteGraph;
 use indigo_styles::{Algorithm, Model, StyleConfig};
 use std::time::Duration;
 
@@ -14,7 +14,12 @@ fn main() {
     let soc = input(SuiteGraph::SocialNetwork);
 
     // our best-practice styles (per §5.16 guidelines)
-    for algo in [Algorithm::Bfs, Algorithm::Sssp, Algorithm::Cc, Algorithm::Tc] {
+    for algo in [
+        Algorithm::Bfs,
+        Algorithm::Sssp,
+        Algorithm::Cc,
+        Algorithm::Tc,
+    ] {
         let mut gpu = StyleConfig::baseline(algo, Model::Cuda);
         gpu.granularity = Some(indigo_styles::Granularity::Warp);
         bench_gpu_variant(
@@ -26,20 +31,39 @@ fn main() {
             rtx3090(),
         );
         let cpu = StyleConfig::baseline(algo, Model::Cpp);
-        bench_cpu_variant(&mut c, "fig16_suite_best", &format!("cpu/{}", algo.label()), &cpu, &soc, 4);
+        bench_cpu_variant(
+            &mut c,
+            "fig16_suite_best",
+            &format!("cpu/{}", algo.label()),
+            &cpu,
+            &soc,
+            4,
+        );
     }
 
     // the baselines
-    bench_baseline(&mut c, "cpu/bfs", || indigo_baselines::bfs::cpu(&soc, 4, SOURCE).1);
-    bench_baseline(&mut c, "cpu/sssp", || indigo_baselines::sssp::cpu(&soc, 4, SOURCE).1);
+    bench_baseline(&mut c, "cpu/bfs", || {
+        indigo_baselines::bfs::cpu(&soc, 4, SOURCE).1
+    });
+    bench_baseline(&mut c, "cpu/sssp", || {
+        indigo_baselines::sssp::cpu(&soc, 4, SOURCE).1
+    });
     bench_baseline(&mut c, "cpu/cc", || indigo_baselines::cc::cpu(&soc, 4).1);
     bench_baseline(&mut c, "cpu/mis", || indigo_baselines::mis::cpu(&soc, 4).1);
     bench_baseline(&mut c, "cpu/pr", || indigo_baselines::pr::cpu(&soc, 4).1);
     bench_baseline(&mut c, "cpu/tc", || indigo_baselines::tc::cpu(&soc, 4).1);
-    bench_baseline(&mut c, "gpu/bfs", || indigo_baselines::bfs::gpu(&soc, rtx3090(), SOURCE).1);
-    bench_baseline(&mut c, "gpu/sssp", || indigo_baselines::sssp::gpu(&soc, rtx3090(), SOURCE).1);
-    bench_baseline(&mut c, "gpu/cc", || indigo_baselines::cc::gpu(&soc, rtx3090()).1);
-    bench_baseline(&mut c, "gpu/tc", || indigo_baselines::tc::gpu(&soc, rtx3090()).1);
+    bench_baseline(&mut c, "gpu/bfs", || {
+        indigo_baselines::bfs::gpu(&soc, rtx3090(), SOURCE).1
+    });
+    bench_baseline(&mut c, "gpu/sssp", || {
+        indigo_baselines::sssp::gpu(&soc, rtx3090(), SOURCE).1
+    });
+    bench_baseline(&mut c, "gpu/cc", || {
+        indigo_baselines::cc::gpu(&soc, rtx3090()).1
+    });
+    bench_baseline(&mut c, "gpu/tc", || {
+        indigo_baselines::tc::gpu(&soc, rtx3090()).1
+    });
     c.final_summary();
 
     fn bench_baseline(c: &mut Criterion, name: &str, run: impl Fn() -> f64) {

@@ -14,8 +14,8 @@
 
 use criterion::Criterion;
 use indigo_core::{run_gpu, run_variant, GraphInput, Target};
-use indigo_graph::gen::{suite_graph, Scale, SuiteGraph};
 use indigo_gpusim::Device;
+use indigo_graph::gen::{suite_graph, Scale, SuiteGraph};
 use indigo_styles::StyleConfig;
 use std::time::Duration;
 

@@ -101,12 +101,11 @@ pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (Vec
                     exec.pfor(current.len(), |idx, _| {
                         let e = current.get(idx) as usize;
                         let (v, u) = (coo.src(e), coo.dst(e));
-                        if status[v as usize].load(Ordering::Relaxed) == UNDECIDED
-                            || status[u as usize].load(Ordering::Relaxed) == UNDECIDED
+                        if (status[v as usize].load(Ordering::Relaxed) == UNDECIDED
+                            || status[u as usize].load(Ordering::Relaxed) == UNDECIDED)
+                            && stamps.try_claim(e as u32, iter, critical)
                         {
-                            if stamps.try_claim(e as u32, iter, critical) {
-                                dw.next().push(e as u32);
-                            }
+                            dw.next().push(e as u32);
                         }
                     });
                 }
@@ -253,8 +252,12 @@ mod tests {
 
     #[test]
     fn isolated_vertices_all_join() {
-        let input =
-            GraphInput::new(indigo_graph::Csr::from_raw(vec![0, 0, 0, 0], vec![], vec![], "i3"));
+        let input = GraphInput::new(indigo_graph::Csr::from_raw(
+            vec![0, 0, 0, 0],
+            vec![],
+            vec![],
+            "i3",
+        ));
         let cfg = StyleConfig::baseline(Algorithm::Mis, Model::Cpp);
         let exec = CpuExec::new(&cfg, 2);
         let (set, _) = run(&cfg, &input, &exec);

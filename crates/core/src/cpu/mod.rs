@@ -13,14 +13,15 @@ pub mod tc;
 
 use indigo_exec::cpp::{CppSched, CppThreads};
 use indigo_exec::sync::MinOps;
-use indigo_exec::{OmpPool, Schedule};
+use indigo_exec::{shared_omp_pool, OmpPool, Schedule};
 use indigo_styles::{CppSchedule, Model, OmpSchedule, StyleConfig, Update};
+use std::sync::Arc;
 
 /// A ready-to-run CPU execution context for one variant.
 pub struct CpuExec {
     model: Model,
     threads: usize,
-    omp: Option<OmpPool>,
+    omp: Option<Arc<OmpPool>>,
     omp_sched: Schedule,
     cpp_sched: CppSched,
 }
@@ -28,6 +29,11 @@ pub struct CpuExec {
 impl CpuExec {
     /// Builds the context for `cfg` with `threads` workers. Panics if `cfg`
     /// is a GPU variant.
+    ///
+    /// Omp-model contexts borrow a process-wide cached pool
+    /// ([`shared_omp_pool`]) instead of spawning a team per variant: the
+    /// harness runs hundreds of thousands of measurement cells and thread
+    /// spawn-up is overhead, not kernel time.
     pub fn new(cfg: &StyleConfig, threads: usize) -> Self {
         assert!(cfg.model.is_cpu(), "CpuExec needs a CPU-model variant");
         let omp_sched = match cfg.omp_schedule {
@@ -41,7 +47,7 @@ impl CpuExec {
         CpuExec {
             model: cfg.model,
             threads,
-            omp: (cfg.model == Model::Omp).then(|| OmpPool::new(threads)),
+            omp: (cfg.model == Model::Omp).then(|| shared_omp_pool(threads)),
             omp_sched,
             cpp_sched,
         }

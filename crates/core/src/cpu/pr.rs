@@ -13,7 +13,6 @@ use super::CpuExec;
 use indigo_exec::sync::{omp_critical, AtomicF32};
 use indigo_styles::{CpuReduction, Determinism, Flow, StyleConfig};
 
-
 /// Cache-line-padded accumulator for the `reduction`-clause style's
 /// privatized partials (avoids false sharing between worker threads).
 #[repr(align(64))]
@@ -31,7 +30,9 @@ impl DeltaReducer {
         DeltaReducer {
             style,
             global: AtomicF32::new(0.0),
-            partials: (0..threads).map(|_| PaddedF32(AtomicF32::new(0.0))).collect(),
+            partials: (0..threads)
+                .map(|_| PaddedF32(AtomicF32::new(0.0)))
+                .collect(),
         }
     }
 
@@ -81,7 +82,8 @@ pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (Vec
     let damping = crate::PR_DAMPING;
     let base = (1.0 - damping) / n as f32;
     let reducer = DeltaReducer::new(
-        cfg.cpu_reduction.expect("CPU PR variants carry a reduction style"),
+        cfg.cpu_reduction
+            .expect("CPU PR variants carry a reduction style"),
         exec.threads(),
     );
 
@@ -107,8 +109,8 @@ pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (Vec
                     let nv = base + damping * sum;
                     reducer.add(tid, (nv - rank[vi].load()).abs());
                     match write {
-                        Some(w) => w[vi].store(nv),      // deterministic (6b)
-                        None => rank[vi].store(nv),      // in-place (6a)
+                        Some(w) => w[vi].store(nv), // deterministic (6b)
+                        None => rank[vi].store(nv), // in-place (6a)
                     }
                 });
                 if let Some(w) = write {

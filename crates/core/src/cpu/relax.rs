@@ -75,12 +75,18 @@ pub fn run(
     });
 
     let iterations = match cfg.drive {
-        Drive::TopologyDriven => {
-            topo_loop(kind, cfg, input, exec, ops, &write, read.as_deref())
-        }
-        Drive::DataDriven(dup) => {
-            data_loop(kind, cfg, input, exec, ops, &write, read.as_deref(), dup, source)
-        }
+        Drive::TopologyDriven => topo_loop(kind, cfg, input, exec, ops, &write, read.as_deref()),
+        Drive::DataDriven(dup) => data_loop(
+            kind,
+            cfg,
+            input,
+            exec,
+            ops,
+            &write,
+            read.as_deref(),
+            dup,
+            source,
+        ),
     };
     (snapshot(&write), iterations)
 }
@@ -103,6 +109,7 @@ fn init_values(kind: RelaxKind, vals: &[AtomicU32], source: NodeId) {
 /// One edge relaxation in the configured flow direction. Returns the updated
 /// endpoint if the stored value decreased.
 #[inline]
+#[allow(clippy::too_many_arguments)] // one parameter per style knob
 fn relax_edge(
     kind: RelaxKind,
     flow: Flow,
@@ -234,7 +241,11 @@ fn data_loop(
     // capacity: no-duplicates lists are bounded by the item count; the
     // duplicates style gets slack plus the sweep fallback
     let items_total = if edge_items { m } else { n };
-    let capacity = if nodup { items_total + 1 } else { 2 * items_total + 64 };
+    let capacity = if nodup {
+        items_total + 1
+    } else {
+        2 * items_total + 64
+    };
     let wl = DoubleWorklist::with_capacity(capacity);
     let stamps = nodup.then(|| Stamps::new(items_total));
     let critical = exec.critical_stamps();
@@ -270,7 +281,14 @@ fn data_loop(
             changed.store(true, Ordering::Relaxed);
             if edge_items {
                 for e in csr.neighbor_range(to) {
-                    push_item(&wl, stamps.as_ref(), e as u32, iterations, critical, &overflow);
+                    push_item(
+                        &wl,
+                        stamps.as_ref(),
+                        e as u32,
+                        iterations,
+                        critical,
+                        &overflow,
+                    );
                 }
             } else {
                 push_item(&wl, stamps.as_ref(), to, iterations, critical, &overflow);
@@ -388,13 +406,7 @@ mod tests {
                         let exec = CpuExec::new(&cfg, 3);
                         let (got, iters) = run(kind, &cfg, &input, &exec, SOURCE);
                         assert!(iters >= 1);
-                        assert_eq!(
-                            got,
-                            expect,
-                            "{} on {}",
-                            cfg.name(),
-                            input.name()
-                        );
+                        assert_eq!(got, expect, "{} on {}", cfg.name(), input.name());
                     }
                 }
             }
@@ -409,7 +421,10 @@ mod tests {
         let exec = CpuExec::new(&cfg, 4);
         let (_, i1) = run(RelaxKind::Sssp, &cfg, &input, &exec, SOURCE);
         let (_, i2) = run(RelaxKind::Sssp, &cfg, &input, &exec, SOURCE);
-        assert_eq!(i1, i2, "deterministic style must repeat its iteration count");
+        assert_eq!(
+            i1, i2,
+            "deterministic style must repeat its iteration count"
+        );
     }
 
     #[test]

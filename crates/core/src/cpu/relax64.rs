@@ -49,7 +49,10 @@ pub fn sssp64(input: &crate::GraphInput, exec: &CpuExec, source: NodeId) -> (Vec
             break;
         }
     }
-    (dist.iter().map(|c| c.load(Ordering::Relaxed)).collect(), iterations)
+    (
+        dist.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        iterations,
+    )
 }
 
 #[cfg(test)]
@@ -64,7 +67,11 @@ mod tests {
     /// every input where 32 bits suffice.
     #[test]
     fn widths_agree() {
-        for g in [toy::weighted_diamond(), gen::gnp(80, 0.06, 4), gen::road(20, 12, 3)] {
+        for g in [
+            toy::weighted_diamond(),
+            gen::gnp(80, 0.06, 4),
+            gen::road(20, 12, 3),
+        ] {
             let input = GraphInput::new(g);
             let exec = CpuExec::new(&StyleConfig::baseline(Algorithm::Sssp, Model::Cpp), 3);
             let (d64, iters) = sssp64(&input, &exec, SOURCE);

@@ -24,10 +24,13 @@ struct PaddedU64(AtomicU64);
 pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (u64, usize) {
     let csr = &input.csr;
     let coo = &input.coo;
-    let style = cfg.cpu_reduction.expect("CPU TC variants carry a reduction style");
+    let style = cfg
+        .cpu_reduction
+        .expect("CPU TC variants carry a reduction style");
     let global = AtomicU64::new(0);
-    let partials: Vec<PaddedU64> =
-        (0..exec.threads()).map(|_| PaddedU64(AtomicU64::new(0))).collect();
+    let partials: Vec<PaddedU64> = (0..exec.threads())
+        .map(|_| PaddedU64(AtomicU64::new(0)))
+        .collect();
 
     let add = |tid: usize, val: u64| {
         if val == 0 {

@@ -162,8 +162,11 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<bool>, us
 
         match &wl {
             Some((a, a_size, b, b_size, stamps)) => {
-                let (cur, cur_size, nxt, nxt_size) =
-                    if swap { (b, b_size, a, a_size) } else { (a, a_size, b, b_size) };
+                let (cur, cur_size, nxt, nxt_size) = if swap {
+                    (b, b_size, a, a_size)
+                } else {
+                    (a, a_size, b, b_size)
+                };
                 let len = cur_size.host_read(0) as usize;
                 sim.launch(len, assign, persistent, |ctx, idx| {
                     let item = ctx.ld(cur, idx);
@@ -273,8 +276,8 @@ fn copy(sim: &mut Sim, dst: &GpuBuf, src: &GpuBuf) {
 mod tests {
     use super::*;
     use crate::{serial, GraphInput};
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::rtx3090;
+    use indigo_graph::gen::{self, toy};
     use indigo_styles::{enumerate, Algorithm, Model};
 
     #[test]

@@ -39,7 +39,10 @@ impl DeviceGraph {
     pub fn upload(input: &crate::GraphInput) -> Self {
         let csr = &input.csr;
         let coo = &input.coo;
-        assert!(csr.num_edges() < u32::MAX as usize, "edge count exceeds u32 offsets");
+        assert!(
+            csr.num_edges() < u32::MAX as usize,
+            "edge count exceeds u32 offsets"
+        );
         let row: Vec<u32> = csr.row_start().iter().map(|&o| o as u32).collect();
         DeviceGraph {
             row: GpuBuf::from_slice(&row),
@@ -65,7 +68,10 @@ pub fn assign_of(cfg: &StyleConfig) -> Assign {
 
 /// Whether the §2.7 persistent style is selected.
 pub fn persistent_of(cfg: &StyleConfig) -> bool {
-    matches!(cfg.persistence, Some(indigo_styles::Persistence::Persistent))
+    matches!(
+        cfg.persistence,
+        Some(indigo_styles::Persistence::Persistent)
+    )
 }
 
 /// The §2.9 atomic flavor as a buffer cost class.

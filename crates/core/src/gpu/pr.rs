@@ -14,7 +14,10 @@ use indigo_styles::{Determinism, Flow, GpuReduction, StyleConfig};
 
 /// Maps the style enum onto the simulator's reduction plumbing.
 fn reduce_style_of(cfg: &StyleConfig) -> ReduceStyle {
-    match cfg.gpu_reduction.expect("GPU PR variants carry a reduction style") {
+    match cfg
+        .gpu_reduction
+        .expect("GPU PR variants carry a reduction style")
+    {
         GpuReduction::GlobalAdd => ReduceStyle::GlobalAdd,
         GpuReduction::BlockAdd => ReduceStyle::BlockAdd,
         GpuReduction::ReductionAdd => ReduceStyle::ReductionAdd,
@@ -36,8 +39,8 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<f32>, usi
     let base = (1.0 - damping) / n as f32;
 
     let rank = GpuBufF32::new(n, 1.0 / n as f32).with_kind(BufKind::Atomic);
-    let aux = (det || flow == Flow::Push)
-        .then(|| GpuBufF32::new(n, 0.0).with_kind(BufKind::Atomic));
+    let aux =
+        (det || flow == Flow::Push).then(|| GpuBufF32::new(n, 0.0).with_kind(BufKind::Atomic));
 
     // degree via the row array (two coalescing-friendly loads)
     let degree = |ctx: &mut LaneCtx, v: u32| -> f32 {
@@ -52,37 +55,43 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<f32>, usi
         let delta = match flow {
             Flow::Pull => {
                 let write = aux.as_ref().unwrap_or(&rank);
-                let d = sim.launch_coop(
-                    n,
-                    assign,
-                    persistent,
-                    Some((style, BufKind::Atomic)),
-                    |ctx, vi| {
-                        let v = vi as u32;
-                        let beg = ctx.ld(&dg.row, vi) as usize;
-                        let end = ctx.ld(&dg.row, vi + 1) as usize;
-                        let _ = v;
-                        let lanes = ctx.lane_count();
-                        let mut i = beg + ctx.lane();
-                        let mut partial = 0.0f32;
-                        while i < end {
-                            let u = ctx.ld(&dg.nbr, i);
-                            let du = degree(ctx, u);
-                            partial += ctx.ld_f32(&rank, u as usize) / du;
-                            i += lanes;
-                        }
-                        ctx.scratch_add_f32(partial);
-                    },
-                    |ctx, vi| {
-                        let nv = base + damping * ctx.group_f32();
-                        let old = ctx.ld_f32(&rank, vi);
-                        ctx.reduce_add_f32((nv - old).abs());
-                        ctx.st_f32(write, vi, nv);
-                    },
-                );
+                let kernel = |ctx: &mut LaneCtx, vi: usize| {
+                    let v = vi as u32;
+                    let beg = ctx.ld(&dg.row, vi) as usize;
+                    let end = ctx.ld(&dg.row, vi + 1) as usize;
+                    let _ = v;
+                    let lanes = ctx.lane_count();
+                    let mut i = beg + ctx.lane();
+                    let mut partial = 0.0f32;
+                    while i < end {
+                        let u = ctx.ld(&dg.nbr, i);
+                        let du = degree(ctx, u);
+                        partial += ctx.ld_f32(&rank, u as usize) / du;
+                        i += lanes;
+                    }
+                    ctx.scratch_add_f32(partial);
+                };
+                let epilogue = |ctx: &mut LaneCtx, vi: usize| {
+                    let nv = base + damping * ctx.group_f32();
+                    let old = ctx.ld_f32(&rank, vi);
+                    ctx.reduce_add_f32((nv - old).abs());
+                    ctx.st_f32(write, vi, nv);
+                };
+                let reduce = Some((style, BufKind::Atomic));
+                // The deterministic variant double-buffers: it reads the
+                // stable `rank` and writes only its own slot of `aux`, so
+                // its trace is block-order invariant. The nondeterministic
+                // variant reads `rank` while other blocks overwrite it —
+                // the very races it embraces — and must stay serial.
+                let d = if det {
+                    sim.launch_coop_det(n, assign, persistent, reduce, kernel, epilogue)
+                } else {
+                    sim.launch_coop(n, assign, persistent, reduce, kernel, epilogue)
+                };
                 if let Some(w) = &aux {
                     // publish the deterministic buffer back into `rank`
-                    sim.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                    // (slot-private copy: order-invariant)
+                    sim.launch_det(n, Assign::ThreadPerItem, false, |ctx, i| {
                         let v = ctx.ld_f32(w, i);
                         ctx.st_f32(&rank, i, v);
                     });
@@ -91,9 +100,12 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<f32>, usi
             }
             Flow::Push => {
                 let scatter = aux.as_ref().expect("push PR double-buffers");
-                sim.launch(n, Assign::ThreadPerItem, false, |ctx, i| {
+                // zero fill is slot-private: order-invariant
+                sim.launch_det(n, Assign::ThreadPerItem, false, |ctx, i| {
                     ctx.st_f32(scatter, i, 0.0);
                 });
+                // the scatter's atomicAdd(float*) sums depend on arrival
+                // order (f32 adds don't commute bitwise) — serial only
                 sim.launch(n, assign, persistent, |ctx, vi| {
                     let v = vi as u32;
                     let dv = degree(ctx, v);
@@ -108,7 +120,9 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<f32>, usi
                         i += lanes;
                     }
                 });
-                sim.launch_reduce_f32(
+                // gather reads the settled scatter buffer and writes its
+                // own rank slot: order-invariant
+                sim.launch_reduce_f32_det(
                     n,
                     Assign::ThreadPerItem,
                     false,
@@ -134,8 +148,8 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (Vec<f32>, usi
 mod tests {
     use super::*;
     use crate::{serial, GraphInput};
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::titan_v;
+    use indigo_graph::gen::{self, toy};
     use indigo_styles::{enumerate, Algorithm, Model};
 
     fn close(a: &[f32], b: &[f32]) -> bool {
@@ -158,12 +172,7 @@ mod tests {
                 let mut sim = Sim::new(titan_v());
                 let (got, iters) = run(&cfg, &dg, &mut sim);
                 assert!(iters >= 1);
-                assert!(
-                    close(&got, &expect),
-                    "{} on {}",
-                    cfg.name(),
-                    input.name()
-                );
+                assert!(close(&got, &expect), "{} on {}", cfg.name(), input.name());
             }
         }
     }

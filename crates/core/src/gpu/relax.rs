@@ -11,8 +11,8 @@
 
 use super::{assign_of, atomic_kind_of, persistent_of, DeviceGraph};
 use crate::cpu::relax::RelaxKind;
-use indigo_graph::{NodeId, INF};
 use indigo_gpusim::{Assign, BufKind, GpuBuf, LaneCtx, Sim};
+use indigo_graph::{NodeId, INF};
 use indigo_styles::{Determinism, Direction, Drive, Flow, StyleConfig, Update, WorklistDup};
 
 /// A device-side worklist: item array, atomic size counter, overflow flag.
@@ -151,8 +151,19 @@ pub fn run(
             }
         }
         Drive::DataDriven(dup) => data_loop(
-            kind, cfg, dg, sim, akind, assign, persistent, dup, source, &relax,
-            dist_read.as_ref(), &dist, rmw,
+            kind,
+            cfg,
+            dg,
+            sim,
+            akind,
+            assign,
+            persistent,
+            dup,
+            source,
+            &relax,
+            dist_read.as_ref(),
+            &dist,
+            rmw,
         ),
     };
     (dist.to_vec(), iterations)
@@ -273,7 +284,7 @@ fn data_loop(
     persistent: bool,
     dup: WorklistDup,
     source: NodeId,
-    relax: &(impl Fn(&mut LaneCtx, u32, u32, u32) -> Option<u32> + ?Sized),
+    relax: &(impl Fn(&mut LaneCtx, u32, u32, u32) -> Option<u32> + Sync + ?Sized),
     dist_read: Option<&GpuBuf>,
     dist: &GpuBuf,
     rmw: bool,
@@ -284,7 +295,11 @@ fn data_loop(
     if dg.n == 0 {
         return 0;
     }
-    let capacity = if nodup { items_total + 1 } else { 2 * items_total + 64 };
+    let capacity = if nodup {
+        items_total + 1
+    } else {
+        2 * items_total + 64
+    };
     let current = GpuWorklist::new(capacity, akind);
     let next = GpuWorklist::new(capacity, akind);
     let stamps = nodup.then(|| GpuBuf::new(items_total, 0).with_kind(akind));
@@ -346,7 +361,9 @@ fn data_loop(
         };
 
         if full_sweep {
-            sim.launch(items_total, assign, persistent, |ctx, i| process(ctx, i as u32));
+            sim.launch(items_total, assign, persistent, |ctx, i| {
+                process(ctx, i as u32)
+            });
         } else {
             sim.launch(cur.len(), assign, persistent, |ctx, idx| {
                 let item = ctx.ld(&cur.items, idx);
@@ -379,13 +396,7 @@ fn dg_row_range(dg: &DeviceGraph, v: u32) -> std::ops::Range<usize> {
 
 /// Device-side worklist insertion, with the Listing 3b stamp check when the
 /// no-duplicates style is selected.
-fn push_item(
-    ctx: &mut LaneCtx,
-    wl: &GpuWorklist,
-    stamps: Option<&GpuBuf>,
-    item: u32,
-    iter: u32,
-) {
+fn push_item(ctx: &mut LaneCtx, wl: &GpuWorklist, stamps: Option<&GpuBuf>, item: u32, iter: u32) {
     if let Some(st) = stamps {
         if ctx.atomic_max(st, item as usize, iter) == iter {
             return;
@@ -398,8 +409,8 @@ fn push_item(
 mod tests {
     use super::*;
     use crate::{serial, GraphInput, SOURCE};
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::titan_v;
+    use indigo_graph::gen::{self, toy};
     use indigo_styles::{enumerate, Algorithm, Model};
 
     fn reference(kind: RelaxKind, input: &GraphInput) -> Vec<u32> {
@@ -415,8 +426,11 @@ mod tests {
     /// engine's exhaustive test.
     #[test]
     fn all_gpu_variants_match_reference() {
-        let graphs =
-            vec![toy::weighted_diamond(), gen::gnp(40, 0.1, 5), gen::grid2d(5, 4)];
+        let graphs = vec![
+            toy::weighted_diamond(),
+            gen::gnp(40, 0.1, 5),
+            gen::grid2d(5, 4),
+        ];
         for g in graphs {
             let input = GraphInput::new(g);
             let dg = DeviceGraph::upload(&input);

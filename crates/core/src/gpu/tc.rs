@@ -19,7 +19,10 @@ use indigo_gpusim::{LaneCtx, ReduceStyle, Sim};
 use indigo_styles::{Direction, GpuReduction, StyleConfig};
 
 fn reduce_style_of(cfg: &StyleConfig) -> ReduceStyle {
-    match cfg.gpu_reduction.expect("GPU TC variants carry a reduction style") {
+    match cfg
+        .gpu_reduction
+        .expect("GPU TC variants carry a reduction style")
+    {
         GpuReduction::GlobalAdd => ReduceStyle::GlobalAdd,
         GpuReduction::BlockAdd => ReduceStyle::BlockAdd,
         GpuReduction::ReductionAdd => ReduceStyle::ReductionAdd,
@@ -33,9 +36,11 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (u64, usize) {
     let style = reduce_style_of(cfg);
     let kind = atomic_kind_of(cfg);
 
+    // Both TC directions only read the immutable graph and fold into the
+    // u64 reduction, so they carry the deterministic_parallel capability.
     let count = match cfg.direction {
         Direction::VertexBased => {
-            sim.launch_reduce_u64(dg.n, assign, persistent, style, kind, |ctx, vi| {
+            sim.launch_reduce_u64_det(dg.n, assign, persistent, style, kind, |ctx, vi| {
                 let v = vi as u32;
                 let beg = ctx.ld(&dg.row, vi) as usize;
                 let end = ctx.ld(&dg.row, vi + 1) as usize;
@@ -55,7 +60,7 @@ pub fn run(cfg: &StyleConfig, dg: &DeviceGraph, sim: &mut Sim) -> (u64, usize) {
             })
         }
         Direction::EdgeBased => {
-            sim.launch_reduce_u64(dg.m, assign, persistent, style, kind, |ctx, e| {
+            sim.launch_reduce_u64_det(dg.m, assign, persistent, style, kind, |ctx, e| {
                 let v = ctx.ld(&dg.src, e);
                 let u = ctx.ld(&dg.dst, e);
                 if v >= u {
@@ -140,8 +145,8 @@ fn bsearch(ctx: &mut LaneCtx, dg: &DeviceGraph, beg: usize, end: usize, target: 
 mod tests {
     use super::*;
     use crate::{serial, GraphInput};
-    use indigo_graph::gen::{self, toy};
     use indigo_gpusim::rtx3090;
+    use indigo_graph::gen::{self, toy};
     use indigo_styles::{enumerate, Algorithm, Model};
 
     #[test]

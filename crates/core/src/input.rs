@@ -20,7 +20,11 @@ impl GraphInput {
     /// Prepares `g`, attaching deterministic synthetic weights when the
     /// graph has none (the paper runs SSSP on all five inputs).
     pub fn new(g: Csr) -> Self {
-        let csr = if g.is_weighted() { g } else { g.with_synthetic_weights() };
+        let csr = if g.is_weighted() {
+            g
+        } else {
+            g.with_synthetic_weights()
+        };
         let coo = Coo::from_csr(&csr);
         GraphInput { csr, coo }
     }

@@ -39,7 +39,7 @@ pub mod verify;
 
 pub use input::GraphInput;
 pub use output::Output;
-pub use runner::{run_gpu, run_variant, RunResult, Target};
+pub use runner::{run_gpu, run_gpu_with, run_variant, RunResult, Target};
 
 /// Source vertex used by BFS and SSSP across the whole suite (the paper does
 /// not publish its choice; vertex 0 is deterministic and, on the grid/road
@@ -48,7 +48,7 @@ pub const SOURCE: u32 = 0;
 
 /// Seed for the MIS random priorities (shared by all models so every variant
 /// computes the same maximal independent set).
-pub const MIS_SEED: u64 = 0x4d49_53; // "MIS"
+pub const MIS_SEED: u64 = 0x004d_4953; // "MIS"
 
 /// PageRank damping factor (the standard 0.85).
 pub const PR_DAMPING: f32 = 0.85;

@@ -57,7 +57,8 @@ impl RunResult {
 
 /// Runs `cfg` on `input` at `target`.
 pub fn run_variant(cfg: &StyleConfig, input: &GraphInput, target: &Target) -> RunResult {
-    cfg.check().unwrap_or_else(|e| panic!("invalid variant {}: {e}", cfg.name()));
+    cfg.check()
+        .unwrap_or_else(|e| panic!("invalid variant {}: {e}", cfg.name()));
     match target {
         Target::Cpu { threads } => run_cpu(cfg, input, *threads),
         Target::Gpu(device) => {
@@ -68,10 +69,24 @@ pub fn run_variant(cfg: &StyleConfig, input: &GraphInput, target: &Target) -> Ru
 }
 
 /// GPU path against an already-uploaded graph (lets callers amortize the
-/// upload over many variants).
+/// upload over many variants). Single-threaded simulation.
 pub fn run_gpu(cfg: &StyleConfig, dg: &DeviceGraph, device: Device) -> RunResult {
+    run_gpu_with(cfg, dg, device, 1)
+}
+
+/// [`run_gpu`] with `sim_workers` host threads simulating each launch that
+/// carries the `deterministic_parallel` capability. Results — cycles,
+/// outputs, reductions — are bit-identical for any worker count; this is
+/// purely a wall-clock speedup for the measurement harness.
+pub fn run_gpu_with(
+    cfg: &StyleConfig,
+    dg: &DeviceGraph,
+    device: Device,
+    sim_workers: usize,
+) -> RunResult {
     assert!(!cfg.model.is_cpu(), "run_gpu needs a CUDA-model variant");
     let mut sim = Sim::new(device);
+    sim.set_workers(sim_workers);
     let (output, iterations) = match cfg.algorithm {
         Algorithm::Bfs => {
             let (v, i) = gpu::relax::run(RelaxKind::Bfs, cfg, dg, &mut sim, SOURCE);
@@ -98,7 +113,11 @@ pub fn run_gpu(cfg: &StyleConfig, dg: &DeviceGraph, device: Device) -> RunResult
             (Output::Triangles(c), i)
         }
     };
-    RunResult { output, secs: sim.elapsed_secs(), iterations }
+    RunResult {
+        output,
+        secs: sim.elapsed_secs(),
+        iterations,
+    }
 }
 
 fn run_cpu(cfg: &StyleConfig, input: &GraphInput, threads: usize) -> RunResult {
@@ -131,14 +150,18 @@ fn run_cpu(cfg: &StyleConfig, input: &GraphInput, threads: usize) -> RunResult {
             (Output::Triangles(c), i)
         }
     };
-    RunResult { output, secs: start.elapsed().as_secs_f64(), iterations }
+    RunResult {
+        output,
+        secs: start.elapsed().as_secs_f64(),
+        iterations,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use indigo_graph::gen;
     use indigo_gpusim::rtx3090;
+    use indigo_graph::gen;
     use indigo_styles::Model;
 
     #[test]
@@ -152,16 +175,28 @@ mod tests {
                 let cfg = StyleConfig::baseline(algo, model);
                 let r = run_variant(&cfg, &input, &target);
                 assert!(r.secs > 0.0, "{}", cfg.name());
-                assert!(crate::verify::check(&cfg, &input, &r.output).is_ok(), "{}", cfg.name());
+                assert!(
+                    crate::verify::check(&cfg, &input, &r.output).is_ok(),
+                    "{}",
+                    cfg.name()
+                );
             }
         }
     }
 
     #[test]
     fn throughput_metric_sane() {
-        let r = RunResult { output: Output::Triangles(1), secs: 2.0, iterations: 1 };
+        let r = RunResult {
+            output: Output::Triangles(1),
+            secs: 2.0,
+            iterations: 1,
+        };
         assert_eq!(r.gigaedges_per_sec(4_000_000_000), 2.0);
-        let z = RunResult { output: Output::Triangles(1), secs: 0.0, iterations: 1 };
+        let z = RunResult {
+            output: Output::Triangles(1),
+            secs: 0.0,
+            iterations: 1,
+        };
         assert_eq!(z.gigaedges_per_sec(100), 0.0);
     }
 

@@ -267,7 +267,12 @@ mod tests {
     #[test]
     fn pagerank_sums_to_one_and_ranks_hubs() {
         let g = toy::star(20);
-        let r = pagerank(&g, crate::PR_DAMPING, crate::PR_EPSILON, crate::PR_MAX_ITERS);
+        let r = pagerank(
+            &g,
+            crate::PR_DAMPING,
+            crate::PR_EPSILON,
+            crate::PR_MAX_ITERS,
+        );
         let sum: f32 = r.iter().sum();
         assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
         assert!(r[0] > r[1] * 3.0, "hub must dominate: {} vs {}", r[0], r[1]);

@@ -17,9 +17,7 @@ pub fn check(cfg: &StyleConfig, input: &GraphInput, output: &Output) -> Result<(
         (Algorithm::Sssp, Output::Distances(got)) => {
             exact(got, &serial::sssp(&input.csr, crate::SOURCE), "distance")
         }
-        (Algorithm::Cc, Output::Labels(got)) => {
-            exact(got, &serial::cc(&input.csr), "label")
-        }
+        (Algorithm::Cc, Output::Labels(got)) => exact(got, &serial::cc(&input.csr), "label"),
         (Algorithm::Mis, Output::MisSet(got)) => {
             let expect = serial::mis(&input.csr, crate::MIS_SEED);
             if got == &expect {

@@ -24,11 +24,13 @@
 
 pub mod cpp;
 pub mod omp;
+pub mod pool_cache;
 pub mod sync;
 pub mod worklist;
 
 pub use cpp::CppThreads;
 pub use omp::{OmpPool, Schedule};
+pub use pool_cache::shared_omp_pool;
 
 /// A named thread-count configuration standing in for one of the paper's two
 /// CPU systems (§4.3). The paper used 16 threads on System 1 and 32 on
@@ -43,6 +45,12 @@ pub struct SystemProfile {
 
 /// The two evaluation profiles (Threadripper-like and dual-Xeon-like).
 pub const SYSTEM_PROFILES: [SystemProfile; 2] = [
-    SystemProfile { name: "sys1", threads: 4 },
-    SystemProfile { name: "sys2", threads: 8 },
+    SystemProfile {
+        name: "sys1",
+        threads: 4,
+    },
+    SystemProfile {
+        name: "sys2",
+        threads: 8,
+    },
 ];

@@ -8,9 +8,8 @@
 //! out chunks from a shared atomic counter at runtime — the load-balancing /
 //! overhead trade-off the paper measures in Figure 12.
 
-use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 /// Loop schedule (§2.11).
@@ -56,6 +55,10 @@ struct Control {
     state: Mutex<State>,
     start: Condvar,
     done: Condvar,
+    /// Serializes whole regions so one pool can be shared (and cached)
+    /// across call sites: concurrent `parallel_for`s queue instead of
+    /// corrupting the generation/remaining bookkeeping.
+    region: Mutex<()>,
 }
 
 /// A persistent OpenMP-style worker team.
@@ -78,6 +81,7 @@ impl OmpPool {
             }),
             start: Condvar::new(),
             done: Condvar::new(),
+            region: Mutex::new(()),
         });
         let workers = (0..threads)
             .map(|tid| {
@@ -88,7 +92,11 @@ impl OmpPool {
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        OmpPool { control, workers, threads }
+        OmpPool {
+            control,
+            workers,
+            threads,
+        }
     }
 
     /// Team size.
@@ -146,13 +154,14 @@ impl OmpPool {
         let ptr = JobPtr(unsafe {
             std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
         });
-        let mut st = self.control.state.lock();
+        let _region = self.control.region.lock().unwrap();
+        let mut st = self.control.state.lock().unwrap();
         st.job = Some(ptr);
         st.remaining = self.threads;
         st.generation += 1;
         self.control.start.notify_all();
         while st.remaining > 0 {
-            self.control.done.wait(&mut st);
+            st = self.control.done.wait(st).unwrap();
         }
         st.job = None;
     }
@@ -162,9 +171,9 @@ fn worker_loop(tid: usize, control: &Control) {
     let mut seen_generation = 0u64;
     loop {
         let job = {
-            let mut st = control.state.lock();
+            let mut st = control.state.lock().unwrap();
             while !st.shutdown && st.generation == seen_generation {
-                control.start.wait(&mut st);
+                st = control.start.wait(st).unwrap();
             }
             if st.shutdown {
                 return;
@@ -174,7 +183,7 @@ fn worker_loop(tid: usize, control: &Control) {
         };
         // Safety: pointee valid until we decrement `remaining` below.
         unsafe { (*job.0)(tid) };
-        let mut st = control.state.lock();
+        let mut st = control.state.lock().unwrap();
         st.remaining -= 1;
         if st.remaining == 0 {
             control.done.notify_one();
@@ -185,7 +194,7 @@ fn worker_loop(tid: usize, control: &Control) {
 impl Drop for OmpPool {
     fn drop(&mut self) {
         {
-            let mut st = self.control.state.lock();
+            let mut st = self.control.state.lock().unwrap();
             st.shutdown = true;
             self.control.start.notify_all();
         }

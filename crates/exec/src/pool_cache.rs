@@ -1,0 +1,76 @@
+//! Process-wide reuse of OpenMP-analog worker pools.
+//!
+//! The measurement harness runs hundreds of thousands of (variant, input,
+//! target) cells; spawning a fresh [`OmpPool`] team per cell costs a few
+//! hundred microseconds of thread creation each — pure overhead that is not
+//! part of the kernel time being measured. This cache hands out one shared
+//! pool per thread count instead. Sharing is safe because `OmpPool`
+//! serializes whole regions internally (see `omp::Control::region`); callers
+//! that want unskewed wall-clock timings must still avoid running two CPU
+//! cells concurrently, which the harness scheduler guarantees by running
+//! wall-clock cells exclusively.
+
+use crate::OmpPool;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+static POOLS: OnceLock<Mutex<HashMap<usize, Arc<OmpPool>>>> = OnceLock::new();
+
+/// Returns the shared pool with `threads` workers, spawning it on first use.
+pub fn shared_omp_pool(threads: usize) -> Arc<OmpPool> {
+    let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = pools.lock().unwrap();
+    Arc::clone(
+        map.entry(threads)
+            .or_insert_with(|| Arc::new(OmpPool::new(threads))),
+    )
+}
+
+/// Number of distinct pools currently cached (for tests/diagnostics).
+pub fn cached_pool_count() -> usize {
+    POOLS.get().map_or(0, |p| p.lock().unwrap().len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn same_thread_count_returns_same_pool() {
+        let a = shared_omp_pool(2);
+        let b = shared_omp_pool(2);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.num_threads(), 2);
+    }
+
+    #[test]
+    fn distinct_thread_counts_get_distinct_pools() {
+        let a = shared_omp_pool(2);
+        let b = shared_omp_pool(3);
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(cached_pool_count() >= 2);
+    }
+
+    #[test]
+    fn shared_pool_survives_concurrent_regions() {
+        // two threads hammer the same cached pool; the region lock must
+        // serialize them without losing iterations
+        let pool = shared_omp_pool(2);
+        let count = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                let pool = Arc::clone(&pool);
+                let count = &count;
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        pool.parallel_for(10, crate::Schedule::Default, |_, _| {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        });
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+}

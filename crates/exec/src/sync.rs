@@ -9,8 +9,8 @@
 //! out as the source of several of its largest CPU slowdowns (§5.3.1,
 //! §5.10). [`MinOps`] packages those three behaviors behind one call site.
 
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
 
 /// The single global `#pragma omp critical` lock.
 ///
@@ -22,7 +22,7 @@ static OMP_CRITICAL: Mutex<()> = Mutex::new(());
 /// Runs `f` inside the global critical section.
 #[inline]
 pub fn omp_critical<R>(f: impl FnOnce() -> R) -> R {
-    let _guard = OMP_CRITICAL.lock();
+    let _guard = OMP_CRITICAL.lock().unwrap_or_else(|e| e.into_inner());
     f()
 }
 
@@ -62,7 +62,9 @@ pub struct AtomicF32 {
 impl AtomicF32 {
     /// Creates a cell holding `v`.
     pub fn new(v: f32) -> Self {
-        AtomicF32 { bits: AtomicU32::new(v.to_bits()) }
+        AtomicF32 {
+            bits: AtomicU32::new(v.to_bits()),
+        }
     }
 
     /// Atomic load.

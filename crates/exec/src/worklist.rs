@@ -31,7 +31,11 @@ impl Worklist {
     #[inline]
     pub fn push(&self, v: u32) {
         let idx = self.len.fetch_add(1, Ordering::Relaxed);
-        assert!(idx < self.items.len(), "worklist overflow at capacity {}", self.items.len());
+        assert!(
+            idx < self.items.len(),
+            "worklist overflow at capacity {}",
+            self.items.len()
+        );
         self.items[idx].store(v, Ordering::Relaxed);
     }
 
@@ -89,7 +93,9 @@ impl Stamps {
     /// One stamp per vertex, all initially 0 (iterations are numbered
     /// starting at 1).
     pub fn new(num_nodes: usize) -> Self {
-        Stamps { cells: (0..num_nodes).map(|_| AtomicU32::new(0)).collect() }
+        Stamps {
+            cells: (0..num_nodes).map(|_| AtomicU32::new(0)).collect(),
+        }
     }
 
     /// Returns `true` iff the caller is the first to claim vertex `v` in
@@ -126,7 +132,10 @@ impl DoubleWorklist {
     /// Two lists of the given capacity.
     pub fn with_capacity(capacity: usize) -> Self {
         DoubleWorklist {
-            lists: [Worklist::with_capacity(capacity), Worklist::with_capacity(capacity)],
+            lists: [
+                Worklist::with_capacity(capacity),
+                Worklist::with_capacity(capacity),
+            ],
             current: AtomicUsize::new(0),
         }
     }

@@ -12,7 +12,11 @@ fn omp_pool_survives_many_generations() {
     let pool = OmpPool::new(4);
     let counter = AtomicUsize::new(0);
     for round in 0..2_000usize {
-        let sched = if round % 2 == 0 { Schedule::Default } else { Schedule::dynamic() };
+        let sched = if round % 2 == 0 {
+            Schedule::Default
+        } else {
+            Schedule::dynamic()
+        };
         pool.parallel_for(8, sched, |_, _| {
             counter.fetch_add(1, Ordering::Relaxed);
         });

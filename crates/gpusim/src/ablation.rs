@@ -75,7 +75,10 @@ mod tests {
         };
         let base_gap = run(titan_v(), 64) / run(titan_v(), 1);
         let ablated_gap = run(no_coalescing(titan_v()), 64) / run(no_coalescing(titan_v()), 1);
-        assert!(base_gap > 3.0, "base model must price coalescing: {base_gap}");
+        assert!(
+            base_gap > 3.0,
+            "base model must price coalescing: {base_gap}"
+        );
         assert!(ablated_gap < 1.1, "ablation must flatten it: {ablated_gap}");
     }
 
@@ -127,6 +130,9 @@ mod tests {
         };
         let base = many(titan_v());
         let free = many(free_launches(titan_v()));
-        assert!(free < base / 3.0, "50 launches must get much cheaper: {free} vs {base}");
+        assert!(
+            free < base / 3.0,
+            "50 launches must get much cheaper: {free} vs {base}"
+        );
     }
 }

@@ -107,7 +107,10 @@ impl GpuBuf {
 
     /// Host-side snapshot of the whole buffer.
     pub fn to_vec(&self) -> Vec<u32> {
-        self.cells.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+        self.cells
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
     }
 }
 

@@ -47,7 +47,13 @@ struct Step {
 
 impl Step {
     fn new(class: AccessClass) -> Self {
-        Step { class, keys: [0; MAX_LANES], counts: [0; MAX_LANES], distinct: 0, total: 0 }
+        Step {
+            class,
+            keys: [0; MAX_LANES],
+            counts: [0; MAX_LANES],
+            distinct: 0,
+            total: 0,
+        }
     }
 
     fn reset(&mut self, class: AccessClass) {
@@ -64,7 +70,10 @@ impl Step {
                 return;
             }
         }
-        debug_assert!(self.distinct < MAX_LANES, "more lanes than WARP_SIZE in one step");
+        debug_assert!(
+            self.distinct < MAX_LANES,
+            "more lanes than WARP_SIZE in one step"
+        );
         self.keys[self.distinct] = key;
         self.counts[self.distinct] = 1;
         self.distinct += 1;
@@ -86,7 +95,10 @@ impl Default for StepTable {
 impl StepTable {
     /// Empty table.
     pub fn new() -> Self {
-        StepTable { steps: Vec::new(), used: 0 }
+        StepTable {
+            steps: Vec::new(),
+            used: 0,
+        }
     }
 
     /// Clears for the next warp round (keeps capacity).
@@ -162,8 +174,11 @@ impl StepTable {
                         * c.cuda_atomic_mult
                 }
                 AccessClass::SharedAtomic => {
-                    let max_mult =
-                        step.counts[..step.distinct].iter().copied().max().unwrap_or(0);
+                    let max_mult = step.counts[..step.distinct]
+                        .iter()
+                        .copied()
+                        .max()
+                        .unwrap_or(0);
                     c.issue + max_mult as f64 * c.shared_serial
                 }
             };

@@ -20,7 +20,8 @@ use crate::buffer::{BufKind, GpuBuf, GpuBufF32};
 use crate::cost::{AccessClass, StepTable};
 use crate::device::Device;
 use crate::WARP_SIZE;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// How many lanes process one work item (§2.8).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -135,7 +136,10 @@ impl<'a> LaneCtx<'a> {
     #[inline]
     pub fn atomic_cas(&mut self, buf: &GpuBuf, i: usize, cur: u32, new: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
-        match buf.cell(i).compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
+        match buf
+            .cell(i)
+            .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
+        {
             Ok(prev) | Err(prev) => prev,
         }
     }
@@ -237,18 +241,73 @@ const SHARED_CTR_ADDR: u64 = 0x7ffe_0000_0000;
 ///
 /// One `Sim` spans one algorithm run: every launch adds its simulated
 /// cycles; [`Sim::elapsed_secs`] converts to seconds at the device clock.
+///
+/// ## Multi-threaded simulation
+///
+/// [`Sim::set_workers`] lets launches that opt in via the `_det` entry
+/// points (`deterministic_parallel` capability) execute their grid blocks
+/// on a host thread pool. Blocks are simulated independently into private
+/// [`BlockOutcome`]s and merged by a *block-ordered* serial reduction —
+/// greedy SM assignment, cycle totals, and `f32` reduction sums are all
+/// applied in block index order, so cycles, reduction results, and SM
+/// accounting are bit-identical for any worker count. Only kernels whose
+/// memory trace and functional effects are invariant to block execution
+/// order may opt in; everything else goes through the serial entry points
+/// regardless of the worker setting.
 pub struct Sim {
     device: Device,
     cycles: f64,
     launches: usize,
+    workers: usize,
 }
 
-type Kernel<'k> = dyn Fn(&mut LaneCtx, usize) + 'k;
+type Kernel<'k> = dyn Fn(&mut LaneCtx, usize) + Sync + 'k;
+
+/// Geometry and pricing context shared by every block of one launch.
+struct LaunchShape {
+    device: Device,
+    items: usize,
+    assign: Assign,
+    persistent: bool,
+    reduce: Option<(ReduceStyle, BufKind)>,
+    warps_per_block: usize,
+    lanes_per_item: usize,
+    items_per_block: usize,
+    block_stride_items: usize,
+}
+
+/// Everything one simulated block contributes to the launch: its cycle
+/// cost, critical-path warp, reduction partials, and whether it did any
+/// work at all. Private to each simulating thread until the block-ordered
+/// merge.
+#[derive(Clone, Debug, Default)]
+struct BlockOutcome {
+    cycles: f64,
+    longest_warp: f64,
+    sum_u64: u64,
+    sum_f32: f32,
+    any: bool,
+}
 
 impl Sim {
-    /// New simulator clocked at zero.
+    /// New simulator clocked at zero, single-threaded.
     pub fn new(device: Device) -> Self {
-        Sim { device, cycles: 0.0, launches: 0 }
+        Sim {
+            device,
+            cycles: 0.0,
+            launches: 0,
+            workers: 1,
+        }
+    }
+
+    /// Sets the host thread count used by `_det` launches (min 1).
+    pub fn set_workers(&mut self, workers: usize) {
+        self.workers = workers.max(1);
+    }
+
+    /// Host threads used by `_det` launches.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// The device being simulated.
@@ -280,9 +339,22 @@ impl Sim {
     /// Launches a kernel over `items` work items.
     pub fn launch<F>(&mut self, items: usize, assign: Assign, persistent: bool, kernel: F)
     where
-        F: Fn(&mut LaneCtx, usize),
+        F: Fn(&mut LaneCtx, usize) + Sync,
     {
-        self.run(items, assign, persistent, None, &kernel, None);
+        self.run(items, assign, persistent, None, &kernel, None, false);
+    }
+
+    /// [`Sim::launch`] for kernels with the `deterministic_parallel`
+    /// capability: the kernel's memory trace and functional effects must be
+    /// invariant to block execution order (read-only inputs, slot-private
+    /// writes, or commutative integer atomics only). Such launches may be
+    /// simulated by [`Sim::workers`] host threads with bit-identical
+    /// results.
+    pub fn launch_det<F>(&mut self, items: usize, assign: Assign, persistent: bool, kernel: F)
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        self.run(items, assign, persistent, None, &kernel, None, true);
     }
 
     /// Launches a kernel carrying a `u64` sum reduction of the given style;
@@ -298,9 +370,45 @@ impl Sim {
         kernel: F,
     ) -> u64
     where
-        F: Fn(&mut LaneCtx, usize),
+        F: Fn(&mut LaneCtx, usize) + Sync,
     {
-        self.run(items, assign, persistent, Some((style, kind)), &kernel, None).0
+        self.run(
+            items,
+            assign,
+            persistent,
+            Some((style, kind)),
+            &kernel,
+            None,
+            false,
+        )
+        .0
+    }
+
+    /// [`Sim::launch_reduce_u64`] for order-invariant kernels (see
+    /// [`Sim::launch_det`]); `u64` additions commute exactly, so the
+    /// reduction total is safe under any block schedule.
+    pub fn launch_reduce_u64_det<F>(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        style: ReduceStyle,
+        kind: BufKind,
+        kernel: F,
+    ) -> u64
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        self.run(
+            items,
+            assign,
+            persistent,
+            Some((style, kind)),
+            &kernel,
+            None,
+            true,
+        )
+        .0
     }
 
     /// Launches a kernel carrying an `f32` sum reduction; returns the total.
@@ -314,9 +422,45 @@ impl Sim {
         kernel: F,
     ) -> f32
     where
-        F: Fn(&mut LaneCtx, usize),
+        F: Fn(&mut LaneCtx, usize) + Sync,
     {
-        self.run(items, assign, persistent, Some((style, kind)), &kernel, None).1
+        self.run(
+            items,
+            assign,
+            persistent,
+            Some((style, kind)),
+            &kernel,
+            None,
+            false,
+        )
+        .1
+    }
+
+    /// [`Sim::launch_reduce_f32`] for order-invariant kernels. The `f32`
+    /// total stays bit-identical because per-block partials are accumulated
+    /// in block index order by the merge, exactly like the serial loop.
+    pub fn launch_reduce_f32_det<F>(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        style: ReduceStyle,
+        kind: BufKind,
+        kernel: F,
+    ) -> f32
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        self.run(
+            items,
+            assign,
+            persistent,
+            Some((style, kind)),
+            &kernel,
+            None,
+            true,
+        )
+        .1
     }
 
     /// Cooperative launch: after an item's lanes finish, `epilogue` runs
@@ -334,13 +478,48 @@ impl Sim {
         epilogue: E,
     ) -> (u64, f32)
     where
-        F: Fn(&mut LaneCtx, usize),
-        E: Fn(&mut LaneCtx, usize),
+        F: Fn(&mut LaneCtx, usize) + Sync,
+        E: Fn(&mut LaneCtx, usize) + Sync,
     {
-        self.run(items, assign, persistent, reduce, &kernel, Some(&epilogue))
+        self.run(
+            items,
+            assign,
+            persistent,
+            reduce,
+            &kernel,
+            Some(&epilogue),
+            false,
+        )
     }
 
-    #[allow(clippy::too_many_lines)]
+    /// [`Sim::launch_coop`] for order-invariant kernel/epilogue pairs (see
+    /// [`Sim::launch_det`]); the epilogue must also confine its writes to
+    /// item-private slots.
+    pub fn launch_coop_det<F, E>(
+        &mut self,
+        items: usize,
+        assign: Assign,
+        persistent: bool,
+        reduce: Option<(ReduceStyle, BufKind)>,
+        kernel: F,
+        epilogue: E,
+    ) -> (u64, f32)
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+        E: Fn(&mut LaneCtx, usize) + Sync,
+    {
+        self.run(
+            items,
+            assign,
+            persistent,
+            reduce,
+            &kernel,
+            Some(&epilogue),
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn run(
         &mut self,
         items: usize,
@@ -349,11 +528,10 @@ impl Sim {
         reduce: Option<(ReduceStyle, BufKind)>,
         kernel: &Kernel<'_>,
         epilogue: Option<&Kernel<'_>>,
+        deterministic_parallel: bool,
     ) -> (u64, f32) {
         let d = self.device;
-        let c = d.cost;
         let block_dim = d.block_dim;
-        let warps_per_block = block_dim / WARP_SIZE;
         let lanes_per_item = match assign {
             Assign::ThreadPerItem => 1,
             Assign::WarpPerItem => WARP_SIZE,
@@ -365,214 +543,307 @@ impl Sim {
         } else {
             items.div_ceil(items_per_block).max(1)
         };
-        let block_stride_items = grid_blocks * items_per_block;
-        // cycles of a group-scratch reduction over `lanes` lanes
-        let coop_cost = |lanes: usize| (lanes.max(2) as f64).log2() * c.shuffle_step;
+        let shape = LaunchShape {
+            device: d,
+            items,
+            assign,
+            persistent,
+            reduce,
+            warps_per_block: block_dim / WARP_SIZE,
+            lanes_per_item,
+            items_per_block,
+            block_stride_items: grid_blocks * items_per_block,
+        };
 
+        // Blocks are mutually independent simulations; the only cross-block
+        // state is the merge below, which always runs serially in block
+        // index order. Parallelism is therefore purely a host-side speedup
+        // and only taken when the kernel certified order-invariance.
+        let workers = if deterministic_parallel {
+            self.workers
+        } else {
+            1
+        };
+        let outcomes = if workers > 1 && grid_blocks > 1 {
+            run_blocks_parallel(&shape, grid_blocks, workers, kernel, epilogue)
+        } else {
+            (0..grid_blocks)
+                .map(|b| run_block(&shape, b, kernel, epilogue))
+                .collect()
+        };
+
+        // Block-ordered merge: greedy least-loaded SM assignment and the
+        // reduction totals see blocks in exactly the serial order, which is
+        // what keeps cycles and `f32` sums bit-identical across worker
+        // counts.
         let mut sm_work = vec![0.0f64; d.sm_count];
         let mut sm_crit = vec![0.0f64; d.sm_count];
-        let mut table = StepTable::new();
         let mut total_u64 = 0u64;
         let mut total_f32 = 0.0f32;
-
-        for b in 0..grid_blocks {
-            let mut block_cycles = 0.0f64;
-            let mut longest_warp = 0.0f64;
-            let mut block_u64 = 0u64;
-            let mut block_f32 = 0.0f32;
-            let mut block_reduce_calls = 0usize;
-            let mut block_any = false;
-
-            let mut round = 0usize;
-            loop {
-                let mut round_any = false;
-                // block-granularity scratch spans the whole round
-                let mut round_scratch_u64 = 0u64;
-                let mut round_scratch_f32 = 0.0f32;
-                let mut round_item: Option<usize> = None;
-
-                for w in 0..warps_per_block {
-                    table.clear();
-                    let mut warp_any = false;
-                    let mut warp_reduce_calls = 0usize;
-                    let mut warp_scratch_u64 = 0u64;
-                    let mut warp_scratch_f32 = 0.0f32;
-                    let mut warp_item: Option<usize> = None;
-
-                    for l in 0..WARP_SIZE {
-                        let mapped = map_lane(
-                            assign,
-                            items,
-                            items_per_block,
-                            block_stride_items,
-                            b,
-                            w,
-                            round,
-                            l,
-                        );
-                        let Some((item, lane_id)) = mapped else { continue };
-                        warp_any = true;
-                        round_any = true;
-                        let mut ctx = LaneCtx {
-                            table: &mut table,
-                            ordinal: 0,
-                            lane: lane_id,
-                            lane_count: lanes_per_item,
-                            red_u64: 0,
-                            red_f32: 0.0,
-                            red_calls: 0,
-                            reduce,
-                            scratch_u64: 0,
-                            scratch_f32: 0.0,
-                            group_u64: 0,
-                            group_f32: 0.0,
-                        };
-                        kernel(&mut ctx, item);
-                        // thread-granularity epilogue runs inline, its
-                        // scratch is lane-private
-                        if assign == Assign::ThreadPerItem {
-                            if let Some(ep) = epilogue {
-                                ctx.group_u64 = ctx.scratch_u64;
-                                ctx.group_f32 = ctx.scratch_f32;
-                                ep(&mut ctx, item);
-                            }
-                        }
-                        warp_scratch_u64 += ctx.scratch_u64;
-                        warp_scratch_f32 += ctx.scratch_f32;
-                        warp_item = Some(item);
-                        block_u64 += ctx.red_u64;
-                        block_f32 += ctx.red_f32;
-                        warp_reduce_calls += ctx.red_calls;
-                    }
-
-                    // warp-granularity epilogue: one run per warp's item
-                    if assign == Assign::WarpPerItem && warp_any {
-                        if let Some(ep) = epilogue {
-                            let item = warp_item.expect("warp had an item");
-                            let ordinal = table.steps_used();
-                            let mut ctx = LaneCtx {
-                                table: &mut table,
-                                ordinal,
-                                lane: 0,
-                                lane_count: lanes_per_item,
-                                red_u64: 0,
-                                red_f32: 0.0,
-                                red_calls: 0,
-                                reduce,
-                                scratch_u64: 0,
-                                scratch_f32: 0.0,
-                                group_u64: warp_scratch_u64,
-                                group_f32: warp_scratch_f32,
-                            };
-                            ep(&mut ctx, item);
-                            block_u64 += ctx.red_u64;
-                            block_f32 += ctx.red_f32;
-                            warp_reduce_calls += ctx.red_calls;
-                        }
-                    }
-                    round_scratch_u64 += warp_scratch_u64;
-                    round_scratch_f32 += warp_scratch_f32;
-                    if warp_any {
-                        round_item = round_item.or(warp_item);
-                    }
-
-                    if warp_any {
-                        let mut wc = table.finalize(&c);
-                        if epilogue.is_some() && assign != Assign::ThreadPerItem {
-                            wc += coop_cost(WARP_SIZE);
-                        }
-                        if warp_reduce_calls > 0
-                            && matches!(reduce, Some((ReduceStyle::ReductionAdd, _)))
-                        {
-                            wc += coop_cost(WARP_SIZE);
-                        }
-                        block_reduce_calls += warp_reduce_calls;
-                        block_cycles += wc;
-                        longest_warp = longest_warp.max(wc);
-                        block_any = true;
-                    }
-                }
-
-                // block-granularity epilogue: once per round, after a barrier
-                if assign == Assign::BlockPerItem && round_any {
-                    if let Some(ep) = epilogue {
-                        let item = round_item.expect("round had an item");
-                        table.clear();
-                        let mut ctx = LaneCtx {
-                            table: &mut table,
-                            ordinal: 0,
-                            lane: 0,
-                            lane_count: lanes_per_item,
-                            red_u64: 0,
-                            red_f32: 0.0,
-                            red_calls: 0,
-                            reduce,
-                            scratch_u64: 0,
-                            scratch_f32: 0.0,
-                            group_u64: round_scratch_u64,
-                            group_f32: round_scratch_f32,
-                        };
-                        ep(&mut ctx, item);
-                        block_u64 += ctx.red_u64;
-                        block_f32 += ctx.red_f32;
-                        block_reduce_calls += ctx.red_calls;
-                        block_cycles += table.finalize(&c)
-                            + c.barrier
-                            + warps_per_block as f64 * c.shared_serial;
-                    }
-                }
-
-                round += 1;
-                if !round_any || !persistent {
-                    break;
-                }
-            }
-
-            if !block_any {
+        for out in outcomes {
+            if !out.any {
                 continue;
             }
-            // per-block epilogue for the block-cooperative reduction styles
-            if block_reduce_calls > 0 {
-                if let Some((style, kind)) = &reduce {
-                    let global_add = match LaneCtx::rmw_class(*kind) {
-                        AccessClass::CudaAtomicRmw => {
-                            (c.atomic_issue + c.atomic_per_addr) * c.cuda_atomic_mult
-                        }
-                        _ => c.atomic_issue + c.atomic_per_addr,
-                    };
-                    match style {
-                        ReduceStyle::GlobalAdd => {}
-                        ReduceStyle::BlockAdd => {
-                            block_cycles += c.barrier + global_add;
-                        }
-                        ReduceStyle::ReductionAdd => {
-                            // two barriers (Listing 10c) + per-warp shared
-                            // stores + the single global add
-                            block_cycles += 2.0 * c.barrier
-                                + warps_per_block as f64 * c.shared_serial
-                                + global_add;
-                        }
-                    }
-                }
-            }
-            block_cycles += c.block_sched;
-
-            // greedy: next block goes to the least-loaded SM
             let sm = (0..d.sm_count)
                 .min_by(|&a, &bb| sm_work[a].total_cmp(&sm_work[bb]))
                 .unwrap();
-            sm_work[sm] += block_cycles;
-            sm_crit[sm] = sm_crit[sm].max(longest_warp);
-            total_u64 += block_u64;
-            total_f32 += block_f32;
+            sm_work[sm] += out.cycles;
+            sm_crit[sm] = sm_crit[sm].max(out.longest_warp);
+            total_u64 += out.sum_u64;
+            total_f32 += out.sum_f32;
         }
 
         let kernel_time = (0..d.sm_count)
             .map(|s| (sm_work[s] / d.warp_parallelism).max(sm_crit[s]))
             .fold(0.0f64, f64::max);
-        self.cycles += kernel_time + c.launch;
+        self.cycles += kernel_time + d.cost.launch;
         self.launches += 1;
         (total_u64, total_f32)
+    }
+}
+
+/// Fans the grid's blocks across `workers` host threads via a shared work
+/// queue, filling a per-block slot vector. Dynamic block-stealing is safe
+/// because outcomes land in index-addressed slots; the caller merges them in
+/// block order regardless of completion order.
+fn run_blocks_parallel(
+    shape: &LaunchShape,
+    grid_blocks: usize,
+    workers: usize,
+    kernel: &Kernel<'_>,
+    epilogue: Option<&Kernel<'_>>,
+) -> Vec<BlockOutcome> {
+    let slots: Vec<OnceLock<BlockOutcome>> = (0..grid_blocks).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers.min(grid_blocks) {
+            s.spawn(|| loop {
+                let b = cursor.fetch_add(1, Ordering::Relaxed);
+                if b >= grid_blocks {
+                    break;
+                }
+                let filled = slots[b].set(run_block(shape, b, kernel, epilogue));
+                debug_assert!(filled.is_ok(), "block {b} simulated twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().expect("every block slot filled"))
+        .collect()
+}
+
+/// Simulates one grid block: all its warp rounds, epilogues, and
+/// reduction-style costs. Owns a private [`StepTable`], so any host thread
+/// may run any block.
+#[allow(clippy::too_many_lines)]
+fn run_block(
+    shape: &LaunchShape,
+    b: usize,
+    kernel: &Kernel<'_>,
+    epilogue: Option<&Kernel<'_>>,
+) -> BlockOutcome {
+    let c = shape.device.cost;
+    let LaunchShape {
+        items,
+        assign,
+        persistent,
+        reduce,
+        warps_per_block,
+        lanes_per_item,
+        items_per_block,
+        block_stride_items,
+        ..
+    } = *shape;
+    // cycles of a group-scratch reduction over `lanes` lanes
+    let coop_cost = |lanes: usize| (lanes.max(2) as f64).log2() * c.shuffle_step;
+
+    let mut table = StepTable::new();
+    let mut block_cycles = 0.0f64;
+    let mut longest_warp = 0.0f64;
+    let mut block_u64 = 0u64;
+    let mut block_f32 = 0.0f32;
+    let mut block_reduce_calls = 0usize;
+    let mut block_any = false;
+
+    let mut round = 0usize;
+    loop {
+        let mut round_any = false;
+        // block-granularity scratch spans the whole round
+        let mut round_scratch_u64 = 0u64;
+        let mut round_scratch_f32 = 0.0f32;
+        let mut round_item: Option<usize> = None;
+
+        for w in 0..warps_per_block {
+            table.clear();
+            let mut warp_any = false;
+            let mut warp_reduce_calls = 0usize;
+            let mut warp_scratch_u64 = 0u64;
+            let mut warp_scratch_f32 = 0.0f32;
+            let mut warp_item: Option<usize> = None;
+
+            for l in 0..WARP_SIZE {
+                let mapped = map_lane(
+                    assign,
+                    items,
+                    items_per_block,
+                    block_stride_items,
+                    b,
+                    w,
+                    round,
+                    l,
+                );
+                let Some((item, lane_id)) = mapped else {
+                    continue;
+                };
+                warp_any = true;
+                round_any = true;
+                let mut ctx = LaneCtx {
+                    table: &mut table,
+                    ordinal: 0,
+                    lane: lane_id,
+                    lane_count: lanes_per_item,
+                    red_u64: 0,
+                    red_f32: 0.0,
+                    red_calls: 0,
+                    reduce,
+                    scratch_u64: 0,
+                    scratch_f32: 0.0,
+                    group_u64: 0,
+                    group_f32: 0.0,
+                };
+                kernel(&mut ctx, item);
+                // thread-granularity epilogue runs inline, its
+                // scratch is lane-private
+                if assign == Assign::ThreadPerItem {
+                    if let Some(ep) = epilogue {
+                        ctx.group_u64 = ctx.scratch_u64;
+                        ctx.group_f32 = ctx.scratch_f32;
+                        ep(&mut ctx, item);
+                    }
+                }
+                warp_scratch_u64 += ctx.scratch_u64;
+                warp_scratch_f32 += ctx.scratch_f32;
+                warp_item = Some(item);
+                block_u64 += ctx.red_u64;
+                block_f32 += ctx.red_f32;
+                warp_reduce_calls += ctx.red_calls;
+            }
+
+            // warp-granularity epilogue: one run per warp's item
+            if assign == Assign::WarpPerItem && warp_any {
+                if let Some(ep) = epilogue {
+                    let item = warp_item.expect("warp had an item");
+                    let ordinal = table.steps_used();
+                    let mut ctx = LaneCtx {
+                        table: &mut table,
+                        ordinal,
+                        lane: 0,
+                        lane_count: lanes_per_item,
+                        red_u64: 0,
+                        red_f32: 0.0,
+                        red_calls: 0,
+                        reduce,
+                        scratch_u64: 0,
+                        scratch_f32: 0.0,
+                        group_u64: warp_scratch_u64,
+                        group_f32: warp_scratch_f32,
+                    };
+                    ep(&mut ctx, item);
+                    block_u64 += ctx.red_u64;
+                    block_f32 += ctx.red_f32;
+                    warp_reduce_calls += ctx.red_calls;
+                }
+            }
+            round_scratch_u64 += warp_scratch_u64;
+            round_scratch_f32 += warp_scratch_f32;
+            if warp_any {
+                round_item = round_item.or(warp_item);
+            }
+
+            if warp_any {
+                let mut wc = table.finalize(&c);
+                if epilogue.is_some() && assign != Assign::ThreadPerItem {
+                    wc += coop_cost(WARP_SIZE);
+                }
+                if warp_reduce_calls > 0 && matches!(reduce, Some((ReduceStyle::ReductionAdd, _))) {
+                    wc += coop_cost(WARP_SIZE);
+                }
+                block_reduce_calls += warp_reduce_calls;
+                block_cycles += wc;
+                longest_warp = longest_warp.max(wc);
+                block_any = true;
+            }
+        }
+
+        // block-granularity epilogue: once per round, after a barrier
+        if assign == Assign::BlockPerItem && round_any {
+            if let Some(ep) = epilogue {
+                let item = round_item.expect("round had an item");
+                table.clear();
+                let mut ctx = LaneCtx {
+                    table: &mut table,
+                    ordinal: 0,
+                    lane: 0,
+                    lane_count: lanes_per_item,
+                    red_u64: 0,
+                    red_f32: 0.0,
+                    red_calls: 0,
+                    reduce,
+                    scratch_u64: 0,
+                    scratch_f32: 0.0,
+                    group_u64: round_scratch_u64,
+                    group_f32: round_scratch_f32,
+                };
+                ep(&mut ctx, item);
+                block_u64 += ctx.red_u64;
+                block_f32 += ctx.red_f32;
+                block_reduce_calls += ctx.red_calls;
+                block_cycles +=
+                    table.finalize(&c) + c.barrier + warps_per_block as f64 * c.shared_serial;
+            }
+        }
+
+        round += 1;
+        if !round_any || !persistent {
+            break;
+        }
+    }
+
+    if !block_any {
+        return BlockOutcome::default();
+    }
+    // per-block epilogue for the block-cooperative reduction styles
+    if block_reduce_calls > 0 {
+        if let Some((style, kind)) = &reduce {
+            let global_add = match LaneCtx::rmw_class(*kind) {
+                AccessClass::CudaAtomicRmw => {
+                    (c.atomic_issue + c.atomic_per_addr) * c.cuda_atomic_mult
+                }
+                _ => c.atomic_issue + c.atomic_per_addr,
+            };
+            match style {
+                ReduceStyle::GlobalAdd => {}
+                ReduceStyle::BlockAdd => {
+                    block_cycles += c.barrier + global_add;
+                }
+                ReduceStyle::ReductionAdd => {
+                    // two barriers (Listing 10c) + per-warp shared
+                    // stores + the single global add
+                    block_cycles +=
+                        2.0 * c.barrier + warps_per_block as f64 * c.shared_serial + global_add;
+                }
+            }
+        }
+    }
+    block_cycles += c.block_sched;
+
+    BlockOutcome {
+        cycles: block_cycles,
+        longest_warp,
+        sum_u64: block_u64,
+        sum_f32: block_f32,
+        any: true,
     }
 }
 
@@ -625,7 +896,10 @@ mod tests {
             s.launch(10_000, Assign::ThreadPerItem, persistent, |ctx, i| {
                 ctx.atomic_add(&out, i, 1);
             });
-            assert!(out.to_vec().iter().all(|&v| v == 1), "persistent={persistent}");
+            assert!(
+                out.to_vec().iter().all(|&v| v == 1),
+                "persistent={persistent}"
+            );
         }
     }
 
@@ -638,7 +912,10 @@ mod tests {
                 assert_eq!(ctx.lane_count(), 32);
                 ctx.atomic_add(&out, i, 1);
             });
-            assert!(out.to_vec().iter().all(|&v| v == 32), "persistent={persistent}");
+            assert!(
+                out.to_vec().iter().all(|&v| v == 32),
+                "persistent={persistent}"
+            );
         }
     }
 
@@ -679,7 +956,11 @@ mod tests {
 
     #[test]
     fn reductions_are_exact_in_every_style() {
-        for style in [ReduceStyle::GlobalAdd, ReduceStyle::BlockAdd, ReduceStyle::ReductionAdd] {
+        for style in [
+            ReduceStyle::GlobalAdd,
+            ReduceStyle::BlockAdd,
+            ReduceStyle::ReductionAdd,
+        ] {
             let mut s = sim();
             let total = s.launch_reduce_u64(
                 5000,
@@ -711,7 +992,11 @@ mod tests {
     fn coop_scratch_sums_per_group() {
         // every lane contributes its lane id; the epilogue must see the
         // group total and can publish it
-        for assign in [Assign::ThreadPerItem, Assign::WarpPerItem, Assign::BlockPerItem] {
+        for assign in [
+            Assign::ThreadPerItem,
+            Assign::WarpPerItem,
+            Assign::BlockPerItem,
+        ] {
             let mut s = sim();
             let out = GpuBuf::new(40, 0);
             let lanes = match assign {
@@ -830,7 +1115,10 @@ mod tests {
         let rtx_ratio = run(rtx3090(), BufKind::CudaAtomic) / run(rtx3090(), BufKind::Atomic);
         assert!(tv_ratio > 30.0, "TitanV ratio {tv_ratio}");
         assert!(rtx_ratio > 3.0 && rtx_ratio < 30.0, "RTX ratio {rtx_ratio}");
-        assert!(tv_ratio > 4.0 * rtx_ratio, "device asymmetry lost: {tv_ratio} vs {rtx_ratio}");
+        assert!(
+            tv_ratio > 4.0 * rtx_ratio,
+            "device asymmetry lost: {tv_ratio} vs {rtx_ratio}"
+        );
     }
 
     /// §5.8: warp granularity wins on skewed inner loops, thread granularity
@@ -909,7 +1197,10 @@ mod tests {
         let global = run(ReduceStyle::GlobalAdd);
         let block = run(ReduceStyle::BlockAdd);
         let reduction = run(ReduceStyle::ReductionAdd);
-        assert!(reduction < global, "reduction {reduction} < global {global}");
+        assert!(
+            reduction < global,
+            "reduction {reduction} < global {global}"
+        );
         assert!(global < block, "global {global} < block {block}");
     }
 

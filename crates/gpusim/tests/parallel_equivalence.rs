@@ -1,0 +1,201 @@
+//! Equivalence gate for the multi-threaded simulator: every `_det` launch
+//! must report bit-identical cycles, reduction totals, and buffer state for
+//! any host worker count. This is the contract that lets the measurement
+//! harness fan GPU cells across threads without perturbing results.
+
+use indigo_gpusim::{rtx3090, titan_v, Assign, BufKind, GpuBuf, GpuBufF32, ReduceStyle, Sim};
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 8];
+const ASSIGNS: [Assign; 3] = [
+    Assign::ThreadPerItem,
+    Assign::WarpPerItem,
+    Assign::BlockPerItem,
+];
+
+/// A deliberately skewed per-item workload: item 0 is ~4000× heavier than
+/// the tail, like the hub vertex of a power-law graph. Blocks then have
+/// very different costs, which is exactly when dynamic block-stealing
+/// reorders completion the most.
+fn skewed_work(i: usize) -> usize {
+    if i == 0 {
+        8192
+    } else if i % 97 == 0 {
+        256
+    } else {
+        2
+    }
+}
+
+fn exact_bits(c: f64) -> u64 {
+    c.to_bits()
+}
+
+#[test]
+fn plain_launch_identical_across_workers() {
+    for assign in ASSIGNS {
+        for persistent in [false, true] {
+            let run = |workers: usize| {
+                let data = GpuBuf::new(32_768, 1);
+                let out = GpuBuf::new(2048, 0);
+                let mut sim = Sim::new(titan_v());
+                sim.set_workers(workers);
+                sim.launch_det(2048, assign, persistent, |ctx, i| {
+                    let (lane, lanes) = (ctx.lane(), ctx.lane_count());
+                    let mut acc = 0u32;
+                    let mut k = lane;
+                    while k < skewed_work(i) {
+                        acc = acc.wrapping_add(ctx.ld(&data, (i * 31 + k) % data.len()));
+                        k += lanes;
+                    }
+                    ctx.atomic_add(&out, i, acc);
+                });
+                (exact_bits(sim.elapsed_cycles()), out.to_vec())
+            };
+            let baseline = run(1);
+            for workers in WORKER_COUNTS {
+                assert_eq!(
+                    run(workers),
+                    baseline,
+                    "{assign:?} persistent={persistent} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn u64_reduction_identical_across_workers() {
+    for assign in ASSIGNS {
+        for style in [
+            ReduceStyle::GlobalAdd,
+            ReduceStyle::BlockAdd,
+            ReduceStyle::ReductionAdd,
+        ] {
+            let run = |workers: usize| {
+                let mut sim = Sim::new(rtx3090());
+                sim.set_workers(workers);
+                let total = sim.launch_reduce_u64_det(
+                    3000,
+                    assign,
+                    false,
+                    style,
+                    BufKind::CudaAtomic,
+                    |ctx, i| {
+                        if ctx.lane() == 0 {
+                            ctx.reduce_add_u64((i as u64).wrapping_mul(2654435761) % 1013);
+                        }
+                    },
+                );
+                (exact_bits(sim.elapsed_cycles()), total)
+            };
+            let baseline = run(1);
+            for workers in WORKER_COUNTS {
+                assert_eq!(
+                    run(workers),
+                    baseline,
+                    "{assign:?} {style:?} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+/// `f32` addition does not commute, so this only holds because the merge
+/// accumulates per-block partials in block index order.
+#[test]
+fn f32_reduction_bit_identical_across_workers() {
+    let run = |workers: usize| {
+        let mut sim = Sim::new(titan_v());
+        sim.set_workers(workers);
+        let total = sim.launch_reduce_f32_det(
+            5000,
+            Assign::ThreadPerItem,
+            false,
+            ReduceStyle::ReductionAdd,
+            BufKind::Atomic,
+            |ctx, i| {
+                // values with wildly different magnitudes make f32 sum
+                // order-sensitive — any reordering would change the bits
+                ctx.reduce_add_f32(if i % 3 == 0 { 1e-6 } else { 1.0 + i as f32 });
+            },
+        );
+        (exact_bits(sim.elapsed_cycles()), total.to_bits())
+    };
+    let baseline = run(1);
+    for workers in WORKER_COUNTS {
+        assert_eq!(run(workers), baseline, "workers={workers}");
+    }
+}
+
+#[test]
+fn coop_launch_identical_across_workers() {
+    for assign in ASSIGNS {
+        for persistent in [false, true] {
+            let run = |workers: usize| {
+                let out = GpuBufF32::new(600, 0.0);
+                let mut sim = Sim::new(rtx3090());
+                sim.set_workers(workers);
+                let (ru, rf) = sim.launch_coop_det(
+                    600,
+                    assign,
+                    persistent,
+                    Some((ReduceStyle::BlockAdd, BufKind::Atomic)),
+                    |ctx, i| {
+                        let (lane, lanes) = (ctx.lane(), ctx.lane_count());
+                        let mut k = lane;
+                        while k < skewed_work(i) {
+                            ctx.scratch_add_f32(1.0 / (1.0 + (i + k) as f32));
+                            k += lanes;
+                        }
+                    },
+                    |ctx, i| {
+                        let total = ctx.group_f32();
+                        ctx.st_f32(&out, i, total);
+                        ctx.reduce_add_u64(1);
+                    },
+                );
+                let bits: Vec<u32> = (0..600).map(|i| out.host_read(i).to_bits()).collect();
+                (exact_bits(sim.elapsed_cycles()), ru, rf.to_bits(), bits)
+            };
+            let baseline = run(1);
+            for workers in WORKER_COUNTS {
+                assert_eq!(
+                    run(workers),
+                    baseline,
+                    "{assign:?} persistent={persistent} workers={workers}"
+                );
+            }
+        }
+    }
+}
+
+/// Serial entry points must ignore the worker setting entirely: a kernel
+/// without the `deterministic_parallel` capability always simulates
+/// single-threaded.
+#[test]
+fn non_det_launch_stays_serial_and_stable() {
+    let run = |workers: usize| {
+        let buf = GpuBuf::new(1000, u32::MAX).with_kind(BufKind::Atomic);
+        let mut sim = Sim::new(titan_v());
+        sim.set_workers(workers);
+        sim.launch(1000, Assign::ThreadPerItem, false, |ctx, i| {
+            let v = ctx.ld(&buf, (i + 1) % 1000);
+            ctx.atomic_min(&buf, i, v.min(i as u32));
+        });
+        (exact_bits(sim.elapsed_cycles()), buf.to_vec())
+    };
+    let baseline = run(1);
+    for workers in WORKER_COUNTS {
+        assert_eq!(run(workers), baseline, "workers={workers}");
+    }
+}
+
+#[test]
+fn worker_setting_round_trips() {
+    let mut sim = Sim::new(titan_v());
+    assert_eq!(sim.workers(), 1);
+    sim.set_workers(8);
+    assert_eq!(sim.workers(), 8);
+    sim.set_workers(0); // clamped
+    assert_eq!(sim.workers(), 1);
+}

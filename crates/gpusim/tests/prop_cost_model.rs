@@ -1,103 +1,163 @@
-//! Property-based tests of the GPU simulator's cost model and launcher.
+//! Randomized tests of the GPU simulator's cost model and launcher.
+//!
+//! Deterministic seeded sampling (splitmix64) instead of a property-testing
+//! framework: the build container resolves no external crates, and fixed
+//! seeds make failures reproducible without a shrinker.
 
 use indigo_gpusim::{rtx3090, titan_v, Assign, BufKind, GpuBuf, ReduceStyle, Sim};
-use proptest::prelude::*;
 
-fn assigns() -> impl Strategy<Value = Assign> {
-    prop_oneof![
-        Just(Assign::ThreadPerItem),
-        Just(Assign::WarpPerItem),
-        Just(Assign::BlockPerItem),
-    ]
+const ASSIGNS: [Assign; 3] = [
+    Assign::ThreadPerItem,
+    Assign::WarpPerItem,
+    Assign::BlockPerItem,
+];
+
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + ((self.next() as u128 * (hi - lo) as u128) >> 64) as usize
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Functional exactness: every item is processed exactly once under any
-    /// assignment/persistence combination.
-    #[test]
-    fn coverage_is_exact(items in 1usize..3000, assign in assigns(), persistent: bool) {
-        let mut sim = Sim::new(rtx3090());
-        let hits = GpuBuf::new(items, 0);
-        sim.launch(items, assign, persistent, |ctx, i| {
-            if ctx.lane() == 0 {
-                ctx.atomic_add(&hits, i, 1);
+/// Functional exactness: every item is processed exactly once under any
+/// assignment/persistence combination, including sizes straddling warp and
+/// block boundaries.
+#[test]
+fn coverage_is_exact() {
+    for assign in ASSIGNS {
+        for persistent in [false, true] {
+            for items in [1usize, 2, 31, 32, 33, 255, 256, 257, 1024, 2999] {
+                let mut sim = Sim::new(rtx3090());
+                let hits = GpuBuf::new(items, 0);
+                sim.launch(items, assign, persistent, |ctx, i| {
+                    if ctx.lane() == 0 {
+                        ctx.atomic_add(&hits, i, 1);
+                    }
+                });
+                assert!(
+                    hits.to_vec().iter().all(|&h| h == 1),
+                    "items={items} {assign:?} persistent={persistent}"
+                );
             }
+        }
+    }
+}
+
+/// Cost monotonicity: more items never cost fewer cycles.
+#[test]
+fn cost_monotone_in_items() {
+    let run = |n: usize, assign: Assign| {
+        let data = GpuBuf::new(n, 0);
+        let mut sim = Sim::new(titan_v());
+        sim.launch(n, assign, false, |ctx, i| {
+            ctx.ld(&data, i);
         });
-        prop_assert!(hits.to_vec().iter().all(|&h| h == 1));
+        sim.elapsed_cycles()
+    };
+    let mut rng = Rng::new(0xc057);
+    for assign in ASSIGNS {
+        for _ in 0..10 {
+            let items = rng.range(32, 2000);
+            let extra = rng.range(1, 2000);
+            assert!(
+                run(items + extra, assign) >= run(items, assign),
+                "items={items} extra={extra} {assign:?}"
+            );
+        }
     }
+}
 
-    /// Cost monotonicity: more items never cost fewer cycles.
-    #[test]
-    fn cost_monotone_in_items(items in 32usize..2000, extra in 1usize..2000, assign in assigns()) {
-        let run = |n: usize| {
-            let data = GpuBuf::new(n, 0);
-            let mut sim = Sim::new(titan_v());
-            sim.launch(n, assign, false, |ctx, i| {
-                ctx.ld(&data, i);
-            });
-            sim.elapsed_cycles()
-        };
-        prop_assert!(run(items + extra) >= run(items));
+/// Reductions are exact for arbitrary contribution patterns in every style,
+/// under every assignment.
+#[test]
+fn reductions_exact() {
+    let mut rng = Rng::new(0x4ed);
+    for style in [
+        ReduceStyle::GlobalAdd,
+        ReduceStyle::BlockAdd,
+        ReduceStyle::ReductionAdd,
+    ] {
+        for assign in ASSIGNS {
+            for _ in 0..4 {
+                let len = rng.range(1, 500);
+                let vals: Vec<u64> = (0..len).map(|_| rng.next() % 1000).collect();
+                let expect: u64 = vals.iter().sum();
+                let mut sim = Sim::new(rtx3090());
+                let total = sim.launch_reduce_u64(
+                    vals.len(),
+                    assign,
+                    false,
+                    style,
+                    BufKind::Atomic,
+                    |ctx, i| {
+                        if ctx.lane() == 0 {
+                            ctx.reduce_add_u64(vals[i]);
+                        }
+                    },
+                );
+                assert_eq!(total, expect, "len={len} {style:?} {assign:?}");
+            }
+        }
     }
+}
 
-    /// Reductions are exact for arbitrary contribution patterns in every
-    /// style, under every assignment.
-    #[test]
-    fn reductions_exact(
-        values in proptest::collection::vec(0u64..1000, 1..500),
-        assign in assigns(),
-        style_idx in 0usize..3,
-    ) {
-        let style = [ReduceStyle::GlobalAdd, ReduceStyle::BlockAdd, ReduceStyle::ReductionAdd]
-            [style_idx];
-        let expect: u64 = values.iter().sum();
-        let vals = values.clone();
-        let mut sim = Sim::new(rtx3090());
-        let total = sim.launch_reduce_u64(
-            vals.len(),
-            assign,
-            false,
-            style,
-            BufKind::Atomic,
-            |ctx, i| {
-                if ctx.lane() == 0 {
-                    ctx.reduce_add_u64(vals[i]);
-                }
-            },
+/// CudaAtomic-declared buffers never cost less than Atomic-declared ones for
+/// the same access sequence.
+#[test]
+fn cuda_atomic_never_cheaper() {
+    let run = |items: usize, kind: BufKind| {
+        let data = GpuBuf::new(items, 0).with_kind(kind);
+        let mut sim = Sim::new(titan_v());
+        sim.launch(items, Assign::ThreadPerItem, false, |ctx, i| {
+            let v = ctx.ld(&data, i);
+            ctx.atomic_add(&data, (i + 1) % items, v % 7);
+        });
+        sim.elapsed_cycles()
+    };
+    for items in [64usize, 127, 500, 1023, 1499] {
+        assert!(
+            run(items, BufKind::CudaAtomic) >= run(items, BufKind::Atomic),
+            "items={items}"
         );
-        prop_assert_eq!(total, expect);
     }
+}
 
-    /// CudaAtomic-declared buffers never cost less than Atomic-declared
-    /// ones for the same access sequence.
-    #[test]
-    fn cuda_atomic_never_cheaper(items in 64usize..1500) {
-        let run = |kind: BufKind| {
-            let data = GpuBuf::new(items, 0).with_kind(kind);
-            let mut sim = Sim::new(titan_v());
-            sim.launch(items, Assign::ThreadPerItem, false, |ctx, i| {
-                let v = ctx.ld(&data, i);
-                ctx.atomic_add(&data, (i + 1) % items, v % 7);
-            });
-            sim.elapsed_cycles()
-        };
-        prop_assert!(run(BufKind::CudaAtomic) >= run(BufKind::Atomic));
-    }
-
-    /// Determinism: identical launches report identical cycles and state.
-    #[test]
-    fn launches_deterministic(items in 1usize..800, assign in assigns(), persistent: bool) {
-        let run = || {
-            let data = GpuBuf::new(items, 7).with_kind(BufKind::Atomic);
-            let mut sim = Sim::new(rtx3090());
-            sim.launch(items, assign, persistent, |ctx, i| {
-                let v = ctx.ld(&data, i);
-                ctx.atomic_min(&data, (i * 13) % items, v);
-            });
-            (sim.elapsed_cycles(), data.to_vec())
-        };
-        prop_assert_eq!(run(), run());
+/// Determinism: identical launches report identical cycles and state.
+#[test]
+fn launches_deterministic() {
+    let mut rng = Rng::new(0xdead);
+    for assign in ASSIGNS {
+        for persistent in [false, true] {
+            for _ in 0..4 {
+                let items = rng.range(1, 800);
+                let run = || {
+                    let data = GpuBuf::new(items, 7).with_kind(BufKind::Atomic);
+                    let mut sim = Sim::new(rtx3090());
+                    sim.launch(items, assign, persistent, |ctx, i| {
+                        let v = ctx.ld(&data, i);
+                        ctx.atomic_min(&data, (i * 13) % items, v);
+                    });
+                    (sim.elapsed_cycles(), data.to_vec())
+                };
+                assert_eq!(
+                    run(),
+                    run(),
+                    "items={items} {assign:?} persistent={persistent}"
+                );
+            }
+        }
     }
 }

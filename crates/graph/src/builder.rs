@@ -20,8 +20,16 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts a builder for a graph on `num_nodes` vertices (ids `0..n`).
     pub fn new(num_nodes: usize) -> Self {
-        assert!(num_nodes <= NodeId::MAX as usize, "node count exceeds u32 id space");
-        GraphBuilder { num_nodes, edges: Vec::new(), weighted: false, weights: Vec::new() }
+        assert!(
+            num_nodes <= NodeId::MAX as usize,
+            "node count exceeds u32 id space"
+        );
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            weighted: false,
+            weights: Vec::new(),
+        }
     }
 
     /// Starts a builder that records a weight per undirected edge.
@@ -44,7 +52,10 @@ impl GraphBuilder {
     /// Adds an undirected edge. Self-loops are silently dropped (the paper's
     /// inputs contain none); duplicates are removed at [`Self::build`] time.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        assert!(!self.weighted, "weighted builder requires add_weighted_edge");
+        assert!(
+            !self.weighted,
+            "weighted builder requires add_weighted_edge"
+        );
         self.push(a, b);
     }
 
@@ -60,8 +71,10 @@ impl GraphBuilder {
     }
 
     fn push(&mut self, a: NodeId, b: NodeId) {
-        assert!((a as usize) < self.num_nodes && (b as usize) < self.num_nodes,
-            "edge endpoint out of range");
+        assert!(
+            (a as usize) < self.num_nodes && (b as usize) < self.num_nodes,
+            "edge endpoint out of range"
+        );
         if a == b {
             return;
         }
@@ -105,7 +118,11 @@ impl GraphBuilder {
         // scatter pass
         let mut cursor = row_start[..n].to_vec();
         let mut nbr_list = vec![0 as NodeId; acc];
-        let mut weight = if self.weighted { vec![0 as Weight; acc] } else { Vec::new() };
+        let mut weight = if self.weighted {
+            vec![0 as Weight; acc]
+        } else {
+            Vec::new()
+        };
         for (k, &(a, b)) in uniq.iter().enumerate() {
             let (ia, ib) = (cursor[a as usize], cursor[b as usize]);
             nbr_list[ia] = b;

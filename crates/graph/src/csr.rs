@@ -32,7 +32,12 @@ impl Csr {
         weight: Vec<Weight>,
         name: impl Into<String>,
     ) -> Self {
-        let g = Csr { row_start, nbr_list, weight, name: name.into() };
+        let g = Csr {
+            row_start,
+            nbr_list,
+            weight,
+            name: name.into(),
+        };
         g.validate();
         g
     }
@@ -40,7 +45,10 @@ impl Csr {
     /// Checks the structural invariants; panics with a description on
     /// violation. Cheap enough to run in tests and on every load.
     pub fn validate(&self) {
-        assert!(!self.row_start.is_empty(), "row_start must have length n + 1 >= 1");
+        assert!(
+            !self.row_start.is_empty(),
+            "row_start must have length n + 1 >= 1"
+        );
         assert_eq!(self.row_start[0], 0, "row_start must begin at 0");
         assert!(
             self.row_start.windows(2).all(|w| w[0] <= w[1]),
@@ -144,7 +152,8 @@ impl Csr {
     /// Iterator over `(v, u, edge_index)` for all directed edges.
     pub fn iter_edges(&self) -> impl Iterator<Item = (NodeId, NodeId, usize)> + '_ {
         (0..self.num_nodes() as NodeId).flat_map(move |v| {
-            self.neighbor_range(v).map(move |i| (v, self.nbr_list[i], i))
+            self.neighbor_range(v)
+                .map(move |i| (v, self.nbr_list[i], i))
         })
     }
 

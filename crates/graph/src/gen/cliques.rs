@@ -87,7 +87,11 @@ mod tests {
         assert!(s.avg_degree > 20.0, "d_avg {}", s.avg_degree);
         assert!(s.pct_deg_ge32 > 20.0, "pct>=32 {}", s.pct_deg_ge32);
         // but no extreme hubs: dmax within ~2 orders of magnitude of avg
-        assert!((s.max_degree as f64) < 60.0 * s.avg_degree, "d_max {}", s.max_degree);
+        assert!(
+            (s.max_degree as f64) < 60.0 * s.avg_degree,
+            "d_max {}",
+            s.max_degree
+        );
         // low diameter on the giant component
         assert!(s.diameter_lb <= 24, "diameter {}", s.diameter_lb);
     }

@@ -58,7 +58,7 @@ pub fn gnp(n: usize, p: f64, seed: u64) -> Csr {
                 }
             }
         } else {
-            let mut rng = SplitMix::new(seed ^ 0x676e_70); // "gnp"
+            let mut rng = SplitMix::new(seed ^ 0x0067_6e70); // "gnp"
             let ln_q = (1.0 - p).ln();
             // iterate over the upper triangle via skip distances
             let total_pairs = n as u64 * (n as u64 - 1) / 2;
@@ -137,7 +137,10 @@ mod tests {
         let g = gnp(n, p, 99);
         let expected = p * (n * (n - 1) / 2) as f64;
         let actual = (g.num_edges() / 2) as f64;
-        assert!((actual - expected).abs() < 0.25 * expected, "actual {actual} vs {expected}");
+        assert!(
+            (actual - expected).abs() < 0.25 * expected,
+            "actual {actual} vs {expected}"
+        );
     }
 
     #[test]

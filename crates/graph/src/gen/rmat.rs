@@ -17,7 +17,7 @@ const C: f64 = 0.19;
 /// `edges_per_vertex * 2^scale` *sampled* undirected edges (dedup and
 /// self-loop removal make the final count slightly smaller).
 pub fn rmat(scale: u32, edges_per_vertex: usize, seed: u64) -> Csr {
-    assert!(scale >= 1 && scale <= 31, "scale out of range");
+    assert!((1..=31).contains(&scale), "scale out of range");
     let n: u64 = 1 << scale;
     let m = n as usize * edges_per_vertex;
     let mut rng = SplitMix::new(seed ^ 0x524d_4154); // "RMAT"
@@ -72,11 +72,20 @@ mod tests {
         let g = rmat(12, 8, 42);
         let s = GraphStats::compute(&g);
         // skew: max degree far above average
-        assert!(s.max_degree as f64 > 8.0 * s.avg_degree, "dmax {} davg {}", s.max_degree, s.avg_degree);
+        assert!(
+            s.max_degree as f64 > 8.0 * s.avg_degree,
+            "dmax {} davg {}",
+            s.max_degree,
+            s.avg_degree
+        );
         // low diameter on the giant component
         assert!(s.diameter_lb < 16, "diameter_lb {}", s.diameter_lb);
         // a nontrivial fraction of vertices has degree >= 32 (paper: 12.4%)
-        assert!(s.pct_deg_ge32 > 0.5 && s.pct_deg_ge32 < 40.0, "pct {}", s.pct_deg_ge32);
+        assert!(
+            s.pct_deg_ge32 > 0.5 && s.pct_deg_ge32 < 40.0,
+            "pct {}",
+            s.pct_deg_ge32
+        );
     }
 
     #[test]

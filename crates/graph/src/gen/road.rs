@@ -71,7 +71,11 @@ mod tests {
         let g = road(80, 40, 42);
         let s = GraphStats::compute(&g);
         assert_eq!(s.components, 1, "road graph must be connected");
-        assert!(s.avg_degree > 2.2 && s.avg_degree < 3.6, "d_avg = {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 2.2 && s.avg_degree < 3.6,
+            "d_avg = {}",
+            s.avg_degree
+        );
         assert!(s.max_degree <= 8, "d_max = {}", s.max_degree);
         // high diameter relative to size: NY map has 721 on 264k nodes;
         // our lattice should comfortably exceed sqrt(n)

@@ -77,9 +77,17 @@ mod tests {
         let s = GraphStats::compute(&g);
         assert_eq!(s.components, 1, "BA graphs are connected");
         // avg degree ~ 2m
-        assert!(s.avg_degree > 10.0 && s.avg_degree < 22.0, "d_avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 10.0 && s.avg_degree < 22.0,
+            "d_avg {}",
+            s.avg_degree
+        );
         // hubs: dmax far above average
-        assert!(s.max_degree as f64 > 6.0 * s.avg_degree, "d_max {}", s.max_degree);
+        assert!(
+            s.max_degree as f64 > 6.0 * s.avg_degree,
+            "d_max {}",
+            s.max_degree
+        );
         // small world
         assert!(s.diameter_lb <= 10, "diameter_lb {}", s.diameter_lb);
     }

@@ -127,7 +127,10 @@ pub fn suite_graph(which: SuiteGraph, scale: Scale) -> Csr {
 
 /// Generates all five suite inputs at `scale`, Table 4 order.
 pub fn default_suite(scale: Scale) -> Vec<Csr> {
-    SUITE_GRAPHS.iter().map(|&g| suite_graph(g, scale)).collect()
+    SUITE_GRAPHS
+        .iter()
+        .map(|&g| suite_graph(g, scale))
+        .collect()
 }
 
 #[cfg(test)]

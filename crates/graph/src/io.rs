@@ -82,7 +82,10 @@ pub fn read_dimacs_gr(r: impl Read, name: String) -> Result<Csr, LoadError> {
                 b.add_weighted_edge((u - 1) as NodeId, (v - 1) as NodeId, w.max(1));
             }
             Some(other) => {
-                return Err(parse_err(format!("line {}: unknown record '{other}'", lineno + 1)))
+                return Err(parse_err(format!(
+                    "line {}: unknown record '{other}'",
+                    lineno + 1
+                )))
             }
         }
     }
@@ -140,9 +143,7 @@ pub fn load_matrix_market(path: impl AsRef<Path>) -> Result<Csr, LoadError> {
 pub fn read_matrix_market(r: impl Read, name: String) -> Result<Csr, LoadError> {
     let reader = BufReader::new(r);
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     if !header.starts_with("%%MatrixMarket matrix coordinate") {
         return Err(parse_err("not a MatrixMarket coordinate file"));
     }

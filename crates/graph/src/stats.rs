@@ -49,12 +49,20 @@ impl GraphStats {
             }
         }
         let (components, largest_rep) = component_info(g);
-        let diameter_lb = if n == 0 { 0 } else { double_sweep(g, largest_rep) };
+        let diameter_lb = if n == 0 {
+            0
+        } else {
+            double_sweep(g, largest_rep)
+        };
         GraphStats {
             nodes: n,
             edges: g.num_edges(),
             size_mb: g.size_mb(),
-            avg_degree: if n == 0 { 0.0 } else { g.num_edges() as f64 / n as f64 },
+            avg_degree: if n == 0 {
+                0.0
+            } else {
+                g.num_edges() as f64 / n as f64
+            },
             max_degree,
             pct_deg_ge32: pct(ge32, n),
             pct_deg_ge512: pct(ge512, n),

@@ -7,18 +7,28 @@
 //! options:
 //!   --scale tiny|small|default|large   # input instance size (default: small)
 //!   --reps N                           # CPU wall-clock repetitions (default: 3)
+//!   --jobs N                           # host threads for GPU-sim cells
+//!                                      # (default: all hardware threads)
+//!   --sim-workers N                    # threads inside each deterministic
+//!                                      # GPU-sim launch (default: 1)
 //!   --out DIR                          # report directory (default: results)
 //! ```
+//!
+//! Measurement runs also drop `BENCH_harness.json` in the output directory:
+//! suite wall-clock, aggregate cells/sec, job counts, and the per-phase
+//! breakdown, for tracking harness throughput across commits.
 
 use indigo_graph::gen::Scale;
 use indigo_harness::experiments::{self, correlation, fig14, fig15, fig16, tables, throughput};
-use indigo_harness::Report;
+use indigo_harness::{ProgressEvent, Report, RunOptions, RunPhase};
+use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scale = Scale::Small;
     let mut reps = 3usize;
     let mut out_dir = "results".to_string();
+    let mut options = RunOptions::auto();
     let mut selected: Vec<String> = Vec::new();
 
     let mut it = args.into_iter();
@@ -41,6 +51,20 @@ fn main() {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--reps needs a number"))
+            }
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--jobs needs a number"));
+                options = options.with_jobs(n);
+            }
+            "--sim-workers" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--sim-workers needs a number"));
+                options = options.with_sim_workers(n);
             }
             "--out" => out_dir = it.next().unwrap_or_else(|| die("--out needs a directory")),
             "--help" | "-h" => {
@@ -77,20 +101,27 @@ fn main() {
     }
 
     let needs_dataset = experiments::PAIR_SPECS.iter().any(|s| wants(s.id))
-        || ["fig09", "fig10", "fig11", "fig14", "fig15", "fig16", "corr513"]
-            .iter()
-            .any(|id| wants(id));
+        || [
+            "fig09", "fig10", "fig11", "fig14", "fig15", "fig16", "corr513",
+        ]
+        .iter()
+        .any(|id| wants(id));
     if needs_dataset {
         eprintln!(
-            "measuring full suite at {scale:?} scale ({} CPU reps); this runs all 1098 programs \
-             on 5 inputs...",
-            reps
+            "measuring full suite at {scale:?} scale ({reps} CPU reps, {} jobs, {} sim \
+             workers); this runs all 1098 programs on 5 inputs...",
+            options.jobs, options.sim_workers
         );
-        let started = std::time::Instant::now();
-        let ds = experiments::Dataset::collect(scale, reps, |done, total| {
-            eprintln!("  input {done}/{total} done ({:.0?})", started.elapsed());
-        });
+        let mut reporter = PhaseReporter::new();
+        let suite_started = Instant::now();
+        let ds =
+            experiments::Dataset::collect_with(scale, reps, &options, |ev| reporter.on_event(ev));
+        let suite_secs = suite_started.elapsed().as_secs_f64();
         eprintln!("matrix complete: {} measurements", ds.measurements.len());
+        reporter.print_summary(suite_secs);
+        if let Err(e) = write_bench_json(&out_dir, &reporter, &options, suite_secs, scale, reps) {
+            eprintln!("failed to write BENCH_harness.json: {e}");
+        }
 
         for spec in experiments::PAIR_SPECS {
             if wants(spec.id) {
@@ -130,6 +161,187 @@ fn main() {
     eprintln!("wrote {} reports to {out_dir}/", reports.len());
 }
 
+/// One finished phase, for the final summary and the bench JSON.
+struct PhaseRecord {
+    phase: RunPhase,
+    cells: usize,
+    secs: f64,
+}
+
+/// Turns [`ProgressEvent`]s into rate/ETA lines on stderr and collects the
+/// per-phase timing breakdown.
+struct PhaseReporter {
+    phase_started: Instant,
+    last_line: Instant,
+    finished: Vec<PhaseRecord>,
+}
+
+impl PhaseReporter {
+    fn new() -> PhaseReporter {
+        let now = Instant::now();
+        PhaseReporter {
+            phase_started: now,
+            last_line: now,
+            finished: Vec::new(),
+        }
+    }
+
+    fn on_event(&mut self, ev: ProgressEvent) {
+        match ev {
+            ProgressEvent::PhaseStart { phase, total } => {
+                self.phase_started = Instant::now();
+                self.last_line = self.phase_started;
+                eprintln!("[{}] starting: {total} cells", phase.label());
+            }
+            ProgressEvent::Cell { phase, done, total } => {
+                // throttle: at most ~1 line/sec, but always print the last
+                let now = Instant::now();
+                if done < total && now.duration_since(self.last_line).as_secs_f64() < 1.0 {
+                    return;
+                }
+                self.last_line = now;
+                let elapsed = now.duration_since(self.phase_started).as_secs_f64();
+                let rate = if elapsed > 0.0 {
+                    done as f64 / elapsed
+                } else {
+                    0.0
+                };
+                let eta = if rate > 0.0 {
+                    (total - done) as f64 / rate
+                } else {
+                    f64::NAN
+                };
+                eprintln!(
+                    "[{}] {done}/{total} cells  {rate:.1} cells/s  elapsed {}  eta {}",
+                    phase.label(),
+                    fmt_secs(elapsed),
+                    fmt_secs(eta),
+                );
+            }
+            ProgressEvent::PhaseEnd { phase, total, secs } => {
+                let rate = if secs > 0.0 { total as f64 / secs } else { 0.0 };
+                eprintln!(
+                    "[{}] done: {total} cells in {} ({rate:.1} cells/s)",
+                    phase.label(),
+                    fmt_secs(secs),
+                );
+                self.finished.push(PhaseRecord {
+                    phase,
+                    cells: total,
+                    secs,
+                });
+            }
+        }
+    }
+
+    fn total_cells(&self) -> usize {
+        // prepare units are graphs, not measurement cells
+        self.finished
+            .iter()
+            .filter(|r| r.phase != RunPhase::Prepare)
+            .map(|r| r.cells)
+            .sum()
+    }
+
+    fn print_summary(&self, suite_secs: f64) {
+        eprintln!("phase breakdown:");
+        for r in &self.finished {
+            eprintln!(
+                "  {:8} {:6} units  {:>9}  ({:.1}% of wall)",
+                r.phase.label(),
+                r.cells,
+                fmt_secs(r.secs),
+                if suite_secs > 0.0 {
+                    100.0 * r.secs / suite_secs
+                } else {
+                    0.0
+                },
+            );
+        }
+        let cells = self.total_cells();
+        let rate = if suite_secs > 0.0 {
+            cells as f64 / suite_secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "  total    {cells:6} cells  {:>9}  ({rate:.1} cells/s)",
+            fmt_secs(suite_secs)
+        );
+    }
+}
+
+/// Writes the machine-readable benchmark record for this run.
+fn write_bench_json(
+    out_dir: &str,
+    reporter: &PhaseReporter,
+    options: &RunOptions,
+    suite_secs: f64,
+    scale: Scale,
+    reps: usize,
+) -> std::io::Result<()> {
+    let cells = reporter.total_cells();
+    let rate = if suite_secs > 0.0 {
+        cells as f64 / suite_secs
+    } else {
+        0.0
+    };
+    let mut phases = String::new();
+    for (i, r) in reporter.finished.iter().enumerate() {
+        if i > 0 {
+            phases.push_str(",\n");
+        }
+        phases.push_str(&format!(
+            "    {{\"phase\": \"{}\", \"units\": {}, \"secs\": {}}}",
+            r.phase.label(),
+            r.cells,
+            json_f64(r.secs)
+        ));
+    }
+    let body = format!(
+        "{{\n  \"suite_secs\": {},\n  \"cells\": {},\n  \"cells_per_sec\": {},\n  \
+         \"jobs\": {},\n  \"sim_workers\": {},\n  \"scale\": \"{:?}\",\n  \"reps\": {},\n  \
+         \"phases\": [\n{}\n  ]\n}}\n",
+        json_f64(suite_secs),
+        cells,
+        json_f64(rate),
+        options.jobs,
+        options.sim_workers,
+        scale,
+        reps,
+        phases
+    );
+    std::fs::create_dir_all(out_dir)?;
+    let path = std::path::Path::new(out_dir).join("BENCH_harness.json");
+    std::fs::write(&path, body)?;
+    eprintln!("wrote {}", path.display());
+    Ok(())
+}
+
+/// JSON has no NaN/Infinity literals; clamp to null.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// `73s` / `4m05s` / `2h07m` style durations.
+fn fmt_secs(secs: f64) -> String {
+    if !secs.is_finite() {
+        return "--".to_string();
+    }
+    let s = secs.round() as u64;
+    if s < 100 {
+        format!("{s}s")
+    } else if s < 6000 {
+        format!("{}m{:02}s", s / 60, s % 60)
+    } else {
+        format!("{}h{:02}m", s / 3600, (s % 3600) / 60)
+    }
+}
+
 fn die(msg: &str) -> ! {
     eprintln!("{msg}");
     std::process::exit(2)
@@ -137,8 +349,13 @@ fn die(msg: &str) -> ! {
 
 const HELP: &str = "indigo-exp — regenerate the Indigo2 paper's tables and figures
 
-usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N] [--out DIR]
+usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
+                  [--jobs N] [--sim-workers N] [--out DIR]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
-     fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16, corr513";
+     fig09 fig10 fig11 fig12 fig13 fig14 fig15 fig16, corr513
+
+--jobs defaults to the machine's hardware thread count; GPU-sim cells
+fan out across jobs while CPU wall-clock cells always run exclusively,
+and results are bit-identical to --jobs 1 at any setting.";

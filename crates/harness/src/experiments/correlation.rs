@@ -13,8 +13,15 @@ use indigo_graph::gen::{suite_graph, SUITE_GRAPHS};
 use indigo_graph::stats::GraphStats;
 
 /// The graph properties the paper checks (§5.13).
-pub const PROPERTIES: &[&str] =
-    &["nodes", "edges", "avg_degree", "max_degree", "pct_ge32", "pct_ge512", "diameter"];
+pub const PROPERTIES: &[&str] = &[
+    "nodes",
+    "edges",
+    "avg_degree",
+    "max_degree",
+    "pct_ge32",
+    "pct_ge512",
+    "diameter",
+];
 
 fn property(stats: &GraphStats, name: &str) -> f64 {
     match name {

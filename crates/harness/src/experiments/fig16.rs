@@ -11,8 +11,8 @@ use crate::report::Report;
 use crate::stats::geomean;
 use indigo_core::GraphInput;
 use indigo_exec::SYSTEM_PROFILES;
-use indigo_graph::gen::{suite_graph, SUITE_GRAPHS};
 use indigo_gpusim::{rtx3090, titan_v, Device};
+use indigo_graph::gen::{suite_graph, SUITE_GRAPHS};
 use indigo_styles::{Algorithm, Model, StyleConfig};
 use std::collections::HashMap;
 
@@ -91,11 +91,17 @@ pub fn fig16(ds: &Dataset) -> Report {
 
     let mut table6: Vec<(Model, Vec<(Algorithm, f64)>)> = Vec::new();
     for model in Model::ALL {
-        let targets = if model == Model::Cuda { &gpu_targets } else { &cpu_targets };
+        let targets = if model == Model::Cuda {
+            &gpu_targets
+        } else {
+            &cpu_targets
+        };
         r.line(format!("-- {} --", model.display()));
         let mut per_algo_geo: Vec<(Algorithm, f64)> = Vec::new();
         for algo in Algorithm::ALL {
-            let Some(cfg) = best.get(&(model, algo)) else { continue };
+            let Some(cfg) = best.get(&(model, algo)) else {
+                continue;
+            };
             let mut speedups = Vec::new();
             for &which in &SUITE_GRAPHS {
                 let input = GraphInput::new(suite_graph(which, ds.scale));
@@ -103,9 +109,7 @@ pub fn fig16(ds: &Dataset) -> Report {
                     let ours = ds
                         .measurements
                         .iter()
-                        .find(|m| {
-                            m.cfg == *cfg && m.graph == which.label() && &m.target == tname
-                        })
+                        .find(|m| m.cfg == *cfg && m.graph == which.label() && &m.target == tname)
                         .map(|m| m.geps);
                     let Some(ours) = ours else { continue };
                     let Some(base) = baseline_geps(algo, &input, *gpu, *threads) else {

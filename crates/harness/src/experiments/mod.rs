@@ -28,20 +28,48 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Runs the complete suite (all models, all algorithms, all inputs).
+    /// Runs the complete suite (all models, all algorithms, all inputs)
+    /// single-threaded.
     pub fn collect(scale: Scale, reps: usize, progress: impl FnMut(usize, usize)) -> Dataset {
         let plan = RunPlan::for_algorithms(&Algorithm::ALL, &Model::ALL, scale, reps);
-        Dataset { measurements: plan.run(progress), scale }
+        Dataset {
+            measurements: plan.run(progress),
+            scale,
+        }
+    }
+
+    /// [`Dataset::collect`] under the two-level parallel scheduler (see
+    /// [`crate::schedule`]); measurements are bit-identical to a serial
+    /// collection for any job count.
+    pub fn collect_with(
+        scale: Scale,
+        reps: usize,
+        options: &crate::schedule::RunOptions,
+        progress: impl FnMut(crate::schedule::ProgressEvent),
+    ) -> Dataset {
+        let plan = RunPlan::for_algorithms(&Algorithm::ALL, &Model::ALL, scale, reps);
+        Dataset {
+            measurements: plan.run_with(options, progress),
+            scale,
+        }
     }
 
     /// Measurements restricted to one model.
     pub fn of_model(&self, model: Model) -> Vec<Measurement> {
-        self.measurements.iter().filter(|m| m.cfg.model == model).cloned().collect()
+        self.measurements
+            .iter()
+            .filter(|m| m.cfg.model == model)
+            .cloned()
+            .collect()
     }
 
     /// Measurements of the two CPU models together.
     pub fn cpu(&self) -> Vec<Measurement> {
-        self.measurements.iter().filter(|m| m.cfg.model.is_cpu()).cloned().collect()
+        self.measurements
+            .iter()
+            .filter(|m| m.cfg.model.is_cpu())
+            .cloned()
+            .collect()
     }
 }
 
@@ -96,8 +124,7 @@ pub const PAIR_SPECS: &[PairSpec] = &[
         models: &[Model::Cuda],
         algos: Some(&[Algorithm::Tc]),
         extra: Some(|c| {
-            c.granularity == Some(indigo_styles::Granularity::Thread)
-                && exclude_cudaatomic(c)
+            c.granularity == Some(indigo_styles::Granularity::Thread) && exclude_cudaatomic(c)
         }),
     },
     PairSpec {
@@ -117,7 +144,12 @@ pub const PAIR_SPECS: &[PairSpec] = &[
         numer: "topo",
         denom: "data-nodup",
         models: &[Model::Cuda, Model::Omp, Model::Cpp],
-        algos: Some(&[Algorithm::Cc, Algorithm::Mis, Algorithm::Bfs, Algorithm::Sssp]),
+        algos: Some(&[
+            Algorithm::Cc,
+            Algorithm::Mis,
+            Algorithm::Bfs,
+            Algorithm::Sssp,
+        ]),
         extra: Some(exclude_cudaatomic),
     },
     PairSpec {
@@ -196,8 +228,8 @@ pub fn pair_report(spec: &PairSpec, ds: &Dataset) -> Report {
         .measurements
         .iter()
         .filter(|m| spec.models.contains(&m.cfg.model))
-        .filter(|m| spec.algos.map_or(true, |a| a.contains(&m.cfg.algorithm)))
-        .filter(|m| spec.extra.map_or(true, |f| f(&m.cfg)))
+        .filter(|m| spec.algos.is_none_or(|a| a.contains(&m.cfg.algorithm)))
+        .filter(|m| spec.extra.is_none_or(|f| f(&m.cfg)))
         .cloned()
         .collect();
     let ratios = ratios::ratio_set(&selected, spec.dim, spec.numer, spec.denom);
@@ -205,9 +237,9 @@ pub fn pair_report(spec: &PairSpec, ds: &Dataset) -> Report {
         report.line("(no variant pairs in the measured subset)");
         return report;
     }
-    let (lo, hi) = ratios
-        .iter()
-        .fold((f64::INFINITY, 0.0f64), |(lo, hi), r| (lo.min(r.value), hi.max(r.value)));
+    let (lo, hi) = ratios.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), r| {
+        (lo.min(r.value), hi.max(r.value))
+    });
 
     let mut targets: Vec<String> = ratios.iter().map(|r| r.target.clone()).collect();
     targets.sort();

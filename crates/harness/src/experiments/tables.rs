@@ -44,7 +44,9 @@ pub fn tables45(scale: Scale) -> Report {
         "table45",
         format!("Graph and degree information at {scale:?} scale (paper Tables 4/5)"),
     );
-    r.line("name | nodes | directed edges | size | d_avg | d_max | d>=32 | d>=512 | diam(lb) | comps");
+    r.line(
+        "name | nodes | directed edges | size | d_avg | d_max | d>=32 | d>=512 | diam(lb) | comps",
+    );
     r.csv_row("name,paper_input,nodes,edges,size_mb,avg_degree,max_degree,pct_ge32,pct_ge512,diameter_lb,components");
     for which in SUITE_GRAPHS {
         let g = suite_graph(which, scale);

@@ -40,7 +40,7 @@ fn style_throughput_block(
                             && m.cfg.algorithm == *algo
                             && models.contains(&m.cfg.model)
                             && m.cfg.dimension_label(dim) == Some(opt)
-                            && graphs.map_or(true, |gs| gs.contains(&m.graph))
+                            && graphs.is_none_or(|gs| gs.contains(&m.graph))
                     })
                     .map(|m| m.geps)
                     .collect();

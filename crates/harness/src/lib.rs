@@ -11,6 +11,10 @@
 //!   paper's boxen plots), geometric means, and Pearson correlation;
 //! * [`ratios`] — the paper's "all other styles fixed" pairwise ratio
 //!   machinery (§5 intro), built on [`indigo_styles::StyleConfig::peer_key`];
+//! * [`schedule`] — the two-level parallel run scheduler: GPU-sim cells fan
+//!   out across host threads (simulated cycles are host-load independent),
+//!   CPU wall-clock cells keep the machine to themselves, and results stay
+//!   bit-identical to a serial run at any `--jobs` setting;
 //! * [`experiments`] — one module per table/figure, each producing a
 //!   [`report::Report`];
 //! * the `indigo-exp` binary — CLI driver that writes reports and CSVs
@@ -20,7 +24,9 @@ pub mod experiments;
 pub mod matrix;
 pub mod ratios;
 pub mod report;
+pub mod schedule;
 pub mod stats;
 
 pub use matrix::{Measurement, RunPlan, TargetSpec};
 pub use report::Report;
+pub use schedule::{ProgressEvent, RunOptions, RunPhase};

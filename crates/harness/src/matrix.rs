@@ -1,10 +1,22 @@
 //! The run matrix: every selected variant on every input on every target.
+//!
+//! `RunPlan::run_with` executes the matrix under a two-level parallel
+//! scheduler (see [`crate::schedule`]): graph preparation and GPU-sim cells
+//! fan out across a host thread pool, CPU wall-clock cells run exclusively
+//! afterwards, and every measurement lands in a slot indexed by the serial
+//! nesting order — so the returned vector is bit-identical to a
+//! single-threaded run for any job count.
 
+use crate::schedule::{ProgressEvent, RunOptions, RunPhase};
+use indigo_core::gpu::DeviceGraph;
 use indigo_core::{run_variant, verify, GraphInput, Target};
 use indigo_exec::SYSTEM_PROFILES;
-use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo_gpusim::{rtx3090, titan_v, Device};
+use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// One measured (variant, input, target) cell.
 #[derive(Clone, Debug)]
@@ -77,9 +89,19 @@ impl RunPlan {
     ) -> RunPlan {
         let variants = models
             .iter()
-            .flat_map(|&m| algorithms.iter().flat_map(move |&a| enumerate::variants(a, m)))
+            .flat_map(|&m| {
+                algorithms
+                    .iter()
+                    .flat_map(move |&a| enumerate::variants(a, m))
+            })
             .collect();
-        RunPlan { variants, graphs: SUITE_GRAPHS.to_vec(), scale, reps, verify: true }
+        RunPlan {
+            variants,
+            graphs: SUITE_GRAPHS.to_vec(),
+            scale,
+            reps,
+            verify: true,
+        }
     }
 
     /// Keeps only variants satisfying `pred`.
@@ -94,27 +116,167 @@ impl RunPlan {
         self
     }
 
-    /// Runs the full matrix on every default target of each variant's
-    /// model; `progress` is invoked with (done, total) after each cell.
+    /// Runs the full matrix single-threaded; `progress` is invoked with
+    /// (done, total) *measurement cells*.
     pub fn run(&self, mut progress: impl FnMut(usize, usize)) -> Vec<Measurement> {
-        let mut out = Vec::new();
-        let total = self.graphs.len();
-        let mut done = 0usize;
-        for &which in &self.graphs {
-            let input = GraphInput::new(suite_graph(which, self.scale));
-            // upload once per (graph), reused by every GPU variant
-            let dg = indigo_core::gpu::DeviceGraph::upload(&input);
-            for cfg in &self.variants {
-                let targets = TargetSpec::defaults_for(cfg.model);
-                for target in targets {
-                    let m = self.run_cell(cfg, which, &input, &dg, &target);
-                    out.push(m);
+        self.run_with(&RunOptions::default(), |ev| {
+            if let ProgressEvent::Cell { phase, done, total } = ev {
+                if phase != RunPhase::Prepare {
+                    progress(done, total);
                 }
             }
-            done += 1;
-            progress(done, total);
+        })
+    }
+
+    /// Runs the full matrix under the two-level scheduler.
+    ///
+    /// Cells are indexed by the serial nesting order (graphs → variants →
+    /// targets) and each thread writes its [`Measurement`] into that slot,
+    /// so the returned vector — order and values — is identical to
+    /// `options.jobs == 1` for any job count: GPU cells report simulated
+    /// cycles (host-load independent, and the simulator is deterministic),
+    /// and CPU wall-clock cells run exclusively after the GPU phase
+    /// drains.
+    pub fn run_with(
+        &self,
+        options: &RunOptions,
+        mut progress: impl FnMut(ProgressEvent),
+    ) -> Vec<Measurement> {
+        let jobs = options.jobs.max(1);
+
+        // ---- phase 1: prepare inputs (generate + upload), one per graph
+        let started = Instant::now();
+        progress(ProgressEvent::PhaseStart {
+            phase: RunPhase::Prepare,
+            total: self.graphs.len(),
+        });
+        let inputs = run_indexed_parallel(
+            self.graphs.len(),
+            jobs,
+            |g| {
+                let input = GraphInput::new(suite_graph(self.graphs[g], self.scale));
+                // upload once per graph, reused by every GPU variant
+                let dg = DeviceGraph::upload(&input);
+                (input, dg)
+            },
+            |done| {
+                progress(ProgressEvent::Cell {
+                    phase: RunPhase::Prepare,
+                    done,
+                    total: self.graphs.len(),
+                });
+            },
+        );
+        progress(ProgressEvent::PhaseEnd {
+            phase: RunPhase::Prepare,
+            total: self.graphs.len(),
+            secs: started.elapsed().as_secs_f64(),
+        });
+
+        // ---- enumerate cells in serial nesting order; the slot index is
+        // the position a single-threaded run would emit the measurement at
+        struct Cell {
+            slot: usize,
+            graph: usize,
+            variant: usize,
+            target: TargetSpec,
         }
-        out
+        let mut gpu_cells = Vec::new();
+        let mut cpu_cells = Vec::new();
+        let mut slot = 0usize;
+        for graph in 0..self.graphs.len() {
+            for (variant, cfg) in self.variants.iter().enumerate() {
+                for target in TargetSpec::defaults_for(cfg.model) {
+                    let is_gpu = matches!(target, TargetSpec::Gpu(_));
+                    let cell = Cell {
+                        slot,
+                        graph,
+                        variant,
+                        target,
+                    };
+                    if is_gpu {
+                        gpu_cells.push(cell);
+                    } else {
+                        cpu_cells.push(cell);
+                    }
+                    slot += 1;
+                }
+            }
+        }
+        let slots: Vec<OnceLock<Measurement>> = (0..slot).map(|_| OnceLock::new()).collect();
+
+        // ---- phase 2: GPU-sim cells, fanned across the job pool
+        let started = Instant::now();
+        progress(ProgressEvent::PhaseStart {
+            phase: RunPhase::GpuSim,
+            total: gpu_cells.len(),
+        });
+        run_indexed_parallel(
+            gpu_cells.len(),
+            jobs,
+            |i| {
+                let cell = &gpu_cells[i];
+                let (input, dg) = &inputs[cell.graph];
+                let m = self.run_cell(
+                    &self.variants[cell.variant],
+                    self.graphs[cell.graph],
+                    input,
+                    dg,
+                    &cell.target,
+                    options.sim_workers,
+                );
+                let filled = slots[cell.slot].set(m);
+                debug_assert!(filled.is_ok(), "slot {} measured twice", cell.slot);
+            },
+            |done| {
+                progress(ProgressEvent::Cell {
+                    phase: RunPhase::GpuSim,
+                    done,
+                    total: gpu_cells.len(),
+                });
+            },
+        );
+        progress(ProgressEvent::PhaseEnd {
+            phase: RunPhase::GpuSim,
+            total: gpu_cells.len(),
+            secs: started.elapsed().as_secs_f64(),
+        });
+
+        // ---- phase 3: CPU wall-clock cells, exclusive (no concurrent
+        // measurement work that would skew the timings)
+        let started = Instant::now();
+        progress(ProgressEvent::PhaseStart {
+            phase: RunPhase::CpuWall,
+            total: cpu_cells.len(),
+        });
+        for (done, cell) in cpu_cells.iter().enumerate() {
+            let (input, dg) = &inputs[cell.graph];
+            let m = self.run_cell(
+                &self.variants[cell.variant],
+                self.graphs[cell.graph],
+                input,
+                dg,
+                &cell.target,
+                options.sim_workers,
+            );
+            let filled = slots[cell.slot].set(m);
+            debug_assert!(filled.is_ok(), "slot {} measured twice", cell.slot);
+            progress(ProgressEvent::Cell {
+                phase: RunPhase::CpuWall,
+                done: done + 1,
+                total: cpu_cells.len(),
+            });
+        }
+        progress(ProgressEvent::PhaseEnd {
+            phase: RunPhase::CpuWall,
+            total: cpu_cells.len(),
+            secs: started.elapsed().as_secs_f64(),
+        });
+
+        slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every cell slot measured"))
+            .collect()
     }
 
     fn run_cell(
@@ -122,17 +284,19 @@ impl RunPlan {
         cfg: &StyleConfig,
         which: SuiteGraph,
         input: &GraphInput,
-        dg: &indigo_core::gpu::DeviceGraph,
+        dg: &DeviceGraph,
         target: &TargetSpec,
+        sim_workers: usize,
     ) -> Measurement {
         let (result, reps) = match target {
             TargetSpec::Gpu(device) => {
                 // the simulator is deterministic: one run is exact
-                (indigo_core::run_gpu(cfg, dg, *device), 1)
+                (indigo_core::run_gpu_with(cfg, dg, *device, sim_workers), 1)
             }
-            TargetSpec::Cpu(_, threads) => {
-                (run_variant(cfg, input, &Target::cpu(*threads)), self.reps.max(1))
-            }
+            TargetSpec::Cpu(_, threads) => (
+                run_variant(cfg, input, &Target::cpu(*threads)),
+                self.reps.max(1),
+            ),
         };
         let mut secs = vec![result.secs];
         if reps > 1 {
@@ -146,7 +310,11 @@ impl RunPlan {
         let median = secs[secs.len() / 2];
         if self.verify {
             if let Err(e) = verify::check(cfg, input, &result.output) {
-                panic!("verification failed for {} on {}: {e}", cfg.name(), input.name());
+                panic!(
+                    "verification failed for {} on {}: {e}",
+                    cfg.name(),
+                    input.name()
+                );
             }
         }
         let geps = if median > 0.0 {
@@ -162,6 +330,68 @@ impl RunPlan {
             iterations: result.iterations,
         }
     }
+}
+
+/// Runs `work(i)` for every `i in 0..n` on up to `jobs` threads (dynamic
+/// work-stealing from a shared cursor) while the calling thread reports
+/// completion counts through `tick`. With `jobs == 1` everything runs
+/// inline on the caller — no threads, `tick` after every item.
+///
+/// Returns collected results ordered by index when `work` returns a value;
+/// pass a `()`-returning closure for side-effect-only stages.
+fn run_indexed_parallel<T, W>(n: usize, jobs: usize, work: W, mut tick: impl FnMut(usize)) -> Vec<T>
+where
+    T: Send + Sync,
+    W: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if jobs <= 1 || n == 1 {
+        return (0..n)
+            .map(|i| {
+                let r = work(i);
+                tick(i + 1);
+                r
+            })
+            .collect();
+    }
+    let out: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let cursor = AtomicUsize::new(0);
+    let finished = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..jobs.min(n))
+            .map(|_| {
+                s.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let filled = out[i].set(work(i));
+                    debug_assert!(filled.is_ok(), "index {i} computed twice");
+                    finished.fetch_add(1, Ordering::Release);
+                })
+            })
+            .collect();
+        // the caller's thread narrates progress while workers drain; bail
+        // out if every worker exited (a panicking cell — e.g. failed
+        // verification — is re-raised by the scope join below)
+        let mut last = 0usize;
+        while last < n {
+            let done = finished.load(Ordering::Acquire);
+            if done > last {
+                last = done;
+                tick(done);
+            } else if handles.iter().all(|h| h.is_finished()) {
+                break;
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+        }
+    });
+    out.into_iter()
+        .map(|c| c.into_inner().expect("every index computed"))
+        .collect()
 }
 
 #[cfg(test)]
@@ -189,6 +419,74 @@ mod tests {
         let ga: Vec<f64> = a.iter().map(|m| m.geps).collect();
         let gb: Vec<f64> = b.iter().map(|m| m.geps).collect();
         assert_eq!(ga, gb);
+    }
+
+    #[test]
+    fn parallel_schedule_matches_serial_bitwise() {
+        // mixed GPU + CPU slice; geps of GPU cells must be bit-identical
+        // across job counts, and cell order must match the serial nesting
+        let plan = RunPlan::for_algorithms(
+            &[Algorithm::Tc, Algorithm::Pr],
+            &[Model::Cuda],
+            Scale::Tiny,
+            1,
+        )
+        .filter(|c| c.granularity != Some(indigo_styles::Granularity::Block))
+        .with_graphs(vec![SuiteGraph::Grid2d, SuiteGraph::Rmat]);
+        let serial = plan.run_with(&RunOptions::default(), |_| {});
+        for jobs in [2usize, 4] {
+            let par = plan.run_with(
+                &RunOptions::default().with_jobs(jobs).with_sim_workers(2),
+                |_| {},
+            );
+            assert_eq!(serial.len(), par.len(), "jobs={jobs}");
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.cfg.name(), b.cfg.name(), "jobs={jobs}");
+                assert_eq!(a.graph, b.graph);
+                assert_eq!(a.target, b.target);
+                assert_eq!(
+                    a.geps.to_bits(),
+                    b.geps.to_bits(),
+                    "{} on {}",
+                    a.cfg.name(),
+                    a.graph
+                );
+                assert_eq!(a.iterations, b.iterations);
+            }
+        }
+    }
+
+    #[test]
+    fn progress_events_are_phase_structured() {
+        let plan = RunPlan::for_algorithms(&[Algorithm::Tc], &[Model::Cuda], Scale::Tiny, 1)
+            .filter(|c| {
+                c.granularity == Some(indigo_styles::Granularity::Thread)
+                    && c.atomic == Some(indigo_styles::AtomicKind::Atomic)
+            })
+            .with_graphs(vec![SuiteGraph::Grid2d]);
+        let mut events = Vec::new();
+        let ms = plan.run_with(&RunOptions::default().with_jobs(2), |ev| events.push(ev));
+        // three phases, each bracketed by start/end
+        for phase in [RunPhase::Prepare, RunPhase::GpuSim, RunPhase::CpuWall] {
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, ProgressEvent::PhaseStart { phase: p, .. } if *p == phase)));
+            assert!(events
+                .iter()
+                .any(|e| matches!(e, ProgressEvent::PhaseEnd { phase: p, .. } if *p == phase)));
+        }
+        // the GPU phase accounts for every cell (all-CUDA plan)
+        let gpu_total = events
+            .iter()
+            .find_map(|e| match e {
+                ProgressEvent::PhaseStart {
+                    phase: RunPhase::GpuSim,
+                    total,
+                } => Some(*total),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(gpu_total, ms.len());
     }
 
     #[test]

@@ -25,16 +25,14 @@ pub struct Ratio {
 
 /// Computes all `numer`/`denom` ratios for dimension `dim` over a
 /// measurement set, holding every other dimension fixed.
-pub fn ratio_set(
-    measurements: &[Measurement],
-    dim: &str,
-    numer: &str,
-    denom: &str,
-) -> Vec<Ratio> {
-    let mut groups: HashMap<(String, &'static str, String), (Option<&Measurement>, Option<&Measurement>)> =
-        HashMap::new();
+pub fn ratio_set(measurements: &[Measurement], dim: &str, numer: &str, denom: &str) -> Vec<Ratio> {
+    // peer key + target + graph -> the (numer, denom) pair seen so far
+    type PairSlot<'a> = (Option<&'a Measurement>, Option<&'a Measurement>);
+    let mut groups: HashMap<(String, &'static str, String), PairSlot> = HashMap::new();
     for m in measurements {
-        let Some(label) = m.cfg.dimension_label(dim) else { continue };
+        let Some(label) = m.cfg.dimension_label(dim) else {
+            continue;
+        };
         let key = (m.cfg.peer_key(dim), m.graph, m.target.clone());
         let entry = groups.entry(key).or_default();
         if label == numer {
@@ -88,7 +86,13 @@ mod tests {
     use indigo_styles::{Algorithm, Flow, Model, StyleConfig};
 
     fn meas(cfg: StyleConfig, geps: f64) -> Measurement {
-        Measurement { cfg, graph: "g", target: "t".into(), geps, iterations: 1 }
+        Measurement {
+            cfg,
+            graph: "g",
+            target: "t".into(),
+            geps,
+            iterations: 1,
+        }
     }
 
     #[test]

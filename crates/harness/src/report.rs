@@ -19,7 +19,12 @@ pub struct Report {
 impl Report {
     /// Creates a report.
     pub fn new(id: impl Into<String>, title: impl Into<String>) -> Report {
-        Report { id: id.into(), title: title.into(), text: String::new(), csv: Vec::new() }
+        Report {
+            id: id.into(),
+            title: title.into(),
+            text: String::new(),
+            csv: Vec::new(),
+        }
     }
 
     /// Appends a text line.

@@ -1,0 +1,151 @@
+//! Scheduling options and progress events for the measurement matrix.
+//!
+//! The suite's cells split into two classes with opposite needs:
+//!
+//! * **GPU-sim cells** report *simulated* cycles, which are independent of
+//!   host load, so any number can run concurrently without perturbing each
+//!   other's results (the simulator itself is bit-deterministic, see
+//!   `indigo-gpusim`'s parallel-equivalence gate).
+//! * **CPU wall-clock cells** time real execution, so they must run
+//!   *exclusively* — never alongside other measurement work that would
+//!   steal cores and skew the medians.
+//!
+//! [`RunOptions`] sizes the host thread pool for the first class;
+//! `RunPlan::run_with` fans GPU cells across it, then runs the CPU cells
+//! serially. [`ProgressEvent`] replaces the old bare `(done, total)`
+//! callback with phase-structured reporting so front-ends can show
+//! per-phase rates and ETAs.
+
+use std::num::NonZeroUsize;
+
+/// Knobs for one matrix run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunOptions {
+    /// Host threads measuring GPU-sim cells concurrently (min 1). CPU
+    /// wall-clock cells always run exclusively regardless of this setting.
+    pub jobs: usize,
+    /// Host threads inside each GPU-sim launch that carries the
+    /// `deterministic_parallel` capability (min 1). Multiplies with `jobs`;
+    /// useful when the matrix slice is small but individual graphs are
+    /// large.
+    pub sim_workers: usize,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            jobs: 1,
+            sim_workers: 1,
+        }
+    }
+}
+
+impl RunOptions {
+    /// One job per available hardware thread, single-threaded launches.
+    pub fn auto() -> Self {
+        RunOptions {
+            jobs: default_jobs(),
+            sim_workers: 1,
+        }
+    }
+
+    /// Sets the measurement-cell thread count.
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Sets the per-launch simulator worker count.
+    pub fn with_sim_workers(mut self, workers: usize) -> Self {
+        self.sim_workers = workers.max(1);
+        self
+    }
+}
+
+/// The host's available parallelism (1 if unknown).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, NonZeroUsize::get)
+}
+
+/// The phases of one matrix run, in execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RunPhase {
+    /// Graph generation + device upload, one unit per input graph.
+    Prepare,
+    /// GPU-sim measurement cells (parallel across `jobs` threads).
+    GpuSim,
+    /// CPU wall-clock measurement cells (exclusive, serial).
+    CpuWall,
+}
+
+impl RunPhase {
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            RunPhase::Prepare => "prepare",
+            RunPhase::GpuSim => "gpu-sim",
+            RunPhase::CpuWall => "cpu-wall",
+        }
+    }
+}
+
+/// Progress callback payload for `RunPlan::run_with`.
+#[derive(Clone, Copy, Debug)]
+pub enum ProgressEvent {
+    /// A phase is starting with `total` work units.
+    PhaseStart {
+        /// Which phase.
+        phase: RunPhase,
+        /// Units the phase will process (may be 0).
+        total: usize,
+    },
+    /// Progress within a phase. Parallel phases coalesce: `done` is the
+    /// latest completed count, not necessarily `previous + 1`.
+    Cell {
+        /// Which phase.
+        phase: RunPhase,
+        /// Units completed so far.
+        done: usize,
+        /// Units the phase will process.
+        total: usize,
+    },
+    /// A phase finished; `secs` is its wall-clock duration.
+    PhaseEnd {
+        /// Which phase.
+        phase: RunPhase,
+        /// Units processed.
+        total: usize,
+        /// Wall-clock seconds spent in the phase.
+        secs: f64,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_clamp_to_one() {
+        let o = RunOptions::default().with_jobs(0).with_sim_workers(0);
+        assert_eq!(o.jobs, 1);
+        assert_eq!(o.sim_workers, 1);
+        let o = RunOptions::auto();
+        assert!(o.jobs >= 1);
+    }
+
+    #[test]
+    fn phase_labels_distinct() {
+        let labels = [
+            RunPhase::Prepare.label(),
+            RunPhase::GpuSim.label(),
+            RunPhase::CpuWall.label(),
+        ];
+        assert_eq!(
+            labels
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
+            labels.len()
+        );
+    }
+}

@@ -90,18 +90,15 @@ impl Summary {
             ((t.clamp(0.0, 1.0)) * (width.saturating_sub(1)) as f64).round() as usize
         };
         let mut chars = vec![' '; width];
-        for i in pos(self.min)..=pos(self.max) {
-            chars[i] = '-';
-        }
-        for i in pos(self.p25)..=pos(self.p75) {
-            chars[i] = '=';
-        }
-        for i in pos(self.p12)..=pos(self.p25) {
-            chars[i] = '~';
-        }
-        for i in pos(self.p75)..=pos(self.p87) {
-            chars[i] = '~';
-        }
+        let mut fill = |from: usize, to: usize, c: char| {
+            for slot in &mut chars[from..=to] {
+                *slot = c;
+            }
+        };
+        fill(pos(self.min), pos(self.max), '-');
+        fill(pos(self.p25), pos(self.p75), '=');
+        fill(pos(self.p12), pos(self.p25), '~');
+        fill(pos(self.p75), pos(self.p87), '~');
         chars[pos(self.median)] = '|';
         chars.into_iter().collect()
     }
@@ -109,7 +106,11 @@ impl Summary {
 
 /// Geometric mean of positive values (the paper's Table 6 aggregate).
 pub fn geomean(values: &[f64]) -> f64 {
-    let vals: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0 && v.is_finite()).collect();
+    let vals: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0 && v.is_finite())
+        .collect();
     if vals.is_empty() {
         return f64::NAN;
     }

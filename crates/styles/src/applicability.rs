@@ -31,8 +31,14 @@ const ROWS: &[(&str, &[&str])] = &[
     ("persistence", &["persist", "nonpersist"]),
     ("granularity", &["thread", "warp", "block"]),
     ("atomic", &["atomic", "cudaatomic"]),
-    ("gpu_reduction", &["global-add", "block-add", "reduction-add"]),
-    ("cpu_reduction", &["atomic-red", "critical-red", "clause-red"]),
+    (
+        "gpu_reduction",
+        &["global-add", "block-add", "reduction-add"],
+    ),
+    (
+        "cpu_reduction",
+        &["atomic-red", "critical-red", "clause-red"],
+    ),
     ("omp_schedule", &["default", "dynamic"]),
     ("cpp_schedule", &["blocked", "cyclic"]),
 ];
@@ -40,10 +46,12 @@ const ROWS: &[(&str, &[&str])] = &[
 /// Computes the full matrix by scanning every valid variant.
 pub fn matrix() -> Vec<MatrixRow> {
     // collect per-algorithm sets of used (dimension, option) labels
-    let mut used: Vec<std::collections::HashSet<(String, String)>> =
-        vec![Default::default(); 6];
+    let mut used: Vec<std::collections::HashSet<(String, String)>> = vec![Default::default(); 6];
     for cfg in enumerate::full_suite() {
-        let ai = Algorithm::ALL.iter().position(|&a| a == cfg.algorithm).unwrap();
+        let ai = Algorithm::ALL
+            .iter()
+            .position(|&a| a == cfg.algorithm)
+            .unwrap();
         for dim in StyleConfig::DIMENSIONS {
             if let Some(opt) = cfg.dimension_label(dim) {
                 used[ai].insert((dim.to_string(), opt.to_string()));
@@ -57,7 +65,11 @@ pub fn matrix() -> Vec<MatrixRow> {
             for (ai, set) in used.iter().enumerate() {
                 applies[ai] = set.contains(&(dim.to_string(), opt.to_string()));
             }
-            rows.push(MatrixRow { dimension: dim, option: opt, applies });
+            rows.push(MatrixRow {
+                dimension: dim,
+                option: opt,
+                applies,
+            });
         }
     }
     rows

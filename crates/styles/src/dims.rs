@@ -230,8 +230,7 @@ pub enum Determinism {
 }
 
 impl Determinism {
-    pub const ALL: [Determinism; 2] =
-        [Determinism::NonDeterministic, Determinism::Deterministic];
+    pub const ALL: [Determinism; 2] = [Determinism::NonDeterministic, Determinism::Deterministic];
 
     pub fn label(self) -> &'static str {
         match self {
@@ -274,8 +273,7 @@ pub enum Granularity {
 }
 
 impl Granularity {
-    pub const ALL: [Granularity; 3] =
-        [Granularity::Thread, Granularity::Warp, Granularity::Block];
+    pub const ALL: [Granularity; 3] = [Granularity::Thread, Granularity::Warp, Granularity::Block];
 
     pub fn label(self) -> &'static str {
         match self {

@@ -17,13 +17,10 @@ pub fn variants(algorithm: Algorithm, model: Model) -> Vec<StyleConfig> {
     } else {
         Flow::ALL.iter().copied().map(Some).collect()
     };
-    let persistences: Vec<Option<Persistence>> =
-        optional_axis(gpu, &Persistence::ALL);
-    let granularities: Vec<Option<Granularity>> =
-        optional_axis(gpu, &Granularity::ALL);
+    let persistences: Vec<Option<Persistence>> = optional_axis(gpu, &Persistence::ALL);
+    let granularities: Vec<Option<Granularity>> = optional_axis(gpu, &Granularity::ALL);
     let atomics: Vec<Option<AtomicKind>> = optional_axis(gpu, &AtomicKind::ALL);
-    let gpu_reds: Vec<Option<GpuReduction>> =
-        optional_axis(gpu && red, &GpuReduction::ALL);
+    let gpu_reds: Vec<Option<GpuReduction>> = optional_axis(gpu && red, &GpuReduction::ALL);
     let cpu_reds: Vec<Option<CpuReduction>> =
         optional_axis(model.is_cpu() && red, &CpuReduction::ALL);
     let omp_scheds: Vec<Option<OmpSchedule>> =
@@ -91,8 +88,12 @@ pub fn full_suite() -> Vec<StyleConfig> {
     Model::ALL.iter().flat_map(|&m| model_suite(m)).collect()
 }
 
+/// One `count_table` row: the model, its per-algorithm variant counts, and
+/// the row total.
+pub type CountRow = (Model, Vec<(Algorithm, usize)>, usize);
+
 /// Table 3 analog: counts per (model, algorithm) plus row totals.
-pub fn count_table() -> Vec<(Model, Vec<(Algorithm, usize)>, usize)> {
+pub fn count_table() -> Vec<CountRow> {
     Model::ALL
         .iter()
         .map(|&m| {
@@ -191,7 +192,10 @@ mod tests {
 
     #[test]
     fn no_cuda_only_dims_leak_into_cpu_rows() {
-        for cfg in model_suite(Model::Omp).iter().chain(model_suite(Model::Cpp).iter()) {
+        for cfg in model_suite(Model::Omp)
+            .iter()
+            .chain(model_suite(Model::Cpp).iter())
+        {
             assert!(cfg.granularity.is_none());
             assert!(cfg.persistence.is_none());
             assert!(cfg.atomic.is_none());

@@ -78,7 +78,11 @@ impl VariantFilter {
 
     /// Filters a variant list.
     pub fn apply(&self, variants: &[StyleConfig]) -> Vec<StyleConfig> {
-        variants.iter().copied().filter(|c| self.matches(c)).collect()
+        variants
+            .iter()
+            .copied()
+            .filter(|c| self.matches(c))
+            .collect()
     }
 }
 
@@ -106,9 +110,10 @@ mod tests {
         let f = VariantFilter::parse("granularity=warp|block").unwrap();
         let all = enumerate::variants(Algorithm::Bfs, Model::Cuda);
         let picked = f.apply(&all);
-        assert!(picked
-            .iter()
-            .all(|c| matches!(c.dimension_label("granularity"), Some("warp") | Some("block"))));
+        assert!(picked.iter().all(|c| matches!(
+            c.dimension_label("granularity"),
+            Some("warp") | Some("block")
+        )));
         assert!(!picked.is_empty());
     }
 

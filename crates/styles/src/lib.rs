@@ -30,6 +30,6 @@ pub mod filter;
 
 pub use config::StyleConfig;
 pub use dims::{
-    Algorithm, AtomicKind, CpuReduction, CppSchedule, Determinism, Direction, Drive, Flow,
+    Algorithm, AtomicKind, CppSchedule, CpuReduction, Determinism, Direction, Drive, Flow,
     GpuReduction, Granularity, Model, OmpSchedule, Persistence, Update, WorklistDup,
 };

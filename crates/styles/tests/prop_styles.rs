@@ -1,130 +1,152 @@
-//! Property-based tests for the style taxonomy.
+//! Randomized tests for the style taxonomy.
+//!
+//! Deterministic seeded sampling (splitmix64) instead of a property-testing
+//! framework: the build container resolves no external crates, and fixed
+//! seeds make failures reproducible without a shrinker.
 
 use indigo_styles::{
     enumerate, Algorithm, AtomicKind, CppSchedule, CpuReduction, Determinism, Direction, Drive,
     Flow, GpuReduction, Granularity, Model, OmpSchedule, Persistence, StyleConfig, Update,
 };
-use proptest::prelude::*;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-fn arb_algorithm() -> impl Strategy<Value = Algorithm> {
-    proptest::sample::select(Algorithm::ALL.to_vec())
-}
+struct Rng(u64);
 
-fn arb_model() -> impl Strategy<Value = Model> {
-    proptest::sample::select(Model::ALL.to_vec())
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        ((self.next() as u128 * bound as u128) >> 64) as usize
+    }
+
+    fn pick<T: Copy>(&mut self, xs: &[T]) -> T {
+        xs[self.below(xs.len())]
+    }
+
+    fn option<T: Copy>(&mut self, xs: &[T]) -> Option<T> {
+        if self.next() & 1 == 0 {
+            None
+        } else {
+            Some(self.pick(xs))
+        }
+    }
 }
 
 /// An arbitrary (mostly invalid) style configuration.
-fn arb_config() -> impl Strategy<Value = StyleConfig> {
-    (
-        arb_algorithm(),
-        arb_model(),
-        proptest::sample::select(Direction::ALL.to_vec()),
-        proptest::sample::select(Drive::ALL.to_vec()),
-        proptest::option::of(proptest::sample::select(Flow::ALL.to_vec())),
-        proptest::sample::select(Update::ALL.to_vec()),
-        proptest::sample::select(Determinism::ALL.to_vec()),
-        (
-            proptest::option::of(proptest::sample::select(Persistence::ALL.to_vec())),
-            proptest::option::of(proptest::sample::select(Granularity::ALL.to_vec())),
-            proptest::option::of(proptest::sample::select(AtomicKind::ALL.to_vec())),
-            proptest::option::of(proptest::sample::select(GpuReduction::ALL.to_vec())),
-            proptest::option::of(proptest::sample::select(CpuReduction::ALL.to_vec())),
-            proptest::option::of(proptest::sample::select(OmpSchedule::ALL.to_vec())),
-            proptest::option::of(proptest::sample::select(CppSchedule::ALL.to_vec())),
-        ),
-    )
-        .prop_map(
-            |(
-                algorithm,
-                model,
-                direction,
-                drive,
-                flow,
-                update,
-                determinism,
-                (persistence, granularity, atomic, gpu_reduction, cpu_reduction, omp_schedule, cpp_schedule),
-            )| StyleConfig {
-                algorithm,
-                model,
-                direction,
-                drive,
-                flow,
-                update,
-                determinism,
-                persistence,
-                granularity,
-                atomic,
-                gpu_reduction,
-                cpu_reduction,
-                omp_schedule,
-                cpp_schedule,
-            },
-        )
+fn random_config(rng: &mut Rng) -> StyleConfig {
+    StyleConfig {
+        algorithm: rng.pick(&Algorithm::ALL),
+        model: rng.pick(&Model::ALL),
+        direction: rng.pick(&Direction::ALL),
+        drive: rng.pick(&Drive::ALL),
+        flow: rng.option(&Flow::ALL),
+        update: rng.pick(&Update::ALL),
+        determinism: rng.pick(&Determinism::ALL),
+        persistence: rng.option(&Persistence::ALL),
+        granularity: rng.option(&Granularity::ALL),
+        atomic: rng.option(&AtomicKind::ALL),
+        gpu_reduction: rng.option(&GpuReduction::ALL),
+        cpu_reduction: rng.option(&CpuReduction::ALL),
+        omp_schedule: rng.option(&OmpSchedule::ALL),
+        cpp_schedule: rng.option(&CppSchedule::ALL),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// `check()` and enumeration membership agree: a config is valid if and
-    /// only if the enumerator produces it.
-    #[test]
-    fn check_agrees_with_enumeration(cfg in arb_config()) {
-        let enumerated: HashSet<StyleConfig> =
-            enumerate::variants(cfg.algorithm, cfg.model).into_iter().collect();
-        prop_assert_eq!(
+/// `check()` and enumeration membership agree: a config is valid if and only
+/// if the enumerator produces it. Random configs exercise the invalid side;
+/// the full suite exercises the valid side.
+#[test]
+fn check_agrees_with_enumeration() {
+    let mut by_pair: HashMap<(Algorithm, Model), HashSet<StyleConfig>> = HashMap::new();
+    let mut rng = Rng::new(0x57_1e5);
+    for _ in 0..512 {
+        let cfg = random_config(&mut rng);
+        let valid = by_pair
+            .entry((cfg.algorithm, cfg.model))
+            .or_insert_with(|| {
+                enumerate::variants(cfg.algorithm, cfg.model)
+                    .into_iter()
+                    .collect()
+            })
+            .contains(&cfg);
+        assert_eq!(
             cfg.check().is_ok(),
-            enumerated.contains(&cfg),
+            valid,
             "{} check={:?}",
             cfg.name(),
             cfg.check()
         );
     }
+    for cfg in enumerate::full_suite() {
+        assert!(
+            cfg.check().is_ok(),
+            "enumerated config fails check: {}",
+            cfg.name()
+        );
+    }
+}
 
-    /// Names round-trip uniquely: name equality implies config equality
-    /// within the valid suite.
-    #[test]
-    fn names_injective_for_valid_configs(a in arb_config(), b in arb_config()) {
-        if a.check().is_ok() && b.check().is_ok() && a.name() == b.name() {
-            prop_assert_eq!(a, b);
+/// Names round-trip uniquely across the entire valid suite: name equality
+/// implies config equality.
+#[test]
+fn names_injective_for_valid_configs() {
+    let mut seen: HashMap<String, StyleConfig> = HashMap::new();
+    for cfg in enumerate::full_suite() {
+        if let Some(prev) = seen.insert(cfg.name(), cfg) {
+            assert_eq!(prev, cfg, "two configs share the name {}", cfg.name());
         }
     }
+}
 
-    /// peer_key(dim) equality means the configs differ at most in `dim`.
-    #[test]
-    fn peer_key_erases_exactly_one_dimension(a in arb_config(), b in arb_config()) {
+/// peer_key(dim) equality means the configs differ at most in `dim` —
+/// checked over random (mostly invalid) pairs and random suite pairs, where
+/// equal keys actually occur.
+#[test]
+fn peer_key_erases_exactly_one_dimension() {
+    let suite = enumerate::full_suite();
+    let mut rng = Rng::new(0xbeef);
+    for round in 0..512 {
+        let (a, b) = if round % 2 == 0 {
+            (random_config(&mut rng), random_config(&mut rng))
+        } else {
+            (suite[rng.below(suite.len())], suite[rng.below(suite.len())])
+        };
         for dim in StyleConfig::DIMENSIONS {
             if a.peer_key(dim) == b.peer_key(dim) {
                 for other in StyleConfig::DIMENSIONS {
                     if other != dim {
-                        prop_assert_eq!(
+                        assert_eq!(
                             a.dimension_label(other),
                             b.dimension_label(other),
-                            "peer_key({}) matched but {} differs",
-                            dim,
-                            other
+                            "peer_key({dim}) matched but {other} differs"
                         );
                     }
                 }
             }
         }
     }
+}
 
-    /// Every dimension label reported by a valid config parses back through
-    /// the filter language and re-selects the config. (Valid configs are
-    /// sampled from the enumerated suite — random configs are almost never
-    /// valid.)
-    #[test]
-    fn labels_round_trip_through_filter(pick in 0usize..usize::MAX) {
-        let suite = enumerate::full_suite();
-        let cfg = suite[pick % suite.len()];
+/// Every dimension label reported by a valid config parses back through the
+/// filter language and re-selects the config — over the whole suite.
+#[test]
+fn labels_round_trip_through_filter() {
+    for cfg in enumerate::full_suite() {
         for dim in StyleConfig::DIMENSIONS {
             if let Some(label) = cfg.dimension_label(dim) {
-                let f = indigo_styles::filter::VariantFilter::parse(
-                    &format!("{dim}={label}")
-                ).unwrap();
-                prop_assert!(f.matches(&cfg), "{dim}={label} must match {}", cfg.name());
+                let f =
+                    indigo_styles::filter::VariantFilter::parse(&format!("{dim}={label}")).unwrap();
+                assert!(f.matches(&cfg), "{dim}={label} must match {}", cfg.name());
             }
         }
     }

@@ -6,8 +6,8 @@
 //! ```
 
 use indigo_core::{run_variant, verify, GraphInput, Target};
-use indigo_graph::gen;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen;
 use indigo_styles::{Algorithm, Model, StyleConfig};
 
 fn main() {

@@ -29,7 +29,9 @@ fn main() {
     let variants = enumerate::variants(Algorithm::Sssp, Model::Cpp);
     let topo = variants
         .iter()
-        .find(|c| c.drive == Drive::TopologyDriven && c.name().contains("vertex-topo-push-rmw-nondet"))
+        .find(|c| {
+            c.drive == Drive::TopologyDriven && c.name().contains("vertex-topo-push-rmw-nondet")
+        })
         .expect("topology-driven variant");
     let data = variants
         .iter()
@@ -58,8 +60,7 @@ fn main() {
         }
     }
 
-    let (base_dist, base_secs) =
-        indigo_baselines::sssp::cpu(&input, threads, indigo_core::SOURCE);
+    let (base_dist, base_secs) = indigo_baselines::sssp::cpu(&input, threads, indigo_core::SOURCE);
     println!(
         "  {:<55} {:>8.4} GE/s  (delta-stepping baseline)",
         "lonestar-style delta-stepping",
@@ -79,5 +80,8 @@ fn main() {
         }
     }
     let reachable = dist.iter().filter(|&&d| d != indigo_graph::INF).count();
-    println!("\n{reachable}/{} intersections reachable from the depot", input.num_nodes());
+    println!(
+        "\n{reachable}/{} intersections reachable from the depot",
+        input.num_nodes()
+    );
 }

@@ -11,8 +11,8 @@
 //! ```
 
 use indigo_core::{run_variant, GraphInput, Output, Target};
-use indigo_graph::gen;
 use indigo_gpusim::rtx3090;
+use indigo_graph::gen;
 use indigo_styles::{Algorithm, Granularity, Model, StyleConfig};
 
 fn main() {
@@ -37,7 +37,10 @@ fn main() {
     if let Output::Ranks(ranks) = &pr.output {
         let mut top: Vec<(usize, f32)> = ranks.iter().copied().enumerate().collect();
         top.sort_by(|a, b| b.1.total_cmp(&a.1));
-        println!("\ntop-5 influencers by PageRank ({} iterations):", pr.iterations);
+        println!(
+            "\ntop-5 influencers by PageRank ({} iterations):",
+            pr.iterations
+        );
         for (user, score) in top.iter().take(5) {
             println!("  user {user:>6}: score {score:.5}");
         }

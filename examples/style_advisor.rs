@@ -9,9 +9,9 @@
 //! ```
 
 use indigo_core::{run_gpu, GraphInput};
+use indigo_gpusim::rtx3090;
 use indigo_graph::gen::{suite_graph, Scale, SuiteGraph};
 use indigo_graph::stats::GraphStats;
-use indigo_gpusim::rtx3090;
 use indigo_styles::{enumerate, Algorithm, Model};
 
 fn main() {

@@ -15,9 +15,9 @@ fn main() {
     println!("\nTable 3 analog — number of code versions:\n");
     print!("{}", applicability::render_counts());
 
-    let filter_text = std::env::args().nth(1).unwrap_or_else(|| {
-        "model=cuda flow=push granularity=warp determinism=nondet".to_string()
-    });
+    let filter_text = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "model=cuda flow=push granularity=warp determinism=nondet".to_string());
     println!("\nvariants selected by filter '{filter_text}':");
     match VariantFilter::parse(&filter_text) {
         Ok(f) => {

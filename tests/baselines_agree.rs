@@ -2,8 +2,8 @@
 //! answers as the style suite on every input family.
 
 use indigo2::core::{serial, GraphInput, SOURCE};
-use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo2::gpusim::{rtx3090, titan_v};
+use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 
 #[test]
 fn cpu_baselines_match_serial_oracles_on_all_families() {
@@ -20,7 +20,11 @@ fn cpu_baselines_match_serial_oracles_on_all_families() {
             serial::sssp(g, SOURCE),
             "sssp on {which:?}"
         );
-        assert_eq!(indigo2::baselines::cc::cpu(&input, 3).0, serial::cc(g), "cc on {which:?}");
+        assert_eq!(
+            indigo2::baselines::cc::cpu(&input, 3).0,
+            serial::cc(g),
+            "cc on {which:?}"
+        );
         assert_eq!(
             indigo2::baselines::mis::cpu(&input, 3).0,
             serial::mis(g, indigo2::core::MIS_SEED),

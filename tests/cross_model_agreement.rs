@@ -7,8 +7,8 @@
 //! verification.
 
 use indigo2::core::{run_variant, verify, GraphInput, Output, Target};
-use indigo2::graph::gen::{suite_graph, Scale, SUITE_GRAPHS};
 use indigo2::gpusim::titan_v;
+use indigo2::graph::gen::{suite_graph, Scale, SUITE_GRAPHS};
 use indigo2::styles::{Algorithm, Model, StyleConfig};
 
 fn target_for(model: Model) -> Target {
@@ -51,12 +51,19 @@ fn all_models_agree_on_every_suite_input() {
 
 #[test]
 fn iteration_counts_are_positive_and_bounded() {
-    let input = GraphInput::new(suite_graph(indigo2::graph::gen::SuiteGraph::RoadMap, Scale::Tiny));
+    let input = GraphInput::new(suite_graph(
+        indigo2::graph::gen::SuiteGraph::RoadMap,
+        Scale::Tiny,
+    ));
     for model in Model::ALL {
         let cfg = StyleConfig::baseline(Algorithm::Sssp, model);
         let r = run_variant(&cfg, &input, &target_for(model));
         assert!(r.iterations >= 1);
         // Bellman-Ford style relaxation cannot exceed |V| rounds + slack
-        assert!(r.iterations <= input.num_nodes() + 2, "{model:?}: {}", r.iterations);
+        assert!(
+            r.iterations <= input.num_nodes() + 2,
+            "{model:?}: {}",
+            r.iterations
+        );
     }
 }

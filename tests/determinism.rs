@@ -1,0 +1,88 @@
+//! Regression gate for the two-level parallel scheduler: a representative
+//! suite slice measured at `--jobs 1` must be byte-identical — down to the
+//! rendered CSV — to the same slice at `--jobs 4` with multi-threaded
+//! deterministic launches.
+//!
+//! The slice is CUDA-model only: GPU cells report simulated cycles, which
+//! the scheduler guarantees are reproducible at any job count. CPU
+//! wall-clock cells are excluded because real timings are never
+//! reproducible run-to-run (the scheduler keeps them *comparable* by
+//! running them exclusively, which is a different property than the bit
+//! determinism gated here).
+
+use indigo_graph::gen::{Scale, SuiteGraph};
+use indigo_harness::{Measurement, RunOptions, RunPlan};
+use indigo_styles::{Algorithm, AtomicKind, Model};
+
+/// Renders measurements the way a results CSV would: f64 Display is
+/// shortest-roundtrip in Rust, so two CSVs are byte-equal iff every geps
+/// value is bit-equal.
+fn render_csv(ms: &[Measurement]) -> String {
+    let mut csv = String::from("variant,graph,target,geps,iterations\n");
+    for m in ms {
+        csv.push_str(&format!(
+            "{},{},{},{},{}\n",
+            m.cfg.name(),
+            m.graph,
+            m.target,
+            m.geps,
+            m.iterations
+        ));
+    }
+    csv
+}
+
+fn suite_slice() -> RunPlan {
+    // all three granularities (thread/warp/block epilogues take different
+    // merge paths), both det and nondet kernels (the latter gate parallel
+    // launches off), on a regular grid plus the skewed-degree R-MAT whose
+    // hub vertices concentrate work in a few blocks
+    RunPlan::for_algorithms(
+        &[Algorithm::Tc, Algorithm::Pr, Algorithm::Bfs],
+        &[Model::Cuda],
+        Scale::Tiny,
+        1,
+    )
+    .filter(|c| {
+        // keep the slice a few hundred cells: one atomic kind still covers
+        // every granularity and grid-shape path in the simulator
+        c.atomic != Some(AtomicKind::CudaAtomic)
+    })
+    .with_graphs(vec![SuiteGraph::Grid2d, SuiteGraph::Rmat])
+}
+
+#[test]
+fn suite_slice_is_bitwise_deterministic_across_jobs() {
+    let plan = suite_slice();
+    let serial = plan.run_with(&RunOptions::default(), |_| {});
+    assert!(!serial.is_empty());
+    let parallel = plan.run_with(
+        &RunOptions::default().with_jobs(4).with_sim_workers(2),
+        |_| {},
+    );
+
+    // cycle/iteration totals first (better failure message than a CSV diff)
+    assert_eq!(serial.len(), parallel.len());
+    for (a, b) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            a.geps.to_bits(),
+            b.geps.to_bits(),
+            "geps diverged for {} on {} @ {}: {} vs {}",
+            a.cfg.name(),
+            a.graph,
+            a.target,
+            a.geps,
+            b.geps
+        );
+        assert_eq!(
+            a.iterations,
+            b.iterations,
+            "iterations diverged for {} on {}",
+            a.cfg.name(),
+            a.graph
+        );
+    }
+
+    // and the full rendered artifact, byte for byte
+    assert_eq!(render_csv(&serial), render_csv(&parallel));
+}

@@ -16,14 +16,20 @@ fn mini_dataset() -> Dataset {
         1,
     )
     .with_graphs(vec![SuiteGraph::RoadMap, SuiteGraph::Rmat]);
-    Dataset { measurements: plan.run(|_, _| {}), scale: Scale::Tiny }
+    Dataset {
+        measurements: plan.run(|_, _| {}),
+        scale: Scale::Tiny,
+    }
 }
 
 #[test]
 fn pair_figures_render_with_data() {
     let ds = mini_dataset();
     // fig05 (push/pull) applies to SSSP; fig01 (atomic kinds) to both
-    for spec in experiments::PAIR_SPECS.iter().filter(|s| ["fig01", "fig05"].contains(&s.id)) {
+    for spec in experiments::PAIR_SPECS
+        .iter()
+        .filter(|s| ["fig01", "fig05"].contains(&s.id))
+    {
         let report = experiments::pair_report(spec, &ds);
         let text = report.render();
         assert!(text.contains("SSSP"), "{}: {text}", spec.id);
@@ -46,7 +52,10 @@ fn fig14_reports_percentages_for_measured_models() {
         .map(|row| row.rsplit(',').next().unwrap().parse::<f64>().unwrap())
         .collect();
     let total: f64 = vertex_edge.iter().sum();
-    assert!((total - 100.0).abs() < 1.0, "direction percentages sum to {total}");
+    assert!(
+        (total - 100.0).abs() < 1.0,
+        "direction percentages sum to {total}"
+    );
 }
 
 #[test]

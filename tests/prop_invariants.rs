@@ -1,20 +1,46 @@
-//! Property-based tests (proptest) on the core data structures and on the
-//! central invariant of the whole suite: *every style variant computes the
-//! same answer as the serial oracle on arbitrary graphs*.
+//! Randomized tests on the core data structures and on the central invariant
+//! of the whole suite: *every style variant computes the same answer as the
+//! serial oracle on arbitrary graphs*.
+//!
+//! Deterministic seeded sampling (splitmix64) instead of a property-testing
+//! framework: the build container resolves no external crates, and fixed
+//! seeds make failures reproducible without a shrinker.
 
 use indigo2::core::{run_variant, verify, GraphInput, Target};
-use indigo2::graph::{gen, Csr, GraphBuilder};
 use indigo2::gpusim::rtx3090;
+use indigo2::graph::{gen, Csr, GraphBuilder};
 use indigo2::styles::{enumerate, Model};
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 
-/// Strategy: an arbitrary undirected graph as (n, edge list).
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
-    (2usize..40).prop_flat_map(|n| {
-        let edge = (0..n as u32, 0..n as u32);
-        (Just(n), proptest::collection::vec(edge, 0..120))
-    })
+struct Rng(u64);
+
+impl Rng {
+    fn new(seed: u64) -> Rng {
+        Rng(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + ((self.next() as u128 * (hi - lo) as u128) >> 64) as usize
+    }
+}
+
+/// An arbitrary undirected graph as (n, edge list), possibly with self loops
+/// and duplicates — the builder must clean those up.
+fn random_graph(rng: &mut Rng) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.range(2, 40);
+    let m = rng.range(0, 120);
+    let edges = (0..m)
+        .map(|_| (rng.range(0, n) as u32, rng.range(0, n) as u32))
+        .collect();
+    (n, edges)
 }
 
 fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
@@ -25,97 +51,112 @@ fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
     b.build("prop")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Builder postconditions: symmetric, sorted, deduplicated, loop-free.
-    #[test]
-    fn builder_invariants((n, edges) in arb_graph()) {
+/// Builder postconditions: symmetric, sorted, deduplicated, loop-free.
+#[test]
+fn builder_invariants() {
+    let mut rng = Rng::new(0xb111);
+    for _ in 0..48 {
+        let (n, edges) = random_graph(&mut rng);
         let g = build(n, &edges);
-        prop_assert!(g.is_symmetric());
+        assert!(g.is_symmetric());
         let expected: BTreeSet<(u32, u32)> = edges
             .iter()
             .filter(|(a, c)| a != c)
             .flat_map(|&(a, c)| [(a, c), (c, a)])
             .collect();
-        let actual: BTreeSet<(u32, u32)> =
-            g.iter_edges().map(|(v, u, _)| (v, u)).collect();
-        prop_assert_eq!(actual, expected);
+        let actual: BTreeSet<(u32, u32)> = g.iter_edges().map(|(v, u, _)| (v, u)).collect();
+        assert_eq!(actual, expected);
         for v in 0..n as u32 {
-            prop_assert!(g.neighbors(v).windows(2).all(|w| w[0] < w[1]));
+            assert!(g.neighbors(v).windows(2).all(|w| w[0] < w[1]));
         }
     }
+}
 
-    /// COO derivation preserves the edge multiset and order.
-    #[test]
-    fn coo_matches_csr((n, edges) in arb_graph()) {
+/// COO derivation preserves the edge multiset and order.
+#[test]
+fn coo_matches_csr() {
+    let mut rng = Rng::new(0xc00);
+    for _ in 0..48 {
+        let (n, edges) = random_graph(&mut rng);
         let g = build(n, &edges);
         let coo = indigo2::graph::Coo::from_csr(&g);
-        prop_assert_eq!(coo.num_edges(), g.num_edges());
+        assert_eq!(coo.num_edges(), g.num_edges());
         for (i, (v, u, _)) in g.iter_edges().enumerate() {
-            prop_assert_eq!((coo.src(i), coo.dst(i)), (v, u));
+            assert_eq!((coo.src(i), coo.dst(i)), (v, u));
         }
     }
+}
 
-    /// Synthetic weights are direction-symmetric and in range.
-    #[test]
-    fn weights_symmetric((n, edges) in arb_graph()) {
+/// Synthetic weights are direction-symmetric and in range.
+#[test]
+fn weights_symmetric() {
+    let mut rng = Rng::new(0x3337);
+    for _ in 0..48 {
+        let (n, edges) = random_graph(&mut rng);
         let g = build(n, &edges).with_synthetic_weights();
         for v in 0..n as u32 {
             let range = g.neighbor_range(v);
             for (off, &u) in g.neighbors(v).iter().enumerate() {
                 let w = g.weights()[range.start + off];
-                prop_assert!((1..=indigo2::graph::weights::MAX_WEIGHT).contains(&w));
+                assert!((1..=indigo2::graph::weights::MAX_WEIGHT).contains(&w));
                 // find the reverse edge's weight
                 let rr = g.neighbor_range(u);
                 let pos = g.neighbors(u).binary_search(&v).unwrap();
-                prop_assert_eq!(w, g.weights()[rr.start + pos]);
+                assert_eq!(w, g.weights()[rr.start + pos]);
             }
         }
     }
+}
 
-    /// Graph stats internal consistency on arbitrary graphs.
-    #[test]
-    fn stats_consistency((n, edges) in arb_graph()) {
+/// Graph stats internal consistency on arbitrary graphs.
+#[test]
+fn stats_consistency() {
+    let mut rng = Rng::new(0x57a7);
+    for _ in 0..48 {
+        let (n, edges) = random_graph(&mut rng);
         let g = build(n, &edges);
         let s = indigo2::graph::stats::GraphStats::compute(&g);
-        prop_assert_eq!(s.nodes, n);
-        prop_assert_eq!(s.edges, g.num_edges());
-        prop_assert!(s.components >= 1);
-        prop_assert!(s.max_degree <= n.saturating_sub(1));
-        prop_assert!(s.avg_degree <= s.max_degree as f64 + 1e-12);
+        assert_eq!(s.nodes, n);
+        assert_eq!(s.edges, g.num_edges());
+        assert!(s.components >= 1);
+        assert!(s.max_degree <= n.saturating_sub(1));
+        assert!(s.avg_degree <= s.max_degree as f64 + 1e-12);
     }
+}
 
-    /// The headline invariant: a pseudo-random style variant computes the
-    /// oracle answer on an arbitrary graph (weights included), across all
-    /// three models.
-    #[test]
-    fn random_variant_matches_oracle(
-        (n, edges) in arb_graph(),
-        pick in 0usize..usize::MAX,
-    ) {
+/// The headline invariant: a pseudo-random style variant computes the oracle
+/// answer on an arbitrary graph (weights included), across all three models.
+#[test]
+fn random_variant_matches_oracle() {
+    let suite = enumerate::full_suite();
+    let mut rng = Rng::new(0x04ac1e);
+    for _ in 0..48 {
+        let (n, edges) = random_graph(&mut rng);
         let input = GraphInput::new(build(n, &edges));
-        let suite = enumerate::full_suite();
-        let cfg = &suite[pick % suite.len()];
+        let cfg = &suite[rng.range(0, suite.len())];
         let target = match cfg.model {
             Model::Cuda => Target::gpu(rtx3090()),
             _ => Target::cpu(2),
         };
         let r = run_variant(cfg, &input, &target);
-        prop_assert!(
+        assert!(
             verify::check(cfg, &input, &r.output).is_ok(),
             "{} failed on a {}-vertex graph",
             cfg.name(),
             n
         );
     }
+}
 
-    /// G(n, p) generator produces valid, self-consistent graphs.
-    #[test]
-    fn gnp_valid(n in 2usize..60, p in 0.0f64..0.3, seed in 0u64..1000) {
-        let g = gen::gnp(n, p, seed);
-        g.validate();
-        prop_assert!(g.is_symmetric());
-        prop_assert_eq!(g.num_nodes(), n);
+/// G(n, p) generator produces valid, self-consistent graphs.
+#[test]
+fn gnp_valid() {
+    for (i, n) in [2usize, 3, 7, 20, 59].into_iter().enumerate() {
+        for p in [0.0, 0.05, 0.15, 0.29] {
+            let g = gen::gnp(n, p, (i as u64) * 31 + (p * 100.0) as u64);
+            g.validate();
+            assert!(g.is_symmetric());
+            assert_eq!(g.num_nodes(), n);
+        }
     }
 }

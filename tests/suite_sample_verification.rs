@@ -7,8 +7,8 @@
 //! suite-scale inputs.)
 
 use indigo2::core::{run_variant, verify, GraphInput, Target};
-use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph};
 use indigo2::gpusim::rtx3090;
+use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph};
 use indigo2::styles::{enumerate, Model};
 
 #[test]

@@ -1,0 +1,227 @@
+//! A minimal, offline, API-compatible subset of the `criterion` benchmark
+//! harness.
+//!
+//! The build container for this repository has no crates.io access, so the
+//! real `criterion` cannot be resolved. This shim implements exactly the
+//! surface `indigo-bench` uses — `Criterion::default()` with the builder
+//! methods, `benchmark_group`/`bench_function`, `Bencher::iter`/`iter_custom`,
+//! and `final_summary` — with honest wall-clock measurement (warm-up phase,
+//! fixed sample count, median/mean reporting). Numbers are comparable across
+//! runs on one machine; fancy statistics, plots, and baselines are out of
+//! scope.
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state (a subset of criterion's `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+            filter: None,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// No-op in the shim (the shim never plots).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Samples collected per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time spent running the body before measurement starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Target time spent collecting samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Reads a substring filter from the command line, like criterion does.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Prints the end-of-run summary table.
+    pub fn final_summary(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        println!("\n-- summary ({} benchmarks) --", self.results.len());
+        for (name, median) in &self.results {
+            println!("{name:60} {median:>12.3?}");
+        }
+    }
+
+    fn run_one(&mut self, full_name: String, b: &mut Bencher, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        // warm-up: run the body until the warm-up budget elapses
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            b.iters = 1;
+            b.elapsed = Duration::ZERO;
+            f(b);
+        }
+        // measurement: fixed sample count, one iteration batch per sample
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget_per_sample = self.measurement_time / self.sample_size as u32;
+        for _ in 0..self.sample_size {
+            b.iters = 1;
+            b.elapsed = Duration::ZERO;
+            let start = Instant::now();
+            f(b);
+            let wall = start.elapsed();
+            let per_iter = if b.elapsed > Duration::ZERO {
+                b.elapsed
+            } else {
+                wall
+            };
+            samples.push(per_iter);
+            if wall > budget_per_sample * 4 {
+                break; // slow benchmark: stop early rather than overshoot
+            }
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        println!(
+            "{full_name:60} median {median:>12.3?}  (n={})",
+            samples.len()
+        );
+        self.results.push((full_name, median));
+    }
+}
+
+/// A named group of benchmarks (subset of criterion's `BenchmarkGroup`).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        self.criterion.run_one(full, &mut b, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Per-benchmark measurement handle (subset of criterion's `Bencher`).
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body` over the requested iterations.
+    pub fn iter<O, R>(&mut self, mut body: O)
+    where
+        O: FnMut() -> R,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(body());
+        }
+        self.elapsed = start.elapsed() / self.iters.max(1) as u32;
+    }
+
+    /// Lets the body report its own duration for `iters` iterations —
+    /// criterion's `iter_custom`, used for simulated-time benchmarks.
+    pub fn iter_custom<O>(&mut self, mut body: O)
+    where
+        O: FnMut(u64) -> Duration,
+    {
+        let total = body(self.iters);
+        self.elapsed = total / self.iters.max(1) as u32;
+    }
+}
+
+/// Opaque value sink preventing the optimizer from deleting the body.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_records() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| 1 + 1));
+        g.finish();
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].0.contains("g/one"));
+    }
+
+    #[test]
+    fn iter_custom_reports_simulated_time() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut g = c.benchmark_group("sim");
+        g.bench_function("fixed", |b| {
+            b.iter_custom(|iters| Duration::from_micros(10) * iters as u32)
+        });
+        let (_, median) = &c.results[0];
+        assert_eq!(*median, Duration::from_micros(10));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion::default();
+        c.filter = Some("nomatch".into());
+        let mut g = c.benchmark_group("g");
+        g.bench_function("one", |b| b.iter(|| ()));
+        assert!(c.results.is_empty());
+    }
+}
