@@ -1,0 +1,206 @@
+//! # indigo-cancel
+//!
+//! The cooperative cancellation protocol of the fault-tolerant measurement
+//! harness (DESIGN.md §7.3).
+//!
+//! A measurement cell that wedges — a non-converging worklist kernel, a
+//! pathological style combination, an injected stall — cannot be killed
+//! preemptively without corrupting shared state (persistent worker pools,
+//! the simulator's block slots). Instead, every long-running loop in the
+//! stack checks a [`CancelToken`] at its natural boundaries: the simulator
+//! before each kernel launch and each persistent-kernel round, the CPU pools
+//! between scheduling chunks, the harness between repetitions. A watchdog
+//! that decides a cell is over budget *fires* the token; the next checkpoint
+//! raises a [`Cancelled`] panic payload, which unwinds the cell cleanly to
+//! the harness's isolation boundary where it is recorded as a structured
+//! `TimedOut` outcome rather than a crash.
+//!
+//! The protocol has two halves with different blame assignments:
+//!
+//! * [`CancelToken::fire`] + [`CancelToken::checkpoint`] — asynchronous
+//!   cancellation. `checkpoint` is a single relaxed atomic load on the fast
+//!   path, cheap enough for per-chunk checks.
+//! * [`Cancelled`] — the panic payload. Harness code classifies an unwind by
+//!   downcasting: a `Cancelled` payload means "budget exceeded", anything
+//!   else means "the cell crashed".
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The panic payload raised by [`CancelToken::checkpoint`] once the token
+/// has fired. Catching code downcasts to this type to tell a cooperative
+/// cancellation apart from a genuine crash.
+#[derive(Clone, Debug)]
+pub struct Cancelled {
+    /// Why the token fired (e.g. `"wall-clock budget of 5s exceeded"`).
+    pub reason: String,
+}
+
+struct Inner {
+    fired: AtomicBool,
+    reason: Mutex<Option<String>>,
+}
+
+/// A shared, cloneable cancellation flag.
+///
+/// Cloning is cheap (one `Arc`); all clones observe the same fire state.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    pub fn new() -> CancelToken {
+        CancelToken {
+            inner: Arc::new(Inner {
+                fired: AtomicBool::new(false),
+                reason: Mutex::new(None),
+            }),
+        }
+    }
+
+    /// Fires the token. The first caller's `reason` wins; later calls are
+    /// no-ops, so a watchdog and a budget check cannot race into two
+    /// different reasons.
+    pub fn fire(&self, reason: impl Into<String>) {
+        let mut slot = self.inner.reason.lock().unwrap_or_else(|e| e.into_inner());
+        if slot.is_none() {
+            *slot = Some(reason.into());
+        }
+        drop(slot);
+        self.inner.fired.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired. One relaxed atomic load — safe to call
+    /// in tight scheduling loops.
+    #[inline]
+    pub fn is_fired(&self) -> bool {
+        self.inner.fired.load(Ordering::Relaxed)
+    }
+
+    /// The fire reason, if fired.
+    pub fn reason(&self) -> Option<String> {
+        self.inner
+            .reason
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Raises a [`Cancelled`] panic if the token has fired; otherwise a
+    /// single atomic load. This is the cancellation point — call it at
+    /// launch/iteration boundaries where unwinding leaves no shared state
+    /// half-mutated.
+    #[inline]
+    pub fn checkpoint(&self) {
+        if self.is_fired() {
+            self.raise();
+        }
+    }
+
+    /// Unconditionally raises the [`Cancelled`] payload (the cold path of
+    /// [`CancelToken::checkpoint`]).
+    #[cold]
+    pub fn raise(&self) -> ! {
+        std::panic::panic_any(Cancelled {
+            reason: self
+                .reason()
+                .unwrap_or_else(|| "cancelled without a reason".to_string()),
+        })
+    }
+}
+
+/// Extracts the [`Cancelled`] payload from a caught unwind, if that is what
+/// it was.
+pub fn as_cancelled(payload: &(dyn std::any::Any + Send)) -> Option<&Cancelled> {
+    payload.downcast_ref::<Cancelled>()
+}
+
+/// Renders any panic payload as human-readable text: `Cancelled` reasons and
+/// the two string payload flavors verbatim, anything else as a placeholder.
+pub fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(c) = as_cancelled(payload) {
+        return c.reason.clone();
+    }
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        return (*s).to_string();
+    }
+    if let Some(s) = payload.downcast_ref::<String>() {
+        return s.clone();
+    }
+    "non-string panic payload".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_unfired_and_checkpoint_is_a_noop() {
+        let t = CancelToken::new();
+        assert!(!t.is_fired());
+        assert!(t.reason().is_none());
+        t.checkpoint(); // must not panic
+    }
+
+    #[test]
+    fn fire_then_checkpoint_raises_cancelled_with_reason() {
+        let t = CancelToken::new();
+        t.fire("budget exceeded");
+        assert!(t.is_fired());
+        let err = std::panic::catch_unwind(|| t.checkpoint()).unwrap_err();
+        let c = as_cancelled(err.as_ref()).expect("payload is Cancelled");
+        assert_eq!(c.reason, "budget exceeded");
+    }
+
+    #[test]
+    fn first_fire_reason_wins() {
+        let t = CancelToken::new();
+        t.fire("first");
+        t.fire("second");
+        assert_eq!(t.reason().as_deref(), Some("first"));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.fire("shared");
+        assert!(u.is_fired());
+        assert_eq!(u.reason().as_deref(), Some("shared"));
+    }
+
+    #[test]
+    fn payload_text_renders_all_flavors() {
+        let cancelled = std::panic::catch_unwind(|| {
+            let t = CancelToken::new();
+            t.fire("slow");
+            t.checkpoint();
+        })
+        .unwrap_err();
+        assert_eq!(payload_text(cancelled.as_ref()), "slow");
+
+        let s = std::panic::catch_unwind(|| panic!("plain")).unwrap_err();
+        assert_eq!(payload_text(s.as_ref()), "plain");
+
+        let owned = std::panic::catch_unwind(|| panic!("{}", "formatted")).unwrap_err();
+        assert_eq!(payload_text(owned.as_ref()), "formatted");
+    }
+
+    #[test]
+    fn cross_thread_fire_is_observed() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        std::thread::spawn(move || u.fire("from watchdog"))
+            .join()
+            .unwrap();
+        assert!(t.is_fired());
+    }
+}

@@ -11,6 +11,7 @@ pub mod relax;
 pub mod relax64;
 pub mod tc;
 
+use indigo_cancel::CancelToken;
 use indigo_exec::cpp::{CppSched, CppThreads};
 use indigo_exec::sync::MinOps;
 use indigo_exec::{shared_omp_pool, OmpPool, Schedule};
@@ -24,6 +25,7 @@ pub struct CpuExec {
     omp: Option<Arc<OmpPool>>,
     omp_sched: Schedule,
     cpp_sched: CppSched,
+    cancel: Option<CancelToken>,
 }
 
 impl CpuExec {
@@ -50,7 +52,18 @@ impl CpuExec {
             omp: (cfg.model == Model::Omp).then(|| shared_omp_pool(threads)),
             omp_sched,
             cpp_sched,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative [`CancelToken`]: every [`CpuExec::pfor`]
+    /// polls it at scheduling boundaries (workers drain, the calling thread
+    /// raises `Cancelled` after the barrier). Since the algorithm drivers
+    /// issue one `pfor` per convergence iteration, this makes even a
+    /// non-terminating kernel cancellable at iteration granularity.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// The programming model this context realizes.
@@ -74,8 +87,13 @@ impl CpuExec {
                 .omp
                 .as_ref()
                 .expect("omp pool present for Omp model")
-                .parallel_for(n, self.omp_sched, body),
-            Model::Cpp => CppThreads::new(self.threads).parallel_for(n, self.cpp_sched, body),
+                .parallel_for_with(n, self.omp_sched, self.cancel.as_ref(), body),
+            Model::Cpp => CppThreads::new(self.threads).parallel_for_with(
+                n,
+                self.cpp_sched,
+                self.cancel.as_ref(),
+                body,
+            ),
             Model::Cuda => unreachable!("CpuExec is never built for GPU variants"),
         }
     }

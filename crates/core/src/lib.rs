@@ -39,7 +39,10 @@ pub mod verify;
 
 pub use input::GraphInput;
 pub use output::Output;
-pub use runner::{run_gpu, run_gpu_with, run_variant, RunResult, Target};
+pub use runner::{
+    run_gpu, run_gpu_supervised, run_gpu_with, run_variant, run_variant_supervised, RunResult,
+    Supervision, Target,
+};
 
 /// Source vertex used by BFS and SSSP across the whole suite (the paper does
 /// not publish its choice; vertex 0 is deterministic and, on the grid/road

@@ -9,8 +9,39 @@
 use crate::cpu::{self, relax::RelaxKind, CpuExec};
 use crate::gpu::{self, DeviceGraph};
 use crate::{GraphInput, Output, SOURCE};
-use indigo_gpusim::{Device, Sim};
+use indigo_cancel::CancelToken;
+use indigo_gpusim::{Device, FaultPlan, Sim};
 use indigo_styles::{Algorithm, StyleConfig};
+
+/// Everything the fault-tolerant harness threads into one variant run:
+/// a cooperative cancellation token (fired by the watchdog), a simulated-
+/// cycle budget (GPU only), and an optional injected fault (GPU only; CPU
+/// faults are injected at the harness layer). `Supervision::none()` is the
+/// zero-overhead default every legacy entry point uses.
+#[derive(Clone, Default)]
+pub struct Supervision {
+    /// Cancellation token polled at launch/iteration boundaries.
+    pub cancel: Option<CancelToken>,
+    /// Simulated-cycle cap for GPU runs.
+    pub sim_cycle_budget: Option<f64>,
+    /// Deterministic injected fault for GPU runs.
+    pub fault: Option<FaultPlan>,
+}
+
+impl Supervision {
+    /// No supervision: behaves exactly like the unsupervised entry points.
+    pub fn none() -> Supervision {
+        Supervision::default()
+    }
+
+    /// Supervision with just a cancellation token.
+    pub fn with_cancel(token: CancelToken) -> Supervision {
+        Supervision {
+            cancel: Some(token),
+            ..Supervision::default()
+        }
+    }
+}
 
 /// Where to run a variant.
 pub enum Target {
@@ -57,13 +88,25 @@ impl RunResult {
 
 /// Runs `cfg` on `input` at `target`.
 pub fn run_variant(cfg: &StyleConfig, input: &GraphInput, target: &Target) -> RunResult {
+    run_variant_supervised(cfg, input, target, &Supervision::none())
+}
+
+/// [`run_variant`] under harness supervision: the token/budget/fault in
+/// `sup` are threaded into the simulator (GPU) or the CPU pools, making the
+/// run cancellable at launch/iteration boundaries.
+pub fn run_variant_supervised(
+    cfg: &StyleConfig,
+    input: &GraphInput,
+    target: &Target,
+    sup: &Supervision,
+) -> RunResult {
     cfg.check()
         .unwrap_or_else(|e| panic!("invalid variant {}: {e}", cfg.name()));
     match target {
-        Target::Cpu { threads } => run_cpu(cfg, input, *threads),
+        Target::Cpu { threads } => run_cpu(cfg, input, *threads, sup),
         Target::Gpu(device) => {
             let dg = DeviceGraph::upload(input);
-            run_gpu(cfg, &dg, *device)
+            run_gpu_supervised(cfg, &dg, *device, 1, sup)
         }
     }
 }
@@ -84,9 +127,32 @@ pub fn run_gpu_with(
     device: Device,
     sim_workers: usize,
 ) -> RunResult {
+    run_gpu_supervised(cfg, dg, device, sim_workers, &Supervision::none())
+}
+
+/// [`run_gpu_with`] under harness supervision (see [`Supervision`]).
+/// Without supervision knobs set this is identical to the plain entry
+/// points — supervision never perturbs simulated cycles, only whether the
+/// run is allowed to finish.
+pub fn run_gpu_supervised(
+    cfg: &StyleConfig,
+    dg: &DeviceGraph,
+    device: Device,
+    sim_workers: usize,
+    sup: &Supervision,
+) -> RunResult {
     assert!(!cfg.model.is_cpu(), "run_gpu needs a CUDA-model variant");
     let mut sim = Sim::new(device);
     sim.set_workers(sim_workers);
+    if let Some(token) = &sup.cancel {
+        sim.set_cancel(token.clone());
+    }
+    if let Some(budget) = sup.sim_cycle_budget {
+        sim.set_cycle_budget(budget);
+    }
+    if let Some(fault) = sup.fault {
+        sim.arm_fault(fault);
+    }
     let (output, iterations) = match cfg.algorithm {
         Algorithm::Bfs => {
             let (v, i) = gpu::relax::run(RelaxKind::Bfs, cfg, dg, &mut sim, SOURCE);
@@ -120,9 +186,12 @@ pub fn run_gpu_with(
     }
 }
 
-fn run_cpu(cfg: &StyleConfig, input: &GraphInput, threads: usize) -> RunResult {
+fn run_cpu(cfg: &StyleConfig, input: &GraphInput, threads: usize, sup: &Supervision) -> RunResult {
     // pool spawn-up is setup, not kernel time
-    let exec = CpuExec::new(cfg, threads);
+    let mut exec = CpuExec::new(cfg, threads);
+    if let Some(token) = &sup.cancel {
+        exec = exec.with_cancel(token.clone());
+    }
     let start = std::time::Instant::now();
     let (output, iterations) = match cfg.algorithm {
         Algorithm::Bfs => {

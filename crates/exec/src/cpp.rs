@@ -7,6 +7,9 @@
 //! [`CppThreads::parallel_for`] spawns a fresh team (scoped threads) and the
 //! [`CppSched`] selects the distribution.
 
+use crate::omp::CANCEL_STRIDE;
+use indigo_cancel::CancelToken;
+
 /// Iteration-to-thread mapping for the C++ model.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CppSched {
@@ -41,11 +44,28 @@ impl CppThreads {
     where
         F: Fn(usize, usize) + Sync,
     {
+        self.parallel_for_with(n, sched, None, body);
+    }
+
+    /// [`CppThreads::parallel_for`] with a cooperative [`CancelToken`]: team
+    /// members poll it every `CANCEL_STRIDE` iterations and drain (return
+    /// early, no unwind) once it fires; after the join, the calling thread
+    /// raises the `Cancelled` payload. Mirrors `OmpPool::parallel_for_with`.
+    pub fn parallel_for_with<F>(
+        &self,
+        n: usize,
+        sched: CppSched,
+        cancel: Option<&CancelToken>,
+        body: F,
+    ) where
+        F: Fn(usize, usize) + Sync,
+    {
         if n == 0 {
             return;
         }
         let threads = self.threads.min(n.max(1));
         let body = &body;
+        let fired = &|| cancel.is_some_and(CancelToken::is_fired);
         std::thread::scope(|scope| {
             for tid in 0..threads {
                 scope.spawn(move || match sched {
@@ -53,19 +73,30 @@ impl CppThreads {
                         let beg = tid * n / threads;
                         let end = (tid + 1) * n / threads;
                         for i in beg..end {
+                            if (i - beg).is_multiple_of(CANCEL_STRIDE) && fired() {
+                                return;
+                            }
                             body(i, tid);
                         }
                     }
                     CppSched::Cyclic => {
                         let mut i = tid;
+                        let mut step = 0usize;
                         while i < n {
+                            if step.is_multiple_of(CANCEL_STRIDE) && fired() {
+                                return;
+                            }
                             body(i, tid);
                             i += threads;
+                            step += 1;
                         }
                     }
                 });
             }
         });
+        if let Some(token) = cancel {
+            token.checkpoint();
+        }
     }
 
     /// Spawns the team once with `f(tid)` — for kernels that manage their own
@@ -133,6 +164,30 @@ mod tests {
     fn zero_items_noop() {
         let cpp = CppThreads::new(2);
         cpp.parallel_for(0, CppSched::Cyclic, |_, _| panic!("must not run"));
+    }
+
+    #[test]
+    fn fired_token_drains_team_and_raises_on_caller() {
+        let cpp = CppThreads::new(2);
+        let token = CancelToken::new();
+        token.fire("over budget");
+        for sched in [CppSched::Blocked, CppSched::Cyclic] {
+            let done = AtomicUsize::new(0);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cpp.parallel_for_with(50_000, sched, Some(&token), |_, _| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }))
+            .unwrap_err();
+            assert!(indigo_cancel::as_cancelled(err.as_ref()).is_some());
+            assert!(done.load(Ordering::Relaxed) < 50_000, "{sched:?}");
+        }
+        // fresh teams per kernel: later calls are unaffected
+        let count = AtomicUsize::new(0);
+        cpp.parallel_for(64, CppSched::Blocked, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 64);
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! out chunks from a shared atomic counter at runtime — the load-balancing /
 //! overhead trade-off the paper measures in Figure 12.
 
+use indigo_cancel::CancelToken;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Iterations between cancellation polls inside a static chunk. One relaxed
+/// atomic load per this many body calls — noise next to any graph kernel.
+pub(crate) const CANCEL_STRIDE: usize = 1024;
 
 /// Loop schedule (§2.11).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -113,21 +118,50 @@ impl OmpPool {
     where
         F: Fn(usize, usize) + Sync,
     {
+        self.parallel_for_with(n, schedule, None, body);
+    }
+
+    /// [`OmpPool::parallel_for`] with a cooperative [`CancelToken`]
+    /// (DESIGN.md §7.3's cancellation protocol).
+    ///
+    /// Workers poll the token at scheduling boundaries — every dynamic
+    /// chunk grab, every [`CANCEL_STRIDE`] iterations of a static chunk —
+    /// and *drain* (skip their remaining iterations) once it fires; they
+    /// never unwind, so the persistent team stays healthy and reusable.
+    /// After the implicit barrier the *calling* thread raises the
+    /// [`indigo_cancel::Cancelled`] payload via `checkpoint`, which is the
+    /// frame the harness's cell isolation catches.
+    pub fn parallel_for_with<F>(
+        &self,
+        n: usize,
+        schedule: Schedule,
+        cancel: Option<&CancelToken>,
+        body: F,
+    ) where
+        F: Fn(usize, usize) + Sync,
+    {
         if n == 0 {
             return;
         }
         let threads = self.threads;
         let cursor = AtomicUsize::new(0);
+        let fired = || cancel.is_some_and(CancelToken::is_fired);
         let runner = move |tid: usize| match schedule {
             Schedule::Default => {
                 let (beg, end) = blocked_range(n, tid, threads);
                 for i in beg..end {
+                    if (i - beg) % CANCEL_STRIDE == 0 && fired() {
+                        return;
+                    }
                     body(i, tid);
                 }
             }
             Schedule::Dynamic { chunk } => {
                 let chunk = chunk.max(1);
                 loop {
+                    if fired() {
+                        return;
+                    }
                     let beg = cursor.fetch_add(chunk, Ordering::Relaxed);
                     if beg >= n {
                         break;
@@ -139,6 +173,9 @@ impl OmpPool {
             }
         };
         self.run_region(&runner);
+        if let Some(token) = cancel {
+            token.checkpoint();
+        }
     }
 
     /// Runs `f(tid)` once on every worker (a bare `#pragma omp parallel`).
@@ -295,6 +332,43 @@ mod tests {
                 assert_eq!(total, n);
             }
         }
+    }
+
+    #[test]
+    fn fired_token_drains_workers_and_raises_on_caller() {
+        let pool = OmpPool::new(2);
+        let token = CancelToken::new();
+        token.fire("over budget");
+        for schedule in [Schedule::Default, Schedule::dynamic()] {
+            let done = AtomicUsize::new(0);
+            let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.parallel_for_with(50_000, schedule, Some(&token), |_, _| {
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }))
+            .unwrap_err();
+            assert!(indigo_cancel::as_cancelled(err.as_ref()).is_some());
+            // pre-fired token: static chunks bail at their first stride
+            // check, dynamic grabs bail immediately — most work skipped
+            assert!(done.load(Ordering::Relaxed) < 50_000, "{schedule:?}");
+        }
+        // the team survived the drain and serves later regions fully
+        let count = AtomicUsize::new(0);
+        pool.parallel_for(100, Schedule::Default, |_, _| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn unfired_token_changes_nothing() {
+        let pool = OmpPool::new(3);
+        let token = CancelToken::new();
+        let hits: Vec<AtomicUsize> = (0..257).map(|_| AtomicUsize::new(0)).collect();
+        pool.parallel_for_with(257, Schedule::dynamic(), Some(&token), |i, _| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Deterministic fault injection for the simulator (DESIGN.md §7.3).
+//!
+//! The harness's resilience machinery — cell isolation, watchdog timeouts,
+//! journal/resume — must itself be testable in CI, which requires faults
+//! that strike *reproducibly*: the same launch of the same cell, every run.
+//! A [`FaultPlan`] armed on a [`crate::Sim`] does exactly that. Faults
+//! trigger by launch ordinal (the simulator's launch counter is
+//! deterministic), so `panic@launch 2` hits the same kernel of the same
+//! algorithm on every run and every `--resume`.
+//!
+//! Two fault kinds live here, at the launch boundary where the simulator
+//! can inject them deterministically:
+//!
+//! * [`FaultKind::Panic`] — unwind with a recognizable message, exercising
+//!   the harness's `catch_unwind` isolation (`CellOutcome::Crashed`).
+//! * [`FaultKind::Stall`] — spin at the launch boundary, consuming wall
+//!   clock but no simulated cycles, until the cell's [`CancelToken`] fires;
+//!   exercises the watchdog → `CellOutcome::TimedOut` path. A stall is only
+//!   injectable when a token is armed — without one nothing could ever end
+//!   the spin, so the simulator refuses by panicking immediately.
+//!
+//! Output *corruption* (→ `CellOutcome::WrongAnswer`) is injected by the
+//! harness after the run instead: flipping an output value post-hoc is
+//! equivalent for testing the quarantine path and keeps the simulator's
+//! buffers honest.
+
+use indigo_cancel::CancelToken;
+
+/// What an injected fault does when it triggers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic with an `"injected fault"` message at the launch boundary.
+    Panic,
+    /// Spin (wall clock only, no simulated cycles) until the cancel token
+    /// fires, then unwind as a cancellation.
+    Stall,
+}
+
+impl FaultKind {
+    /// Short parse/display label (`"panic"` / `"stall"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+        }
+    }
+}
+
+/// A deterministic fault armed on one simulator instance.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// What happens.
+    pub kind: FaultKind,
+    /// The launch ordinal (0-based, in `Sim::launches` order) at which the
+    /// fault triggers.
+    pub at_launch: usize,
+}
+
+impl FaultPlan {
+    /// Fault of `kind` at launch ordinal `at_launch`.
+    pub fn new(kind: FaultKind, at_launch: usize) -> FaultPlan {
+        FaultPlan { kind, at_launch }
+    }
+
+    /// Executes the fault if `launch` is the armed ordinal. Never returns
+    /// normally when it triggers.
+    pub(crate) fn maybe_trigger(&self, launch: usize, cancel: Option<&CancelToken>) {
+        if launch != self.at_launch {
+            return;
+        }
+        match self.kind {
+            FaultKind::Panic => panic!("injected fault: panic at launch {launch}"),
+            FaultKind::Stall => {
+                let Some(token) = cancel else {
+                    panic!("injected fault: stall at launch {launch} without a cancel token");
+                };
+                loop {
+                    token.checkpoint();
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panic_fault_only_triggers_at_its_ordinal() {
+        let plan = FaultPlan::new(FaultKind::Panic, 2);
+        plan.maybe_trigger(0, None);
+        plan.maybe_trigger(1, None);
+        let err = std::panic::catch_unwind(|| plan.maybe_trigger(2, None)).unwrap_err();
+        assert!(indigo_cancel::payload_text(err.as_ref()).contains("injected fault"));
+    }
+
+    #[test]
+    fn stall_without_token_panics_instead_of_hanging() {
+        let plan = FaultPlan::new(FaultKind::Stall, 0);
+        let err = std::panic::catch_unwind(|| plan.maybe_trigger(0, None)).unwrap_err();
+        assert!(indigo_cancel::payload_text(err.as_ref()).contains("without a cancel token"));
+    }
+
+    #[test]
+    fn stall_ends_as_cancellation_when_token_fires() {
+        let plan = FaultPlan::new(FaultKind::Stall, 0);
+        let token = CancelToken::new();
+        let t2 = token.clone();
+        let firer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            t2.fire("watchdog");
+        });
+        let err = std::panic::catch_unwind(|| plan.maybe_trigger(0, Some(&token))).unwrap_err();
+        firer.join().unwrap();
+        assert!(indigo_cancel::as_cancelled(err.as_ref()).is_some());
+    }
+}

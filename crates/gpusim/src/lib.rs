@@ -38,11 +38,19 @@ pub mod ablation;
 pub mod buffer;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod launch;
 
 pub use buffer::{BufKind, GpuBuf, GpuBufF32};
 pub use device::{rtx3090, titan_v, CostModel, Device, GPUS};
+pub use fault::{FaultKind, FaultPlan};
 pub use launch::{Assign, LaneCtx, ReduceStyle, Sim};
 
 /// Re-exported warp width (CUDA's fixed 32).
 pub const WARP_SIZE: usize = 32;
+
+/// Version stamp of the calibrated cost model. Bump whenever a
+/// [`CostModel`] constant or a pricing rule changes: the harness folds this
+/// into every cell fingerprint, so stale checkpoint journals from an older
+/// calibration can never be resumed into a newer run (DESIGN.md §7.3).
+pub const COST_MODEL_VERSION: u32 = 1;

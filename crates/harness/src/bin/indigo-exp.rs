@@ -4,6 +4,7 @@
 //! indigo-exp all                        # every table and figure
 //! indigo-exp fig05 fig16               # a subset
 //! indigo-exp tables                    # Tables 1-5 only (no measuring)
+//! indigo-exp --smoke                   # small fixed slice, outcome reports
 //! options:
 //!   --scale tiny|small|default|large   # input instance size (default: small)
 //!   --reps N                           # CPU wall-clock repetitions (default: 3)
@@ -12,153 +13,357 @@
 //!   --sim-workers N                    # threads inside each deterministic
 //!                                      # GPU-sim launch (default: 1)
 //!   --out DIR                          # report directory (default: results)
+//! fault tolerance (DESIGN.md §7.3):
+//!   --cell-timeout SECS                # per-cell wall-clock budget (watchdog)
+//!   --cell-cycle-budget CYCLES         # per-cell simulated-cycle budget (GPU)
+//!   --journal PATH                     # checkpoint completed cells to PATH
+//!   --resume PATH                      # skip cells already in PATH's journal
+//!   --inject-fault KIND@CELL           # panic|stall|corrupt at a slot index
 //! ```
 //!
+//! Exit codes: **0** — every cell measured clean; **2** — the run completed
+//! but some cells crashed, timed out, or were quarantined (see the
+//! `outcomes` report); **1** — harness error (bad arguments, unusable
+//! journal, I/O failure).
+//!
 //! Measurement runs also drop `BENCH_harness.json` in the output directory:
-//! suite wall-clock, aggregate cells/sec, job counts, and the per-phase
-//! breakdown, for tracking harness throughput across commits.
+//! suite wall-clock, aggregate cells/sec, job counts, the per-phase
+//! breakdown, and the cell outcome counts, for tracking harness throughput
+//! across commits. A plain `--smoke` run additionally times the same slice
+//! with supervision disabled and records the isolation/watchdog overhead.
 
-use indigo_graph::gen::Scale;
-use indigo_harness::experiments::{self, correlation, fig14, fig15, fig16, tables, throughput};
-use indigo_harness::{ProgressEvent, Report, RunOptions, RunPhase};
-use std::time::Instant;
+use indigo_graph::gen::{Scale, SuiteGraph};
+use indigo_harness::experiments::{
+    self, correlation, fig14, fig15, fig16, outcomes, tables, throughput,
+};
+use indigo_harness::matrix::RunPlan;
+use indigo_harness::{
+    FaultSpec, ProgressEvent, Report, Resilience, RunOptions, RunPhase, RunSummary,
+};
+use indigo_styles::{Algorithm, Model};
+use std::time::{Duration, Instant};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Small;
-    let mut reps = 3usize;
-    let mut out_dir = "results".to_string();
-    let mut options = RunOptions::auto();
-    let mut selected: Vec<String> = Vec::new();
+    match real_main(args) {
+        Ok(code) => std::process::exit(code),
+        Err(e) => {
+            eprintln!("indigo-exp: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
+/// Everything parsed from the command line.
+struct Cli {
+    scale: Scale,
+    /// Whether `--scale` was given explicitly (smoke defaults down to Tiny
+    /// only when it wasn't).
+    scale_set: bool,
+    reps: usize,
+    out_dir: String,
+    options: RunOptions,
+    res: Resilience,
+    smoke: bool,
+    selected: Vec<String>,
+}
+
+fn parse_args(args: Vec<String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Small,
+        scale_set: false,
+        reps: 3,
+        out_dir: "results".to_string(),
+        options: RunOptions::auto(),
+        res: Resilience::none(),
+        smoke: false,
+        selected: Vec::new(),
+    };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--scale" => {
-                scale = match it.next().as_deref() {
+                cli.scale_set = true;
+                cli.scale = match it.next().as_deref() {
                     Some("tiny") => Scale::Tiny,
                     Some("small") => Scale::Small,
                     Some("default") => Scale::Default,
                     Some("large") => Scale::Large,
-                    other => {
-                        eprintln!("unknown scale {other:?}");
-                        std::process::exit(2);
-                    }
+                    other => return Err(format!("unknown scale {other:?}")),
                 }
             }
-            "--reps" => {
-                reps = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--reps needs a number"))
-            }
+            "--reps" => cli.reps = parse_num(it.next(), "--reps")?,
             "--jobs" => {
-                let n = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--jobs needs a number"));
-                options = options.with_jobs(n);
+                let n = parse_num(it.next(), "--jobs")?;
+                cli.options = cli.options.with_jobs(n);
             }
             "--sim-workers" => {
-                let n = it
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| die("--sim-workers needs a number"));
-                options = options.with_sim_workers(n);
+                let n = parse_num(it.next(), "--sim-workers")?;
+                cli.options = cli.options.with_sim_workers(n);
             }
-            "--out" => out_dir = it.next().unwrap_or_else(|| die("--out needs a directory")),
+            "--out" => {
+                cli.out_dir = it.next().ok_or("--out needs a directory")?;
+            }
+            "--cell-timeout" => {
+                let secs: f64 = parse_num(it.next(), "--cell-timeout")?;
+                if !(secs > 0.0) {
+                    return Err("--cell-timeout needs a positive number of seconds".into());
+                }
+                cli.res.cell_timeout = Some(Duration::from_secs_f64(secs));
+            }
+            "--cell-cycle-budget" => {
+                let cycles: f64 = parse_num(it.next(), "--cell-cycle-budget")?;
+                if !(cycles > 0.0) {
+                    return Err("--cell-cycle-budget needs a positive cycle count".into());
+                }
+                cli.res.cycle_budget = Some(cycles);
+            }
+            "--journal" => {
+                let path = it.next().ok_or("--journal needs a path")?;
+                cli.res = cli.res.with_journal(path);
+            }
+            "--resume" => {
+                let path = it.next().ok_or("--resume needs a journal path")?;
+                cli.res = cli.res.resuming(path);
+            }
+            "--inject-fault" => {
+                let spec = it.next().ok_or("--inject-fault needs kind@cell")?;
+                cli.res.fault = Some(FaultSpec::parse(&spec)?);
+            }
+            "--smoke" => cli.smoke = true,
             "--help" | "-h" => {
-                println!("{}", HELP);
+                cli.selected.clear();
+                cli.selected.push("--help".to_string());
+                return Ok(cli);
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => cli.selected.push(other.to_string()),
+        }
+    }
+    Ok(cli)
+}
+
+fn parse_num<T: std::str::FromStr>(v: Option<String>, flag: &str) -> Result<T, String> {
+    v.and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("{flag} needs a number"))
+}
+
+fn real_main(args: Vec<String>) -> Result<i32, String> {
+    let cli = parse_args(args)?;
+    if cli.selected.iter().any(|s| s == "--help") {
+        println!("{}", HELP);
+        return Ok(0);
+    }
+    if cli.selected.is_empty() && !cli.smoke {
+        println!("{}", HELP);
+        return Ok(0);
+    }
+
+    // cells are isolated: a panicking cell is recorded, not fatal — keep
+    // its default panic banner off stderr (cancellations doubly so)
+    if resilience_armed(&cli.res) {
+        std::panic::set_hook(Box::new(|info| {
+            if info
+                .payload()
+                .downcast_ref::<indigo_cancel::Cancelled>()
+                .is_some()
+            {
                 return;
             }
-            other => selected.push(other.to_string()),
-        }
-    }
-    if selected.is_empty() {
-        println!("{}", HELP);
-        return;
+            eprintln!("[cell panic] {info}");
+        }));
     }
 
-    let wants = |id: &str| {
-        selected.iter().any(|s| s == id)
-            || selected.iter().any(|s| s == "all")
-            || (id.starts_with("table") && selected.iter().any(|s| s == "tables"))
-    };
-
+    let mut summary: Option<RunSummary> = None;
     let mut reports: Vec<Report> = Vec::new();
-    // tables need no measurements
-    if wants("table1") {
-        reports.push(tables::table1());
-    }
-    if wants("table2") {
-        reports.push(tables::table2());
-    }
-    if wants("table3") {
-        reports.push(tables::table3());
-    }
-    if wants("table45") {
-        reports.push(tables::tables45(scale));
-    }
 
-    let needs_dataset = experiments::PAIR_SPECS.iter().any(|s| wants(s.id))
-        || [
-            "fig09", "fig10", "fig11", "fig14", "fig15", "fig16", "corr513",
-        ]
-        .iter()
-        .any(|id| wants(id));
-    if needs_dataset {
-        eprintln!(
-            "measuring full suite at {scale:?} scale ({reps} CPU reps, {} jobs, {} sim \
-             workers); this runs all 1098 programs on 5 inputs...",
-            options.jobs, options.sim_workers
-        );
-        let mut reporter = PhaseReporter::new();
-        let suite_started = Instant::now();
-        let ds =
-            experiments::Dataset::collect_with(scale, reps, &options, |ev| reporter.on_event(ev));
-        let suite_secs = suite_started.elapsed().as_secs_f64();
-        eprintln!("matrix complete: {} measurements", ds.measurements.len());
-        reporter.print_summary(suite_secs);
-        if let Err(e) = write_bench_json(&out_dir, &reporter, &options, suite_secs, scale, reps) {
-            eprintln!("failed to write BENCH_harness.json: {e}");
+    if cli.smoke {
+        summary = Some(run_smoke(&cli, &mut reports)?);
+    } else {
+        let wants = |id: &str| {
+            cli.selected.iter().any(|s| s == id)
+                || cli.selected.iter().any(|s| s == "all")
+                || (id.starts_with("table") && cli.selected.iter().any(|s| s == "tables"))
+        };
+
+        // tables need no measurements
+        if wants("table1") {
+            reports.push(tables::table1());
+        }
+        if wants("table2") {
+            reports.push(tables::table2());
+        }
+        if wants("table3") {
+            reports.push(tables::table3());
+        }
+        if wants("table45") {
+            reports.push(tables::tables45(cli.scale));
         }
 
-        for spec in experiments::PAIR_SPECS {
-            if wants(spec.id) {
-                reports.push(experiments::pair_report(spec, &ds));
+        let needs_dataset = experiments::PAIR_SPECS.iter().any(|s| wants(s.id))
+            || [
+                "fig09", "fig10", "fig11", "fig14", "fig15", "fig16", "corr513",
+            ]
+            .iter()
+            .any(|id| wants(id));
+        if needs_dataset {
+            eprintln!(
+                "measuring full suite at {:?} scale ({} CPU reps, {} jobs, {} sim \
+                 workers); this runs all 1098 programs on 5 inputs...",
+                cli.scale, cli.reps, cli.options.jobs, cli.options.sim_workers
+            );
+            let mut reporter = PhaseReporter::new();
+            let suite_started = Instant::now();
+            let (ds, run) = experiments::Dataset::collect_cells(
+                cli.scale,
+                cli.reps,
+                &cli.options,
+                &cli.res,
+                |ev| reporter.on_event(ev),
+            )?;
+            let suite_secs = suite_started.elapsed().as_secs_f64();
+            let s = run.summary();
+            eprintln!("matrix complete: {s}");
+            reporter.print_summary(suite_secs);
+            if let Err(e) = write_bench_json(&cli, &reporter, suite_secs, &s, None) {
+                eprintln!("failed to write BENCH_harness.json: {e}");
             }
-        }
-        if wants("fig09") {
-            reports.push(throughput::fig09(&ds));
-        }
-        if wants("fig10") {
-            reports.push(throughput::fig10(&ds));
-        }
-        if wants("fig11") {
-            reports.push(throughput::fig11(&ds));
-        }
-        if wants("fig14") {
-            reports.push(fig14::fig14(&ds));
-        }
-        if wants("fig15") {
-            reports.push(fig15::fig15(&ds));
-        }
-        if wants("corr513") {
-            reports.push(correlation::correlation(&ds));
-        }
-        if wants("fig16") {
-            eprintln!("running baselines for fig16...");
-            reports.push(fig16::fig16(&ds));
+            reports.push(outcomes::cells_report(&run));
+            reports.push(outcomes::outcomes_report(&run));
+            summary = Some(s);
+
+            for spec in experiments::PAIR_SPECS {
+                if wants(spec.id) {
+                    reports.push(experiments::pair_report(spec, &ds));
+                }
+            }
+            if wants("fig09") {
+                reports.push(throughput::fig09(&ds));
+            }
+            if wants("fig10") {
+                reports.push(throughput::fig10(&ds));
+            }
+            if wants("fig11") {
+                reports.push(throughput::fig11(&ds));
+            }
+            if wants("fig14") {
+                reports.push(fig14::fig14(&ds));
+            }
+            if wants("fig15") {
+                reports.push(fig15::fig15(&ds));
+            }
+            if wants("corr513") {
+                reports.push(correlation::correlation(&ds));
+            }
+            if wants("fig16") {
+                eprintln!("running baselines for fig16...");
+                reports.push(fig16::fig16(&ds));
+            }
         }
     }
 
     for r in &reports {
         println!("{}", r.render());
-        if let Err(e) = r.write_to(&out_dir) {
-            eprintln!("failed to write {}: {e}", r.id);
-        }
+        r.write_to(&cli.out_dir)
+            .map_err(|e| format!("failed to write {}: {e}", r.id))?;
     }
-    eprintln!("wrote {} reports to {out_dir}/", reports.len());
+    eprintln!("wrote {} reports to {}/", reports.len(), cli.out_dir);
+    Ok(summary.map_or(0, |s| s.exit_code()))
+}
+
+fn resilience_armed(res: &Resilience) -> bool {
+    res.cell_timeout.is_some()
+        || res.cycle_budget.is_some()
+        || res.fault.is_some()
+        || res.journal.is_some()
+}
+
+/// The fixed smoke slice: BFS + TC under the CUDA and C++ models on two
+/// inputs, thinned to the thread-granularity / blocked-schedule variants.
+/// Small enough for CI, but it exercises both scheduler phases (GPU-sim
+/// fan-out and exclusive CPU wall-clock) and every outcome path.
+fn smoke_plan(scale: Scale, reps: usize) -> RunPlan {
+    RunPlan::for_algorithms(
+        &[Algorithm::Bfs, Algorithm::Tc],
+        &[Model::Cuda, Model::Cpp],
+        scale,
+        reps,
+    )
+    .filter(|c| match c.model {
+        Model::Cuda => {
+            c.granularity == Some(indigo_styles::Granularity::Thread)
+                && c.atomic != Some(indigo_styles::AtomicKind::CudaAtomic)
+        }
+        _ => c.cpp_schedule == Some(indigo_styles::CppSchedule::Blocked),
+    })
+    .with_graphs(vec![SuiteGraph::Grid2d, SuiteGraph::Rmat])
+}
+
+/// Runs the smoke slice under the configured resilience, writing the cell
+/// and outcome reports plus the bench record. A plain smoke run (no fault,
+/// no journal) also times an unsupervised pass of the same slice to record
+/// the isolation/watchdog overhead.
+fn run_smoke(cli: &Cli, reports: &mut Vec<Report>) -> Result<RunSummary, String> {
+    let scale = if cli.scale_set {
+        cli.scale
+    } else {
+        Scale::Tiny // smoke defaults down to tiny unless --scale was given
+    };
+    let plan = smoke_plan(scale, 1);
+    eprintln!(
+        "smoke slice: {} variants × {} graphs at {scale:?} scale ({} jobs)",
+        plan.variants.len(),
+        plan.graphs.len(),
+        cli.options.jobs
+    );
+    let mut reporter = PhaseReporter::new();
+    let started = Instant::now();
+    let run = plan.run_cells(&cli.options, &cli.res, |ev| reporter.on_event(ev))?;
+    let suite_secs = started.elapsed().as_secs_f64();
+    let s = run.summary();
+    eprintln!("smoke complete: {s}");
+    reporter.print_summary(suite_secs);
+
+    // overhead check: same slice, supervision off (only when this run is
+    // itself clean — fault/journal runs aren't comparable). One pass each
+    // way is dominated by warmup noise (several percent run-to-run on this
+    // slice), so both modes are timed twice, alternating, and the per-mode
+    // *minimum* — the standard noise-robust wall-clock estimator — is
+    // compared. The report run above serves as the untimed warmup.
+    let overhead = if cli.res.fault.is_none() && cli.res.journal.is_none() {
+        let timed = |res: &Resilience| -> Result<f64, String> {
+            let t = Instant::now();
+            plan.run_cells(&cli.options, res, |_| {})?;
+            Ok(t.elapsed().as_secs_f64())
+        };
+        let bare = Resilience::none();
+        let mut base_secs = f64::INFINITY;
+        let mut sup_secs = f64::INFINITY;
+        for _ in 0..2 {
+            base_secs = base_secs.min(timed(&bare)?);
+            sup_secs = sup_secs.min(timed(&cli.res)?);
+        }
+        let pct = if base_secs > 0.0 {
+            100.0 * (sup_secs - base_secs) / base_secs
+        } else {
+            0.0
+        };
+        eprintln!(
+            "resilience overhead: supervised {} vs bare {} ({pct:+.2}%, min of 2)",
+            fmt_secs(sup_secs),
+            fmt_secs(base_secs)
+        );
+        Some((base_secs, pct))
+    } else {
+        None
+    };
+
+    if let Err(e) = write_bench_json(cli, &reporter, suite_secs, &s, overhead) {
+        eprintln!("failed to write BENCH_harness.json: {e}");
+    }
+    reports.push(outcomes::cells_report(&run));
+    reports.push(outcomes::outcomes_report(&run));
+    Ok(s)
 }
 
 /// One finished phase, for the final summary and the bench JSON.
@@ -273,12 +478,11 @@ impl PhaseReporter {
 
 /// Writes the machine-readable benchmark record for this run.
 fn write_bench_json(
-    out_dir: &str,
+    cli: &Cli,
     reporter: &PhaseReporter,
-    options: &RunOptions,
     suite_secs: f64,
-    scale: Scale,
-    reps: usize,
+    summary: &RunSummary,
+    overhead: Option<(f64, f64)>,
 ) -> std::io::Result<()> {
     let cells = reporter.total_cells();
     let rate = if suite_secs > 0.0 {
@@ -298,21 +502,41 @@ fn write_bench_json(
             json_f64(r.secs)
         ));
     }
+    let resilience = format!(
+        "{{\n    \"cell_timeout_secs\": {},\n    \"cycle_budget\": {},\n    \
+         \"outcomes\": {{\"ok\": {}, \"crashed\": {}, \"timed_out\": {}, \
+         \"wrong_answer\": {}, \"resumed\": {}}}{}\n  }}",
+        cli.res
+            .cell_timeout
+            .map_or("null".to_string(), |d| json_f64(d.as_secs_f64())),
+        cli.res.cycle_budget.map_or("null".to_string(), json_f64),
+        summary.ok,
+        summary.crashed,
+        summary.timed_out,
+        summary.wrong_answer,
+        summary.resumed,
+        overhead.map_or(String::new(), |(base_secs, pct)| format!(
+            ",\n    \"bare_secs\": {},\n    \"overhead_pct\": {}",
+            json_f64(base_secs),
+            json_f64(pct)
+        )),
+    );
     let body = format!(
         "{{\n  \"suite_secs\": {},\n  \"cells\": {},\n  \"cells_per_sec\": {},\n  \
          \"jobs\": {},\n  \"sim_workers\": {},\n  \"scale\": \"{:?}\",\n  \"reps\": {},\n  \
-         \"phases\": [\n{}\n  ]\n}}\n",
+         \"resilience\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
         json_f64(suite_secs),
         cells,
         json_f64(rate),
-        options.jobs,
-        options.sim_workers,
-        scale,
-        reps,
+        cli.options.jobs,
+        cli.options.sim_workers,
+        cli.scale,
+        cli.reps,
+        resilience,
         phases
     );
-    std::fs::create_dir_all(out_dir)?;
-    let path = std::path::Path::new(out_dir).join("BENCH_harness.json");
+    std::fs::create_dir_all(&cli.out_dir)?;
+    let path = std::path::Path::new(&cli.out_dir).join("BENCH_harness.json");
     std::fs::write(&path, body)?;
     eprintln!("wrote {}", path.display());
     Ok(())
@@ -342,15 +566,13 @@ fn fmt_secs(secs: f64) -> String {
     }
 }
 
-fn die(msg: &str) -> ! {
-    eprintln!("{msg}");
-    std::process::exit(2)
-}
-
 const HELP: &str = "indigo-exp — regenerate the Indigo2 paper's tables and figures
 
 usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
                   [--jobs N] [--sim-workers N] [--out DIR]
+                  [--cell-timeout SECS] [--cell-cycle-budget CYCLES]
+                  [--journal PATH] [--resume PATH]
+                  [--inject-fault panic|stall|corrupt@CELL] [--smoke]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
@@ -358,4 +580,13 @@ ids: all, tables, table1 table2 table3 table45,
 
 --jobs defaults to the machine's hardware thread count; GPU-sim cells
 fan out across jobs while CPU wall-clock cells always run exclusively,
-and results are bit-identical to --jobs 1 at any setting.";
+and results are bit-identical to --jobs 1 at any setting.
+
+fault tolerance: every cell runs isolated — a crash, timeout, or wrong
+answer becomes a structured row in the cells/outcomes reports instead of
+aborting the sweep. --journal checkpoints completed cells as JSONL;
+--resume replays a journal (byte-identical results) and keeps appending
+to it. --smoke runs a small fixed slice for CI and overhead tracking.
+
+exit codes: 0 all cells clean; 2 run completed with failed cells;
+1 harness error.";

@@ -9,10 +9,12 @@ pub mod correlation;
 pub mod fig14;
 pub mod fig15;
 pub mod fig16;
+pub mod outcomes;
 pub mod tables;
 pub mod throughput;
 
 use crate::matrix::{Measurement, RunPlan};
+use crate::outcome::{MatrixRun, Resilience};
 use crate::ratios;
 use crate::report::Report;
 use crate::stats::Summary;
@@ -52,6 +54,28 @@ impl Dataset {
             measurements: plan.run_with(options, progress),
             scale,
         }
+    }
+
+    /// [`Dataset::collect_with`] under the fault-tolerant scheduler: every
+    /// cell ends in a structured outcome, and the returned [`MatrixRun`]
+    /// carries the full record set (including crashed / timed-out /
+    /// quarantined cells) alongside the dataset of usable measurements.
+    pub fn collect_cells(
+        scale: Scale,
+        reps: usize,
+        options: &crate::schedule::RunOptions,
+        res: &Resilience,
+        progress: impl FnMut(crate::schedule::ProgressEvent),
+    ) -> Result<(Dataset, MatrixRun), String> {
+        let plan = RunPlan::for_algorithms(&Algorithm::ALL, &Model::ALL, scale, reps);
+        let run = plan.run_cells(options, res, progress)?;
+        Ok((
+            Dataset {
+                measurements: run.measurements(),
+                scale,
+            },
+            run,
+        ))
     }
 
     /// Measurements restricted to one model.

@@ -1,0 +1,146 @@
+//! Per-cell outcome reports of a fault-tolerant matrix run (DESIGN.md
+//! §7.3): the `cells` CSV (one row per measurement cell, whatever its
+//! fate) and the `outcomes` run-level summary.
+
+use crate::outcome::{CellOutcome, MatrixRun};
+use crate::report::Report;
+
+/// One row per cell: slot, identity, outcome, and the measurement columns
+/// (empty for failed cells). The row set is complete by construction — a
+/// crashed or quarantined cell is a row, not a hole — so downstream diffing
+/// of two runs is a plain line-by-line comparison.
+pub fn cells_report(run: &MatrixRun) -> Report {
+    let mut report = Report::new("cells", "Per-cell measurement outcomes");
+    report.csv_row("slot,fingerprint,variant,graph,target,outcome,geps,iterations,detail");
+    for (slot, r) in run.records.iter().enumerate() {
+        let (geps, iterations) = match r.outcome.measurement() {
+            Some(m) => (format!("{}", m.geps), format!("{}", m.iterations)),
+            None => (String::new(), String::new()),
+        };
+        report.csv_row(format!(
+            "{slot},{:016x},{},{},{},{},{geps},{iterations},{}",
+            r.fingerprint,
+            r.variant,
+            r.graph,
+            r.target,
+            r.outcome.label(),
+            csv_safe(r.outcome.detail().unwrap_or(""))
+        ));
+    }
+    let s = run.summary();
+    report.line(format!("{s}"));
+    report
+}
+
+/// Run-level outcome summary: counts per outcome class plus one line per
+/// non-`Ok` cell, so a failed sweep is diagnosable from the report alone.
+pub fn outcomes_report(run: &MatrixRun) -> Report {
+    let mut report = Report::new("outcomes", "Run outcome summary");
+    let s = run.summary();
+    report.line(format!("{s}"));
+    report.line(format!("exit code: {}", s.exit_code()));
+    report.csv_row("outcome,count");
+    for (label, count) in [
+        ("ok", s.ok),
+        ("crashed", s.crashed),
+        ("timed-out", s.timed_out),
+        ("wrong-answer", s.wrong_answer),
+        ("resumed", s.resumed),
+    ] {
+        report.csv_row(format!("{label},{count}"));
+    }
+    let failed: Vec<_> = run
+        .records
+        .iter()
+        .filter(|r| !matches!(r.outcome, CellOutcome::Ok(_)))
+        .collect();
+    if !failed.is_empty() {
+        report.line(String::new());
+        report.line("failed cells:");
+        for r in failed {
+            report.line(format!(
+                "  [{:9}] {} on {} ({}): {}",
+                r.outcome.label(),
+                r.variant,
+                r.graph,
+                r.target,
+                r.outcome.detail().unwrap_or("")
+            ));
+        }
+    }
+    report
+}
+
+/// Flattens free text into one CSV cell: commas, quotes, and newlines are
+/// replaced, not escaped — the detail column is for humans and `grep`, the
+/// journal holds the verbatim payload.
+fn csv_safe(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            ',' => ';',
+            '"' => '\'',
+            '\n' | '\r' | '\t' => ' ',
+            c => c,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Measurement;
+    use crate::outcome::CellRecord;
+    use indigo_styles::{Algorithm, Model, StyleConfig};
+
+    fn run_with_failure() -> MatrixRun {
+        MatrixRun {
+            records: vec![
+                CellRecord {
+                    fingerprint: 1,
+                    variant: "v1".into(),
+                    graph: "Grid2d",
+                    target: "sys1".into(),
+                    outcome: CellOutcome::Ok(Measurement {
+                        cfg: StyleConfig::baseline(Algorithm::Bfs, Model::Cpp),
+                        graph: "Grid2d",
+                        target: "sys1".into(),
+                        geps: 1.5,
+                        iterations: 4,
+                    }),
+                    resumed: false,
+                },
+                CellRecord {
+                    fingerprint: 2,
+                    variant: "v2".into(),
+                    graph: "Grid2d",
+                    target: "sys1".into(),
+                    outcome: CellOutcome::Crashed {
+                        payload: "boom, with commas\nand newlines".into(),
+                    },
+                    resumed: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn cells_csv_has_one_row_per_cell() {
+        let report = cells_report(&run_with_failure());
+        let lines = &report.csv;
+        assert_eq!(lines.len(), 3, "header + 2 cells");
+        assert!(lines[1].contains(",ok,"));
+        assert!(lines[2].contains(",crashed,"));
+        // detail text is flattened, never introduces rows or columns
+        assert!(lines[2].contains("boom; with commas and newlines"));
+        assert_eq!(lines[2].split(',').count(), 9);
+    }
+
+    #[test]
+    fn outcomes_report_lists_failed_cells() {
+        let report = outcomes_report(&run_with_failure());
+        let text = report.render();
+        assert!(text.contains("1 crashed"));
+        assert!(text.contains("exit code: 2"));
+        assert!(text.contains("v2 on Grid2d"));
+    }
+}

@@ -15,18 +15,31 @@
 //!   out across host threads (simulated cycles are host-load independent),
 //!   CPU wall-clock cells keep the machine to themselves, and results stay
 //!   bit-identical to a serial run at any `--jobs` setting;
+//! * [`outcome`] — the fault-tolerant run model (DESIGN.md §7.3): every
+//!   cell ends in a structured [`CellOutcome`] (ok / crashed / timed-out /
+//!   wrong-answer) instead of taking the sweep down, under a configurable
+//!   [`Resilience`] policy (watchdog timeouts, cycle budgets, deterministic
+//!   fault injection);
+//! * [`journal`] — the append-only JSONL checkpoint journal keyed by
+//!   deterministic cell fingerprints, giving `--resume` bit-exact replay of
+//!   completed cells after a crash or SIGKILL;
 //! * [`experiments`] — one module per table/figure, each producing a
 //!   [`report::Report`];
 //! * the `indigo-exp` binary — CLI driver that writes reports and CSVs
 //!   under `results/`.
 
 pub mod experiments;
+pub mod journal;
 pub mod matrix;
+pub mod outcome;
 pub mod ratios;
 pub mod report;
 pub mod schedule;
 pub mod stats;
 
 pub use matrix::{Measurement, RunPlan, TargetSpec};
+pub use outcome::{
+    CellFaultKind, CellOutcome, CellRecord, FaultSpec, MatrixRun, Resilience, RunSummary,
+};
 pub use report::Report;
 pub use schedule::{ProgressEvent, RunOptions, RunPhase};

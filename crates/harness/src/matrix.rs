@@ -1,22 +1,37 @@
 //! The run matrix: every selected variant on every input on every target.
 //!
-//! `RunPlan::run_with` executes the matrix under a two-level parallel
-//! scheduler (see [`crate::schedule`]): graph preparation and GPU-sim cells
-//! fan out across a host thread pool, CPU wall-clock cells run exclusively
-//! afterwards, and every measurement lands in a slot indexed by the serial
-//! nesting order — so the returned vector is bit-identical to a
-//! single-threaded run for any job count.
+//! [`RunPlan::run_cells`] executes the matrix under a two-level parallel
+//! scheduler (see [`crate::schedule`]) with full fault tolerance (DESIGN.md
+//! §7.3): every measurement cell runs inside a `catch_unwind` isolation
+//! boundary, a watchdog thread enforces per-cell wall-clock budgets through
+//! cooperative [`CancelToken`]s, completed cells stream into an append-only
+//! checkpoint journal, and deterministic faults can be injected to exercise
+//! all of it. Graph preparation and GPU-sim cells fan out across a host
+//! thread pool, CPU wall-clock cells run exclusively afterwards, and every
+//! cell lands in a slot indexed by the serial nesting order — so results
+//! are bit-identical to a single-threaded run for any job count.
+//!
+//! [`RunPlan::run_with`] is the strict legacy entry point, now a thin layer
+//! over `run_cells`: isolation only, and any non-`Ok` outcome re-raised as
+//! a panic.
 
+use crate::journal::{self, JournalEntry, JournalOutcome};
+use crate::outcome::{CellFaultKind, CellOutcome, CellRecord, MatrixRun, Resilience};
 use crate::schedule::{ProgressEvent, RunOptions, RunPhase};
+use indigo_cancel::CancelToken;
 use indigo_core::gpu::DeviceGraph;
-use indigo_core::{run_variant, verify, GraphInput, Target};
+use indigo_core::{
+    run_gpu_supervised, run_variant_supervised, verify, GraphInput, Output, Supervision, Target,
+};
 use indigo_exec::SYSTEM_PROFILES;
-use indigo_gpusim::{rtx3090, titan_v, Device};
+use indigo_gpusim::{rtx3090, titan_v, Device, FaultKind, FaultPlan};
 use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
-use std::time::Instant;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// One measured (variant, input, target) cell.
 #[derive(Clone, Debug)]
@@ -79,6 +94,15 @@ pub struct RunPlan {
     pub verify: bool,
 }
 
+/// One enumerated cell: its slot (serial nesting position) plus indices
+/// into the plan's graph/variant lists.
+struct Cell {
+    slot: usize,
+    graph: usize,
+    variant: usize,
+    target: TargetSpec,
+}
+
 impl RunPlan {
     /// Every variant of `algorithms` under `models`, all five inputs.
     pub fn for_algorithms(
@@ -128,21 +152,121 @@ impl RunPlan {
         })
     }
 
-    /// Runs the full matrix under the two-level scheduler.
+    /// Runs the full matrix under the two-level scheduler, strictly: cells
+    /// are isolated (one panicking cell cannot poison the worker pools) but
+    /// any non-`Ok` outcome is re-raised as a panic once the matrix
+    /// completes. The returned vector — order and values — is identical to
+    /// `options.jobs == 1` for any job count.
     ///
-    /// Cells are indexed by the serial nesting order (graphs → variants →
-    /// targets) and each thread writes its [`Measurement`] into that slot,
-    /// so the returned vector — order and values — is identical to
-    /// `options.jobs == 1` for any job count: GPU cells report simulated
-    /// cycles (host-load independent, and the simulator is deterministic),
-    /// and CPU wall-clock cells run exclusively after the GPU phase
-    /// drains.
+    /// For structured outcomes, budgets, checkpointing, and fault injection
+    /// use [`RunPlan::run_cells`].
     pub fn run_with(
         &self,
         options: &RunOptions,
-        mut progress: impl FnMut(ProgressEvent),
+        progress: impl FnMut(ProgressEvent),
     ) -> Vec<Measurement> {
+        let run = self
+            .run_cells(options, &Resilience::none(), progress)
+            .expect("isolation-only runs have no journal to fail on");
+        let mut out = Vec::with_capacity(run.records.len());
+        for r in run.records {
+            match r.outcome {
+                CellOutcome::Ok(m) => out.push(m),
+                CellOutcome::WrongAnswer { detail } => panic!(
+                    "verification failed for {} on {}: {detail}",
+                    r.variant, r.graph
+                ),
+                CellOutcome::Crashed { payload } => panic!(
+                    "cell {} on {} ({}) crashed: {payload}",
+                    r.variant, r.graph, r.target
+                ),
+                CellOutcome::TimedOut { reason, .. } => panic!(
+                    "cell {} on {} ({}) timed out: {reason}",
+                    r.variant, r.graph, r.target
+                ),
+            }
+        }
+        out
+    }
+
+    /// Runs the full matrix fault-tolerantly: every cell ends in exactly
+    /// one [`CellOutcome`] and the run always produces a complete
+    /// [`MatrixRun`] — crashes, timeouts, and wrong answers become
+    /// structured records instead of aborting the sweep.
+    ///
+    /// Scheduling is identical to [`RunPlan::run_with`] (slot-indexed,
+    /// bit-identical across job counts). On top of it, `res` enables:
+    ///
+    /// * **watchdog timeouts** — `res.cell_timeout` arms a monitor thread
+    ///   that fires the cell's [`CancelToken`] past the budget; the cell
+    ///   unwinds at its next cancellation point (kernel-launch, pool-chunk,
+    ///   or repetition boundary) into a `TimedOut` record;
+    /// * **cycle budgets** — `res.cycle_budget` caps *simulated* cycles of
+    ///   GPU cells, catching non-converging kernels whose individual
+    ///   launches are fast;
+    /// * **checkpoint/resume** — `res.journal` streams completed cells to
+    ///   an append-only JSONL journal; `res.resume` preloads it and replays
+    ///   recorded cells instead of re-running them (bit-exact, see
+    ///   [`crate::journal`]);
+    /// * **fault injection** — `res.fault` deterministically panics,
+    ///   stalls, or corrupts one cell, so all of the above is testable.
+    ///
+    /// `Err` is returned only for harness-level failures (unusable journal,
+    /// invalid fault configuration) — never for failing cells.
+    pub fn run_cells(
+        &self,
+        options: &RunOptions,
+        res: &Resilience,
+        mut progress: impl FnMut(ProgressEvent),
+    ) -> Result<MatrixRun, String> {
         let jobs = options.jobs.max(1);
+
+        if let Some(f) = res.fault {
+            if f.kind == CellFaultKind::Stall && res.cell_timeout.is_none() {
+                return Err(
+                    "a stall fault needs a cell timeout: the watchdog is what recovers from a stall"
+                        .to_string(),
+                );
+            }
+            if f.kind == CellFaultKind::Corrupt && !self.verify {
+                return Err(
+                    "a corrupt fault needs verification enabled to be observable".to_string(),
+                );
+            }
+        }
+
+        // ---- journal: load what a previous (interrupted) run completed,
+        // open the appender for what this run will complete
+        let resumed: HashMap<u64, JournalEntry> = if res.resume {
+            let path = res
+                .journal
+                .as_ref()
+                .ok_or_else(|| "resume requested without a journal path".to_string())?;
+            let (map, _skipped) = journal::load(path)
+                .map_err(|e| format!("cannot read journal {}: {e}", path.display()))?;
+            map
+        } else {
+            if let Some(path) = &res.journal {
+                let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+                if len > 0 {
+                    return Err(format!(
+                        "journal {} already exists; resume it or remove it first",
+                        path.display()
+                    ));
+                }
+            }
+            HashMap::new()
+        };
+        let writer = match &res.journal {
+            Some(path) => Some(
+                journal::Journal::append_to(path)
+                    .map_err(|e| format!("cannot open journal {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+        let journal_err: Mutex<Option<String>> = Mutex::new(None);
+
+        let watchdog = res.cell_timeout.map(|_| Watchdog::start());
 
         // ---- phase 1: prepare inputs (generate + upload), one per graph
         let started = Instant::now();
@@ -175,35 +299,30 @@ impl RunPlan {
 
         // ---- enumerate cells in serial nesting order; the slot index is
         // the position a single-threaded run would emit the measurement at
-        struct Cell {
-            slot: usize,
-            graph: usize,
-            variant: usize,
-            target: TargetSpec,
-        }
-        let mut gpu_cells = Vec::new();
-        let mut cpu_cells = Vec::new();
-        let mut slot = 0usize;
-        for graph in 0..self.graphs.len() {
-            for (variant, cfg) in self.variants.iter().enumerate() {
-                for target in TargetSpec::defaults_for(cfg.model) {
-                    let is_gpu = matches!(target, TargetSpec::Gpu(_));
-                    let cell = Cell {
-                        slot,
-                        graph,
-                        variant,
-                        target,
-                    };
-                    if is_gpu {
-                        gpu_cells.push(cell);
-                    } else {
-                        cpu_cells.push(cell);
+        let (gpu_cells, cpu_cells, total_cells) = self.enumerate_cells();
+        let slots: Vec<OnceLock<CellRecord>> = (0..total_cells).map(|_| OnceLock::new()).collect();
+
+        let exec_cell = |cell: &Cell| -> CellRecord {
+            let record = self.execute_cell(
+                cell,
+                &inputs[cell.graph],
+                options,
+                res,
+                watchdog.as_ref(),
+                &resumed,
+            );
+            if !record.resumed {
+                if let Some(j) = &writer {
+                    if let Err(e) = j.record(&record) {
+                        let mut slot = journal_err.lock().unwrap_or_else(|p| p.into_inner());
+                        if slot.is_none() {
+                            *slot = Some(format!("journal write failed: {e}"));
+                        }
                     }
-                    slot += 1;
                 }
             }
-        }
-        let slots: Vec<OnceLock<Measurement>> = (0..slot).map(|_| OnceLock::new()).collect();
+            record
+        };
 
         // ---- phase 2: GPU-sim cells, fanned across the job pool
         let started = Instant::now();
@@ -216,16 +335,7 @@ impl RunPlan {
             jobs,
             |i| {
                 let cell = &gpu_cells[i];
-                let (input, dg) = &inputs[cell.graph];
-                let m = self.run_cell(
-                    &self.variants[cell.variant],
-                    self.graphs[cell.graph],
-                    input,
-                    dg,
-                    &cell.target,
-                    options.sim_workers,
-                );
-                let filled = slots[cell.slot].set(m);
+                let filled = slots[cell.slot].set(exec_cell(cell));
                 debug_assert!(filled.is_ok(), "slot {} measured twice", cell.slot);
             },
             |done| {
@@ -250,16 +360,7 @@ impl RunPlan {
             total: cpu_cells.len(),
         });
         for (done, cell) in cpu_cells.iter().enumerate() {
-            let (input, dg) = &inputs[cell.graph];
-            let m = self.run_cell(
-                &self.variants[cell.variant],
-                self.graphs[cell.graph],
-                input,
-                dg,
-                &cell.target,
-                options.sim_workers,
-            );
-            let filled = slots[cell.slot].set(m);
+            let filled = slots[cell.slot].set(exec_cell(cell));
             debug_assert!(filled.is_ok(), "slot {} measured twice", cell.slot);
             progress(ProgressEvent::Cell {
                 phase: RunPhase::CpuWall,
@@ -273,12 +374,176 @@ impl RunPlan {
             secs: started.elapsed().as_secs_f64(),
         });
 
-        slots
+        let records: Vec<CellRecord> = slots
             .into_iter()
-            .map(|s| s.into_inner().expect("every cell slot measured"))
-            .collect()
+            .map(|s| s.into_inner().expect("every cell slot recorded"))
+            .collect();
+        if let Some(e) = journal_err.into_inner().unwrap_or_else(|p| p.into_inner()) {
+            return Err(e);
+        }
+        Ok(MatrixRun { records })
     }
 
+    /// Splits the matrix into GPU-sim and CPU wall-clock cells, assigning
+    /// serial-nesting slot indices (graphs → variants → targets).
+    fn enumerate_cells(&self) -> (Vec<Cell>, Vec<Cell>, usize) {
+        let mut gpu_cells = Vec::new();
+        let mut cpu_cells = Vec::new();
+        let mut slot = 0usize;
+        for graph in 0..self.graphs.len() {
+            for (variant, cfg) in self.variants.iter().enumerate() {
+                for target in TargetSpec::defaults_for(cfg.model) {
+                    let is_gpu = matches!(target, TargetSpec::Gpu(_));
+                    let cell = Cell {
+                        slot,
+                        graph,
+                        variant,
+                        target,
+                    };
+                    if is_gpu {
+                        gpu_cells.push(cell);
+                    } else {
+                        cpu_cells.push(cell);
+                    }
+                    slot += 1;
+                }
+            }
+        }
+        (gpu_cells, cpu_cells, slot)
+    }
+
+    /// Runs (or replays) one cell to a [`CellRecord`]. This is the
+    /// isolation boundary: whatever happens inside — panic, cancellation,
+    /// verification failure — ends as a structured outcome, never an
+    /// unwind into the scheduler.
+    fn execute_cell(
+        &self,
+        cell: &Cell,
+        prepared: &(GraphInput, DeviceGraph),
+        options: &RunOptions,
+        res: &Resilience,
+        watchdog: Option<&Watchdog>,
+        resumed: &HashMap<u64, JournalEntry>,
+    ) -> CellRecord {
+        let cfg = &self.variants[cell.variant];
+        let which = self.graphs[cell.graph];
+        let variant = cfg.name();
+        let graph_label = which.label();
+        let target_label = cell.target.label();
+        let fp = journal::fingerprint(
+            self.scale,
+            self.reps,
+            self.verify,
+            &variant,
+            graph_label,
+            &target_label,
+        );
+        if let Some(entry) = resumed.get(&fp) {
+            return replay_record(fp, cfg, graph_label, &target_label, &variant, entry);
+        }
+
+        let fault_here = res.fault.filter(|f| f.cell == cell.slot);
+        // supervision is armed only when something could use it, so the
+        // strict/legacy path stays token-free
+        let needs_token =
+            res.cell_timeout.is_some() || res.cycle_budget.is_some() || fault_here.is_some();
+        let token = needs_token.then(CancelToken::new);
+        let guard = match (watchdog, &token, res.cell_timeout) {
+            (Some(w), Some(t), Some(budget)) => Some(w.watch(budget, t.clone())),
+            _ => None,
+        };
+        let mut sup = Supervision {
+            cancel: token,
+            sim_cycle_budget: res.cycle_budget,
+            fault: None,
+        };
+        let mut corrupt = false;
+        let mut harness_fault = None;
+        if let Some(f) = fault_here {
+            let is_gpu = matches!(cell.target, TargetSpec::Gpu(_));
+            match f.kind {
+                // corruption is injected between the run and the verifier
+                CellFaultKind::Corrupt => corrupt = true,
+                // GPU faults strike inside the simulator, at a launch
+                // boundary; CPU faults are injected right here at the
+                // harness layer
+                CellFaultKind::Panic if is_gpu => {
+                    sup.fault = Some(FaultPlan {
+                        kind: FaultKind::Panic,
+                        at_launch: 0,
+                    })
+                }
+                CellFaultKind::Stall if is_gpu => {
+                    sup.fault = Some(FaultPlan {
+                        kind: FaultKind::Stall,
+                        at_launch: 0,
+                    })
+                }
+                other => harness_fault = Some(other),
+            }
+        }
+
+        let (input, dg) = prepared;
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            match harness_fault {
+                Some(CellFaultKind::Panic) => {
+                    panic!("injected fault: panic at cell {}", cell.slot)
+                }
+                Some(CellFaultKind::Stall) => {
+                    let t = sup.cancel.as_ref().expect("stall faults carry a token");
+                    loop {
+                        t.checkpoint();
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+                _ => {}
+            }
+            self.run_cell(
+                cfg,
+                which,
+                input,
+                dg,
+                &cell.target,
+                options.sim_workers,
+                &sup,
+                corrupt,
+            )
+        }));
+        let outcome = match run {
+            Ok(Ok(m)) => CellOutcome::Ok(m),
+            Ok(Err(detail)) => CellOutcome::WrongAnswer { detail },
+            Err(payload) => match indigo_cancel::as_cancelled(payload.as_ref()) {
+                Some(c) => CellOutcome::TimedOut {
+                    budget_secs: guard
+                        .as_ref()
+                        .filter(|g| g.wall_fired())
+                        .and(res.cell_timeout)
+                        .map(|d| d.as_secs_f64()),
+                    reason: c.reason.clone(),
+                },
+                None => CellOutcome::Crashed {
+                    payload: indigo_cancel::payload_text(payload.as_ref()),
+                },
+            },
+        };
+        drop(guard);
+        CellRecord {
+            fingerprint: fp,
+            variant,
+            graph: graph_label,
+            target: target_label,
+            outcome,
+            resumed: false,
+        }
+    }
+
+    /// Measures one cell. `Err` means the output diverged from the serial
+    /// reference (the detail string); panics — including [`Cancelled`]
+    /// unwinds from the supervision machinery — propagate to the caller's
+    /// isolation boundary.
+    ///
+    /// [`Cancelled`]: indigo_cancel::Cancelled
+    #[allow(clippy::too_many_arguments)]
     fn run_cell(
         &self,
         cfg: &StyleConfig,
@@ -287,14 +552,16 @@ impl RunPlan {
         dg: &DeviceGraph,
         target: &TargetSpec,
         sim_workers: usize,
-    ) -> Measurement {
-        let (result, reps) = match target {
+        sup: &Supervision,
+        corrupt: bool,
+    ) -> Result<Measurement, String> {
+        let (mut result, reps) = match target {
             TargetSpec::Gpu(device) => {
                 // the simulator is deterministic: one run is exact
-                (indigo_core::run_gpu_with(cfg, dg, *device, sim_workers), 1)
+                (run_gpu_supervised(cfg, dg, *device, sim_workers, sup), 1)
             }
             TargetSpec::Cpu(_, threads) => (
-                run_variant(cfg, input, &Target::cpu(*threads)),
+                run_variant_supervised(cfg, input, &Target::cpu(*threads), sup),
                 self.reps.max(1),
             ),
         };
@@ -302,40 +569,268 @@ impl RunPlan {
         if reps > 1 {
             if let TargetSpec::Cpu(_, threads) = target {
                 for _ in 1..reps {
-                    secs.push(run_variant(cfg, input, &Target::cpu(*threads)).secs);
+                    // repetition boundaries are cancellation points
+                    if let Some(token) = &sup.cancel {
+                        token.checkpoint();
+                    }
+                    secs.push(run_variant_supervised(cfg, input, &Target::cpu(*threads), sup).secs);
                 }
             }
         }
         secs.sort_by(f64::total_cmp);
         let median = secs[secs.len() / 2];
+        if corrupt {
+            corrupt_output(&mut result.output);
+        }
         if self.verify {
-            if let Err(e) = verify::check(cfg, input, &result.output) {
-                panic!(
-                    "verification failed for {} on {}: {e}",
-                    cfg.name(),
-                    input.name()
-                );
-            }
+            verify::check(cfg, input, &result.output)?;
         }
         let geps = if median > 0.0 {
             input.num_edges() as f64 / median / 1e9
         } else {
             f64::INFINITY
         };
-        Measurement {
+        Ok(Measurement {
             cfg: *cfg,
             graph: which.label(),
             target: target.label(),
             geps,
             iterations: result.iterations,
+        })
+    }
+}
+
+/// Rebuilds a [`CellRecord`] from a journal entry instead of executing the
+/// cell. `Ok` outcomes restore the exact `f64` bits, so downstream CSVs are
+/// byte-identical to an uninterrupted run.
+fn replay_record(
+    fp: u64,
+    cfg: &StyleConfig,
+    graph: &'static str,
+    target: &str,
+    variant: &str,
+    entry: &JournalEntry,
+) -> CellRecord {
+    let outcome = match &entry.outcome {
+        JournalOutcome::Ok {
+            geps_bits,
+            iterations,
+        } => CellOutcome::Ok(Measurement {
+            cfg: *cfg,
+            graph,
+            target: target.to_string(),
+            geps: f64::from_bits(*geps_bits),
+            iterations: *iterations,
+        }),
+        JournalOutcome::Crashed { payload } => CellOutcome::Crashed {
+            payload: payload.clone(),
+        },
+        JournalOutcome::TimedOut {
+            budget_secs,
+            reason,
+        } => CellOutcome::TimedOut {
+            budget_secs: *budget_secs,
+            reason: reason.clone(),
+        },
+        JournalOutcome::WrongAnswer { detail } => CellOutcome::WrongAnswer {
+            detail: detail.clone(),
+        },
+    };
+    CellRecord {
+        fingerprint: fp,
+        variant: variant.to_string(),
+        graph,
+        target: target.to_string(),
+        outcome,
+        resumed: true,
+    }
+}
+
+/// Deterministically corrupts one output value — the `Corrupt` fault's
+/// payload, guaranteed to trip the §4.1 verifier.
+fn corrupt_output(out: &mut Output) {
+    match out {
+        Output::Levels(v) | Output::Distances(v) | Output::Labels(v) => {
+            if let Some(x) = v.first_mut() {
+                *x = x.wrapping_add(1);
+            }
+        }
+        Output::MisSet(v) => {
+            if let Some(x) = v.first_mut() {
+                *x = !*x;
+            }
+        }
+        Output::Ranks(v) => {
+            if let Some(x) = v.first_mut() {
+                *x += 1.0;
+            }
+        }
+        Output::Triangles(c) => *c = c.wrapping_add(1),
+    }
+}
+
+// ---- watchdog ------------------------------------------------------------
+
+struct WatchState {
+    active: AtomicBool,
+    fired: AtomicBool,
+}
+
+struct Watched {
+    deadline: Instant,
+    budget: Duration,
+    token: CancelToken,
+    state: Arc<WatchState>,
+}
+
+struct WatchInner {
+    stop: bool,
+    cells: Vec<Watched>,
+}
+
+struct WatchShared {
+    inner: Mutex<WatchInner>,
+    wake: std::sync::Condvar,
+}
+
+/// The watchdog: one monitor thread per matrix run that fires the
+/// [`CancelToken`] of any registered cell past its wall-clock budget. The
+/// cell itself unwinds at its next cooperative checkpoint; the watchdog
+/// never kills threads.
+///
+/// The thread sleeps until the *earliest registered deadline* (woken by a
+/// condvar on registration and shutdown) rather than polling: with generous
+/// budgets it wakes a handful of times per run, so supervision costs no
+/// measurable CPU even on a single-core host where a polling watchdog
+/// steals cycles from the cell being measured.
+struct Watchdog {
+    shared: Arc<WatchShared>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn start() -> Watchdog {
+        let shared = Arc::new(WatchShared {
+            inner: Mutex::new(WatchInner {
+                stop: false,
+                cells: Vec::new(),
+            }),
+            wake: std::sync::Condvar::new(),
+        });
+        let inner = Arc::clone(&shared);
+        let handle = std::thread::Builder::new()
+            .name("cell-watchdog".into())
+            .spawn(move || {
+                let mut guard = inner.inner.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if guard.stop {
+                        return;
+                    }
+                    let now = Instant::now();
+                    guard.cells.retain(|w| {
+                        if !w.state.active.load(Ordering::Acquire) {
+                            return false;
+                        }
+                        if now >= w.deadline {
+                            w.token.fire(format!(
+                                "wall-clock budget of {:.3}s exceeded",
+                                w.budget.as_secs_f64()
+                            ));
+                            w.state.fired.store(true, Ordering::Release);
+                            return false;
+                        }
+                        true
+                    });
+                    // registration can only *extend* the earliest deadline
+                    // (every budget starts from its own `now`), so sleeping
+                    // to the current minimum never overshoots a new cell
+                    let timeout = guard
+                        .cells
+                        .iter()
+                        .map(|w| w.deadline.saturating_duration_since(now))
+                        .min()
+                        .unwrap_or(Duration::from_secs(3600));
+                    guard = inner
+                        .wake
+                        .wait_timeout(guard, timeout)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0;
+                }
+            })
+            .expect("spawn cell-watchdog thread");
+        Watchdog {
+            shared,
+            handle: Some(handle),
+        }
+    }
+
+    /// Registers one cell; the returned guard deregisters on drop and
+    /// remembers whether the watchdog fired.
+    fn watch(&self, budget: Duration, token: CancelToken) -> WatchGuard {
+        let state = Arc::new(WatchState {
+            active: AtomicBool::new(true),
+            fired: AtomicBool::new(false),
+        });
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .cells
+            .push(Watched {
+                deadline: Instant::now() + budget,
+                budget,
+                token,
+                state: Arc::clone(&state),
+            });
+        self.shared.wake.notify_one();
+        WatchGuard { state }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared
+            .inner
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stop = true;
+        self.shared.wake.notify_one();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
         }
     }
 }
+
+struct WatchGuard {
+    state: Arc<WatchState>,
+}
+
+impl WatchGuard {
+    /// Whether the watchdog's wall-clock deadline fired for this cell.
+    fn wall_fired(&self) -> bool {
+        self.state.fired.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        self.state.active.store(false, Ordering::Release);
+    }
+}
+
+// ---- indexed parallel driver ---------------------------------------------
 
 /// Runs `work(i)` for every `i in 0..n` on up to `jobs` threads (dynamic
 /// work-stealing from a shared cursor) while the calling thread reports
 /// completion counts through `tick`. With `jobs == 1` everything runs
 /// inline on the caller — no threads, `tick` after every item.
+///
+/// A panic inside `work` does **not** poison the queue: the worker records
+/// the payload against its index and keeps draining, so every other index
+/// still completes. The earliest-index payload is re-raised on the calling
+/// thread afterwards. (The resilient cell path wraps `work` in its own
+/// isolation and never panics; this matters for graph preparation and any
+/// external callers.)
 ///
 /// Returns collected results ordered by index when `work` returns a value;
 /// pass a `()`-returning closure for side-effect-only stages.
@@ -357,38 +852,48 @@ where
             .collect();
     }
     let out: Vec<OnceLock<T>> = (0..n).map(|_| OnceLock::new()).collect();
+    let panics: Mutex<Vec<(usize, Box<dyn std::any::Any + Send>)>> = Mutex::new(Vec::new());
     let cursor = AtomicUsize::new(0);
     let finished = AtomicUsize::new(0);
     std::thread::scope(|s| {
-        let handles: Vec<_> = (0..jobs.min(n))
-            .map(|_| {
-                s.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
+        for _ in 0..jobs.min(n) {
+            s.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                match catch_unwind(AssertUnwindSafe(|| work(i))) {
+                    Ok(v) => {
+                        let filled = out[i].set(v);
+                        debug_assert!(filled.is_ok(), "index {i} computed twice");
                     }
-                    let filled = out[i].set(work(i));
-                    debug_assert!(filled.is_ok(), "index {i} computed twice");
-                    finished.fetch_add(1, Ordering::Release);
-                })
-            })
-            .collect();
-        // the caller's thread narrates progress while workers drain; bail
-        // out if every worker exited (a panicking cell — e.g. failed
-        // verification — is re-raised by the scope join below)
+                    Err(payload) => panics
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push((i, payload)),
+                }
+                finished.fetch_add(1, Ordering::Release);
+            });
+        }
+        // the caller's thread narrates progress while workers drain; every
+        // index finishes (success or recorded panic), so this always
+        // converges to n
         let mut last = 0usize;
         while last < n {
             let done = finished.load(Ordering::Acquire);
             if done > last {
                 last = done;
                 tick(done);
-            } else if handles.iter().all(|h| h.is_finished()) {
-                break;
             } else {
                 std::thread::sleep(std::time::Duration::from_millis(25));
             }
         }
     });
+    let mut panics = panics.into_inner().unwrap_or_else(|e| e.into_inner());
+    if !panics.is_empty() {
+        panics.sort_by_key(|(i, _)| *i);
+        std::panic::resume_unwind(panics.remove(0).1);
+    }
     out.into_iter()
         .map(|c| c.into_inner().expect("every index computed"))
         .collect()
@@ -397,6 +902,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::outcome::FaultSpec;
 
     #[test]
     fn tiny_matrix_runs_and_verifies() {
@@ -497,5 +1003,228 @@ mod tests {
         assert_eq!(cpu.len(), 2);
         assert_ne!(cuda[0].label(), cuda[1].label());
         assert_ne!(cpu[0].label(), cpu[1].label());
+    }
+
+    #[test]
+    fn run_indexed_parallel_drains_after_worker_panic() {
+        // a panicking item must neither deadlock the queue nor prevent the
+        // remaining indices from completing; its payload re-raises on the
+        // caller afterwards
+        let done = AtomicUsize::new(0);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            run_indexed_parallel(
+                16,
+                4,
+                |i| {
+                    if i == 3 {
+                        panic!("boom at {i}");
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                },
+                |_| {},
+            )
+        }))
+        .unwrap_err();
+        assert_eq!(indigo_cancel::payload_text(err.as_ref()), "boom at 3");
+        assert_eq!(done.load(Ordering::Relaxed), 15, "all other items ran");
+    }
+
+    fn tc_plan() -> RunPlan {
+        RunPlan::for_algorithms(&[Algorithm::Tc], &[Model::Cuda], Scale::Tiny, 1)
+            .filter(|c| c.granularity == Some(indigo_styles::Granularity::Thread))
+            .with_graphs(vec![SuiteGraph::Grid2d])
+    }
+
+    #[test]
+    fn injected_gpu_panic_isolates_a_single_cell() {
+        let plan = tc_plan();
+        let opts = RunOptions::default().with_jobs(2);
+        let clean = plan.run_cells(&opts, &Resilience::none(), |_| {}).unwrap();
+        let faulty = plan
+            .run_cells(
+                &opts,
+                &Resilience::none().with_fault(FaultSpec::parse("panic@1").unwrap()),
+                |_| {},
+            )
+            .unwrap();
+        assert_eq!(clean.records.len(), faulty.records.len());
+        for (i, (c, f)) in clean.records.iter().zip(&faulty.records).enumerate() {
+            if i == 1 {
+                match &f.outcome {
+                    CellOutcome::Crashed { payload } => {
+                        assert!(payload.contains("injected fault"), "{payload}")
+                    }
+                    other => panic!("expected crash, got {other:?}"),
+                }
+            } else {
+                // every other cell is bit-identical to the fault-free run
+                let (a, b) = (
+                    c.outcome.measurement().unwrap(),
+                    f.outcome.measurement().unwrap(),
+                );
+                assert_eq!(a.geps.to_bits(), b.geps.to_bits(), "cell {i}");
+            }
+        }
+        let summary = faulty.summary();
+        assert_eq!(summary.crashed, 1);
+        assert_eq!(summary.exit_code(), 2);
+        assert_eq!(clean.summary().exit_code(), 0);
+    }
+
+    #[test]
+    fn injected_cpu_panic_is_harness_injected() {
+        let plan = RunPlan::for_algorithms(&[Algorithm::Bfs], &[Model::Cpp], Scale::Tiny, 1)
+            .filter(|c| c.cpp_schedule == Some(indigo_styles::CppSchedule::Blocked))
+            .with_graphs(vec![SuiteGraph::Grid2d]);
+        let run = plan
+            .run_cells(
+                &RunOptions::default(),
+                &Resilience::none().with_fault(FaultSpec::parse("panic@0").unwrap()),
+                |_| {},
+            )
+            .unwrap();
+        match &run.records[0].outcome {
+            CellOutcome::Crashed { payload } => {
+                assert_eq!(payload, "injected fault: panic at cell 0")
+            }
+            other => panic!("expected crash, got {other:?}"),
+        }
+        assert_eq!(run.summary().ok, run.records.len() - 1);
+    }
+
+    #[test]
+    fn injected_stall_is_recovered_by_the_watchdog() {
+        let plan = tc_plan();
+        let res = Resilience::none()
+            .with_cell_timeout(Duration::from_millis(100))
+            .with_fault(FaultSpec::parse("stall@0").unwrap());
+        let run = plan
+            .run_cells(&RunOptions::default(), &res, |_| {})
+            .unwrap();
+        match &run.records[0].outcome {
+            CellOutcome::TimedOut {
+                budget_secs,
+                reason,
+            } => {
+                assert_eq!(*budget_secs, Some(0.1));
+                assert!(reason.contains("wall-clock budget"), "{reason}");
+            }
+            other => panic!("expected timeout, got {other:?}"),
+        }
+        assert_eq!(run.summary().timed_out, 1);
+        assert_eq!(run.summary().ok, run.records.len() - 1);
+    }
+
+    #[test]
+    fn stall_fault_without_watchdog_is_rejected() {
+        let err = tc_plan()
+            .run_cells(
+                &RunOptions::default(),
+                &Resilience::none().with_fault(FaultSpec::parse("stall@0").unwrap()),
+                |_| {},
+            )
+            .unwrap_err();
+        assert!(err.contains("stall fault"), "{err}");
+    }
+
+    #[test]
+    fn injected_corruption_is_quarantined_by_verification() {
+        let plan = tc_plan();
+        let run = plan
+            .run_cells(
+                &RunOptions::default(),
+                &Resilience::none().with_fault(FaultSpec::parse("corrupt@2").unwrap()),
+                |_| {},
+            )
+            .unwrap();
+        assert!(matches!(
+            run.records[2].outcome,
+            CellOutcome::WrongAnswer { .. }
+        ));
+        assert_eq!(run.summary().wrong_answer, 1);
+    }
+
+    #[test]
+    fn cycle_budget_times_out_gpu_cells_without_a_watchdog() {
+        // an absurdly small simulated-cycle budget cancels every GPU cell —
+        // PageRank launches one kernel per iteration, so the budget check
+        // (which runs at launch boundaries) actually triggers
+        let plan = RunPlan::for_algorithms(&[Algorithm::Pr], &[Model::Cuda], Scale::Tiny, 1)
+            .filter(|c| c.granularity == Some(indigo_styles::Granularity::Thread))
+            .with_graphs(vec![SuiteGraph::Grid2d]);
+        let run = plan
+            .run_cells(
+                &RunOptions::default(),
+                &Resilience::none().with_cycle_budget(1.0),
+                |_| {},
+            )
+            .unwrap();
+        assert_eq!(run.summary().timed_out, run.records.len());
+        for r in &run.records {
+            match &r.outcome {
+                CellOutcome::TimedOut {
+                    budget_secs,
+                    reason,
+                } => {
+                    assert_eq!(*budget_secs, None, "no wall-clock budget was set");
+                    assert!(reason.contains("simulated-cycle budget"), "{reason}");
+                }
+                other => panic!("expected timeout, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn journal_resume_replays_bit_identical_outcomes() {
+        let dir = std::env::temp_dir().join(format!("indigo-matrix-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        std::fs::remove_file(&path).ok();
+
+        let plan = tc_plan();
+        let opts = RunOptions::default();
+        let full = plan
+            .run_cells(&opts, &Resilience::none().with_journal(&path), |_| {})
+            .unwrap();
+        assert_eq!(full.summary().resumed, 0);
+
+        // emulate a killed run: keep only the first 2 journal lines
+        let text = std::fs::read_to_string(&path).unwrap();
+        let head: Vec<&str> = text.lines().take(2).collect();
+        std::fs::write(&path, format!("{}\n", head.join("\n"))).unwrap();
+
+        let resumed = plan
+            .run_cells(&opts, &Resilience::none().resuming(&path), |_| {})
+            .unwrap();
+        assert_eq!(resumed.summary().resumed, 2);
+        assert_eq!(full.records.len(), resumed.records.len());
+        for (a, b) in full.records.iter().zip(&resumed.records) {
+            assert_eq!(a.fingerprint, b.fingerprint);
+            let (ma, mb) = (
+                a.outcome.measurement().unwrap(),
+                b.outcome.measurement().unwrap(),
+            );
+            assert_eq!(ma.geps.to_bits(), mb.geps.to_bits());
+            assert_eq!(ma.iterations, mb.iterations);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fresh_journal_refuses_to_overwrite_an_existing_one() {
+        let dir =
+            std::env::temp_dir().join(format!("indigo-matrix-overwrite-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.journal");
+        std::fs::write(&path, "{}\n").unwrap();
+        let err = tc_plan()
+            .run_cells(
+                &RunOptions::default(),
+                &Resilience::none().with_journal(&path),
+                |_| {},
+            )
+            .unwrap_err();
+        assert!(err.contains("already exists"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,377 @@
+//! The cell outcome taxonomy and resilience options of the fault-tolerant
+//! harness (DESIGN.md §7.3).
+//!
+//! A 1106-program matrix at paper scale runs for hours; the paper itself
+//! notes that some style combinations are pathologically slow or
+//! non-terminating on adversarial inputs. The resilient scheduler therefore
+//! never lets one cell decide the fate of the run: every measurement cell
+//! lands in exactly one [`CellOutcome`], failed cells become structured
+//! rows instead of aborts, and downstream figures degrade gracefully (a
+//! quarantined cell drops out of the medians with a footnote, it does not
+//! poison them).
+
+use crate::matrix::Measurement;
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// What happened to one measurement cell.
+#[derive(Clone, Debug)]
+pub enum CellOutcome {
+    /// The cell ran to completion and (if verification was on) matched the
+    /// serial reference.
+    Ok(Measurement),
+    /// The variant panicked; `payload` is the rendered panic payload.
+    Crashed {
+        /// Rendered panic payload text.
+        payload: String,
+    },
+    /// The watchdog or the simulated-cycle budget cancelled the cell.
+    TimedOut {
+        /// The wall-clock budget that was exceeded, when that was the
+        /// trigger (`None` for simulated-cycle budget cancellations).
+        budget_secs: Option<f64>,
+        /// Human-readable cancellation reason.
+        reason: String,
+    },
+    /// The cell produced output that diverges from the serial baseline;
+    /// quarantined rather than silently reported (§4.1's verification).
+    WrongAnswer {
+        /// First-mismatch description from the verifier.
+        detail: String,
+    },
+}
+
+impl CellOutcome {
+    /// Stable machine label (`ok` / `crashed` / `timed-out` / `wrong-answer`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CellOutcome::Ok(_) => "ok",
+            CellOutcome::Crashed { .. } => "crashed",
+            CellOutcome::TimedOut { .. } => "timed-out",
+            CellOutcome::WrongAnswer { .. } => "wrong-answer",
+        }
+    }
+
+    /// The measurement, for `Ok` cells.
+    pub fn measurement(&self) -> Option<&Measurement> {
+        match self {
+            CellOutcome::Ok(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The failure detail text, for non-`Ok` cells.
+    pub fn detail(&self) -> Option<&str> {
+        match self {
+            CellOutcome::Ok(_) => None,
+            CellOutcome::Crashed { payload } => Some(payload),
+            CellOutcome::TimedOut { reason, .. } => Some(reason),
+            CellOutcome::WrongAnswer { detail } => Some(detail),
+        }
+    }
+}
+
+/// One matrix cell with its identity and outcome — the resilient analog of
+/// a bare [`Measurement`] row.
+#[derive(Clone, Debug)]
+pub struct CellRecord {
+    /// Deterministic cell fingerprint (see [`crate::journal::fingerprint`]).
+    pub fingerprint: u64,
+    /// Variant name (`StyleConfig::name`).
+    pub variant: String,
+    /// Input graph label.
+    pub graph: &'static str,
+    /// Target label.
+    pub target: String,
+    /// What happened.
+    pub outcome: CellOutcome,
+    /// Whether this record was replayed from a checkpoint journal instead
+    /// of executed.
+    pub resumed: bool,
+}
+
+/// Aggregate outcome counts of one matrix run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Cells that completed and verified.
+    pub ok: usize,
+    /// Cells recorded as [`CellOutcome::Crashed`].
+    pub crashed: usize,
+    /// Cells recorded as [`CellOutcome::TimedOut`].
+    pub timed_out: usize,
+    /// Cells recorded as [`CellOutcome::WrongAnswer`].
+    pub wrong_answer: usize,
+    /// Cells replayed from the resume journal (counted in the buckets above
+    /// as well).
+    pub resumed: usize,
+}
+
+impl RunSummary {
+    /// Total cells.
+    pub fn total(&self) -> usize {
+        self.ok + self.crashed + self.timed_out + self.wrong_answer
+    }
+
+    /// Cells that did not produce a usable measurement.
+    pub fn failed(&self) -> usize {
+        self.crashed + self.timed_out + self.wrong_answer
+    }
+
+    /// The `indigo-exp` process exit code this run maps to: 0 when every
+    /// cell measured clean, 2 when the run completed but carries failed
+    /// cells. (Exit 1 is reserved for harness errors — bad arguments,
+    /// unreadable journals, I/O failures.)
+    pub fn exit_code(&self) -> i32 {
+        if self.failed() == 0 {
+            0
+        } else {
+            2
+        }
+    }
+}
+
+impl fmt::Display for RunSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} cells: {} ok, {} crashed, {} timed out, {} wrong answer ({} resumed)",
+            self.total(),
+            self.ok,
+            self.crashed,
+            self.timed_out,
+            self.wrong_answer,
+            self.resumed
+        )
+    }
+}
+
+/// The result of a resilient matrix run: every cell, in the serial nesting
+/// (slot) order, regardless of how it ended.
+#[derive(Clone, Debug)]
+pub struct MatrixRun {
+    /// One record per cell, slot-ordered.
+    pub records: Vec<CellRecord>,
+}
+
+impl MatrixRun {
+    /// The successful measurements, in slot order — bit-identical to what a
+    /// fault-free `RunPlan::run_with` would return for the same cells.
+    pub fn measurements(&self) -> Vec<Measurement> {
+        self.records
+            .iter()
+            .filter_map(|r| r.outcome.measurement().cloned())
+            .collect()
+    }
+
+    /// Outcome counts.
+    pub fn summary(&self) -> RunSummary {
+        let mut s = RunSummary::default();
+        for r in &self.records {
+            match r.outcome {
+                CellOutcome::Ok(_) => s.ok += 1,
+                CellOutcome::Crashed { .. } => s.crashed += 1,
+                CellOutcome::TimedOut { .. } => s.timed_out += 1,
+                CellOutcome::WrongAnswer { .. } => s.wrong_answer += 1,
+            }
+            if r.resumed {
+                s.resumed += 1;
+            }
+        }
+        s
+    }
+}
+
+/// What an injected fault does to its target cell (CLI: `--inject-fault
+/// panic@3`). `Panic`/`Stall` are delegated to the simulator's
+/// [`indigo_gpusim::FaultPlan`] for GPU cells and injected at the harness
+/// layer for CPU cells; `Corrupt` flips the cell's output after the run so
+/// verification quarantines it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CellFaultKind {
+    /// Unwind mid-cell → [`CellOutcome::Crashed`].
+    Panic,
+    /// Wedge until the watchdog fires → [`CellOutcome::TimedOut`].
+    Stall,
+    /// Corrupt the output → [`CellOutcome::WrongAnswer`].
+    Corrupt,
+}
+
+impl CellFaultKind {
+    /// Parse/display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CellFaultKind::Panic => "panic",
+            CellFaultKind::Stall => "stall",
+            CellFaultKind::Corrupt => "corrupt",
+        }
+    }
+}
+
+/// A deterministic injected fault: `kind` strikes the cell at slot index
+/// `cell` (serial nesting order, the same indexing the journal and the
+/// reports use).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// What happens.
+    pub kind: CellFaultKind,
+    /// Target cell slot.
+    pub cell: usize,
+}
+
+impl FaultSpec {
+    /// Parses `"panic@3"` / `"stall@5"` / `"corrupt@0"`.
+    pub fn parse(s: &str) -> Result<FaultSpec, String> {
+        let (kind, cell) = s
+            .split_once('@')
+            .ok_or_else(|| format!("fault spec `{s}` is not of the form kind@cell"))?;
+        let kind = match kind {
+            "panic" => CellFaultKind::Panic,
+            "stall" => CellFaultKind::Stall,
+            "corrupt" => CellFaultKind::Corrupt,
+            other => {
+                return Err(format!(
+                    "unknown fault kind `{other}` (panic|stall|corrupt)"
+                ))
+            }
+        };
+        let cell = cell
+            .parse()
+            .map_err(|_| format!("fault cell `{cell}` is not a number"))?;
+        Ok(FaultSpec { kind, cell })
+    }
+}
+
+impl fmt::Display for FaultSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.kind.label(), self.cell)
+    }
+}
+
+/// Resilience knobs for one matrix run. [`Resilience::none`] (the default)
+/// adds cell isolation only — no watchdog, no journal, no faults — and is
+/// what the legacy strict entry points use.
+#[derive(Clone, Debug, Default)]
+pub struct Resilience {
+    /// Per-cell wall-clock budget enforced by the watchdog thread.
+    pub cell_timeout: Option<Duration>,
+    /// Per-cell simulated-cycle budget (GPU cells; catches non-converging
+    /// kernels whose launches are individually fast).
+    pub cycle_budget: Option<f64>,
+    /// Deterministic injected fault, for exercising this very machinery.
+    pub fault: Option<FaultSpec>,
+    /// Append-only checkpoint journal path. Completed cells are recorded
+    /// as they finish; see [`crate::journal`].
+    pub journal: Option<PathBuf>,
+    /// Preload an existing journal at [`Resilience::journal`] and skip the
+    /// cells it records, replaying their outcomes.
+    pub resume: bool,
+}
+
+impl Resilience {
+    /// Isolation only — the strict default.
+    pub fn none() -> Resilience {
+        Resilience::default()
+    }
+
+    /// Sets the per-cell wall-clock budget.
+    pub fn with_cell_timeout(mut self, d: Duration) -> Resilience {
+        self.cell_timeout = Some(d);
+        self
+    }
+
+    /// Sets the per-cell simulated-cycle budget.
+    pub fn with_cycle_budget(mut self, cycles: f64) -> Resilience {
+        self.cycle_budget = Some(cycles);
+        self
+    }
+
+    /// Arms an injected fault.
+    pub fn with_fault(mut self, fault: FaultSpec) -> Resilience {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Writes the checkpoint journal to `path` (fresh run).
+    pub fn with_journal(mut self, path: impl Into<PathBuf>) -> Resilience {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Resumes from (and keeps appending to) the journal at `path`.
+    pub fn resuming(mut self, path: impl Into<PathBuf>) -> Resilience {
+        self.journal = Some(path.into());
+        self.resume = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_spec_parses_all_kinds() {
+        assert_eq!(
+            FaultSpec::parse("panic@3").unwrap(),
+            FaultSpec {
+                kind: CellFaultKind::Panic,
+                cell: 3
+            }
+        );
+        assert_eq!(
+            FaultSpec::parse("stall@0").unwrap().kind,
+            CellFaultKind::Stall
+        );
+        assert_eq!(
+            FaultSpec::parse("corrupt@12").unwrap().kind,
+            CellFaultKind::Corrupt
+        );
+        assert!(FaultSpec::parse("panic").is_err());
+        assert!(FaultSpec::parse("explode@1").is_err());
+        assert!(FaultSpec::parse("panic@x").is_err());
+    }
+
+    #[test]
+    fn fault_spec_roundtrips_through_display() {
+        for s in ["panic@3", "stall@5", "corrupt@0"] {
+            assert_eq!(FaultSpec::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn summary_exit_codes() {
+        let clean = RunSummary {
+            ok: 10,
+            ..RunSummary::default()
+        };
+        assert_eq!(clean.exit_code(), 0);
+        let failed = RunSummary {
+            ok: 9,
+            crashed: 1,
+            ..RunSummary::default()
+        };
+        assert_eq!(failed.exit_code(), 2);
+        assert_eq!(failed.failed(), 1);
+        assert_eq!(failed.total(), 10);
+    }
+
+    #[test]
+    fn outcome_labels_are_stable() {
+        let crashed = CellOutcome::Crashed {
+            payload: "boom".into(),
+        };
+        assert_eq!(crashed.label(), "crashed");
+        assert_eq!(crashed.detail(), Some("boom"));
+        let timed = CellOutcome::TimedOut {
+            budget_secs: Some(1.0),
+            reason: "slow".into(),
+        };
+        assert_eq!(timed.label(), "timed-out");
+        let wrong = CellOutcome::WrongAnswer {
+            detail: "vertex 3".into(),
+        };
+        assert_eq!(wrong.label(), "wrong-answer");
+        assert!(wrong.measurement().is_none());
+    }
+}

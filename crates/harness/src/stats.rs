@@ -43,6 +43,7 @@ impl Summary {
             v[lo] * (1.0 - frac) + v[hi] * frac
         };
         let above = v.iter().filter(|&&x| x > 1.0).count();
+        let &max = v.last()?;
         Some(Summary {
             n: v.len(),
             min: v[0],
@@ -51,7 +52,7 @@ impl Summary {
             median: q(0.5),
             p75: q(0.75),
             p87: q(0.875),
-            max: *v.last().unwrap(),
+            max,
             frac_above_one: above as f64 / v.len() as f64,
         })
     }

@@ -13,4 +13,33 @@ cargo clippy --all-targets -- -D warnings
 echo "== cargo test -q --workspace"
 cargo test -q --workspace
 
+echo "== fault-injection smoke (crash, resume, clean exits)"
+cargo build -q --release -p indigo-harness --bin indigo-exp
+exp=target/release/indigo-exp
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+journal="$smoke_dir/run.jsonl"
+
+# an injected panic must complete the sweep with a structured crashed row
+# and the completed-with-failed-cells exit code (2)
+set +e
+"$exp" --smoke --inject-fault panic@3 --journal "$journal" --out "$smoke_dir/fault" >/dev/null
+code=$?
+set -e
+[ "$code" -eq 2 ] || { echo "fault run exited $code, want 2"; exit 1; }
+grep -q '"outcome":"crashed"' "$journal" || { echo "no crashed row in journal"; exit 1; }
+
+# SIGKILL emulation: truncate the journal mid-line, then --resume must
+# replay the prefix and still finish with exit 2 (the crash is journaled)
+head -c "$(($(wc -c <"$journal") / 2))" "$journal" >"$journal.cut"
+set +e
+"$exp" --smoke --inject-fault panic@3 --resume "$journal.cut" --out "$smoke_dir/resume" >/dev/null
+code=$?
+set -e
+[ "$code" -eq 2 ] || { echo "resume run exited $code, want 2"; exit 1; }
+
+# and a fault-free smoke run exits clean
+"$exp" --smoke --out "$smoke_dir/clean" >/dev/null ||
+    { echo "clean smoke run exited $?, want 0"; exit 1; }
+
 echo "CI green."

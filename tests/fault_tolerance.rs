@@ -1,0 +1,152 @@
+//! Acceptance gate for the fault-tolerant scheduler (DESIGN.md §7.3): an
+//! injected panic, an injected stall, and a SIGKILL-emulating resume each
+//! end with a *complete* per-cell CSV — the faulted cell as a structured
+//! row, every other cell byte-identical to an undisturbed run.
+//!
+//! Like `tests/determinism.rs`, the slice is CUDA-model only: simulated
+//! cycles are reproducible run-to-run, so byte-identity of the rendered
+//! artifact is a meaningful property. CPU wall-clock cells are *resumable*
+//! too (replay is bit-exact), but a re-run of an unjournaled wall-clock
+//! cell never reproduces its timing, so they are excluded here.
+
+use indigo_graph::gen::{Scale, SuiteGraph};
+use indigo_harness::experiments::outcomes::cells_report;
+use indigo_harness::{CellOutcome, FaultSpec, Resilience, RunOptions, RunPlan};
+use indigo_styles::{Algorithm, Granularity, Model};
+use std::time::Duration;
+
+/// A few dozen deterministic cells: both a single-launch kernel (TC) and an
+/// iterative one (PR), on a regular grid plus the skewed R-MAT.
+fn suite_slice() -> RunPlan {
+    RunPlan::for_algorithms(
+        &[Algorithm::Tc, Algorithm::Pr],
+        &[Model::Cuda],
+        Scale::Tiny,
+        1,
+    )
+    .filter(|c| c.granularity == Some(Granularity::Thread))
+    .with_graphs(vec![SuiteGraph::Grid2d, SuiteGraph::Rmat])
+}
+
+/// The final artifact a run produces for its cells, rendered to bytes.
+fn cells_csv(run: &indigo_harness::MatrixRun) -> String {
+    cells_report(run).csv.join("\n")
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("indigo-ft-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn injected_panic_leaves_every_other_cell_bitwise_intact() {
+    let plan = suite_slice();
+    let opts = RunOptions::default().with_jobs(2);
+    let clean = plan.run_cells(&opts, &Resilience::none(), |_| {}).unwrap();
+    assert!(clean.records.len() > 4);
+    assert_eq!(clean.summary().exit_code(), 0);
+
+    let fault = Resilience::none().with_fault(FaultSpec::parse("panic@2").unwrap());
+    let run = plan.run_cells(&opts, &fault, |_| {}).unwrap();
+
+    // complete row set: the crash is a structured row, not a hole
+    assert_eq!(run.records.len(), clean.records.len());
+    assert!(matches!(
+        run.records[2].outcome,
+        CellOutcome::Crashed { .. }
+    ));
+    assert_eq!(run.summary().crashed, 1);
+    assert_eq!(run.summary().exit_code(), 2);
+
+    // every *other* rendered CSV row is byte-identical to the clean run
+    let clean_rendered = cells_csv(&clean);
+    let fault_rendered = cells_csv(&run);
+    let clean_rows: Vec<&str> = clean_rendered.lines().collect();
+    let fault_rows: Vec<&str> = fault_rendered.lines().collect();
+    for (i, (a, b)) in clean_rows.iter().zip(&fault_rows).enumerate() {
+        if i == 3 {
+            continue; // header + faulted slot 2
+        }
+        assert_eq!(a, b, "row {i} diverged");
+    }
+}
+
+#[test]
+fn injected_stall_is_recovered_and_attributed_to_the_watchdog() {
+    let plan = suite_slice();
+    // generous budget: only the stalled cell can exceed it, so the test
+    // also demonstrates genuine cells running untouched under a watchdog
+    let res = Resilience::none()
+        .with_fault(FaultSpec::parse("stall@1").unwrap())
+        .with_cell_timeout(Duration::from_secs(3));
+    let run = plan
+        .run_cells(&RunOptions::default().with_jobs(2), &res, |_| {})
+        .unwrap();
+    match &run.records[1].outcome {
+        CellOutcome::TimedOut { budget_secs, .. } => {
+            assert_eq!(*budget_secs, Some(3.0), "wall-clock watchdog fired");
+        }
+        other => panic!("expected TimedOut, got {}", other.label()),
+    }
+    assert_eq!(run.summary().timed_out, 1);
+    assert_eq!(run.summary().ok, run.records.len() - 1);
+    assert_eq!(run.summary().exit_code(), 2);
+}
+
+/// SIGKILL emulation: an interrupted run leaves a journal prefix (possibly
+/// with a torn final line); `--resume` must replay it and finish the rest,
+/// producing a final CSV byte-identical to an uninterrupted serial run.
+#[test]
+fn truncated_journal_resume_reproduces_the_uninterrupted_csv() {
+    let plan = suite_slice();
+    let opts = RunOptions::default(); // --jobs 1 reference run
+    let full_path = tmp("full.jsonl");
+    let cut_path = tmp("cut.jsonl");
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&cut_path);
+
+    let full = plan
+        .run_cells(&opts, &Resilience::none().with_journal(&full_path), |_| {})
+        .unwrap();
+    let reference = cells_csv(&full);
+
+    // keep the first 5 complete lines plus a torn half-line, as a process
+    // killed mid-write would leave behind
+    let journal = std::fs::read_to_string(&full_path).unwrap();
+    let lines: Vec<&str> = journal.lines().collect();
+    assert!(lines.len() > 6, "slice too small to truncate meaningfully");
+    let mut cut = lines[..5].join("\n");
+    cut.push('\n');
+    cut.push_str(&lines[5][..lines[5].len() / 2]);
+    std::fs::write(&cut_path, cut).unwrap();
+
+    let resumed = plan
+        .run_cells(&opts, &Resilience::none().resuming(&cut_path), |_| {})
+        .unwrap();
+    assert_eq!(resumed.summary().resumed, 5, "torn line is discarded");
+    assert_eq!(resumed.summary().exit_code(), 0);
+    assert_eq!(cells_csv(&resumed), reference, "resume must be bit-exact");
+
+    // the repaired journal is complete: resuming it again replays everything
+    let replayed = plan
+        .run_cells(&opts, &Resilience::none().resuming(&cut_path), |_| {})
+        .unwrap();
+    assert_eq!(replayed.summary().resumed, replayed.records.len());
+    assert_eq!(cells_csv(&replayed), reference);
+
+    let _ = std::fs::remove_file(&full_path);
+    let _ = std::fs::remove_file(&cut_path);
+}
+
+/// The resume key is the canonical fingerprint, not the JSON text: a journal
+/// line with its fields in any order identifies the same cell.
+#[test]
+fn journal_lines_parse_identically_under_field_reordering() {
+    use indigo_harness::journal::parse_line;
+    let line = r#"{"v":1,"fp":"00000000000000ff","variant":"bfs_x","graph":"Grid2d","target":"sys0","outcome":"ok","geps_bits":"3ff0000000000000","iterations":7}"#;
+    let reordered = r#"{"iterations":7,"outcome":"ok","geps_bits":"3ff0000000000000","target":"sys0","graph":"Grid2d","variant":"bfs_x","fp":"00000000000000ff","v":1}"#;
+    let a = parse_line(line).unwrap();
+    let b = parse_line(reordered).unwrap();
+    assert_eq!(a.fp, b.fp);
+    assert_eq!(a.variant, b.variant);
+    assert_eq!(a.outcome, b.outcome);
+}
