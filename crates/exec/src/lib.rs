@@ -30,7 +30,7 @@ pub mod worklist;
 
 pub use cpp::CppThreads;
 pub use omp::{OmpPool, Schedule};
-pub use pool_cache::shared_omp_pool;
+pub use pool_cache::{shared_omp_pool, PoolRegistry};
 
 /// A named thread-count configuration standing in for one of the paper's two
 /// CPU systems (§4.3). The paper used 16 threads on System 1 and 32 on

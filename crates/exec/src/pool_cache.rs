@@ -1,18 +1,83 @@
-//! Process-wide reuse of OpenMP-analog worker pools.
+//! Process-wide reuse of worker pools.
 //!
 //! The measurement harness runs hundreds of thousands of (variant, input,
-//! target) cells; spawning a fresh [`OmpPool`] team per cell costs a few
-//! hundred microseconds of thread creation each — pure overhead that is not
-//! part of the kernel time being measured. This cache hands out one shared
-//! pool per thread count instead. Sharing is safe because `OmpPool`
-//! serializes whole regions internally (see `omp::Control::region`); callers
-//! that want unskewed wall-clock timings must still avoid running two CPU
-//! cells concurrently, which the harness scheduler guarantees by running
-//! wall-clock cells exclusively.
+//! target) cells; spawning a fresh thread team per cell costs a few hundred
+//! microseconds of thread creation each — pure overhead that is not part of
+//! the kernel time being measured. Two reuse disciplines live here:
+//!
+//! * [`shared_omp_pool`] hands out one *shared* [`OmpPool`] per thread
+//!   count. Sharing is safe because `OmpPool` serializes whole regions
+//!   internally (see `omp::Control::region`); callers that want unskewed
+//!   wall-clock timings must still avoid running two CPU cells concurrently,
+//!   which the harness scheduler guarantees by running wall-clock cells
+//!   exclusively.
+//! * [`PoolRegistry`] is a generic *lease* cache for pools that must be
+//!   exclusive while in use (the GPU simulator's block-execution pool in
+//!   `indigo-gpusim` leases from one). [`PoolRegistry::lease`] pops an idle
+//!   pool for a key or spawns a fresh one; [`PoolRegistry::give_back`]
+//!   returns it for the next leaseholder. Concurrent lessees of the same key
+//!   each get their own pool, so no cross-cell serialization sneaks into
+//!   measurements.
 
 use crate::OmpPool;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// A keyed lease cache for exclusive-use worker pools.
+///
+/// Pools are keyed by an integer (conventionally the worker count). A lease
+/// removes a pool from the cache — two concurrent lessees of the same key
+/// never share — and `give_back` re-caches it for the next lease. The
+/// registry itself is cheap to create; declare it as a `static`.
+pub struct PoolRegistry<P> {
+    idle: OnceLock<Mutex<HashMap<usize, Vec<P>>>>,
+}
+
+impl<P> PoolRegistry<P> {
+    /// An empty registry (const, for statics).
+    pub const fn new() -> Self {
+        PoolRegistry {
+            idle: OnceLock::new(),
+        }
+    }
+
+    fn map(&self) -> &Mutex<HashMap<usize, Vec<P>>> {
+        self.idle.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    /// Takes an idle pool for `key`, or builds one with `spawn`. The caller
+    /// has exclusive use until [`PoolRegistry::give_back`].
+    pub fn lease(&self, key: usize, spawn: impl FnOnce() -> P) -> P {
+        let cached = {
+            let mut map = self.map().lock().unwrap_or_else(|e| e.into_inner());
+            map.get_mut(&key).and_then(Vec::pop)
+        };
+        cached.unwrap_or_else(spawn)
+    }
+
+    /// Returns a leased pool to the idle cache for `key`.
+    pub fn give_back(&self, key: usize, pool: P) {
+        let mut map = self.map().lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(key).or_default().push(pool);
+    }
+
+    /// Number of idle pools currently cached (for tests/diagnostics).
+    pub fn idle_count(&self) -> usize {
+        self.idle.get().map_or(0, |m| {
+            m.lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .values()
+                .map(Vec::len)
+                .sum()
+        })
+    }
+}
+
+impl<P> Default for PoolRegistry<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
 
 static POOLS: OnceLock<Mutex<HashMap<usize, Arc<OmpPool>>>> = OnceLock::new();
 
@@ -26,7 +91,7 @@ pub fn shared_omp_pool(threads: usize) -> Arc<OmpPool> {
     )
 }
 
-/// Number of distinct pools currently cached (for tests/diagnostics).
+/// Number of distinct shared OMP pools currently cached.
 pub fn cached_pool_count() -> usize {
     POOLS.get().map_or(0, |p| p.lock().unwrap().len())
 }
@@ -72,5 +137,30 @@ mod tests {
             }
         });
         assert_eq!(count.load(Ordering::Relaxed), 1000);
+    }
+
+    #[test]
+    fn registry_leases_are_exclusive_and_reused() {
+        static REG: PoolRegistry<Box<usize>> = PoolRegistry::new();
+        let a = REG.lease(4, || Box::new(1));
+        let b = REG.lease(4, || Box::new(2)); // concurrent lease spawns fresh
+        assert_eq!((*a, *b), (1, 2));
+        REG.give_back(4, a);
+        assert_eq!(REG.idle_count(), 1);
+        let again = REG.lease(4, || Box::new(3)); // reuse, not spawn
+        assert_eq!(*again, 1);
+        assert_eq!(REG.idle_count(), 0);
+        REG.give_back(4, again);
+        REG.give_back(4, b);
+    }
+
+    #[test]
+    fn registry_keys_are_independent() {
+        static REG: PoolRegistry<usize> = PoolRegistry::new();
+        REG.give_back(1, 10);
+        REG.give_back(2, 20);
+        assert_eq!(REG.lease(2, || 0), 20);
+        assert_eq!(REG.lease(1, || 0), 10);
+        assert_eq!(REG.lease(1, || 99), 99); // key 1 drained
     }
 }

@@ -84,13 +84,13 @@ impl GpuBuf {
     }
 
     /// Synthetic byte address of element `i` (for coalescing analysis).
-    #[inline]
+    #[inline(always)]
     pub(crate) fn addr(&self, i: usize) -> u64 {
         self.base + (i as u64) * 4
     }
 
     /// Raw cell access for the simulator's functional path.
-    #[inline]
+    #[inline(always)]
     pub(crate) fn cell(&self, i: usize) -> &AtomicU32 {
         &self.cells[i]
     }
@@ -152,12 +152,12 @@ impl GpuBufF32 {
         self.kind
     }
 
-    #[inline]
+    #[inline(always)]
     pub(crate) fn addr(&self, i: usize) -> u64 {
         self.base + (i as u64) * 4
     }
 
-    #[inline]
+    #[inline(always)]
     pub(crate) fn cell(&self, i: usize) -> &AtomicU32 {
         &self.cells[i]
     }

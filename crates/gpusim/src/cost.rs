@@ -33,57 +33,123 @@ pub enum AccessClass {
 
 const MAX_LANES: usize = 32;
 
-/// One lockstep step: the set of addresses its lanes touch.
+/// One lockstep step: the keys its lanes touch, in record order.
+///
+/// Recording is append-only — no deduplication happens on the access path.
+/// A step holds at most one key per lane (32), so [`StepTable::finalize`]
+/// deduplicates with branchless fixed-bound scans ([`distinct_keys`],
+/// [`max_multiplicity`]) that LLVM vectorizes; doing that work once per
+/// step instead of once per access took the dominant term out of the
+/// simulator's hot path.
 #[derive(Clone)]
+#[repr(C)] // class + total + keys[0..6] share the step's first cache line
 struct Step {
     class: AccessClass,
-    /// Distinct keys (segment ids for `Mem`/`CudaLdSt`, full addresses for
-    /// atomics) with per-key lane counts.
-    keys: [u64; MAX_LANES],
-    counts: [u16; MAX_LANES],
-    distinct: usize,
     total: usize,
+    /// Recorded keys (segment ids for `Mem`/`CudaLdSt`, full addresses for
+    /// atomics); `keys[..total]` are live.
+    keys: [u64; MAX_LANES],
 }
 
 impl Step {
     fn new(class: AccessClass) -> Self {
         Step {
             class,
-            keys: [0; MAX_LANES],
-            counts: [0; MAX_LANES],
-            distinct: 0,
             total: 0,
+            keys: [0; MAX_LANES],
         }
     }
 
+    #[inline]
     fn reset(&mut self, class: AccessClass) {
         self.class = class;
-        self.distinct = 0;
         self.total = 0;
     }
 
+    /// Installs `key` as the step's first access.
+    #[inline(always)]
+    fn start(&mut self, key: u64) {
+        self.keys[0] = key;
+        self.total = 1;
+    }
+
+    #[inline(always)]
     fn record(&mut self, key: u64) {
-        self.total += 1;
-        for k in 0..self.distinct {
-            if self.keys[k] == key {
-                self.counts[k] += 1;
-                return;
-            }
-        }
         debug_assert!(
-            self.distinct < MAX_LANES,
+            self.total < MAX_LANES,
             "more lanes than WARP_SIZE in one step"
         );
-        self.keys[self.distinct] = key;
-        self.counts[self.distinct] = 1;
-        self.distinct += 1;
+        // the mask elides the bounds check; `total < MAX_LANES` is an
+        // invariant (one access per lane per ordinal)
+        self.keys[self.total & (MAX_LANES - 1)] = key;
+        self.total += 1;
     }
 }
 
+/// Number of distinct values in `keys` (at most 32 lanes' worth).
+///
+/// Warp lanes usually touch monotonically non-decreasing addresses (lane
+/// `l` loads `arr[base + l]`), so one O(n) pass checks sortedness — which
+/// subsumes the fully-coalesced all-equal warp — and counts run boundaries.
+/// Genuinely scattered steps fall back to a branchless O(n²)
+/// first-occurrence count over the fixed-size array. All loops are
+/// data-independent reductions that auto-vectorize.
+#[inline]
+fn distinct_keys(keys: &[u64]) -> usize {
+    let n = keys.len();
+    if n <= 1 {
+        return n;
+    }
+    let mut sorted = true;
+    let mut boundaries = 0usize;
+    for i in 1..n {
+        sorted &= keys[i] >= keys[i - 1];
+        boundaries += usize::from(keys[i] != keys[i - 1]);
+    }
+    if sorted {
+        return 1 + boundaries;
+    }
+    let mut d = 1usize; // keys[0] is always a first occurrence
+    for i in 1..n {
+        let k = keys[i];
+        let mut dup = false;
+        for &p in &keys[..i] {
+            dup |= p == k;
+        }
+        d += usize::from(!dup);
+    }
+    d
+}
+
+/// Highest multiplicity of any one key (shared-memory atomics serialize by
+/// same-address contention). Branchless O(n²) like [`distinct_keys`].
+#[inline]
+fn max_multiplicity(keys: &[u64]) -> usize {
+    let mut best = 0usize;
+    for &k in keys {
+        let mut count = 0usize;
+        for &p in keys {
+            count += usize::from(p == k);
+        }
+        best = best.max(count);
+    }
+    best
+}
+
 /// Aggregates one warp round and prices it.
+///
+/// Tables are built for reuse: [`StepTable::clear`] keeps the step storage,
+/// so a table that has warmed up to a kernel's deepest round never touches
+/// the allocator again. The simulator holds one table per worker thread for
+/// the life of the process (see `pool.rs`).
 pub struct StepTable {
     steps: Vec<Step>,
     used: usize,
+    /// Lifetime count of recorded accesses. Monotonic — survives
+    /// [`StepTable::clear`] — so callers can take deltas around a block to
+    /// attribute access counts without any per-record bookkeeping of their
+    /// own.
+    recorded: u64,
 }
 
 impl Default for StepTable {
@@ -98,12 +164,18 @@ impl StepTable {
         StepTable {
             steps: Vec::new(),
             used: 0,
+            recorded: 0,
         }
     }
 
     /// Clears for the next warp round (keeps capacity).
     pub fn clear(&mut self) {
         self.used = 0;
+    }
+
+    /// Lifetime number of accesses recorded into this table (never reset).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Records one access: lane-local step `ordinal`, class, and address
@@ -113,36 +185,43 @@ impl StepTable {
     /// the step is split implicitly: the later class opens a fresh step at
     /// the end. This is rare in the structured kernels and errs on the
     /// expensive side, like real divergence.
-    #[inline]
+    #[inline(always)]
     pub fn record(&mut self, ordinal: usize, class: AccessClass, addr: u64) {
+        self.recorded += 1;
         let key = match class {
             AccessClass::Mem | AccessClass::CudaLdSt => addr >> 7, // 128 B segment
             _ => addr,
         };
         if ordinal < self.used {
-            let step = &mut self.steps[ordinal];
+            // Safety: `used <= steps.len()` is a structural invariant.
+            let step = unsafe { self.steps.get_unchecked_mut(ordinal) };
             if step.class == class {
                 step.record(key);
                 return;
             }
             // class mismatch: append a divergence step at the end
-            let idx = self.used;
-            self.ensure(idx + 1, class);
-            self.steps[idx].record(key);
+            self.open(self.used, class, key);
             return;
         }
-        self.ensure(ordinal + 1, class);
-        self.steps[ordinal].record(key);
+        self.open(ordinal, class, key);
     }
 
-    fn ensure(&mut self, upto: usize, class: AccessClass) {
-        while self.steps.len() < upto {
-            self.steps.push(Step::new(class));
+    /// Opens step `ordinal` (resetting any gap steps before it — they stay
+    /// empty and price at zero) and records its first key. Lanes record
+    /// consecutive ordinals, so in practice `ordinal == used` and exactly
+    /// one step is touched; the general form is kept for direct callers.
+    #[inline]
+    fn open(&mut self, ordinal: usize, class: AccessClass, key: u64) {
+        if self.steps.len() <= ordinal {
+            self.steps.resize(ordinal + 1, Step::new(class));
         }
-        for i in self.used..upto {
+        for i in self.used..ordinal {
             self.steps[i].reset(class);
         }
-        self.used = self.used.max(upto);
+        let step = &mut self.steps[ordinal];
+        step.class = class;
+        step.start(key);
+        self.used = ordinal + 1;
     }
 
     /// Number of lockstep steps recorded this round.
@@ -150,36 +229,50 @@ impl StepTable {
         self.used
     }
 
-    /// Prices the round and returns warp cycles.
+    /// Prices the round and returns warp cycles. Deduplication of each
+    /// step's keys happens here, once per step, instead of on the
+    /// per-access record path (see [`Step`]).
     pub fn finalize(&self, c: &CostModel) -> f64 {
         let mut cycles = 0.0;
         for step in &self.steps[..self.used] {
             if step.total == 0 {
                 continue;
             }
+            // divergence leaves many single-lane steps: price them without
+            // touching the scan loops (distinct = multiplicity = 1)
+            if step.total == 1 {
+                cycles += match step.class {
+                    AccessClass::Mem => c.issue + c.mem_segment,
+                    AccessClass::CudaLdSt => (c.issue + c.mem_segment) * c.cuda_ldst_mult,
+                    AccessClass::AtomicRmw => c.atomic_issue + c.atomic_per_addr,
+                    AccessClass::CudaAtomicRmw => {
+                        (c.atomic_issue + c.atomic_per_addr) * c.cuda_atomic_mult
+                    }
+                    AccessClass::SharedAtomic => c.issue + c.shared_serial,
+                };
+                continue;
+            }
+            let keys = &step.keys[..step.total.min(MAX_LANES)];
             cycles += match step.class {
-                AccessClass::Mem => c.issue + step.distinct as f64 * c.mem_segment,
+                AccessClass::Mem => c.issue + distinct_keys(keys) as f64 * c.mem_segment,
                 AccessClass::CudaLdSt => {
-                    (c.issue + step.distinct as f64 * c.mem_segment) * c.cuda_ldst_mult
+                    (c.issue + distinct_keys(keys) as f64 * c.mem_segment) * c.cuda_ldst_mult
                 }
                 AccessClass::AtomicRmw => {
+                    let d = distinct_keys(keys);
                     c.atomic_issue
-                        + step.distinct as f64 * c.atomic_per_addr
-                        + (step.total - step.distinct) as f64 * c.atomic_aggregate
+                        + d as f64 * c.atomic_per_addr
+                        + (step.total - d) as f64 * c.atomic_aggregate
                 }
                 AccessClass::CudaAtomicRmw => {
+                    let d = distinct_keys(keys);
                     (c.atomic_issue
-                        + step.distinct as f64 * c.atomic_per_addr
-                        + (step.total - step.distinct) as f64 * c.atomic_aggregate)
+                        + d as f64 * c.atomic_per_addr
+                        + (step.total - d) as f64 * c.atomic_aggregate)
                         * c.cuda_atomic_mult
                 }
                 AccessClass::SharedAtomic => {
-                    let max_mult = step.counts[..step.distinct]
-                        .iter()
-                        .copied()
-                        .max()
-                        .unwrap_or(0);
-                    c.issue + max_mult as f64 * c.shared_serial
+                    c.issue + max_multiplicity(keys) as f64 * c.shared_serial
                 }
             };
         }
@@ -278,6 +371,18 @@ mod tests {
         t.clear();
         assert_eq!(t.steps_used(), 0);
         assert_eq!(t.finalize(&costs()), 0.0);
+    }
+
+    #[test]
+    fn recorded_counter_is_monotonic_across_clear() {
+        let mut t = StepTable::new();
+        for lane in 0..32u64 {
+            t.record(0, AccessClass::Mem, lane * 4);
+        }
+        assert_eq!(t.recorded(), 32);
+        t.clear();
+        t.record(0, AccessClass::AtomicRmw, 0);
+        assert_eq!(t.recorded(), 33);
     }
 
     #[test]

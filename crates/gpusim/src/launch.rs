@@ -20,10 +20,11 @@ use crate::buffer::{BufKind, GpuBuf, GpuBufF32};
 use crate::cost::{AccessClass, StepTable};
 use crate::device::Device;
 use crate::fault::FaultPlan;
+use crate::pool::{self, SimPool};
 use crate::WARP_SIZE;
 use indigo_cancel::CancelToken;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::collections::BinaryHeap;
+use std::sync::atomic::Ordering;
 
 /// How many lanes process one work item (§2.8).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -93,49 +94,49 @@ impl<'a> LaneCtx<'a> {
         }
     }
 
-    #[inline]
+    #[inline(always)]
     fn step(&mut self, class: AccessClass, addr: u64) {
         self.table.record(self.ordinal, class, addr);
         self.ordinal += 1;
     }
 
     /// Global load.
-    #[inline]
+    #[inline(always)]
     pub fn ld(&mut self, buf: &GpuBuf, i: usize) -> u32 {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
         buf.cell(i).load(Ordering::Relaxed)
     }
 
     /// Global store.
-    #[inline]
+    #[inline(always)]
     pub fn st(&mut self, buf: &GpuBuf, i: usize, v: u32) {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
         buf.cell(i).store(v, Ordering::Relaxed);
     }
 
     /// `atomicMin` (Listing 5b / 9). Returns the previous value.
-    #[inline]
+    #[inline(always)]
     pub fn atomic_min(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
         buf.cell(i).fetch_min(v, Ordering::Relaxed)
     }
 
     /// `atomicMax` (Listing 3b). Returns the previous value.
-    #[inline]
+    #[inline(always)]
     pub fn atomic_max(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
         buf.cell(i).fetch_max(v, Ordering::Relaxed)
     }
 
     /// `atomicAdd` (Listing 3a's worklist push). Returns the previous value.
-    #[inline]
+    #[inline(always)]
     pub fn atomic_add(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
         buf.cell(i).fetch_add(v, Ordering::Relaxed)
     }
 
     /// `atomicCAS`. Returns the previous value.
-    #[inline]
+    #[inline(always)]
     pub fn atomic_cas(&mut self, buf: &GpuBuf, i: usize, cur: u32, new: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
         match buf
@@ -147,21 +148,21 @@ impl<'a> LaneCtx<'a> {
     }
 
     /// `f32` global load.
-    #[inline]
+    #[inline(always)]
     pub fn ld_f32(&mut self, buf: &GpuBufF32, i: usize) -> f32 {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
         f32::from_bits(buf.cell(i).load(Ordering::Relaxed))
     }
 
     /// `f32` global store.
-    #[inline]
+    #[inline(always)]
     pub fn st_f32(&mut self, buf: &GpuBufF32, i: usize, v: f32) {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
         buf.cell(i).store(v.to_bits(), Ordering::Relaxed);
     }
 
     /// `atomicAdd(float*)`. Returns the previous value.
-    #[inline]
+    #[inline(always)]
     pub fn atomic_add_f32(&mut self, buf: &GpuBufF32, i: usize, v: f32) -> f32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
         let cell = buf.cell(i);
@@ -256,6 +257,16 @@ const SHARED_CTR_ADDR: u64 = 0x7ffe_0000_0000;
 /// memory trace and functional effects are invariant to block execution
 /// order may opt in; everything else goes through the serial entry points
 /// regardless of the worker setting.
+///
+/// ## Hot-path engineering (DESIGN.md §7.4)
+///
+/// Steady-state launches perform no heap allocation and spawn no threads:
+/// parallel blocks run on a leased parked-worker [`SimPool`] (returned to
+/// the process-wide registry when the `Sim` drops), block outcomes land in
+/// a reusable index-addressed arena, every simulating thread owns one
+/// long-lived [`StepTable`], and the least-loaded-SM merge runs on a
+/// [`BinaryHeap`] whose storage round-trips through [`Sim`] between
+/// launches. `tests/alloc_regression.rs` pins the zero-allocation claim.
 /// ## Supervision (DESIGN.md §7.3)
 ///
 /// A `Sim` may carry a [`CancelToken`], a simulated-cycle budget, and an
@@ -270,16 +281,24 @@ pub struct Sim {
     device: Device,
     cycles: f64,
     launches: usize,
+    accesses: u64,
     workers: usize,
     cancel: Option<CancelToken>,
     cycle_budget: Option<f64>,
     fault: Option<FaultPlan>,
+    scratch: SimScratch,
+    /// Leased on the first parallel launch, returned to the registry on
+    /// drop. Re-leased if [`Sim::set_workers`] changes the team size.
+    pool: Option<SimPool>,
 }
 
-type Kernel<'k> = dyn Fn(&mut LaneCtx, usize) + Sync + 'k;
+/// Placeholder epilogue type for launches without one: lets the generic
+/// launch path stay monomorphized (kernel calls inline into the block loop
+/// instead of going through `dyn` dispatch once per lane).
+type NoEpilogue = fn(&mut LaneCtx, usize);
 
 /// Geometry and pricing context shared by every block of one launch.
-struct LaunchShape {
+struct LaunchShape<'s> {
     device: Device,
     items: usize,
     assign: Assign,
@@ -289,35 +308,127 @@ struct LaunchShape {
     lanes_per_item: usize,
     items_per_block: usize,
     block_stride_items: usize,
-    /// Cloned from the owning [`Sim`]; polled once per persistent round so
-    /// a runaway grid-stride loop inside a single launch stays cancellable.
-    cancel: Option<CancelToken>,
+    /// Borrowed from the owning [`Sim`]; polled once per persistent round
+    /// so a runaway grid-stride loop inside a single launch stays
+    /// cancellable.
+    cancel: Option<&'s CancelToken>,
 }
 
 /// Everything one simulated block contributes to the launch: its cycle
-/// cost, critical-path warp, reduction partials, and whether it did any
-/// work at all. Private to each simulating thread until the block-ordered
-/// merge.
-#[derive(Clone, Debug, Default)]
+/// cost, critical-path warp, reduction partials, access count, and whether
+/// it did any work at all. Private to each simulating thread until the
+/// block-ordered merge. `Copy` so pooled workers can publish outcomes into
+/// plain arena slots.
+#[derive(Clone, Copy, Debug, Default)]
 struct BlockOutcome {
     cycles: f64,
     longest_warp: f64,
     sum_u64: u64,
     sum_f32: f32,
+    accesses: u64,
     any: bool,
+}
+
+thread_local! {
+    /// The calling thread's warmed [`StepTable`], handed from a dropped
+    /// [`Sim`] to the next one constructed on this thread. The measurement
+    /// harness builds a fresh `Sim` per cell, so without this hand-off every
+    /// cell would re-grow its scratch from empty.
+    static CALLER_TABLE: std::cell::Cell<Option<StepTable>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Launch-to-launch reusable storage: after a few warm-up launches, nothing
+/// in here (nor anywhere else on the launch path) touches the allocator.
+#[derive(Default)]
+struct SimScratch {
+    /// Block-simulation scratch for the calling thread (the pool's workers
+    /// each own their own long-lived table).
+    table: StepTable,
+    /// Per-SM critical-path warp cycles, reset per launch.
+    sm_crit: Vec<f64>,
+    /// Backing storage for the SM merge heap; round-trips through
+    /// `BinaryHeap::from` / `into_vec` so its capacity is never dropped.
+    heap: Vec<SmSlot>,
+    /// Index-addressed block outcome slots for pooled launches.
+    arena: Vec<BlockOutcome>,
+}
+
+/// One SM's accumulated work, ordered for the least-loaded merge.
+///
+/// [`BinaryHeap`] is a max-heap, so the comparison is inverted: the
+/// "greatest" slot is the one with the *least* accumulated work, ties going
+/// to the *lowest* SM index. `peek` therefore yields exactly the SM the
+/// serial `min_by(total_cmp)` scan would have chosen (Rust's `min_by`
+/// returns the first of equal minima), which is what keeps heap-merged
+/// cycle totals bit-identical to the O(blocks × sm_count) linear scan this
+/// replaces.
+#[derive(Clone, Copy, Debug)]
+struct SmSlot {
+    work: f64,
+    sm: usize,
+}
+
+impl PartialEq for SmSlot {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for SmSlot {}
+impl PartialOrd for SmSlot {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for SmSlot {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .work
+            .total_cmp(&self.work)
+            .then_with(|| other.sm.cmp(&self.sm))
+    }
+}
+
+/// Raw pointer to the outcome arena, smuggled into the pooled block
+/// closure.
+///
+/// Safety: each block index is claimed by exactly one worker (the pool's
+/// atomic cursor), so writes to `add(b)` are disjoint; the arena outlives
+/// the job because [`SimPool::run_job`] does not return until every engaged
+/// worker has checked out.
+#[derive(Clone, Copy)]
+struct SlotPtr(*mut BlockOutcome);
+unsafe impl Send for SlotPtr {}
+unsafe impl Sync for SlotPtr {}
+
+impl SlotPtr {
+    /// Publishes block `b`'s outcome.
+    ///
+    /// Safety: the caller must be the sole claimer of `b`, and `b` must be
+    /// in bounds of the arena this pointer was taken from.
+    unsafe fn publish(self, b: usize, out: BlockOutcome) {
+        unsafe { self.0.add(b).write(out) };
+    }
 }
 
 impl Sim {
     /// New simulator clocked at zero, single-threaded.
     pub fn new(device: Device) -> Self {
+        let scratch = SimScratch {
+            table: CALLER_TABLE.with(std::cell::Cell::take).unwrap_or_default(),
+            ..SimScratch::default()
+        };
         Sim {
             device,
             cycles: 0.0,
             launches: 0,
+            accesses: 0,
             workers: 1,
             cancel: None,
             cycle_budget: None,
             fault: None,
+            scratch,
+            pool: None,
         }
     }
 
@@ -396,10 +507,19 @@ impl Sim {
         self.launches
     }
 
-    /// Resets the clock (e.g. to exclude initialization from timing).
+    /// Total simulated memory-system accesses recorded so far (loads,
+    /// stores, and atomics across all launches). Deterministic for a given
+    /// kernel sequence, so perf tooling can report exact ns/access figures.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Resets the clock and access counter (e.g. to exclude initialization
+    /// from timing).
     pub fn reset_clock(&mut self) {
         self.cycles = 0.0;
         self.launches = 0;
+        self.accesses = 0;
     }
 
     /// Launches a kernel over `items` work items.
@@ -407,7 +527,15 @@ impl Sim {
     where
         F: Fn(&mut LaneCtx, usize) + Sync,
     {
-        self.run(items, assign, persistent, None, &kernel, None, false);
+        self.run(
+            items,
+            assign,
+            persistent,
+            None,
+            &kernel,
+            None::<&NoEpilogue>,
+            false,
+        );
     }
 
     /// [`Sim::launch`] for kernels with the `deterministic_parallel`
@@ -420,7 +548,15 @@ impl Sim {
     where
         F: Fn(&mut LaneCtx, usize) + Sync,
     {
-        self.run(items, assign, persistent, None, &kernel, None, true);
+        self.run(
+            items,
+            assign,
+            persistent,
+            None,
+            &kernel,
+            None::<&NoEpilogue>,
+            true,
+        );
     }
 
     /// Launches a kernel carrying a `u64` sum reduction of the given style;
@@ -444,7 +580,7 @@ impl Sim {
             persistent,
             Some((style, kind)),
             &kernel,
-            None,
+            None::<&NoEpilogue>,
             false,
         )
         .0
@@ -471,7 +607,7 @@ impl Sim {
             persistent,
             Some((style, kind)),
             &kernel,
-            None,
+            None::<&NoEpilogue>,
             true,
         )
         .0
@@ -496,7 +632,7 @@ impl Sim {
             persistent,
             Some((style, kind)),
             &kernel,
-            None,
+            None::<&NoEpilogue>,
             false,
         )
         .1
@@ -523,7 +659,7 @@ impl Sim {
             persistent,
             Some((style, kind)),
             &kernel,
-            None,
+            None::<&NoEpilogue>,
             true,
         )
         .1
@@ -586,16 +722,20 @@ impl Sim {
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn run(
+    fn run<F, E>(
         &mut self,
         items: usize,
         assign: Assign,
         persistent: bool,
         reduce: Option<(ReduceStyle, BufKind)>,
-        kernel: &Kernel<'_>,
-        epilogue: Option<&Kernel<'_>>,
+        kernel: &F,
+        epilogue: Option<&E>,
         deterministic_parallel: bool,
-    ) -> (u64, f32) {
+    ) -> (u64, f32)
+    where
+        F: Fn(&mut LaneCtx, usize) + Sync,
+        E: Fn(&mut LaneCtx, usize) + Sync,
+    {
         self.supervise();
         let d = self.device;
         let block_dim = d.block_dim;
@@ -620,97 +760,142 @@ impl Sim {
             lanes_per_item,
             items_per_block,
             block_stride_items: grid_blocks * items_per_block,
-            cancel: self.cancel.clone(),
+            cancel: self.cancel.as_ref(),
         };
 
+        // Reusable merge state: the SM heap starts with every SM at zero
+        // work (heapified in place over the retained storage) and sm_crit is
+        // zeroed within capacity.
+        let scratch = &mut self.scratch;
+        let mut store = std::mem::take(&mut scratch.heap);
+        store.clear();
+        store.extend((0..d.sm_count).map(|sm| SmSlot { work: 0.0, sm }));
+        let mut merge = Merge {
+            heap: BinaryHeap::from(store),
+            sm_crit: &mut scratch.sm_crit,
+            total_u64: 0,
+            total_f32: 0.0,
+            accesses: 0,
+        };
+        merge.sm_crit.clear();
+        merge.sm_crit.resize(d.sm_count, 0.0);
+
         // Blocks are mutually independent simulations; the only cross-block
-        // state is the merge below, which always runs serially in block
-        // index order. Parallelism is therefore purely a host-side speedup
-        // and only taken when the kernel certified order-invariance.
+        // state is the block-ordered merge, which always runs serially in
+        // block index order. Parallelism is therefore purely a host-side
+        // speedup and only taken when the kernel certified order-invariance.
         let workers = if deterministic_parallel {
             self.workers
         } else {
             1
         };
-        let outcomes = if workers > 1 && grid_blocks > 1 {
-            run_blocks_parallel(&shape, grid_blocks, workers, kernel, epilogue)
-        } else {
-            (0..grid_blocks)
-                .map(|b| run_block(&shape, b, kernel, epilogue))
-                .collect()
-        };
-
-        // Block-ordered merge: greedy least-loaded SM assignment and the
-        // reduction totals see blocks in exactly the serial order, which is
-        // what keeps cycles and `f32` sums bit-identical across worker
-        // counts.
-        let mut sm_work = vec![0.0f64; d.sm_count];
-        let mut sm_crit = vec![0.0f64; d.sm_count];
-        let mut total_u64 = 0u64;
-        let mut total_f32 = 0.0f32;
-        for out in outcomes {
-            if !out.any {
-                continue;
+        if workers.min(grid_blocks) > 1 {
+            // Pooled path: lease a parked team sized to the worker setting
+            // (the calling thread participates, so the pool holds one less).
+            let extra = workers - 1;
+            if self.pool.as_ref().map(SimPool::extra_workers) != Some(extra) {
+                if let Some(old) = self.pool.take() {
+                    pool::give_back_sim_pool(old);
+                }
+                self.pool = Some(pool::lease_sim_pool(extra));
             }
-            let sm = (0..d.sm_count)
-                .min_by(|&a, &bb| sm_work[a].total_cmp(&sm_work[bb]))
-                .unwrap();
-            sm_work[sm] += out.cycles;
-            sm_crit[sm] = sm_crit[sm].max(out.longest_warp);
-            total_u64 += out.sum_u64;
-            total_f32 += out.sum_f32;
+            let team = self.pool.as_ref().expect("pool just leased");
+            scratch.arena.clear();
+            scratch.arena.resize(grid_blocks, BlockOutcome::default());
+            let slots = SlotPtr(scratch.arena.as_mut_ptr());
+            team.run_job(
+                grid_blocks,
+                &move |b, table| {
+                    let out = run_block(&shape, b, kernel, epilogue, table);
+                    // Safety: see `SlotPtr` — one writer per index, arena
+                    // outlives the job.
+                    unsafe { slots.publish(b, out) };
+                },
+                &mut scratch.table,
+            );
+            for out in &scratch.arena {
+                merge.absorb(out);
+            }
+        } else {
+            // Serial path: simulate and merge each block on the fly with the
+            // Sim-owned scratch table — no outcome buffering at all.
+            for b in 0..grid_blocks {
+                let out = run_block(&shape, b, kernel, epilogue, &mut scratch.table);
+                merge.absorb(&out);
+            }
         }
 
-        let kernel_time = (0..d.sm_count)
-            .map(|s| (sm_work[s] / d.warp_parallelism).max(sm_crit[s]))
+        let kernel_time = merge
+            .heap
+            .iter()
+            .map(|s| (s.work / d.warp_parallelism).max(merge.sm_crit[s.sm]))
             .fold(0.0f64, f64::max);
+        let (total_u64, total_f32, accesses) = (merge.total_u64, merge.total_f32, merge.accesses);
+        scratch.heap = merge.heap.into_vec();
         self.cycles += kernel_time + d.cost.launch;
         self.launches += 1;
+        self.accesses += accesses;
         (total_u64, total_f32)
     }
 }
 
-/// Fans the grid's blocks across `workers` host threads via a shared work
-/// queue, filling a per-block slot vector. Dynamic block-stealing is safe
-/// because outcomes land in index-addressed slots; the caller merges them in
-/// block order regardless of completion order.
-fn run_blocks_parallel(
-    shape: &LaunchShape,
-    grid_blocks: usize,
-    workers: usize,
-    kernel: &Kernel<'_>,
-    epilogue: Option<&Kernel<'_>>,
-) -> Vec<BlockOutcome> {
-    let slots: Vec<OnceLock<BlockOutcome>> = (0..grid_blocks).map(|_| OnceLock::new()).collect();
-    let cursor = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers.min(grid_blocks) {
-            s.spawn(|| loop {
-                let b = cursor.fetch_add(1, Ordering::Relaxed);
-                if b >= grid_blocks {
-                    break;
-                }
-                let filled = slots[b].set(run_block(shape, b, kernel, epilogue));
-                debug_assert!(filled.is_ok(), "block {b} simulated twice");
-            });
+impl Drop for Sim {
+    fn drop(&mut self) {
+        if let Some(pool) = self.pool.take() {
+            pool::give_back_sim_pool(pool);
         }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().expect("every block slot filled"))
-        .collect()
+        CALLER_TABLE.with(|t| t.set(Some(std::mem::take(&mut self.scratch.table))));
+    }
+}
+
+/// Block-ordered merge state: greedy least-loaded SM assignment and the
+/// reduction totals see blocks in exactly the serial order, which is what
+/// keeps cycles and `f32` sums bit-identical across worker counts (see
+/// [`SmSlot`] for the heap/`min_by` equivalence).
+struct Merge<'a> {
+    heap: BinaryHeap<SmSlot>,
+    sm_crit: &'a mut Vec<f64>,
+    total_u64: u64,
+    total_f32: f32,
+    accesses: u64,
+}
+
+impl Merge<'_> {
+    #[inline]
+    fn absorb(&mut self, out: &BlockOutcome) {
+        self.accesses += out.accesses;
+        if !out.any {
+            return;
+        }
+        let mut top = self.heap.peek_mut().expect("sm_count >= 1");
+        top.work += out.cycles;
+        let sm = top.sm;
+        drop(top); // sift the updated SM back into heap order
+        self.sm_crit[sm] = self.sm_crit[sm].max(out.longest_warp);
+        self.total_u64 += out.sum_u64;
+        self.total_f32 += out.sum_f32;
+    }
 }
 
 /// Simulates one grid block: all its warp rounds, epilogues, and
-/// reduction-style costs. Owns a private [`StepTable`], so any host thread
-/// may run any block.
+/// reduction-style costs. `table` is the simulating thread's long-lived
+/// scratch (cleared per warp round, capacity retained forever), so any host
+/// thread may run any block without touching the allocator.
 #[allow(clippy::too_many_lines)]
-fn run_block(
-    shape: &LaunchShape,
+fn run_block<F, E>(
+    shape: &LaunchShape<'_>,
     b: usize,
-    kernel: &Kernel<'_>,
-    epilogue: Option<&Kernel<'_>>,
-) -> BlockOutcome {
+    kernel: &F,
+    epilogue: Option<&E>,
+    table: &mut StepTable,
+) -> BlockOutcome
+where
+    F: Fn(&mut LaneCtx, usize) + Sync,
+    E: Fn(&mut LaneCtx, usize) + Sync,
+{
+    if shape.assign == Assign::ThreadPerItem && shape.reduce.is_none() && epilogue.is_none() {
+        return run_block_thread_fast(shape, b, kernel, table);
+    }
     let c = shape.device.cost;
     let LaunchShape {
         items,
@@ -726,7 +911,7 @@ fn run_block(
     // cycles of a group-scratch reduction over `lanes` lanes
     let coop_cost = |lanes: usize| (lanes.max(2) as f64).log2() * c.shuffle_step;
 
-    let mut table = StepTable::new();
+    let accesses_before = table.recorded();
     let mut block_cycles = 0.0f64;
     let mut longest_warp = 0.0f64;
     let mut block_u64 = 0u64;
@@ -738,7 +923,7 @@ fn run_block(
     loop {
         // cancellation point between grid-stride rounds (first round free)
         if round > 0 {
-            if let Some(token) = &shape.cancel {
+            if let Some(token) = shape.cancel {
                 token.checkpoint();
             }
         }
@@ -773,7 +958,7 @@ fn run_block(
                 warp_any = true;
                 round_any = true;
                 let mut ctx = LaneCtx {
-                    table: &mut table,
+                    table: &mut *table,
                     ordinal: 0,
                     lane: lane_id,
                     lane_count: lanes_per_item,
@@ -810,7 +995,7 @@ fn run_block(
                     let item = warp_item.expect("warp had an item");
                     let ordinal = table.steps_used();
                     let mut ctx = LaneCtx {
-                        table: &mut table,
+                        table: &mut *table,
                         ordinal,
                         lane: 0,
                         lane_count: lanes_per_item,
@@ -856,7 +1041,7 @@ fn run_block(
                 let item = round_item.expect("round had an item");
                 table.clear();
                 let mut ctx = LaneCtx {
-                    table: &mut table,
+                    table: &mut *table,
                     ordinal: 0,
                     lane: 0,
                     lane_count: lanes_per_item,
@@ -917,6 +1102,94 @@ fn run_block(
         longest_warp,
         sum_u64: block_u64,
         sum_f32: block_f32,
+        accesses: table.recorded() - accesses_before,
+        any: true,
+    }
+}
+
+/// Streamlined [`run_block`] for the dominant launch shape — thread
+/// granularity, no reduction, no cooperative epilogue. Skips the group
+/// scratch, epilogue, and reduction bookkeeping entirely (all of which
+/// contribute exactly zero cycles for this shape in the generic path, so
+/// results stay bit-identical) and exploits that thread-granularity item
+/// indices are monotonic in (warp, lane): the first out-of-range lane ends
+/// the warp and the first out-of-range warp ends the round.
+fn run_block_thread_fast<F>(
+    shape: &LaunchShape<'_>,
+    b: usize,
+    kernel: &F,
+    table: &mut StepTable,
+) -> BlockOutcome
+where
+    F: Fn(&mut LaneCtx, usize) + Sync,
+{
+    let c = shape.device.cost;
+    let accesses_before = table.recorded();
+    let mut block_cycles = 0.0f64;
+    let mut longest_warp = 0.0f64;
+    let mut block_u64 = 0u64;
+    let mut block_f32 = 0.0f32;
+    let mut block_any = false;
+
+    let mut round = 0usize;
+    loop {
+        // cancellation point between grid-stride rounds (first round free)
+        if round > 0 {
+            if let Some(token) = shape.cancel {
+                token.checkpoint();
+            }
+        }
+        let block_first_item = b * shape.items_per_block + round * shape.block_stride_items;
+        if block_first_item >= shape.items {
+            break; // an empty round ends persistent and one-shot grids alike
+        }
+        block_any = true;
+        for w in 0..shape.warps_per_block {
+            let warp_first_item = block_first_item + w * WARP_SIZE;
+            if warp_first_item >= shape.items {
+                break;
+            }
+            table.clear();
+            let live_lanes = (shape.items - warp_first_item).min(WARP_SIZE);
+            for l in 0..live_lanes {
+                let mut ctx = LaneCtx {
+                    table: &mut *table,
+                    ordinal: 0,
+                    lane: 0,
+                    lane_count: 1,
+                    red_u64: 0,
+                    red_f32: 0.0,
+                    red_calls: 0,
+                    reduce: None,
+                    scratch_u64: 0,
+                    scratch_f32: 0.0,
+                    group_u64: 0,
+                    group_f32: 0.0,
+                };
+                kernel(&mut ctx, warp_first_item + l);
+                block_u64 += ctx.red_u64;
+                block_f32 += ctx.red_f32;
+            }
+            let wc = table.finalize(&c);
+            block_cycles += wc;
+            longest_warp = longest_warp.max(wc);
+        }
+        round += 1;
+        if !shape.persistent {
+            break;
+        }
+    }
+
+    if !block_any {
+        return BlockOutcome::default();
+    }
+    block_cycles += c.block_sched;
+    BlockOutcome {
+        cycles: block_cycles,
+        longest_warp,
+        sum_u64: block_u64,
+        sum_f32: block_f32,
+        accesses: table.recorded() - accesses_before,
         any: true,
     }
 }

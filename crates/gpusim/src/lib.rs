@@ -40,6 +40,7 @@ pub mod cost;
 pub mod device;
 pub mod fault;
 pub mod launch;
+pub mod pool;
 
 pub use buffer::{BufKind, GpuBuf, GpuBufF32};
 pub use device::{rtx3090, titan_v, CostModel, Device, GPUS};

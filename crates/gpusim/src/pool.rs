@@ -1,0 +1,376 @@
+//! Persistent block-execution worker pool for multi-threaded launches.
+//!
+//! PR 1's `run_blocks_parallel` paid a `std::thread::scope` spawn/join per
+//! launch. Iterative kernels (BFS/SSSP rounds, worklist sweeps) issue
+//! thousands of small launches per cell, so thread churn sat directly on the
+//! measurement critical path. This module replaces it with parked workers:
+//!
+//! * a [`SimPool`] owns `extra_workers` parked OS threads, each holding a
+//!   private, capacity-retaining [`StepTable`] that is reused for every
+//!   block it ever simulates (the per-block `StepTable::new` of PR 1 is
+//!   gone);
+//! * [`SimPool::run_job`] publishes one launch's block range, wakes the
+//!   workers, and *participates* from the calling thread, so a `Sim` with
+//!   `workers = W` engages exactly `min(W, grid_blocks)` threads — the
+//!   `workers.min(grid_blocks)` guarantee of the scoped design carries over
+//!   (extra workers fail to claim a block and go straight back to sleep);
+//! * blocks are claimed from a shared atomic cursor (dynamic stealing is
+//!   safe because outcomes land in index-addressed arena slots and the
+//!   caller merges them in block order);
+//! * a panicking block — including a fired [`indigo_cancel::CancelToken`]
+//!   unwinding out of a persistent-round checkpoint — does not poison the
+//!   pool: the worker records the payload and keeps draining, and
+//!   [`SimPool::run_job`] re-raises the *earliest-block* payload after the
+//!   launch fully settles, mirroring the drain discipline of the harness's
+//!   `run_indexed_parallel` (DESIGN.md §7.3).
+//!
+//! Pools are leased from a process-wide [`PoolRegistry`] keyed by worker
+//! count (the lease cache extracted from `crates/exec/src/pool_cache.rs`):
+//! a `Sim` takes a pool on its first parallel launch, keeps it for its whole
+//! life, and returns it on drop, so back-to-back measurement cells reuse the
+//! same parked threads. Leases are exclusive — two cells simulating
+//! concurrently each hold their own pool and never serialize against each
+//! other.
+//!
+//! Safety: `run_job` erases the job closure's lifetime to hand it to the
+//! parked threads. The erased pointer is only dereferenced by a thread that
+//! has *claimed a block*, every claimed block is executed before the
+//! `remaining` count reaches zero, and `run_job` does not return (nor clear
+//! the job) until `remaining == 0` **and** every engaged worker has checked
+//! out — so no worker can touch the closure, the launch shape, or the
+//! outcome arena after `run_job`'s borrows end.
+
+use crate::cost::StepTable;
+use indigo_exec::PoolRegistry;
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// A block executor: `(block_index, worker_scratch_table)`. The table is
+/// worker-private and reused across blocks, launches, and leases.
+pub(crate) type BlockExec<'a> = dyn Fn(usize, &mut StepTable) + Sync + 'a;
+
+/// Type-erased pointer to the current job's [`BlockExec`].
+#[derive(Clone, Copy)]
+struct ErasedExec(*const BlockExec<'static>);
+// Safety: the pointee is `Sync` (required by `BlockExec`), and the pool's
+// settle protocol keeps it alive while any worker can reach it.
+unsafe impl Send for ErasedExec {}
+
+/// One published launch.
+struct JobSlot {
+    /// Monotonic job id; workers use it to tell "new job" from spurious
+    /// wakeups.
+    generation: u64,
+    /// Blocks in the current job.
+    grid_blocks: usize,
+    /// The block executor, present only while a job is active.
+    exec: Option<ErasedExec>,
+    /// Workers currently engaged with the active job (captured it under the
+    /// lock). `run_job` settles only when this returns to zero.
+    engaged: usize,
+    /// Tells workers to exit their park loop.
+    shutdown: bool,
+}
+
+struct Shared {
+    job: Mutex<JobSlot>,
+    /// Workers park here between jobs.
+    work_cv: Condvar,
+    /// `run_job` waits here for stragglers.
+    done_cv: Condvar,
+    /// Next unclaimed block of the active job.
+    cursor: AtomicUsize,
+    /// Blocks of the active job not yet fully executed.
+    remaining: AtomicUsize,
+    /// Payloads of panicked blocks, drained by `run_job` after settling.
+    panics: Mutex<Vec<(usize, Box<dyn Any + Send>)>>,
+}
+
+/// A leased team of parked simulation workers (see module docs).
+pub(crate) struct SimPool {
+    shared: Arc<Shared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+/// Process-wide lease cache, keyed by extra-worker count.
+static POOLS: PoolRegistry<SimPool> = PoolRegistry::new();
+
+/// Leases a pool with `extra_workers` parked threads (the caller of
+/// [`SimPool::run_job`] is the +1). Return it with [`give_back_sim_pool`].
+pub(crate) fn lease_sim_pool(extra_workers: usize) -> SimPool {
+    POOLS.lease(extra_workers, || SimPool::spawn(extra_workers))
+}
+
+/// Returns a leased pool to the idle cache for the next `Sim`.
+pub(crate) fn give_back_sim_pool(pool: SimPool) {
+    POOLS.give_back(pool.extra_workers(), pool);
+}
+
+/// Idle pools currently parked in the registry (tests/diagnostics).
+pub fn idle_sim_pools() -> usize {
+    POOLS.idle_count()
+}
+
+impl SimPool {
+    fn spawn(extra_workers: usize) -> SimPool {
+        let shared = Arc::new(Shared {
+            job: Mutex::new(JobSlot {
+                generation: 0,
+                grid_blocks: 0,
+                exec: None,
+                engaged: 0,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            cursor: AtomicUsize::new(0),
+            remaining: AtomicUsize::new(0),
+            panics: Mutex::new(Vec::new()),
+        });
+        let handles = (0..extra_workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name("gpusim-worker".into())
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn gpusim worker")
+            })
+            .collect();
+        SimPool { shared, handles }
+    }
+
+    /// Parked worker threads (the lease key).
+    pub(crate) fn extra_workers(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `exec(b, table)` for every `b in 0..grid_blocks` across the pool
+    /// plus the calling thread, which contributes `caller_table` as its
+    /// scratch. Blocks are claimed dynamically; panicking blocks are drained,
+    /// and the earliest-block payload is re-raised once the launch settles.
+    pub(crate) fn run_job(
+        &self,
+        grid_blocks: usize,
+        exec: &BlockExec<'_>,
+        caller_table: &mut StepTable,
+    ) {
+        if grid_blocks == 0 {
+            return;
+        }
+        // Safety: see module docs — the pointee outlives the job because
+        // run_job settles (remaining == 0, engaged == 0) before returning.
+        let erased = ErasedExec(unsafe {
+            std::mem::transmute::<*const BlockExec<'_>, *const BlockExec<'static>>(
+                exec as *const BlockExec<'_>,
+            )
+        });
+        {
+            let mut job = self.shared.job.lock().unwrap_or_else(|e| e.into_inner());
+            debug_assert!(job.exec.is_none(), "pool lease is exclusive");
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            self.shared.remaining.store(grid_blocks, Ordering::Relaxed);
+            job.generation += 1;
+            job.grid_blocks = grid_blocks;
+            job.exec = Some(erased);
+        }
+        // Waking more workers than there are blocks left (after the caller
+        // takes its share) would only produce claim-miss wakeups.
+        let wake = self.handles.len().min(grid_blocks.saturating_sub(1));
+        for _ in 0..wake {
+            self.shared.work_cv.notify_one();
+        }
+
+        // the caller is worker zero
+        drain(&self.shared, erased, grid_blocks, caller_table);
+
+        let mut job = self.shared.job.lock().unwrap_or_else(|e| e.into_inner());
+        while self.shared.remaining.load(Ordering::Acquire) != 0 || job.engaged != 0 {
+            job = self
+                .shared
+                .done_cv
+                .wait(job)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        job.exec = None;
+        drop(job);
+
+        let mut panics = {
+            let mut p = self.shared.panics.lock().unwrap_or_else(|e| e.into_inner());
+            std::mem::take(&mut *p)
+        };
+        if !panics.is_empty() {
+            // deterministic re-raise: the earliest block's payload, exactly
+            // like the serial loop would have surfaced it first
+            panics.sort_by_key(|(b, _)| *b);
+            std::panic::resume_unwind(panics.remove(0).1);
+        }
+    }
+}
+
+impl Drop for SimPool {
+    fn drop(&mut self) {
+        {
+            let mut job = self.shared.job.lock().unwrap_or_else(|e| e.into_inner());
+            job.shutdown = true;
+        }
+        self.shared.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Claims and executes blocks until the cursor runs dry. Panics are recorded
+/// against their block index; the worker keeps draining so every block of
+/// the launch completes (successfully or with a recorded payload).
+fn drain(shared: &Shared, exec: ErasedExec, grid_blocks: usize, table: &mut StepTable) {
+    loop {
+        let b = shared.cursor.fetch_add(1, Ordering::Relaxed);
+        if b >= grid_blocks {
+            return;
+        }
+        // Safety: a successful claim means this block has not executed, so
+        // `remaining > 0` holds until our decrement below — run_job is still
+        // inside the launch and the pointee is alive.
+        let f = unsafe { &*exec.0 };
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(b, table))) {
+            shared
+                .panics
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push((b, payload));
+        }
+        if shared.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            // last block: take the lock so the waiter is either parked on
+            // done_cv or about to re-check, then wake it
+            drop(shared.job.lock().unwrap_or_else(|e| e.into_inner()));
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    let mut table = StepTable::new();
+    let mut seen = 0u64;
+    loop {
+        let (generation, exec, grid_blocks) = {
+            let mut job = shared.job.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.generation != seen {
+                    if let Some(exec) = job.exec {
+                        job.engaged += 1;
+                        break (job.generation, exec, job.grid_blocks);
+                    }
+                    // the job we were woken for already settled; don't
+                    // re-engage with it when it is long gone
+                    seen = job.generation;
+                }
+                job = shared.work_cv.wait(job).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        seen = generation;
+        drain(shared, exec, grid_blocks, &mut table);
+        let mut job = shared.job.lock().unwrap_or_else(|e| e.into_inner());
+        job.engaged -= 1;
+        let idle = job.engaged == 0;
+        drop(job);
+        if idle {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_block_exactly_once() {
+        let pool = lease_sim_pool(2);
+        let hits: Vec<AtomicUsize> = (0..100).map(|_| AtomicUsize::new(0)).collect();
+        let mut table = StepTable::new();
+        for _ in 0..50 {
+            pool.run_job(
+                hits.len(),
+                &|b, _t| {
+                    hits[b].fetch_add(1, Ordering::Relaxed);
+                },
+                &mut table,
+            );
+        }
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 50));
+        give_back_sim_pool(pool);
+    }
+
+    #[test]
+    fn panicking_block_drains_and_reraises_earliest() {
+        let pool = lease_sim_pool(2);
+        let done: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
+        let mut table = StepTable::new();
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            pool.run_job(
+                done.len(),
+                &|b, _t| {
+                    if b == 7 || b == 23 {
+                        std::panic::panic_any(format!("block {b} failed"));
+                    }
+                    done[b].fetch_add(1, Ordering::Relaxed);
+                },
+                &mut table,
+            );
+        }))
+        .unwrap_err();
+        // earliest-index payload wins, deterministically
+        assert_eq!(err.downcast_ref::<String>().unwrap(), "block 7 failed");
+        // and every non-panicking block still ran: the launch drained
+        for (b, d) in done.iter().enumerate() {
+            let want = usize::from(b != 7 && b != 23);
+            assert_eq!(d.load(Ordering::Relaxed), want, "block {b}");
+        }
+        // the pool survives for the next job
+        pool.run_job(
+            done.len(),
+            &|b, _t| {
+                done[b].fetch_add(1, Ordering::Relaxed);
+            },
+            &mut table,
+        );
+        give_back_sim_pool(pool);
+    }
+
+    #[test]
+    fn lease_reuses_parked_pools() {
+        let before = idle_sim_pools();
+        let pool = lease_sim_pool(3);
+        let mut table = StepTable::new();
+        pool.run_job(5, &|_b, _t| {}, &mut table);
+        give_back_sim_pool(pool);
+        assert_eq!(idle_sim_pools(), before + 1);
+        let pool = lease_sim_pool(3); // the same parked threads, no respawn
+        assert_eq!(pool.extra_workers(), 3);
+        assert_eq!(idle_sim_pools(), before);
+        give_back_sim_pool(pool);
+    }
+
+    #[test]
+    fn single_block_jobs_run_on_the_caller() {
+        // grid_blocks == 1 must not wake anyone: the caller claims the only
+        // block itself (workers.min(grid_blocks) == 1)
+        let pool = lease_sim_pool(4);
+        let caller = std::thread::current().id();
+        let mut table = StepTable::new();
+        for _ in 0..10 {
+            pool.run_job(
+                1,
+                &|_b, _t| assert_eq!(std::thread::current().id(), caller),
+                &mut table,
+            );
+        }
+        give_back_sim_pool(pool);
+    }
+}

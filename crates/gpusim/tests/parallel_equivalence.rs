@@ -199,3 +199,101 @@ fn worker_setting_round_trips() {
     sim.set_workers(0); // clamped
     assert_eq!(sim.workers(), 1);
 }
+
+/// A kernel panic inside a pooled launch must drain every other block,
+/// re-raise the earliest block's payload, and leave the `Sim` (and its
+/// leased pool) fully usable for the next launch.
+#[test]
+fn pooled_panic_drains_and_sim_stays_usable() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    const N: usize = 4096;
+    let executed = AtomicUsize::new(0);
+    let dst = GpuBuf::new(N, 0);
+    let mut sim = Sim::new(titan_v());
+    sim.set_workers(4);
+
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        sim.launch_det(N, Assign::ThreadPerItem, false, |ctx, i| {
+            // two faulting items in different blocks: the earliest block's
+            // payload must be the one re-raised
+            if i == 1 || i == N - 1 {
+                std::panic::panic_any(format!("boom item {i}"));
+            }
+            executed.fetch_add(1, Ordering::Relaxed);
+            ctx.st(&dst, i, i as u32);
+        });
+    }))
+    .unwrap_err();
+    assert_eq!(err.downcast_ref::<String>().unwrap(), "boom item 1");
+
+    // every block outside the two faulting ones drained to completion (a
+    // panic skips only the remainder of its own block)
+    let done = executed.load(Ordering::Relaxed);
+    assert!(
+        done >= N - 2048 && done < N,
+        "drained {done} of {N} items; other blocks should have completed"
+    );
+
+    // the panicked launch never reached the merge, so the sim's clock is
+    // untouched — the follow-up launch must be bit-identical to the same
+    // launch on a fresh serial sim
+    let run_clean = |sim: &mut Sim| {
+        let out = GpuBuf::new(N, 0);
+        sim.launch_det(N, Assign::ThreadPerItem, false, |ctx, i| {
+            let w = skewed_work(i) as u32;
+            ctx.atomic_add(&out, i, w);
+        });
+        (exact_bits(sim.elapsed_cycles()), out.to_vec())
+    };
+    let after_panic = run_clean(&mut sim);
+    let fresh = run_clean(&mut Sim::new(titan_v()));
+    assert_eq!(after_panic, fresh, "sim unusable after pooled panic");
+}
+
+/// `workers.min(grid_blocks)`: a launch with a single grid block must run
+/// entirely on the calling thread, even when the worker setting is large —
+/// no pool threads engage (and no lease is needed at all).
+#[test]
+fn single_block_launch_runs_on_caller_despite_workers() {
+    let caller = std::thread::current().id();
+    let out = GpuBuf::new(64, 0);
+    let mut sim = Sim::new(titan_v());
+    sim.set_workers(8);
+    for _ in 0..4 {
+        // 64 items at thread granularity fit one block on every device
+        sim.launch_det(64, Assign::ThreadPerItem, false, |ctx, i| {
+            assert_eq!(std::thread::current().id(), caller);
+            ctx.atomic_add(&out, i, 1);
+        });
+    }
+    assert!(out.to_vec().iter().all(|&v| v == 4));
+}
+
+/// `workers.min(grid_blocks)` with a pool engaged: an 8-worker sim given a
+/// two-block grid must touch at most two distinct threads per launch.
+#[test]
+fn pooled_engagement_capped_by_grid_blocks() {
+    use std::collections::HashSet;
+    use std::sync::Mutex;
+
+    let mut sim = Sim::new(rtx3090());
+    sim.set_workers(8);
+    // BlockPerItem: items == grid blocks, so two items is a two-block grid
+    let out = GpuBuf::new(2, 0);
+    for _ in 0..8 {
+        let threads = Mutex::new(HashSet::new());
+        sim.launch_det(2, Assign::BlockPerItem, false, |ctx, i| {
+            if ctx.lane() == 0 {
+                threads.lock().unwrap().insert(std::thread::current().id());
+            }
+            ctx.atomic_add(&out, i, 1);
+        });
+        let engaged = threads.lock().unwrap().len();
+        assert!(
+            engaged <= 2,
+            "two-block launch engaged {engaged} threads (want <= grid_blocks)"
+        );
+    }
+}

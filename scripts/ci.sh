@@ -42,4 +42,11 @@ set -e
 "$exp" --smoke --out "$smoke_dir/clean" >/dev/null ||
     { echo "clean smoke run exited $?, want 0"; exit 1; }
 
+echo "== simulator perf smoke (deterministic: cycles + allocation counts)"
+# Wall-clock is deliberately NOT gated (shared runners flake); the probe
+# compares simulated cycles, access counts, and steady-state allocation
+# counts against the committed baseline — warn at 10%, fail at 30%.
+cargo build -q --release -p indigo-bench --bin gpusim_perf
+target/release/gpusim_perf --check results/BENCH_gpusim_baseline.json
+
 echo "CI green."

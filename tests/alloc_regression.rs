@@ -1,0 +1,139 @@
+//! Tier-2: the simulator's block execution path performs zero heap
+//! allocations in steady state (DESIGN.md §7.4).
+//!
+//! A counting global allocator observes warmed-up launches: after the
+//! first launch has grown the per-thread `StepTable`s, sized the outcome
+//! arena, and built the SM merge heap, every subsequent launch must run
+//! allocation-free. This pins the tentpole property of the hot-path
+//! rework — per-launch `Vec`/`StepTable::new` churn cannot silently come
+//! back without failing this test.
+//!
+//! Everything runs inside ONE `#[test]` function: the allocation counter
+//! is process-global, and Rust's test harness runs separate tests on
+//! separate threads, which would make the counts racy.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use indigo_gpusim::{rtx3090, Assign, BufKind, GpuBuf, ReduceStyle, Sim, WARP_SIZE};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(p, l, n)
+    }
+    unsafe fn alloc_zeroed(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::SeqCst);
+        System.alloc_zeroed(l)
+    }
+}
+
+#[global_allocator]
+static ALLOC: Counting = Counting;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn steady_state_launches_do_not_allocate() {
+    const N: usize = 1 << 12;
+    let device = rtx3090();
+    let src = GpuBuf::new(N, 7);
+    let dst = GpuBuf::new(N, 0);
+
+    // --- serial fast path (ThreadPerItem, no reduce, no epilogue) ---
+    let mut sim = Sim::new(device);
+    for _ in 0..2 {
+        sim.launch(N, Assign::ThreadPerItem, false, |ctx, i| {
+            let v = ctx.ld(&src, i);
+            ctx.st(&dst, i, v + 1);
+        });
+    }
+    let before = allocs();
+    for _ in 0..8 {
+        sim.launch(N, Assign::ThreadPerItem, false, |ctx, i| {
+            let v = ctx.ld(&src, i);
+            ctx.st(&dst, i, v + 1);
+        });
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "serial ThreadPerItem steady state allocated"
+    );
+
+    // --- generic block path (WarpPerItem + shuffle reduction) ---
+    let items = N / WARP_SIZE;
+    for _ in 0..2 {
+        sim.launch_reduce_u64(
+            items,
+            Assign::WarpPerItem,
+            false,
+            ReduceStyle::ReductionAdd,
+            BufKind::Atomic,
+            |ctx, item| {
+                let v = ctx.ld(&src, item * WARP_SIZE + ctx.lane());
+                ctx.reduce_add_u64(u64::from(v));
+            },
+        );
+    }
+    let before = allocs();
+    for _ in 0..8 {
+        sim.launch_reduce_u64(
+            items,
+            Assign::WarpPerItem,
+            false,
+            ReduceStyle::ReductionAdd,
+            BufKind::Atomic,
+            |ctx, item| {
+                let v = ctx.ld(&src, item * WARP_SIZE + ctx.lane());
+                ctx.reduce_add_u64(u64::from(v));
+            },
+        );
+    }
+    assert_eq!(
+        allocs() - before,
+        0,
+        "WarpPerItem reduce steady state allocated"
+    );
+
+    // --- pooled deterministic path (parked workers + slot arena) ---
+    // A worker's private StepTable grows the first time that worker
+    // actually wins a block, and thread scheduling decides when that
+    // happens — so the assertion allows that one-time growth (a few
+    // reallocs) but nothing proportional to the launch count.
+    let mut sim = Sim::new(device);
+    sim.set_workers(2);
+    for _ in 0..2 {
+        sim.launch_det(N, Assign::ThreadPerItem, false, |ctx, i| {
+            let v = ctx.ld(&src, i);
+            ctx.st(&dst, i, v * 2);
+        });
+    }
+    let before = allocs();
+    const POOLED_LAUNCHES: u64 = 32;
+    for _ in 0..POOLED_LAUNCHES {
+        sim.launch_det(N, Assign::ThreadPerItem, false, |ctx, i| {
+            let v = ctx.ld(&src, i);
+            ctx.st(&dst, i, v * 2);
+        });
+    }
+    let pooled = allocs() - before;
+    assert!(
+        pooled <= 4,
+        "pooled steady state allocated {pooled} times over {POOLED_LAUNCHES} launches \
+         (expected at most one-time worker table growth)"
+    );
+}
