@@ -1,12 +1,18 @@
-//! Deterministic simulator perf probe (DESIGN.md §7.4).
+//! Deterministic simulator perf probe (DESIGN.md §7.4, §7.5).
 //!
-//! Runs a fixed set of simulator workloads and reports, per workload:
+//! Runs a fixed set of simulator workloads and reports, per workload, the
+//! **telemetry counter deltas** over the steady-state window (the probe
+//! requires a `--features telemetry` build and refuses to run without it):
 //!
-//! * `sim_cycles` — total simulated cycles (bit-deterministic),
-//! * `accesses`   — total recorded memory accesses (bit-deterministic),
+//! * `sim_cycles` — simulated cycles (`sim.cycles`, bit-deterministic),
+//! * `accesses`   — recorded memory accesses (`sim.global_accesses`),
+//! * `coalesced_txns` / `uncoalesced_txns` — warp-step memory transaction
+//!   split from the coalescing model,
+//! * `atomic_ops` / `atomic_conflicts` — priced atomics and the same-address
+//!   collisions among them,
 //! * `steady_allocs` — heap allocations performed *after* the first
 //!   warm-up launch (deterministic: the zero-allocation hot path makes
-//!   this exactly 0),
+//!   this exactly 0; counted by a local `#[global_allocator]`, not obs),
 //! * `host_ns_per_access` — host nanoseconds per simulated access
 //!   (informational only; never compared, it is wall-clock).
 //!
@@ -21,6 +27,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use indigo_gpusim::{rtx3090, Assign, BufKind, GpuBuf, ReduceStyle, Sim, WARP_SIZE};
+use indigo_obs::{counters_snapshot, Counter};
 
 /// Counting allocator: every allocation path bumps one relaxed counter.
 struct Counting;
@@ -52,12 +59,18 @@ struct Record {
     name: &'static str,
     sim_cycles: f64,
     accesses: u64,
+    coalesced_txns: u64,
+    uncoalesced_txns: u64,
+    atomic_ops: u64,
+    atomic_conflicts: u64,
     steady_allocs: u64,
     host_ns_per_access: f64,
 }
 
 /// Runs `launches` identical launches; the first is warm-up, the rest are
-/// the steady-state window the allocation counter observes.
+/// the steady-state window the allocation and obs counters observe. The
+/// deterministic fields are obs counter deltas: workloads run one at a
+/// time, so the process-global counters attribute exactly.
 fn probe(
     name: &'static str,
     mut sim: Sim,
@@ -69,8 +82,7 @@ fn probe(
     // machinery) that is not part of the launch path proper
     one(&mut sim);
     one(&mut sim);
-    let cycles0 = sim.elapsed_secs();
-    let accesses0 = sim.accesses();
+    let before = counters_snapshot();
     let allocs0 = ALLOCS.load(Ordering::Relaxed);
     let start = Instant::now();
     for _ in 1..launches {
@@ -78,13 +90,16 @@ fn probe(
     }
     let host = start.elapsed();
     let steady_allocs = ALLOCS.load(Ordering::Relaxed) - allocs0;
-    let device = rtx3090();
-    let sim_cycles = (sim.elapsed_secs() - cycles0) * (device.clock_ghz * 1e9);
-    let accesses = sim.accesses() - accesses0;
+    let delta = counters_snapshot().delta_since(&before);
+    let accesses = delta.get(Counter::SimGlobalAccesses);
     Record {
         name,
-        sim_cycles,
+        sim_cycles: delta.get(Counter::SimCycles) as f64,
         accesses,
+        coalesced_txns: delta.get(Counter::SimCoalescedTxns),
+        uncoalesced_txns: delta.get(Counter::SimUncoalescedTxns),
+        atomic_ops: delta.get(Counter::SimAtomicOps),
+        atomic_conflicts: delta.get(Counter::SimAtomicConflicts),
         steady_allocs,
         host_ns_per_access: host.as_nanos() as f64 / accesses.max(1) as f64,
     }
@@ -158,14 +173,20 @@ fn workloads() -> Vec<Record> {
 }
 
 fn emit(records: &[Record]) -> String {
-    let mut s = String::from("{\n  \"version\": 1,\n  \"workloads\": [\n");
+    let mut s = String::from("{\n  \"version\": 2,\n  \"workloads\": [\n");
     for (i, r) in records.iter().enumerate() {
         s.push_str(&format!(
             "    {{\"name\": \"{}\", \"sim_cycles\": {:.3}, \"accesses\": {}, \
+             \"coalesced_txns\": {}, \"uncoalesced_txns\": {}, \
+             \"atomic_ops\": {}, \"atomic_conflicts\": {}, \
              \"steady_allocs\": {}, \"host_ns_per_access\": {:.2}}}{}\n",
             r.name,
             r.sim_cycles,
             r.accesses,
+            r.coalesced_txns,
+            r.uncoalesced_txns,
+            r.atomic_ops,
+            r.atomic_conflicts,
             r.steady_allocs,
             r.host_ns_per_access,
             if i + 1 == records.len() { "" } else { "," }
@@ -241,6 +262,20 @@ fn check(records: &[Record], baseline_path: &str) -> usize {
         if let Some(old) = field(line, "accesses") {
             compare("accesses", old, r.accesses as f64);
         }
+        // the coalescing/atomic splits are bit-deterministic too; older
+        // baselines without them are simply not compared on those fields
+        if let Some(old) = field(line, "coalesced_txns") {
+            compare("coalesced_txns", old, r.coalesced_txns as f64);
+        }
+        if let Some(old) = field(line, "uncoalesced_txns") {
+            compare("uncoalesced_txns", old, r.uncoalesced_txns as f64);
+        }
+        if let Some(old) = field(line, "atomic_ops") {
+            compare("atomic_ops", old, r.atomic_ops as f64);
+        }
+        if let Some(old) = field(line, "atomic_conflicts") {
+            compare("atomic_conflicts", old, r.atomic_conflicts as f64);
+        }
         if let Some(old) = field(line, "steady_allocs") {
             // a pooled worker's private StepTable may grow on its first
             // real engagement, which lands inside the steady window or not
@@ -255,6 +290,13 @@ fn check(records: &[Record], baseline_path: &str) -> usize {
 }
 
 fn main() {
+    if !indigo_obs::enabled() {
+        eprintln!(
+            "gpusim_perf: this probe reads telemetry counter deltas; \
+             rebuild with `--features telemetry`"
+        );
+        std::process::exit(1);
+    }
     let args: Vec<String> = std::env::args().collect();
     let records = workloads();
     match args.get(1).map(String::as_str) {

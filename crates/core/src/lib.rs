@@ -41,7 +41,7 @@ pub use input::GraphInput;
 pub use output::Output;
 pub use runner::{
     run_gpu, run_gpu_supervised, run_gpu_with, run_variant, run_variant_supervised, RunResult,
-    Supervision, Target,
+    SimStats, Supervision, Target,
 };
 
 /// Source vertex used by BFS and SSSP across the whole suite (the paper does

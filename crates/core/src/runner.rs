@@ -66,6 +66,19 @@ impl Target {
     }
 }
 
+/// Simulator-side statistics for one GPU run (absent for CPU runs).
+/// Read off the `Sim` at the end of the run, so they are per-cell exact
+/// even when the harness executes many cells concurrently.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SimStats {
+    /// Total simulated cycles across all kernel launches.
+    pub cycles: f64,
+    /// Number of kernel launches.
+    pub launches: usize,
+    /// Total priced memory accesses.
+    pub accesses: u64,
+}
+
 /// The outcome of one program run.
 pub struct RunResult {
     /// Algorithm output (verify with [`crate::verify::check`]).
@@ -74,6 +87,8 @@ pub struct RunResult {
     pub secs: f64,
     /// Parallel iterations/rounds the variant took to converge.
     pub iterations: usize,
+    /// Simulator statistics (GPU runs only).
+    pub sim: Option<SimStats>,
 }
 
 impl RunResult {
@@ -183,6 +198,11 @@ pub fn run_gpu_supervised(
         output,
         secs: sim.elapsed_secs(),
         iterations,
+        sim: Some(SimStats {
+            cycles: sim.elapsed_cycles(),
+            launches: sim.launches(),
+            accesses: sim.accesses(),
+        }),
     }
 }
 
@@ -223,6 +243,7 @@ fn run_cpu(cfg: &StyleConfig, input: &GraphInput, threads: usize, sup: &Supervis
         output,
         secs: start.elapsed().as_secs_f64(),
         iterations,
+        sim: None,
     }
 }
 
@@ -259,12 +280,14 @@ mod tests {
             output: Output::Triangles(1),
             secs: 2.0,
             iterations: 1,
+            sim: None,
         };
         assert_eq!(r.gigaedges_per_sec(4_000_000_000), 2.0);
         let z = RunResult {
             output: Output::Triangles(1),
             secs: 0.0,
             iterations: 1,
+            sim: None,
         };
         assert_eq!(z.gigaedges_per_sec(100), 0.0);
     }

@@ -192,6 +192,9 @@ impl OmpPool {
             std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync)>(f)
         });
         let _region = self.control.region.lock().unwrap();
+        if indigo_obs::enabled() {
+            indigo_obs::Counter::ExecRegions.incr();
+        }
         let mut st = self.control.state.lock().unwrap();
         st.job = Some(ptr);
         st.remaining = self.threads;
@@ -207,6 +210,14 @@ impl OmpPool {
 fn worker_loop(tid: usize, control: &Control) {
     let mut seen_generation = 0u64;
     loop {
+        // Telemetry: time parked on the start condvar is genuine idle time,
+        // time inside the job closure is busy time. `enabled()` const-folds,
+        // so the Instants vanish from telemetry-off builds.
+        let idle_from = if indigo_obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let job = {
             let mut st = control.state.lock().unwrap();
             while !st.shutdown && st.generation == seen_generation {
@@ -218,8 +229,19 @@ fn worker_loop(tid: usize, control: &Control) {
             seen_generation = st.generation;
             st.job.expect("generation advanced without a job")
         };
+        if let Some(t0) = idle_from {
+            indigo_obs::Counter::ExecWorkerIdleNanos.add(t0.elapsed().as_nanos() as u64);
+        }
+        let busy_from = if indigo_obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         // Safety: pointee valid until we decrement `remaining` below.
         unsafe { (*job.0)(tid) };
+        if let Some(t0) = busy_from {
+            indigo_obs::Counter::ExecWorkerBusyNanos.add(t0.elapsed().as_nanos() as u64);
+        }
         let mut st = control.state.lock().unwrap();
         st.remaining -= 1;
         if st.remaining == 0 {

@@ -52,7 +52,20 @@ impl<P> PoolRegistry<P> {
             let mut map = self.map().lock().unwrap_or_else(|e| e.into_inner());
             map.get_mut(&key).and_then(Vec::pop)
         };
-        cached.unwrap_or_else(spawn)
+        match cached {
+            Some(pool) => {
+                if indigo_obs::enabled() {
+                    indigo_obs::Counter::ExecLeaseHits.incr();
+                }
+                pool
+            }
+            None => {
+                if indigo_obs::enabled() {
+                    indigo_obs::Counter::ExecLeaseMisses.incr();
+                }
+                spawn()
+            }
+        }
     }
 
     /// Returns a leased pool to the idle cache for `key`.
@@ -85,6 +98,14 @@ static POOLS: OnceLock<Mutex<HashMap<usize, Arc<OmpPool>>>> = OnceLock::new();
 pub fn shared_omp_pool(threads: usize) -> Arc<OmpPool> {
     let pools = POOLS.get_or_init(|| Mutex::new(HashMap::new()));
     let mut map = pools.lock().unwrap();
+    if indigo_obs::enabled() {
+        let counter = if map.contains_key(&threads) {
+            indigo_obs::Counter::ExecLeaseHits
+        } else {
+            indigo_obs::Counter::ExecLeaseMisses
+        };
+        counter.incr();
+    }
     Arc::clone(
         map.entry(threads)
             .or_insert_with(|| Arc::new(OmpPool::new(threads))),

@@ -37,6 +37,9 @@ impl Worklist {
             self.items.len()
         );
         self.items[idx].store(v, Ordering::Relaxed);
+        if indigo_obs::enabled() {
+            indigo_obs::Counter::ExecWorklistPushes.incr();
+        }
     }
 
     /// Concurrent push that reports failure instead of panicking when the
@@ -49,8 +52,14 @@ impl Worklist {
         let idx = self.len.fetch_add(1, Ordering::Relaxed);
         if idx < self.items.len() {
             self.items[idx].store(v, Ordering::Relaxed);
+            if indigo_obs::enabled() {
+                indigo_obs::Counter::ExecWorklistPushes.incr();
+            }
             true
         } else {
+            if indigo_obs::enabled() {
+                indigo_obs::Counter::ExecWorklistDrops.incr();
+            }
             false
         }
     }
@@ -70,6 +79,9 @@ impl Worklist {
     /// Item at `idx < len()` (Listing 2b's `worklist[idx]`).
     #[inline]
     pub fn get(&self, idx: usize) -> u32 {
+        if indigo_obs::enabled() {
+            indigo_obs::Counter::ExecWorklistPops.incr();
+        }
         self.items[idx].load(Ordering::Relaxed)
     }
 

@@ -234,6 +234,12 @@ impl StepTable {
     /// per-access record path (see [`Step`]).
     pub fn finalize(&self, c: &CostModel) -> f64 {
         let mut cycles = 0.0;
+        // Local tallies, flushed once at the end. Without `telemetry` the
+        // flush compiles out, the tallies become dead stores, and the whole
+        // accounting is eliminated — the priced cycles are bit-identical
+        // either way.
+        let (mut coalesced, mut uncoalesced) = (0u64, 0u64);
+        let (mut atomic_ops, mut atomic_conflicts, mut shared_atomics) = (0u64, 0u64, 0u64);
         for step in &self.steps[..self.used] {
             if step.total == 0 {
                 continue;
@@ -242,39 +248,81 @@ impl StepTable {
             // touching the scan loops (distinct = multiplicity = 1)
             if step.total == 1 {
                 cycles += match step.class {
-                    AccessClass::Mem => c.issue + c.mem_segment,
-                    AccessClass::CudaLdSt => (c.issue + c.mem_segment) * c.cuda_ldst_mult,
-                    AccessClass::AtomicRmw => c.atomic_issue + c.atomic_per_addr,
+                    AccessClass::Mem => {
+                        coalesced += 1;
+                        c.issue + c.mem_segment
+                    }
+                    AccessClass::CudaLdSt => {
+                        coalesced += 1;
+                        (c.issue + c.mem_segment) * c.cuda_ldst_mult
+                    }
+                    AccessClass::AtomicRmw => {
+                        atomic_ops += 1;
+                        c.atomic_issue + c.atomic_per_addr
+                    }
                     AccessClass::CudaAtomicRmw => {
+                        atomic_ops += 1;
                         (c.atomic_issue + c.atomic_per_addr) * c.cuda_atomic_mult
                     }
-                    AccessClass::SharedAtomic => c.issue + c.shared_serial,
+                    AccessClass::SharedAtomic => {
+                        shared_atomics += 1;
+                        c.issue + c.shared_serial
+                    }
                 };
                 continue;
             }
             let keys = &step.keys[..step.total.min(MAX_LANES)];
             cycles += match step.class {
-                AccessClass::Mem => c.issue + distinct_keys(keys) as f64 * c.mem_segment,
+                AccessClass::Mem => {
+                    let d = distinct_keys(keys);
+                    if d == 1 {
+                        coalesced += 1;
+                    } else {
+                        uncoalesced += d as u64;
+                    }
+                    c.issue + d as f64 * c.mem_segment
+                }
                 AccessClass::CudaLdSt => {
-                    (c.issue + distinct_keys(keys) as f64 * c.mem_segment) * c.cuda_ldst_mult
+                    let d = distinct_keys(keys);
+                    if d == 1 {
+                        coalesced += 1;
+                    } else {
+                        uncoalesced += d as u64;
+                    }
+                    (c.issue + d as f64 * c.mem_segment) * c.cuda_ldst_mult
                 }
                 AccessClass::AtomicRmw => {
                     let d = distinct_keys(keys);
+                    atomic_ops += step.total as u64;
+                    atomic_conflicts += (step.total - d) as u64;
                     c.atomic_issue
                         + d as f64 * c.atomic_per_addr
                         + (step.total - d) as f64 * c.atomic_aggregate
                 }
                 AccessClass::CudaAtomicRmw => {
                     let d = distinct_keys(keys);
+                    atomic_ops += step.total as u64;
+                    atomic_conflicts += (step.total - d) as u64;
                     (c.atomic_issue
                         + d as f64 * c.atomic_per_addr
                         + (step.total - d) as f64 * c.atomic_aggregate)
                         * c.cuda_atomic_mult
                 }
                 AccessClass::SharedAtomic => {
-                    c.issue + max_multiplicity(keys) as f64 * c.shared_serial
+                    let m = max_multiplicity(keys);
+                    shared_atomics += step.total as u64;
+                    atomic_conflicts += (m - 1) as u64;
+                    c.issue + m as f64 * c.shared_serial
                 }
             };
+        }
+        if indigo_obs::enabled() {
+            use indigo_obs::Counter;
+            Counter::SimCoalescedTxns.add(coalesced);
+            Counter::SimUncoalescedTxns.add(uncoalesced);
+            Counter::SimAtomicOps.add(atomic_ops);
+            Counter::SimAtomicConflicts.add(atomic_conflicts);
+            Counter::SimSharedAtomics.add(shared_atomics);
         }
         cycles
     }

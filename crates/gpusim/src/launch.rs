@@ -831,6 +831,25 @@ impl Sim {
             .map(|s| (s.work / d.warp_parallelism).max(merge.sm_crit[s.sm]))
             .fold(0.0f64, f64::max);
         let (total_u64, total_f32, accesses) = (merge.total_u64, merge.total_f32, merge.accesses);
+        if indigo_obs::enabled() {
+            use indigo_obs::{Counter, Hist};
+            let launch_cycles = kernel_time + d.cost.launch;
+            Counter::SimLaunches.incr();
+            Counter::SimCycles.add(launch_cycles as u64);
+            Counter::SimGlobalAccesses.add(accesses);
+            Hist::LaunchCycles.record(launch_cycles as u64);
+            // Occupancy imbalance: max per-SM work over the mean, permille.
+            // 1000 = perfectly balanced; read before the heap is stowed.
+            let (mut max_w, mut sum_w, mut n) = (0.0f64, 0.0f64, 0u32);
+            for s in merge.heap.iter() {
+                max_w = max_w.max(s.work);
+                sum_w += s.work;
+                n += 1;
+            }
+            if n > 0 && sum_w > 0.0 {
+                Hist::SmImbalancePermille.record((max_w * f64::from(n) / sum_w * 1000.0) as u64);
+            }
+        }
         scratch.heap = merge.heap.into_vec();
         self.cycles += kernel_time + d.cost.launch;
         self.launches += 1;

@@ -159,6 +159,9 @@ impl SimPool {
         if grid_blocks == 0 {
             return;
         }
+        if indigo_obs::enabled() {
+            indigo_obs::Counter::SimPoolJobs.incr();
+        }
         // Safety: see module docs — the pointee outlives the job because
         // run_job settles (remaining == 0, engaged == 0) before returning.
         let erased = ErasedExec(unsafe {
@@ -264,6 +267,9 @@ fn worker_loop(shared: &Shared) {
                 if job.generation != seen {
                     if let Some(exec) = job.exec {
                         job.engaged += 1;
+                        if indigo_obs::enabled() {
+                            indigo_obs::Counter::SimPoolEngagements.incr();
+                        }
                         break (job.generation, exec, job.grid_blocks);
                     }
                     // the job we were woken for already settled; don't

@@ -40,7 +40,9 @@ use indigo_harness::matrix::RunPlan;
 use indigo_harness::{
     FaultSpec, ProgressEvent, Report, Resilience, RunOptions, RunPhase, RunSummary,
 };
+use indigo_obs::{console_line, Counter, TraceEvent};
 use indigo_styles::{Algorithm, Model};
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 fn main() {
@@ -48,7 +50,7 @@ fn main() {
     match real_main(args) {
         Ok(code) => std::process::exit(code),
         Err(e) => {
-            eprintln!("indigo-exp: {e}");
+            console_line(&format!("indigo-exp: {e}"));
             std::process::exit(1);
         }
     }
@@ -66,6 +68,13 @@ struct Cli {
     res: Resilience,
     smoke: bool,
     selected: Vec<String>,
+    /// `trace`/`profile`: explicit input trace (default: newest
+    /// `TRACE_*.jsonl` in the output directory).
+    trace_in: Option<String>,
+    /// `profile`: rows in each top-N table.
+    top: usize,
+    /// `trace`: validate the trace instead of exporting it.
+    check: bool,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
@@ -78,6 +87,9 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         res: Resilience::none(),
         smoke: false,
         selected: Vec::new(),
+        trace_in: None,
+        top: 10,
+        check: false,
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -131,6 +143,11 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
                 cli.res.fault = Some(FaultSpec::parse(&spec)?);
             }
             "--smoke" => cli.smoke = true,
+            "--in" => {
+                cli.trace_in = Some(it.next().ok_or("--in needs a trace path")?);
+            }
+            "--top" => cli.top = parse_num(it.next(), "--top")?,
+            "--check" => cli.check = true,
             "--help" | "-h" => {
                 cli.selected.clear();
                 cli.selected.push("--help".to_string());
@@ -158,6 +175,11 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
         println!("{}", HELP);
         return Ok(0);
     }
+    match cli.selected.first().map(String::as_str) {
+        Some("trace") => return cmd_trace(&cli),
+        Some("profile") => return cmd_profile(&cli),
+        _ => {}
+    }
 
     // cells are isolated: a panicking cell is recorded, not fatal — keep
     // its default panic banner off stderr (cancellations doubly so)
@@ -170,7 +192,7 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
             {
                 return;
             }
-            eprintln!("[cell panic] {info}");
+            console_line(&format!("[cell panic] {info}"));
         }));
     }
 
@@ -207,11 +229,12 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
             .iter()
             .any(|id| wants(id));
         if needs_dataset {
-            eprintln!(
+            console_line(&format!(
                 "measuring full suite at {:?} scale ({} CPU reps, {} jobs, {} sim \
                  workers); this runs all 1098 programs on 5 inputs...",
                 cli.scale, cli.reps, cli.options.jobs, cli.options.sim_workers
-            );
+            ));
+            start_trace(&cli, "suite", cli.scale);
             let mut reporter = PhaseReporter::new();
             let suite_started = Instant::now();
             let (ds, run) = experiments::Dataset::collect_cells(
@@ -222,11 +245,12 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
                 |ev| reporter.on_event(ev),
             )?;
             let suite_secs = suite_started.elapsed().as_secs_f64();
+            finish_trace("suite", suite_secs);
             let s = run.summary();
-            eprintln!("matrix complete: {s}");
+            console_line(&format!("matrix complete: {s}"));
             reporter.print_summary(suite_secs);
             if let Err(e) = write_bench_json(&cli, &reporter, suite_secs, &s, None) {
-                eprintln!("failed to write BENCH_harness.json: {e}");
+                console_line(&format!("failed to write BENCH_harness.json: {e}"));
             }
             reports.push(outcomes::cells_report(&run));
             reports.push(outcomes::outcomes_report(&run));
@@ -256,7 +280,7 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
                 reports.push(correlation::correlation(&ds));
             }
             if wants("fig16") {
-                eprintln!("running baselines for fig16...");
+                console_line("running baselines for fig16...");
                 reports.push(fig16::fig16(&ds));
             }
         }
@@ -267,8 +291,58 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
         r.write_to(&cli.out_dir)
             .map_err(|e| format!("failed to write {}: {e}", r.id))?;
     }
-    eprintln!("wrote {} reports to {}/", reports.len(), cli.out_dir);
+    console_line(&format!(
+        "wrote {} reports to {}/",
+        reports.len(),
+        cli.out_dir
+    ));
     Ok(summary.map_or(0, |s| s.exit_code()))
+}
+
+/// Installs the run's trace sink (`TRACE_<run>.jsonl` in the output
+/// directory, fresh per run) and emits the opening `run-start` event.
+/// No-op in telemetry-off builds.
+fn start_trace(cli: &Cli, run: &str, scale: Scale) {
+    if !indigo_obs::enabled() {
+        return;
+    }
+    let path = Path::new(&cli.out_dir).join(format!("TRACE_{run}.jsonl"));
+    if std::fs::create_dir_all(&cli.out_dir).is_err() {
+        return;
+    }
+    let _ = std::fs::remove_file(&path); // one trace per run, not an archive
+    match indigo_obs::install_trace(&path) {
+        Ok(true) => {
+            indigo_obs::emit(
+                &TraceEvent::instant("run-start", run, indigo_obs::now_micros())
+                    .with_arg("jobs", cli.options.jobs.to_string())
+                    .with_arg("sim_workers", cli.options.sim_workers.to_string())
+                    .with_arg("scale", format!("{scale:?}")),
+            );
+            console_line(&format!("recording trace to {}", path.display()));
+        }
+        Ok(false) => {}
+        Err(e) => console_line(&format!("cannot open trace {}: {e}", path.display())),
+    }
+}
+
+/// Emits the closing `counters` snapshot and `run-end` event. Readers
+/// treat `run-end` as the end of the run: any later events (e.g. the smoke
+/// overhead re-runs) are ignored by `trace`/`profile`.
+fn finish_trace(run: &str, suite_secs: f64) {
+    if !indigo_obs::enabled() || !indigo_obs::trace_installed() {
+        return;
+    }
+    let snap = indigo_obs::counters_snapshot();
+    let mut ev = TraceEvent::instant("counters", "run totals", indigo_obs::now_micros());
+    for c in Counter::ALL {
+        ev = ev.with_arg(c.name(), snap.get(c).to_string());
+    }
+    indigo_obs::emit(&ev);
+    indigo_obs::emit(
+        &TraceEvent::instant("run-end", run, indigo_obs::now_micros())
+            .with_arg("suite_secs", format!("{suite_secs:.3}")),
+    );
 }
 
 fn resilience_armed(res: &Resilience) -> bool {
@@ -310,18 +384,20 @@ fn run_smoke(cli: &Cli, reports: &mut Vec<Report>) -> Result<RunSummary, String>
         Scale::Tiny // smoke defaults down to tiny unless --scale was given
     };
     let plan = smoke_plan(scale, 1);
-    eprintln!(
+    console_line(&format!(
         "smoke slice: {} variants × {} graphs at {scale:?} scale ({} jobs)",
         plan.variants.len(),
         plan.graphs.len(),
         cli.options.jobs
-    );
+    ));
+    start_trace(cli, "smoke", scale);
     let mut reporter = PhaseReporter::new();
     let started = Instant::now();
     let run = plan.run_cells(&cli.options, &cli.res, |ev| reporter.on_event(ev))?;
     let suite_secs = started.elapsed().as_secs_f64();
+    finish_trace("smoke", suite_secs);
     let s = run.summary();
-    eprintln!("smoke complete: {s}");
+    console_line(&format!("smoke complete: {s}"));
     reporter.print_summary(suite_secs);
 
     // overhead check: same slice, supervision off (only when this run is
@@ -348,18 +424,18 @@ fn run_smoke(cli: &Cli, reports: &mut Vec<Report>) -> Result<RunSummary, String>
         } else {
             0.0
         };
-        eprintln!(
+        console_line(&format!(
             "resilience overhead: supervised {} vs bare {} ({pct:+.2}%, min of 2)",
             fmt_secs(sup_secs),
             fmt_secs(base_secs)
-        );
+        ));
         Some((base_secs, pct))
     } else {
         None
     };
 
     if let Err(e) = write_bench_json(cli, &reporter, suite_secs, &s, overhead) {
-        eprintln!("failed to write BENCH_harness.json: {e}");
+        console_line(&format!("failed to write BENCH_harness.json: {e}"));
     }
     reports.push(outcomes::cells_report(&run));
     reports.push(outcomes::outcomes_report(&run));
@@ -396,7 +472,7 @@ impl PhaseReporter {
             ProgressEvent::PhaseStart { phase, total } => {
                 self.phase_started = Instant::now();
                 self.last_line = self.phase_started;
-                eprintln!("[{}] starting: {total} cells", phase.label());
+                console_line(&format!("[{}] starting: {total} cells", phase.label()));
             }
             ProgressEvent::Cell { phase, done, total } => {
                 // throttle: at most ~1 line/sec, but always print the last
@@ -416,20 +492,20 @@ impl PhaseReporter {
                 } else {
                     f64::NAN
                 };
-                eprintln!(
+                console_line(&format!(
                     "[{}] {done}/{total} cells  {rate:.1} cells/s  elapsed {}  eta {}",
                     phase.label(),
                     fmt_secs(elapsed),
                     fmt_secs(eta),
-                );
+                ));
             }
             ProgressEvent::PhaseEnd { phase, total, secs } => {
                 let rate = if secs > 0.0 { total as f64 / secs } else { 0.0 };
-                eprintln!(
+                console_line(&format!(
                     "[{}] done: {total} cells in {} ({rate:.1} cells/s)",
                     phase.label(),
                     fmt_secs(secs),
-                );
+                ));
                 self.finished.push(PhaseRecord {
                     phase,
                     cells: total,
@@ -449,9 +525,9 @@ impl PhaseReporter {
     }
 
     fn print_summary(&self, suite_secs: f64) {
-        eprintln!("phase breakdown:");
+        console_line("phase breakdown:");
         for r in &self.finished {
-            eprintln!(
+            console_line(&format!(
                 "  {:8} {:6} units  {:>9}  ({:.1}% of wall)",
                 r.phase.label(),
                 r.cells,
@@ -461,7 +537,7 @@ impl PhaseReporter {
                 } else {
                     0.0
                 },
-            );
+            ));
         }
         let cells = self.total_cells();
         let rate = if suite_secs > 0.0 {
@@ -469,10 +545,10 @@ impl PhaseReporter {
         } else {
             0.0
         };
-        eprintln!(
+        console_line(&format!(
             "  total    {cells:6} cells  {:>9}  ({rate:.1} cells/s)",
             fmt_secs(suite_secs)
-        );
+        ));
     }
 }
 
@@ -524,6 +600,7 @@ fn write_bench_json(
     let body = format!(
         "{{\n  \"suite_secs\": {},\n  \"cells\": {},\n  \"cells_per_sec\": {},\n  \
          \"jobs\": {},\n  \"sim_workers\": {},\n  \"scale\": \"{:?}\",\n  \"reps\": {},\n  \
+         \"telemetry_enabled\": {},\n  \
          \"resilience\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
         json_f64(suite_secs),
         cells,
@@ -532,14 +609,261 @@ fn write_bench_json(
         cli.options.sim_workers,
         cli.scale,
         cli.reps,
+        indigo_obs::enabled(),
         resilience,
         phases
     );
     std::fs::create_dir_all(&cli.out_dir)?;
     let path = std::path::Path::new(&cli.out_dir).join("BENCH_harness.json");
     std::fs::write(&path, body)?;
-    eprintln!("wrote {}", path.display());
+    console_line(&format!("wrote {}", path.display()));
     Ok(())
+}
+
+// ---- trace / profile subcommands ----------------------------------------
+
+/// Resolves the input trace: `--in PATH`, else the newest `TRACE_*.jsonl`
+/// in the output directory.
+fn resolve_trace_input(cli: &Cli) -> Result<PathBuf, String> {
+    if let Some(p) = &cli.trace_in {
+        return Ok(PathBuf::from(p));
+    }
+    let dir = Path::new(&cli.out_dir);
+    let mut newest: Option<(std::time::SystemTime, PathBuf)> = None;
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot list {}: {e}", dir.display()))?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if !name.starts_with("TRACE_") || !name.ends_with(".jsonl") {
+            continue;
+        }
+        let modified = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+        if newest.as_ref().is_none_or(|(t, _)| modified > *t) {
+            newest = Some((modified, entry.path()));
+        }
+    }
+    newest.map(|(_, p)| p).ok_or_else(|| {
+        format!(
+            "no TRACE_*.jsonl in {}; record one with a telemetry build \
+             (cargo run --features telemetry --bin indigo-exp -- --smoke)",
+            dir.display()
+        )
+    })
+}
+
+/// Loads a trace and truncates it at the first `run-end`: events past it
+/// (the smoke overhead re-runs) are not part of the reported run.
+fn load_run(path: &Path) -> Result<(Vec<TraceEvent>, usize), String> {
+    let (mut events, skipped) =
+        indigo_obs::load_trace(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if let Some(end) = events.iter().position(|e| e.kind == "run-end") {
+        events.truncate(end + 1);
+    }
+    Ok((events, skipped))
+}
+
+/// `indigo-exp trace [--in PATH] [--out FILE|DIR] [--check]` — exports the
+/// recorded trace as chrome://tracing JSON, or validates it with `--check`.
+fn cmd_trace(cli: &Cli) -> Result<i32, String> {
+    let input = resolve_trace_input(cli)?;
+    let (events, skipped) = load_run(&input)?;
+    if cli.check {
+        if events.is_empty() {
+            return Err(format!("{}: no valid trace events", input.display()));
+        }
+        if skipped > 0 {
+            return Err(format!(
+                "{}: {skipped} malformed line(s) in a completed run",
+                input.display()
+            ));
+        }
+        for required in ["run-start", "phase", "run-end"] {
+            if !events.iter().any(|e| e.kind == required) {
+                return Err(format!(
+                    "{}: missing required `{required}` event",
+                    input.display()
+                ));
+            }
+        }
+        console_line(&format!(
+            "trace OK: {} events in {}",
+            events.len(),
+            input.display()
+        ));
+        return Ok(0);
+    }
+    let out = if cli.out_dir.ends_with(".json") {
+        PathBuf::from(&cli.out_dir)
+    } else {
+        std::fs::create_dir_all(&cli.out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", cli.out_dir))?;
+        Path::new(&cli.out_dir).join("trace.json")
+    };
+    let json = indigo_obs::chrome::to_chrome_json(&events);
+    std::fs::write(&out, json).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    console_line(&format!(
+        "wrote {} ({} events{}; load in chrome://tracing or Perfetto)",
+        out.display(),
+        events.len(),
+        if skipped > 0 {
+            format!(", {skipped} torn line(s) skipped")
+        } else {
+            String::new()
+        }
+    ));
+    Ok(0)
+}
+
+/// `indigo-exp profile [--in PATH] [--top N]` — renders a plain-text
+/// profile report from a recorded trace and writes it to `profile.txt`.
+fn cmd_profile(cli: &Cli) -> Result<i32, String> {
+    let input = resolve_trace_input(cli)?;
+    let (events, skipped) = load_run(&input)?;
+    if events.is_empty() {
+        return Err(format!("{}: no valid trace events", input.display()));
+    }
+    let text = profile_text(&events, skipped, cli.top, &input);
+    println!("{text}");
+    let out_dir = if cli.out_dir.ends_with(".json") {
+        "results".to_string()
+    } else {
+        cli.out_dir.clone()
+    };
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+    let out = Path::new(&out_dir).join("profile.txt");
+    std::fs::write(&out, &text).map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    console_line(&format!("wrote {}", out.display()));
+    Ok(0)
+}
+
+/// One aggregated row of the per-target table.
+#[derive(Default)]
+struct TargetAgg {
+    cells: usize,
+    wall_us: u64,
+    sim_cycles: f64,
+}
+
+fn profile_text(events: &[TraceEvent], skipped: usize, top: usize, input: &Path) -> String {
+    use std::collections::BTreeMap;
+    let mut out = String::new();
+    out.push_str(&format!("profile of {}\n", input.display()));
+    out.push_str(&format!(
+        "{} events{}\n",
+        events.len(),
+        if skipped > 0 {
+            format!(" ({skipped} torn line(s) skipped)")
+        } else {
+            String::new()
+        }
+    ));
+    if let Some(start) = events.iter().find(|e| e.kind == "run-start") {
+        out.push_str(&format!(
+            "run: {} (jobs {}, sim workers {}, scale {})\n",
+            start.name,
+            start.arg("jobs").unwrap_or("?"),
+            start.arg("sim_workers").unwrap_or("?"),
+            start.arg("scale").unwrap_or("?"),
+        ));
+    }
+    if let Some(end) = events.iter().find(|e| e.kind == "run-end") {
+        out.push_str(&format!(
+            "wall: {}s\n",
+            end.arg("suite_secs").unwrap_or("?")
+        ));
+    }
+
+    out.push_str("\nphases:\n");
+    for ev in events.iter().filter(|e| e.kind == "phase") {
+        out.push_str(&format!(
+            "  {:8} {:>6} units  {:>10.3}s\n",
+            ev.name,
+            ev.arg("cells").unwrap_or("?"),
+            ev.dur_us as f64 / 1e6,
+        ));
+    }
+
+    let cells: Vec<&TraceEvent> = events.iter().filter(|e| e.kind == "cell").collect();
+    let mut outcomes: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut targets: BTreeMap<String, TargetAgg> = BTreeMap::new();
+    for ev in &cells {
+        *outcomes
+            .entry(ev.arg("outcome").unwrap_or("?"))
+            .or_default() += 1;
+        // cell names are `variant|graph|target`
+        let target = ev.name.rsplit('|').next().unwrap_or("?").to_string();
+        let agg = targets.entry(target).or_default();
+        agg.cells += 1;
+        agg.wall_us += ev.dur_us;
+        agg.sim_cycles += ev.arg_f64("sim_cycles").unwrap_or(0.0);
+    }
+    out.push_str("\noutcomes:");
+    for (label, n) in &outcomes {
+        out.push_str(&format!("  {label}={n}"));
+    }
+    out.push('\n');
+    out.push_str("\nby target:\n");
+    for (target, agg) in &targets {
+        out.push_str(&format!(
+            "  {:16} {:>6} cells  {:>10.3}s wall  {:>14.0} sim cycles\n",
+            target,
+            agg.cells,
+            agg.wall_us as f64 / 1e6,
+            agg.sim_cycles,
+        ));
+    }
+
+    let mut by_cycles: Vec<&&TraceEvent> = cells
+        .iter()
+        .filter(|e| e.arg_f64("sim_cycles").is_some())
+        .collect();
+    by_cycles.sort_by(|a, b| {
+        b.arg_f64("sim_cycles")
+            .unwrap_or(0.0)
+            .total_cmp(&a.arg_f64("sim_cycles").unwrap_or(0.0))
+    });
+    if !by_cycles.is_empty() {
+        out.push_str(&format!("\ntop {} cells by sim cycles:\n", top));
+        for ev in by_cycles.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>14.0} cycles  {:>4} launches  {}\n",
+                ev.arg_f64("sim_cycles").unwrap_or(0.0),
+                ev.arg("sim_launches").unwrap_or("?"),
+                ev.name,
+            ));
+        }
+    }
+
+    let mut by_wall: Vec<&&TraceEvent> = cells.iter().collect();
+    by_wall.sort_by(|a, b| b.dur_us.cmp(&a.dur_us));
+    if !by_wall.is_empty() {
+        out.push_str(&format!("\ntop {} cells by wall time:\n", top));
+        for ev in by_wall.iter().take(top) {
+            out.push_str(&format!(
+                "  {:>10.3}s  {}\n",
+                ev.dur_us as f64 / 1e6,
+                ev.name,
+            ));
+        }
+    }
+
+    if let Some(counters) = events.iter().rev().find(|e| e.kind == "counters") {
+        out.push_str("\ncounters:\n");
+        for (k, v) in &counters.args {
+            if v != "0" {
+                out.push_str(&format!("  {k:32} {v}\n"));
+            }
+        }
+    }
+    let fires = events.iter().filter(|e| e.kind == "watchdog-fire").count();
+    if fires > 0 {
+        out.push_str(&format!("\nwatchdog fired {fires} time(s)\n"));
+    }
+    out
 }
 
 /// JSON has no NaN/Infinity literals; clamp to null.
@@ -573,6 +897,8 @@ usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
                   [--cell-timeout SECS] [--cell-cycle-budget CYCLES]
                   [--journal PATH] [--resume PATH]
                   [--inject-fault panic|stall|corrupt@CELL] [--smoke]
+       indigo-exp trace   [--in TRACE.jsonl] [--out FILE.json|DIR] [--check]
+       indigo-exp profile [--in TRACE.jsonl] [--top N] [--out DIR]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
@@ -587,6 +913,12 @@ answer becomes a structured row in the cells/outcomes reports instead of
 aborting the sweep. --journal checkpoints completed cells as JSONL;
 --resume replays a journal (byte-identical results) and keeps appending
 to it. --smoke runs a small fixed slice for CI and overhead tracking.
+
+observability: builds with `--features telemetry` record zero-alloc
+counters and phase/cell spans to TRACE_<run>.jsonl in the output dir.
+`trace` exports the newest trace as chrome://tracing JSON (`--check`
+validates it instead); `profile` prints per-phase/per-target breakdowns,
+top-N cells, and counter totals. Both read traces from any build.
 
 exit codes: 0 all cells clean; 2 run completed with failed cells;
 1 harness error.";

@@ -262,11 +262,23 @@ impl Journal {
 
     /// Appends one completed cell and flushes.
     pub fn record(&self, r: &CellRecord) -> std::io::Result<()> {
+        let started = if indigo_obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
         let line = emit_line(r);
         let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
         out.write_all(line.as_bytes())?;
         out.write_all(b"\n")?;
-        out.flush()
+        out.flush()?;
+        if let Some(t0) = started {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            indigo_obs::Counter::JournalAppends.incr();
+            indigo_obs::Counter::JournalAppendNanos.add(nanos);
+            indigo_obs::Hist::JournalAppendMicros.record(nanos / 1_000);
+        }
+        Ok(())
     }
 }
 

@@ -21,7 +21,8 @@ use crate::schedule::{ProgressEvent, RunOptions, RunPhase};
 use indigo_cancel::CancelToken;
 use indigo_core::gpu::DeviceGraph;
 use indigo_core::{
-    run_gpu_supervised, run_variant_supervised, verify, GraphInput, Output, Supervision, Target,
+    run_gpu_supervised, run_variant_supervised, verify, GraphInput, Output, SimStats, Supervision,
+    Target,
 };
 use indigo_exec::SYSTEM_PROFILES;
 use indigo_gpusim::{rtx3090, titan_v, Device, FaultKind, FaultPlan};
@@ -270,6 +271,7 @@ impl RunPlan {
 
         // ---- phase 1: prepare inputs (generate + upload), one per graph
         let started = Instant::now();
+        let started_us = indigo_obs::now_micros();
         progress(ProgressEvent::PhaseStart {
             phase: RunPhase::Prepare,
             total: self.graphs.len(),
@@ -296,6 +298,7 @@ impl RunPlan {
             total: self.graphs.len(),
             secs: started.elapsed().as_secs_f64(),
         });
+        emit_phase_span(RunPhase::Prepare, started_us, self.graphs.len());
 
         // ---- enumerate cells in serial nesting order; the slot index is
         // the position a single-threaded run would emit the measurement at
@@ -326,6 +329,7 @@ impl RunPlan {
 
         // ---- phase 2: GPU-sim cells, fanned across the job pool
         let started = Instant::now();
+        let started_us = indigo_obs::now_micros();
         progress(ProgressEvent::PhaseStart {
             phase: RunPhase::GpuSim,
             total: gpu_cells.len(),
@@ -351,10 +355,12 @@ impl RunPlan {
             total: gpu_cells.len(),
             secs: started.elapsed().as_secs_f64(),
         });
+        emit_phase_span(RunPhase::GpuSim, started_us, gpu_cells.len());
 
         // ---- phase 3: CPU wall-clock cells, exclusive (no concurrent
         // measurement work that would skew the timings)
         let started = Instant::now();
+        let started_us = indigo_obs::now_micros();
         progress(ProgressEvent::PhaseStart {
             phase: RunPhase::CpuWall,
             total: cpu_cells.len(),
@@ -373,6 +379,7 @@ impl RunPlan {
             total: cpu_cells.len(),
             secs: started.elapsed().as_secs_f64(),
         });
+        emit_phase_span(RunPhase::CpuWall, started_us, cpu_cells.len());
 
         let records: Vec<CellRecord> = slots
             .into_iter()
@@ -484,6 +491,11 @@ impl RunPlan {
         }
 
         let (input, dg) = prepared;
+        let cell_started_us = if indigo_obs::enabled() {
+            indigo_obs::now_micros()
+        } else {
+            0
+        };
         let run = catch_unwind(AssertUnwindSafe(|| {
             match harness_fault {
                 Some(CellFaultKind::Panic) => {
@@ -509,8 +521,12 @@ impl RunPlan {
                 corrupt,
             )
         }));
+        let mut sim_stats = None;
         let outcome = match run {
-            Ok(Ok(m)) => CellOutcome::Ok(m),
+            Ok(Ok((m, s))) => {
+                sim_stats = s;
+                CellOutcome::Ok(m)
+            }
             Ok(Err(detail)) => CellOutcome::WrongAnswer { detail },
             Err(payload) => match indigo_cancel::as_cancelled(payload.as_ref()) {
                 Some(c) => CellOutcome::TimedOut {
@@ -527,6 +543,29 @@ impl RunPlan {
             },
         };
         drop(guard);
+        if indigo_obs::enabled() {
+            let dur_us = indigo_obs::now_micros().saturating_sub(cell_started_us);
+            indigo_obs::Hist::CellMicros.record(dur_us);
+            let mut ev = indigo_obs::TraceEvent::span(
+                "cell",
+                format!("{variant}|{graph_label}|{target_label}"),
+                cell_started_us,
+                dur_us.max(1),
+            )
+            .with_arg("outcome", outcome.label());
+            if let CellOutcome::Ok(m) = &outcome {
+                ev = ev
+                    .with_arg("geps", format!("{:.6}", m.geps))
+                    .with_arg("iterations", m.iterations.to_string());
+            }
+            if let Some(s) = sim_stats {
+                ev = ev
+                    .with_arg("sim_cycles", format!("{:.0}", s.cycles))
+                    .with_arg("sim_launches", s.launches.to_string())
+                    .with_arg("sim_accesses", s.accesses.to_string());
+            }
+            indigo_obs::emit(&ev);
+        }
         CellRecord {
             fingerprint: fp,
             variant,
@@ -540,7 +579,8 @@ impl RunPlan {
     /// Measures one cell. `Err` means the output diverged from the serial
     /// reference (the detail string); panics — including [`Cancelled`]
     /// unwinds from the supervision machinery — propagate to the caller's
-    /// isolation boundary.
+    /// isolation boundary. The second element carries simulator statistics
+    /// for GPU cells (telemetry only; `None` for CPU cells).
     ///
     /// [`Cancelled`]: indigo_cancel::Cancelled
     #[allow(clippy::too_many_arguments)]
@@ -554,7 +594,7 @@ impl RunPlan {
         sim_workers: usize,
         sup: &Supervision,
         corrupt: bool,
-    ) -> Result<Measurement, String> {
+    ) -> Result<(Measurement, Option<SimStats>), String> {
         let (mut result, reps) = match target {
             TargetSpec::Gpu(device) => {
                 // the simulator is deterministic: one run is exact
@@ -579,6 +619,7 @@ impl RunPlan {
         }
         secs.sort_by(f64::total_cmp);
         let median = secs[secs.len() / 2];
+        let sim_stats = result.sim;
         if corrupt {
             corrupt_output(&mut result.output);
         }
@@ -590,13 +631,29 @@ impl RunPlan {
         } else {
             f64::INFINITY
         };
-        Ok(Measurement {
-            cfg: *cfg,
-            graph: which.label(),
-            target: target.label(),
-            geps,
-            iterations: result.iterations,
-        })
+        Ok((
+            Measurement {
+                cfg: *cfg,
+                graph: which.label(),
+                target: target.label(),
+                geps,
+                iterations: result.iterations,
+            },
+            sim_stats,
+        ))
+    }
+}
+
+/// Emits one trace span covering a whole scheduler phase. `started_us` is
+/// captured unconditionally at phase start (one clock read per phase); the
+/// event itself only exists in telemetry builds with a sink installed.
+fn emit_phase_span(phase: RunPhase, started_us: u64, cells: usize) {
+    if indigo_obs::enabled() {
+        let dur = indigo_obs::now_micros().saturating_sub(started_us);
+        indigo_obs::emit(
+            &indigo_obs::TraceEvent::span("phase", phase.label(), started_us, dur.max(1))
+                .with_arg("cells", cells.to_string()),
+        );
     }
 }
 
@@ -737,6 +794,20 @@ impl Watchdog {
                                 w.budget.as_secs_f64()
                             ));
                             w.state.fired.store(true, Ordering::Release);
+                            if indigo_obs::enabled() {
+                                indigo_obs::Counter::WatchdogFired.incr();
+                                indigo_obs::emit(
+                                    &indigo_obs::TraceEvent::instant(
+                                        "watchdog-fire",
+                                        "cell budget exceeded",
+                                        indigo_obs::now_micros(),
+                                    )
+                                    .with_arg(
+                                        "budget_secs",
+                                        format!("{:.3}", w.budget.as_secs_f64()),
+                                    ),
+                                );
+                            }
                             return false;
                         }
                         true
@@ -767,6 +838,9 @@ impl Watchdog {
     /// Registers one cell; the returned guard deregisters on drop and
     /// remembers whether the watchdog fired.
     fn watch(&self, budget: Duration, token: CancelToken) -> WatchGuard {
+        if indigo_obs::enabled() {
+            indigo_obs::Counter::WatchdogArmed.incr();
+        }
         let state = Arc::new(WatchState {
             active: AtomicBool::new(true),
             fired: AtomicBool::new(false),

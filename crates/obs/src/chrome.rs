@@ -1,0 +1,85 @@
+//! chrome://tracing exporter.
+//!
+//! Converts a recorded trace ([`TraceEvent`]s) into the Trace Event Format
+//! JSON array that `chrome://tracing` and Perfetto load directly: spans
+//! become complete events (`"ph": "X"`) with microsecond `ts`/`dur`,
+//! instants become `"ph": "i"` with thread scope. Always compiled —
+//! exporting must work on traces recorded by other builds.
+
+use crate::event::{json_str, TraceEvent};
+
+/// Renders events as a chrome://tracing JSON array (one event per line for
+/// diffability). The whole trace is shown as process 1; `tid` carries the
+/// emitting worker.
+#[must_use]
+pub fn to_chrome_json(events: &[TraceEvent]) -> String {
+    let mut out = String::from("[\n");
+    out.push_str(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+         \"args\": {\"name\": \"indigo-exp\"}}",
+    );
+    for ev in events {
+        out.push_str(",\n");
+        out.push_str(&chrome_event(ev));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn chrome_event(ev: &TraceEvent) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!("\"name\": {}, ", json_str(&ev.name)));
+    s.push_str(&format!("\"cat\": {}, ", json_str(&ev.kind)));
+    if ev.dur_us > 0 {
+        s.push_str(&format!(
+            "\"ph\": \"X\", \"ts\": {}, \"dur\": {}, ",
+            ev.ts_us, ev.dur_us
+        ));
+    } else {
+        s.push_str(&format!(
+            "\"ph\": \"i\", \"s\": \"t\", \"ts\": {}, ",
+            ev.ts_us
+        ));
+    }
+    s.push_str(&format!("\"pid\": 1, \"tid\": {}, \"args\": {{", ev.tid));
+    for (i, (k, v)) in ev.args.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&json_str(k));
+        s.push_str(": ");
+        s.push_str(&json_str(v));
+    }
+    s.push_str("}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_and_instants_render_with_correct_phases() {
+        let events = vec![
+            TraceEvent::span("phase", "gpu-sim", 100, 5000).with_arg("cells", "12"),
+            TraceEvent::instant("watchdog-fire", "bfs|rmat", 4200).with_tid(3),
+        ];
+        let json = to_chrome_json(&events);
+        assert!(json.starts_with("[\n"));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"ph\": \"X\", \"ts\": 100, \"dur\": 5000"));
+        assert!(json.contains("\"ph\": \"i\", \"s\": \"t\", \"ts\": 4200"));
+        assert!(json.contains("\"tid\": 3"));
+        assert!(json.contains("\"cells\": \"12\""));
+        // exactly one trailing comma structure: N events + metadata
+        assert_eq!(json.matches("\"ph\"").count(), 3);
+    }
+
+    #[test]
+    fn empty_trace_is_still_a_valid_array() {
+        let json = to_chrome_json(&[]);
+        assert!(json.contains("process_name"));
+        assert!(json.trim_end().ends_with(']'));
+    }
+}

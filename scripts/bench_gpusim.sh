@@ -11,7 +11,10 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build -q --release -p indigo-bench -p indigo-harness
+# the perf probe reads telemetry counter deltas, so it needs the feature;
+# the smoke timing below uses the default (telemetry-off) harness build
+cargo build -q --release -p indigo-bench --features telemetry
+cargo build -q --release -p indigo-harness
 
 out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT

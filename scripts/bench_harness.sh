@@ -1,0 +1,100 @@
+#!/usr/bin/env bash
+# Regenerates results/BENCH_harness.json: the end-to-end harness record,
+# including the telemetry on-vs-off overhead gate (DESIGN.md §7.5).
+#
+# Builds indigo-exp twice (default and --features telemetry) and runs the
+# smoke slice with each, interleaved. The telemetry build must cost < 3%
+# over the default build — recording is a few relaxed fetch_adds per
+# launch plus one trace line per cell, so a larger gap means someone put
+# work on the hot path outside an `if indigo_obs::enabled()` guard that
+# the off build can no longer eliminate. Exits nonzero past the budget.
+#
+# The gate compares process CPU time (user+sys, min of 4): on a shared
+# runner, wall-clock swings far more than 3% run-to-run from background
+# load alone, while CPU time only moves with work actually executed.
+# Wall-times are recorded alongside for the human-facing trend.
+#
+#   scripts/bench_harness.sh           measure, gate, rewrite results/
+#   scripts/bench_harness.sh --check   measure + gate only (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mode="write"
+[ "${1:-}" = "--check" ] && mode="check"
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+# two binaries: cargo rebuilds in place, so park each aside
+cargo build -q --release -p indigo-harness --bin indigo-exp
+cp target/release/indigo-exp "$out/exp-off"
+cargo build -q --release -p indigo-harness --bin indigo-exp --features telemetry
+cp target/release/indigo-exp "$out/exp-on"
+
+suite_secs() {
+    grep -o '"suite_secs": [0-9.]*' "$1/BENCH_harness.json" | grep -o '[0-9.]*'
+}
+
+# One smoke run at Small scale (the Tiny slice finishes in milliseconds —
+# a 3% gate needs seconds of signal). Sets RUN_WALL (the in-process suite
+# wall-time) and RUN_CPU (user+sys seconds of the whole process).
+one_run() {
+    local t
+    TIMEFORMAT='%3U %3S'
+    t=$( { time "$1" --smoke --scale small --jobs 1 --sim-workers 1 \
+        --out "$2" >/dev/null 2>/dev/null; } 2>&1 )
+    RUN_CPU=$(echo "$t" | awk '{ printf "%.3f", $1 + $2 }')
+    RUN_WALL=$(suite_secs "$2")
+}
+
+# min() over interleaved off/on pairs: interleaving spreads load drift
+# across both builds instead of letting one build soak it all
+min() { awk -v a="${1:-1e9}" -v b="$2" 'BEGIN { printf "%.3f", (b < a) ? b : a }'; }
+
+off_wall=""
+off_cpu=""
+off_dir=""
+on_wall=""
+on_cpu=""
+for i in 1 2 3 4; do
+    one_run "$out/exp-off" "$out/off$i"
+    if [ -z "$off_wall" ] ||
+        awk -v a="$off_wall" -v b="$RUN_WALL" 'BEGIN { exit !(b < a) }'; then
+        off_dir="$out/off$i"
+    fi
+    off_wall=$(min "$off_wall" "$RUN_WALL")
+    off_cpu=$(min "$off_cpu" "$RUN_CPU")
+    one_run "$out/exp-on" "$out/on$i"
+    on_wall=$(min "$on_wall" "$RUN_WALL")
+    on_cpu=$(min "$on_cpu" "$RUN_CPU")
+done
+
+cpu_pct=$(awk -v on="$on_cpu" -v off="$off_cpu" \
+    'BEGIN { printf "%.3f", 100 * (on - off) / off }')
+wall_pct=$(awk -v on="$on_wall" -v off="$off_wall" \
+    'BEGIN { printf "%.3f", 100 * (on - off) / off }')
+echo "telemetry overhead: cpu ${on_cpu}s vs ${off_cpu}s (${cpu_pct}%)," \
+    "wall ${on_wall}s vs ${off_wall}s (${wall_pct}%); min of 4, budget <3% cpu"
+if awk -v p="$cpu_pct" 'BEGIN { exit !(p >= 3.0) }'; then
+    echo "FAIL: telemetry build exceeds the 3% CPU overhead budget"
+    exit 1
+fi
+
+[ "$mode" = "check" ] && exit 0
+
+# the committed record is the best telemetry-off run plus the comparison
+head -n -1 "$off_dir/BENCH_harness.json" | sed '$ s/\]$/],/' \
+    > results/BENCH_harness.json
+cat >> results/BENCH_harness.json <<EOF
+  "telemetry": {
+    "enabled_build_cpu_secs": $on_cpu,
+    "disabled_build_cpu_secs": $off_cpu,
+    "cpu_overhead_pct": $cpu_pct,
+    "enabled_build_wall_secs": $on_wall,
+    "disabled_build_wall_secs": $off_wall,
+    "wall_overhead_pct": $wall_pct,
+    "budget_pct": 3.0
+  }
+}
+EOF
+echo "wrote results/BENCH_harness.json (suite ${off_wall}s)"

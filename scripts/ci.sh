@@ -46,7 +46,38 @@ echo "== simulator perf smoke (deterministic: cycles + allocation counts)"
 # Wall-clock is deliberately NOT gated (shared runners flake); the probe
 # compares simulated cycles, access counts, and steady-state allocation
 # counts against the committed baseline — warn at 10%, fail at 30%.
-cargo build -q --release -p indigo-bench --bin gpusim_perf
+# The probe reads telemetry counter deltas, so it needs the feature on.
+cargo build -q --release -p indigo-bench --bin gpusim_perf --features telemetry
 target/release/gpusim_perf --check results/BENCH_gpusim_baseline.json
+
+echo "== telemetry (feature-on tests, trace validation, zero-cost guard)"
+# the full suite again with recording compiled in: obs live tests, the
+# trace integration test, and the alloc-regression pin all re-run hot
+cargo test -q --workspace --features telemetry
+
+# a telemetry smoke run must emit a trace that the checker accepts and
+# the chrome exporter converts; profile must render from the same file
+cargo build -q --release -p indigo-harness --bin indigo-exp --features telemetry
+texp=target/release/indigo-exp
+"$texp" --smoke --out "$smoke_dir/telemetry" >/dev/null
+trace="$smoke_dir/telemetry/TRACE_smoke.jsonl"
+[ -s "$trace" ] || { echo "telemetry smoke wrote no trace"; exit 1; }
+"$texp" trace --in "$trace" --check
+"$texp" trace --in "$trace" --out "$smoke_dir/telemetry/trace.json" >/dev/null
+grep -q '"ph": "X"' "$smoke_dir/telemetry/trace.json" ||
+    { echo "chrome export has no complete events"; exit 1; }
+"$texp" profile --in "$trace" --out "$smoke_dir/telemetry" >/dev/null
+
+# zero-cost guard: the default build must stay telemetry-free — the smoke
+# runs above in this script used it, so just pin the compile-time switch
+cargo build -q --release -p indigo-harness --bin indigo-exp
+target/release/indigo-exp --smoke --out "$smoke_dir/off" >/dev/null
+ls "$smoke_dir"/off/TRACE_*.jsonl >/dev/null 2>&1 &&
+    { echo "telemetry-off build wrote a trace file"; exit 1; }
+grep -q '"telemetry_enabled": false' "$smoke_dir/off/BENCH_harness.json" ||
+    { echo "telemetry-off build reports telemetry_enabled != false"; exit 1; }
+
+echo "== telemetry overhead gate (<3% smoke CPU time, interleaved min of 4)"
+scripts/bench_harness.sh --check
 
 echo "CI green."

@@ -136,4 +136,35 @@ fn steady_state_launches_do_not_allocate() {
         "pooled steady state allocated {pooled} times over {POOLED_LAUNCHES} launches \
          (expected at most one-time worker table growth)"
     );
+
+    // --- telemetry recording is allocation-free too (DESIGN.md §7.5) ---
+    // Counters and histograms are pre-registered static atomics, so the
+    // instrumented hot paths above stay on the zero-alloc budget whether
+    // the `telemetry` feature is on (CI runs both ways) or off. Snapshots
+    // are plain arrays, also alloc-free.
+    let before = allocs();
+    for i in 0..1_000u64 {
+        indigo_obs::Counter::SimLaunches.incr();
+        indigo_obs::Hist::LaunchCycles.record(i);
+    }
+    let snap = indigo_obs::counters_snapshot();
+    let hists = indigo_obs::hists_snapshot();
+    assert_eq!(allocs() - before, 0, "telemetry recording allocated");
+    if indigo_obs::enabled() {
+        assert!(
+            snap.get(indigo_obs::Counter::SimLaunches) >= 1_000,
+            "telemetry build lost counter increments"
+        );
+        assert!(
+            snap.get(indigo_obs::Counter::SimCycles) > 0,
+            "the launches above recorded no cycles"
+        );
+        assert!(hists.count(indigo_obs::Hist::LaunchCycles) >= 1_000);
+    } else {
+        assert!(
+            snap.is_zero(),
+            "telemetry-off build recorded counters: {snap:?}"
+        );
+        assert_eq!(hists.count(indigo_obs::Hist::LaunchCycles), 0);
+    }
 }

@@ -1,0 +1,158 @@
+//! Tier-2: the observability subsystem's trace pipeline (DESIGN.md §7.5).
+//!
+//! Pins the three properties the telemetry design promises:
+//!
+//! * the trace wire format round-trips and a torn tail (killed run) costs
+//!   exactly the torn line — `load_trace` skips it and counts it;
+//! * the chrome://tracing export is a loadable Trace Event Format array
+//!   with spans as `"ph": "X"` and instants as `"ph": "i"`;
+//! * with the `telemetry` feature off (the default build), the whole
+//!   subsystem is inert: no counters, no files, `install_trace` declines.
+//!
+//! The live-sink test runs only under `--features telemetry`; CI runs this
+//! file in both configurations.
+
+use std::path::PathBuf;
+
+use indigo_obs::chrome::to_chrome_json;
+use indigo_obs::{load_trace, validate_line, TraceEvent};
+
+/// Fresh per-test scratch dir (tests run concurrently in one process).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("indigo-trace-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn trace_jsonl_survives_torn_tail_and_garbage() {
+    let dir = scratch("torn");
+    let path = dir.join("TRACE_test.jsonl");
+
+    let start = TraceEvent::instant("run-start", "smoke", 0)
+        .with_arg("jobs", "2")
+        .to_json_line();
+    let phase = TraceEvent::span("phase", "gpu-sim", 10, 5_000)
+        .with_arg("cells", "104")
+        .to_json_line();
+    let cell = TraceEvent::span("cell", "bfs-cuda|rmat16|gpu-sim", 20, 900)
+        .with_tid(1)
+        .with_arg("outcome", "ok")
+        .to_json_line();
+    let alien = TraceEvent::instant("martian", "x", 5).to_json_line(); // unknown kind
+    let torn = &cell[..cell.len() - 11]; // killed mid-write
+
+    std::fs::write(
+        &path,
+        format!("{start}\n{phase}\n{cell}\n{alien}\n\n{torn}"),
+    )
+    .unwrap();
+
+    let (events, skipped) = load_trace(&path).unwrap();
+    assert_eq!(events.len(), 3, "three well-formed events survive");
+    assert_eq!(
+        skipped, 2,
+        "unknown kind + torn tail are skipped, not fatal"
+    );
+    assert_eq!(events[0].kind, "run-start");
+    assert_eq!(events[2].arg("outcome"), Some("ok"));
+    assert_eq!(events[2].tid, 1);
+
+    // every surviving event re-validates from its own wire form
+    for ev in &events {
+        assert_eq!(&validate_line(&ev.to_json_line()).unwrap(), ev);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn chrome_export_is_a_loadable_trace_event_array() {
+    let events = vec![
+        TraceEvent::instant("run-start", "smoke", 0).with_arg("jobs", "2"),
+        TraceEvent::span("phase", "gpu-sim", 10, 5_000).with_arg("cells", "104"),
+        TraceEvent::span("cell", "bfs-cuda|rmat16|gpu-sim", 20, 900).with_tid(3),
+        TraceEvent::instant("watchdog-fire", "cc-omp|road|cpu", 4_000),
+    ];
+    let json = to_chrome_json(&events);
+
+    assert!(json.starts_with("[\n") && json.trim_end().ends_with(']'));
+    assert!(json.contains("\"process_name\""), "metadata event present");
+    // spans → complete events, instants → thread-scoped instants
+    assert_eq!(json.matches("\"ph\": \"X\"").count(), 2);
+    assert_eq!(json.matches("\"ph\": \"i\", \"s\": \"t\"").count(), 2);
+    assert!(json.contains("\"ts\": 10, \"dur\": 5000"));
+    assert!(json.contains("\"cat\": \"watchdog-fire\""));
+    assert!(json.contains("\"tid\": 3"));
+    // flat structure sanity: one object per line, comma-separated
+    let body: Vec<&str> = json.lines().filter(|l| l.starts_with('{')).collect();
+    assert_eq!(body.len(), 1 + events.len());
+}
+
+#[cfg(not(feature = "telemetry"))]
+mod disabled {
+    use super::*;
+    use indigo_obs::{
+        counters_snapshot, hists_snapshot, install_trace, trace_installed, Counter, Hist,
+    };
+
+    #[test]
+    fn default_build_records_nothing_and_writes_nothing() {
+        assert!(!indigo_obs::enabled());
+
+        // metric recording is compiled out
+        Counter::SimLaunches.add(10);
+        Hist::CellMicros.record(123);
+        assert!(counters_snapshot().is_zero());
+        assert_eq!(hists_snapshot().count(Hist::CellMicros), 0);
+
+        // the sink declines politely and never touches the filesystem
+        let dir = scratch("off");
+        let path = dir.join("TRACE_off.jsonl");
+        assert!(!install_trace(&path).unwrap());
+        assert!(!trace_installed());
+        indigo_obs::emit(&TraceEvent::instant("run-start", "x", 0));
+        assert!(!path.exists(), "telemetry-off build created a trace file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod live {
+    use super::*;
+    use indigo_obs::{emit, install_trace, now_micros, trace_installed};
+
+    // The trace sink is process-global (OnceLock), so everything touching
+    // it lives in this ONE test function.
+    #[test]
+    fn live_sink_appends_whole_lines_past_a_torn_predecessor() {
+        let dir = scratch("live");
+        let path = dir.join("TRACE_live.jsonl");
+
+        // simulate a previous run killed mid-line: no trailing newline
+        std::fs::write(&path, "{\"v\": 1, \"ts\": 3, \"du").unwrap();
+
+        assert!(install_trace(&path).unwrap(), "first install wins");
+        assert!(trace_installed());
+        assert!(
+            !install_trace(&path).unwrap(),
+            "second install declines instead of clobbering"
+        );
+
+        let t0 = now_micros();
+        emit(&TraceEvent::instant("run-start", "live-test", t0).with_arg("jobs", "1"));
+        emit(
+            &TraceEvent::span("phase", "gpu-sim", t0, 42)
+                .with_arg("cells", "7")
+                .with_tid(2),
+        );
+
+        let (events, skipped) = load_trace(&path).unwrap();
+        assert_eq!(skipped, 1, "only the pre-existing torn line is lost");
+        assert_eq!(events.len(), 2, "the newline guard kept our events whole");
+        assert_eq!(events[0].kind, "run-start");
+        assert_eq!(events[0].arg("jobs"), Some("1"));
+        assert_eq!(events[1].dur_us, 42);
+        assert_eq!(events[1].tid, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
