@@ -194,8 +194,15 @@ fn init(kind: RelaxKind, buf: &GpuBuf, source: NodeId) {
 
 /// Conditional monotonic update of `dist[to]` in the configured §2.5 style;
 /// returns whether the stored value decreased.
+///
+/// This is the GPU kernels' semantic *relaxation update* site: under the
+/// `sanitize` feature each call reports which style it actually used, and
+/// the mutation-test switch can force an RMW-labeled variant onto the
+/// unsynchronized split so the sanitizer's label check must trip.
 #[inline]
 fn gpu_min_update(ctx: &mut LaneCtx, dist: &GpuBuf, to: usize, nd: u32, rmw: bool) -> bool {
+    let rmw = rmw && !indigo_exec::sanitize::mutate_drop_atomic();
+    indigo_exec::sanitize::note_update(rmw);
     if rmw {
         ctx.atomic_min(dist, to, nd) > nd
     } else {

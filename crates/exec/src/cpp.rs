@@ -94,6 +94,8 @@ impl CppThreads {
                 });
             }
         });
+        // the scope join is the region barrier: conflicts cannot span it
+        crate::sanitize::region_flush();
         if let Some(token) = cancel {
             token.checkpoint();
         }
@@ -111,6 +113,7 @@ impl CppThreads {
                 scope.spawn(move || f(tid));
             }
         });
+        crate::sanitize::region_flush();
     }
 }
 

@@ -18,6 +18,10 @@
 //!   [`sync::MinOps`] used by the algorithm kernels.
 //! * [`worklist`] — the shared worklists of §2.3, in both the
 //!   duplicates-allowed and no-duplicates (iteration-stamp) flavors.
+//! * [`sanitize`] — the style-conformance sanitizer's shadow-memory
+//!   collector (zero-cost unless the `sanitize` feature is on); it lives
+//!   here, below both the CPU models and the GPU simulator, so one
+//!   collector sees both access streams.
 //!
 //! Work-stealing runtimes (rayon) are deliberately not used: they would
 //! erase the very scheduling axis the study measures.
@@ -25,6 +29,7 @@
 pub mod cpp;
 pub mod omp;
 pub mod pool_cache;
+pub mod sanitize;
 pub mod sync;
 pub mod worklist;
 

@@ -204,6 +204,8 @@ impl OmpPool {
             st = self.control.done.wait(st).unwrap();
         }
         st.job = None;
+        // the region end is an implicit barrier: conflicts cannot span it
+        crate::sanitize::region_flush();
     }
 }
 

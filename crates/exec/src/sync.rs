@@ -23,6 +23,17 @@ static OMP_CRITICAL: Mutex<()> = Mutex::new(());
 #[inline]
 pub fn omp_critical<R>(f: impl FnOnce() -> R) -> R {
     let _guard = OMP_CRITICAL.lock().unwrap_or_else(|e| e.into_inner());
+    // lockset bookkeeping for the sanitizer: accesses made while the
+    // critical section is held classify as synchronized (no-op when the
+    // `sanitize` feature is off; the guard survives unwinds)
+    struct Depth;
+    impl Drop for Depth {
+        fn drop(&mut self) {
+            crate::sanitize::critical_exit();
+        }
+    }
+    crate::sanitize::critical_enter();
+    let _depth = Depth;
     f()
 }
 
@@ -114,28 +125,43 @@ pub enum MinOps {
 impl MinOps {
     /// `dist[idx] = min(dist[idx], val)`; returns `true` if this call
     /// lowered the stored value (used to populate worklists).
+    ///
+    /// This is the CPU models' semantic *relaxation update* site: under the
+    /// `sanitize` feature each call reports whether it used a fused RMW or
+    /// the load/compare/store split, the split's accesses feed the conflict
+    /// detector, and [`crate::sanitize::mutate_drop_atomic`] can force the
+    /// RMW-atomic style onto the split for mutation tests.
     #[inline]
     pub fn min_update(self, cell: &AtomicU32, val: u32) -> bool {
-        match self {
-            MinOps::ReadWrite => {
-                let old = cell.load(Ordering::Relaxed);
-                if val < old {
-                    cell.store(val, Ordering::Relaxed);
-                    true
-                } else {
-                    false
-                }
+        use crate::sanitize::{self, AccessOp};
+        let addr = cell as *const AtomicU32 as u64;
+        let split = |note_rmw: bool| {
+            sanitize::note_update(note_rmw);
+            sanitize::record(sanitize::cpu_tid(), addr, AccessOp::Load);
+            let old = cell.load(Ordering::Relaxed);
+            if val < old {
+                sanitize::record(sanitize::cpu_tid(), addr, AccessOp::Store(val));
+                cell.store(val, Ordering::Relaxed);
+                true
+            } else {
+                false
             }
-            MinOps::RmwAtomic => fetch_min(cell, val) > val,
-            MinOps::RmwCritical => omp_critical(|| {
-                let old = cell.load(Ordering::Relaxed);
-                if val < old {
-                    cell.store(val, Ordering::Relaxed);
-                    true
-                } else {
-                    false
+        };
+        match self {
+            MinOps::ReadWrite => split(false),
+            MinOps::RmwAtomic => {
+                if sanitize::mutate_drop_atomic() {
+                    // mutation test: the RMW label's atomic is dropped and
+                    // the update degrades to the unsynchronized split
+                    return split(false);
                 }
-            }),
+                sanitize::note_update(true);
+                sanitize::record(sanitize::cpu_tid(), addr, AccessOp::AtomicRmw);
+                fetch_min(cell, val) > val
+            }
+            // inside the critical section the split is lock-protected; the
+            // sanitizer classifies its accesses as synchronized
+            MinOps::RmwCritical => omp_critical(|| split(true)),
         }
     }
 
@@ -143,22 +169,24 @@ impl MinOps {
     /// this for the no-duplicates worklist stamp).
     #[inline]
     pub fn max_update(self, cell: &AtomicU32, val: u32) -> u32 {
-        match self {
-            MinOps::ReadWrite => {
-                let old = cell.load(Ordering::Relaxed);
-                if val > old {
-                    cell.store(val, Ordering::Relaxed);
-                }
-                old
+        use crate::sanitize::{self, AccessOp};
+        let addr = cell as *const AtomicU32 as u64;
+        let split = || {
+            sanitize::record(sanitize::cpu_tid(), addr, AccessOp::Load);
+            let old = cell.load(Ordering::Relaxed);
+            if val > old {
+                sanitize::record(sanitize::cpu_tid(), addr, AccessOp::Store(val));
+                cell.store(val, Ordering::Relaxed);
             }
-            MinOps::RmwAtomic => fetch_max(cell, val),
-            MinOps::RmwCritical => omp_critical(|| {
-                let old = cell.load(Ordering::Relaxed);
-                if val > old {
-                    cell.store(val, Ordering::Relaxed);
-                }
-                old
-            }),
+            old
+        };
+        match self {
+            MinOps::ReadWrite => split(),
+            MinOps::RmwAtomic => {
+                sanitize::record(sanitize::cpu_tid(), addr, AccessOp::AtomicRmw);
+                fetch_max(cell, val)
+            }
+            MinOps::RmwCritical => omp_critical(split),
         }
     }
 }

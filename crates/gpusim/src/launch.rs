@@ -65,6 +65,12 @@ pub struct LaneCtx<'a> {
     /// Group totals, populated only for epilogue contexts.
     group_u64: u64,
     group_f32: f32,
+    /// Physical-thread identity for the sanitizer: `block * block_dim +
+    /// warp * 32 + lane`. Persistent grid-stride rounds reuse the same id,
+    /// exactly like real persistent threads. Only exists in sanitize
+    /// builds, so non-sanitize hot paths carry no extra state.
+    #[cfg(feature = "sanitize")]
+    gtid: u64,
 }
 
 impl<'a> LaneCtx<'a> {
@@ -94,6 +100,24 @@ impl<'a> LaneCtx<'a> {
         }
     }
 
+    /// Feeds one access into the style-conformance sanitizer. Compiles to
+    /// nothing without the `sanitize` feature (the `gtid` field does not
+    /// even exist there).
+    #[inline(always)]
+    #[allow(unused_variables)]
+    fn sanitize_record(&self, addr: u64, op: indigo_exec::sanitize::AccessOp) {
+        #[cfg(feature = "sanitize")]
+        indigo_exec::sanitize::record(self.gtid, addr, op);
+    }
+
+    /// The sanitizer op matching [`LaneCtx::rmw_class`].
+    fn sanitize_rmw_op(kind: BufKind) -> indigo_exec::sanitize::AccessOp {
+        match kind {
+            BufKind::Plain | BufKind::Atomic => indigo_exec::sanitize::AccessOp::AtomicRmw,
+            BufKind::CudaAtomic => indigo_exec::sanitize::AccessOp::CudaAtomicRmw,
+        }
+    }
+
     #[inline(always)]
     fn step(&mut self, class: AccessClass, addr: u64) {
         self.table.record(self.ordinal, class, addr);
@@ -104,6 +128,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn ld(&mut self, buf: &GpuBuf, i: usize) -> u32 {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), indigo_exec::sanitize::AccessOp::Load);
         buf.cell(i).load(Ordering::Relaxed)
     }
 
@@ -111,6 +136,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn st(&mut self, buf: &GpuBuf, i: usize, v: u32) {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), indigo_exec::sanitize::AccessOp::Store(v));
         buf.cell(i).store(v, Ordering::Relaxed);
     }
 
@@ -118,6 +144,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn atomic_min(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), Self::sanitize_rmw_op(buf.kind()));
         buf.cell(i).fetch_min(v, Ordering::Relaxed)
     }
 
@@ -125,6 +152,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn atomic_max(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), Self::sanitize_rmw_op(buf.kind()));
         buf.cell(i).fetch_max(v, Ordering::Relaxed)
     }
 
@@ -132,6 +160,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn atomic_add(&mut self, buf: &GpuBuf, i: usize, v: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), Self::sanitize_rmw_op(buf.kind()));
         buf.cell(i).fetch_add(v, Ordering::Relaxed)
     }
 
@@ -139,6 +168,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn atomic_cas(&mut self, buf: &GpuBuf, i: usize, cur: u32, new: u32) -> u32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), Self::sanitize_rmw_op(buf.kind()));
         match buf
             .cell(i)
             .compare_exchange(cur, new, Ordering::Relaxed, Ordering::Relaxed)
@@ -151,6 +181,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn ld_f32(&mut self, buf: &GpuBufF32, i: usize) -> f32 {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), indigo_exec::sanitize::AccessOp::Load);
         f32::from_bits(buf.cell(i).load(Ordering::Relaxed))
     }
 
@@ -158,6 +189,10 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn st_f32(&mut self, buf: &GpuBufF32, i: usize, v: f32) {
         self.step(Self::ld_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(
+            buf.addr(i),
+            indigo_exec::sanitize::AccessOp::Store(v.to_bits()),
+        );
         buf.cell(i).store(v.to_bits(), Ordering::Relaxed);
     }
 
@@ -165,6 +200,7 @@ impl<'a> LaneCtx<'a> {
     #[inline(always)]
     pub fn atomic_add_f32(&mut self, buf: &GpuBufF32, i: usize, v: f32) -> f32 {
         self.step(Self::rmw_class(buf.kind()), buf.addr(i));
+        self.sanitize_record(buf.addr(i), Self::sanitize_rmw_op(buf.kind()));
         let cell = buf.cell(i);
         let mut cur = cell.load(Ordering::Relaxed);
         loop {
@@ -854,6 +890,9 @@ impl Sim {
         self.cycles += kernel_time + d.cost.launch;
         self.launches += 1;
         self.accesses += accesses;
+        // a kernel launch boundary synchronizes the whole device: classify
+        // and reset the sanitizer's shadow cells (no-op unless armed)
+        indigo_exec::sanitize::region_flush();
         (total_u64, total_f32)
     }
 }
@@ -989,6 +1028,8 @@ where
                     scratch_f32: 0.0,
                     group_u64: 0,
                     group_f32: 0.0,
+                    #[cfg(feature = "sanitize")]
+                    gtid: ((b * warps_per_block + w) * WARP_SIZE + l) as u64,
                 };
                 kernel(&mut ctx, item);
                 // thread-granularity epilogue runs inline, its
@@ -1026,6 +1067,9 @@ where
                         scratch_f32: 0.0,
                         group_u64: warp_scratch_u64,
                         group_f32: warp_scratch_f32,
+                        // the epilogue runs as the warp's lane 0
+                        #[cfg(feature = "sanitize")]
+                        gtid: ((b * warps_per_block + w) * WARP_SIZE) as u64,
                     };
                     ep(&mut ctx, item);
                     block_u64 += ctx.red_u64;
@@ -1072,6 +1116,9 @@ where
                     scratch_f32: 0.0,
                     group_u64: round_scratch_u64,
                     group_f32: round_scratch_f32,
+                    // the epilogue runs after a barrier as the block's thread 0
+                    #[cfg(feature = "sanitize")]
+                    gtid: (b * warps_per_block * WARP_SIZE) as u64,
                 };
                 ep(&mut ctx, item);
                 block_u64 += ctx.red_u64;
@@ -1184,6 +1231,8 @@ where
                     scratch_f32: 0.0,
                     group_u64: 0,
                     group_f32: 0.0,
+                    #[cfg(feature = "sanitize")]
+                    gtid: ((b * shape.warps_per_block + w) * WARP_SIZE + l) as u64,
                 };
                 kernel(&mut ctx, warp_first_item + l);
                 block_u64 += ctx.red_u64;

@@ -5,6 +5,8 @@
 //! indigo-exp fig05 fig16               # a subset
 //! indigo-exp tables                    # Tables 1-5 only (no measuring)
 //! indigo-exp --smoke                   # small fixed slice, outcome reports
+//! indigo-exp sanitize --smoke          # style-conformance verdicts
+//!                                      # (needs --features sanitize)
 //! options:
 //!   --scale tiny|small|default|large   # input instance size (default: small)
 //!   --reps N                           # CPU wall-clock repetitions (default: 3)
@@ -75,6 +77,9 @@ struct Cli {
     top: usize,
     /// `trace`: validate the trace instead of exporting it.
     check: bool,
+    /// `sanitize`: force RMW update sites onto the unsynchronized split
+    /// (mutation testing — the run must end in violations).
+    mutate: bool,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
@@ -90,6 +95,7 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         trace_in: None,
         top: 10,
         check: false,
+        mutate: false,
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -148,6 +154,7 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             }
             "--top" => cli.top = parse_num(it.next(), "--top")?,
             "--check" => cli.check = true,
+            "--mutate-drop-atomics" => cli.mutate = true,
             "--help" | "-h" => {
                 cli.selected.clear();
                 cli.selected.push("--help".to_string());
@@ -178,6 +185,7 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
     match cli.selected.first().map(String::as_str) {
         Some("trace") => return cmd_trace(&cli),
         Some("profile") => return cmd_profile(&cli),
+        Some("sanitize") => return cmd_sanitize(&cli),
         _ => {}
     }
 
@@ -600,7 +608,7 @@ fn write_bench_json(
     let body = format!(
         "{{\n  \"suite_secs\": {},\n  \"cells\": {},\n  \"cells_per_sec\": {},\n  \
          \"jobs\": {},\n  \"sim_workers\": {},\n  \"scale\": \"{:?}\",\n  \"reps\": {},\n  \
-         \"telemetry_enabled\": {},\n  \
+         \"telemetry_enabled\": {},\n  \"sanitize_enabled\": {},\n  \
          \"resilience\": {},\n  \"phases\": [\n{}\n  ]\n}}\n",
         json_f64(suite_secs),
         cells,
@@ -610,6 +618,7 @@ fn write_bench_json(
         cli.scale,
         cli.reps,
         indigo_obs::enabled(),
+        indigo_exec::sanitize::enabled(),
         resilience,
         phases
     );
@@ -716,6 +725,65 @@ fn cmd_trace(cli: &Cli) -> Result<i32, String> {
         }
     ));
     Ok(0)
+}
+
+/// `indigo-exp sanitize [--smoke] [--scale S] [--out DIR]
+/// [--mutate-drop-atomics]` — runs the style-conformance sanitizer
+/// (DESIGN.md §7.6) over a plan's cells, serially, and writes the verdict
+/// report. Needs a `--features sanitize` build to observe anything.
+/// `--smoke` checks the fixed CI slice; without it the full suite is swept
+/// (slow: every access goes through the collector). Exit code 2 when any
+/// label is violated or a cell crashes, 0 otherwise.
+fn cmd_sanitize(cli: &Cli) -> Result<i32, String> {
+    if !indigo_exec::sanitize::enabled() {
+        return Err(
+            "the sanitizer is compiled out of this build; rebuild with --features sanitize"
+                .to_string(),
+        );
+    }
+    let scale = if cli.scale_set {
+        cli.scale
+    } else {
+        Scale::Tiny // conformance is scale-independent; default small and fast
+    };
+    let plan = if cli.smoke {
+        smoke_plan(scale, 1)
+    } else {
+        RunPlan::for_algorithms(&Algorithm::ALL, &Model::ALL, scale, 1)
+    };
+    console_line(&format!(
+        "sanitizing {} variants × {} graphs at {scale:?} scale (serial; \
+         one target per model){}",
+        plan.variants.len(),
+        plan.graphs.len(),
+        if cli.mutate {
+            " with atomics dropped at RMW update sites"
+        } else {
+            ""
+        }
+    ));
+    indigo_exec::sanitize::set_mutation_drop_atomics(cli.mutate);
+    let started = Instant::now();
+    let mut last = Instant::now();
+    let run = indigo_harness::sanitize::run_plan(&plan, |done, total| {
+        if last.elapsed() >= Duration::from_secs(5) {
+            last = Instant::now();
+            console_line(&format!("  {done}/{total} cells"));
+        }
+    });
+    indigo_exec::sanitize::set_mutation_drop_atomics(false);
+    console_line(&format!(
+        "sanitize complete in {}: {}",
+        fmt_secs(started.elapsed().as_secs_f64()),
+        run.summary()
+    ));
+    let report = indigo_harness::sanitize::sanitize_report(&run);
+    println!("{}", report.render());
+    report
+        .write_to(&cli.out_dir)
+        .map_err(|e| format!("failed to write {}: {e}", report.id))?;
+    console_line(&format!("wrote report to {}/", cli.out_dir));
+    Ok(run.exit_code())
 }
 
 /// `indigo-exp profile [--in PATH] [--top N]` — renders a plain-text
@@ -899,6 +967,8 @@ usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
                   [--inject-fault panic|stall|corrupt@CELL] [--smoke]
        indigo-exp trace   [--in TRACE.jsonl] [--out FILE.json|DIR] [--check]
        indigo-exp profile [--in TRACE.jsonl] [--top N] [--out DIR]
+       indigo-exp sanitize [--smoke] [--scale S] [--out DIR]
+                  [--mutate-drop-atomics]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
@@ -919,6 +989,14 @@ counters and phase/cell spans to TRACE_<run>.jsonl in the output dir.
 `trace` exports the newest trace as chrome://tracing JSON (`--check`
 validates it instead); `profile` prints per-phase/per-target breakdowns,
 top-N cells, and counter totals. Both read traces from any build.
+
+conformance: builds with `--features sanitize` can run `sanitize`, the
+dynamic style-conformance checker (DESIGN.md 7.6): it replays cells with
+a shadow-memory race/atomicity collector armed and judges observed
+behavior against each variant's style labels (Deterministic => no
+value-changing races; Rmw/Rw => fused-atomic vs split updates;
+Atomic/CudaAtomic => the issued atomic class). --mutate-drop-atomics
+deliberately breaks RMW sites to prove violations are caught.
 
 exit codes: 0 all cells clean; 2 run completed with failed cells;
 1 harness error.";

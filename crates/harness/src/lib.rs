@@ -23,6 +23,11 @@
 //! * [`journal`] — the append-only JSONL checkpoint journal keyed by
 //!   deterministic cell fingerprints, giving `--resume` bit-exact replay of
 //!   completed cells after a crash or SIGKILL;
+//! * [`sanitize`] — the style-conformance sanitizer runner (DESIGN.md
+//!   §7.6): replays plan cells with the `indigo-exec` conflict collector
+//!   armed and judges observed races/atomicity against what each variant's
+//!   style labels promise (needs the `sanitize` feature to observe
+//!   anything);
 //! * [`experiments`] — one module per table/figure, each producing a
 //!   [`report::Report`];
 //! * the `indigo-exp` binary — CLI driver that writes reports and CSVs
@@ -34,6 +39,7 @@ pub mod matrix;
 pub mod outcome;
 pub mod ratios;
 pub mod report;
+pub mod sanitize;
 pub mod schedule;
 pub mod stats;
 

@@ -618,7 +618,7 @@ impl RunPlan {
             }
         }
         secs.sort_by(f64::total_cmp);
-        let median = secs[secs.len() / 2];
+        let median = interp_median(&secs);
         let sim_stats = result.sim;
         if corrupt {
             corrupt_output(&mut result.output);
@@ -641,6 +641,22 @@ impl RunPlan {
             },
             sim_stats,
         ))
+    }
+}
+
+/// Median of an already-sorted, non-empty sample. Even-length samples
+/// interpolate the two middles (matching `Summary::compute`'s `q(0.5)`);
+/// taking the upper middle would report the *slower* of two repetitions
+/// under the recorded `--reps 2` default, a systematic downward geps bias.
+/// Note: this changes the geps bits for even-rep CPU cells, so journals
+/// recorded before the fix replay with the old (biased) values — cell
+/// fingerprints cover the plan, not the measured value.
+pub(crate) fn interp_median(sorted: &[f64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
     }
 }
 
@@ -1067,6 +1083,22 @@ mod tests {
             })
             .unwrap();
         assert_eq!(gpu_total, ms.len());
+    }
+
+    #[test]
+    fn even_rep_median_interpolates_not_upper_middle() {
+        // the recorded default is `--reps 2`: the median must be the
+        // midpoint of the two repetitions, not the slower one
+        let fast = 0.010;
+        let slow = 0.030;
+        let m = interp_median(&[fast, slow]);
+        assert!((m - 0.020).abs() < 1e-15, "got {m}, want midpoint");
+        assert!(m < slow, "even-rep median must not report the slower rep");
+        // odd lengths keep the exact middle element
+        assert_eq!(interp_median(&[1.0, 2.0, 9.0]), 2.0);
+        assert_eq!(interp_median(&[1.0]), 1.0);
+        // four reps: average of the two middles
+        assert!((interp_median(&[1.0, 2.0, 4.0, 8.0]) - 3.0).abs() < 1e-15);
     }
 
     #[test]

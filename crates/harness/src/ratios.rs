@@ -13,7 +13,7 @@ use std::collections::HashMap;
 /// One computed ratio with its provenance.
 #[derive(Clone, Debug)]
 pub struct Ratio {
-    /// Numerator style's measurement.
+    /// Algorithm of the paired variants (numerator side).
     pub algorithm: indigo_styles::Algorithm,
     /// Input label.
     pub graph: &'static str,
@@ -25,6 +25,13 @@ pub struct Ratio {
 
 /// Computes all `numer`/`denom` ratios for dimension `dim` over a
 /// measurement set, holding every other dimension fixed.
+///
+/// Contract: within one `(peer_key(dim), graph, target)` group each
+/// dimension label is expected at most once — a well-formed sweep measures
+/// every cell exactly once. If duplicates do occur (e.g. concatenated
+/// measurement sets), the *first* occurrence in input order wins, so the
+/// result is deterministic for a given input ordering; debug builds assert
+/// on the duplicate instead.
 pub fn ratio_set(measurements: &[Measurement], dim: &str, numer: &str, denom: &str) -> Vec<Ratio> {
     // peer key + target + graph -> the (numer, denom) pair seen so far
     type PairSlot<'a> = (Option<&'a Measurement>, Option<&'a Measurement>);
@@ -35,10 +42,22 @@ pub fn ratio_set(measurements: &[Measurement], dim: &str, numer: &str, denom: &s
         };
         let key = (m.cfg.peer_key(dim), m.graph, m.target.clone());
         let entry = groups.entry(key).or_default();
-        if label == numer {
-            entry.0 = Some(m);
+        let slot = if label == numer {
+            &mut entry.0
         } else if label == denom {
-            entry.1 = Some(m);
+            &mut entry.1
+        } else {
+            continue;
+        };
+        debug_assert!(
+            slot.is_none(),
+            "duplicate measurement for {} ({label}) on {} / {}",
+            m.cfg.name(),
+            m.graph,
+            m.target,
+        );
+        if slot.is_none() {
+            *slot = Some(m);
         }
     }
     let mut out = Vec::new();
@@ -66,7 +85,10 @@ pub fn values_for(ratios: &[Ratio], algorithm: indigo_styles::Algorithm) -> Vec<
         .collect()
 }
 
-/// Median throughput of the measurements selected by `pred`.
+/// Median throughput of the measurements selected by `pred`. Even-length
+/// selections interpolate the two middles, consistent with `q(0.5)` in
+/// [`crate::stats::Summary::compute`] (taking the upper middle would bias
+/// two-element selections toward the larger value).
 pub fn median_geps(measurements: &[Measurement], pred: impl Fn(&Measurement) -> bool) -> f64 {
     let mut v: Vec<f64> = measurements
         .iter()
@@ -77,7 +99,7 @@ pub fn median_geps(measurements: &[Measurement], pred: impl Fn(&Measurement) -> 
         return f64::NAN;
     }
     v.sort_by(f64::total_cmp);
-    v[v.len() / 2]
+    crate::matrix::interp_median(&v)
 }
 
 #[cfg(test)]
@@ -133,5 +155,48 @@ mod tests {
         let ms = vec![meas(cfg, 1.0), meas(cfg, 5.0), meas(cfg, 3.0)];
         assert_eq!(median_geps(&ms, |_| true), 3.0);
         assert!(median_geps(&ms, |_| false).is_nan());
+    }
+
+    #[test]
+    fn median_geps_even_length_interpolates() {
+        // two selected measurements: the median is their midpoint, matching
+        // Summary::compute's q(0.5) — not the upper middle
+        let cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+        let ms = vec![meas(cfg, 2.0), meas(cfg, 4.0)];
+        assert!((median_geps(&ms, |_| true) - 3.0).abs() < 1e-12);
+        let ms4 = vec![
+            meas(cfg, 1.0),
+            meas(cfg, 2.0),
+            meas(cfg, 4.0),
+            meas(cfg, 8.0),
+        ];
+        assert!((median_geps(&ms4, |_| true) - 3.0).abs() < 1e-12);
+    }
+
+    // Duplicate (peer_key, graph, target, label) handling: keep-first in
+    // release builds; debug builds assert on the duplicate. The two tests
+    // below split on `debug_assertions` so both behaviors stay pinned.
+    fn duplicated_pair() -> Vec<Measurement> {
+        let push = StyleConfig::baseline(Algorithm::Sssp, Model::Cpp);
+        let mut pull = push;
+        pull.flow = Some(Flow::Pull);
+        // the second `push` measurement duplicates the first's group+label
+        vec![meas(push, 4.0), meas(pull, 2.0), meas(push, 400.0)]
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duplicate measurement")]
+    fn duplicate_pairs_assert_in_debug() {
+        ratio_set(&duplicated_pair(), "flow", "push", "pull");
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn duplicate_pairs_keep_first_deterministically() {
+        let rs = ratio_set(&duplicated_pair(), "flow", "push", "pull");
+        assert_eq!(rs.len(), 1);
+        // first occurrence (geps 4.0) wins regardless of later duplicates
+        assert!((rs[0].value - 2.0).abs() < 1e-12);
     }
 }

@@ -96,10 +96,13 @@ impl Summary {
                 *slot = c;
             }
         };
+        // paint from outermost to innermost: the inclusive `~` whisker fills
+        // share their inner endpoint with the `=` box, so the box must be
+        // drawn after them or its p25/p75 edge cells get overdrawn
         fill(pos(self.min), pos(self.max), '-');
-        fill(pos(self.p25), pos(self.p75), '=');
         fill(pos(self.p12), pos(self.p25), '~');
         fill(pos(self.p75), pos(self.p87), '~');
+        fill(pos(self.p25), pos(self.p75), '=');
         chars[pos(self.median)] = '|';
         chars.into_iter().collect()
     }
@@ -176,6 +179,22 @@ mod tests {
         assert_eq!(strip.len(), 41);
         assert!(strip.contains('|'));
         assert!(strip.contains('='));
+    }
+
+    #[test]
+    fn strip_box_edges_survive_whiskers() {
+        // quartile box edges must read '=' (or the median '|'), not be
+        // overdrawn by the inclusive '~' whisker fills that end there
+        let s = Summary::compute(&[0.1, 0.3, 1.0, 3.0, 10.0]).unwrap();
+        let strip: Vec<char> = s.strip(0.01, 100.0, 61).chars().collect();
+        let lo = 0.01f64.log10();
+        let hi = 100f64.log10();
+        let pos = |x: f64| ((x.log10() - lo) / (hi - lo) * 60.0).round() as usize;
+        for q in [s.p25, s.p75] {
+            let c = strip[pos(q)];
+            assert!(c == '=' || c == '|', "box edge at {q} drawn as {c:?}");
+        }
+        assert!(strip.contains(&'~'));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of registered counters (kept in sync with [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 22;
+pub const NUM_COUNTERS: usize = 24;
 
 /// Every counter in the workspace, grouped by layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -77,6 +77,11 @@ pub enum Counter {
     JournalAppends,
     /// Wall nanoseconds spent appending+flushing journal lines.
     JournalAppendNanos,
+    // ---- sanitizer: style-conformance findings (DESIGN.md §7.6) ----
+    /// Conflicting addresses the sanitizer classified (benign or racy).
+    SanitizeConflicts,
+    /// Style-label violations the sanitizer confirmed.
+    SanitizeViolations,
 }
 
 impl Counter {
@@ -104,6 +109,8 @@ impl Counter {
         Counter::WatchdogFired,
         Counter::JournalAppends,
         Counter::JournalAppendNanos,
+        Counter::SanitizeConflicts,
+        Counter::SanitizeViolations,
     ];
 
     /// Stable machine name (used in trace `counters` events and reports).
@@ -132,6 +139,8 @@ impl Counter {
             Counter::WatchdogFired => "harness.watchdog_fired",
             Counter::JournalAppends => "harness.journal_appends",
             Counter::JournalAppendNanos => "harness.journal_append_nanos",
+            Counter::SanitizeConflicts => "sanitize.conflicts",
+            Counter::SanitizeViolations => "sanitize.violations",
         }
     }
 

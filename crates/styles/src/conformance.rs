@@ -1,0 +1,102 @@
+//! What a style label *promises* about runtime behavior — the expectations
+//! the dynamic sanitizer (DESIGN.md §7.6) checks against observation.
+//!
+//! A [`StyleConfig`] asserts behavioral properties by construction: a
+//! `Deterministic` variant double-buffers and must not exhibit
+//! value-changing races (§5.6), an `Rmw` variant updates through single
+//! fused atomics while an `Rw` variant shows the load/compare/store split
+//! (§5.5), and a CUDA variant's `Atomic`/`CudaAtomic` label picks which
+//! class of hardware atomic its updates issue (§2.9). [`expectation`]
+//! derives those promises from the label so the harness can compare them
+//! with a measured `SanitizeReport` without re-encoding style semantics.
+
+use crate::config::StyleConfig;
+use crate::dims::{Algorithm, AtomicKind, Determinism, Update};
+
+/// The behavioral contract implied by one variant's style labels.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StyleExpectation {
+    /// `Deterministic` label: no value-changing (outcome-affecting) races
+    /// may be observed. Benign same-value conflicts — the `changed`-flag
+    /// and MIS `OUT`-store patterns — are still permitted (§5.6).
+    pub conflict_free: bool,
+    /// `ReadModifyWrite` label: relaxation updates must go through single
+    /// fused RMWs, never the load/compare/store split — and vice versa.
+    pub update_rmw: bool,
+    /// CUDA variants only: which atomic class the cell's RMWs must use.
+    /// `None` for the CPU models (their atomic flavor is fixed by model).
+    pub atomic_class: Option<AtomicKind>,
+    /// Whether the algorithm is a relaxation code (BFS/SSSP/CC) whose
+    /// update style is exercised through `min_update`; only these emit the
+    /// semantic update events the RW-vs-RMW check consumes.
+    pub relaxation: bool,
+}
+
+/// Derives the [`StyleExpectation`] for a variant.
+pub fn expectation(cfg: &StyleConfig) -> StyleExpectation {
+    StyleExpectation {
+        conflict_free: cfg.determinism == Determinism::Deterministic,
+        update_rmw: cfg.update == Update::ReadModifyWrite,
+        atomic_class: cfg.atomic,
+        relaxation: matches!(
+            cfg.algorithm,
+            Algorithm::Bfs | Algorithm::Sssp | Algorithm::Cc
+        ),
+    }
+}
+
+impl StyleConfig {
+    /// The behavioral contract this variant's labels imply (see
+    /// [`expectation`]).
+    pub fn expectation(&self) -> StyleExpectation {
+        expectation(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dims::Model;
+
+    #[test]
+    fn deterministic_label_expects_conflict_freedom() {
+        let mut cfg = StyleConfig::baseline(Algorithm::Sssp, Model::Cuda);
+        assert!(!cfg.expectation().conflict_free);
+        cfg.determinism = Determinism::Deterministic;
+        cfg.update = Update::ReadModifyWrite; // det non-MIS requires RMW
+        assert!(cfg.check().is_ok());
+        assert!(cfg.expectation().conflict_free);
+    }
+
+    #[test]
+    fn update_label_maps_to_rmw_expectation() {
+        let mut cfg = StyleConfig::baseline(Algorithm::Bfs, Model::Cpp);
+        cfg.update = Update::ReadWrite;
+        assert!(!cfg.expectation().update_rmw);
+        cfg.update = Update::ReadModifyWrite;
+        assert!(cfg.expectation().update_rmw);
+    }
+
+    #[test]
+    fn atomic_class_is_gpu_only() {
+        let cuda = StyleConfig::baseline(Algorithm::Sssp, Model::Cuda);
+        assert!(cuda.expectation().atomic_class.is_some());
+        let cpp = StyleConfig::baseline(Algorithm::Sssp, Model::Cpp);
+        assert_eq!(cpp.expectation().atomic_class, None);
+    }
+
+    #[test]
+    fn relaxation_covers_bfs_sssp_cc_only() {
+        for (algo, relax) in [
+            (Algorithm::Bfs, true),
+            (Algorithm::Sssp, true),
+            (Algorithm::Cc, true),
+            (Algorithm::Mis, false),
+            (Algorithm::Pr, false),
+            (Algorithm::Tc, false),
+        ] {
+            let cfg = StyleConfig::baseline(algo, Model::Cuda);
+            assert_eq!(cfg.expectation().relaxation, relax, "{algo:?}");
+        }
+    }
+}

@@ -24,11 +24,13 @@
 
 pub mod applicability;
 pub mod config;
+pub mod conformance;
 pub mod dims;
 pub mod enumerate;
 pub mod filter;
 
 pub use config::StyleConfig;
+pub use conformance::StyleExpectation;
 pub use dims::{
     Algorithm, AtomicKind, CppSchedule, CpuReduction, Determinism, Direction, Drive, Flow,
     GpuReduction, Granularity, Model, OmpSchedule, Persistence, Update, WorklistDup,

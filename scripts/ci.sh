@@ -68,14 +68,34 @@ grep -q '"ph": "X"' "$smoke_dir/telemetry/trace.json" ||
     { echo "chrome export has no complete events"; exit 1; }
 "$texp" profile --in "$trace" --out "$smoke_dir/telemetry" >/dev/null
 
-# zero-cost guard: the default build must stay telemetry-free — the smoke
-# runs above in this script used it, so just pin the compile-time switch
+echo "== sanitize (feature-on tests, smoke verdicts, mutation gate)"
+# the style-conformance sanitizer (DESIGN.md §7.6): feature-on test suite,
+# then a smoke sweep that must find no label violations...
+cargo test -q --workspace --features sanitize
+cargo build -q --release -p indigo-harness --bin indigo-exp --features sanitize
+sexp=target/release/indigo-exp
+"$sexp" sanitize --smoke --out "$smoke_dir/sanitize" >/dev/null
+# ...while a seeded mutation (atomics dropped at RMW update sites) must be
+# flagged and exit with the violations code (2)
+set +e
+"$sexp" sanitize --smoke --mutate-drop-atomics --out "$smoke_dir/sanitize-mut" >/dev/null
+code=$?
+set -e
+[ "$code" -eq 2 ] || { echo "mutated sanitize run exited $code, want 2"; exit 1; }
+grep -q 'VIOLATION' "$smoke_dir/sanitize-mut/sanitize.txt" ||
+    { echo "mutated sanitize run reported no violations"; exit 1; }
+
+# zero-cost guard: the default build must stay telemetry- and sanitizer-
+# free — the smoke runs above in this script used both, so just pin the
+# compile-time switches
 cargo build -q --release -p indigo-harness --bin indigo-exp
 target/release/indigo-exp --smoke --out "$smoke_dir/off" >/dev/null
 ls "$smoke_dir"/off/TRACE_*.jsonl >/dev/null 2>&1 &&
     { echo "telemetry-off build wrote a trace file"; exit 1; }
 grep -q '"telemetry_enabled": false' "$smoke_dir/off/BENCH_harness.json" ||
     { echo "telemetry-off build reports telemetry_enabled != false"; exit 1; }
+grep -q '"sanitize_enabled": false' "$smoke_dir/off/BENCH_harness.json" ||
+    { echo "sanitize-off build reports sanitize_enabled != false"; exit 1; }
 
 echo "== telemetry overhead gate (<3% smoke CPU time, interleaved min of 4)"
 scripts/bench_harness.sh --check

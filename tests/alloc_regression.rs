@@ -10,7 +10,11 @@
 //!
 //! Everything runs inside ONE `#[test]` function: the allocation counter
 //! is process-global, and Rust's test harness runs separate tests on
-//! separate threads, which would make the counts racy.
+//! separate threads, which would make the counts racy. Even with one
+//! test, libtest's own harness thread occasionally allocates while a
+//! window is open, so each window is measured as a minimum over a few
+//! attempts — a real per-launch regression allocates on every attempt,
+//! ambient harness noise does not.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,6 +50,24 @@ fn allocs() -> u64 {
     ALLOCS.load(Ordering::SeqCst)
 }
 
+/// Minimum allocation delta over up to `attempts` runs of `body`,
+/// stopping early once an attempt lands within `budget`. Retrying
+/// filters out allocations from libtest's harness thread (the counter
+/// is process-global); a genuine hot-path regression allocates on
+/// every attempt and is still caught.
+fn min_delta(attempts: usize, budget: u64, mut body: impl FnMut()) -> u64 {
+    let mut best = u64::MAX;
+    for _ in 0..attempts {
+        let before = allocs();
+        body();
+        best = best.min(allocs() - before);
+        if best <= budget {
+            break;
+        }
+    }
+    best
+}
+
 #[test]
 fn steady_state_launches_do_not_allocate() {
     const N: usize = 1 << 12;
@@ -61,18 +83,15 @@ fn steady_state_launches_do_not_allocate() {
             ctx.st(&dst, i, v + 1);
         });
     }
-    let before = allocs();
-    for _ in 0..8 {
-        sim.launch(N, Assign::ThreadPerItem, false, |ctx, i| {
-            let v = ctx.ld(&src, i);
-            ctx.st(&dst, i, v + 1);
-        });
-    }
-    assert_eq!(
-        allocs() - before,
-        0,
-        "serial ThreadPerItem steady state allocated"
-    );
+    let delta = min_delta(5, 0, || {
+        for _ in 0..8 {
+            sim.launch(N, Assign::ThreadPerItem, false, |ctx, i| {
+                let v = ctx.ld(&src, i);
+                ctx.st(&dst, i, v + 1);
+            });
+        }
+    });
+    assert_eq!(delta, 0, "serial ThreadPerItem steady state allocated");
 
     // --- generic block path (WarpPerItem + shuffle reduction) ---
     let items = N / WARP_SIZE;
@@ -89,25 +108,22 @@ fn steady_state_launches_do_not_allocate() {
             },
         );
     }
-    let before = allocs();
-    for _ in 0..8 {
-        sim.launch_reduce_u64(
-            items,
-            Assign::WarpPerItem,
-            false,
-            ReduceStyle::ReductionAdd,
-            BufKind::Atomic,
-            |ctx, item| {
-                let v = ctx.ld(&src, item * WARP_SIZE + ctx.lane());
-                ctx.reduce_add_u64(u64::from(v));
-            },
-        );
-    }
-    assert_eq!(
-        allocs() - before,
-        0,
-        "WarpPerItem reduce steady state allocated"
-    );
+    let delta = min_delta(5, 0, || {
+        for _ in 0..8 {
+            sim.launch_reduce_u64(
+                items,
+                Assign::WarpPerItem,
+                false,
+                ReduceStyle::ReductionAdd,
+                BufKind::Atomic,
+                |ctx, item| {
+                    let v = ctx.ld(&src, item * WARP_SIZE + ctx.lane());
+                    ctx.reduce_add_u64(u64::from(v));
+                },
+            );
+        }
+    });
+    assert_eq!(delta, 0, "WarpPerItem reduce steady state allocated");
 
     // --- pooled deterministic path (parked workers + slot arena) ---
     // A worker's private StepTable grows the first time that worker
@@ -122,15 +138,15 @@ fn steady_state_launches_do_not_allocate() {
             ctx.st(&dst, i, v * 2);
         });
     }
-    let before = allocs();
     const POOLED_LAUNCHES: u64 = 32;
-    for _ in 0..POOLED_LAUNCHES {
-        sim.launch_det(N, Assign::ThreadPerItem, false, |ctx, i| {
-            let v = ctx.ld(&src, i);
-            ctx.st(&dst, i, v * 2);
-        });
-    }
-    let pooled = allocs() - before;
+    let pooled = min_delta(5, 4, || {
+        for _ in 0..POOLED_LAUNCHES {
+            sim.launch_det(N, Assign::ThreadPerItem, false, |ctx, i| {
+                let v = ctx.ld(&src, i);
+                ctx.st(&dst, i, v * 2);
+            });
+        }
+    });
     assert!(
         pooled <= 4,
         "pooled steady state allocated {pooled} times over {POOLED_LAUNCHES} launches \
@@ -142,14 +158,17 @@ fn steady_state_launches_do_not_allocate() {
     // instrumented hot paths above stay on the zero-alloc budget whether
     // the `telemetry` feature is on (CI runs both ways) or off. Snapshots
     // are plain arrays, also alloc-free.
-    let before = allocs();
-    for i in 0..1_000u64 {
-        indigo_obs::Counter::SimLaunches.incr();
-        indigo_obs::Hist::LaunchCycles.record(i);
-    }
-    let snap = indigo_obs::counters_snapshot();
-    let hists = indigo_obs::hists_snapshot();
-    assert_eq!(allocs() - before, 0, "telemetry recording allocated");
+    let mut snap = indigo_obs::counters_snapshot();
+    let mut hists = indigo_obs::hists_snapshot();
+    let delta = min_delta(5, 0, || {
+        for i in 0..1_000u64 {
+            indigo_obs::Counter::SimLaunches.incr();
+            indigo_obs::Hist::LaunchCycles.record(i);
+        }
+        snap = indigo_obs::counters_snapshot();
+        hists = indigo_obs::hists_snapshot();
+    });
+    assert_eq!(delta, 0, "telemetry recording allocated");
     if indigo_obs::enabled() {
         assert!(
             snap.get(indigo_obs::Counter::SimLaunches) >= 1_000,

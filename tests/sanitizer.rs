@@ -1,0 +1,168 @@
+//! Tier-2: the style-conformance sanitizer's acceptance gates (DESIGN.md
+//! §7.6). Compiled only with `--features sanitize`:
+//!
+//! * over the CI smoke slice, every `Deterministic` variant is free of
+//!   value-changing races and no variant violates its labels;
+//! * `NonDeterministic` CC/MIS/SSSP variants *do* exhibit (benign) races —
+//!   the detector sees the conflicts §5.6 describes, it is not blind;
+//! * seeded mutation: dropping the atomic at an RMW update site must be
+//!   flagged as a label violation, on both the GPU and CPU paths.
+//!
+//! The collector is process-global and sessions are strictly sequential,
+//! so every test serializes on one mutex (Rust runs tests on separate
+//! threads).
+
+#![cfg(feature = "sanitize")]
+
+use indigo_exec::sanitize as collector;
+use indigo_graph::gen::{Scale, SuiteGraph};
+use indigo_harness::matrix::RunPlan;
+use indigo_harness::sanitize::{run_plan, SanitizeRun, Verdict};
+use indigo_styles::{Algorithm, AtomicKind, CppSchedule, Determinism, Granularity, Model, Update};
+use std::sync::{Mutex, MutexGuard};
+
+static SANITIZE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> MutexGuard<'static, ()> {
+    SANITIZE_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The same slice `indigo-exp --smoke` runs (BFS + TC, CUDA thinned to
+/// thread granularity / host atomics, C++ to blocked scheduling).
+fn smoke_plan() -> RunPlan {
+    RunPlan::for_algorithms(
+        &[Algorithm::Bfs, Algorithm::Tc],
+        &[Model::Cuda, Model::Cpp],
+        Scale::Tiny,
+        1,
+    )
+    .filter(|c| match c.model {
+        Model::Cuda => {
+            c.granularity == Some(Granularity::Thread) && c.atomic != Some(AtomicKind::CudaAtomic)
+        }
+        _ => c.cpp_schedule == Some(CppSchedule::Blocked),
+    })
+    .with_graphs(vec![SuiteGraph::Grid2d, SuiteGraph::Rmat])
+}
+
+fn assert_no_failures(run: &SanitizeRun) {
+    for c in &run.cells {
+        assert_ne!(
+            c.verdict,
+            Verdict::Crashed,
+            "{} on {} crashed: {:?}",
+            c.cfg.name(),
+            c.graph,
+            c.findings
+        );
+        assert_ne!(
+            c.verdict,
+            Verdict::Violation,
+            "{} on {} violated its labels: {:?}",
+            c.cfg.name(),
+            c.graph,
+            c.findings
+        );
+    }
+}
+
+#[test]
+fn smoke_slice_deterministic_variants_are_conflict_free() {
+    let _g = lock();
+    let run = run_plan(&smoke_plan(), |_, _| {});
+    assert!(!run.cells.is_empty());
+    assert_no_failures(&run);
+    let mut det_cells = 0;
+    for c in &run.cells {
+        if c.cfg.determinism == Determinism::Deterministic {
+            det_cells += 1;
+            assert_eq!(
+                c.report.racy(),
+                0,
+                "{} on {} ({}) shows value-changing races",
+                c.cfg.name(),
+                c.graph,
+                c.target
+            );
+        }
+    }
+    assert!(det_cells > 0, "smoke slice lost its deterministic variants");
+    assert_eq!(run.exit_code(), 0);
+}
+
+#[test]
+fn nondeterministic_variants_show_detected_benign_races() {
+    let _g = lock();
+    for algo in [Algorithm::Cc, Algorithm::Mis, Algorithm::Sssp] {
+        let plan = RunPlan::for_algorithms(&[algo], &[Model::Cuda], Scale::Tiny, 1)
+            .filter(|c| {
+                c.determinism == Determinism::NonDeterministic
+                    && c.granularity == Some(Granularity::Thread)
+                    && c.atomic != Some(AtomicKind::CudaAtomic)
+            })
+            .with_graphs(vec![SuiteGraph::Rmat]);
+        assert!(!plan.variants.is_empty(), "{algo:?} has no nondet variants");
+        let run = run_plan(&plan, |_, _| {});
+        assert_no_failures(&run);
+        // the detector must SEE the races nondeterminism permits — a
+        // detector that reports nothing anywhere proves nothing
+        assert!(
+            run.cells.iter().any(|c| c.report.conflicts() > 0),
+            "{algo:?}: no nondeterministic cell showed any conflict"
+        );
+    }
+}
+
+/// Clears the mutation switch even when an assertion unwinds.
+struct MutationGuard;
+
+impl Drop for MutationGuard {
+    fn drop(&mut self) {
+        collector::set_mutation_drop_atomics(false);
+    }
+}
+
+#[test]
+fn dropping_an_atomic_is_flagged_as_violation() {
+    let _g = lock();
+    // Rmw-labeled relaxation variants on both substrates: the GPU
+    // simulator's `gpu_min_update` and the CPU `MinOps::RmwAtomic` path
+    let plan = RunPlan::for_algorithms(
+        &[Algorithm::Bfs],
+        &[Model::Cuda, Model::Cpp],
+        Scale::Tiny,
+        1,
+    )
+    .filter(|c| {
+        c.update == Update::ReadModifyWrite
+            && match c.model {
+                Model::Cuda => {
+                    c.granularity == Some(Granularity::Thread)
+                        && c.atomic == Some(AtomicKind::Atomic)
+                }
+                _ => c.cpp_schedule == Some(CppSchedule::Blocked),
+            }
+    })
+    .with_graphs(vec![SuiteGraph::Rmat]);
+
+    // sanity: the same slice is violation-free without the mutation
+    let clean = run_plan(&plan, |_, _| {});
+    assert_no_failures(&clean);
+
+    let _reset = MutationGuard;
+    collector::set_mutation_drop_atomics(true);
+    let mutated = run_plan(&plan, |_, _| {});
+    let gpu_flagged = mutated.cells.iter().any(|c| {
+        c.cfg.model == Model::Cuda
+            && c.cfg.update == Update::ReadModifyWrite
+            && c.verdict == Verdict::Violation
+    });
+    let cpu_flagged = mutated.cells.iter().any(|c| {
+        c.cfg.model == Model::Cpp
+            && c.cfg.update == Update::ReadModifyWrite
+            && c.verdict == Verdict::Violation
+    });
+    assert!(gpu_flagged, "no GPU cell flagged the dropped atomic");
+    assert!(cpu_flagged, "no CPU cell flagged the dropped atomic");
+    assert_eq!(mutated.exit_code(), 2);
+}
