@@ -1,79 +1,157 @@
 //! Direction-optimizing BFS (Beamer et al. [6]) — the optimization behind
 //! both Lonestar's and Gardenia's BFS.
 //!
-//! Starts top-down (push from the frontier); when the frontier grows past a
-//! fraction of the graph it switches to bottom-up (every unvisited vertex
-//! pulls, stopping at the first visited parent), then switches back as the
-//! frontier shrinks.
+//! Starts top-down (push from the sparse frontier list); when the frontier
+//! grows past a fraction of the graph it switches to bottom-up (every
+//! unvisited vertex pulls, probing a previous-level *bitmap* and stopping
+//! at the first visited parent), then switches back to the sparse list as
+//! the frontier shrinks. All traversal state — level array, sparse
+//! frontier, direction bitmaps, degree table — is leased scratch
+//! (DESIGN.md §7.7): the steady state allocates nothing per level or per
+//! call.
 
 use indigo_core::GraphInput;
-use indigo_exec::Schedule;
+use indigo_exec::frontier::{fill_atomic_u32, grained_for, AtomicBitmap, SparseFrontier};
+use indigo_exec::{PoolRegistry, Schedule};
 use indigo_gpusim::{Assign, Device, GpuBuf, Sim};
-use indigo_graph::{NodeId, INF};
+use indigo_graph::{scan_prefetched, DegreeTable, NodeId, INF};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
 /// Frontier-size fraction (of directed edges) above which the traversal
 /// runs bottom-up.
 const SWITCH_FRACTION: usize = 20;
 
+/// Capacity-retained traversal state, leased per call.
+#[derive(Default)]
+struct Scratch {
+    level: Vec<AtomicU32>,
+    frontier: SparseFrontier,
+    degrees: DegreeTable,
+    /// Previous-level membership for bottom-up probes (1 bit per vertex).
+    prev: AtomicBitmap,
+    /// Vertices discovered by the current bottom-up round.
+    next: AtomicBitmap,
+}
+
+static SCRATCH: PoolRegistry<Scratch> = PoolRegistry::new();
+
 /// CPU direction-optimizing BFS. Returns `(levels, seconds)`.
 pub fn cpu(input: &GraphInput, threads: usize, source: NodeId) -> (Vec<u32>, f64) {
+    let mut out = Vec::new();
+    let secs = cpu_into(input, threads, source, &mut out);
+    (out, secs)
+}
+
+/// [`cpu`] writing the levels into a caller-owned buffer; with a warm
+/// buffer the call is allocation-free.
+pub fn cpu_into(input: &GraphInput, threads: usize, source: NodeId, out: &mut Vec<u32>) -> f64 {
     let g = &input.csr;
     let n = g.num_nodes();
+    let m = g.num_edges();
     let pool = crate::pool(threads);
     let start = std::time::Instant::now();
-    let level: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INF)).collect();
+    out.clear();
     if n == 0 {
-        return (Vec::new(), start.elapsed().as_secs_f64());
+        return start.elapsed().as_secs_f64();
     }
-    level[source as usize].store(0, Ordering::Relaxed);
-    let mut frontier = vec![source];
-    let mut depth = 0u32;
+    let mut scratch = SCRATCH.lease_guard(0, Scratch::default);
+    let Scratch {
+        level,
+        frontier,
+        degrees,
+        prev,
+        next,
+    } = &mut *scratch;
+    fill_atomic_u32(level, n, INF);
+    degrees.build(g);
+    frontier.reset(pool.num_threads());
+    *level[source as usize].get_mut() = 0;
+    frontier.seed(source);
 
-    while !frontier.is_empty() {
+    let mut depth = 0u32;
+    let mut top_down = true;
+    loop {
         depth += 1;
-        let frontier_edges: usize = frontier.iter().map(|&v| g.degree(v)).sum();
-        let next: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-        let next_len = AtomicUsize::new(0);
-        if frontier_edges * SWITCH_FRACTION > g.num_edges() {
-            // bottom-up: every unvisited vertex looks for a visited parent
-            pool.parallel_for(n, Schedule::Default, |vi, _| {
-                if level[vi].load(Ordering::Relaxed) != INF {
+        let lvl: &[AtomicU32] = level;
+        if top_down {
+            let frontier_edges = degrees.edges_of(frontier.current());
+            if frontier_edges as usize * SWITCH_FRACTION > m {
+                // switch: materialize the frontier as a bitmap and pull
+                if indigo_obs::enabled() {
+                    indigo_obs::Counter::FrontierDirectionSwitches.incr();
+                }
+                top_down = false;
+                prev.reset(n);
+                next.reset(n);
+                for &v in frontier.current() {
+                    prev.set_serial(v as usize);
+                }
+            }
+        }
+        if top_down {
+            // top-down: the frontier pushes to unvisited neighbors
+            let fr: &SparseFrontier = frontier;
+            grained_for(&pool, fr.current().len(), Schedule::Default, |fi, tid| {
+                let v = fr.current()[fi];
+                scan_prefetched(g.neighbors(v), lvl, |_, u| {
+                    if lvl[u as usize].load(Ordering::Relaxed) == INF
+                        && lvl[u as usize]
+                            .compare_exchange(INF, depth, Ordering::Relaxed, Ordering::Relaxed)
+                            .is_ok()
+                    {
+                        // Safety: parallel_for/grained_for hand each worker
+                        // a distinct tid.
+                        unsafe { fr.push(tid, u) };
+                    }
+                });
+            });
+            if frontier.flip() == 0 {
+                break;
+            }
+        } else {
+            // bottom-up: every unvisited vertex probes the previous-level
+            // bitmap for a parent
+            next.clear();
+            let (prev_bm, next_bm): (&AtomicBitmap, &AtomicBitmap) = (prev, next);
+            let found = AtomicUsize::new(0);
+            grained_for(&pool, n, Schedule::Default, |vi, _| {
+                if lvl[vi].load(Ordering::Relaxed) != INF {
                     return;
                 }
                 for &u in g.neighbors(vi as NodeId) {
-                    if level[u as usize].load(Ordering::Relaxed) == depth - 1 {
-                        level[vi].store(depth, Ordering::Relaxed);
-                        let slot = next_len.fetch_add(1, Ordering::Relaxed);
-                        next[slot].store(vi as u32, Ordering::Relaxed);
+                    if prev_bm.test(u as usize) {
+                        lvl[vi].store(depth, Ordering::Relaxed);
+                        next_bm.set(vi);
+                        found.fetch_add(1, Ordering::Relaxed);
                         break;
                     }
                 }
             });
-        } else {
-            // top-down: the frontier pushes to unvisited neighbors
-            let fr = &frontier;
-            pool.parallel_for(fr.len(), Schedule::Default, |fi, _| {
-                let v = fr[fi];
-                for &u in g.neighbors(v) {
-                    if level[u as usize]
-                        .compare_exchange(INF, depth, Ordering::Relaxed, Ordering::Relaxed)
-                        .is_ok()
-                    {
-                        let slot = next_len.fetch_add(1, Ordering::Relaxed);
-                        next[slot].store(u, Ordering::Relaxed);
+            let count = found.load(Ordering::Relaxed);
+            if indigo_obs::enabled() {
+                indigo_obs::Hist::FrontierOccupancy.record(count as u64);
+            }
+            if count == 0 {
+                break;
+            }
+            std::mem::swap(prev, next);
+            if count * SWITCH_FRACTION <= n {
+                // frontier shrank: rebuild the sparse list and push again
+                if indigo_obs::enabled() {
+                    indigo_obs::Counter::FrontierDirectionSwitches.incr();
+                }
+                top_down = true;
+                frontier.reset(pool.num_threads());
+                for (v, l) in level.iter_mut().enumerate().take(n) {
+                    if *l.get_mut() == depth {
+                        frontier.seed(v as u32);
                     }
                 }
-            });
+            }
         }
-        let len = next_len.load(Ordering::Relaxed);
-        frontier = next[..len]
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect();
     }
-    let out = level.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    (out, start.elapsed().as_secs_f64())
+    out.extend(level.iter_mut().map(|c| *c.get_mut()));
+    start.elapsed().as_secs_f64()
 }
 
 /// Simulated-GPU direction-optimizing BFS. Returns `(levels, sim_seconds)`.

@@ -8,18 +8,41 @@
 //! standard verifier compare them directly.
 
 use indigo_core::GraphInput;
-use indigo_exec::Schedule;
+use indigo_exec::frontier::{grained_for, SharedSlice};
+use indigo_exec::{PoolRegistry, Schedule};
 use indigo_gpusim::{Assign, Device, GpuBuf, Sim};
 use indigo_graph::NodeId;
 use std::sync::atomic::{AtomicU32, Ordering};
 
+/// Capacity-retained union-find forest, leased per call (DESIGN.md §7.7).
+#[derive(Default)]
+struct Scratch {
+    parent: Vec<AtomicU32>,
+}
+
+static SCRATCH: PoolRegistry<Scratch> = PoolRegistry::new();
+
 /// CPU union-find CC. Returns `(labels, seconds)`.
 pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<u32>, f64) {
+    let mut out = Vec::new();
+    let secs = cpu_into(input, threads, &mut out);
+    (out, secs)
+}
+
+/// [`cpu`] writing the labels into a caller-owned buffer; with a warm
+/// buffer the call is allocation-free.
+pub fn cpu_into(input: &GraphInput, threads: usize, out: &mut Vec<u32>) -> f64 {
     let g = &input.csr;
     let n = g.num_nodes();
     let pool = crate::pool(threads);
     let start = std::time::Instant::now();
-    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut scratch = SCRATCH.lease_guard(0, Scratch::default);
+    let parent = &mut scratch.parent;
+    parent.resize_with(n, || AtomicU32::new(0));
+    for (v, cell) in parent.iter_mut().enumerate() {
+        *cell.get_mut() = v as u32;
+    }
+    let parent: &[AtomicU32] = parent;
 
     // find with path halving
     let find = |mut v: u32| -> u32 {
@@ -40,7 +63,7 @@ pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<u32>, f64) {
     };
 
     // hook every edge (upper triangle suffices: the graph is symmetric)
-    pool.parallel_for(g.num_nodes(), Schedule::Default, |vi, _| {
+    grained_for(&pool, n, Schedule::Default, |vi, _| {
         let v = vi as NodeId;
         for &u in g.neighbors(v) {
             if u <= v {
@@ -63,13 +86,15 @@ pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<u32>, f64) {
             }
         }
     });
-    // final compression
-    let labels: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
-    pool.parallel_for(n, Schedule::Default, |vi, _| {
-        labels[vi].store(find(vi as u32), Ordering::Relaxed);
+    // final compression, written straight into the output buffer
+    out.clear();
+    out.resize(n, 0);
+    let labels = SharedSlice::new(out);
+    grained_for(&pool, n, Schedule::Default, |vi, _| {
+        // Safety: one write per index; read only after the region barrier.
+        unsafe { labels.write(vi, find(vi as u32)) };
     });
-    let out = labels.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    (out, start.elapsed().as_secs_f64())
+    start.elapsed().as_secs_f64()
 }
 
 /// Simulated-GPU CC: iterated min-hooking over edges plus pointer-jumping

@@ -21,6 +21,16 @@
 //! Each baseline produces output in the same shape as `indigo-core` so the
 //! same verifiers apply, and each has a CPU entry point plus (where the
 //! paper compares on GPUs) a simulated-GPU entry point.
+//!
+//! ## Zero steady-state allocation (DESIGN.md §7.7)
+//!
+//! Every CPU kernel leases its scratch (frontier, buckets, score/label
+//! arrays, degree tables) from a process-wide [`indigo_exec::PoolRegistry`]
+//! and retains capacity across levels, waves, iterations, *and* calls:
+//! after a first warm-up call per shape, the kernels allocate nothing.
+//! Each module's `cpu` wraps a `cpu_into` variant that also reuses the
+//! caller's output buffer — the form the allocation-regression test and
+//! the `cpu_perf` probe pin at exactly zero steady-state allocations.
 
 pub mod bfs;
 pub mod cc;
@@ -29,7 +39,14 @@ pub mod pr;
 pub mod sssp;
 pub mod tc;
 
-/// Thread count helper shared by the CPU baselines.
-pub(crate) fn pool(threads: usize) -> indigo_exec::OmpPool {
-    indigo_exec::OmpPool::new(threads.max(1))
+use indigo_exec::{Lease, OmpPool, PoolRegistry};
+
+static POOLS: PoolRegistry<OmpPool> = PoolRegistry::new();
+
+/// Leases a worker pool with `threads` workers (min 1) from the process-wide
+/// registry, so repeated fig16 cells reuse parked workers instead of
+/// respawning a thread team per call.
+pub(crate) fn pool(threads: usize) -> Lease<OmpPool> {
+    let t = threads.max(1);
+    POOLS.lease_guard(t, || OmpPool::new(t))
 }

@@ -8,64 +8,84 @@
 
 use indigo_core::serial::mis_priority;
 use indigo_core::GraphInput;
-use indigo_exec::Schedule;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use indigo_exec::frontier::{fill_atomic_u32, grained_for, SparseFrontier};
+use indigo_exec::{PoolRegistry, Schedule};
+use std::sync::atomic::{AtomicU32, Ordering};
 
 const UNDECIDED: u32 = 0;
 const IN: u32 = 1;
 const OUT: u32 = 2;
 
+/// Capacity-retained MIS state, leased per call (DESIGN.md §7.7).
+#[derive(Default)]
+struct Scratch {
+    status: Vec<AtomicU32>,
+    prio: Vec<u64>,
+    live: SparseFrontier,
+}
+
+static SCRATCH: PoolRegistry<Scratch> = PoolRegistry::new();
+
 /// CPU priority MIS. Returns `(membership, seconds)`.
 pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<bool>, f64) {
+    let mut out = Vec::new();
+    let secs = cpu_into(input, threads, &mut out);
+    (out, secs)
+}
+
+/// [`cpu`] writing the membership flags into a caller-owned buffer; with a
+/// warm buffer the call is allocation-free.
+pub fn cpu_into(input: &GraphInput, threads: usize, out: &mut Vec<bool>) -> f64 {
     let g = &input.csr;
     let n = g.num_nodes();
     let pool = crate::pool(threads);
     let seed = indigo_core::MIS_SEED;
     let start = std::time::Instant::now();
-    let status: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(UNDECIDED)).collect();
+    let mut scratch = SCRATCH.lease_guard(0, Scratch::default);
+    let Scratch { status, prio, live } = &mut *scratch;
+    fill_atomic_u32(status, n, UNDECIDED);
     // priorities are precomputed — the baseline's memo over the suite codes
-    let prio: Vec<u64> = (0..n as u32).map(|v| mis_priority(v, seed)).collect();
+    prio.clear();
+    prio.extend((0..n as u32).map(|v| mis_priority(v, seed)));
+    live.reset(pool.num_threads());
+    for v in 0..n as u32 {
+        live.seed(v);
+    }
 
-    let mut live: Vec<u32> = (0..n as u32).collect();
-    while !live.is_empty() {
-        let next: Vec<AtomicU32> = (0..live.len()).map(|_| AtomicU32::new(0)).collect();
-        let next_len = AtomicUsize::new(0);
-        let live_ref = &live;
-        pool.parallel_for(live.len(), Schedule::Default, |li, _| {
-            let v = live_ref[li];
-            if status[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+    while !live.current().is_empty() {
+        let st: &[AtomicU32] = status;
+        let pr: &[u64] = prio;
+        let fr: &SparseFrontier = live;
+        grained_for(&pool, fr.current().len(), Schedule::Default, |li, tid| {
+            let v = fr.current()[li];
+            if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
                 return;
             }
-            let pv = prio[v as usize];
+            let pv = pr[v as usize];
             let mut wins = true;
             for &u in g.neighbors(v) {
-                let su = status[u as usize].load(Ordering::Relaxed);
-                if su == IN || (su == UNDECIDED && prio[u as usize] > pv) {
+                let su = st[u as usize].load(Ordering::Relaxed);
+                if su == IN || (su == UNDECIDED && pr[u as usize] > pv) {
                     wins = false;
                     break;
                 }
             }
             if wins {
-                status[v as usize].store(IN, Ordering::Relaxed);
+                st[v as usize].store(IN, Ordering::Relaxed);
                 for &u in g.neighbors(v) {
-                    status[u as usize].store(OUT, Ordering::Relaxed);
+                    st[u as usize].store(OUT, Ordering::Relaxed);
                 }
             } else {
-                let slot = next_len.fetch_add(1, Ordering::Relaxed);
-                next[slot].store(v, Ordering::Relaxed);
+                // Safety: parallel_for/grained_for hand each worker a
+                // distinct tid.
+                unsafe { fr.push(tid, v) };
             }
         });
-        let len = next_len.load(Ordering::Relaxed);
-        live = next[..len]
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .filter(|&v| status[v as usize].load(Ordering::Relaxed) == UNDECIDED)
-            .collect();
+        live.flip();
     }
-    let set = (0..n)
-        .map(|i| status[i].load(Ordering::Relaxed) == IN)
-        .collect();
-    (set, start.elapsed().as_secs_f64())
+    out.clear();
+    out.extend(status[..n].iter_mut().map(|c| *c.get_mut() == IN));
+    start.elapsed().as_secs_f64()
 }
 
 #[cfg(test)]

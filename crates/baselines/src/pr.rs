@@ -4,59 +4,109 @@
 //! (clause-style) delta reduction, and warp granularity on the GPU.
 
 use indigo_core::GraphInput;
+use indigo_exec::frontier::{fill_atomic_f32, grained_for, SharedSlice};
 use indigo_exec::sync::AtomicF32;
-use indigo_exec::Schedule;
+use indigo_exec::{PoolRegistry, Schedule};
 use indigo_gpusim::{Assign, BufKind, Device, GpuBufF32, ReduceStyle, Sim};
+
+/// One per-thread delta accumulator on its own cache line.
+#[repr(align(64))]
+struct Padded(AtomicF32);
+
+impl Default for Padded {
+    fn default() -> Self {
+        Padded(AtomicF32::new(0.0))
+    }
+}
+
+/// Capacity-retained PR state, leased per call (DESIGN.md §7.7).
+#[derive(Default)]
+struct Scratch {
+    rank: Vec<AtomicF32>,
+    next: Vec<AtomicF32>,
+    /// Per-vertex `rank[u] / degree(u)`, refreshed each iteration so the
+    /// gather loop does one random load per edge instead of two.
+    contrib: Vec<f32>,
+    rcp: indigo_graph::RcpTable,
+    partials: Vec<Padded>,
+}
+
+static SCRATCH: PoolRegistry<Scratch> = PoolRegistry::new();
 
 /// CPU optimized PR. Returns `(ranks, seconds)`.
 pub fn cpu(input: &GraphInput, threads: usize) -> (Vec<f32>, f64) {
+    let mut out = Vec::new();
+    let secs = cpu_into(input, threads, &mut out);
+    (out, secs)
+}
+
+/// [`cpu`] writing the ranks into a caller-owned buffer; with a warm buffer
+/// the call is allocation-free.
+pub fn cpu_into(input: &GraphInput, threads: usize, out: &mut Vec<f32>) -> f64 {
     let g = &input.csr;
     let n = g.num_nodes();
     let pool = crate::pool(threads);
     let start = std::time::Instant::now();
+    out.clear();
     if n == 0 {
-        return (Vec::new(), start.elapsed().as_secs_f64());
+        return start.elapsed().as_secs_f64();
     }
     let damping = indigo_core::PR_DAMPING;
     let base = (1.0 - damping) / n as f32;
+    let mut scratch = SCRATCH.lease_guard(0, Scratch::default);
+    let Scratch {
+        rank,
+        next,
+        contrib,
+        rcp,
+        partials,
+    } = &mut *scratch;
     // reciprocal degree table: one multiply per edge instead of a divide
-    let rcp: Vec<f32> = (0..n as u32)
-        .map(|v| 1.0 / g.degree(v).max(1) as f32)
-        .collect();
-    let rank: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(1.0 / n as f32)).collect();
-    let next: Vec<AtomicF32> = (0..n).map(|_| AtomicF32::new(0.0)).collect();
-
-    #[repr(align(64))]
-    struct Padded(AtomicF32);
-    let partials: Vec<Padded> = (0..pool.num_threads())
-        .map(|_| Padded(AtomicF32::new(0.0)))
-        .collect();
+    rcp.build(g);
+    fill_atomic_f32(rank, n, 1.0 / n as f32);
+    fill_atomic_f32(next, n, 0.0);
+    contrib.clear();
+    contrib.resize(n, 0.0);
+    if partials.len() < pool.num_threads() {
+        partials.resize_with(pool.num_threads(), Padded::default);
+    }
 
     let mut iterations = 0usize;
     while iterations < indigo_core::PR_MAX_ITERS {
         iterations += 1;
-        for p in &partials {
+        for p in partials.iter() {
             p.0.store(0.0);
         }
-        pool.parallel_for(n, Schedule::Default, |vi, tid| {
+        // pass 1: refresh the per-vertex contributions (sequential writes)
+        let rk: &[AtomicF32] = rank;
+        let rcp_t = &*rcp;
+        let cw = SharedSlice::new(contrib);
+        grained_for(&pool, n, Schedule::Default, |vi, _| {
+            // Safety: one write per index; read only after the barrier.
+            unsafe { cw.write(vi, rk[vi].load() * rcp_t.get(vi as u32)) };
+        });
+        // pass 2: gather — one random load per edge from the contrib table
+        let nx: &[AtomicF32] = next;
+        let ct: &[f32] = contrib;
+        let pt: &[Padded] = partials;
+        grained_for(&pool, n, Schedule::Default, |vi, tid| {
             let mut sum = 0.0f32;
-            for &u in g.neighbors(vi as u32) {
-                sum += rank[u as usize].load() * rcp[u as usize];
-            }
+            indigo_graph::scan_prefetched(g.neighbors(vi as u32), ct, |_, u| {
+                sum += ct[u as usize];
+            });
             let nv = base + damping * sum;
-            partials[tid].0.fetch_add((nv - rank[vi].load()).abs());
-            next[vi].store(nv);
+            pt[tid].0.fetch_add((nv - rk[vi].load()).abs());
+            nx[vi].store(nv);
         });
-        pool.parallel_for(n, Schedule::Default, |vi, _| {
-            rank[vi].store(next[vi].load());
-        });
+        // adopt the new ranks by swapping buffers instead of copying
+        std::mem::swap(rank, next);
         let delta: f32 = partials.iter().map(|p| p.0.load()).sum();
         if delta < indigo_core::PR_EPSILON {
             break;
         }
     }
-    let out = rank.iter().map(|c| c.load()).collect();
-    (out, start.elapsed().as_secs_f64())
+    out.extend(rank.iter().map(|c| c.load()));
+    start.elapsed().as_secs_f64()
 }
 
 /// Simulated-GPU optimized PR (warp granularity, reduction-add deltas,

@@ -8,65 +8,118 @@
 //!   when the threshold advances.
 
 use indigo_core::GraphInput;
+use indigo_exec::frontier::{fill_atomic_u32, grained_for, PushBuffers};
 use indigo_exec::sync::fetch_min;
-use indigo_exec::Schedule;
+use indigo_exec::{PoolRegistry, Schedule};
 use indigo_gpusim::{Assign, Device, GpuBuf, Sim};
-use indigo_graph::{NodeId, INF};
+use indigo_graph::{scan_prefetched, NodeId, INF};
 use std::sync::atomic::{AtomicU32, Ordering};
 
 /// Bucket width for delta-stepping / threshold step for near–far
 /// (synthetic weights are 1..=255; 64 gives a handful of buckets per wave).
 const DELTA: u32 = 64;
 
+/// Capacity-retained delta-stepping state, leased per call: the bucket
+/// vectors, the drained-wave list, and the per-thread push piles all keep
+/// their storage across waves and calls (DESIGN.md §7.7).
+#[derive(Default)]
+struct Scratch {
+    dist: Vec<AtomicU32>,
+    buckets: Vec<Vec<u32>>,
+    active: Vec<u32>,
+    /// `(bucket, vertex)` pairs relaxed by the current wave.
+    pushed: PushBuffers<(u32, u32)>,
+}
+
+static SCRATCH: PoolRegistry<Scratch> = PoolRegistry::new();
+
 /// CPU delta-stepping. Returns `(distances, seconds)`.
 pub fn cpu(input: &GraphInput, threads: usize, source: NodeId) -> (Vec<u32>, f64) {
+    let mut out = Vec::new();
+    let secs = cpu_into(input, threads, source, &mut out);
+    (out, secs)
+}
+
+/// [`cpu`] writing the distances into a caller-owned buffer; with a warm
+/// buffer the call is allocation-free.
+pub fn cpu_into(input: &GraphInput, threads: usize, source: NodeId, out: &mut Vec<u32>) -> f64 {
     let g = &input.csr;
     let n = g.num_nodes();
     let pool = crate::pool(threads);
     let start = std::time::Instant::now();
-    let dist: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(INF)).collect();
+    out.clear();
     if n == 0 {
-        return (Vec::new(), start.elapsed().as_secs_f64());
+        return start.elapsed().as_secs_f64();
     }
-    dist[source as usize].store(0, Ordering::Relaxed);
+    let mut scratch = SCRATCH.lease_guard(0, Scratch::default);
+    let Scratch {
+        dist,
+        buckets,
+        active,
+        pushed,
+    } = &mut *scratch;
+    fill_atomic_u32(dist, n, INF);
+    for b in buckets.iter_mut() {
+        b.clear(); // drained by the previous call; clear defensively
+    }
+    active.clear();
+    pushed.reset(pool.num_threads());
+    *dist[source as usize].get_mut() = 0;
+    if buckets.is_empty() {
+        buckets.push(Vec::new());
+    }
+    buckets[0].push(source);
 
-    let mut buckets: Vec<Vec<u32>> = vec![vec![source]];
     let mut current = 0usize;
     while current < buckets.len() {
         // settle the current bucket to a fixpoint (light-edge reinsertions)
         while !buckets[current].is_empty() {
-            let active = std::mem::take(&mut buckets[current]);
-            let pushed: Vec<std::sync::Mutex<Vec<(usize, u32)>>> = (0..pool.num_threads())
-                .map(|_| Default::default())
-                .collect();
-            pool.parallel_for(active.len(), Schedule::Default, |ai, tid| {
-                let v = active[ai];
-                let dv = dist[v as usize].load(Ordering::Relaxed);
+            // copy (not swap) the wave out so every buffer's capacity grows
+            // monotonically — swapping would shuffle capacities between
+            // `active` and the buckets and cause steady-state reallocs
+            active.clear();
+            active.extend_from_slice(&buckets[current]);
+            buckets[current].clear();
+            let wave: &[u32] = active;
+            let piles: &PushBuffers<(u32, u32)> = pushed;
+            let dst: &[AtomicU32] = dist;
+            grained_for(&pool, wave.len(), Schedule::Default, |ai, tid| {
+                let v = wave[ai];
+                let dv = dst[v as usize].load(Ordering::Relaxed);
                 if dv == INF || (dv / DELTA) as usize != current {
-                    return; // stale entry: v settled in an earlier bucket
+                    // stale entry: v settled in an earlier bucket
+                    if indigo_obs::enabled() {
+                        indigo_obs::Counter::FrontierBucketReinsertions.incr();
+                    }
+                    return;
                 }
                 let range = g.neighbor_range(v);
-                for (off, &u) in g.neighbors(v).iter().enumerate() {
-                    let w = g.weights()[range.start + off];
-                    let nd = dv + w;
-                    if fetch_min(&dist[u as usize], nd) > nd {
-                        pushed[tid].lock().unwrap().push(((nd / DELTA) as usize, u));
+                let weights = &g.weights()[range];
+                scan_prefetched(g.neighbors(v), dst, |off, u| {
+                    let nd = dv + weights[off];
+                    if fetch_min(&dst[u as usize], nd) > nd {
+                        if indigo_obs::enabled() {
+                            indigo_obs::Counter::FrontierBucketPushes.incr();
+                        }
+                        // Safety: parallel_for/grained_for hand each worker
+                        // a distinct tid.
+                        unsafe { piles.push(tid, (nd / DELTA, u)) };
                     }
-                }
+                });
             });
-            for per_thread in &pushed {
-                for &(b, u) in per_thread.lock().unwrap().iter() {
-                    if b >= buckets.len() {
-                        buckets.resize(b + 1, Vec::new());
-                    }
-                    buckets[b].push(u);
+            active.clear();
+            pushed.drain(|(b, u)| {
+                let b = b as usize;
+                if b >= buckets.len() {
+                    buckets.resize(b + 1, Vec::new());
                 }
-            }
+                buckets[b].push(u);
+            });
         }
         current += 1;
     }
-    let out = dist.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    (out, start.elapsed().as_secs_f64())
+    out.extend(dist.iter_mut().map(|c| *c.get_mut()));
+    start.elapsed().as_secs_f64()
 }
 
 /// Simulated-GPU near–far SSSP. Returns `(distances, sim_seconds)`.

@@ -8,13 +8,15 @@
 //! not kernel time, matching how such baselines report throughput.
 
 use indigo_core::GraphInput;
-use indigo_exec::Schedule;
+use indigo_exec::frontier::grained_for;
+use indigo_exec::{PoolRegistry, Schedule};
 use indigo_gpusim::{Assign, BufKind, Device, GpuBuf, ReduceStyle, Sim};
 use indigo_graph::{Csr, NodeId};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The oriented (DAG) adjacency: for each vertex, its out-neighbors in the
 /// (degree, id) order, sorted by id.
+#[derive(Default)]
 pub struct Oriented {
     row: Vec<usize>,
     nbr: Vec<NodeId>,
@@ -23,23 +25,32 @@ pub struct Oriented {
 impl Oriented {
     /// Builds the orientation from an undirected CSR.
     pub fn build(g: &Csr) -> Self {
+        let mut o = Oriented::default();
+        o.rebuild(g);
+        o
+    }
+
+    /// Refills the orientation from `g`, reusing the allocations when
+    /// capacity suffices (DESIGN.md §7.7 scratch-reuse discipline).
+    pub fn rebuild(&mut self, g: &Csr) {
         let n = g.num_nodes();
         let rank = |v: NodeId| (g.degree(v), v);
-        let mut row = Vec::with_capacity(n + 1);
-        let mut nbr = Vec::with_capacity(g.num_edges() / 2);
-        row.push(0);
+        self.row.clear();
+        self.nbr.clear();
+        self.row.reserve(n + 1);
+        self.nbr.reserve(g.num_edges() / 2);
+        self.row.push(0);
         for v in 0..n as NodeId {
             for &u in g.neighbors(v) {
                 if rank(u) > rank(v) {
-                    nbr.push(u);
+                    self.nbr.push(u);
                 }
             }
             // neighbors were id-sorted; the (degree, id) filter keeps the
             // id order within the kept subsequence only if ids were sorted —
             // they were, so `nbr` stays sorted per row
-            row.push(nbr.len());
+            self.row.push(self.nbr.len());
         }
-        Oriented { row, nbr }
     }
 
     /// Out-neighbors of `v`.
@@ -53,25 +64,34 @@ impl Oriented {
     }
 }
 
+static SCRATCH: PoolRegistry<Oriented> = PoolRegistry::new();
+
 /// CPU orientation TC. Returns `(count, seconds)` — seconds exclude the
 /// orientation build (see module docs).
 pub fn cpu(input: &GraphInput, threads: usize) -> (u64, f64) {
     let g = &input.csr;
-    let oriented = Oriented::build(g);
+    let mut scratch = SCRATCH.lease_guard(0, Oriented::default);
+    scratch.rebuild(g);
+    let oriented: &Oriented = &scratch;
     let pool = crate::pool(threads);
     let start = std::time::Instant::now();
     let count = AtomicU64::new(0);
-    pool.parallel_for(g.num_nodes(), Schedule::Dynamic { chunk: 64 }, |vi, _| {
-        let v = vi as NodeId;
-        let out_v = oriented.out(v);
-        let mut local = 0u64;
-        for &u in out_v {
-            local += sorted_intersect(out_v, oriented.out(u));
-        }
-        if local > 0 {
-            count.fetch_add(local, Ordering::Relaxed);
-        }
-    });
+    grained_for(
+        &pool,
+        g.num_nodes(),
+        Schedule::Dynamic { chunk: 64 },
+        |vi, _| {
+            let v = vi as NodeId;
+            let out_v = oriented.out(v);
+            let mut local = 0u64;
+            for &u in out_v {
+                local += sorted_intersect(out_v, oriented.out(u));
+            }
+            if local > 0 {
+                count.fetch_add(local, Ordering::Relaxed);
+            }
+        },
+    );
     (count.load(Ordering::Relaxed), start.elapsed().as_secs_f64())
 }
 

@@ -23,7 +23,7 @@
 use super::CpuExec;
 use crate::serial::mis_priority;
 use indigo_exec::sync::atomic_vec;
-use indigo_exec::worklist::{DoubleWorklist, Stamps};
+use indigo_exec::worklist::{lease_double_worklist, lease_stamps};
 use indigo_graph::NodeId;
 use indigo_styles::{Determinism, Direction, Flow, StyleConfig};
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -51,12 +51,13 @@ pub fn run(cfg: &StyleConfig, input: &crate::GraphInput, exec: &CpuExec) -> (Vec
     let blocked = edge_based.then(|| atomic_vec(n, 0));
 
     let items_total = if edge_based { coo.num_edges() } else { n };
+    // leased, not allocated — see cpu/relax.rs for the rationale
     let wl = data_driven.then(|| {
-        let dw = DoubleWorklist::with_capacity(items_total + 1);
+        let dw = lease_double_worklist(items_total + 1);
         for item in 0..items_total {
             dw.current().push(item as u32);
         }
-        (dw, Stamps::new(items_total))
+        (dw, lease_stamps(items_total))
     });
     let critical = exec.critical_stamps();
 

@@ -23,7 +23,7 @@
 
 use super::CpuExec;
 use indigo_exec::sync::{atomic_vec, snapshot, MinOps};
-use indigo_exec::worklist::{DoubleWorklist, Stamps};
+use indigo_exec::worklist::{lease_double_worklist, lease_stamps, DoubleWorklist, Stamps};
 use indigo_graph::{NodeId, INF};
 use indigo_styles::{Determinism, Direction, Drive, Flow, StyleConfig, WorklistDup};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -246,8 +246,13 @@ fn data_loop(
     } else {
         2 * items_total + 64
     };
-    let wl = DoubleWorklist::with_capacity(capacity);
-    let stamps = nodup.then(|| Stamps::new(items_total));
+    // leased, not allocated: the harness runs this body for hundreds of
+    // thousands of measurement cells, and the worklist arrays dominate the
+    // per-cell setup cost
+    let wl = lease_double_worklist(capacity);
+    let stamps = nodup.then(|| lease_stamps(items_total));
+    let wl: &DoubleWorklist = &wl;
+    let stamps: Option<&Stamps> = stamps.as_deref();
     let critical = exec.critical_stamps();
 
     // initial worklist
@@ -281,17 +286,10 @@ fn data_loop(
             changed.store(true, Ordering::Relaxed);
             if edge_items {
                 for e in csr.neighbor_range(to) {
-                    push_item(
-                        &wl,
-                        stamps.as_ref(),
-                        e as u32,
-                        iterations,
-                        critical,
-                        &overflow,
-                    );
+                    push_item(wl, stamps, e as u32, iterations, critical, &overflow);
                 }
             } else {
-                push_item(&wl, stamps.as_ref(), to, iterations, critical, &overflow);
+                push_item(wl, stamps, to, iterations, critical, &overflow);
             }
         };
 

@@ -18,6 +18,11 @@
 //!   [`sync::MinOps`] used by the algorithm kernels.
 //! * [`worklist`] — the shared worklists of §2.3, in both the
 //!   duplicates-allowed and no-duplicates (iteration-stamp) flavors.
+//! * [`frontier`] — the zero-allocation frontier/scratch layer the tuned
+//!   §5.17 baselines are built on (DESIGN.md §7.7): sparse double-buffered
+//!   frontiers with per-thread unsynchronized push buffers, a
+//!   capacity-retaining atomic bitmap for pull-direction traversal, and
+//!   serial-below-grain loop dispatch.
 //! * [`sanitize`] — the style-conformance sanitizer's shadow-memory
 //!   collector (zero-cost unless the `sanitize` feature is on); it lives
 //!   here, below both the CPU models and the GPU simulator, so one
@@ -27,6 +32,7 @@
 //! erase the very scheduling axis the study measures.
 
 pub mod cpp;
+pub mod frontier;
 pub mod omp;
 pub mod pool_cache;
 pub mod sanitize;
@@ -34,8 +40,9 @@ pub mod sync;
 pub mod worklist;
 
 pub use cpp::CppThreads;
+pub use frontier::{grained_for, AtomicBitmap, PushBuffers, SparseFrontier, SERIAL_GRAIN};
 pub use omp::{OmpPool, Schedule};
-pub use pool_cache::{shared_omp_pool, PoolRegistry};
+pub use pool_cache::{shared_omp_pool, Lease, PoolRegistry};
 
 /// A named thread-count configuration standing in for one of the paper's two
 /// CPU systems (§4.3). The paper used 16 threads on System 1 and 32 on

@@ -74,6 +74,18 @@ impl<P> PoolRegistry<P> {
         map.entry(key).or_default().push(pool);
     }
 
+    /// [`PoolRegistry::lease`] wrapped in an RAII guard: the pool is given
+    /// back automatically when the [`Lease`] drops, so kernels cannot leak
+    /// pools on early returns or panics. Requires a `'static` registry
+    /// (declare it as a `static`), which every caller already has.
+    pub fn lease_guard(&'static self, key: usize, spawn: impl FnOnce() -> P) -> Lease<P> {
+        Lease {
+            reg: self,
+            key,
+            val: Some(self.lease(key, spawn)),
+        }
+    }
+
     /// Number of idle pools currently cached (for tests/diagnostics).
     pub fn idle_count(&self) -> usize {
         self.idle.get().map_or(0, |m| {
@@ -89,6 +101,36 @@ impl<P> PoolRegistry<P> {
 impl<P> Default for PoolRegistry<P> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// An exclusive lease on a pooled resource; returns it to the registry on
+/// drop. Dereferences to the resource, so call sites read as if they owned
+/// it directly.
+pub struct Lease<P: 'static> {
+    reg: &'static PoolRegistry<P>,
+    key: usize,
+    val: Option<P>,
+}
+
+impl<P> std::ops::Deref for Lease<P> {
+    type Target = P;
+    fn deref(&self) -> &P {
+        self.val.as_ref().expect("lease taken")
+    }
+}
+
+impl<P> std::ops::DerefMut for Lease<P> {
+    fn deref_mut(&mut self) -> &mut P {
+        self.val.as_mut().expect("lease taken")
+    }
+}
+
+impl<P> Drop for Lease<P> {
+    fn drop(&mut self) {
+        if let Some(val) = self.val.take() {
+            self.reg.give_back(self.key, val);
+        }
     }
 }
 

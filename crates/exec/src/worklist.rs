@@ -7,6 +7,7 @@
 //! most once per iteration. [`DoubleWorklist`] pairs two lists for the usual
 //! read-current/populate-next iteration structure.
 
+use crate::pool_cache::{Lease, PoolRegistry};
 use crate::sync::{fetch_max, omp_critical};
 use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 
@@ -94,6 +95,15 @@ impl Worklist {
     pub fn to_vec(&self) -> Vec<u32> {
         (0..self.len()).map(|i| self.get(i)).collect()
     }
+
+    /// Grows the backing array to at least `capacity` slots and empties the
+    /// list (exclusive access; between-kernel reuse path).
+    pub fn reset(&mut self, capacity: usize) {
+        if self.items.len() < capacity {
+            self.items.resize_with(capacity, || AtomicU32::new(0));
+        }
+        *self.len.get_mut() = 0;
+    }
 }
 
 /// Iteration-stamp array implementing the no-duplicates check (Listing 3b).
@@ -115,6 +125,17 @@ impl Stamps {
     ///
     /// `critical` selects the OpenMP-model path where the `atomicMax` must
     /// be a critical section (GCC OpenMP has no atomic max, §5.3.1).
+    /// Grows to at least `num_nodes` stamps and zeroes them all (exclusive
+    /// access; between-kernel reuse path).
+    pub fn reset(&mut self, num_nodes: usize) {
+        if self.cells.len() < num_nodes {
+            self.cells.resize_with(num_nodes, || AtomicU32::new(0));
+        }
+        for cell in &mut self.cells {
+            *cell.get_mut() = 0;
+        }
+    }
+
     #[inline]
     pub fn try_claim(&self, v: u32, iter: u32, critical: bool) -> bool {
         let cell = &self.cells[v as usize];
@@ -169,6 +190,38 @@ impl DoubleWorklist {
         self.current.store(1 - cur, Ordering::Relaxed);
         self.next().clear();
     }
+
+    /// Grows both lists to at least `capacity` and empties them (exclusive
+    /// access; between-kernel reuse path).
+    pub fn reset(&mut self, capacity: usize) {
+        for list in &mut self.lists {
+            list.reset(capacity);
+        }
+        *self.current.get_mut() = 0;
+    }
+}
+
+static DOUBLE_WORKLISTS: PoolRegistry<DoubleWorklist> = PoolRegistry::new();
+static STAMPS: PoolRegistry<Stamps> = PoolRegistry::new();
+
+/// Leases a reset [`DoubleWorklist`] of at least `capacity` from a
+/// process-wide cache. The style-variant CPU kernels run hundreds of
+/// thousands of measurement cells; leasing instead of allocating removes an
+/// `O(capacity)` atomic-array build (and its page faults) from every cell.
+/// All leases share one registry key, so a lease sized for a big graph is
+/// happily reused (and regrown as needed) by later cells of any size.
+pub fn lease_double_worklist(capacity: usize) -> Lease<DoubleWorklist> {
+    let mut wl = DOUBLE_WORKLISTS.lease_guard(0, || DoubleWorklist::with_capacity(capacity));
+    wl.reset(capacity);
+    wl
+}
+
+/// Leases a zeroed [`Stamps`] array of at least `num_nodes`; see
+/// [`lease_double_worklist`] for the reuse rationale.
+pub fn lease_stamps(num_nodes: usize) -> Lease<Stamps> {
+    let mut st = STAMPS.lease_guard(0, || Stamps::new(num_nodes));
+    st.reset(num_nodes);
+    st
 }
 
 #[cfg(test)]
@@ -250,6 +303,23 @@ mod tests {
             }
         });
         assert_eq!(winners.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn leases_reset_and_regrow() {
+        {
+            let wl = lease_double_worklist(8);
+            wl.current().push(3);
+            let st = lease_stamps(4);
+            assert!(st.try_claim(3, 1, false));
+        } // both return to their registries here
+        let wl = lease_double_worklist(16); // bigger: must regrow + be empty
+        assert!(wl.current().is_empty());
+        for v in 0..16 {
+            wl.current().push(v);
+        }
+        let st = lease_stamps(4);
+        assert!(st.try_claim(3, 1, false), "stamps must be re-zeroed");
     }
 
     #[test]

@@ -29,11 +29,13 @@ pub mod csr;
 pub mod gen;
 pub mod io;
 pub mod stats;
+pub mod traverse;
 pub mod weights;
 
 pub use builder::GraphBuilder;
 pub use coo::Coo;
 pub use csr::Csr;
+pub use traverse::{prefetch_read, scan_prefetched, DegreeTable, RcpTable, PREFETCH_DIST};
 
 /// Node identifier type used throughout the suite (32-bit, per paper §4.1).
 pub type NodeId = u32;

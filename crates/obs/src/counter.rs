@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of registered counters (kept in sync with [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 24;
+pub const NUM_COUNTERS: usize = 28;
 
 /// Every counter in the workspace, grouped by layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,6 +68,16 @@ pub enum Counter {
     ExecWorklistDrops,
     /// Worklist item reads (`get`).
     ExecWorklistPops,
+    /// Sparse-frontier pushes in the tuned CPU baselines (DESIGN.md §7.7).
+    FrontierPushes,
+    /// Direction switches taken by direction-optimizing BFS (top-down ↔
+    /// bottom-up).
+    FrontierDirectionSwitches,
+    /// Delta-stepping bucket insertions (first placement and relocations).
+    FrontierBucketPushes,
+    /// Delta-stepping entries found stale at pop (vertex already settled in
+    /// a lower bucket) — the reinsertion overhead of the bucket structure.
+    FrontierBucketReinsertions,
     // ---- harness: supervision + journal counters ----
     /// Cells registered with the watchdog.
     WatchdogArmed,
@@ -105,6 +115,10 @@ impl Counter {
         Counter::ExecWorklistPushes,
         Counter::ExecWorklistDrops,
         Counter::ExecWorklistPops,
+        Counter::FrontierPushes,
+        Counter::FrontierDirectionSwitches,
+        Counter::FrontierBucketPushes,
+        Counter::FrontierBucketReinsertions,
         Counter::WatchdogArmed,
         Counter::WatchdogFired,
         Counter::JournalAppends,
@@ -135,6 +149,10 @@ impl Counter {
             Counter::ExecWorklistPushes => "exec.worklist_pushes",
             Counter::ExecWorklistDrops => "exec.worklist_drops",
             Counter::ExecWorklistPops => "exec.worklist_pops",
+            Counter::FrontierPushes => "frontier.pushes",
+            Counter::FrontierDirectionSwitches => "frontier.direction_switches",
+            Counter::FrontierBucketPushes => "frontier.bucket_pushes",
+            Counter::FrontierBucketReinsertions => "frontier.bucket_reinsertions",
             Counter::WatchdogArmed => "harness.watchdog_armed",
             Counter::WatchdogFired => "harness.watchdog_fired",
             Counter::JournalAppends => "harness.journal_appends",

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const NUM_BUCKETS: usize = 32;
 
 /// Number of registered histograms.
-pub const NUM_HISTS: usize = 4;
+pub const NUM_HISTS: usize = 5;
 
 /// Every histogram in the workspace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,6 +30,9 @@ pub enum Hist {
     JournalAppendMicros,
     /// Wall time per executed measurement cell, microseconds.
     CellMicros,
+    /// Sparse-frontier size at each level flip in the tuned CPU baselines
+    /// (DESIGN.md §7.7).
+    FrontierOccupancy,
 }
 
 impl Hist {
@@ -39,6 +42,7 @@ impl Hist {
         Hist::SmImbalancePermille,
         Hist::JournalAppendMicros,
         Hist::CellMicros,
+        Hist::FrontierOccupancy,
     ];
 
     /// Stable machine name.
@@ -49,6 +53,7 @@ impl Hist {
             Hist::SmImbalancePermille => "sim.sm_imbalance_permille",
             Hist::JournalAppendMicros => "harness.journal_append_micros",
             Hist::CellMicros => "harness.cell_micros",
+            Hist::FrontierOccupancy => "frontier.occupancy",
         }
     }
 

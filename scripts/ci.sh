@@ -50,6 +50,13 @@ echo "== simulator perf smoke (deterministic: cycles + allocation counts)"
 cargo build -q --release -p indigo-bench --bin gpusim_perf --features telemetry
 target/release/gpusim_perf --check results/BENCH_gpusim_baseline.json
 
+echo "== CPU baseline perf smoke (deterministic: frontier counters + allocs)"
+# Same contract for the tuned CPU kernels (DESIGN.md §7.7): frontier and
+# bucket counters are compared single-threaded (deterministic), and the
+# steady-state allocation count is pinned at the committed baseline's 0.
+cargo build -q --release -p indigo-bench --bin cpu_perf --features telemetry
+target/release/cpu_perf --check results/BENCH_cpu_baseline.json
+
 echo "== telemetry (feature-on tests, trace validation, zero-cost guard)"
 # the full suite again with recording compiled in: obs live tests, the
 # trace integration test, and the alloc-regression pin all re-run hot

@@ -19,7 +19,9 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use indigo_core::GraphInput;
 use indigo_gpusim::{rtx3090, Assign, BufKind, GpuBuf, ReduceStyle, Sim, WARP_SIZE};
+use indigo_graph::gen;
 
 struct Counting;
 
@@ -152,6 +154,66 @@ fn steady_state_launches_do_not_allocate() {
         "pooled steady state allocated {pooled} times over {POOLED_LAUNCHES} launches \
          (expected at most one-time worker table growth)"
     );
+
+    // --- the six tuned CPU baselines are steady-state alloc-free too ---
+    // (DESIGN.md §7.7.) All traversal scratch is leased capacity-retaining
+    // state and the output buffers below are caller-owned, so after the two
+    // warm-up calls every `_into` call must allocate nothing. A weighted
+    // G(n, p) exercises all kernels including delta-stepping's buckets.
+    {
+        let input = GraphInput::new(gen::gnp(600, 0.02, 42));
+        const THREADS: usize = 2;
+        let mut levels = Vec::new();
+        let mut dists = Vec::new();
+        let mut labels = Vec::new();
+        let mut members = Vec::new();
+        let mut ranks = Vec::new();
+        type Kernel<'a> = Box<dyn FnMut() + 'a>;
+        let mut kernels: [(&str, Kernel); 6] = [
+            (
+                "bfs",
+                Box::new(|| {
+                    indigo_baselines::bfs::cpu_into(&input, THREADS, 0, &mut levels);
+                }),
+            ),
+            (
+                "sssp",
+                Box::new(|| {
+                    indigo_baselines::sssp::cpu_into(&input, THREADS, 0, &mut dists);
+                }),
+            ),
+            (
+                "cc",
+                Box::new(|| {
+                    indigo_baselines::cc::cpu_into(&input, THREADS, &mut labels);
+                }),
+            ),
+            (
+                "mis",
+                Box::new(|| {
+                    indigo_baselines::mis::cpu_into(&input, THREADS, &mut members);
+                }),
+            ),
+            (
+                "pr",
+                Box::new(|| {
+                    indigo_baselines::pr::cpu_into(&input, THREADS, &mut ranks);
+                }),
+            ),
+            (
+                "tc",
+                Box::new(|| {
+                    indigo_baselines::tc::cpu(&input, THREADS);
+                }),
+            ),
+        ];
+        for (name, kernel) in kernels.iter_mut() {
+            kernel();
+            kernel();
+            let delta = min_delta(5, 0, kernel);
+            assert_eq!(delta, 0, "CPU baseline `{name}` steady state allocated");
+        }
+    }
 
     // --- telemetry recording is allocation-free too (DESIGN.md §7.5) ---
     // Counters and histograms are pre-registered static atomics, so the

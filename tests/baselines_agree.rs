@@ -3,7 +3,7 @@
 
 use indigo2::core::{serial, GraphInput, SOURCE};
 use indigo2::gpusim::{rtx3090, titan_v};
-use indigo2::graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
+use indigo2::graph::gen::{self, suite_graph, toy, Scale, SuiteGraph, SUITE_GRAPHS};
 
 #[test]
 fn cpu_baselines_match_serial_oracles_on_all_families() {
@@ -80,6 +80,81 @@ fn gpu_baselines_match_serial_oracles_on_both_devices() {
                 device.name
             );
         }
+    }
+}
+
+/// Every generator family in `crates/graph/src/gen`, swept with multiple
+/// BFS/SSSP sources. The discrete kernels (bfs, sssp, cc, mis, tc) must be
+/// *bit-identical* to the serial oracles — their answers are unique
+/// fixpoints, so the tuned frontier/bucket machinery may not change a
+/// single word of output. PR is iterative floating point and compared with
+/// the usual tolerance.
+#[test]
+fn cpu_baselines_bit_identical_across_generators_and_sources() {
+    let battery = [
+        gen::gnp(400, 0.02, 7),
+        gen::rmat(9, 6, 11),
+        gen::preferential_attachment(400, 4, 3),
+        gen::clique_overlap(350, 2.0, 5),
+        gen::road(20, 14, 9),
+        gen::grid2d(18, 13),
+        toy::path(64),
+        toy::cycle(48),
+        toy::star(40),
+        toy::complete(12),
+        toy::two_triangles(),
+        toy::weighted_diamond(),
+    ];
+    for g in battery {
+        let input = GraphInput::new(g);
+        let g = &input.csr;
+        let n = g.num_nodes() as u32;
+        // source-parameterized kernels: first, middle, and last vertex
+        for source in [0, n / 2, n - 1] {
+            assert_eq!(
+                indigo2::baselines::bfs::cpu(&input, 3, source).0,
+                serial::bfs(g, source),
+                "bfs on {} from {source}",
+                input.name()
+            );
+            assert_eq!(
+                indigo2::baselines::sssp::cpu(&input, 3, source).0,
+                serial::sssp(g, source),
+                "sssp on {} from {source}",
+                input.name()
+            );
+        }
+        // source-independent kernels
+        assert_eq!(
+            indigo2::baselines::cc::cpu(&input, 3).0,
+            serial::cc(g),
+            "cc on {}",
+            input.name()
+        );
+        assert_eq!(
+            indigo2::baselines::mis::cpu(&input, 3).0,
+            serial::mis(g, indigo2::core::MIS_SEED),
+            "mis on {}",
+            input.name()
+        );
+        assert_eq!(
+            indigo2::baselines::tc::cpu(&input, 3).0,
+            serial::triangles(g),
+            "tc on {}",
+            input.name()
+        );
+        let pr = indigo2::baselines::pr::cpu(&input, 3).0;
+        let expect = serial::pagerank(
+            g,
+            indigo2::core::PR_DAMPING,
+            indigo2::core::PR_EPSILON,
+            indigo2::core::PR_MAX_ITERS,
+        );
+        assert!(
+            pr.iter().zip(&expect).all(|(a, b)| (a - b).abs() < 2e-3),
+            "pr on {}",
+            input.name()
+        );
     }
 }
 
