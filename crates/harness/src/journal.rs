@@ -21,7 +21,7 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
 /// Journal format version; bump on incompatible line-shape changes.
@@ -225,10 +225,100 @@ pub fn load(path: &Path) -> std::io::Result<(HashMap<u64, JournalEntry>, usize)>
     Ok((map, skipped))
 }
 
+/// Exclusive-ownership lockfile guarding a journal against concurrent
+/// appenders.
+///
+/// Two processes appending to the same journal would interleave half-lines
+/// and corrupt entries that the torn-tail machinery cannot repair (it only
+/// protects the *final* line). The lock is a sibling `<journal>.lock` file
+/// created with `O_EXCL` and holding the owner's PID. A second acquirer
+/// fails fast with an error naming the holder. A lock whose owner is no
+/// longer alive (the signature of a `SIGKILL`ed run) is stale and is
+/// silently reclaimed — crash-only restart must not require manual cleanup.
+pub struct JournalLock {
+    path: PathBuf,
+}
+
+impl JournalLock {
+    /// The lockfile path guarding `journal` (`<journal>.lock`).
+    pub fn path_for(journal: &Path) -> PathBuf {
+        let mut os = journal.as_os_str().to_owned();
+        os.push(".lock");
+        PathBuf::from(os)
+    }
+
+    /// Acquires the lock for `journal`, reclaiming a stale one.
+    ///
+    /// Errors with `ErrorKind::Other` naming the holding PID when another
+    /// live process owns the lock.
+    pub fn acquire(journal: &Path) -> std::io::Result<JournalLock> {
+        let lock_path = Self::path_for(journal);
+        for attempt in 0..2 {
+            match OpenOptions::new()
+                .write(true)
+                .create_new(true) // O_EXCL: atomic create-or-fail
+                .open(&lock_path)
+            {
+                Ok(mut f) => {
+                    writeln!(f, "{}", std::process::id())?;
+                    return Ok(JournalLock { path: lock_path });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => {
+                    let holder = std::fs::read_to_string(&lock_path)
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u32>().ok());
+                    let stale = match holder {
+                        Some(pid) => !pid_is_alive(pid),
+                        None => true, // unreadable/garbage lockfile: stale
+                    };
+                    if stale && attempt == 0 {
+                        std::fs::remove_file(&lock_path).ok();
+                        continue; // retry the O_EXCL create once
+                    }
+                    let who = holder
+                        .map(|pid| format!("process {pid}"))
+                        .unwrap_or_else(|| "an unknown process".into());
+                    return Err(std::io::Error::other(format!(
+                        "journal {} is locked by {who} ({}); concurrent appends \
+                         would interleave — wait for it or pick another journal",
+                        journal.display(),
+                        lock_path.display()
+                    )));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        unreachable!("lock acquire loop always returns");
+    }
+}
+
+impl Drop for JournalLock {
+    fn drop(&mut self) {
+        std::fs::remove_file(&self.path).ok();
+    }
+}
+
+/// Best-effort liveness probe for a lock-holding PID. Own PID counts as
+/// alive (a second in-process acquirer is still a conflict). On Linux the
+/// probe is `/proc/<pid>`; elsewhere unknown PIDs are conservatively
+/// presumed alive, so stale locks need manual removal there.
+fn pid_is_alive(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if cfg!(target_os = "linux") {
+        Path::new("/proc").join(pid.to_string()).exists()
+    } else {
+        true
+    }
+}
+
 /// Thread-safe append-only journal writer; one flush per line so a killed
-/// run loses at most the line being written.
+/// run loses at most the line being written. Holds the [`JournalLock`] for
+/// its lifetime, so at most one `Journal` (per machine) appends to a path.
 pub struct Journal {
     out: Mutex<BufWriter<File>>,
+    _lock: JournalLock,
 }
 
 impl Journal {
@@ -240,6 +330,7 @@ impl Journal {
     /// boundary, a newline is written first so the torn fragment stays an
     /// isolated (skippable) line.
     pub fn append_to(path: &Path) -> std::io::Result<Journal> {
+        let lock = JournalLock::acquire(path)?;
         let mut file = OpenOptions::new()
             .create(true)
             .read(true)
@@ -257,6 +348,7 @@ impl Journal {
         }
         Ok(Journal {
             out: Mutex::new(BufWriter::new(file)),
+            _lock: lock,
         })
     }
 
@@ -642,6 +734,59 @@ mod tests {
             map.values().next().unwrap().outcome,
             JournalOutcome::Crashed { .. }
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    fn lock_test_dir(tag: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "indigo-journal-test-{}-{:x}",
+            std::process::id(),
+            fnv1a64(tag)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn second_appender_fails_fast_while_lock_is_held() {
+        let dir = lock_test_dir(b"lock_held");
+        let path = dir.join("run.journal");
+        let first = Journal::append_to(&path).unwrap();
+        let err = Journal::append_to(&path).map(|_| ()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("locked"), "unhelpful lock error: {msg}");
+        assert!(
+            msg.contains(&std::process::id().to_string()),
+            "lock error does not name the holder: {msg}"
+        );
+        // the losing acquirer must not have destroyed the winner's lock
+        assert!(JournalLock::path_for(&path).exists());
+        drop(first);
+        // release: the path is immediately reusable
+        Journal::append_to(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_lock_from_a_dead_process_is_reclaimed() {
+        let dir = lock_test_dir(b"lock_stale");
+        let path = dir.join("run.journal");
+        // a PID that cannot be running: beyond Linux's pid_max (2^22)
+        std::fs::write(JournalLock::path_for(&path), "4194400\n").unwrap();
+        let j = Journal::append_to(&path).unwrap();
+        j.record(&sample_record(CellOutcome::Ok(sample_measurement(1.0))))
+            .unwrap();
+        drop(j);
+        assert!(!JournalLock::path_for(&path).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn garbage_lockfile_counts_as_stale() {
+        let dir = lock_test_dir(b"lock_garbage");
+        let path = dir.join("run.journal");
+        std::fs::write(JournalLock::path_for(&path), "not a pid").unwrap();
+        Journal::append_to(&path).unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 }

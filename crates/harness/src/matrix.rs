@@ -222,6 +222,18 @@ impl RunPlan {
     ) -> Result<MatrixRun, String> {
         let jobs = options.jobs.max(1);
 
+        // A zero-duration budget would arm a watchdog whose deadline has
+        // already passed: every cell is cancelled at its first checkpoint
+        // and the whole matrix reads as timed out. Nobody means that —
+        // reject it loudly ("no timeout" is spelled by omitting the option).
+        if res.cell_timeout.is_some_and(|d| d.is_zero()) {
+            return Err(
+                "cell timeout of 0s would cancel every cell at its first checkpoint; \
+                 omit --cell-timeout to run without a watchdog"
+                    .to_string(),
+            );
+        }
+
         if let Some(f) = res.fault {
             if f.kind == CellFaultKind::Stall && res.cell_timeout.is_none() {
                 return Err(
@@ -1219,6 +1231,21 @@ mod tests {
         }
         assert_eq!(run.summary().timed_out, 1);
         assert_eq!(run.summary().ok, run.records.len() - 1);
+    }
+
+    #[test]
+    fn zero_cell_timeout_is_rejected_up_front() {
+        // an already-expired watchdog would cancel every cell at its first
+        // checkpoint — run_cells must refuse rather than time everything out
+        let err = tc_plan()
+            .run_cells(
+                &RunOptions::default(),
+                &Resilience::none().with_cell_timeout(Duration::ZERO),
+                |_| {},
+            )
+            .unwrap_err();
+        assert!(err.contains("0s"), "{err}");
+        assert!(err.contains("omit"), "{err}");
     }
 
     #[test]

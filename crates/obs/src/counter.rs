@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of registered counters (kept in sync with [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 28;
+pub const NUM_COUNTERS: usize = 36;
 
 /// Every counter in the workspace, grouped by layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -92,6 +92,24 @@ pub enum Counter {
     SanitizeConflicts,
     /// Style-label violations the sanitizer confirmed.
     SanitizeViolations,
+    // ---- serve: query-server robustness counters (DESIGN.md §7.8) ----
+    /// HTTP requests accepted off the listener (includes later sheds).
+    ServeRequests,
+    /// Requests shed by admission control (429) or expired in queue.
+    ServeShed,
+    /// Cell re-executions after a transient crashed/timed-out attempt.
+    ServeRetries,
+    /// Requests that exhausted their deadline (504).
+    ServeTimeouts,
+    /// Requests answered from the degraded path (cache or serial oracle)
+    /// while a shard's circuit breaker was open.
+    ServeDegraded,
+    /// Requests (or cells) answered from the fingerprint result cache.
+    ServeCacheHits,
+    /// Circuit-breaker transitions closed → open.
+    ServeBreakerTrips,
+    /// Circuit-breaker recoveries (half-open probe succeeded → closed).
+    ServeBreakerRecoveries,
 }
 
 impl Counter {
@@ -125,6 +143,14 @@ impl Counter {
         Counter::JournalAppendNanos,
         Counter::SanitizeConflicts,
         Counter::SanitizeViolations,
+        Counter::ServeRequests,
+        Counter::ServeShed,
+        Counter::ServeRetries,
+        Counter::ServeTimeouts,
+        Counter::ServeDegraded,
+        Counter::ServeCacheHits,
+        Counter::ServeBreakerTrips,
+        Counter::ServeBreakerRecoveries,
     ];
 
     /// Stable machine name (used in trace `counters` events and reports).
@@ -159,6 +185,14 @@ impl Counter {
             Counter::JournalAppendNanos => "harness.journal_append_nanos",
             Counter::SanitizeConflicts => "sanitize.conflicts",
             Counter::SanitizeViolations => "sanitize.violations",
+            Counter::ServeRequests => "serve.requests",
+            Counter::ServeShed => "serve.shed",
+            Counter::ServeRetries => "serve.retries",
+            Counter::ServeTimeouts => "serve.timeouts",
+            Counter::ServeDegraded => "serve.degraded",
+            Counter::ServeCacheHits => "serve.cache_hits",
+            Counter::ServeBreakerTrips => "serve.breaker_trips",
+            Counter::ServeBreakerRecoveries => "serve.breaker_recoveries",
         }
     }
 

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const NUM_BUCKETS: usize = 32;
 
 /// Number of registered histograms.
-pub const NUM_HISTS: usize = 5;
+pub const NUM_HISTS: usize = 7;
 
 /// Every histogram in the workspace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -33,6 +33,11 @@ pub enum Hist {
     /// Sparse-frontier size at each level flip in the tuned CPU baselines
     /// (DESIGN.md §7.7).
     FrontierOccupancy,
+    /// End-to-end request latency in the query server, microseconds
+    /// (accept → response flushed; DESIGN.md §7.8).
+    ServeRequestMicros,
+    /// Admission-queue depth sampled at each enqueue.
+    ServeQueueDepth,
 }
 
 impl Hist {
@@ -43,6 +48,8 @@ impl Hist {
         Hist::JournalAppendMicros,
         Hist::CellMicros,
         Hist::FrontierOccupancy,
+        Hist::ServeRequestMicros,
+        Hist::ServeQueueDepth,
     ];
 
     /// Stable machine name.
@@ -54,6 +61,8 @@ impl Hist {
             Hist::JournalAppendMicros => "harness.journal_append_micros",
             Hist::CellMicros => "harness.cell_micros",
             Hist::FrontierOccupancy => "frontier.occupancy",
+            Hist::ServeRequestMicros => "serve.request_micros",
+            Hist::ServeQueueDepth => "serve.queue_depth",
         }
     }
 

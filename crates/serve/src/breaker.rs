@@ -1,0 +1,204 @@
+//! Per-graph-shard circuit breaker (DESIGN.md §7.8).
+//!
+//! Consecutive request failures against one graph trip its breaker open:
+//! further compute for that shard is refused for a cooldown window and the
+//! engine serves degraded results instead. After the cooldown, exactly one
+//! request is admitted as a half-open probe; its outcome decides between
+//! recovery (closed) and another open window. The state machine is a plain
+//! mutex — transitions are per-request, nowhere near any hot path.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub threshold: u32,
+    /// How long the breaker stays open before allowing a half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_secs(5),
+        }
+    }
+}
+
+/// The admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Breaker closed: run normally.
+    Run,
+    /// Breaker half-open: run as the single recovery probe.
+    Probe,
+    /// Breaker open (or a probe is already in flight): serve degraded.
+    Degraded {
+        /// Time until a probe will be admitted (0 when one is in flight).
+        retry_after: Duration,
+    },
+}
+
+/// A state transition worth counting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Transition {
+    /// Closed → open.
+    Tripped,
+    /// Half-open probe succeeded → closed.
+    Recovered,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum State {
+    Closed { fails: u32 },
+    Open { since: Instant },
+    HalfOpen,
+}
+
+/// One shard's circuit breaker.
+pub struct Breaker {
+    cfg: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl Breaker {
+    /// A closed breaker.
+    pub fn new(cfg: BreakerConfig) -> Breaker {
+        Breaker {
+            cfg,
+            state: Mutex::new(State::Closed { fails: 0 }),
+        }
+    }
+
+    /// Decides how to treat an arriving compute request.
+    pub fn admit(&self) -> Admit {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match *st {
+            State::Closed { .. } => Admit::Run,
+            State::Open { since } => {
+                let elapsed = since.elapsed();
+                if elapsed >= self.cfg.cooldown {
+                    *st = State::HalfOpen;
+                    Admit::Probe
+                } else {
+                    Admit::Degraded {
+                        retry_after: self.cfg.cooldown - elapsed,
+                    }
+                }
+            }
+            // a probe is in flight; its outcome is imminent
+            State::HalfOpen => Admit::Degraded {
+                retry_after: Duration::ZERO,
+            },
+        }
+    }
+
+    /// Reports a request outcome. `probe` marks the half-open probe.
+    pub fn report(&self, ok: bool, probe: bool) -> Option<Transition> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if probe {
+            if ok {
+                *st = State::Closed { fails: 0 };
+                return Some(Transition::Recovered);
+            }
+            // failed probe: re-open silently (the breaker never closed)
+            *st = State::Open {
+                since: Instant::now(),
+            };
+            return None;
+        }
+        match (*st, ok) {
+            (State::Closed { .. }, true) => {
+                *st = State::Closed { fails: 0 };
+                None
+            }
+            (State::Closed { fails }, false) => {
+                let fails = fails + 1;
+                if fails >= self.cfg.threshold {
+                    *st = State::Open {
+                        since: Instant::now(),
+                    };
+                    Some(Transition::Tripped)
+                } else {
+                    *st = State::Closed { fails };
+                    None
+                }
+            }
+            // late reports from requests admitted before a trip: no-op
+            (State::Open { .. } | State::HalfOpen, _) => None,
+        }
+    }
+
+    /// Human-readable state for `/health`.
+    pub fn state_label(&self) -> &'static str {
+        match *self.state.lock().unwrap_or_else(|e| e.into_inner()) {
+            State::Closed { .. } => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Breaker {
+        Breaker::new(BreakerConfig {
+            threshold: 3,
+            cooldown: Duration::from_millis(30),
+        })
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let b = quick();
+        assert_eq!(b.report(false, false), None);
+        assert_eq!(b.report(true, false), None); // success resets the streak
+        assert_eq!(b.report(false, false), None);
+        assert_eq!(b.report(false, false), None);
+        assert_eq!(b.report(false, false), Some(Transition::Tripped));
+        assert_eq!(b.state_label(), "open");
+        assert!(matches!(b.admit(), Admit::Degraded { .. }));
+    }
+
+    #[test]
+    fn half_open_probe_recovers_or_reopens() {
+        let b = quick();
+        for _ in 0..3 {
+            b.report(false, false);
+        }
+        assert_eq!(b.state_label(), "open");
+        std::thread::sleep(Duration::from_millis(35));
+        // exactly one probe is admitted; concurrent arrivals stay degraded
+        assert_eq!(b.admit(), Admit::Probe);
+        assert!(matches!(b.admit(), Admit::Degraded { retry_after } if retry_after.is_zero()));
+        // failed probe → another open window
+        assert_eq!(b.report(false, true), None);
+        assert_eq!(b.state_label(), "open");
+        std::thread::sleep(Duration::from_millis(35));
+        assert_eq!(b.admit(), Admit::Probe);
+        assert_eq!(b.report(true, true), Some(Transition::Recovered));
+        assert_eq!(b.state_label(), "closed");
+        assert_eq!(b.admit(), Admit::Run);
+    }
+
+    #[test]
+    fn degraded_admits_carry_the_remaining_cooldown() {
+        let b = Breaker::new(BreakerConfig {
+            threshold: 1,
+            cooldown: Duration::from_secs(10),
+        });
+        assert_eq!(b.report(false, false), Some(Transition::Tripped));
+        match b.admit() {
+            Admit::Degraded { retry_after } => {
+                assert!(retry_after > Duration::from_secs(9));
+                assert!(retry_after <= Duration::from_secs(10));
+            }
+            other => panic!("expected degraded, got {other:?}"),
+        }
+    }
+}

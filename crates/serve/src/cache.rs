@@ -1,0 +1,199 @@
+//! Fingerprint-keyed result cache with crash-only journal persistence
+//! (DESIGN.md §7.8).
+//!
+//! Every successfully measured cell is appended to the server's JSONL
+//! journal (the PR 2 format — torn-tail safe on load *and* append, now
+//! lockfile-guarded) and kept in an in-memory map keyed by the cell
+//! fingerprint. Restart recovery is simply "load the journal": a
+//! `SIGKILL`ed server loses at most the line it was writing, and a repeated
+//! query is a cache hit, not a rerun. Only `ok` outcomes are persisted —
+//! failures are the retry loop's business, and replaying them would turn a
+//! transient fault into a permanent one.
+
+use indigo_harness::journal::{self, Journal, JournalOutcome};
+use indigo_harness::CellRecord;
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// One cached measurement cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedCell {
+    /// Variant name.
+    pub variant: String,
+    /// Graph label.
+    pub graph: String,
+    /// Target label.
+    pub target: String,
+    /// Exact measured throughput (`f64::to_bits`).
+    pub geps_bits: u64,
+    /// Convergence iterations.
+    pub iterations: usize,
+}
+
+impl CachedCell {
+    /// The measured throughput.
+    pub fn geps(&self) -> f64 {
+        f64::from_bits(self.geps_bits)
+    }
+}
+
+/// The in-memory cache plus its append-only journal.
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, CachedCell>>,
+    journal: Option<Journal>,
+    /// Cells replayed from the journal at startup.
+    pub recovered: usize,
+    /// Torn/garbage journal lines skipped at startup.
+    pub skipped: usize,
+}
+
+impl ResultCache {
+    /// Opens the cache, replaying `journal_path` when given (and taking its
+    /// lockfile — a second server on the same journal fails fast here).
+    pub fn open(journal_path: Option<&Path>) -> std::io::Result<ResultCache> {
+        let mut map = HashMap::new();
+        let mut skipped = 0;
+        if let Some(path) = journal_path {
+            match journal::load(path) {
+                Ok((entries, skip)) => {
+                    skipped = skip;
+                    for (fp, e) in entries {
+                        if let JournalOutcome::Ok {
+                            geps_bits,
+                            iterations,
+                        } = e.outcome
+                        {
+                            map.insert(
+                                fp,
+                                CachedCell {
+                                    variant: e.variant,
+                                    graph: e.graph,
+                                    target: e.target,
+                                    geps_bits,
+                                    iterations,
+                                },
+                            );
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(e),
+            }
+        }
+        let recovered = map.len();
+        let journal = journal_path.map(Journal::append_to).transpose()?;
+        Ok(ResultCache {
+            map: Mutex::new(map),
+            journal,
+            recovered,
+            skipped,
+        })
+    }
+
+    /// Looks up one cell.
+    pub fn get(&self, fp: u64) -> Option<CachedCell> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&fp)
+            .cloned()
+    }
+
+    /// Caches (and journals) a completed cell. Non-`ok` outcomes are
+    /// ignored. Journal write failures degrade persistence, not service —
+    /// the error is returned for counting but the cell is still cached.
+    pub fn insert(&self, rec: &CellRecord) -> std::io::Result<()> {
+        let Some(m) = rec.outcome.measurement() else {
+            return Ok(());
+        };
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).insert(
+            rec.fingerprint,
+            CachedCell {
+                variant: rec.variant.clone(),
+                graph: rec.graph.to_string(),
+                target: rec.target.clone(),
+                geps_bits: m.geps.to_bits(),
+                iterations: m.iterations,
+            },
+        );
+        match &self.journal {
+            Some(j) => j.record(rec),
+            None => Ok(()),
+        }
+    }
+
+    /// Cached cell count.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use indigo_graph::gen::Scale;
+    use indigo_harness::journal::fingerprint;
+    use indigo_harness::{CellOutcome, Measurement};
+    use indigo_styles::{Algorithm, Model, StyleConfig};
+
+    fn record(fp: u64, geps: f64) -> CellRecord {
+        CellRecord {
+            fingerprint: fp,
+            variant: "tc_cuda".into(),
+            graph: "2d-grid",
+            target: "titan-v".into(),
+            outcome: CellOutcome::Ok(Measurement {
+                cfg: StyleConfig::baseline(Algorithm::Tc, Model::Cuda),
+                graph: "2d-grid",
+                target: "titan-v".into(),
+                geps,
+                iterations: 3,
+            }),
+            resumed: false,
+        }
+    }
+
+    #[test]
+    fn survives_restart_with_exact_bits() {
+        let dir = std::env::temp_dir().join(format!("indigo-serve-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("serve.jsonl");
+        std::fs::remove_file(&path).ok();
+        let fp = fingerprint(Scale::Tiny, 1, true, "tc_cuda", "2d-grid", "titan-v");
+        let geps = f64::from_bits(0x3fb9_9999_9999_999a);
+        {
+            let cache = ResultCache::open(Some(&path)).unwrap();
+            assert_eq!(cache.recovered, 0);
+            cache.insert(&record(fp, geps)).unwrap();
+            // failures never persist
+            cache
+                .insert(&CellRecord {
+                    outcome: CellOutcome::Crashed {
+                        payload: "boom".into(),
+                    },
+                    ..record(fp + 1, 0.0)
+                })
+                .unwrap();
+            assert_eq!(cache.len(), 1);
+        }
+        let cache = ResultCache::open(Some(&path)).unwrap();
+        assert_eq!(cache.recovered, 1);
+        assert_eq!(cache.get(fp).unwrap().geps_bits, geps.to_bits());
+        assert_eq!(cache.get(fp + 1), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn works_without_a_journal() {
+        let cache = ResultCache::open(None).unwrap();
+        assert!(cache.is_empty());
+        cache.insert(&record(9, 1.5)).unwrap();
+        assert_eq!(cache.get(9).unwrap().geps(), 1.5);
+    }
+}

@@ -1,0 +1,76 @@
+//! A minimal blocking HTTP/1.1 GET client for tests and the chaos harness.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response.
+#[derive(Clone, Debug)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Retry-After` header value, when present.
+    pub retry_after: Option<u64>,
+    /// Response body.
+    pub body: String,
+}
+
+/// Issues `GET {target}` and reads the full response. `timeout` bounds
+/// connect, read, and write individually.
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(
+        format!("GET {target} HTTP/1.1\r\nHost: indigo\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse(&raw)
+}
+
+fn parse(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let text = String::from_utf8_lossy(raw);
+    let mut head_and_body = text.splitn(2, "\r\n\r\n");
+    let head = head_and_body.next().unwrap_or("");
+    let body = head_and_body.next().unwrap_or("").to_string();
+    let mut lines = head.lines();
+    let status_line = lines
+        .next()
+        .ok_or_else(|| std::io::Error::other("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line: {status_line}")))?;
+    let retry_after = lines
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
+        .and_then(|(_, v)| v.trim().parse().ok());
+    Ok(ClientResponse {
+        status,
+        retry_after,
+        body,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_status_retry_after_and_body() {
+        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 7\r\n\
+                    Content-Length: 2\r\n\r\n{}";
+        let r = parse(raw).unwrap();
+        assert_eq!(r.status, 429);
+        assert_eq!(r.retry_after, Some(7));
+        assert_eq!(r.body, "{}");
+    }
+
+    #[test]
+    fn garbage_is_an_error_not_a_panic() {
+        assert!(parse(b"").is_err());
+        assert!(parse(b"not http at all\r\n\r\nx").is_err());
+    }
+}

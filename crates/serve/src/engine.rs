@@ -1,0 +1,724 @@
+//! Query parsing and the execution pipeline: deadline → cache → breaker →
+//! retry → degrade (DESIGN.md §7.8).
+//!
+//! A query names an algorithm, a graph, a scale, and one or more style
+//! variants; the engine multiplexes it onto [`RunPlan::run_cells`]. The
+//! robustness contract:
+//!
+//! * **Deadlines.** The remaining request budget is split across the
+//!   remaining attempts and handed to the PR 2 cooperative watchdog as the
+//!   per-cell timeout, so a wedged cell costs one attempt, not the request.
+//! * **Retries.** Crashed and timed-out cells are transient: the engine
+//!   re-plans only the still-missing cells (idempotent via fingerprints —
+//!   completed cells are cached and never re-run) with capped exponential
+//!   backoff + deterministic jitter. Wrong answers are permanent failures.
+//! * **Breaker + degrade.** Request outcomes feed the shard's circuit
+//!   breaker; while it is open the engine answers from the cache when it
+//!   can, and otherwise falls back to the serial oracle with a
+//!   `degraded: true` marker rather than going dark.
+
+use crate::breaker::{Admit, Breaker, BreakerConfig, Transition};
+use crate::cache::ResultCache;
+use crate::config::{parse_scale, scale_label, ServerConfig};
+use crate::http::{Request, Response};
+use crate::json;
+use crate::stats::Stats;
+use indigo_core::serial;
+use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
+use indigo_graph::{Csr, INF};
+use indigo_harness::journal::fingerprint;
+use indigo_harness::{
+    CellFaultKind, CellOutcome, FaultSpec, Resilience, RunOptions, RunPlan, TargetSpec,
+};
+use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Smallest per-attempt watchdog budget worth arming.
+const MIN_ATTEMPT_BUDGET: Duration = Duration::from_millis(10);
+
+/// One graph shard: its breaker plus lazily generated resident instances.
+pub struct Shard {
+    /// Which suite graph this shard owns.
+    pub which: SuiteGraph,
+    /// The shard's circuit breaker.
+    pub breaker: Breaker,
+    graphs: Mutex<HashMap<Scale, Arc<Csr>>>,
+}
+
+impl Shard {
+    /// A fresh shard with a closed breaker.
+    pub fn new(which: SuiteGraph, breaker: BreakerConfig) -> Shard {
+        Shard {
+            which,
+            breaker: Breaker::new(breaker),
+            graphs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The resident graph instance at `scale` (generated on first use).
+    pub fn graph(&self, scale: Scale) -> Arc<Csr> {
+        let mut graphs = self.graphs.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            graphs
+                .entry(scale)
+                .or_insert_with(|| Arc::new(suite_graph(self.which, scale))),
+        )
+    }
+}
+
+/// A client-requested fault (chaos mode only): `kind` strikes the first
+/// cell of every attempt numbered `<= attempts`.
+#[derive(Clone, Copy, Debug)]
+pub struct RequestFault {
+    /// What the fault does.
+    pub kind: CellFaultKind,
+    /// Highest 1-based attempt number that still faults (`1` = transient:
+    /// only the first try fails; large = the request keeps failing).
+    pub attempts: u32,
+}
+
+/// A parsed, validated query.
+#[derive(Clone, Debug)]
+pub struct Query {
+    /// Algorithm to run.
+    pub algo: Algorithm,
+    /// Programming model (decides the target set).
+    pub model: Model,
+    /// Input graph.
+    pub graph: SuiteGraph,
+    /// Instance scale.
+    pub scale: Scale,
+    /// Repetitions per cell.
+    pub reps: usize,
+    /// Style variants to measure.
+    pub variants: Vec<StyleConfig>,
+    /// Sweep (style-slice) query, vs single-variant run.
+    pub sweep: bool,
+    /// Request deadline.
+    pub deadline: Duration,
+    /// Injected fault (chaos mode).
+    pub fault: Option<RequestFault>,
+}
+
+/// Parses `/run` (`sweep = false`) or `/sweep` (`sweep = true`) params.
+pub fn parse_query(req: &Request, cfg: &ServerConfig, sweep: bool) -> Result<Query, String> {
+    let algo_label = req.param("algo").ok_or("missing `algo` parameter")?;
+    let algo = *Algorithm::ALL
+        .iter()
+        .find(|a| a.label() == algo_label)
+        .ok_or_else(|| format!("unknown algo `{algo_label}` (bfs|sssp|cc|mis|pr|tc)"))?;
+    let model = match req.param("model") {
+        None => Model::Cuda,
+        Some(m) => *Model::ALL
+            .iter()
+            .find(|x| x.label() == m)
+            .ok_or_else(|| format!("unknown model `{m}` (cuda|omp|cpp)"))?,
+    };
+    let graph_label = req.param("graph").ok_or("missing `graph` parameter")?;
+    let graph = *SUITE_GRAPHS
+        .iter()
+        .find(|g| g.label() == graph_label)
+        .ok_or_else(|| {
+            format!("unknown graph `{graph_label}` (2d-grid|copapers|rmat|soc-net|road)")
+        })?;
+    let scale = match req.param("scale") {
+        None => cfg.default_scale,
+        Some(s) => parse_scale(s)?,
+    };
+    let reps = match req.param("reps") {
+        None => cfg.reps,
+        Some(r) => match r.parse::<usize>() {
+            Ok(n) if (1..=9).contains(&n) => n,
+            _ => return Err(format!("`reps` must be 1..=9, got `{r}`")),
+        },
+    };
+    let deadline = match req.param("deadline_ms") {
+        None => cfg.default_deadline,
+        Some(d) => {
+            let ms: u64 = d
+                .parse()
+                .map_err(|_| format!("`deadline_ms` is not a number: `{d}`"))?;
+            if ms == 0 {
+                // the serving-layer face of the zero-duration deadline fix:
+                // a 0 ms deadline would expire before the first checkpoint
+                return Err("`deadline_ms` of 0 would expire immediately; \
+                            omit it to use the server default"
+                    .into());
+            }
+            Duration::from_millis(ms).min(cfg.max_deadline)
+        }
+    };
+    let all = enumerate::variants(algo, model);
+    let variants = if sweep {
+        let limit = match req.param("limit") {
+            None => 0,
+            Some(l) => l
+                .parse::<usize>()
+                .map_err(|_| format!("`limit` is not a number: `{l}`"))?,
+        };
+        let mut v = all;
+        if limit > 0 {
+            v.truncate(limit);
+        }
+        v
+    } else {
+        let name = req.param("variant").unwrap_or("baseline");
+        if name == "baseline" {
+            vec![StyleConfig::baseline(algo, model)]
+        } else {
+            vec![all.into_iter().find(|c| c.name() == name).ok_or_else(|| {
+                format!(
+                    "unknown variant `{name}` for {algo_label}/{}; \
+                                        use `baseline` or a name from /sweep",
+                    model.label()
+                )
+            })?]
+        }
+    };
+    let fault = match req.param("fault") {
+        None => None,
+        Some(_) if !cfg.allow_fault_param => {
+            return Err("fault injection is disabled on this server (chaos mode only)".into())
+        }
+        Some(kind) => {
+            let kind = match kind {
+                "panic" => CellFaultKind::Panic,
+                "stall" => CellFaultKind::Stall,
+                "corrupt" => CellFaultKind::Corrupt,
+                other => return Err(format!("unknown fault `{other}` (panic|stall|corrupt)")),
+            };
+            let attempts = match req.param("fault_attempts") {
+                None => 1,
+                Some(a) => a
+                    .parse::<u32>()
+                    .map_err(|_| format!("`fault_attempts` is not a number: `{a}`"))?,
+            };
+            Some(RequestFault { kind, attempts })
+        }
+    };
+    Ok(Query {
+        algo,
+        model,
+        graph,
+        scale,
+        reps,
+        variants,
+        sweep,
+        deadline,
+        fault,
+    })
+}
+
+/// One expected cell of a query.
+struct CellKey {
+    fp: u64,
+    variant: String,
+    target: String,
+}
+
+fn cells_for(q: &Query) -> Vec<CellKey> {
+    let targets = TargetSpec::defaults_for(q.model);
+    let mut cells = Vec::with_capacity(q.variants.len() * targets.len());
+    for v in &q.variants {
+        let name = v.name();
+        for t in &targets {
+            let target = t.label();
+            cells.push(CellKey {
+                fp: fingerprint(q.scale, q.reps, true, &name, q.graph.label(), &target),
+                variant: name.clone(),
+                target,
+            });
+        }
+    }
+    cells
+}
+
+/// Borrowed server state the engine runs against.
+pub struct EngineCtx<'a> {
+    /// Server configuration.
+    pub cfg: &'a ServerConfig,
+    /// Result cache (+ journal).
+    pub cache: &'a ResultCache,
+    /// Always-on stats.
+    pub stats: &'a Stats,
+}
+
+/// Executes a parsed query against its shard. `deadline_at` is absolute
+/// (stamped at accept, so queue wait counts against the budget).
+pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Instant) -> Response {
+    use std::sync::atomic::Ordering::Relaxed;
+
+    let cells = cells_for(q);
+
+    // ---- cache: a fully answered query never touches the breaker
+    if cells.iter().all(|c| ctx.cache.get(c.fp).is_some()) {
+        ctx.stats.cache_hits.fetch_add(1, Relaxed);
+        indigo_obs::Counter::ServeCacheHits.incr();
+        return Response::json(200, result_body(ctx, q, &cells, true, false, 0));
+    }
+
+    // ---- breaker: open shard → degraded answer, never an error page
+    let probe = match shard.breaker.admit() {
+        Admit::Run => false,
+        Admit::Probe => true,
+        Admit::Degraded { retry_after } => return degraded(ctx, shard, q, retry_after),
+    };
+
+    // ---- retry loop over the still-missing cells
+    let mut attempt = 0u32;
+    let mut failures: Vec<(String, String, &'static str, String)> = Vec::new();
+    let mut timed_out_only = true;
+    loop {
+        attempt += 1;
+        let now = Instant::now();
+        let remaining = deadline_at.saturating_duration_since(now);
+        if remaining < MIN_ATTEMPT_BUDGET {
+            ctx.stats.timeouts.fetch_add(1, Relaxed);
+            indigo_obs::Counter::ServeTimeouts.incr();
+            report_breaker(ctx, shard, false, probe);
+            let body = format!(
+                "{{\"status\":\"timeout\",\"error\":{},\"attempts\":{}}}",
+                json::str_lit(&format!(
+                    "deadline of {} ms exhausted after {} attempt(s)",
+                    q.deadline.as_millis(),
+                    attempt - 1
+                )),
+                attempt - 1
+            );
+            return Response::json(504, body);
+        }
+
+        // split what's left across the attempts we still have, so a stalled
+        // attempt leaves budget for its retries
+        let attempts_left = ctx
+            .cfg
+            .retry
+            .max_attempts
+            .saturating_sub(attempt - 1)
+            .max(1);
+        let budget = (remaining / attempts_left)
+            .max(MIN_ATTEMPT_BUDGET)
+            .min(remaining);
+
+        let missing: Vec<StyleConfig> = q
+            .variants
+            .iter()
+            .filter(|v| {
+                let name = v.name();
+                cells
+                    .iter()
+                    .any(|c| c.variant == name && ctx.cache.get(c.fp).is_none())
+            })
+            .cloned()
+            .collect();
+        if missing.is_empty() {
+            break; // everything landed in the cache meanwhile
+        }
+
+        let mut res = Resilience::none().with_cell_timeout(budget);
+        if let Some(f) = q.fault {
+            if attempt <= f.attempts {
+                res = res.with_fault(FaultSpec {
+                    kind: f.kind,
+                    cell: 0,
+                });
+            }
+        }
+        let plan = RunPlan {
+            variants: missing,
+            graphs: vec![q.graph],
+            scale: q.scale,
+            reps: q.reps,
+            verify: true,
+        };
+        let opts = RunOptions::default().with_jobs(ctx.cfg.jobs);
+        let run = match plan.run_cells(&opts, &res, |_| {}) {
+            Ok(run) => run,
+            Err(e) => {
+                ctx.stats.failed.fetch_add(1, Relaxed);
+                report_breaker(ctx, shard, false, probe);
+                let body = format!(
+                    "{{\"status\":\"error\",\"error\":{}}}",
+                    json::str_lit(&format!("harness error: {e}"))
+                );
+                return Response::json(500, body);
+            }
+        };
+
+        failures.clear();
+        let mut wrong_answer = false;
+        for rec in &run.records {
+            match &rec.outcome {
+                CellOutcome::Ok(_) => {
+                    if ctx.cache.insert(rec).is_err() {
+                        ctx.stats.journal_errors.fetch_add(1, Relaxed);
+                    }
+                }
+                CellOutcome::Crashed { payload } => {
+                    timed_out_only = false;
+                    failures.push((
+                        rec.variant.clone(),
+                        rec.target.clone(),
+                        "crashed",
+                        payload.clone(),
+                    ));
+                }
+                CellOutcome::TimedOut { reason, .. } => {
+                    failures.push((
+                        rec.variant.clone(),
+                        rec.target.clone(),
+                        "timed-out",
+                        reason.clone(),
+                    ));
+                }
+                CellOutcome::WrongAnswer { detail } => {
+                    timed_out_only = false;
+                    wrong_answer = true;
+                    failures.push((
+                        rec.variant.clone(),
+                        rec.target.clone(),
+                        "wrong-answer",
+                        detail.clone(),
+                    ));
+                }
+            }
+        }
+
+        if failures.is_empty() {
+            report_breaker(ctx, shard, true, probe);
+            return Response::json(200, result_body(ctx, q, &cells, false, false, attempt));
+        }
+        if wrong_answer {
+            // a verification failure is not transient: retrying would burn
+            // the deadline re-computing the same wrong bits
+            ctx.stats.failed.fetch_add(1, Relaxed);
+            report_breaker(ctx, shard, false, probe);
+            return Response::json(
+                500,
+                failure_body("error", "wrong answer (quarantined)", attempt, &failures),
+            );
+        }
+        if attempt >= ctx.cfg.retry.max_attempts {
+            report_breaker(ctx, shard, false, probe);
+            return if timed_out_only {
+                ctx.stats.timeouts.fetch_add(1, Relaxed);
+                indigo_obs::Counter::ServeTimeouts.incr();
+                Response::json(
+                    504,
+                    failure_body("timeout", "timed out on every attempt", attempt, &failures),
+                )
+            } else {
+                ctx.stats.failed.fetch_add(1, Relaxed);
+                Response::json(
+                    500,
+                    failure_body("error", "retries exhausted", attempt, &failures),
+                )
+            };
+        }
+
+        // transient: back off (within the deadline) and go again
+        ctx.stats.retries.fetch_add(failures.len() as u64, Relaxed);
+        indigo_obs::Counter::ServeRetries.add(failures.len() as u64);
+        let fp0 = cells.first().map(|c| c.fp).unwrap_or(0);
+        let backoff = ctx.cfg.retry.backoff(fp0, attempt);
+        let remaining = deadline_at.saturating_duration_since(Instant::now());
+        std::thread::sleep(backoff.min(remaining));
+    }
+
+    // loop only breaks when every cell became cached
+    report_breaker(ctx, shard, true, probe);
+    Response::json(200, result_body(ctx, q, &cells, true, false, attempt))
+}
+
+fn report_breaker(ctx: &EngineCtx<'_>, shard: &Shard, ok: bool, probe: bool) {
+    use std::sync::atomic::Ordering::Relaxed;
+    match shard.breaker.report(ok, probe) {
+        Some(Transition::Tripped) => {
+            ctx.stats.breaker_trips.fetch_add(1, Relaxed);
+            indigo_obs::Counter::ServeBreakerTrips.incr();
+        }
+        Some(Transition::Recovered) => {
+            ctx.stats.breaker_recoveries.fetch_add(1, Relaxed);
+            indigo_obs::Counter::ServeBreakerRecoveries.incr();
+        }
+        None => {}
+    }
+}
+
+/// Success body: every cell from the cache, exact bits included.
+fn result_body(
+    ctx: &EngineCtx<'_>,
+    q: &Query,
+    cells: &[CellKey],
+    cached: bool,
+    degraded: bool,
+    attempts: u32,
+) -> String {
+    let mut cell_objs = Vec::with_capacity(cells.len());
+    let mut best: Option<(f64, &CellKey)> = None;
+    for c in cells {
+        let Some(entry) = ctx.cache.get(c.fp) else {
+            continue;
+        };
+        let geps = entry.geps();
+        if best.as_ref().is_none_or(|(b, _)| geps > *b) {
+            best = Some((geps, c));
+        }
+        cell_objs.push(format!(
+            "{{\"fp\":\"{:016x}\",\"variant\":{},\"target\":{},\"geps\":{},\"geps_bits\":\"{:016x}\",\"iterations\":{}}}",
+            c.fp,
+            json::str_lit(&c.variant),
+            json::str_lit(&c.target),
+            json::num(geps),
+            entry.geps_bits,
+            entry.iterations
+        ));
+    }
+    let mut body = format!(
+        "{{\"status\":\"ok\",\"cached\":{cached},\"degraded\":{degraded},\"attempts\":{attempts},\
+         \"algo\":{},\"model\":{},\"graph\":{},\"scale\":{},\"cells\":[{}]",
+        json::str_lit(q.algo.label()),
+        json::str_lit(q.model.label()),
+        json::str_lit(q.graph.label()),
+        json::str_lit(scale_label(q.scale)),
+        cell_objs.join(",")
+    );
+    if q.sweep {
+        if let Some((geps, c)) = best {
+            body.push_str(&format!(
+                ",\"summary\":{{\"cells\":{},\"best_geps\":{},\"best_variant\":{},\"best_target\":{}}}",
+                cell_objs.len(),
+                json::num(geps),
+                json::str_lit(&c.variant),
+                json::str_lit(&c.target)
+            ));
+        }
+    }
+    body.push('}');
+    body
+}
+
+fn failure_body(
+    status: &str,
+    error: &str,
+    attempts: u32,
+    failures: &[(String, String, &'static str, String)],
+) -> String {
+    let items: Vec<String> = failures
+        .iter()
+        .map(|(variant, target, outcome, detail)| {
+            format!(
+                "{{\"variant\":{},\"target\":{},\"outcome\":{},\"detail\":{}}}",
+                json::str_lit(variant),
+                json::str_lit(target),
+                json::str_lit(outcome),
+                json::str_lit(detail)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"status\":{},\"error\":{},\"attempts\":{attempts},\"failures\":[{}]}}",
+        json::str_lit(status),
+        json::str_lit(error),
+        items.join(",")
+    )
+}
+
+/// Degraded path: journal-cached cells when the query is fully covered,
+/// otherwise a serial-oracle summary — either way `degraded: true` and a
+/// `Retry-After` pointing at the breaker's half-open horizon.
+fn degraded(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, retry_after: Duration) -> Response {
+    use std::sync::atomic::Ordering::Relaxed;
+    ctx.stats.degraded.fetch_add(1, Relaxed);
+    indigo_obs::Counter::ServeDegraded.incr();
+    let retry_secs = retry_after.as_secs().max(1);
+
+    let g = shard.graph(q.scale);
+    let oracle = catch_unwind(AssertUnwindSafe(|| oracle_summary(q.algo, &g)));
+    match oracle {
+        Ok(summary) => {
+            let body = format!(
+                "{{\"status\":\"degraded\",\"degraded\":true,\"breaker\":\"open\",\
+                 \"algo\":{},\"graph\":{},\"scale\":{},\"oracle\":{summary},\
+                 \"retry_after_ms\":{}}}",
+                json::str_lit(q.algo.label()),
+                json::str_lit(q.graph.label()),
+                json::str_lit(scale_label(q.scale)),
+                retry_after.as_millis()
+            );
+            Response::json(200, body).with_retry_after(retry_secs)
+        }
+        Err(_) => {
+            ctx.stats.failed.fetch_add(1, Relaxed);
+            Response::json(
+                503,
+                "{\"status\":\"unavailable\",\"error\":\"breaker open and the serial fallback failed\"}",
+            )
+            .with_retry_after(retry_secs)
+        }
+    }
+}
+
+/// Serial-oracle answer summary: not a measurement, but the actual analytic
+/// result a degraded client can still act on.
+fn oracle_summary(algo: Algorithm, g: &Csr) -> String {
+    match algo {
+        Algorithm::Bfs => {
+            let levels = serial::bfs(g, indigo_core::SOURCE);
+            let reached = levels.iter().filter(|&&l| l != INF).count();
+            let max = levels
+                .iter()
+                .filter(|&&l| l != INF)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            format!("{{\"kind\":\"serial-bfs\",\"reached\":{reached},\"max_level\":{max}}}")
+        }
+        Algorithm::Sssp => {
+            // suite graphs are unweighted until a weighted algorithm asks
+            let weighted;
+            let g = if g.is_weighted() {
+                g
+            } else {
+                weighted = g.with_synthetic_weights();
+                &weighted
+            };
+            let dist = serial::sssp(g, indigo_core::SOURCE);
+            let reached = dist.iter().filter(|&&d| d != INF).count();
+            let max = dist
+                .iter()
+                .filter(|&&d| d != INF)
+                .max()
+                .copied()
+                .unwrap_or(0);
+            format!("{{\"kind\":\"serial-sssp\",\"reached\":{reached},\"max_dist\":{max}}}")
+        }
+        Algorithm::Cc => {
+            let labels = serial::cc(g);
+            let mut distinct: Vec<u32> = labels.clone();
+            distinct.sort_unstable();
+            distinct.dedup();
+            format!(
+                "{{\"kind\":\"serial-cc\",\"components\":{},\"vertices\":{}}}",
+                distinct.len(),
+                labels.len()
+            )
+        }
+        Algorithm::Mis => {
+            let in_set = serial::mis(g, indigo_core::MIS_SEED);
+            let size = in_set.iter().filter(|&&b| b).count();
+            format!("{{\"kind\":\"serial-mis\",\"set_size\":{size}}}")
+        }
+        Algorithm::Pr => {
+            let ranks = serial::pagerank(
+                g,
+                indigo_core::PR_DAMPING,
+                indigo_core::PR_EPSILON,
+                indigo_core::PR_MAX_ITERS,
+            );
+            let max = ranks.iter().cloned().fold(0.0f32, f32::max);
+            format!(
+                "{{\"kind\":\"serial-pagerank\",\"vertices\":{},\"max_rank\":{}}}",
+                ranks.len(),
+                json::num(max as f64)
+            )
+        }
+        Algorithm::Tc => {
+            let n = serial::triangles(g);
+            format!("{{\"kind\":\"serial-triangles\",\"triangles\":{n}}}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(target: &str) -> Request {
+        Request::parse(&format!("GET {target} HTTP/1.1\r\n\r\n")).unwrap()
+    }
+
+    fn cfg() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    #[test]
+    fn parses_a_minimal_run_query() {
+        let q = parse_query(&req("/run?algo=tc&graph=2d-grid"), &cfg(), false).unwrap();
+        assert_eq!(q.algo, Algorithm::Tc);
+        assert_eq!(q.model, Model::Cuda);
+        assert_eq!(q.graph, SuiteGraph::Grid2d);
+        assert_eq!(q.variants.len(), 1);
+        assert_eq!(q.deadline, cfg().default_deadline);
+        assert!(q.fault.is_none());
+        assert!(!q.sweep);
+    }
+
+    #[test]
+    fn rejects_bad_params_with_clear_messages() {
+        let cases = [
+            ("/run?graph=2d-grid", "missing `algo`"),
+            ("/run?algo=nope&graph=2d-grid", "unknown algo"),
+            ("/run?algo=tc", "missing `graph`"),
+            ("/run?algo=tc&graph=petersen", "unknown graph"),
+            ("/run?algo=tc&graph=2d-grid&scale=huge", "unknown scale"),
+            (
+                "/run?algo=tc&graph=2d-grid&deadline_ms=0",
+                "expire immediately",
+            ),
+            ("/run?algo=tc&graph=2d-grid&variant=zzz", "unknown variant"),
+            ("/run?algo=tc&graph=2d-grid&fault=panic", "chaos mode only"),
+        ];
+        for (target, want) in cases {
+            let err = parse_query(&req(target), &cfg(), false).unwrap_err();
+            assert!(err.contains(want), "{target}: {err}");
+        }
+    }
+
+    #[test]
+    fn fault_params_parse_in_chaos_mode() {
+        let mut c = cfg();
+        c.allow_fault_param = true;
+        let q = parse_query(
+            &req("/run?algo=tc&graph=rmat&fault=stall&fault_attempts=2"),
+            &c,
+            false,
+        )
+        .unwrap();
+        let f = q.fault.unwrap();
+        assert_eq!(f.kind, CellFaultKind::Stall);
+        assert_eq!(f.attempts, 2);
+    }
+
+    #[test]
+    fn deadline_is_clamped_to_the_configured_max() {
+        let q = parse_query(
+            &req("/run?algo=tc&graph=2d-grid&deadline_ms=999999999"),
+            &cfg(),
+            false,
+        )
+        .unwrap();
+        assert_eq!(q.deadline, cfg().max_deadline);
+    }
+
+    #[test]
+    fn sweep_limit_truncates_the_variant_list() {
+        let all = parse_query(&req("/sweep?algo=tc&graph=rmat"), &cfg(), true).unwrap();
+        let capped = parse_query(&req("/sweep?algo=tc&graph=rmat&limit=2"), &cfg(), true).unwrap();
+        assert!(all.variants.len() > 2);
+        assert_eq!(capped.variants.len(), 2);
+        assert!(capped.sweep);
+    }
+
+    #[test]
+    fn oracle_summaries_cover_every_algorithm() {
+        let g = suite_graph(SuiteGraph::Grid2d, Scale::Tiny);
+        for algo in Algorithm::ALL {
+            let s = oracle_summary(algo, &g);
+            assert!(s.starts_with("{\"kind\":\"serial-"), "{algo:?}: {s}");
+        }
+    }
+}

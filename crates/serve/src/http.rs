@@ -1,0 +1,188 @@
+//! Hand-rolled HTTP/1.1, just enough for the query API (DESIGN.md §7.8).
+//!
+//! The server speaks a deliberately small subset: `GET` requests with query
+//! strings, `Connection: close` on every response, JSON bodies only. There
+//! is no keep-alive, chunking, or percent-decoding — robustness comes from
+//! strict caps (8 KiB of headers) and from every malformed input mapping to
+//! a structured 400 rather than a panic or a hang.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Largest request head (request line + headers) the server will read.
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// A parsed request line: method, path, and split query parameters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// HTTP method (`GET` is the only one the router accepts).
+    pub method: String,
+    /// Path without the query string (`/run`).
+    pub path: String,
+    /// Query parameters in order of appearance.
+    pub params: Vec<(String, String)>,
+}
+
+impl Request {
+    /// First value of query parameter `key`.
+    pub fn param(&self, key: &str) -> Option<&str> {
+        self.params
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a request head (everything before the blank line).
+    pub fn parse(head: &str) -> Result<Request, String> {
+        let line = head.lines().next().ok_or("empty request")?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or("missing method")?.to_string();
+        let target = parts.next().ok_or("missing request target")?;
+        match parts.next() {
+            Some(v) if v.starts_with("HTTP/1.") => {}
+            _ => return Err("not an HTTP/1.x request".into()),
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let params = query
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_string(), v.to_string()),
+                None => (kv.to_string(), String::new()),
+            })
+            .collect();
+        Ok(Request {
+            method,
+            path: path.to_string(),
+            params,
+        })
+    }
+}
+
+/// Reads a request head off `stream` (up to the `\r\n\r\n` terminator).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read error: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before request was complete".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    Request::parse(&head)
+}
+
+/// A response about to be written: status, JSON body, optional
+/// `Retry-After` advice (seconds) for 429/503 sheds.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// JSON body.
+    pub body: String,
+    /// `Retry-After` header value in seconds, when shedding.
+    pub retry_after: Option<u64>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            body: body.into(),
+            retry_after: None,
+        }
+    }
+
+    /// Attaches `Retry-After` advice.
+    pub fn with_retry_after(mut self, secs: u64) -> Response {
+        self.retry_after = Some(secs);
+        self
+    }
+
+    /// Serializes the full response (head + body).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            status_text(self.status),
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after {
+            head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        head.push_str("\r\n");
+        let mut out = head.into_bytes();
+        out.extend_from_slice(self.body.as_bytes());
+        out
+    }
+
+    /// Writes and flushes the response.
+    pub fn write_to(&self, stream: &mut TcpStream) -> std::io::Result<()> {
+        stream.write_all(&self.to_bytes())?;
+        stream.flush()
+    }
+}
+
+/// Reason phrase for the status codes the server emits.
+pub fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Response",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_request_with_query_params() {
+        let r = Request::parse("GET /run?algo=bfs&graph=rmat&empty HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        assert_eq!(r.method, "GET");
+        assert_eq!(r.path, "/run");
+        assert_eq!(r.param("algo"), Some("bfs"));
+        assert_eq!(r.param("graph"), Some("rmat"));
+        assert_eq!(r.param("empty"), Some(""));
+        assert_eq!(r.param("absent"), None);
+    }
+
+    #[test]
+    fn rejects_garbage_request_lines() {
+        for bad in ["", "GET", "GET /x", "GET /x SMTP/9", "\r\n\r\n"] {
+            assert!(Request::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn response_head_carries_length_and_retry_after() {
+        let resp = Response::json(429, "{\"status\":\"shed\"}").with_retry_after(3);
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 17\r\n"));
+        assert!(text.contains("Retry-After: 3\r\n"));
+        assert!(text.ends_with("{\"status\":\"shed\"}"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Tiny JSON emission helpers for response bodies (the workspace is
+//! dependency-free; the journal has its own copy for its flat line format).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` as a JSON string literal, quotes included.
+pub fn str_lit(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a finite `f64` (JSON has no NaN/inf — those become `null`).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_cover_the_dangerous_cases() {
+        assert_eq!(str_lit("plain"), "\"plain\"");
+        assert_eq!(str_lit("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(str_lit("\u{1}"), "\"\\u0001\"");
+        assert_eq!(num(1.5), "1.5");
+        assert_eq!(num(f64::NAN), "null");
+    }
+}

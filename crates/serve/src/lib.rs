@@ -1,0 +1,37 @@
+//! `indigo-serve` — a fault-tolerant analytics query server (DESIGN.md
+//! §7.8).
+//!
+//! Exposes the measurement matrix over hand-rolled HTTP/1.1 on std's
+//! `TcpListener` (the workspace stays dependency-free): run one style
+//! variant, sweep a style slice, or fetch a cached cell by fingerprint.
+//! Robustness is the point, not an afterthought — the request pipeline is
+//!
+//! ```text
+//! accept → admission (bounded queue, 429 + Retry-After on overflow)
+//!        → deadline (absolute, stamped at accept; queue wait counts)
+//!        → cache (fingerprint-keyed, journal-backed, crash-only restart)
+//!        → breaker (per-graph-shard; open → degraded answers)
+//!        → retry (missing-cells-only re-plan, capped backoff + jitter)
+//!        → degrade (journal cache or serial oracle, `degraded: true`)
+//! ```
+//!
+//! and the chaos harness ([`chaos::run_chaos`]) gates it all in CI.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod breaker;
+pub mod cache;
+pub mod chaos;
+pub mod client;
+pub mod config;
+pub mod engine;
+pub mod http;
+mod json;
+pub mod retry;
+pub mod server;
+pub mod stats;
+
+pub use chaos::{ChaosFault, ChaosOptions, ChaosReport};
+pub use config::ServerConfig;
+pub use server::Server;

@@ -1,0 +1,91 @@
+//! Retry policy: capped exponential backoff with deterministic jitter
+//! (DESIGN.md §7.8).
+//!
+//! Transiently failed cells (crashed or timed out under an injected fault)
+//! are re-run at most `max_attempts` times. Retries are idempotent by
+//! construction — cells are keyed by their journal fingerprint, completed
+//! cells are cached and never re-run, and only the missing ones are
+//! re-planned. Jitter is derived from the fingerprint and attempt number
+//! (no RNG state), so a chaos run's retry schedule is reproducible.
+
+use indigo_harness::journal::fnv1a64;
+use std::time::Duration;
+
+/// Retry tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per request (first try included).
+    pub max_attempts: u32,
+    /// Backoff before attempt 2 (doubles per attempt).
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 3,
+            base: Duration::from_millis(25),
+            cap: Duration::from_millis(400),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before re-running attempt number `attempt` (1-based: the
+    /// sleep after attempt 1 is `backoff(fp, 1)`): `base · 2^(attempt−1)`
+    /// capped at `cap`, then "equal jitter" — half the window fixed, half
+    /// hashed from `(fp, attempt)` so concurrent retries of different
+    /// cells decorrelate without randomness.
+    pub fn backoff(&self, fp: u64, attempt: u32) -> Duration {
+        let exp = self
+            .base
+            .saturating_mul(1u32 << (attempt.saturating_sub(1)).min(16))
+            .min(self.cap);
+        let half = exp.as_micros() as u64 / 2;
+        if half == 0 {
+            return exp;
+        }
+        let mut key = [0u8; 12];
+        key[..8].copy_from_slice(&fp.to_le_bytes());
+        key[8..].copy_from_slice(&attempt.to_le_bytes());
+        let jitter = fnv1a64(&key) % (half + 1);
+        Duration::from_micros(half + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_within_the_jitter_window() {
+        let p = RetryPolicy::default();
+        for attempt in 1..=6u32 {
+            let exp = p
+                .base
+                .saturating_mul(1u32 << (attempt - 1))
+                .min(p.cap)
+                .as_micros() as u64;
+            for fp in [0u64, 0xdead_beef, u64::MAX] {
+                let b = p.backoff(fp, attempt);
+                assert_eq!(b, p.backoff(fp, attempt), "deterministic");
+                let us = b.as_micros() as u64;
+                assert!(us >= exp / 2, "attempt {attempt}: {us} < {}", exp / 2);
+                assert!(us <= exp, "attempt {attempt}: {us} > {exp}");
+            }
+        }
+        // distinct fingerprints decorrelate
+        let a = p.backoff(1, 2);
+        let b = p.backoff(2, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let p = RetryPolicy::default();
+        let b = p.backoff(42, u32::MAX);
+        assert!(b <= p.cap);
+    }
+}

@@ -1,0 +1,362 @@
+//! The server proper: acceptor, bounded admission queue, worker pool,
+//! routing, and crash-only shutdown (DESIGN.md §7.8).
+//!
+//! Topology: one acceptor thread stamps each connection with its arrival
+//! time and pushes it onto the bounded [`Admission`] queue — when the queue
+//! is full the acceptor itself answers `429` with `Retry-After` advice and
+//! closes, so overload never grows an unbounded backlog. Worker threads pop
+//! connections, check the deadline the request has *already* spent waiting
+//! in the queue, and route. Every worker turn is wrapped in
+//! `catch_unwind`: a panicking request burns one connection, never a
+//! worker, never the process.
+
+use crate::admission::{Admission, PushError};
+use crate::cache::ResultCache;
+use crate::config::ServerConfig;
+use crate::engine::{self, EngineCtx, Shard};
+use crate::http::{read_request, Request, Response};
+use crate::json;
+use crate::stats::Stats;
+use indigo_graph::gen::SUITE_GRAPHS;
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Per-connection stream deadlines: a client that stops reading or writing
+/// cannot pin a worker forever.
+const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Conn {
+    stream: TcpStream,
+    arrived: Instant,
+}
+
+struct Inner {
+    cfg: ServerConfig,
+    cache: ResultCache,
+    shards: HashMap<&'static str, Shard>,
+    queue: Admission<Conn>,
+    stats: Stats,
+    shutdown: AtomicBool,
+}
+
+/// A running server; dropping it shuts down and joins every thread.
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, replays the journal, and spawns the acceptor + worker pool.
+    pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let cache = ResultCache::open(cfg.journal.as_deref())?;
+        let mut shards = HashMap::new();
+        for g in SUITE_GRAPHS {
+            shards.insert(g.label(), Shard::new(g, cfg.breaker));
+        }
+        let queue = Admission::new(cfg.queue);
+        let workers_n = cfg.workers.max(1);
+        let inner = Arc::new(Inner {
+            cfg,
+            cache,
+            shards,
+            queue,
+            stats: Stats::new(),
+            shutdown: AtomicBool::new(false),
+        });
+
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-accept".into())
+                .spawn(move || accept_loop(&inner, &listener))?
+        };
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))?,
+            );
+        }
+        Ok(Server {
+            inner,
+            addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Point-in-time stats snapshot.
+    pub fn stats(&self) -> crate::stats::StatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    /// Cells recovered from the journal at startup.
+    pub fn recovered_cells(&self) -> usize {
+        self.inner.cache.recovered
+    }
+
+    /// Stops accepting, drains in-flight work, joins every thread.
+    pub fn shutdown(&mut self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // unblock the acceptor's blocking `accept()` with a throwaway
+        // connection; harmless if it already saw the flag
+        let _ = TcpStream::connect(self.addr);
+        self.inner.queue.close();
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(inner: &Inner, listener: &TcpListener) {
+    for stream in listener.incoming() {
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+        indigo_obs::Counter::ServeRequests.incr();
+        let conn = Conn {
+            stream,
+            arrived: Instant::now(),
+        };
+        match inner.queue.try_push(conn) {
+            Ok(()) => {}
+            Err(PushError::Full(conn)) => shed(inner, conn.stream),
+            Err(PushError::Closed(_)) => break,
+        }
+    }
+}
+
+/// Load shedding: answered by the *acceptor* so a saturated worker pool
+/// can't delay the 429 itself.
+fn shed(inner: &Inner, mut stream: TcpStream) {
+    use std::io::Read;
+    inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+    indigo_obs::Counter::ServeShed.incr();
+    let secs = inner.stats.retry_after_secs(inner.queue.depth());
+    let resp = Response::json(
+        429,
+        format!(
+            "{{\"status\":\"shed\",\"error\":\"admission queue full\",\"retry_after_s\":{secs}}}"
+        ),
+    )
+    .with_retry_after(secs);
+    // drain the request first: closing a socket with unread bytes makes the
+    // kernel send RST, which destroys the 429 before the client reads it.
+    // The timeout is short — a client too slow to finish its request head
+    // forfeits the body of the shed response, not the acceptor's time
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let mut buf = [0u8; 512];
+    loop {
+        match stream.read(&mut buf) {
+            Ok(n) if n > 0 => {
+                if buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+                    break;
+                }
+            }
+            _ => break,
+        }
+    }
+    let _ = stream.write_all(&resp.to_bytes());
+}
+
+fn worker_loop(inner: &Inner) {
+    while let Some(conn) = inner.queue.pop() {
+        // a panic anywhere in request handling burns this connection only
+        let _ = catch_unwind(AssertUnwindSafe(|| handle(inner, conn)));
+    }
+}
+
+fn handle(inner: &Inner, conn: Conn) {
+    let Conn {
+        mut stream,
+        arrived,
+    } = conn;
+    let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let resp = match read_request(&mut stream) {
+        Ok(req) => route(inner, &req, arrived),
+        Err(e) => {
+            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                400,
+                format!(
+                    "{{\"status\":\"bad-request\",\"error\":{}}}",
+                    json::str_lit(&e)
+                ),
+            )
+        }
+    };
+    if (200..300).contains(&resp.status) {
+        inner.stats.ok.fetch_add(1, Ordering::Relaxed);
+    }
+    let _ = resp.write_to(&mut stream);
+    let micros = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    inner.stats.record_latency(micros);
+}
+
+fn route(inner: &Inner, req: &Request, arrived: Instant) -> Response {
+    if req.method != "GET" {
+        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            405,
+            "{\"status\":\"bad-request\",\"error\":\"only GET is supported\"}",
+        );
+    }
+    let path = req.path.as_str();
+    match path {
+        "/health" => health(inner),
+        "/stats" => Response::json(200, inner.stats.snapshot().to_json()),
+        "/cell" => cell(inner, req),
+        "/run" | "/sweep" => run(inner, req, arrived, path == "/sweep"),
+        _ => {
+            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            Response::json(
+                404,
+                format!(
+                    "{{\"status\":\"bad-request\",\"error\":{}}}",
+                    json::str_lit(&format!(
+                        "no route `{path}` (/health /stats /cell /run /sweep)"
+                    ))
+                ),
+            )
+        }
+    }
+}
+
+fn health(inner: &Inner) -> Response {
+    let mut breakers: Vec<String> = inner
+        .shards
+        .iter()
+        .map(|(label, s)| {
+            format!(
+                "{}:{}",
+                json::str_lit(label),
+                json::str_lit(s.breaker.state_label())
+            )
+        })
+        .collect();
+    breakers.sort(); // deterministic body
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"queue_depth\":{},\"cached_cells\":{},\
+             \"recovered_cells\":{},\"skipped_journal_lines\":{},\"breakers\":{{{}}}}}",
+            inner.queue.depth(),
+            inner.cache.len(),
+            inner.cache.recovered,
+            inner.cache.skipped,
+            breakers.join(",")
+        ),
+    )
+}
+
+fn cell(inner: &Inner, req: &Request) -> Response {
+    let Some(fp_hex) = req.param("fp") else {
+        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            400,
+            "{\"status\":\"bad-request\",\"error\":\"missing `fp` parameter (hex fingerprint)\"}",
+        );
+    };
+    let Ok(fp) = u64::from_str_radix(fp_hex.trim_start_matches("0x"), 16) else {
+        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        return Response::json(
+            400,
+            format!(
+                "{{\"status\":\"bad-request\",\"error\":{}}}",
+                json::str_lit(&format!("`fp` is not hex: `{fp_hex}`"))
+            ),
+        );
+    };
+    match inner.cache.get(fp) {
+        Some(c) => {
+            inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
+            indigo_obs::Counter::ServeCacheHits.incr();
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"cached\":true,\"fp\":\"{fp:016x}\",\
+                     \"variant\":{},\"graph\":{},\"target\":{},\"geps\":{},\
+                     \"geps_bits\":\"{:016x}\",\"iterations\":{}}}",
+                    json::str_lit(&c.variant),
+                    json::str_lit(&c.graph),
+                    json::str_lit(&c.target),
+                    json::num(c.geps()),
+                    c.geps_bits,
+                    c.iterations
+                ),
+            )
+        }
+        None => Response::json(404, format!("{{\"status\":\"miss\",\"fp\":\"{fp:016x}\"}}")),
+    }
+}
+
+fn run(inner: &Inner, req: &Request, arrived: Instant, sweep: bool) -> Response {
+    let q = match engine::parse_query(req, &inner.cfg, sweep) {
+        Ok(q) => q,
+        Err(e) => {
+            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            return Response::json(
+                400,
+                format!(
+                    "{{\"status\":\"bad-request\",\"error\":{}}}",
+                    json::str_lit(&e)
+                ),
+            );
+        }
+    };
+    // the deadline started at accept: queue wait already spent part of it
+    let deadline_at = arrived + q.deadline;
+    if deadline_at.saturating_duration_since(Instant::now()) < Duration::from_millis(5) {
+        inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+        indigo_obs::Counter::ServeTimeouts.incr();
+        return Response::json(
+            504,
+            format!(
+                "{{\"status\":\"timeout\",\"error\":{}}}",
+                json::str_lit(&format!(
+                    "deadline of {} ms expired while queued",
+                    q.deadline.as_millis()
+                ))
+            ),
+        );
+    }
+    let shard = &inner.shards[q.graph.label()];
+    let ctx = EngineCtx {
+        cfg: &inner.cfg,
+        cache: &inner.cache,
+        stats: &inner.stats,
+    };
+    engine::execute(&ctx, shard, &q, deadline_at)
+}

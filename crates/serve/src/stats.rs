@@ -1,0 +1,207 @@
+//! Always-on server statistics (DESIGN.md §7.8).
+//!
+//! The chaos gate's invariants ("breaker trip/recovery observable",
+//! "retries counted") must hold in *every* build, so the server keeps its
+//! own plain atomics rather than relying on `crates/obs` counters (which
+//! compile to nothing without the `telemetry` feature). Each bump is
+//! mirrored into the matching obs counter by the caller, so telemetry
+//! builds get the same numbers in traces and profiles for free.
+
+use indigo_obs::hist::{bucket_floor, bucket_of, NUM_BUCKETS};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic request-pipeline counters plus a log₂ latency histogram.
+#[derive(Default)]
+pub struct Stats {
+    /// Connections accepted (sheds included).
+    pub requests: AtomicU64,
+    /// 2xx responses (degraded included).
+    pub ok: AtomicU64,
+    /// 429 sheds from admission control.
+    pub shed: AtomicU64,
+    /// 504 deadline exhaustions (in queue or mid-retry).
+    pub timeouts: AtomicU64,
+    /// Cell re-executions after a transient failure.
+    pub retries: AtomicU64,
+    /// Degraded responses served while a breaker was open.
+    pub degraded: AtomicU64,
+    /// Requests fully answered from the fingerprint cache.
+    pub cache_hits: AtomicU64,
+    /// Breaker transitions closed → open.
+    pub breaker_trips: AtomicU64,
+    /// Breaker half-open probes that recovered (→ closed).
+    pub breaker_recoveries: AtomicU64,
+    /// 5xx failures (retries exhausted, wrong answers, harness errors).
+    pub failed: AtomicU64,
+    /// 4xx client errors.
+    pub bad_requests: AtomicU64,
+    /// Journal appends that failed (service continued without persistence).
+    pub journal_errors: AtomicU64,
+    /// EWMA of request service time, microseconds (for `Retry-After`).
+    pub service_micros_ewma: AtomicU64,
+    latency: LatencyHist,
+}
+
+/// Log₂ latency histogram, same bucketing as `indigo_obs::hist` (which is
+/// compiled feature-off too, so the edges stay shared).
+#[derive(Default)]
+struct LatencyHist {
+    buckets: [AtomicU64; NUM_BUCKETS],
+}
+
+impl Stats {
+    /// Fresh zeroed stats.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    /// Records one finished request's end-to-end latency.
+    pub fn record_latency(&self, micros: u64) {
+        self.latency.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        // EWMA with α = 1/8: ewma += (sample − ewma) / 8
+        let prev = self.service_micros_ewma.load(Ordering::Relaxed);
+        let next = if prev == 0 {
+            micros
+        } else {
+            prev - prev / 8 + micros / 8
+        };
+        self.service_micros_ewma.store(next, Ordering::Relaxed);
+        indigo_obs::Hist::ServeRequestMicros.record(micros);
+    }
+
+    /// `Retry-After` advice in whole seconds for a shed when `depth`
+    /// requests are queued ahead: expected drain time, at least 1 s.
+    pub fn retry_after_secs(&self, depth: usize) -> u64 {
+        let ewma = self.service_micros_ewma.load(Ordering::Relaxed).max(1_000);
+        let drain_us = ewma.saturating_mul(depth as u64 + 1);
+        drain_us.div_ceil(1_000_000).max(1)
+    }
+
+    /// Point-in-time copy.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut latency_buckets = [0u64; NUM_BUCKETS];
+        for (i, b) in self.latency.buckets.iter().enumerate() {
+            latency_buckets[i] = b.load(Ordering::Relaxed);
+        }
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            breaker_recoveries: self.breaker_recoveries.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            journal_errors: self.journal_errors.load(Ordering::Relaxed),
+            latency_buckets,
+        }
+    }
+}
+
+/// A copy of every counter plus the latency buckets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`Stats::requests`].
+    pub requests: u64,
+    /// See [`Stats::ok`].
+    pub ok: u64,
+    /// See [`Stats::shed`].
+    pub shed: u64,
+    /// See [`Stats::timeouts`].
+    pub timeouts: u64,
+    /// See [`Stats::retries`].
+    pub retries: u64,
+    /// See [`Stats::degraded`].
+    pub degraded: u64,
+    /// See [`Stats::cache_hits`].
+    pub cache_hits: u64,
+    /// See [`Stats::breaker_trips`].
+    pub breaker_trips: u64,
+    /// See [`Stats::breaker_recoveries`].
+    pub breaker_recoveries: u64,
+    /// See [`Stats::failed`].
+    pub failed: u64,
+    /// See [`Stats::bad_requests`].
+    pub bad_requests: u64,
+    /// See [`Stats::journal_errors`].
+    pub journal_errors: u64,
+    /// Log₂ latency buckets (microseconds).
+    pub latency_buckets: [u64; NUM_BUCKETS],
+}
+
+impl StatsSnapshot {
+    /// Bucket-floor latency percentile in microseconds (`0.0..=100.0`).
+    pub fn latency_percentile_floor(&self, p: f64) -> u64 {
+        let total: u64 = self.latency_buckets.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.latency_buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(NUM_BUCKETS - 1)
+    }
+
+    /// Renders the counters as a flat JSON object body.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"shed\":{},\"timeouts\":{},\"retries\":{},\
+             \"degraded\":{},\"cache_hits\":{},\"breaker_trips\":{},\
+             \"breaker_recoveries\":{},\"failed\":{},\"bad_requests\":{},\
+             \"journal_errors\":{},\"latency_p50_floor_us\":{},\"latency_p99_floor_us\":{}}}",
+            self.requests,
+            self.ok,
+            self.shed,
+            self.timeouts,
+            self.retries,
+            self.degraded,
+            self.cache_hits,
+            self.breaker_trips,
+            self.breaker_recoveries,
+            self.failed,
+            self.bad_requests,
+            self.journal_errors,
+            self.latency_percentile_floor(50.0),
+            self.latency_percentile_floor(99.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_walk_the_buckets() {
+        let s = Stats::new();
+        for us in [1u64, 2, 4, 1000, 1000, 1000, 1000, 100_000] {
+            s.record_latency(us);
+        }
+        let snap = s.snapshot();
+        // 8 samples: p50 rank 4 lands in the 1000 µs bucket (floor 512)
+        assert_eq!(snap.latency_percentile_floor(50.0), 512);
+        // p99 rank 8 lands in the 100 ms bucket (floor 65536)
+        assert_eq!(snap.latency_percentile_floor(99.0), 65_536);
+        assert_eq!(snap.latency_percentile_floor(0.0), 1);
+        assert!(snap.to_json().contains("\"latency_p50_floor_us\":512"));
+    }
+
+    #[test]
+    fn retry_after_scales_with_queue_depth() {
+        let s = Stats::new();
+        // no samples yet: minimum 1 s advice
+        assert_eq!(s.retry_after_secs(0), 1);
+        for _ in 0..50 {
+            s.record_latency(2_000_000); // 2 s requests
+        }
+        assert!(s.retry_after_secs(3) >= 4, "4 × ~2 s should advise ≥ 4 s");
+    }
+}

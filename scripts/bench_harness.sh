@@ -26,9 +26,9 @@ out=$(mktemp -d)
 trap 'rm -rf "$out"' EXIT
 
 # two binaries: cargo rebuilds in place, so park each aside
-cargo build -q --release -p indigo-harness --bin indigo-exp
+cargo build -q --release -p indigo2 --bin indigo-exp
 cp target/release/indigo-exp "$out/exp-off"
-cargo build -q --release -p indigo-harness --bin indigo-exp --features telemetry
+cargo build -q --release -p indigo2 --bin indigo-exp --features telemetry
 cp target/release/indigo-exp "$out/exp-on"
 
 suite_secs() {

@@ -4,20 +4,52 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
+# ---- per-stage wall-clock bookkeeping: stage NAME closes the previous
+# stage and opens the next; the summary table prints on any exit
+stage_names=()
+stage_secs=()
+current_stage=""
+current_started=0
+stage() {
+    local now=$SECONDS
+    if [ -n "$current_stage" ]; then
+        stage_names+=("$current_stage")
+        stage_secs+=($((now - current_started)))
+    fi
+    current_stage="${1:-}"
+    current_started=$now
+    # plain `if` — a `[ ... ] &&` tail would return 1 for the closing
+    # stage "" call and kill the EXIT trap under set -e
+    if [ -n "$current_stage" ]; then
+        echo "== $current_stage"
+    fi
+}
+stage_summary() {
+    stage "" # close the stage in flight
+    [ "${#stage_names[@]}" -eq 0 ] && return 0
+    echo "stage timing:"
+    local i
+    for i in "${!stage_names[@]}"; do
+        printf '  %4ss  %s\n' "${stage_secs[$i]}" "${stage_names[$i]}"
+    done
+    printf '  %4ss  total\n' "$SECONDS"
+}
+
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"; stage_summary' EXIT
+
+stage "cargo fmt --check"
 cargo fmt --check
 
-echo "== cargo clippy --all-targets -- -D warnings"
+stage "cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "== cargo test -q --workspace"
+stage "cargo test -q --workspace"
 cargo test -q --workspace
 
-echo "== fault-injection smoke (crash, resume, clean exits)"
-cargo build -q --release -p indigo-harness --bin indigo-exp
+stage "fault-injection smoke (crash, resume, clean exits)"
+cargo build -q --release -p indigo2 --bin indigo-exp
 exp=target/release/indigo-exp
-smoke_dir=$(mktemp -d)
-trap 'rm -rf "$smoke_dir"' EXIT
 journal="$smoke_dir/run.jsonl"
 
 # an injected panic must complete the sweep with a structured crashed row
@@ -42,7 +74,23 @@ set -e
 "$exp" --smoke --out "$smoke_dir/clean" >/dev/null ||
     { echo "clean smoke run exited $?, want 0"; exit 1; }
 
-echo "== simulator perf smoke (deterministic: cycles + allocation counts)"
+stage "serve chaos gate (admission, deadlines, retries, breaker, restart)"
+# the query server's robustness invariants (DESIGN.md §7.8), offline on an
+# ephemeral loopback port: synthetic multi-client traffic with injected
+# faults must end with every request answered or shed, the breaker tripping
+# and recovering, and a bit-exact journal replay across a restart
+"$exp" serve --chaos --journal "$smoke_dir/serve.jsonl" --out "$smoke_dir/serve" >/dev/null ||
+    { echo "serve chaos gate failed"; exit 1; }
+bench_serve="$smoke_dir/serve/BENCH_serve.json"
+[ -s "$bench_serve" ] || { echo "chaos run wrote no BENCH_serve.json"; exit 1; }
+for key in '"schema": "bench-serve-v1"' '"requests"' '"shed"' '"retries"' \
+           '"breaker_trips"' '"breaker_recoveries"' '"latency_ms"' '"saturation_rps"'; do
+    grep -q "$key" "$bench_serve" ||
+        { echo "BENCH_serve.json is missing $key"; exit 1; }
+done
+cp "$bench_serve" results/BENCH_serve.json
+
+stage "simulator perf smoke (deterministic: cycles + allocation counts)"
 # Wall-clock is deliberately NOT gated (shared runners flake); the probe
 # compares simulated cycles, access counts, and steady-state allocation
 # counts against the committed baseline — warn at 10%, fail at 30%.
@@ -50,21 +98,21 @@ echo "== simulator perf smoke (deterministic: cycles + allocation counts)"
 cargo build -q --release -p indigo-bench --bin gpusim_perf --features telemetry
 target/release/gpusim_perf --check results/BENCH_gpusim_baseline.json
 
-echo "== CPU baseline perf smoke (deterministic: frontier counters + allocs)"
+stage "CPU baseline perf smoke (deterministic: frontier counters + allocs)"
 # Same contract for the tuned CPU kernels (DESIGN.md §7.7): frontier and
 # bucket counters are compared single-threaded (deterministic), and the
 # steady-state allocation count is pinned at the committed baseline's 0.
 cargo build -q --release -p indigo-bench --bin cpu_perf --features telemetry
 target/release/cpu_perf --check results/BENCH_cpu_baseline.json
 
-echo "== telemetry (feature-on tests, trace validation, zero-cost guard)"
+stage "telemetry (feature-on tests, trace validation, zero-cost guard)"
 # the full suite again with recording compiled in: obs live tests, the
 # trace integration test, and the alloc-regression pin all re-run hot
 cargo test -q --workspace --features telemetry
 
 # a telemetry smoke run must emit a trace that the checker accepts and
 # the chrome exporter converts; profile must render from the same file
-cargo build -q --release -p indigo-harness --bin indigo-exp --features telemetry
+cargo build -q --release -p indigo2 --bin indigo-exp --features telemetry
 texp=target/release/indigo-exp
 "$texp" --smoke --out "$smoke_dir/telemetry" >/dev/null
 trace="$smoke_dir/telemetry/TRACE_smoke.jsonl"
@@ -75,11 +123,11 @@ grep -q '"ph": "X"' "$smoke_dir/telemetry/trace.json" ||
     { echo "chrome export has no complete events"; exit 1; }
 "$texp" profile --in "$trace" --out "$smoke_dir/telemetry" >/dev/null
 
-echo "== sanitize (feature-on tests, smoke verdicts, mutation gate)"
+stage "sanitize (feature-on tests, smoke verdicts, mutation gate)"
 # the style-conformance sanitizer (DESIGN.md §7.6): feature-on test suite,
 # then a smoke sweep that must find no label violations...
 cargo test -q --workspace --features sanitize
-cargo build -q --release -p indigo-harness --bin indigo-exp --features sanitize
+cargo build -q --release -p indigo2 --bin indigo-exp --features sanitize
 sexp=target/release/indigo-exp
 "$sexp" sanitize --smoke --out "$smoke_dir/sanitize" >/dev/null
 # ...while a seeded mutation (atomics dropped at RMW update sites) must be
@@ -95,7 +143,7 @@ grep -q 'VIOLATION' "$smoke_dir/sanitize-mut/sanitize.txt" ||
 # zero-cost guard: the default build must stay telemetry- and sanitizer-
 # free — the smoke runs above in this script used both, so just pin the
 # compile-time switches
-cargo build -q --release -p indigo-harness --bin indigo-exp
+cargo build -q --release -p indigo2 --bin indigo-exp
 target/release/indigo-exp --smoke --out "$smoke_dir/off" >/dev/null
 ls "$smoke_dir"/off/TRACE_*.jsonl >/dev/null 2>&1 &&
     { echo "telemetry-off build wrote a trace file"; exit 1; }
@@ -104,7 +152,7 @@ grep -q '"telemetry_enabled": false' "$smoke_dir/off/BENCH_harness.json" ||
 grep -q '"sanitize_enabled": false' "$smoke_dir/off/BENCH_harness.json" ||
     { echo "sanitize-off build reports sanitize_enabled != false"; exit 1; }
 
-echo "== telemetry overhead gate (<3% smoke CPU time, interleaved min of 4)"
+stage "telemetry overhead gate (<3% smoke CPU time, interleaved min of 4)"
 scripts/bench_harness.sh --check
 
 echo "CI green."

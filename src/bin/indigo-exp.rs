@@ -7,6 +7,8 @@
 //! indigo-exp --smoke                   # small fixed slice, outcome reports
 //! indigo-exp sanitize --smoke          # style-conformance verdicts
 //!                                      # (needs --features sanitize)
+//! indigo-exp serve --port 8080         # fault-tolerant query server
+//! indigo-exp serve --chaos             # chaos gate + BENCH_serve.json
 //! options:
 //!   --scale tiny|small|default|large   # input instance size (default: small)
 //!   --reps N                           # CPU wall-clock repetitions (default: 3)
@@ -43,6 +45,7 @@ use indigo_harness::{
     FaultSpec, ProgressEvent, Report, Resilience, RunOptions, RunPhase, RunSummary,
 };
 use indigo_obs::{console_line, Counter, TraceEvent};
+use indigo_serve::ChaosOptions;
 use indigo_styles::{Algorithm, Model};
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -80,6 +83,20 @@ struct Cli {
     /// `sanitize`: force RMW update sites onto the unsynchronized split
     /// (mutation testing — the run must end in violations).
     mutate: bool,
+    /// `serve`: TCP port (0 = ephemeral).
+    port: u16,
+    /// `serve`: worker threads executing requests.
+    serve_workers: usize,
+    /// `serve`: admission-queue capacity.
+    queue: usize,
+    /// `serve`: default per-request deadline, milliseconds.
+    deadline_ms: u64,
+    /// `serve --chaos`: concurrent synthetic clients.
+    clients: usize,
+    /// `serve --chaos`: requests per chaos phase.
+    requests: usize,
+    /// `serve`: run the chaos gate instead of serving in the foreground.
+    chaos: bool,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
@@ -96,6 +113,13 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         top: 10,
         check: false,
         mutate: false,
+        port: 0,
+        serve_workers: 2,
+        queue: 16,
+        deadline_ms: 2_000,
+        clients: 4,
+        requests: 32,
+        chaos: false,
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -124,14 +148,14 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             }
             "--cell-timeout" => {
                 let secs: f64 = parse_num(it.next(), "--cell-timeout")?;
-                if !(secs > 0.0) {
+                if secs.is_nan() || secs <= 0.0 {
                     return Err("--cell-timeout needs a positive number of seconds".into());
                 }
                 cli.res.cell_timeout = Some(Duration::from_secs_f64(secs));
             }
             "--cell-cycle-budget" => {
                 let cycles: f64 = parse_num(it.next(), "--cell-cycle-budget")?;
-                if !(cycles > 0.0) {
+                if cycles.is_nan() || cycles <= 0.0 {
                     return Err("--cell-cycle-budget needs a positive cycle count".into());
                 }
                 cli.res.cycle_budget = Some(cycles);
@@ -155,6 +179,13 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             "--top" => cli.top = parse_num(it.next(), "--top")?,
             "--check" => cli.check = true,
             "--mutate-drop-atomics" => cli.mutate = true,
+            "--port" => cli.port = parse_num(it.next(), "--port")?,
+            "--serve-workers" => cli.serve_workers = parse_num(it.next(), "--serve-workers")?,
+            "--queue" => cli.queue = parse_num(it.next(), "--queue")?,
+            "--deadline-ms" => cli.deadline_ms = parse_num(it.next(), "--deadline-ms")?,
+            "--clients" => cli.clients = parse_num(it.next(), "--clients")?,
+            "--requests" => cli.requests = parse_num(it.next(), "--requests")?,
+            "--chaos" => cli.chaos = true,
             "--help" | "-h" => {
                 cli.selected.clear();
                 cli.selected.push("--help".to_string());
@@ -186,6 +217,7 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
         Some("trace") => return cmd_trace(&cli),
         Some("profile") => return cmd_profile(&cli),
         Some("sanitize") => return cmd_sanitize(&cli),
+        Some("serve") => return cmd_serve(&cli),
         _ => {}
     }
 
@@ -629,6 +661,116 @@ fn write_bench_json(
     Ok(())
 }
 
+// ---- serve subcommand ----------------------------------------------------
+
+/// `indigo-exp serve [--port P] [--serve-workers N] [--queue N]
+/// [--deadline-ms MS] [--journal PATH] [--scale S]` — runs the
+/// fault-tolerant query server (DESIGN.md §7.8) in the foreground until
+/// killed. With `--chaos`, runs the chaos gate instead: synthetic
+/// multi-client traffic with injected faults (`--clients`, `--requests`,
+/// `--inject-fault KIND@EVERY` — every EVERY-th storm request faults)
+/// against an in-process server, asserts the robustness invariants, and
+/// writes `BENCH_serve.json` to the output directory. Exit code 0 only if
+/// every invariant held.
+fn cmd_serve(cli: &Cli) -> Result<i32, String> {
+    // cells crash by injected panic in chaos mode; keep their banners (and
+    // watchdog cancellations) off stderr, but let real bugs through
+    std::panic::set_hook(Box::new(|info| {
+        if info
+            .payload()
+            .downcast_ref::<indigo_cancel::Cancelled>()
+            .is_some()
+        {
+            return;
+        }
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        if msg.starts_with("injected fault") {
+            return;
+        }
+        console_line(&format!("[serve panic] {info}"));
+    }));
+
+    if cli.chaos {
+        let fault = match &cli.res.fault {
+            Some(f) => Some(indigo_serve::ChaosFault {
+                kind: f.kind,
+                every: f.cell.max(1),
+            }),
+            None => ChaosOptions::default().fault,
+        };
+        let opts = ChaosOptions {
+            clients: cli.clients.max(1),
+            requests: cli.requests.max(4),
+            fault,
+            journal: cli.res.journal.clone(),
+            deadline: Duration::from_millis(cli.deadline_ms.max(1)),
+        };
+        console_line(&format!(
+            "chaos: {} clients × {} requests/phase, fault {}, deadline {} ms",
+            opts.clients,
+            opts.requests,
+            opts.fault
+                .map(|f| format!("{}@{}", f.kind.label(), f.every))
+                .unwrap_or_else(|| "none".into()),
+            cli.deadline_ms
+        ));
+        let report = indigo_serve::chaos::run_chaos(&opts)?;
+        std::fs::create_dir_all(&cli.out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", cli.out_dir))?;
+        let path = Path::new(&cli.out_dir).join("BENCH_serve.json");
+        std::fs::write(&path, report.to_json())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        console_line(&format!(
+            "chaos OK: {} requests ({} ok, {} shed, {} timed out, {} failed), \
+             {} retries, breaker {}/{} trip/recover, p99 {:.1} ms, {:.0} rps cached",
+            report.requests,
+            report.ok,
+            report.shed,
+            report.timed_out,
+            report.failed,
+            report.retries,
+            report.breaker_trips,
+            report.breaker_recoveries,
+            report.latency_ms.p99,
+            report.saturation_rps
+        ));
+        console_line(&format!("wrote {}", path.display()));
+        return Ok(0);
+    }
+
+    let cfg = indigo_serve::ServerConfig {
+        addr: format!("127.0.0.1:{}", cli.port),
+        workers: cli.serve_workers.max(1),
+        queue: cli.queue.max(1),
+        jobs: cli.options.jobs,
+        default_deadline: Duration::from_millis(cli.deadline_ms.max(1)),
+        default_scale: if cli.scale_set {
+            cli.scale
+        } else {
+            Scale::Tiny
+        },
+        reps: cli.reps.clamp(1, 9),
+        journal: cli.res.journal.clone(),
+        ..indigo_serve::ServerConfig::default()
+    };
+    let server =
+        indigo_serve::Server::start(cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    console_line(&format!(
+        "serving on http://{} — routes: /health /stats /cell /run /sweep \
+         ({} recovered cells); ctrl-c to stop",
+        server.addr(),
+        server.recovered_cells()
+    ));
+    loop {
+        std::thread::park(); // foreground until killed
+    }
+}
+
 // ---- trace / profile subcommands ----------------------------------------
 
 /// Resolves the input trace: `--in PATH`, else the newest `TRACE_*.jsonl`
@@ -907,7 +1049,7 @@ fn profile_text(events: &[TraceEvent], skipped: usize, top: usize, input: &Path)
     }
 
     let mut by_wall: Vec<&&TraceEvent> = cells.iter().collect();
-    by_wall.sort_by(|a, b| b.dur_us.cmp(&a.dur_us));
+    by_wall.sort_by_key(|ev| std::cmp::Reverse(ev.dur_us));
     if !by_wall.is_empty() {
         out.push_str(&format!("\ntop {} cells by wall time:\n", top));
         for ev in by_wall.iter().take(top) {
@@ -969,6 +1111,10 @@ usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
        indigo-exp profile [--in TRACE.jsonl] [--top N] [--out DIR]
        indigo-exp sanitize [--smoke] [--scale S] [--out DIR]
                   [--mutate-drop-atomics]
+       indigo-exp serve   [--port P] [--serve-workers N] [--queue N]
+                  [--deadline-ms MS] [--journal PATH] [--scale S]
+       indigo-exp serve --chaos [--clients N] [--requests N]
+                  [--inject-fault panic|stall|corrupt@EVERY] [--out DIR]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
@@ -997,6 +1143,14 @@ behavior against each variant's style labels (Deterministic => no
 value-changing races; Rmw/Rw => fused-atomic vs split updates;
 Atomic/CudaAtomic => the issued atomic class). --mutate-drop-atomics
 deliberately breaks RMW sites to prove violations are caught.
+
+serving: `serve` exposes the measurement matrix over HTTP (DESIGN.md 7.8)
+with admission control, per-request deadlines, retries, per-graph circuit
+breakers, degraded fallbacks, and a crash-only journal-backed cache.
+`serve --chaos` runs the CI chaos gate — synthetic multi-client traffic
+with injected faults — asserts every robustness invariant, and writes
+BENCH_serve.json. In chaos mode --inject-fault's index is the storm
+stride: panic@3 faults every third storm request.
 
 exit codes: 0 all cells clean; 2 run completed with failed cells;
 1 harness error.";

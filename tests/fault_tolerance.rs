@@ -11,7 +11,7 @@
 
 use indigo_graph::gen::{Scale, SuiteGraph};
 use indigo_harness::experiments::outcomes::cells_report;
-use indigo_harness::{CellOutcome, FaultSpec, Resilience, RunOptions, RunPlan};
+use indigo_harness::{CellOutcome, FaultSpec, ProgressEvent, Resilience, RunOptions, RunPlan};
 use indigo_styles::{Algorithm, Granularity, Model};
 use std::time::Duration;
 
@@ -135,6 +135,118 @@ fn truncated_journal_resume_reproduces_the_uninterrupted_csv() {
 
     let _ = std::fs::remove_file(&full_path);
     let _ = std::fs::remove_file(&cut_path);
+}
+
+/// The real thing, not an emulation: a *subprocess* journaling this same
+/// slice is SIGKILLed mid-run. The journal it leaves must reload (torn
+/// tail and all), its abandoned lockfile must be reclaimed as stale, and a
+/// resume must finish the run bit-identical to an undisturbed one.
+///
+/// The child is this test binary re-executed with `INDIGO_FT_CHILD_JOURNAL`
+/// set: the same `#[test]` then runs the journaled slice (throttled so the
+/// parent reliably catches it mid-run) instead of asserting anything.
+#[test]
+fn sigkilled_process_leaves_a_reloadable_journal_and_resumes_bit_exact() {
+    use indigo_harness::journal;
+
+    // ---- child mode: journal the slice slowly, never exit on our own
+    if let Ok(path) = std::env::var("INDIGO_FT_CHILD_JOURNAL") {
+        let res = Resilience::none().with_journal(&path);
+        let _ = suite_slice().run_cells(&RunOptions::default(), &res, |ev| {
+            if matches!(ev, ProgressEvent::Cell { .. }) {
+                // pace the run so the parent's kill lands mid-journal
+                std::thread::sleep(Duration::from_millis(30));
+            }
+        });
+        return;
+    }
+
+    // ---- parent mode
+    let path = tmp("sigkill.jsonl");
+    let lock = {
+        let mut l = path.clone().into_os_string();
+        l.push(".lock");
+        std::path::PathBuf::from(l)
+    };
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&lock);
+
+    let exe = std::env::current_exe().unwrap();
+    let mut child = std::process::Command::new(exe)
+        .arg("sigkilled_process_leaves_a_reloadable_journal_and_resumes_bit_exact")
+        .arg("--exact")
+        .env("INDIGO_FT_CHILD_JOURNAL", &path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // wait for ≥3 complete journal lines, then SIGKILL — no drop handlers,
+    // no flush, exactly what a crash or OOM-kill leaves behind
+    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+    loop {
+        let lines = std::fs::read_to_string(&path)
+            .map(|s| s.lines().count())
+            .unwrap_or(0);
+        if lines >= 3 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "child never wrote 3 journal lines"
+        );
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "child finished before it could be killed; slice too fast"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let child_pid = child.id();
+
+    // the kill left the lockfile behind, naming the dead process
+    let holder = std::fs::read_to_string(&lock).expect("killed child's lockfile should remain");
+    assert_eq!(holder.trim(), child_pid.to_string());
+
+    // the journal reloads; simulate a torn final write on top (a single
+    // line's worth of bytes may be partially flushed at kill time)
+    let (entries, _) = journal::load(&path).unwrap();
+    assert!(
+        entries.len() >= 3,
+        "only {} entries survived",
+        entries.len()
+    );
+    let text = std::fs::read_to_string(&path).unwrap();
+    let torn = format!("{text}{}", &text.lines().next().unwrap()[..20]);
+    std::fs::write(&path, torn).unwrap();
+    let (reloaded, skipped) = journal::load(&path).unwrap();
+    assert_eq!(reloaded.len(), entries.len(), "torn tail must be dropped");
+    assert_eq!(skipped, 1);
+
+    // resume: reclaims the dead child's lock, replays its cells, finishes
+    // the rest — bit-identical to a run that was never interrupted
+    let plan = suite_slice();
+    let opts = RunOptions::default();
+    let clean = plan.run_cells(&opts, &Resilience::none(), |_| {}).unwrap();
+    let resumed = plan
+        .run_cells(&opts, &Resilience::none().resuming(&path), |_| {})
+        .unwrap();
+    let replayed = resumed.summary().resumed;
+    assert!(replayed >= 3, "expected ≥3 replayed cells, got {replayed}");
+    assert!(
+        replayed < resumed.records.len(),
+        "child was killed mid-run, yet every cell was journaled"
+    );
+    assert_eq!(resumed.summary().exit_code(), 0);
+    assert_eq!(
+        cells_csv(&resumed),
+        cells_csv(&clean),
+        "resume after SIGKILL must be bit-exact"
+    );
+    assert!(!lock.exists(), "resume must release the reclaimed lock");
+
+    let _ = std::fs::remove_file(&path);
 }
 
 /// The resume key is the canonical fingerprint, not the JSON text: a journal

@@ -1,0 +1,274 @@
+//! Acceptance gate for the query server (DESIGN.md §7.8): every leg of the
+//! admission → deadline → retry → breaker → degrade pipeline, exercised
+//! over real loopback TCP against a real `Server`.
+//!
+//! The chaos harness (`indigo-exp serve --chaos`) stresses the same
+//! pipeline under concurrency and randomized interleavings; these tests
+//! pin each behavior down deterministically, one at a time.
+
+use indigo_serve::client::{self, ClientResponse};
+use indigo_serve::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(30);
+
+fn get(addr: SocketAddr, target: &str) -> ClientResponse {
+    client::get(addr, target, TIMEOUT).expect("request must be answered")
+}
+
+fn chaos_cfg() -> ServerConfig {
+    ServerConfig {
+        allow_fault_param: true,
+        ..ServerConfig::default()
+    }
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("indigo-serve-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn health_stats_and_unknown_routes_answer_structured_json() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let health = get(addr, "/health");
+    assert_eq!(health.status, 200);
+    assert!(health.body.contains("\"queue_depth\""), "{}", health.body);
+    assert!(health.body.contains("\"breakers\""), "{}", health.body);
+
+    let stats = get(addr, "/stats");
+    assert_eq!(stats.status, 200);
+    assert!(stats.body.contains("\"requests\""), "{}", stats.body);
+
+    let missing = get(addr, "/nope");
+    assert_eq!(missing.status, 404);
+    assert!(missing.body.contains("\"status\""), "{}", missing.body);
+
+    let bad = get(addr, "/run?algo=quantum&graph=2d-grid");
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("unknown algo"), "{}", bad.body);
+
+    // fault injection must be rejected outside chaos mode
+    let fault = get(addr, "/run?algo=tc&graph=2d-grid&fault=panic");
+    assert_eq!(fault.status, 400);
+    assert!(fault.body.contains("chaos mode only"), "{}", fault.body);
+}
+
+#[test]
+fn clean_queries_answer_and_repeat_queries_hit_the_cache() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let addr = server.addr();
+
+    let first = get(addr, "/run?algo=tc&graph=2d-grid&scale=tiny");
+    assert_eq!(first.status, 200, "{}", first.body);
+    assert!(first.body.contains("\"cached\":false"), "{}", first.body);
+    assert!(first.body.contains("\"geps_bits\""), "{}", first.body);
+
+    let again = get(addr, "/run?algo=tc&graph=2d-grid&scale=tiny");
+    assert_eq!(again.status, 200);
+    assert!(again.body.contains("\"cached\":true"), "{}", again.body);
+
+    let snap = server.stats();
+    assert_eq!(snap.cache_hits, 1);
+
+    // a sweep over the same (algo, graph) reuses the baseline's cells and
+    // reports a best variant
+    let sweep = get(addr, "/sweep?algo=tc&graph=2d-grid&scale=tiny&limit=3");
+    assert_eq!(sweep.status, 200, "{}", sweep.body);
+    assert!(sweep.body.contains("\"best_variant\""), "{}", sweep.body);
+}
+
+#[test]
+fn transient_fault_is_retried_within_the_deadline() {
+    let server = Server::start(chaos_cfg()).unwrap();
+    let addr = server.addr();
+
+    // the first attempt panics, the retry runs clean
+    let r = get(
+        addr,
+        "/run?algo=cc&graph=rmat&scale=tiny&fault=panic&fault_attempts=1",
+    );
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(r.body.contains("\"attempts\":2"), "{}", r.body);
+    assert!(server.stats().retries >= 1);
+}
+
+#[test]
+fn persistent_stall_exhausts_the_deadline_as_a_structured_504() {
+    let server = Server::start(chaos_cfg()).unwrap();
+    let addr = server.addr();
+
+    let r = get(
+        addr,
+        "/run?algo=bfs&graph=copapers&scale=tiny&deadline_ms=400&fault=stall&fault_attempts=9",
+    );
+    assert_eq!(r.status, 504, "{}", r.body);
+    assert!(r.body.contains("\"status\":\"timeout\""), "{}", r.body);
+    assert!(server.stats().timeouts >= 1);
+}
+
+#[test]
+fn wrong_answers_are_permanent_failures_not_retried() {
+    let server = Server::start(chaos_cfg()).unwrap();
+    let addr = server.addr();
+
+    // fault_attempts high enough that a retry *would* fault again: the 500
+    // must come from quarantine after attempt 1, not retry exhaustion
+    let r = get(
+        addr,
+        "/run?algo=tc&graph=soc-net&scale=tiny&fault=corrupt&fault_attempts=9",
+    );
+    assert_eq!(r.status, 500, "{}", r.body);
+    assert!(r.body.contains("wrong answer"), "{}", r.body);
+    assert!(r.body.contains("\"attempts\":1"), "{}", r.body);
+    assert_eq!(server.stats().retries, 0);
+}
+
+#[test]
+fn breaker_trips_to_degraded_answers_and_recovers_after_cooldown() {
+    let mut cfg = chaos_cfg();
+    cfg.breaker.threshold = 2;
+    cfg.breaker.cooldown = Duration::from_millis(200);
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // two consecutive permanently-failing requests trip the road shard
+    for _ in 0..2 {
+        let r = get(
+            addr,
+            "/run?algo=bfs&graph=road&scale=tiny&fault=panic&fault_attempts=9",
+        );
+        assert_eq!(r.status, 500, "{}", r.body);
+    }
+    assert_eq!(server.stats().breaker_trips, 1);
+
+    // open breaker: a clean query gets a degraded serial-oracle answer
+    // immediately — not an error, and with Retry-After advice
+    let d = get(addr, "/run?algo=bfs&graph=road&scale=tiny");
+    assert_eq!(d.status, 200, "{}", d.body);
+    assert!(d.body.contains("\"degraded\":true"), "{}", d.body);
+    assert!(d.body.contains("\"serial-bfs\""), "{}", d.body);
+    assert!(d.retry_after.is_some());
+
+    // other shards are unaffected
+    let ok = get(addr, "/run?algo=tc&graph=2d-grid&scale=tiny");
+    assert_eq!(ok.status, 200, "{}", ok.body);
+    assert!(ok.body.contains("\"degraded\":false"), "{}", ok.body);
+
+    // after the cooldown a half-open probe runs for real and recovers
+    std::thread::sleep(Duration::from_millis(250));
+    let mut recovered = false;
+    for _ in 0..20 {
+        let r = get(addr, "/run?algo=bfs&graph=road&scale=tiny");
+        if r.status == 200 && r.body.contains("\"degraded\":false") {
+            recovered = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(recovered, "breaker never recovered");
+    assert_eq!(server.stats().breaker_recoveries, 1);
+}
+
+#[test]
+fn overload_is_shed_with_429_and_retry_after() {
+    let mut cfg = chaos_cfg();
+    cfg.workers = 1;
+    cfg.queue = 1;
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // pin the only worker with a stalled request, then burst
+    let pinner = std::thread::spawn(move || {
+        client::get(
+            addr,
+            "/run?algo=cc&graph=soc-net&scale=tiny&deadline_ms=800&fault=stall&fault_attempts=9",
+            TIMEOUT,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // the burst must be concurrent: a sequential client would just park in
+    // the queue slot and wait the pinner out instead of overflowing it
+    let responses: Vec<ClientResponse> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| s.spawn(move || get(addr, "/health")))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut sheds = 0;
+    for r in &responses {
+        if r.status == 429 {
+            assert!(r.retry_after.is_some(), "{}", r.body);
+            assert!(r.body.contains("\"status\":\"shed\""), "{}", r.body);
+            sheds += 1;
+        }
+    }
+    assert!(sheds >= 1, "burst of 6 against a full queue shed nothing");
+    assert_eq!(server.stats().shed, sheds);
+    let pinned = pinner
+        .join()
+        .unwrap()
+        .expect("pinned request still answered");
+    assert_eq!(pinned.status, 504, "{}", pinned.body);
+}
+
+#[test]
+fn restart_replays_the_journal_bit_exact() {
+    let journal = tmp("restart.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let cfg = ServerConfig {
+        journal: Some(journal.clone()),
+        ..ServerConfig::default()
+    };
+
+    let (fp, bits) = {
+        let server = Server::start(cfg.clone()).unwrap();
+        let r = get(server.addr(), "/run?algo=mis&graph=rmat&scale=tiny");
+        assert_eq!(r.status, 200, "{}", r.body);
+        (
+            extract(&r.body, "\"fp\":\""),
+            extract(&r.body, "\"geps_bits\":\""),
+        )
+        // server drops here: crash-only — no flush step, no shutdown protocol
+    };
+
+    let server = Server::start(cfg).unwrap();
+    assert!(server.recovered_cells() >= 1);
+    let r = get(server.addr(), &format!("/cell?fp={fp}"));
+    assert_eq!(r.status, 200, "{}", r.body);
+    assert!(
+        r.body.contains(&format!("\"geps_bits\":\"{bits}\"")),
+        "bits changed across restart: {}",
+        r.body
+    );
+
+    let _ = std::fs::remove_file(&journal);
+}
+
+#[test]
+fn second_server_on_the_same_journal_fails_fast() {
+    let journal = tmp("locked.jsonl");
+    let _ = std::fs::remove_file(&journal);
+    let cfg = ServerConfig {
+        journal: Some(journal.clone()),
+        ..ServerConfig::default()
+    };
+    let _holder = Server::start(cfg.clone()).unwrap();
+    let err = match Server::start(cfg) {
+        Err(e) => e.to_string(),
+        Ok(_) => panic!("two servers must not share a journal"),
+    };
+    assert!(err.contains("locked"), "{err}");
+    let _ = std::fs::remove_file(&journal);
+}
+
+/// First occurrence of `"key":"<value>"` in a body.
+fn extract(body: &str, prefix: &str) -> String {
+    let start = body
+        .find(prefix)
+        .unwrap_or_else(|| panic!("{prefix} not in {body}"))
+        + prefix.len();
+    body[start..].split('"').next().unwrap().to_string()
+}
