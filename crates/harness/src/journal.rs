@@ -372,6 +372,37 @@ impl Journal {
         }
         Ok(())
     }
+
+    /// Appends a batch of completed cells under one lock with one flush —
+    /// the amortization the serve-path batch former exists for. Durability
+    /// is the same as [`Journal::record`] per *batch*: a kill mid-append
+    /// loses at most this batch's tail lines, each of which is torn-tail
+    /// recoverable on load.
+    pub fn record_all(&self, records: &[&CellRecord]) -> std::io::Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let started = if indigo_obs::enabled() {
+            Some(std::time::Instant::now())
+        } else {
+            None
+        };
+        let mut buf = String::with_capacity(records.len() * 160);
+        for r in records {
+            buf.push_str(&emit_line(r));
+            buf.push('\n');
+        }
+        let mut out = self.out.lock().unwrap_or_else(|e| e.into_inner());
+        out.write_all(buf.as_bytes())?;
+        out.flush()?;
+        if let Some(t0) = started {
+            let nanos = t0.elapsed().as_nanos() as u64;
+            indigo_obs::Counter::JournalAppends.add(records.len() as u64);
+            indigo_obs::Counter::JournalAppendNanos.add(nanos);
+            indigo_obs::Hist::JournalAppendMicros.record(nanos / 1_000);
+        }
+        Ok(())
+    }
 }
 
 // ---- minimal flat-JSON machinery -----------------------------------------

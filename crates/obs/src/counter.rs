@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of registered counters (kept in sync with [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 36;
+pub const NUM_COUNTERS: usize = 40;
 
 /// Every counter in the workspace, grouped by layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +110,15 @@ pub enum Counter {
     ServeBreakerTrips,
     /// Circuit-breaker recoveries (half-open probe succeeded → closed).
     ServeBreakerRecoveries,
+    /// Merged plans executed by the batch former (DESIGN.md §7.9).
+    ServeBatches,
+    /// Claimed cells resolved through batched plan executions.
+    ServeBatchedCells,
+    /// Requests that joined another request's in-flight cell instead of
+    /// executing it themselves (single-flight coalescing).
+    ServeCoalesced,
+    /// Requests served over a reused keep-alive connection.
+    ServeKeepAliveReuses,
 }
 
 impl Counter {
@@ -151,6 +160,10 @@ impl Counter {
         Counter::ServeCacheHits,
         Counter::ServeBreakerTrips,
         Counter::ServeBreakerRecoveries,
+        Counter::ServeBatches,
+        Counter::ServeBatchedCells,
+        Counter::ServeCoalesced,
+        Counter::ServeKeepAliveReuses,
     ];
 
     /// Stable machine name (used in trace `counters` events and reports).
@@ -193,6 +206,10 @@ impl Counter {
             Counter::ServeCacheHits => "serve.cache_hits",
             Counter::ServeBreakerTrips => "serve.breaker_trips",
             Counter::ServeBreakerRecoveries => "serve.breaker_recoveries",
+            Counter::ServeBatches => "serve.batches",
+            Counter::ServeBatchedCells => "serve.batch_cells",
+            Counter::ServeCoalesced => "serve.coalesced",
+            Counter::ServeKeepAliveReuses => "serve.keepalive_reuses",
         }
     }
 

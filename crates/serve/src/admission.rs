@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Why a push was refused.
 #[derive(Debug)]
@@ -29,6 +30,7 @@ pub struct Admission<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
     capacity: usize,
+    record_depth: bool,
 }
 
 impl<T> Admission<T> {
@@ -41,6 +43,17 @@ impl<T> Admission<T> {
             }),
             ready: Condvar::new(),
             capacity: capacity.max(1),
+            record_depth: true,
+        }
+    }
+
+    /// Like [`Admission::new`] but without `serve.queue_depth` telemetry —
+    /// for internal queues (the batch former) whose depth would pollute the
+    /// request-queue histogram.
+    pub fn new_unrecorded(capacity: usize) -> Admission<T> {
+        Admission {
+            record_depth: false,
+            ..Admission::new(capacity)
         }
     }
 
@@ -54,7 +67,9 @@ impl<T> Admission<T> {
             return Err(PushError::Full(item));
         }
         st.queue.push_back(item);
-        indigo_obs::Hist::ServeQueueDepth.record(st.queue.len() as u64);
+        if self.record_depth {
+            indigo_obs::Hist::ServeQueueDepth.record(st.queue.len() as u64);
+        }
         drop(st);
         self.ready.notify_one();
         Ok(())
@@ -71,6 +86,41 @@ impl<T> Admission<T> {
                 return None;
             }
             st = self.ready.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// A queued item if one is immediately available (never blocks).
+    pub fn try_pop(&self) -> Option<T> {
+        self.state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .queue
+            .pop_front()
+    }
+
+    /// Blocks up to `timeout` for the next item. `None` means the wait
+    /// timed out, or the queue closed and drained — either way there is
+    /// nothing to do right now. This is the queue's own timed wait: callers
+    /// (the batch former, tests) never need a throwaway watcher thread.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _timed_out) = self
+                .ready
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
         }
     }
 
@@ -96,7 +146,6 @@ impl<T> Admission<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
 
     #[test]
     fn full_queue_sheds_and_returns_the_item() {
@@ -115,8 +164,8 @@ mod tests {
     }
 
     #[test]
-    fn close_drains_then_wakes_blocked_poppers() {
-        let q = Arc::new(Admission::new(4));
+    fn close_drains_then_unblocks_poppers() {
+        let q = Admission::new(4);
         q.try_push(7).unwrap();
         q.close();
         match q.try_push(8) {
@@ -125,23 +174,23 @@ mod tests {
         }
         // pending items still drain after close...
         assert_eq!(q.pop(), Some(7));
-        // ...and a popper blocked on an empty closed queue returns None
-        let popper = {
-            let q = Arc::clone(&q);
-            std::thread::spawn(move || q.pop())
-        };
-        assert_eq!(popper.join().unwrap(), None);
+        // ...and a pop on an empty closed queue returns None immediately,
+        // even through the timed path
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)), None);
     }
 
     #[test]
-    fn blocked_pop_wakes_on_push() {
-        let q = Arc::new(Admission::new(1));
-        let popper = {
-            let q = Arc::clone(&q);
-            std::thread::spawn(move || q.pop())
-        };
-        std::thread::sleep(std::time::Duration::from_millis(20));
+    fn pop_timeout_waits_out_its_budget_then_gives_up() {
+        let q: Admission<i32> = Admission::new(1);
+        let t0 = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(40)), None);
+        assert!(t0.elapsed() >= Duration::from_millis(35));
+        // an item already queued returns without waiting
         q.try_push(42).unwrap();
-        assert_eq!(popper.join().unwrap(), Some(42));
+        let t0 = Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_secs(5)), Some(42));
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        assert_eq!(q.try_pop(), None);
     }
 }

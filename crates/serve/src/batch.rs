@@ -1,0 +1,665 @@
+//! Single-flight coalescing and continuous batching (DESIGN.md §7.9).
+//!
+//! Two cooperating layers sit between the request engine and
+//! `RunPlan::run_cells`:
+//!
+//! * **Single-flight ([`Flights`]).** In-flight work is keyed by the PR 2
+//!   cell fingerprint. The first request to need a missing cell *claims*
+//!   it (and becomes responsible for executing it); every later request
+//!   for the same cell *joins* the existing flight and just waits. One
+//!   execution fans its outcome out to all waiters. Claims are guarded:
+//!   if the claiming executor dies or drops the claim, the flight resolves
+//!   as transient so waiters re-claim instead of hanging, and a resolved
+//!   flight leaves the registry so the cell can be retried.
+//! * **Batching ([`Batcher`]).** Claimed work is submitted to a batch
+//!   former that drains its queue up to a size/window bound (closing the
+//!   window early when the queue is empty — batching must never add
+//!   latency to an idle server) and coalesces compatible submissions into
+//!   one `run_cells` matrix invocation, amortizing graph generation, pool
+//!   leases, and journal appends. Submissions merge only when the merged
+//!   plan computes *exactly* the union of the requested cells: same
+//!   (scale, reps) and either the same graph (variant union) or identical
+//!   variant sets (graph union). Fault-injected submissions never merge —
+//!   an injected fault strikes the plan's first cell, so merging would
+//!   fault someone else's work.
+//!
+//! Coalescing is semantically invisible: answers are assembled per-request
+//! from the fingerprint cache (which is keep-first, so a cell's bits never
+//! change once served), a waiter whose deadline expires answers 504
+//! without cancelling the shared run, and a quarantined `WrongAnswer`
+//! poisons exactly the waiters of that cell.
+
+use crate::admission::Admission;
+use crate::cache::ResultCache;
+use crate::stats::Stats;
+use indigo_graph::gen::{Scale, SuiteGraph};
+use indigo_harness::{CellOutcome, CellRecord, FaultSpec, Resilience, RunOptions, RunPlan};
+use indigo_styles::StyleConfig;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How one flight ended, fanned out to every waiter.
+#[derive(Clone, Debug)]
+pub enum FlightResult {
+    /// The cell completed and is in the result cache.
+    Done,
+    /// The cell crashed or timed out; waiters may re-claim and retry.
+    Transient {
+        /// Variant name (for failure bodies).
+        variant: String,
+        /// Target label.
+        target: String,
+        /// `"crashed"` or `"timed-out"`.
+        outcome: &'static str,
+        /// Free-form failure detail.
+        detail: String,
+    },
+    /// The cell failed verification: permanent, poisons all waiters.
+    Poisoned {
+        /// Variant name.
+        variant: String,
+        /// Target label.
+        target: String,
+        /// Verification failure detail.
+        detail: String,
+    },
+}
+
+/// One in-flight cell execution; waiters block on the condvar.
+pub struct Flight {
+    state: Mutex<Option<FlightResult>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            state: Mutex::new(None),
+            done: Condvar::new(),
+        }
+    }
+
+    fn resolve(&self, result: FlightResult) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        if st.is_none() {
+            *st = Some(result);
+        }
+        drop(st);
+        self.done.notify_all();
+    }
+
+    /// The result so far, without blocking.
+    pub fn peek(&self) -> Option<FlightResult> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Blocks until the flight resolves or `deadline` passes. `None` means
+    /// the flight is still running — the waiter's deadline expired, which
+    /// does NOT cancel the execution; it keeps running for other waiters
+    /// and lands in the cache.
+    pub fn wait_until(&self, deadline: Instant) -> Option<FlightResult> {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(r) = st.as_ref() {
+                return Some(r.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+    }
+}
+
+/// A cell a request wants to claim: fingerprint plus labels for failure
+/// bodies.
+#[derive(Clone, Copy, Debug)]
+pub struct CellClaim<'a> {
+    /// Cell fingerprint (the single-flight key).
+    pub fp: u64,
+    /// Variant name.
+    pub variant: &'a str,
+    /// Target label.
+    pub target: &'a str,
+}
+
+/// Responsibility for one claimed flight. Dropping a guard without
+/// resolving it resolves the flight as transient — an executor that dies
+/// can delay waiters, never strand them.
+pub struct ClaimGuard {
+    fp: u64,
+    variant: String,
+    target: String,
+    flight: Arc<Flight>,
+    registry: Arc<Flights>,
+    resolved: bool,
+}
+
+impl ClaimGuard {
+    /// The claimed cell's fingerprint.
+    pub fn fp(&self) -> u64 {
+        self.fp
+    }
+
+    /// A waitable handle on the claimed flight.
+    pub fn flight(&self) -> Arc<Flight> {
+        Arc::clone(&self.flight)
+    }
+
+    /// Resolves the flight and retires it from the registry.
+    pub fn resolve(mut self, result: FlightResult) {
+        self.resolved = true;
+        self.registry.finish(self.fp, &self.flight, result);
+    }
+}
+
+impl Drop for ClaimGuard {
+    fn drop(&mut self) {
+        if !self.resolved {
+            self.registry.finish(
+                self.fp,
+                &self.flight,
+                FlightResult::Transient {
+                    variant: self.variant.clone(),
+                    target: self.target.clone(),
+                    outcome: "crashed",
+                    detail: "executor dropped the claim".into(),
+                },
+            );
+        }
+    }
+}
+
+/// The single-flight registry: fingerprint → live flight.
+#[derive(Default)]
+pub struct Flights {
+    map: Mutex<HashMap<u64, Arc<Flight>>>,
+}
+
+impl Flights {
+    /// An empty registry.
+    pub fn new() -> Flights {
+        Flights::default()
+    }
+
+    /// For each wanted cell: create-and-claim a new flight, or join the
+    /// one already in the air. Returns the claims this caller now owns and
+    /// the flights it merely joined. Atomic across the whole set, so two
+    /// racing requests split the cells rather than double-claiming.
+    pub fn claim_or_join(
+        this: &Arc<Flights>,
+        cells: &[CellClaim<'_>],
+    ) -> (Vec<ClaimGuard>, Vec<Arc<Flight>>) {
+        let mut claimed = Vec::new();
+        let mut joined = Vec::new();
+        let mut map = this.map.lock().unwrap_or_else(|e| e.into_inner());
+        for c in cells {
+            match map.get(&c.fp) {
+                Some(f) => joined.push(Arc::clone(f)),
+                None => {
+                    let flight = Arc::new(Flight::new());
+                    map.insert(c.fp, Arc::clone(&flight));
+                    claimed.push(ClaimGuard {
+                        fp: c.fp,
+                        variant: c.variant.to_string(),
+                        target: c.target.to_string(),
+                        flight,
+                        registry: Arc::clone(this),
+                        resolved: false,
+                    });
+                }
+            }
+        }
+        (claimed, joined)
+    }
+
+    /// The flights already in the air for `fps`, without claiming anything
+    /// (used by a request that is out of execution attempts but can still
+    /// free-ride on someone else's run).
+    pub fn join_only(&self, fps: &[u64]) -> Vec<Arc<Flight>> {
+        let map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        fps.iter().filter_map(|fp| map.get(fp).cloned()).collect()
+    }
+
+    /// Flights currently in the air.
+    pub fn in_flight(&self) -> usize {
+        self.map.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    fn finish(&self, fp: u64, flight: &Arc<Flight>, result: FlightResult) {
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        // remove only our own entry — a later claimer may already have
+        // registered a fresh flight under the same fingerprint
+        if map.get(&fp).is_some_and(|f| Arc::ptr_eq(f, flight)) {
+            map.remove(&fp);
+        }
+        drop(map);
+        flight.resolve(result);
+    }
+}
+
+/// One attempt's worth of claimed work, handed to the batch former.
+pub struct Submission {
+    /// Input graph (all claimed cells of a submission share it).
+    pub graph: SuiteGraph,
+    /// Instance scale.
+    pub scale: Scale,
+    /// Repetitions per cell.
+    pub reps: usize,
+    /// Style variants to replan.
+    pub variants: Vec<StyleConfig>,
+    /// Per-cell watchdog budget for this attempt.
+    pub budget: Duration,
+    /// Injected fault (chaos mode). A faulted submission never merges.
+    pub fault: Option<FaultSpec>,
+    /// The flights this submission must resolve.
+    pub claims: Vec<ClaimGuard>,
+}
+
+/// Batch former tuning.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchConfig {
+    /// Most submissions merged into one `run_cells` invocation.
+    pub max_batch: usize,
+    /// Longest the former waits for more submissions once it has one.
+    pub window: Duration,
+}
+
+/// The continuous batch former: one thread that drains submissions,
+/// groups them into mergeable plans, executes each plan, and resolves the
+/// claimed flights.
+pub struct Batcher {
+    queue: Arc<Admission<Submission>>,
+    runner: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Spawns the former thread.
+    pub fn spawn(
+        cfg: BatchConfig,
+        cache: Arc<ResultCache>,
+        stats: Arc<Stats>,
+        jobs: usize,
+    ) -> std::io::Result<Batcher> {
+        // capacity bounds claimers parked on the batcher, not clients —
+        // a full queue makes the claimer run inline instead
+        let queue = Arc::new(Admission::new_unrecorded(64));
+        let runner = {
+            let queue = Arc::clone(&queue);
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || former_loop(&cfg, &queue, &cache, &stats, jobs))?
+        };
+        Ok(Batcher {
+            queue,
+            runner: Mutex::new(Some(runner)),
+        })
+    }
+
+    /// Hands a submission to the former. `Err` returns it (queue full or
+    /// closed) — the caller should execute inline.
+    pub fn submit(&self, sub: Submission) -> Result<(), Submission> {
+        self.queue.try_push(sub).map_err(|e| match e {
+            crate::admission::PushError::Full(s) => s,
+            crate::admission::PushError::Closed(s) => s,
+        })
+    }
+
+    /// Stops the former once the queue drains and joins it.
+    pub fn shutdown(&self) {
+        self.queue.close();
+        if let Some(h) = self.runner.lock().unwrap_or_else(|e| e.into_inner()).take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn former_loop(
+    cfg: &BatchConfig,
+    queue: &Admission<Submission>,
+    cache: &ResultCache,
+    stats: &Stats,
+    jobs: usize,
+) {
+    while let Some(first) = queue.pop() {
+        let mut batch = vec![first];
+        let window_closes = Instant::now() + cfg.window;
+        while batch.len() < cfg.max_batch.max(1) {
+            // adaptive window: while more submissions are queued keep
+            // draining (up to the window), but an empty queue closes the
+            // window early — an idle server pays zero batching latency
+            match queue.try_pop() {
+                Some(s) => batch.push(s),
+                None => {
+                    let now = Instant::now();
+                    if now >= window_closes || queue.depth() == 0 {
+                        break;
+                    }
+                    match queue.pop_timeout(window_closes - now) {
+                        Some(s) => batch.push(s),
+                        None => break,
+                    }
+                }
+            }
+        }
+        execute_batch(batch, cache, stats, jobs);
+    }
+}
+
+/// A mergeable plan-in-progress: the union of compatible submissions.
+struct Group {
+    scale: Scale,
+    reps: usize,
+    graphs: Vec<SuiteGraph>,
+    variants: Vec<StyleConfig>,
+    budget: Duration,
+    fault: Option<FaultSpec>,
+    claims: Vec<ClaimGuard>,
+}
+
+impl Group {
+    fn of(sub: Submission) -> Group {
+        Group {
+            scale: sub.scale,
+            reps: sub.reps,
+            graphs: vec![sub.graph],
+            variants: sub.variants,
+            budget: sub.budget,
+            fault: sub.fault,
+            claims: sub.claims,
+        }
+    }
+
+    fn variant_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.variants.iter().map(|v| v.name()).collect();
+        names.sort();
+        names
+    }
+
+    fn absorb(&mut self, sub: Submission) {
+        for v in sub.variants {
+            let name = v.name();
+            if !self.variants.iter().any(|x| x.name() == name) {
+                self.variants.push(v);
+            }
+        }
+        // the shared watchdog runs at the *longest* member budget: a
+        // short-deadline waiter 504s on its own clock rather than timing
+        // out everyone else's cells
+        self.budget = self.budget.max(sub.budget);
+        self.claims.extend(sub.claims);
+    }
+}
+
+/// Groups a drained batch into mergeable plans and executes each one.
+fn execute_batch(batch: Vec<Submission>, cache: &ResultCache, stats: &Stats, jobs: usize) {
+    let mut solo: Vec<Group> = Vec::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for sub in batch {
+        if sub.fault.is_some() {
+            solo.push(Group::of(sub));
+            continue;
+        }
+        match groups
+            .iter_mut()
+            .find(|g| g.scale == sub.scale && g.reps == sub.reps && g.graphs == [sub.graph])
+        {
+            Some(g) => g.absorb(sub),
+            None => groups.push(Group::of(sub)),
+        }
+    }
+    // second pass: groups with identical variant sets merge across graphs
+    // (still exactly the union of requested cells — no cross-product bloat)
+    let mut merged: Vec<Group> = Vec::new();
+    for g in groups {
+        match merged.iter_mut().find(|m| {
+            m.scale == g.scale && m.reps == g.reps && m.variant_names() == g.variant_names()
+        }) {
+            Some(m) => {
+                for graph in g.graphs {
+                    if !m.graphs.contains(&graph) {
+                        m.graphs.push(graph);
+                    }
+                }
+                m.budget = m.budget.max(g.budget);
+                m.claims.extend(g.claims);
+            }
+            None => merged.push(g),
+        }
+    }
+    for g in merged.into_iter().chain(solo) {
+        let coalesced = g.claims.len();
+        let plan = RunPlan {
+            variants: g.variants,
+            graphs: g.graphs,
+            scale: g.scale,
+            reps: g.reps,
+            verify: true,
+        };
+        run_claims(cache, stats, jobs, plan, g.budget, g.fault, g.claims);
+        stats.batches.fetch_add(1, Relaxed);
+        stats.batched_cells.fetch_add(coalesced as u64, Relaxed);
+        indigo_obs::Counter::ServeBatches.incr();
+        indigo_obs::Counter::ServeBatchedCells.add(coalesced as u64);
+    }
+}
+
+/// Executes one plan and resolves its claims — shared by the batcher and
+/// by the engine's inline (batching-off) path, so both produce identical
+/// cache contents and flight outcomes.
+pub fn run_claims(
+    cache: &ResultCache,
+    stats: &Stats,
+    jobs: usize,
+    plan: RunPlan,
+    budget: Duration,
+    fault: Option<FaultSpec>,
+    claims: Vec<ClaimGuard>,
+) {
+    let mut res = Resilience::none().with_cell_timeout(budget);
+    if let Some(f) = fault {
+        res = res.with_fault(f);
+    }
+    let opts = RunOptions::default().with_jobs(jobs.max(1));
+    let outcome = catch_unwind(AssertUnwindSafe(|| plan.run_cells(&opts, &res, |_| {})));
+    let run = match outcome {
+        Ok(Ok(run)) => run,
+        Ok(Err(e)) => {
+            let detail = format!("harness error: {e}");
+            return resolve_all_transient(claims, &detail);
+        }
+        Err(_) => return resolve_all_transient(claims, "plan execution panicked"),
+    };
+    let ok_records: Vec<&CellRecord> = run
+        .records
+        .iter()
+        .filter(|r| matches!(r.outcome, CellOutcome::Ok(_)))
+        .collect();
+    let journal_errors = cache.insert_batch(&ok_records);
+    stats
+        .journal_errors
+        .fetch_add(journal_errors as u64, Relaxed);
+    let by_fp: HashMap<u64, &CellRecord> = run.records.iter().map(|r| (r.fingerprint, r)).collect();
+    for guard in claims {
+        let result = match by_fp.get(&guard.fp()) {
+            Some(rec) => match &rec.outcome {
+                CellOutcome::Ok(_) => FlightResult::Done,
+                CellOutcome::Crashed { payload } => FlightResult::Transient {
+                    variant: rec.variant.clone(),
+                    target: rec.target.clone(),
+                    outcome: "crashed",
+                    detail: payload.clone(),
+                },
+                CellOutcome::TimedOut { reason, .. } => FlightResult::Transient {
+                    variant: rec.variant.clone(),
+                    target: rec.target.clone(),
+                    outcome: "timed-out",
+                    detail: reason.clone(),
+                },
+                CellOutcome::WrongAnswer { detail } => FlightResult::Poisoned {
+                    variant: rec.variant.clone(),
+                    target: rec.target.clone(),
+                    detail: detail.clone(),
+                },
+            },
+            None => FlightResult::Transient {
+                variant: guard.variant.clone(),
+                target: guard.target.clone(),
+                outcome: "crashed",
+                detail: "cell missing from the executed plan".into(),
+            },
+        };
+        guard.resolve(result);
+    }
+}
+
+fn resolve_all_transient(claims: Vec<ClaimGuard>, detail: &str) {
+    for guard in claims {
+        let result = FlightResult::Transient {
+            variant: guard.variant.clone(),
+            target: guard.target.clone(),
+            outcome: "crashed",
+            detail: detail.to_string(),
+        };
+        guard.resolve(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn claims(this: &Arc<Flights>, fps: &[u64]) -> (Vec<ClaimGuard>, Vec<Arc<Flight>>) {
+        let cells: Vec<CellClaim<'_>> = fps
+            .iter()
+            .map(|&fp| CellClaim {
+                fp,
+                variant: "v",
+                target: "t",
+            })
+            .collect();
+        Flights::claim_or_join(this, &cells)
+    }
+
+    #[test]
+    fn second_request_joins_instead_of_claiming() {
+        let reg = Arc::new(Flights::new());
+        let (c1, j1) = claims(&reg, &[10, 11]);
+        assert_eq!((c1.len(), j1.len()), (2, 0));
+        let (c2, j2) = claims(&reg, &[11, 12]);
+        assert_eq!((c2.len(), j2.len()), (1, 1), "11 joined, 12 claimed");
+        assert_eq!(reg.in_flight(), 3);
+
+        // resolving fans out to the joiner and retires the flight
+        for g in c1 {
+            g.resolve(FlightResult::Done);
+        }
+        assert!(matches!(
+            j2[0].wait_until(Instant::now()),
+            Some(FlightResult::Done)
+        ));
+        assert_eq!(reg.in_flight(), 1);
+        drop(c2);
+    }
+
+    #[test]
+    fn dropped_claim_resolves_transient_so_waiters_reclaim() {
+        let reg = Arc::new(Flights::new());
+        let (c, _) = claims(&reg, &[77]);
+        let (_, joined) = claims(&reg, &[77]);
+        drop(c); // executor died without resolving
+        match joined[0].wait_until(Instant::now() + Duration::from_secs(2)) {
+            Some(FlightResult::Transient { outcome, .. }) => assert_eq!(outcome, "crashed"),
+            other => panic!("expected transient after dropped claim, got {other:?}"),
+        }
+        // the fingerprint is claimable again
+        let (c2, j2) = claims(&reg, &[77]);
+        assert_eq!((c2.len(), j2.len()), (1, 0));
+    }
+
+    #[test]
+    fn waiter_deadline_expiry_leaves_the_flight_running() {
+        let reg = Arc::new(Flights::new());
+        let (c, _) = claims(&reg, &[5]);
+        let flight = c[0].flight();
+        // a waiter that times out gets None, and the flight is still live
+        assert!(flight.wait_until(Instant::now()).is_none());
+        assert_eq!(reg.in_flight(), 1);
+        c.into_iter().next().unwrap().resolve(FlightResult::Done);
+        assert!(matches!(flight.peek(), Some(FlightResult::Done)));
+    }
+
+    #[test]
+    fn merge_rules_group_by_graph_and_by_variant_set() {
+        use indigo_styles::{Algorithm, Model};
+        let reg = Arc::new(Flights::new());
+        let v1 = StyleConfig::baseline(Algorithm::Tc, Model::Cuda);
+        let v2 = StyleConfig::baseline(Algorithm::Bfs, Model::Cuda);
+        let sub = |graph, variants: Vec<StyleConfig>, fp| Submission {
+            graph,
+            scale: Scale::Tiny,
+            reps: 1,
+            variants,
+            budget: Duration::from_millis(100),
+            fault: None,
+            claims: claims(&reg, &[fp]).0,
+        };
+        // same graph → variant union; same variant set → graph union
+        let batch = vec![
+            sub(SuiteGraph::Grid2d, vec![v1.clone()], 1),
+            sub(SuiteGraph::Grid2d, vec![v2.clone()], 2),
+            sub(SuiteGraph::Rmat, vec![v1.clone(), v2.clone()], 3),
+        ];
+        let mut solo = Vec::new();
+        let mut groups: Vec<Group> = Vec::new();
+        for s in batch {
+            if s.fault.is_some() {
+                solo.push(Group::of(s));
+            } else {
+                match groups
+                    .iter_mut()
+                    .find(|g| g.scale == s.scale && g.reps == s.reps && g.graphs == [s.graph])
+                {
+                    Some(g) => g.absorb(s),
+                    None => groups.push(Group::of(s)),
+                }
+            }
+        }
+        assert_eq!(groups.len(), 2);
+        let mut merged: Vec<Group> = Vec::new();
+        for g in groups {
+            match merged.iter_mut().find(|m| {
+                m.scale == g.scale && m.reps == g.reps && m.variant_names() == g.variant_names()
+            }) {
+                Some(m) => {
+                    for graph in g.graphs {
+                        if !m.graphs.contains(&graph) {
+                            m.graphs.push(graph);
+                        }
+                    }
+                    m.claims.extend(g.claims);
+                }
+                None => merged.push(g),
+            }
+        }
+        assert_eq!(merged.len(), 1, "identical variant sets merge graphs");
+        assert_eq!(merged[0].graphs, [SuiteGraph::Grid2d, SuiteGraph::Rmat]);
+        assert_eq!(merged[0].variants.len(), 2);
+        assert_eq!(merged[0].claims.len(), 3);
+    }
+}

@@ -101,25 +101,72 @@ impl ResultCache {
     }
 
     /// Caches (and journals) a completed cell. Non-`ok` outcomes are
-    /// ignored. Journal write failures degrade persistence, not service —
+    /// ignored. Insertion is **keep-first**: a fingerprint already cached is
+    /// never overwritten, so the bits a cell was first served with are the
+    /// bits it is served with forever — re-measurement of a wall-clock
+    /// (CPU) cell that raced into the same fingerprint cannot drift the
+    /// answer. Journal write failures degrade persistence, not service —
     /// the error is returned for counting but the cell is still cached.
     pub fn insert(&self, rec: &CellRecord) -> std::io::Result<()> {
         let Some(m) = rec.outcome.measurement() else {
             return Ok(());
         };
-        self.map.lock().unwrap_or_else(|e| e.into_inner()).insert(
-            rec.fingerprint,
-            CachedCell {
-                variant: rec.variant.clone(),
-                graph: rec.graph.to_string(),
-                target: rec.target.clone(),
-                geps_bits: m.geps.to_bits(),
-                iterations: m.iterations,
-            },
-        );
+        {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            if map.contains_key(&rec.fingerprint) {
+                return Ok(());
+            }
+            map.insert(
+                rec.fingerprint,
+                CachedCell {
+                    variant: rec.variant.clone(),
+                    graph: rec.graph.to_string(),
+                    target: rec.target.clone(),
+                    geps_bits: m.geps.to_bits(),
+                    iterations: m.iterations,
+                },
+            );
+        }
         match &self.journal {
             Some(j) => j.record(rec),
             None => Ok(()),
+        }
+    }
+
+    /// Caches a batch of completed cells with one journal lock/flush
+    /// (`Journal::record_all`). Same keep-first rule as [`insert`]; cells
+    /// already cached are neither overwritten nor re-journaled. Returns how
+    /// many journal appends failed (persistence degraded, service intact).
+    pub fn insert_batch(&self, records: &[&CellRecord]) -> usize {
+        let mut fresh: Vec<&CellRecord> = Vec::with_capacity(records.len());
+        {
+            let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+            for rec in records {
+                let Some(m) = rec.outcome.measurement() else {
+                    continue;
+                };
+                if map.contains_key(&rec.fingerprint) {
+                    continue;
+                }
+                map.insert(
+                    rec.fingerprint,
+                    CachedCell {
+                        variant: rec.variant.clone(),
+                        graph: rec.graph.to_string(),
+                        target: rec.target.clone(),
+                        geps_bits: m.geps.to_bits(),
+                        iterations: m.iterations,
+                    },
+                );
+                fresh.push(rec);
+            }
+        }
+        match &self.journal {
+            Some(j) => match j.record_all(&fresh) {
+                Ok(()) => 0,
+                Err(_) => fresh.len(),
+            },
+            None => 0,
         }
     }
 

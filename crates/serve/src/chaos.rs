@@ -223,7 +223,8 @@ fn clean_target(i: usize, deadline_ms: u64) -> String {
     format!("/run?algo={algo}&graph={graph}&scale=tiny&deadline_ms={deadline_ms}")
 }
 
-/// Fans `n` requests across `clients` threads; `target_of(i)` names each.
+/// Fans `n` requests across `clients` threads, each holding one keep-alive
+/// connection; `target_of(i)` names each request.
 fn fan_out<F>(addr: SocketAddr, rec: &Recorder, clients: usize, n: usize, target_of: F)
 where
     F: Fn(usize) -> String + Sync,
@@ -232,14 +233,17 @@ where
     let timeout = Duration::from_secs(30);
     std::thread::scope(|s| {
         for _ in 0..clients.max(1) {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            s.spawn(|| {
+                let mut conn = client::Client::new(addr, timeout);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let started = Instant::now();
+                    let r = conn.get(&target_of(i));
+                    rec.observe(&r, started);
                 }
-                let started = Instant::now();
-                let r = client::get(addr, &target_of(i), timeout);
-                rec.observe(&r, started);
             });
         }
     });
@@ -379,11 +383,13 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
     let tput_n = 50usize;
     let tput_target = clean_target(0, deadline_ms);
     let tput_started = Instant::now();
+    let mut tput_conn = client::Client::new(addr, timeout);
     for _ in 0..tput_n {
         let started = Instant::now();
-        let r = client::get(addr, &tput_target, timeout);
+        let r = tput_conn.get(&tput_target);
         rec.observe(&r, started);
     }
+    drop(tput_conn);
     let tput_secs = tput_started.elapsed().as_secs_f64().max(1e-9);
     let saturation_rps = tput_n as f64 / tput_secs;
 

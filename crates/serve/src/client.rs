@@ -1,4 +1,6 @@
-//! A minimal blocking HTTP/1.1 GET client for tests and the chaos harness.
+//! A minimal blocking HTTP/1.1 client for tests, the chaos harness, and
+//! the load generator. [`Client`] keeps its connection alive across
+//! requests (PR 8); the free [`get`] stays as a one-shot convenience.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -15,42 +17,162 @@ pub struct ClientResponse {
     pub body: String,
 }
 
-/// Issues `GET {target}` and reads the full response. `timeout` bounds
-/// connect, read, and write individually.
-pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<ClientResponse> {
-    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    stream.write_all(
-        format!("GET {target} HTTP/1.1\r\nHost: indigo\r\nConnection: close\r\n\r\n").as_bytes(),
-    )?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    parse(&raw)
+/// Upper bound on a response head; a server emitting more is broken.
+const MAX_RESP_HEAD: usize = 16 * 1024;
+
+/// A keep-alive HTTP/1.1 GET client. The connection is established lazily,
+/// reused across `get` calls, and transparently re-established once when a
+/// reused connection turns out to be stale (the server may close idle
+/// keep-alive connections at any time — GETs are idempotent, so one retry
+/// is safe).
+pub struct Client {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
 }
 
-fn parse(raw: &[u8]) -> std::io::Result<ClientResponse> {
-    let text = String::from_utf8_lossy(raw);
-    let mut head_and_body = text.splitn(2, "\r\n\r\n");
-    let head = head_and_body.next().unwrap_or("");
-    let body = head_and_body.next().unwrap_or("").to_string();
+impl Client {
+    /// A client for `addr`; `timeout` bounds connect, read, and write
+    /// individually.
+    pub fn new(addr: SocketAddr, timeout: Duration) -> Client {
+        Client {
+            addr,
+            timeout,
+            stream: None,
+        }
+    }
+
+    /// Issues `GET {target}`, reusing the kept-alive connection when one
+    /// exists.
+    pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        let reused = self.stream.is_some();
+        match self.roundtrip(target) {
+            Ok(resp) => Ok(resp),
+            Err(e) if reused => {
+                // stale keep-alive connection: reconnect and retry once
+                self.stream = None;
+                self.roundtrip(target).map_err(|_| e)
+            }
+            Err(e) => {
+                self.stream = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        let mut stream = match self.stream.take() {
+            Some(s) => s,
+            None => {
+                let s = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+                s.set_nodelay(true)?;
+                s.set_read_timeout(Some(self.timeout))?;
+                s.set_write_timeout(Some(self.timeout))?;
+                s
+            }
+        };
+        stream.write_all(format!("GET {target} HTTP/1.1\r\nHost: indigo\r\n\r\n").as_bytes())?;
+        // read until the head is complete
+        let mut raw = Vec::with_capacity(512);
+        let mut chunk = [0u8; 1024];
+        let head_len = loop {
+            if let Some(end) = find_head_end(&raw) {
+                break end;
+            }
+            if raw.len() > MAX_RESP_HEAD {
+                return Err(std::io::Error::other("response head too large"));
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::other(
+                    "connection closed before response head was complete",
+                ));
+            }
+            raw.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&raw[..head_len]).into_owned();
+        let parsed = parse_head(&head)?;
+        let mut body = raw[head_len..].to_vec();
+        match parsed.content_length {
+            Some(len) => {
+                while body.len() < len {
+                    let n = stream.read(&mut chunk)?;
+                    if n == 0 {
+                        return Err(std::io::Error::other(
+                            "connection closed before response body was complete",
+                        ));
+                    }
+                    body.extend_from_slice(&chunk[..n]);
+                }
+                body.truncate(len);
+                if !parsed.close {
+                    self.stream = Some(stream); // keep for the next get
+                }
+            }
+            None => {
+                // no framing: the connection close delimits the body
+                stream.read_to_end(&mut body)?;
+            }
+        }
+        Ok(ClientResponse {
+            status: parsed.status,
+            retry_after: parsed.retry_after,
+            body: String::from_utf8_lossy(&body).into_owned(),
+        })
+    }
+}
+
+/// Issues `GET {target}` on a fresh connection and reads the full
+/// response. `timeout` bounds connect, read, and write individually.
+pub fn get(addr: SocketAddr, target: &str, timeout: Duration) -> std::io::Result<ClientResponse> {
+    Client::new(addr, timeout).get(target)
+}
+
+/// Byte offset just past `\r\n\r\n`, when the head is complete.
+fn find_head_end(raw: &[u8]) -> Option<usize> {
+    raw.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+struct ParsedHead {
+    status: u16,
+    retry_after: Option<u64>,
+    content_length: Option<usize>,
+    close: bool,
+}
+
+fn parse_head(head: &str) -> std::io::Result<ParsedHead> {
     let mut lines = head.lines();
     let status_line = lines
         .next()
         .ok_or_else(|| std::io::Error::other("empty response"))?;
+    if !status_line.starts_with("HTTP/") {
+        return Err(std::io::Error::other(format!(
+            "bad status line: {status_line}"
+        )));
+    }
     let status: u16 = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::other(format!("bad status line: {status_line}")))?;
-    let retry_after = lines
-        .filter_map(|l| l.split_once(':'))
-        .find(|(k, _)| k.eq_ignore_ascii_case("retry-after"))
-        .and_then(|(_, v)| v.trim().parse().ok());
-    Ok(ClientResponse {
+    let mut retry_after = None;
+    let mut content_length = None;
+    let mut close = false;
+    for (k, v) in lines.filter_map(|l| l.split_once(':')) {
+        let v = v.trim();
+        if k.eq_ignore_ascii_case("retry-after") {
+            retry_after = v.parse().ok();
+        } else if k.eq_ignore_ascii_case("content-length") {
+            content_length = v.parse().ok();
+        } else if k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close") {
+            close = true;
+        }
+    }
+    Ok(ParsedHead {
         status,
         retry_after,
-        body,
+        content_length,
+        close,
     })
 }
 
@@ -59,18 +181,29 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_status_retry_after_and_body() {
-        let raw = b"HTTP/1.1 429 Too Many Requests\r\nRetry-After: 7\r\n\
-                    Content-Length: 2\r\n\r\n{}";
-        let r = parse(raw).unwrap();
-        assert_eq!(r.status, 429);
-        assert_eq!(r.retry_after, Some(7));
-        assert_eq!(r.body, "{}");
+    fn parses_status_retry_after_framing_and_close() {
+        let h = parse_head(
+            "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 7\r\n\
+             Content-Length: 2\r\nConnection: close\r\n",
+        )
+        .unwrap();
+        assert_eq!(h.status, 429);
+        assert_eq!(h.retry_after, Some(7));
+        assert_eq!(h.content_length, Some(2));
+        assert!(h.close);
+        let h = parse_head("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n").unwrap();
+        assert!(!h.close, "absent Connection header means keep-alive");
     }
 
     #[test]
     fn garbage_is_an_error_not_a_panic() {
-        assert!(parse(b"").is_err());
-        assert!(parse(b"not http at all\r\n\r\nx").is_err());
+        assert!(parse_head("").is_err());
+        assert!(parse_head("not http at all").is_err());
+    }
+
+    #[test]
+    fn head_end_needs_the_blank_line() {
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n\r\nbody"), Some(19));
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n"), None);
     }
 }

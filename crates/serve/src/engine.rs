@@ -17,6 +17,7 @@
 //!   can, and otherwise falls back to the serial oracle with a
 //!   `degraded: true` marker rather than going dark.
 
+use crate::batch::{Batcher, CellClaim, Flight, FlightResult, Flights, Submission};
 use crate::breaker::{Admit, Breaker, BreakerConfig, Transition};
 use crate::cache::ResultCache;
 use crate::config::{parse_scale, scale_label, ServerConfig};
@@ -27,9 +28,7 @@ use indigo_core::serial;
 use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo_graph::{Csr, INF};
 use indigo_harness::journal::fingerprint;
-use indigo_harness::{
-    CellFaultKind, CellOutcome, FaultSpec, Resilience, RunOptions, RunPlan, TargetSpec,
-};
+use indigo_harness::{CellFaultKind, FaultSpec, RunPlan, TargetSpec};
 use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -241,13 +240,25 @@ pub struct EngineCtx<'a> {
     /// Server configuration.
     pub cfg: &'a ServerConfig,
     /// Result cache (+ journal).
-    pub cache: &'a ResultCache,
+    pub cache: &'a Arc<ResultCache>,
     /// Always-on stats.
-    pub stats: &'a Stats,
+    pub stats: &'a Arc<Stats>,
+    /// Single-flight registry keyed by cell fingerprint.
+    pub flights: &'a Arc<Flights>,
+    /// Batch former, when batching is on (`cfg.batch > 0`).
+    pub batcher: Option<&'a Batcher>,
 }
 
 /// Executes a parsed query against its shard. `deadline_at` is absolute
 /// (stamped at accept, so queue wait counts against the budget).
+///
+/// Since PR 8 execution goes through the single-flight registry: each
+/// round, the request *claims* the missing cells nobody else is computing
+/// and *joins* the flights already in the air. A round with claims runs
+/// them (through the batch former when batching is on, inline otherwise);
+/// a round with only joins just waits. Either way the request then settles
+/// its own verdict — its 504 clock, retry budget, and breaker report are
+/// never delegated to whoever happens to execute the cells.
 pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Instant) -> Response {
     use std::sync::atomic::Ordering::Relaxed;
 
@@ -267,129 +278,169 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         Admit::Degraded { retry_after } => return degraded(ctx, shard, q, retry_after),
     };
 
-    // ---- retry loop over the still-missing cells
-    let mut attempt = 0u32;
+    // ---- claim/join/wait loop over the still-missing cells
+    let mut attempt = 0u32; // executions *this request* paid for
     let mut failures: Vec<(String, String, &'static str, String)> = Vec::new();
     let mut timed_out_only = true;
     loop {
-        attempt += 1;
         let now = Instant::now();
         let remaining = deadline_at.saturating_duration_since(now);
         if remaining < MIN_ATTEMPT_BUDGET {
+            // the request's own deadline expired — any shared flights keep
+            // running for their other waiters and land in the cache
             ctx.stats.timeouts.fetch_add(1, Relaxed);
             indigo_obs::Counter::ServeTimeouts.incr();
             report_breaker(ctx, shard, false, probe);
             let body = format!(
-                "{{\"status\":\"timeout\",\"error\":{},\"attempts\":{}}}",
+                "{{\"status\":\"timeout\",\"error\":{},\"attempts\":{attempt}}}",
                 json::str_lit(&format!(
-                    "deadline of {} ms exhausted after {} attempt(s)",
+                    "deadline of {} ms exhausted after {attempt} attempt(s)",
                     q.deadline.as_millis(),
-                    attempt - 1
                 )),
-                attempt - 1
             );
             return Response::json(504, body);
         }
 
-        // split what's left across the attempts we still have, so a stalled
-        // attempt leaves budget for its retries
-        let attempts_left = ctx
-            .cfg
-            .retry
-            .max_attempts
-            .saturating_sub(attempt - 1)
-            .max(1);
-        let budget = (remaining / attempts_left)
+        let missing: Vec<&CellKey> = cells
+            .iter()
+            .filter(|c| ctx.cache.get(c.fp).is_none())
+            .collect();
+        if missing.is_empty() {
+            break; // every cell is cached — assemble the answer
+        }
+
+        let attempts_left = ctx.cfg.retry.max_attempts.saturating_sub(attempt);
+        let (claimed, joined) = if attempts_left > 0 {
+            let wanted: Vec<CellClaim<'_>> = missing
+                .iter()
+                .map(|c| CellClaim {
+                    fp: c.fp,
+                    variant: &c.variant,
+                    target: &c.target,
+                })
+                .collect();
+            Flights::claim_or_join(ctx.flights, &wanted)
+        } else {
+            // out of execution attempts: free-ride on flights others run
+            let fps: Vec<u64> = missing.iter().map(|c| c.fp).collect();
+            (Vec::new(), ctx.flights.join_only(&fps))
+        };
+
+        if claimed.is_empty() {
+            if joined.is_empty() {
+                // nothing left to wait on and no attempts left to execute
+                report_breaker(ctx, shard, false, probe);
+                return if timed_out_only {
+                    ctx.stats.timeouts.fetch_add(1, Relaxed);
+                    indigo_obs::Counter::ServeTimeouts.incr();
+                    Response::json(
+                        504,
+                        failure_body("timeout", "timed out on every attempt", attempt, &failures),
+                    )
+                } else {
+                    ctx.stats.failed.fetch_add(1, Relaxed);
+                    Response::json(
+                        500,
+                        failure_body("error", "retries exhausted", attempt, &failures),
+                    )
+                };
+            }
+            // pure waiter: every missing cell is already in the air
+            ctx.stats.coalesced.fetch_add(1, Relaxed);
+            indigo_obs::Counter::ServeCoalesced.incr();
+            if let Some(resp) = wait_flights(ctx, shard, probe, &joined, deadline_at, attempt) {
+                return resp;
+            }
+            continue; // re-check cache / deadline, re-claim what failed
+        }
+
+        // claimer: this request executes (or batches) the unclaimed cells
+        attempt += 1;
+        let budget = (remaining / attempts_left.max(1))
             .max(MIN_ATTEMPT_BUDGET)
             .min(remaining);
-
-        let missing: Vec<StyleConfig> = q
+        let fault = q.fault.and_then(|f| {
+            (attempt <= f.attempts).then_some(FaultSpec {
+                kind: f.kind,
+                cell: 0,
+            })
+        });
+        let run_variants: Vec<StyleConfig> = q
             .variants
             .iter()
             .filter(|v| {
                 let name = v.name();
-                cells
+                claimed
                     .iter()
-                    .any(|c| c.variant == name && ctx.cache.get(c.fp).is_none())
+                    .any(|g| cells.iter().any(|c| c.fp == g.fp() && c.variant == name))
             })
             .cloned()
             .collect();
-        if missing.is_empty() {
-            break; // everything landed in the cache meanwhile
-        }
-
-        let mut res = Resilience::none().with_cell_timeout(budget);
-        if let Some(f) = q.fault {
-            if attempt <= f.attempts {
-                res = res.with_fault(FaultSpec {
-                    kind: f.kind,
-                    cell: 0,
-                });
-            }
-        }
-        let plan = RunPlan {
-            variants: missing,
-            graphs: vec![q.graph],
+        let my_flights: Vec<Arc<Flight>> = claimed.iter().map(|g| g.flight()).collect();
+        let sub = Submission {
+            graph: q.graph,
             scale: q.scale,
             reps: q.reps,
-            verify: true,
+            variants: run_variants,
+            budget,
+            fault,
+            claims: claimed,
         };
-        let opts = RunOptions::default().with_jobs(ctx.cfg.jobs);
-        let run = match plan.run_cells(&opts, &res, |_| {}) {
-            Ok(run) => run,
-            Err(e) => {
-                ctx.stats.failed.fetch_add(1, Relaxed);
-                report_breaker(ctx, shard, false, probe);
-                let body = format!(
-                    "{{\"status\":\"error\",\"error\":{}}}",
-                    json::str_lit(&format!("harness error: {e}"))
-                );
-                return Response::json(500, body);
-            }
+        // faulted submissions run inline so an injected stall wedges this
+        // request's attempt, never the shared batch former
+        let inline = match (ctx.batcher, fault) {
+            (Some(b), None) => b.submit(sub).err(),
+            (_, _) => Some(sub),
         };
-
-        failures.clear();
-        let mut wrong_answer = false;
-        for rec in &run.records {
-            match &rec.outcome {
-                CellOutcome::Ok(_) => {
-                    if ctx.cache.insert(rec).is_err() {
-                        ctx.stats.journal_errors.fetch_add(1, Relaxed);
-                    }
-                }
-                CellOutcome::Crashed { payload } => {
-                    timed_out_only = false;
-                    failures.push((
-                        rec.variant.clone(),
-                        rec.target.clone(),
-                        "crashed",
-                        payload.clone(),
-                    ));
-                }
-                CellOutcome::TimedOut { reason, .. } => {
-                    failures.push((
-                        rec.variant.clone(),
-                        rec.target.clone(),
-                        "timed-out",
-                        reason.clone(),
-                    ));
-                }
-                CellOutcome::WrongAnswer { detail } => {
-                    timed_out_only = false;
-                    wrong_answer = true;
-                    failures.push((
-                        rec.variant.clone(),
-                        rec.target.clone(),
-                        "wrong-answer",
-                        detail.clone(),
-                    ));
-                }
-            }
+        if let Some(sub) = inline {
+            let plan = RunPlan {
+                variants: sub.variants,
+                graphs: vec![sub.graph],
+                scale: sub.scale,
+                reps: sub.reps,
+                verify: true,
+            };
+            crate::batch::run_claims(
+                ctx.cache,
+                ctx.stats,
+                ctx.cfg.jobs,
+                plan,
+                sub.budget,
+                sub.fault,
+                sub.claims,
+            );
         }
 
-        if failures.is_empty() {
-            report_breaker(ctx, shard, true, probe);
-            return Response::json(200, result_body(ctx, q, &cells, false, false, attempt));
+        failures.clear();
+        let all: Vec<Arc<Flight>> = my_flights.into_iter().chain(joined).collect();
+        let mut wrong_answer = false;
+        for flight in &all {
+            match flight.wait_until(deadline_at) {
+                // still running past our deadline: the shared run keeps
+                // going for its other waiters; our top-of-loop check 504s
+                None => {}
+                Some(FlightResult::Done) => {}
+                Some(FlightResult::Transient {
+                    variant,
+                    target,
+                    outcome,
+                    detail,
+                }) => {
+                    if outcome == "crashed" {
+                        timed_out_only = false;
+                    }
+                    failures.push((variant, target, outcome, detail));
+                }
+                Some(FlightResult::Poisoned {
+                    variant,
+                    target,
+                    detail,
+                }) => {
+                    timed_out_only = false;
+                    wrong_answer = true;
+                    failures.push((variant, target, "wrong-answer", detail));
+                }
+            }
         }
         if wrong_answer {
             // a verification failure is not transient: retrying would burn
@@ -400,6 +451,9 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
                 500,
                 failure_body("error", "wrong answer (quarantined)", attempt, &failures),
             );
+        }
+        if failures.is_empty() {
+            continue; // all Done: the top of the loop finds them cached
         }
         if attempt >= ctx.cfg.retry.max_attempts {
             report_breaker(ctx, shard, false, probe);
@@ -428,9 +482,50 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         std::thread::sleep(backoff.min(remaining));
     }
 
-    // loop only breaks when every cell became cached
+    // loop only breaks when every cell is cached; `attempt == 0` means this
+    // request never executed anything (pure cache/coalescing win)
     report_breaker(ctx, shard, true, probe);
-    Response::json(200, result_body(ctx, q, &cells, true, false, attempt))
+    Response::json(
+        200,
+        result_body(ctx, q, &cells, attempt == 0, false, attempt),
+    )
+}
+
+/// Waits out a pure-waiter round. Returns the final response when a joined
+/// flight was poisoned (the only verdict a waiter settles mid-round);
+/// otherwise `None`, and the caller loops to re-check the cache.
+fn wait_flights(
+    ctx: &EngineCtx<'_>,
+    shard: &Shard,
+    probe: bool,
+    joined: &[Arc<Flight>],
+    deadline_at: Instant,
+    attempt: u32,
+) -> Option<Response> {
+    use std::sync::atomic::Ordering::Relaxed;
+    let mut poisoned: Vec<(String, String, &'static str, String)> = Vec::new();
+    for flight in joined {
+        // Done/Transient/still-running need nothing here: the top of the
+        // loop re-checks the cache, the deadline, and what's left to
+        // (re-)claim. Poisoned is the only verdict a waiter settles on.
+        if let Some(FlightResult::Poisoned {
+            variant,
+            target,
+            detail,
+        }) = flight.wait_until(deadline_at)
+        {
+            poisoned.push((variant, target, "wrong-answer", detail));
+        }
+    }
+    if poisoned.is_empty() {
+        return None;
+    }
+    ctx.stats.failed.fetch_add(1, Relaxed);
+    report_breaker(ctx, shard, false, probe);
+    Some(Response::json(
+        500,
+        failure_body("error", "wrong answer (quarantined)", attempt, &poisoned),
+    ))
 }
 
 fn report_breaker(ctx: &EngineCtx<'_>, shard: &Shard, ok: bool, probe: bool) {

@@ -1,10 +1,14 @@
-//! Hand-rolled HTTP/1.1, just enough for the query API (DESIGN.md §7.8).
+//! Hand-rolled HTTP/1.1, just enough for the query API (DESIGN.md §7.8,
+//! §7.9).
 //!
 //! The server speaks a deliberately small subset: `GET` requests with query
-//! strings, `Connection: close` on every response, JSON bodies only. There
-//! is no keep-alive, chunking, or percent-decoding — robustness comes from
-//! strict caps (8 KiB of headers) and from every malformed input mapping to
-//! a structured 400 rather than a panic or a hang.
+//! strings and JSON bodies only. Since PR 8 responses default to
+//! `Connection: keep-alive` so one TCP connection can carry many requests
+//! (and pipelined requests parse back-to-back out of one buffer); a request
+//! or response can still opt out with `Connection: close`. There is no
+//! chunking or percent-decoding — robustness comes from strict caps (8 KiB
+//! of headers) and from every malformed input mapping to a structured 400
+//! rather than a panic or a hang.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -21,6 +25,8 @@ pub struct Request {
     pub path: String,
     /// Query parameters in order of appearance.
     pub params: Vec<(String, String)>,
+    /// The client asked for `Connection: close` (or spoke HTTP/1.0).
+    pub close: bool,
 }
 
 impl Request {
@@ -38,9 +44,24 @@ impl Request {
         let mut parts = line.split_whitespace();
         let method = parts.next().ok_or("missing method")?.to_string();
         let target = parts.next().ok_or("missing request target")?;
-        match parts.next() {
-            Some(v) if v.starts_with("HTTP/1.") => {}
+        let version = match parts.next() {
+            Some(v) if v.starts_with("HTTP/1.") => v,
             _ => return Err("not an HTTP/1.x request".into()),
+        };
+        // HTTP/1.0 has no keep-alive by default; 1.1 keeps alive unless the
+        // client says otherwise
+        let mut close = version == "HTTP/1.0";
+        for h in head.lines().skip(1) {
+            if let Some((k, v)) = h.split_once(':') {
+                if k.eq_ignore_ascii_case("connection") {
+                    let v = v.trim();
+                    if v.eq_ignore_ascii_case("close") {
+                        close = true;
+                    } else if v.eq_ignore_ascii_case("keep-alive") {
+                        close = false;
+                    }
+                }
+            }
         }
         let (path, query) = match target.split_once('?') {
             Some((p, q)) => (p, q),
@@ -58,15 +79,46 @@ impl Request {
             method,
             path: path.to_string(),
             params,
+            close,
         })
     }
 }
 
-/// Reads a request head off `stream` (up to the `\r\n\r\n` terminator).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// Index just *past* the head terminator (`\r\n\r\n` or `\n\n`) in `buf`,
+/// or `None` while the head is still incomplete. The reactor calls this on
+/// every read so a request is dispatched the moment its head lands, and
+/// pipelined bytes after the terminator stay in the buffer for the next
+/// request.
+pub fn head_end(buf: &[u8]) -> Option<usize> {
+    // scan once; \n\n also terminates so bare-LF clients work
+    let mut i = 0;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if i + 1 < buf.len() && buf[i + 1] == b'\n' {
+                return Some(i + 2);
+            }
+            if i + 2 < buf.len() && buf[i + 1] == b'\r' && buf[i + 2] == b'\n' {
+                return Some(i + 3);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads a request head off `stream` (up to the terminator). Blocking-path
+/// helper; the reactor parses incrementally with [`head_end`] instead.
+/// Returns the parsed request plus any pipelined bytes read past the head.
+pub fn read_request(stream: &mut TcpStream) -> Result<(Request, Vec<u8>), String> {
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
-    loop {
+    let end = loop {
+        if let Some(end) = head_end(&buf) {
+            break end;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
         let n = stream
             .read(&mut chunk)
             .map_err(|e| format!("read error: {e}"))?;
@@ -74,19 +126,15 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             return Err("connection closed before request was complete".into());
         }
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n") {
-            break;
-        }
-        if buf.len() > MAX_HEAD_BYTES {
-            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
-        }
-    }
-    let head = String::from_utf8_lossy(&buf);
-    Request::parse(&head)
+    };
+    let head = String::from_utf8_lossy(&buf[..end]);
+    let req = Request::parse(&head)?;
+    Ok((req, buf[end..].to_vec()))
 }
 
 /// A response about to be written: status, JSON body, optional
-/// `Retry-After` advice (seconds) for 429/503 sheds.
+/// `Retry-After` advice (seconds) for 429/503 sheds, and whether the
+/// connection closes after it.
 #[derive(Clone, Debug)]
 pub struct Response {
     /// HTTP status code.
@@ -95,15 +143,19 @@ pub struct Response {
     pub body: String,
     /// `Retry-After` header value in seconds, when shedding.
     pub retry_after: Option<u64>,
+    /// Close the connection after this response (sheds and malformed
+    /// requests do; everything else keeps the connection alive).
+    pub close: bool,
 }
 
 impl Response {
-    /// A JSON response.
+    /// A JSON response (keep-alive by default).
     pub fn json(status: u16, body: impl Into<String>) -> Response {
         Response {
             status,
             body: body.into(),
             retry_after: None,
+            close: false,
         }
     }
 
@@ -113,13 +165,20 @@ impl Response {
         self
     }
 
+    /// Marks the response as connection-closing.
+    pub fn with_close(mut self) -> Response {
+        self.close = true;
+        self
+    }
+
     /// Serializes the full response (head + body).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
-            self.body.len()
+            self.body.len(),
+            if self.close { "close" } else { "keep-alive" }
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
@@ -166,6 +225,17 @@ mod tests {
         assert_eq!(r.param("graph"), Some("rmat"));
         assert_eq!(r.param("empty"), Some(""));
         assert_eq!(r.param("absent"), None);
+        assert!(!r.close, "HTTP/1.1 defaults to keep-alive");
+    }
+
+    #[test]
+    fn connection_semantics_follow_version_and_header() {
+        let c = Request::parse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(c.close);
+        let old = Request::parse("GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert!(old.close);
+        let revived = Request::parse("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!revived.close);
     }
 
     #[test]
@@ -176,13 +246,33 @@ mod tests {
     }
 
     #[test]
+    fn head_end_finds_both_terminators_and_keeps_pipelined_bytes() {
+        assert_eq!(head_end(b"GET / HTTP/1.1"), None);
+        assert_eq!(head_end(b"GET / HTTP/1.1\r\n\r"), None);
+        let buf = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let end = head_end(buf).unwrap();
+        assert_eq!(&buf[..end], b"GET /a HTTP/1.1\r\n\r\n");
+        assert!(head_end(&buf[end..]).is_some(), "second request intact");
+        assert_eq!(head_end(b"GET / HTTP/1.1\n\n"), Some(16));
+    }
+
+    #[test]
     fn response_head_carries_length_and_retry_after() {
-        let resp = Response::json(429, "{\"status\":\"shed\"}").with_retry_after(3);
+        let resp = Response::json(429, "{\"status\":\"shed\"}")
+            .with_retry_after(3)
+            .with_close();
         let bytes = resp.to_bytes();
         let text = String::from_utf8(bytes).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Content-Length: 17\r\n"));
         assert!(text.contains("Retry-After: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("{\"status\":\"shed\"}"));
+    }
+
+    #[test]
+    fn responses_keep_alive_by_default() {
+        let text = String::from_utf8(Response::json(200, "{}").to_bytes()).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
     }
 }

@@ -16,10 +16,17 @@
 //! ```
 //!
 //! and the chaos harness ([`chaos::run_chaos`]) gates it all in CI.
+//!
+//! PR 8 adds the batched, event-driven serving path (DESIGN.md §7.9):
+//! single-flight coalescing + continuous batching ([`batch`]), an epoll
+//! readiness reactor with HTTP/1.1 keep-alive ([`reactor`], [`http`]), and
+//! a coordinated-omission-safe open-loop load generator ([`loadgen`])
+//! behind the `serve_perf` CI gate.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod batch;
 pub mod breaker;
 pub mod cache;
 pub mod chaos;
@@ -28,6 +35,8 @@ pub mod config;
 pub mod engine;
 pub mod http;
 mod json;
+pub mod loadgen;
+pub mod reactor;
 pub mod retry;
 pub mod server;
 pub mod stats;

@@ -1,48 +1,104 @@
-//! The server proper: acceptor, bounded admission queue, worker pool,
-//! routing, and crash-only shutdown (DESIGN.md §7.8).
+//! The server proper: event-driven acceptor, bounded admission queue,
+//! worker pool, routing, and crash-only shutdown (DESIGN.md §7.8, §7.9).
 //!
-//! Topology: one acceptor thread stamps each connection with its arrival
-//! time and pushes it onto the bounded [`Admission`] queue — when the queue
-//! is full the acceptor itself answers `429` with `Retry-After` advice and
-//! closes, so overload never grows an unbounded backlog. Worker threads pop
-//! connections, check the deadline the request has *already* spent waiting
-//! in the queue, and route. Every worker turn is wrapped in
-//! `catch_unwind`: a panicking request burns one connection, never a
-//! worker, never the process.
+//! Topology since PR 8: on Linux a single **reactor** thread owns the
+//! listener and every connection that is not mid-request — it accepts,
+//! reads request heads with readiness-driven non-blocking I/O
+//! ([`crate::reactor::Poller`]), and pushes *parsed* requests onto the
+//! bounded [`Admission`] queue. Idle keep-alive connections cost an epoll
+//! slot, not a parked thread. When the queue is full the reactor queues the
+//! `429` bytes on the connection's write buffer and flushes them as the
+//! socket drains — overload never blocks the acceptor. Workers pop
+//! requests, execute them through the engine (single-flight + batching,
+//! `crate::batch`), write the response with blocking I/O, and hand the
+//! still-alive connection back to the reactor. On non-Linux targets (or
+//! with `reactor: false`) the server falls back to the original blocking
+//! accept path, now with per-connection keep-alive loops.
+//!
+//! Every worker turn is wrapped in `catch_unwind`: a panicking request
+//! burns one connection, never a worker, never the process.
 
 use crate::admission::{Admission, PushError};
+use crate::batch::{BatchConfig, Batcher, Flights};
 use crate::cache::ResultCache;
 use crate::config::ServerConfig;
 use crate::engine::{self, EngineCtx, Shard};
-use crate::http::{read_request, Request, Response};
+use crate::http::{head_end, Request, Response, MAX_HEAD_BYTES};
 use crate::json;
 use crate::stats::Stats;
 use indigo_graph::gen::SUITE_GRAPHS;
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+#[cfg(target_os = "linux")]
+use std::sync::Mutex;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Per-connection stream deadlines: a client that stops reading or writing
-/// cannot pin a worker forever.
+/// Per-connection stream deadlines once a worker owns the socket: a client
+/// that stops reading or writing cannot pin a worker forever.
 const STREAM_TIMEOUT: Duration = Duration::from_secs(10);
 
-struct Conn {
+/// How long the blocking fallback waits for the *next* request on an idle
+/// keep-alive connection before closing it (the reactor path has no such
+/// limit — idle connections there cost an epoll slot, not a thread).
+const FALLBACK_KEEPALIVE_IDLE: Duration = Duration::from_millis(500);
+
+/// One unit of work for the worker pool.
+enum Job {
+    /// Reactor mode: the head is already read and parsed; `leftover` holds
+    /// pipelined bytes past it.
+    Ready {
+        stream: TcpStream,
+        req: Result<Request, String>,
+        arrived: Instant,
+        leftover: Vec<u8>,
+        reused: bool,
+    },
+    /// Blocking fallback: a raw accepted connection the worker reads
+    /// itself.
+    Raw { stream: TcpStream, arrived: Instant },
+}
+
+/// A keep-alive connection a worker handed back for more requests.
+#[cfg(target_os = "linux")]
+struct Parked {
     stream: TcpStream,
-    arrived: Instant,
+    leftover: Vec<u8>,
+    reused: bool,
+}
+
+/// The worker-facing half of the reactor: a wake pipe plus the parking lot.
+#[cfg(target_os = "linux")]
+struct ReactorShared {
+    wake_tx: Mutex<std::os::unix::net::UnixStream>,
+    parked: Mutex<Vec<Parked>>,
+}
+
+#[cfg(target_os = "linux")]
+impl ReactorShared {
+    /// Nudges the reactor out of `wait`. A full pipe means wakes are
+    /// already pending, so `WouldBlock` is success.
+    fn wake(&self) {
+        let mut tx = self.wake_tx.lock().unwrap_or_else(|e| e.into_inner());
+        let _ = tx.write(&[1u8]);
+    }
 }
 
 struct Inner {
     cfg: ServerConfig,
-    cache: ResultCache,
+    cache: Arc<ResultCache>,
     shards: HashMap<&'static str, Shard>,
-    queue: Admission<Conn>,
-    stats: Stats,
+    queue: Admission<Job>,
+    stats: Arc<Stats>,
+    flights: Arc<Flights>,
+    batcher: Option<Batcher>,
     shutdown: AtomicBool,
+    #[cfg(target_os = "linux")]
+    reactor: Option<Arc<ReactorShared>>,
 }
 
 /// A running server; dropping it shuts down and joins every thread.
@@ -54,32 +110,87 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds, replays the journal, and spawns the acceptor + worker pool.
+    /// Binds, replays the journal, and spawns the reactor (or blocking
+    /// acceptor) + worker pool.
     pub fn start(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
-        let cache = ResultCache::open(cfg.journal.as_deref())?;
+        let cache = Arc::new(ResultCache::open(cfg.journal.as_deref())?);
+        let stats = Arc::new(Stats::new());
         let mut shards = HashMap::new();
         for g in SUITE_GRAPHS {
             shards.insert(g.label(), Shard::new(g, cfg.breaker));
         }
         let queue = Admission::new(cfg.queue);
         let workers_n = cfg.workers.max(1);
+        let batcher = if cfg.batch > 0 {
+            Some(Batcher::spawn(
+                BatchConfig {
+                    max_batch: cfg.batch,
+                    window: cfg.batch_window,
+                },
+                Arc::clone(&cache),
+                Arc::clone(&stats),
+                cfg.jobs,
+            )?)
+        } else {
+            None
+        };
+
+        #[cfg(target_os = "linux")]
+        let (reactor_shared, reactor_parts) = if cfg.reactor {
+            match crate::reactor::Poller::new() {
+                Ok(poller) => {
+                    let (wake_tx, wake_rx) = std::os::unix::net::UnixStream::pair()?;
+                    wake_tx.set_nonblocking(true)?;
+                    let shared = Arc::new(ReactorShared {
+                        wake_tx: Mutex::new(wake_tx),
+                        parked: Mutex::new(Vec::new()),
+                    });
+                    (Some(Arc::clone(&shared)), Some((poller, wake_rx, shared)))
+                }
+                Err(_) => (None, None),
+            }
+        } else {
+            (None, None)
+        };
+
         let inner = Arc::new(Inner {
             cfg,
             cache,
             shards,
             queue,
-            stats: Stats::new(),
+            stats,
+            flights: Arc::new(Flights::new()),
+            batcher,
             shutdown: AtomicBool::new(false),
+            #[cfg(target_os = "linux")]
+            reactor: reactor_shared,
         });
 
+        #[cfg(target_os = "linux")]
+        let acceptor = match reactor_parts {
+            Some((poller, wake_rx, shared)) => {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name("serve-reactor".into())
+                    .spawn(move || reactor_loop(&inner, &listener, &poller, &wake_rx, &shared))?
+            }
+            None => {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name("serve-accept".into())
+                    .spawn(move || accept_loop(&inner, &listener))?
+            }
+        };
+        #[cfg(not(target_os = "linux"))]
         let acceptor = {
             let inner = Arc::clone(&inner);
             std::thread::Builder::new()
                 .name("serve-accept".into())
                 .spawn(move || accept_loop(&inner, &listener))?
         };
+
         let mut workers = Vec::with_capacity(workers_n);
         for i in 0..workers_n {
             let inner = Arc::clone(&inner);
@@ -117,15 +228,21 @@ impl Server {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // unblock the acceptor's blocking `accept()` with a throwaway
-        // connection; harmless if it already saw the flag
-        let _ = TcpStream::connect(self.addr);
+        // the reactor wakes on its pipe; the fallback acceptor polls the
+        // flag — neither needs a throwaway connection anymore
+        #[cfg(target_os = "linux")]
+        if let Some(r) = &self.inner.reactor {
+            r.wake();
+        }
         self.inner.queue.close();
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        if let Some(b) = &self.inner.batcher {
+            b.shutdown();
         }
     }
 }
@@ -136,30 +253,418 @@ impl Drop for Server {
     }
 }
 
+// ---- reactor path (Linux) -------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod reactor_impl {
+    use super::*;
+    use crate::reactor::{Interest, Poller};
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    const TOKEN_LISTENER: u64 = 0;
+    const TOKEN_WAKE: u64 = 1;
+
+    /// A connection the reactor is watching: accumulating a request head,
+    /// flushing a queued response (sheds, 400s), or idle between keep-alive
+    /// requests.
+    struct ConnBuf {
+        stream: TcpStream,
+        buf: Vec<u8>,
+        write_buf: Vec<u8>,
+        wpos: usize,
+        arrived: Instant,
+        reused: bool,
+        close_after_write: bool,
+    }
+
+    enum Verdict {
+        Keep,
+        Drop,
+        /// A complete head landed: dispatch to the worker pool.
+        Dispatch(usize),
+    }
+
+    pub(super) fn reactor_loop(
+        inner: &Inner,
+        listener: &TcpListener,
+        poller: &Poller,
+        wake_rx: &UnixStream,
+        shared: &ReactorShared,
+    ) {
+        if listener.set_nonblocking(true).is_err() || wake_rx.set_nonblocking(true).is_err() {
+            return;
+        }
+        if poller
+            .add(listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)
+            .is_err()
+            || poller
+                .add(wake_rx.as_raw_fd(), TOKEN_WAKE, Interest::READ)
+                .is_err()
+        {
+            return;
+        }
+        let mut conns: HashMap<u64, ConnBuf> = HashMap::new();
+        let mut next_token: u64 = 2;
+        let mut events = Vec::with_capacity(64);
+        loop {
+            events.clear();
+            let _ = poller.wait(&mut events, Some(Duration::from_millis(250)));
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in events.clone() {
+                match ev.token {
+                    TOKEN_LISTENER => {
+                        accept_ready(inner, listener, poller, &mut conns, &mut next_token)
+                    }
+                    TOKEN_WAKE => {
+                        let mut scratch = [0u8; 64];
+                        let mut rx = wake_rx;
+                        while matches!(rx.read(&mut scratch), Ok(n) if n > 0) {}
+                        let parked: Vec<Parked> = std::mem::take(
+                            &mut *shared.parked.lock().unwrap_or_else(|e| e.into_inner()),
+                        );
+                        for p in parked {
+                            register(inner, poller, &mut conns, &mut next_token, p);
+                        }
+                    }
+                    token => {
+                        let Some(mut cb) = conns.remove(&token) else {
+                            continue;
+                        };
+                        let verdict = on_event(inner, &mut cb, ev.writable, ev.readable);
+                        settle(inner, poller, &mut conns, token, cb, verdict);
+                    }
+                }
+            }
+            // reap connections dribbling a head (slow-loris) or wedged on a
+            // pending write
+            let deadline = inner.cfg.header_timeout;
+            let dead: Vec<u64> = conns
+                .iter()
+                .filter(|(_, c)| {
+                    (!c.buf.is_empty() || c.wpos < c.write_buf.len())
+                        && c.arrived.elapsed() > deadline
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for t in dead {
+                if let Some(cb) = conns.remove(&t) {
+                    let _ = poller.remove(cb.stream.as_raw_fd());
+                }
+            }
+        }
+        // shutdown: tear everything down
+        for (_, cb) in conns.drain() {
+            let _ = poller.remove(cb.stream.as_raw_fd());
+        }
+        let _ = poller.remove(listener.as_raw_fd());
+        let _ = poller.remove(wake_rx.as_raw_fd());
+    }
+
+    fn accept_ready(
+        inner: &Inner,
+        listener: &TcpListener,
+        poller: &Poller,
+        conns: &mut HashMap<u64, ConnBuf>,
+        next_token: &mut u64,
+    ) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let _ = stream.set_nodelay(true);
+                    register(
+                        inner,
+                        poller,
+                        conns,
+                        next_token,
+                        Parked {
+                            stream,
+                            leftover: Vec::new(),
+                            reused: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Starts watching a fresh or parked connection. A parked connection
+    /// whose leftover already holds a full pipelined head dispatches
+    /// immediately.
+    fn register(
+        inner: &Inner,
+        poller: &Poller,
+        conns: &mut HashMap<u64, ConnBuf>,
+        next_token: &mut u64,
+        p: Parked,
+    ) {
+        if p.stream.set_nonblocking(true).is_err() {
+            return;
+        }
+        let token = *next_token;
+        *next_token += 1;
+        let mut cb = ConnBuf {
+            stream: p.stream,
+            buf: p.leftover,
+            write_buf: Vec::new(),
+            wpos: 0,
+            arrived: Instant::now(),
+            reused: p.reused,
+            close_after_write: false,
+        };
+        if poller
+            .add(cb.stream.as_raw_fd(), token, Interest::READ)
+            .is_err()
+        {
+            return;
+        }
+        if let Some(end) = head_end(&cb.buf) {
+            let verdict = Verdict::Dispatch(end);
+            settle(inner, poller, conns, token, cb, verdict);
+            return;
+        }
+        // drain whatever is already readable so a request that raced the
+        // registration isn't stuck waiting for the *next* byte
+        let verdict = on_event(inner, &mut cb, false, true);
+        settle(inner, poller, conns, token, cb, verdict);
+    }
+
+    /// Applies readiness to one connection.
+    fn on_event(inner: &Inner, cb: &mut ConnBuf, writable: bool, readable: bool) -> Verdict {
+        if writable || (cb.wpos < cb.write_buf.len()) {
+            match flush_pending(cb) {
+                Ok(true) if cb.close_after_write => return Verdict::Drop,
+                Ok(_) => {}
+                Err(_) => return Verdict::Drop,
+            }
+        }
+        if !readable {
+            return Verdict::Keep;
+        }
+        let mut chunk = [0u8; 1024];
+        loop {
+            match cb.stream.read(&mut chunk) {
+                Ok(0) => {
+                    // EOF: half-closed or done. If a write is still
+                    // pending, keep flushing; otherwise reap
+                    return if cb.wpos < cb.write_buf.len() {
+                        Verdict::Keep
+                    } else {
+                        Verdict::Drop
+                    };
+                }
+                Ok(n) => {
+                    if cb.buf.is_empty() {
+                        cb.arrived = Instant::now(); // new request head starts
+                    }
+                    cb.buf.extend_from_slice(&chunk[..n]);
+                    if let Some(end) = head_end(&cb.buf) {
+                        return Verdict::Dispatch(end);
+                    }
+                    if cb.buf.len() > MAX_HEAD_BYTES {
+                        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                        indigo_obs::Counter::ServeRequests.incr();
+                        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        let resp = Response::json(
+                            400,
+                            format!(
+                                "{{\"status\":\"bad-request\",\"error\":\"request head exceeds {MAX_HEAD_BYTES} bytes\"}}"
+                            ),
+                        )
+                        .with_close();
+                        cb.buf.clear();
+                        cb.write_buf = resp.to_bytes();
+                        cb.wpos = 0;
+                        cb.close_after_write = true;
+                        return match flush_pending(cb) {
+                            Ok(true) => Verdict::Drop,
+                            Ok(false) => Verdict::Keep,
+                            Err(_) => Verdict::Drop,
+                        };
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Verdict::Keep,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return Verdict::Drop,
+            }
+        }
+    }
+
+    /// Flushes as much of the queued response as the socket takes.
+    /// `Ok(true)` = fully flushed.
+    fn flush_pending(cb: &mut ConnBuf) -> std::io::Result<bool> {
+        while cb.wpos < cb.write_buf.len() {
+            match cb.stream.write(&cb.write_buf[cb.wpos..]) {
+                Ok(0) => return Err(std::io::Error::from(std::io::ErrorKind::WriteZero)),
+                Ok(n) => cb.wpos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+
+    /// Carries out a verdict: re-watch, tear down, or hand to the workers.
+    fn settle(
+        inner: &Inner,
+        poller: &Poller,
+        conns: &mut HashMap<u64, ConnBuf>,
+        token: u64,
+        mut cb: ConnBuf,
+        verdict: Verdict,
+    ) {
+        match verdict {
+            Verdict::Keep => {
+                let interest = if cb.wpos < cb.write_buf.len() {
+                    Interest::READ_WRITE
+                } else {
+                    Interest::READ
+                };
+                let _ = poller.modify(cb.stream.as_raw_fd(), token, interest);
+                conns.insert(token, cb);
+            }
+            Verdict::Drop => {
+                let _ = poller.remove(cb.stream.as_raw_fd());
+            }
+            Verdict::Dispatch(end) => {
+                inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                indigo_obs::Counter::ServeRequests.incr();
+                if cb.reused {
+                    inner.stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    indigo_obs::Counter::ServeKeepAliveReuses.incr();
+                }
+                let head = String::from_utf8_lossy(&cb.buf[..end]).into_owned();
+                let req = Request::parse(&head);
+                let leftover = cb.buf[end..].to_vec();
+                let fd = cb.stream.as_raw_fd();
+                let job = Job::Ready {
+                    stream: cb.stream,
+                    req,
+                    arrived: cb.arrived,
+                    leftover,
+                    reused: cb.reused,
+                };
+                match inner.queue.try_push(job) {
+                    Ok(()) => {
+                        let _ = poller.remove(fd);
+                    }
+                    Err(PushError::Full(job)) => {
+                        // shed without blocking: queue the 429 on the
+                        // connection and let readiness flush it
+                        let Job::Ready { stream, .. } = job else {
+                            return;
+                        };
+                        inner.stats.shed.fetch_add(1, Ordering::Relaxed);
+                        indigo_obs::Counter::ServeShed.incr();
+                        let secs = inner.stats.retry_after_secs(inner.queue.depth());
+                        let resp = Response::json(
+                            429,
+                            format!(
+                                "{{\"status\":\"shed\",\"error\":\"admission queue full\",\"retry_after_s\":{secs}}}"
+                            ),
+                        )
+                        .with_retry_after(secs)
+                        .with_close();
+                        cb = ConnBuf {
+                            stream,
+                            buf: Vec::new(),
+                            write_buf: resp.to_bytes(),
+                            wpos: 0,
+                            arrived: Instant::now(),
+                            reused: cb.reused,
+                            close_after_write: true,
+                        };
+                        match flush_pending(&mut cb) {
+                            Ok(true) | Err(_) => {
+                                let _ = poller.remove(cb.stream.as_raw_fd());
+                            }
+                            Ok(false) => {
+                                let _ = poller.modify(
+                                    cb.stream.as_raw_fd(),
+                                    token,
+                                    Interest::READ_WRITE,
+                                );
+                                conns.insert(token, cb);
+                            }
+                        }
+                    }
+                    Err(PushError::Closed(_)) => {
+                        let _ = poller.remove(fd);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Parks a keep-alive connection back with the reactor after a worker
+    /// finishes a request on it.
+    pub(super) fn park(inner: &Inner, stream: TcpStream, leftover: Vec<u8>) {
+        let Some(shared) = &inner.reactor else {
+            return;
+        };
+        {
+            let mut parked = shared.parked.lock().unwrap_or_else(|e| e.into_inner());
+            parked.push(Parked {
+                stream,
+                leftover,
+                reused: true,
+            });
+        }
+        shared.wake();
+    }
+}
+
+#[cfg(target_os = "linux")]
+use reactor_impl::reactor_loop;
+
+// ---- blocking fallback path ----------------------------------------------
+
+/// Blocking accept loop: used off-Linux or with `reactor: false`. Polls the
+/// shutdown flag between accepts, so no throwaway-connection unblock hack
+/// is needed.
 fn accept_loop(inner: &Inner, listener: &TcpListener) {
-    for stream in listener.incoming() {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    loop {
         if inner.shutdown.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-        indigo_obs::Counter::ServeRequests.incr();
-        let conn = Conn {
-            stream,
-            arrived: Instant::now(),
-        };
-        match inner.queue.try_push(conn) {
-            Ok(()) => {}
-            Err(PushError::Full(conn)) => shed(inner, conn.stream),
-            Err(PushError::Closed(_)) => break,
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_nonblocking(false);
+                let job = Job::Raw {
+                    stream,
+                    arrived: Instant::now(),
+                };
+                match inner.queue.try_push(job) {
+                    Ok(()) => {}
+                    Err(PushError::Full(Job::Raw { stream, .. })) => shed(inner, stream),
+                    Err(PushError::Full(_)) => {}
+                    Err(PushError::Closed(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
 }
 
-/// Load shedding: answered by the *acceptor* so a saturated worker pool
-/// can't delay the 429 itself.
+/// Load shedding on the fallback path: answered by the *acceptor* so a
+/// saturated worker pool can't delay the 429 itself.
 fn shed(inner: &Inner, mut stream: TcpStream) {
-    use std::io::Read;
+    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+    indigo_obs::Counter::ServeRequests.incr();
     inner.stats.shed.fetch_add(1, Ordering::Relaxed);
     indigo_obs::Counter::ServeShed.incr();
     let secs = inner.stats.retry_after_secs(inner.queue.depth());
@@ -169,7 +674,8 @@ fn shed(inner: &Inner, mut stream: TcpStream) {
             "{{\"status\":\"shed\",\"error\":\"admission queue full\",\"retry_after_s\":{secs}}}"
         ),
     )
-    .with_retry_after(secs);
+    .with_retry_after(secs)
+    .with_close();
     // drain the request first: closing a socket with unread bytes makes the
     // kernel send RST, which destroys the 429 before the client reads it.
     // The timeout is short — a client too slow to finish its request head
@@ -190,40 +696,172 @@ fn shed(inner: &Inner, mut stream: TcpStream) {
     let _ = stream.write_all(&resp.to_bytes());
 }
 
+// ---- worker pool ----------------------------------------------------------
+
 fn worker_loop(inner: &Inner) {
-    while let Some(conn) = inner.queue.pop() {
+    while let Some(job) = inner.queue.pop() {
         // a panic anywhere in request handling burns this connection only
-        let _ = catch_unwind(AssertUnwindSafe(|| handle(inner, conn)));
+        let _ = catch_unwind(AssertUnwindSafe(|| match job {
+            Job::Ready {
+                stream,
+                req,
+                arrived,
+                leftover,
+                reused,
+            } => handle_ready(inner, stream, req, arrived, leftover, reused),
+            Job::Raw { stream, arrived } => handle_raw(inner, stream, arrived),
+        }));
     }
 }
 
-fn handle(inner: &Inner, conn: Conn) {
-    let Conn {
-        mut stream,
-        arrived,
-    } = conn;
+/// Serves one reactor-parsed request, then parks the connection back with
+/// the reactor when it stays alive.
+fn handle_ready(
+    inner: &Inner,
+    mut stream: TcpStream,
+    req: Result<Request, String>,
+    arrived: Instant,
+    leftover: Vec<u8>,
+    _reused: bool,
+) {
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
     let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
-    let resp = match read_request(&mut stream) {
-        Ok(req) => route(inner, &req, arrived),
+    let (resp, req_close) = match &req {
+        Ok(r) => (route(inner, r, arrived), r.close),
         Err(e) => {
             inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            Response::json(
-                400,
-                format!(
-                    "{{\"status\":\"bad-request\",\"error\":{}}}",
-                    json::str_lit(&e)
-                ),
+            (
+                Response::json(
+                    400,
+                    format!(
+                        "{{\"status\":\"bad-request\",\"error\":{}}}",
+                        json::str_lit(e)
+                    ),
+                )
+                .with_close(),
+                true,
             )
         }
     };
+    let resp = finish_response(inner, resp, req_close);
+    let wrote = resp.write_to(&mut stream).is_ok();
+    let micros = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    inner.stats.record_latency(micros);
+    let keep = wrote && !resp.close && !inner.shutdown.load(Ordering::SeqCst);
+    if keep {
+        #[cfg(target_os = "linux")]
+        reactor_impl::park(inner, stream, leftover);
+        #[cfg(not(target_os = "linux"))]
+        let _ = (stream, leftover);
+    }
+}
+
+/// Fallback connection loop: reads requests off one blocking connection,
+/// keep-alive until the client (or a response) closes it.
+fn handle_raw(inner: &Inner, mut stream: TcpStream, arrived: Instant) {
+    let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
+    let mut carry: Vec<u8> = Vec::new();
+    let mut served = 0usize;
+    loop {
+        let idle = if served == 0 {
+            STREAM_TIMEOUT
+        } else {
+            FALLBACK_KEEPALIVE_IDLE
+        };
+        let _ = stream.set_read_timeout(Some(idle));
+        match read_head_blocking(&mut stream, &mut carry) {
+            Ok(None) => break, // clean close / idle keep-alive expiry
+            Ok(Some(req)) => {
+                let arrived = if served == 0 { arrived } else { Instant::now() };
+                inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                indigo_obs::Counter::ServeRequests.incr();
+                if served > 0 {
+                    inner.stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
+                    indigo_obs::Counter::ServeKeepAliveReuses.incr();
+                }
+                let resp = finish_response(inner, route(inner, &req, arrived), req.close);
+                let wrote = resp.write_to(&mut stream).is_ok();
+                let micros = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                inner.stats.record_latency(micros);
+                served += 1;
+                if !wrote || resp.close || inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(e) => {
+                if served == 0 {
+                    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    indigo_obs::Counter::ServeRequests.incr();
+                    inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    let resp = Response::json(
+                        400,
+                        format!(
+                            "{{\"status\":\"bad-request\",\"error\":{}}}",
+                            json::str_lit(&e)
+                        ),
+                    )
+                    .with_close();
+                    let _ = resp.write_to(&mut stream);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// Reads the next request head off a blocking stream, consuming from (and
+/// leaving pipelined bytes in) `carry`. `Ok(None)` = clean end of the
+/// connection (EOF or idle timeout with no partial request).
+fn read_head_blocking(
+    stream: &mut TcpStream,
+    carry: &mut Vec<u8>,
+) -> Result<Option<Request>, String> {
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = head_end(carry) {
+            let head = String::from_utf8_lossy(&carry[..end]).into_owned();
+            carry.drain(..end);
+            return Request::parse(&head).map(Some);
+        }
+        if carry.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if carry.is_empty() {
+                    return Ok(None);
+                }
+                return Err("connection closed before request was complete".into());
+            }
+            Ok(n) => carry.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if carry.is_empty()
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Ok(None);
+            }
+            Err(e) => return Err(format!("read error: {e}")),
+        }
+    }
+}
+
+/// Applies connection policy to a routed response: the connection closes
+/// when the client asked to, when keep-alive is off, or when shutting down.
+fn finish_response(inner: &Inner, mut resp: Response, req_close: bool) -> Response {
     if (200..300).contains(&resp.status) {
         inner.stats.ok.fetch_add(1, Ordering::Relaxed);
     }
-    let _ = resp.write_to(&mut stream);
-    let micros = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
-    inner.stats.record_latency(micros);
+    if req_close || !inner.cfg.keep_alive || inner.shutdown.load(Ordering::SeqCst) {
+        resp = resp.with_close();
+    }
+    resp
 }
+
+// ---- routing ---------------------------------------------------------------
 
 fn route(inner: &Inner, req: &Request, arrived: Instant) -> Response {
     if req.method != "GET" {
@@ -357,6 +995,8 @@ fn run(inner: &Inner, req: &Request, arrived: Instant, sweep: bool) -> Response 
         cfg: &inner.cfg,
         cache: &inner.cache,
         stats: &inner.stats,
+        flights: &inner.flights,
+        batcher: inner.batcher.as_ref(),
     };
     engine::execute(&ctx, shard, &q, deadline_at)
 }

@@ -37,6 +37,15 @@ pub struct Stats {
     pub bad_requests: AtomicU64,
     /// Journal appends that failed (service continued without persistence).
     pub journal_errors: AtomicU64,
+    /// Merged plans executed by the batch former.
+    pub batches: AtomicU64,
+    /// Claimed cells resolved through batched plan executions.
+    pub batched_cells: AtomicU64,
+    /// Requests that joined another request's in-flight cells instead of
+    /// executing them (single-flight coalescing).
+    pub coalesced: AtomicU64,
+    /// Requests served over a reused keep-alive connection.
+    pub keepalive_reuses: AtomicU64,
     /// EWMA of request service time, microseconds (for `Retry-After`).
     pub service_micros_ewma: AtomicU64,
     latency: LatencyHist,
@@ -96,6 +105,10 @@ impl Stats {
             failed: self.failed.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             journal_errors: self.journal_errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_cells: self.batched_cells.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            keepalive_reuses: self.keepalive_reuses.load(Ordering::Relaxed),
             latency_buckets,
         }
     }
@@ -128,6 +141,14 @@ pub struct StatsSnapshot {
     pub bad_requests: u64,
     /// See [`Stats::journal_errors`].
     pub journal_errors: u64,
+    /// See [`Stats::batches`].
+    pub batches: u64,
+    /// See [`Stats::batched_cells`].
+    pub batched_cells: u64,
+    /// See [`Stats::coalesced`].
+    pub coalesced: u64,
+    /// See [`Stats::keepalive_reuses`].
+    pub keepalive_reuses: u64,
     /// Log₂ latency buckets (microseconds).
     pub latency_buckets: [u64; NUM_BUCKETS],
 }
@@ -156,7 +177,9 @@ impl StatsSnapshot {
             "{{\"requests\":{},\"ok\":{},\"shed\":{},\"timeouts\":{},\"retries\":{},\
              \"degraded\":{},\"cache_hits\":{},\"breaker_trips\":{},\
              \"breaker_recoveries\":{},\"failed\":{},\"bad_requests\":{},\
-             \"journal_errors\":{},\"latency_p50_floor_us\":{},\"latency_p99_floor_us\":{}}}",
+             \"journal_errors\":{},\"batches\":{},\"batched_cells\":{},\
+             \"coalesced\":{},\"keepalive_reuses\":{},\
+             \"latency_p50_floor_us\":{},\"latency_p99_floor_us\":{}}}",
             self.requests,
             self.ok,
             self.shed,
@@ -169,6 +192,10 @@ impl StatsSnapshot {
             self.failed,
             self.bad_requests,
             self.journal_errors,
+            self.batches,
+            self.batched_cells,
+            self.coalesced,
+            self.keepalive_reuses,
             self.latency_percentile_floor(50.0),
             self.latency_percentile_floor(99.0),
         )

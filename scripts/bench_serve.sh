@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Regenerates results/BENCH_serve_baseline.json: the serving-path record
+# the serve_perf CI gate compares against (DESIGN.md §7.9).
+#
+# The probe drives the open-loop load generator against two in-process
+# servers — the pre-PR-8 connection-per-request path and the batched
+# keep-alive reactor path — and records saturation throughput per mode,
+# the batched/unbatched speedup, and the coordinated-omission-safe p99.
+#
+# Refresh the baseline only after a deliberate serving-path change, on a
+# quiet machine; review the diff — it IS the perf contract. The absolute
+# 1.5x speedup floor is enforced regardless of what the baseline says.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release -p indigo-bench --bin serve_perf
+
+target/release/serve_perf > results/BENCH_serve_baseline.json
+echo "wrote results/BENCH_serve_baseline.json:"
+cat results/BENCH_serve_baseline.json

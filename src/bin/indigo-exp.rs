@@ -97,6 +97,18 @@ struct Cli {
     requests: usize,
     /// `serve`: run the chaos gate instead of serving in the foreground.
     chaos: bool,
+    /// `serve`: batch-former merge cap (0 disables batching).
+    batch: usize,
+    /// `serve`: batch-former window, milliseconds.
+    batch_window_ms: u64,
+    /// `loadgen`: offered request rate.
+    rps: f64,
+    /// `loadgen`: concurrent client connections.
+    conns: usize,
+    /// `loadgen`: paced-phase duration, milliseconds.
+    duration_ms: u64,
+    /// `loadgen`: traffic mix (cached|sweep|mixed).
+    mix: String,
 }
 
 fn parse_args(args: Vec<String>) -> Result<Cli, String> {
@@ -120,6 +132,12 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
         clients: 4,
         requests: 32,
         chaos: false,
+        batch: 8,
+        batch_window_ms: 1,
+        rps: 300.0,
+        conns: 4,
+        duration_ms: 2_000,
+        mix: "mixed".to_string(),
     };
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -186,6 +204,12 @@ fn parse_args(args: Vec<String>) -> Result<Cli, String> {
             "--clients" => cli.clients = parse_num(it.next(), "--clients")?,
             "--requests" => cli.requests = parse_num(it.next(), "--requests")?,
             "--chaos" => cli.chaos = true,
+            "--batch" => cli.batch = parse_num(it.next(), "--batch")?,
+            "--batch-window-ms" => cli.batch_window_ms = parse_num(it.next(), "--batch-window-ms")?,
+            "--rps" => cli.rps = parse_num(it.next(), "--rps")?,
+            "--conns" => cli.conns = parse_num(it.next(), "--conns")?,
+            "--duration-ms" => cli.duration_ms = parse_num(it.next(), "--duration-ms")?,
+            "--mix" => cli.mix = it.next().ok_or("--mix needs cached|sweep|mixed")?,
             "--help" | "-h" => {
                 cli.selected.clear();
                 cli.selected.push("--help".to_string());
@@ -218,6 +242,7 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
         Some("profile") => return cmd_profile(&cli),
         Some("sanitize") => return cmd_sanitize(&cli),
         Some("serve") => return cmd_serve(&cli),
+        Some("loadgen") => return cmd_loadgen(&cli),
         _ => {}
     }
 
@@ -756,6 +781,8 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
         },
         reps: cli.reps.clamp(1, 9),
         journal: cli.res.journal.clone(),
+        batch: cli.batch,
+        batch_window: Duration::from_millis(cli.batch_window_ms),
         ..indigo_serve::ServerConfig::default()
     };
     let server =
@@ -769,6 +796,63 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
     loop {
         std::thread::park(); // foreground until killed
     }
+}
+
+// ---- loadgen subcommand --------------------------------------------------
+
+/// `indigo-exp loadgen [--rps R] [--conns N] [--duration-ms MS]
+/// [--mix cached|sweep|mixed] [--serve-workers N] [--queue N] [--out DIR]`
+/// — open-loop load generator (DESIGN.md §7.9). Drives the same traffic
+/// through an unbatched (pre-PR-8) and a batched server, reports
+/// coordinated-omission-safe latency percentiles and saturation
+/// throughput for each, and writes `BENCH_loadgen.json`.
+fn cmd_loadgen(cli: &Cli) -> Result<i32, String> {
+    let mix = indigo_serve::loadgen::LoadMix::parse(&cli.mix)?;
+    let opts = indigo_serve::loadgen::LoadgenOptions {
+        rps: if cli.rps >= 1.0 { cli.rps } else { 1.0 },
+        conns: cli.conns.max(1),
+        duration: Duration::from_millis(cli.duration_ms.max(100)),
+        mix,
+        workers: cli.serve_workers.max(1),
+        queue: cli.queue.max(1),
+        ..Default::default()
+    };
+    console_line(&format!(
+        "loadgen: {} rps × {} ms over {} conns, mix {}",
+        opts.rps,
+        opts.duration.as_millis(),
+        opts.conns,
+        opts.mix.label()
+    ));
+    let report = indigo_serve::loadgen::run_loadgen(&opts)?;
+    std::fs::create_dir_all(&cli.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", cli.out_dir))?;
+    let path = Path::new(&cli.out_dir).join("BENCH_loadgen.json");
+    std::fs::write(&path, report.to_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    for m in [&report.unbatched, &report.batched] {
+        console_line(&format!(
+            "{}: {:.0}/{:.0} rps achieved/offered, p50 {:.2} ms, p99 {:.2} ms, \
+             p999 {:.2} ms, saturation {:.0} rps ({} coalesced, {} batches, \
+             {} keep-alive reuses)",
+            m.label,
+            m.achieved_rps,
+            m.offered_rps,
+            m.p50_ms,
+            m.p99_ms,
+            m.p999_ms,
+            m.saturation_rps,
+            m.coalesced,
+            m.batches,
+            m.keepalive_reuses
+        ));
+    }
+    console_line(&format!(
+        "speedup: {:.2}x saturation throughput (batched vs unbatched)",
+        report.speedup
+    ));
+    console_line(&format!("wrote {}", path.display()));
+    Ok(0)
 }
 
 // ---- trace / profile subcommands ----------------------------------------
@@ -1113,8 +1197,11 @@ usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
                   [--mutate-drop-atomics]
        indigo-exp serve   [--port P] [--serve-workers N] [--queue N]
                   [--deadline-ms MS] [--journal PATH] [--scale S]
+                  [--batch N] [--batch-window-ms MS]
        indigo-exp serve --chaos [--clients N] [--requests N]
                   [--inject-fault panic|stall|corrupt@EVERY] [--out DIR]
+       indigo-exp loadgen [--rps R] [--conns N] [--duration-ms MS]
+                  [--mix cached|sweep|mixed] [--out DIR]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
@@ -1151,6 +1238,15 @@ breakers, degraded fallbacks, and a crash-only journal-backed cache.
 with injected faults — asserts every robustness invariant, and writes
 BENCH_serve.json. In chaos mode --inject-fault's index is the storm
 stride: panic@3 faults every third storm request.
+
+Requests for the same cell coalesce into one execution (single-flight)
+and distinct queries merge into batched plans (--batch, --batch-window-ms;
+--batch 0 disables). Connections are keep-alive and, on Linux, served
+through an epoll readiness reactor. `loadgen` measures that path: an
+open-loop generator (latency from intended start times, so coordinated
+omission cannot hide server stalls) drives an unbatched and a batched
+in-process server and writes BENCH_loadgen.json with the saturation
+speedup; scripts/ci.sh gates it against results/BENCH_serve_baseline.json.
 
 exit codes: 0 all cells clean; 2 run completed with failed cells;
 1 harness error.";

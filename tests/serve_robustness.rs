@@ -264,6 +264,202 @@ fn second_server_on_the_same_journal_fails_fast() {
     let _ = std::fs::remove_file(&journal);
 }
 
+#[test]
+fn batched_answers_are_bit_identical_to_unbatched() {
+    use std::collections::HashMap;
+
+    // batched server: a wide window so concurrent submissions actually
+    // merge; unbatched server: batching off entirely
+    let mut bat_cfg = chaos_cfg();
+    bat_cfg.batch = 8;
+    bat_cfg.batch_window = Duration::from_millis(5);
+    let mut un_cfg = chaos_cfg();
+    un_cfg.batch = 0;
+    let bat = Server::start(bat_cfg).unwrap();
+    let un = Server::start(un_cfg).unwrap();
+
+    // overlapping /run + /sweep mix: same cells appear in multiple queries,
+    // so coalescing and cross-query merging both get exercised
+    let targets = [
+        "/run?algo=tc&graph=2d-grid&scale=tiny",
+        "/run?algo=bfs&graph=2d-grid&scale=tiny",
+        "/run?algo=cc&graph=rmat&scale=tiny",
+        "/sweep?algo=tc&graph=2d-grid&scale=tiny&limit=3",
+        "/sweep?algo=bfs&graph=rmat&scale=tiny&limit=3",
+        "/run?algo=pr&graph=copapers&scale=tiny",
+    ];
+    let collect = |addr: SocketAddr| -> HashMap<String, String> {
+        let merged = std::sync::Mutex::new(HashMap::new());
+        std::thread::scope(|s| {
+            for offset in 0..4 {
+                let merged = &merged;
+                s.spawn(move || {
+                    let mut conn = client::Client::new(addr, TIMEOUT);
+                    for i in 0..targets.len() {
+                        let t = targets[(i + offset) % targets.len()];
+                        let r = conn.get(t).expect("request must be answered");
+                        assert_eq!(r.status, 200, "{t}: {}", r.body);
+                        let mut m = merged.lock().unwrap();
+                        for (fp, bits) in cells_of(&r.body) {
+                            if let Some(prev) = m.insert(fp.clone(), bits.clone()) {
+                                assert_eq!(prev, bits, "fp {fp} answered two ways");
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        merged.into_inner().unwrap()
+    };
+    let batched = collect(bat.addr());
+    let unbatched = collect(un.addr());
+    assert!(!batched.is_empty());
+    assert_eq!(batched.len(), unbatched.len(), "cell sets diverged");
+    for (fp, bits) in &batched {
+        assert_eq!(
+            Some(bits),
+            unbatched.get(fp),
+            "fp {fp}: batched and unbatched bits differ"
+        );
+    }
+
+    // fault leg: a stalled claimer holds the flight while a clean
+    // short-deadline waiter coalesces onto it and expires mid-batch —
+    // the waiter's 504 must not cancel the shared run, and a later clean
+    // request must still produce the unbatched bits
+    let addr = bat.addr();
+    let stall = std::thread::spawn(move || {
+        client::get(
+            addr,
+            "/run?algo=mis&graph=soc-net&scale=tiny&deadline_ms=1500\
+             &fault=stall&fault_attempts=9",
+            TIMEOUT,
+        )
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    let waiter = get(
+        addr,
+        "/run?algo=mis&graph=soc-net&scale=tiny&deadline_ms=300",
+    );
+    assert_eq!(waiter.status, 504, "{}", waiter.body);
+    let stalled = stall.join().unwrap().expect("stalled request answered");
+    assert_eq!(stalled.status, 504, "{}", stalled.body);
+    assert!(bat.stats().coalesced >= 1, "waiter never coalesced");
+    let clean = get(
+        addr,
+        "/run?algo=mis&graph=soc-net&scale=tiny&deadline_ms=8000",
+    );
+    assert_eq!(clean.status, 200, "{}", clean.body);
+    let reference = get(un.addr(), "/run?algo=mis&graph=soc-net&scale=tiny");
+    assert_eq!(
+        extract(&clean.body, "\"geps_bits\":\""),
+        extract(&reference.body, "\"geps_bits\":\""),
+        "post-fault bits diverged from the unbatched server"
+    );
+}
+
+#[test]
+fn pipelined_keep_alive_requests_answer_in_order() {
+    use std::io::{Read, Write};
+
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(TIMEOUT)).unwrap();
+    // two requests in one write, no Connection header: both must come back
+    // on this connection, in order
+    stream
+        .write_all(
+            b"GET /health HTTP/1.1\r\nHost: x\r\n\r\n\
+              GET /stats HTTP/1.1\r\nHost: x\r\n\r\n",
+        )
+        .unwrap();
+    let mut raw = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let deadline = std::time::Instant::now() + TIMEOUT;
+    while raw.windows(4).filter(|w| w == b"\r\n\r\n").count() < 2
+        && std::time::Instant::now() < deadline
+    {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => raw.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let text = String::from_utf8_lossy(&raw);
+    assert_eq!(
+        text.matches("HTTP/1.1 200").count(),
+        2,
+        "expected two 200s on one connection: {text}"
+    );
+    let first = text.find("\"queue_depth\"").expect("health body first");
+    let second = text.find("\"requests\"").expect("stats body second");
+    assert!(first < second, "responses out of order: {text}");
+    assert!(
+        server.stats().keepalive_reuses >= 1,
+        "second request was not counted as a keep-alive reuse"
+    );
+}
+
+// The reactor reaps connections that dribble their request head; the
+// blocking fallback path bounds them with its stream timeout instead, so
+// the fast reap is Linux-only behavior.
+#[cfg(target_os = "linux")]
+#[test]
+fn slow_header_connections_are_reaped() {
+    use std::io::{Read, Write};
+
+    let cfg = ServerConfig {
+        header_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    stream.write_all(b"GET /heal").unwrap(); // never finishes the head
+    let started = std::time::Instant::now();
+    let mut buf = [0u8; 64];
+    // the server must close us without an answer, and promptly
+    let n = loop {
+        match stream.read(&mut buf) {
+            Ok(n) => break n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("expected EOF from the reaped connection, got {e}"),
+        }
+    };
+    assert_eq!(n, 0, "reaped connection should EOF without a response");
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "slow-header reap took {:?}",
+        started.elapsed()
+    );
+}
+
+/// Every `(fp, geps_bits)` pair in a success body.
+fn cells_of(body: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(i) = rest.find("\"fp\":\"") {
+        let fp_start = &rest[i + 6..];
+        let Some(fp_end) = fp_start.find('"') else {
+            break;
+        };
+        let fp = fp_start[..fp_end].to_string();
+        rest = &fp_start[fp_end..];
+        let Some(j) = rest.find("\"geps_bits\":\"") else {
+            continue;
+        };
+        let gb_start = &rest[j + 13..];
+        let Some(gb_end) = gb_start.find('"') else {
+            break;
+        };
+        out.push((fp, gb_start[..gb_end].to_string()));
+        rest = &gb_start[gb_end..];
+    }
+    out
+}
+
 /// First occurrence of `"key":"<value>"` in a body.
 fn extract(body: &str, prefix: &str) -> String {
     let start = body
