@@ -18,7 +18,7 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// Number of registered counters (kept in sync with [`Counter::ALL`]).
-pub const NUM_COUNTERS: usize = 40;
+pub const NUM_COUNTERS: usize = 42;
 
 /// Every counter in the workspace, grouped by layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -119,6 +119,12 @@ pub enum Counter {
     ServeCoalesced,
     /// Requests served over a reused keep-alive connection.
     ServeKeepAliveReuses,
+    /// `/metrics` exposition scrapes served (DESIGN.md §7.10).
+    ServeMetricsScrapes,
+    /// Flight-recorder dumps written to `FLIGHT_*.jsonl` (5xx triggers and
+    /// on-demand `/debug/flightrec` requests are counted separately; this
+    /// counts files actually written).
+    ServeFlightDumps,
 }
 
 impl Counter {
@@ -164,6 +170,8 @@ impl Counter {
         Counter::ServeBatchedCells,
         Counter::ServeCoalesced,
         Counter::ServeKeepAliveReuses,
+        Counter::ServeMetricsScrapes,
+        Counter::ServeFlightDumps,
     ];
 
     /// Stable machine name (used in trace `counters` events and reports).
@@ -210,6 +218,8 @@ impl Counter {
             Counter::ServeBatchedCells => "serve.batch_cells",
             Counter::ServeCoalesced => "serve.coalesced",
             Counter::ServeKeepAliveReuses => "serve.keepalive_reuses",
+            Counter::ServeMetricsScrapes => "serve.metrics_scrapes",
+            Counter::ServeFlightDumps => "serve.flight_dumps",
         }
     }
 
@@ -365,6 +375,38 @@ mod tests {
         assert_eq!(names.len(), NUM_COUNTERS);
         for (i, c) in Counter::ALL.iter().enumerate() {
             assert_eq!(*c as usize, i, "storage order mismatch for {c:?}");
+        }
+    }
+
+    /// `Counter::ALL` order, `NUM_COUNTERS`, and the name table must stay
+    /// in lockstep: drift here silently mislabels every exported metric
+    /// (the `/metrics` exposition indexes storage by `ALL` position).
+    #[test]
+    fn all_num_counters_and_name_table_stay_in_sync() {
+        // ALL's length is NUM_COUNTERS by type, but assert it anyway so a
+        // future refactor to a Vec keeps the invariant visible.
+        assert_eq!(Counter::ALL.len(), NUM_COUNTERS);
+        // the enum discriminants are exactly 0..NUM_COUNTERS in ALL order,
+        // so `ALL[c as usize] == c` round-trips for every variant
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(Counter::ALL[*c as usize], *c);
+            assert_eq!(*c as usize, i);
+        }
+        // every name is `layer.snake_case` — non-empty, one dot, and only
+        // characters that survive the Prometheus sanitization (`.` → `_`)
+        for c in Counter::ALL {
+            let name = c.name();
+            assert!(!name.is_empty(), "{c:?} has an empty name");
+            assert_eq!(
+                name.matches('.').count(),
+                1,
+                "{c:?} name `{name}` must be layer.metric"
+            );
+            assert!(
+                name.chars()
+                    .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || "._".contains(ch)),
+                "{c:?} name `{name}` has characters invalid for exposition"
+            );
         }
     }
 

@@ -29,6 +29,7 @@ pub const KNOWN_KINDS: &[&str] = &[
     "watchdog-arm",
     "watchdog-fire",
     "counters",
+    "request",
 ];
 
 static EPOCH: OnceLock<Instant> = OnceLock::new();

@@ -1,0 +1,161 @@
+//! Pre-registered, allocation-free gauges.
+//!
+//! Same registration model as [`crate::counter`]: every gauge is a
+//! [`Gauge`] variant indexing static atomic storage. Unlike counters,
+//! gauges are point-in-time levels (queue depth, live flights) that move
+//! both ways, so they are signed, unsharded (`set` is a plain store, and
+//! the write rates are per-request, not per-edge), and expose `set`/`add`
+//! rather than monotonic increments.
+//!
+//! Recording compiles to nothing without the `telemetry` feature; reads
+//! always compile and return 0 in disabled builds, so the `/metrics`
+//! renderer can unconditionally include the gauge family.
+
+#[cfg(feature = "telemetry")]
+use std::sync::atomic::{AtomicI64, Ordering};
+
+/// Number of registered gauges (kept in sync with [`Gauge::ALL`]).
+pub const NUM_GAUGES: usize = 4;
+
+/// Every gauge in the workspace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Gauge {
+    /// Current admission-queue depth (jobs waiting for a worker).
+    ServeQueueDepth,
+    /// Cells currently in flight in the single-flight registry.
+    ServeLiveFlights,
+    /// Keep-alive connections currently parked in the epoll reactor.
+    ServeParkedConns,
+    /// Circuit breakers currently open (degraded shards).
+    ServeOpenBreakers,
+}
+
+impl Gauge {
+    /// Every gauge, in storage order.
+    pub const ALL: [Gauge; NUM_GAUGES] = [
+        Gauge::ServeQueueDepth,
+        Gauge::ServeLiveFlights,
+        Gauge::ServeParkedConns,
+        Gauge::ServeOpenBreakers,
+    ];
+
+    /// Stable machine name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::ServeQueueDepth => "serve.queue_depth_now",
+            Gauge::ServeLiveFlights => "serve.live_flights",
+            Gauge::ServeParkedConns => "serve.parked_conns",
+            Gauge::ServeOpenBreakers => "serve.open_breakers",
+        }
+    }
+
+    /// Sets the level. Compiles to nothing without `telemetry`.
+    #[inline(always)]
+    pub fn set(self, v: i64) {
+        #[cfg(feature = "telemetry")]
+        storage::LEVELS[self as usize].store(v, Ordering::Relaxed);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = v;
+    }
+
+    /// Moves the level by `delta` (negative to decrement).
+    #[inline(always)]
+    pub fn add(self, delta: i64) {
+        #[cfg(feature = "telemetry")]
+        storage::LEVELS[self as usize].fetch_add(delta, Ordering::Relaxed);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = delta;
+    }
+
+    /// Current level; always 0 without `telemetry`.
+    #[must_use]
+    pub fn get(self) -> i64 {
+        #[cfg(feature = "telemetry")]
+        {
+            storage::LEVELS[self as usize].load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "telemetry"))]
+        {
+            0
+        }
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod storage {
+    use super::{AtomicI64, NUM_GAUGES};
+
+    #[allow(clippy::declare_interior_mutable_const)]
+    const Z: AtomicI64 = AtomicI64::new(0);
+    pub(super) static LEVELS: [AtomicI64; NUM_GAUGES] = [Z; NUM_GAUGES];
+}
+
+/// A point-in-time copy of every gauge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeSnapshot {
+    values: [i64; NUM_GAUGES],
+}
+
+impl GaugeSnapshot {
+    /// Value of one gauge.
+    #[must_use]
+    pub fn get(&self, g: Gauge) -> i64 {
+        self.values[g as usize]
+    }
+}
+
+/// Snapshots every gauge (all zeros without `telemetry`).
+#[must_use]
+pub fn gauges_snapshot() -> GaugeSnapshot {
+    let mut values = [0i64; NUM_GAUGES];
+    for (i, v) in values.iter_mut().enumerate() {
+        *v = Gauge::ALL[i].get();
+    }
+    GaugeSnapshot { values }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Same sync contract as `Counter`: `ALL` order, `NUM_GAUGES`, and the
+    /// name table move together or `/metrics` mislabels the family.
+    #[test]
+    fn all_num_gauges_and_name_table_stay_in_sync() {
+        assert_eq!(Gauge::ALL.len(), NUM_GAUGES);
+        let mut names: Vec<&str> = Gauge::ALL.iter().map(|g| g.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_GAUGES);
+        for (i, g) in Gauge::ALL.iter().enumerate() {
+            assert_eq!(*g as usize, i, "storage order mismatch for {g:?}");
+            assert!(g
+                .name()
+                .chars()
+                .all(|ch| ch.is_ascii_lowercase() || ch.is_ascii_digit() || "._".contains(ch)));
+        }
+    }
+
+    #[cfg(not(feature = "telemetry"))]
+    #[test]
+    fn disabled_build_records_nothing() {
+        Gauge::ServeQueueDepth.set(7);
+        Gauge::ServeQueueDepth.add(3);
+        assert_eq!(Gauge::ServeQueueDepth.get(), 0);
+        assert_eq!(gauges_snapshot().get(Gauge::ServeQueueDepth), 0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn set_add_and_snapshot_are_coherent() {
+        // gauge storage is process-global; this test owns ServeOpenBreakers
+        Gauge::ServeOpenBreakers.set(2);
+        Gauge::ServeOpenBreakers.add(3);
+        Gauge::ServeOpenBreakers.add(-1);
+        assert_eq!(Gauge::ServeOpenBreakers.get(), 4);
+        assert_eq!(gauges_snapshot().get(Gauge::ServeOpenBreakers), 4);
+        Gauge::ServeOpenBreakers.set(0);
+    }
+}

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub const NUM_BUCKETS: usize = 32;
 
 /// Number of registered histograms.
-pub const NUM_HISTS: usize = 7;
+pub const NUM_HISTS: usize = 11;
 
 /// Every histogram in the workspace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -38,6 +38,17 @@ pub enum Hist {
     ServeRequestMicros,
     /// Admission-queue depth sampled at each enqueue.
     ServeQueueDepth,
+    /// Time a request sat in the admission queue before a worker picked it
+    /// up, microseconds (DESIGN.md §7.10 stage attribution).
+    ServeQueueWaitMicros,
+    /// Time between a cell claim entering the batch former and its merged
+    /// plan starting to execute, microseconds.
+    ServeBatchWaitMicros,
+    /// Engine execution time (route entry → response body assembled),
+    /// microseconds.
+    ServeExecuteMicros,
+    /// Response serialization + socket write time, microseconds.
+    ServeWriteMicros,
 }
 
 impl Hist {
@@ -50,6 +61,10 @@ impl Hist {
         Hist::FrontierOccupancy,
         Hist::ServeRequestMicros,
         Hist::ServeQueueDepth,
+        Hist::ServeQueueWaitMicros,
+        Hist::ServeBatchWaitMicros,
+        Hist::ServeExecuteMicros,
+        Hist::ServeWriteMicros,
     ];
 
     /// Stable machine name.
@@ -63,6 +78,10 @@ impl Hist {
             Hist::FrontierOccupancy => "frontier.occupancy",
             Hist::ServeRequestMicros => "serve.request_micros",
             Hist::ServeQueueDepth => "serve.queue_depth",
+            Hist::ServeQueueWaitMicros => "serve.queue_wait_micros",
+            Hist::ServeBatchWaitMicros => "serve.batch_wait_micros",
+            Hist::ServeExecuteMicros => "serve.execute_micros",
+            Hist::ServeWriteMicros => "serve.write_micros",
         }
     }
 

@@ -19,6 +19,13 @@
 //!   jobs can never interleave mid-line.
 //! * [`chrome`] — converts a recorded trace to chrome://tracing JSON
 //!   (`indigo-exp trace`).
+//! * [`gauge`] / [`window`] / [`ring`] — **live-level primitives** for the
+//!   serving layer's `/metrics` and flight recorder (DESIGN.md §7.10):
+//!   pre-registered gauges, a 10 s rolling-window histogram for live
+//!   p50/p99 and SLO burn, and a seqlock ring of POD records. Gauge
+//!   recording is `telemetry`-gated like counters; `RollingHist` and
+//!   [`SeqRing`] are instance-owned and always compiled so the serving
+//!   layer's always-on stats can use them in every build.
 //!
 //! ## Feature gating
 //!
@@ -33,13 +40,19 @@
 pub mod chrome;
 pub mod counter;
 pub mod event;
+pub mod gauge;
 pub mod hist;
+pub mod ring;
 pub mod sink;
+pub mod window;
 
 pub use counter::{counters_snapshot, Counter, CounterSnapshot, NUM_COUNTERS};
 pub use event::{load_trace, now_micros, validate_line, TraceEvent};
+pub use gauge::{gauges_snapshot, Gauge, GaugeSnapshot, NUM_GAUGES};
 pub use hist::{hists_snapshot, Hist, HistSnapshot, NUM_BUCKETS, NUM_HISTS};
+pub use ring::SeqRing;
 pub use sink::{console_line, emit, install_trace, trace_installed};
+pub use window::{RollingHist, RollingSnapshot, WINDOW_SECS};
 
 /// Whether this build records telemetry. `const`-foldable: branches on it
 /// vanish entirely in `telemetry`-off builds.

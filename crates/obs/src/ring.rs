@@ -1,0 +1,204 @@
+//! A fixed-size, lock-free ring of POD records (seqlock per slot).
+//!
+//! The flight recorder (DESIGN.md §7.10) needs "the last N request
+//! records, always writable, never blocking the serving path": writers
+//! claim a slot with one `fetch_add` on the head and publish through a
+//! per-slot version word (odd = write in progress, even = stable), so a
+//! push is wait-free, allocation-free, and safe from any thread. Readers
+//! are rare (a 5xx dump, a `/debug/flightrec` request); they retry slots
+//! caught mid-write and skip slots that stay unstable. The payload must be
+//! `Copy` — records are fixed-size structs with inline byte arrays, no
+//! heap — which is what makes the racing reads recoverable: a torn read is
+//! detected by the version recheck and thrown away, never dereferenced.
+//!
+//! A writer that laps the ring into a slot still being written (the other
+//! writer is `capacity` pushes behind — pathological) drops its record
+//! rather than spin: the recorder favors boundedness over completeness.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+struct Slot<T> {
+    /// Seqlock word: 0 = never written, odd = write in progress,
+    /// even ≥ 2 = stable.
+    version: AtomicU64,
+    data: UnsafeCell<T>,
+}
+
+/// Fixed-capacity lock-free ring buffer of `Copy` records.
+pub struct SeqRing<T: Copy> {
+    head: AtomicU64,
+    slots: Box<[Slot<T>]>,
+}
+
+// Safety: slots are only mutated under the odd-version claim, readers
+// validate versions around their copy, and T is plain old data.
+unsafe impl<T: Copy + Send> Sync for SeqRing<T> {}
+unsafe impl<T: Copy + Send> Send for SeqRing<T> {}
+
+impl<T: Copy> SeqRing<T> {
+    /// A ring of `capacity` slots, each seeded with `fill` (never exposed:
+    /// unwritten slots are skipped by [`SeqRing::collect`]).
+    #[must_use]
+    pub fn new(capacity: usize, fill: T) -> SeqRing<T> {
+        assert!(capacity > 0, "ring capacity must be positive");
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                version: AtomicU64::new(0),
+                data: UnsafeCell::new(fill),
+            })
+            .collect();
+        SeqRing {
+            head: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Slots in the ring.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records pushed over the ring's lifetime (≥ live records).
+    #[must_use]
+    pub fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Live records currently readable.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        (self.pushed() as usize).min(self.capacity())
+    }
+
+    /// True when nothing has been pushed yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pushed() == 0
+    }
+
+    /// Pushes one record, overwriting the oldest once full. Wait-free; the
+    /// record is silently dropped in the pathological lap-collision case
+    /// (see module docs).
+    pub fn push(&self, record: T) {
+        let idx = self.head.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        let slot = &self.slots[idx];
+        let v = slot.version.load(Ordering::Relaxed);
+        if v & 1 == 1 {
+            return; // another writer is lapped into this slot mid-write
+        }
+        if slot
+            .version
+            .compare_exchange(v, v + 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return; // lost the claim race to a lapping writer
+        }
+        // claimed (odd): publish the payload, then flip to the next even
+        unsafe { std::ptr::write_volatile(slot.data.get(), record) };
+        slot.version.store(v + 2, Ordering::Release);
+    }
+
+    /// Copies out every stable record, oldest slot order not guaranteed —
+    /// callers sort by a key inside the record. Slots never written, or
+    /// caught mid-write through all retries, are skipped. Allocates (the
+    /// returned `Vec`); only dump/debug paths call this.
+    #[must_use]
+    pub fn collect(&self) -> Vec<T> {
+        let mut out = Vec::with_capacity(self.len());
+        for slot in self.slots.iter() {
+            for _attempt in 0..64 {
+                let v1 = slot.version.load(Ordering::Acquire);
+                if v1 == 0 {
+                    break; // never written
+                }
+                if v1 & 1 == 1 {
+                    std::hint::spin_loop();
+                    continue; // write in progress
+                }
+                let copy = unsafe { std::ptr::read_volatile(slot.data.get()) };
+                fence(Ordering::Acquire);
+                if slot.version.load(Ordering::Relaxed) == v1 {
+                    out.push(copy);
+                    break;
+                }
+                // version moved under us: torn copy, retry
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    struct Rec {
+        seq: u64,
+        payload: [u8; 24],
+    }
+
+    fn rec(seq: u64) -> Rec {
+        Rec {
+            seq,
+            payload: [seq as u8; 24],
+        }
+    }
+
+    #[test]
+    fn keeps_the_most_recent_capacity_records() {
+        let ring = SeqRing::new(4, rec(0));
+        assert!(ring.is_empty());
+        for i in 1..=10 {
+            ring.push(rec(i));
+        }
+        assert_eq!(ring.len(), 4);
+        assert_eq!(ring.pushed(), 10);
+        let mut seqs: Vec<u64> = ring.collect().iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn unwritten_slots_are_invisible() {
+        let ring = SeqRing::new(8, rec(99));
+        ring.push(rec(1));
+        ring.push(rec(2));
+        let got = ring.collect();
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|r| r.seq == 1 || r.seq == 2));
+    }
+
+    #[test]
+    fn concurrent_pushers_never_produce_torn_records() {
+        let ring = Arc::new(SeqRing::new(16, rec(0)));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let ring = Arc::clone(&ring);
+                std::thread::spawn(move || {
+                    for i in 0..5_000u64 {
+                        ring.push(rec(t * 10_000 + i));
+                    }
+                })
+            })
+            .collect();
+        // read concurrently: every observed record must be internally
+        // consistent (payload bytes all equal to the low byte of seq)
+        for _ in 0..200 {
+            for r in ring.collect() {
+                assert!(
+                    r.payload.iter().all(|&b| b == r.seq as u8),
+                    "torn record observed: {r:?}"
+                );
+            }
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        assert_eq!(ring.pushed(), 20_000);
+        assert_eq!(ring.len(), 16);
+    }
+}

@@ -69,6 +69,7 @@ impl<T> Admission<T> {
         st.queue.push_back(item);
         if self.record_depth {
             indigo_obs::Hist::ServeQueueDepth.record(st.queue.len() as u64);
+            indigo_obs::Gauge::ServeQueueDepth.set(st.queue.len() as i64);
         }
         drop(st);
         self.ready.notify_one();
@@ -80,6 +81,9 @@ impl<T> Admission<T> {
         let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(item) = st.queue.pop_front() {
+                if self.record_depth {
+                    indigo_obs::Gauge::ServeQueueDepth.set(st.queue.len() as i64);
+                }
                 return Some(item);
             }
             if st.closed {

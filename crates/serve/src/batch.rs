@@ -31,13 +31,14 @@
 
 use crate::admission::Admission;
 use crate::cache::ResultCache;
-use crate::stats::Stats;
+use crate::stats::{ServeCounter, Stats};
 use indigo_graph::gen::{Scale, SuiteGraph};
 use indigo_harness::{CellOutcome, CellRecord, FaultSpec, Resilience, RunOptions, RunPlan};
+use indigo_obs::now_micros;
 use indigo_styles::StyleConfig;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering::Relaxed;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -70,16 +71,57 @@ pub enum FlightResult {
 }
 
 /// One in-flight cell execution; waiters block on the condvar.
+///
+/// A flight also carries its request-scoped attribution (DESIGN.md §7.10):
+/// the claiming request's sequence number (so coalesced waiters can report
+/// `served_by`), when it was claimed, and when its merged plan actually
+/// started executing — the gap between the two is the batch-wait stage.
 pub struct Flight {
     state: Mutex<Option<FlightResult>>,
     done: Condvar,
+    /// Sequence number of the request that claimed this flight.
+    owner: u64,
+    /// `now_micros()` at claim time.
+    claimed_at_us: u64,
+    /// `now_micros()` when the merged plan began executing (0 = not yet).
+    exec_start_us: AtomicU64,
 }
 
 impl Flight {
-    fn new() -> Flight {
+    fn new(owner: u64) -> Flight {
         Flight {
             state: Mutex::new(None),
             done: Condvar::new(),
+            owner,
+            claimed_at_us: now_micros(),
+            exec_start_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Sequence number of the request that claimed this flight.
+    pub fn owner(&self) -> u64 {
+        self.owner
+    }
+
+    /// Stamps the moment the merged plan started executing (first stamp
+    /// wins — a flight runs exactly once).
+    pub fn mark_exec_start(&self, at_us: u64) {
+        let _ = self.exec_start_us.compare_exchange(
+            0,
+            at_us.max(1),
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Claim → plan execution start, µs (0 while still parked in the
+    /// former, or if the flight resolved without executing).
+    pub fn batch_wait_us(&self) -> u64 {
+        let start = self.exec_start_us.load(Ordering::Relaxed);
+        if start == 0 {
+            0
+        } else {
+            start.saturating_sub(self.claimed_at_us)
         }
     }
 
@@ -195,9 +237,12 @@ impl Flights {
     /// one already in the air. Returns the claims this caller now owns and
     /// the flights it merely joined. Atomic across the whole set, so two
     /// racing requests split the cells rather than double-claiming.
+    /// `owner` is the claiming request's sequence number, reported as
+    /// `served_by` to every later joiner.
     pub fn claim_or_join(
         this: &Arc<Flights>,
         cells: &[CellClaim<'_>],
+        owner: u64,
     ) -> (Vec<ClaimGuard>, Vec<Arc<Flight>>) {
         let mut claimed = Vec::new();
         let mut joined = Vec::new();
@@ -206,7 +251,7 @@ impl Flights {
             match map.get(&c.fp) {
                 Some(f) => joined.push(Arc::clone(f)),
                 None => {
-                    let flight = Arc::new(Flight::new());
+                    let flight = Arc::new(Flight::new(owner));
                     map.insert(c.fp, Arc::clone(&flight));
                     claimed.push(ClaimGuard {
                         fp: c.fp,
@@ -219,6 +264,7 @@ impl Flights {
                 }
             }
         }
+        indigo_obs::Gauge::ServeLiveFlights.set(map.len() as i64);
         (claimed, joined)
     }
 
@@ -241,6 +287,7 @@ impl Flights {
         // registered a fresh flight under the same fingerprint
         if map.get(&fp).is_some_and(|f| Arc::ptr_eq(f, flight)) {
             map.remove(&fp);
+            indigo_obs::Gauge::ServeLiveFlights.set(map.len() as i64);
         }
         drop(map);
         flight.resolve(result);
@@ -452,10 +499,8 @@ fn execute_batch(batch: Vec<Submission>, cache: &ResultCache, stats: &Stats, job
             verify: true,
         };
         run_claims(cache, stats, jobs, plan, g.budget, g.fault, g.claims);
-        stats.batches.fetch_add(1, Relaxed);
-        stats.batched_cells.fetch_add(coalesced as u64, Relaxed);
-        indigo_obs::Counter::ServeBatches.incr();
-        indigo_obs::Counter::ServeBatchedCells.add(coalesced as u64);
+        stats.bump(ServeCounter::Batches);
+        stats.add(ServeCounter::BatchedCells, coalesced as u64);
     }
 }
 
@@ -475,6 +520,14 @@ pub fn run_claims(
     if let Some(f) = fault {
         res = res.with_fault(f);
     }
+    // the plan is now actually running: stamp every claimed flight so the
+    // claim → execution gap is attributable as batch wait
+    let exec_start = now_micros();
+    for guard in &claims {
+        let flight = guard.flight();
+        flight.mark_exec_start(exec_start);
+        indigo_obs::Hist::ServeBatchWaitMicros.record(flight.batch_wait_us());
+    }
     let opts = RunOptions::default().with_jobs(jobs.max(1));
     let outcome = catch_unwind(AssertUnwindSafe(|| plan.run_cells(&opts, &res, |_| {})));
     let run = match outcome {
@@ -491,9 +544,7 @@ pub fn run_claims(
         .filter(|r| matches!(r.outcome, CellOutcome::Ok(_)))
         .collect();
     let journal_errors = cache.insert_batch(&ok_records);
-    stats
-        .journal_errors
-        .fetch_add(journal_errors as u64, Relaxed);
+    stats.add(ServeCounter::JournalErrors, journal_errors as u64);
     let by_fp: HashMap<u64, &CellRecord> = run.records.iter().map(|r| (r.fingerprint, r)).collect();
     for guard in claims {
         let result = match by_fp.get(&guard.fp()) {
@@ -553,7 +604,7 @@ mod tests {
                 target: "t",
             })
             .collect();
-        Flights::claim_or_join(this, &cells)
+        Flights::claim_or_join(this, &cells, 42)
     }
 
     #[test]

@@ -54,6 +54,9 @@ pub struct ChaosOptions {
     pub journal: Option<PathBuf>,
     /// Per-request deadline for the synthetic traffic.
     pub deadline: Duration,
+    /// Where the server dumps `FLIGHT_*.jsonl` on 5xx responses (`None`
+    /// disables dumping; the in-memory ring stays live).
+    pub flightrec_dir: Option<PathBuf>,
 }
 
 impl Default for ChaosOptions {
@@ -67,6 +70,7 @@ impl Default for ChaosOptions {
             }),
             journal: None,
             deadline: Duration::from_secs(2),
+            flightrec_dir: None,
         }
     }
 }
@@ -100,6 +104,14 @@ pub struct ChaosReport {
     pub latency_ms: LatencySummary,
     /// Cached-query throughput (phase 5).
     pub saturation_rps: f64,
+    /// Samples in the validated `/metrics` exposition (phase 5b).
+    pub metrics_series: u64,
+    /// Requests the flight recorder retained over the run.
+    pub flight_pushed: u64,
+    /// `FLIGHT_*.jsonl` dumps the server wrote (5xx-triggered).
+    pub flight_dumps: u64,
+    /// Whether the `telemetry` feature was compiled in.
+    pub telemetry_enabled: bool,
     /// Echo of the run configuration.
     pub config: String,
 }
@@ -126,7 +138,8 @@ impl ChaosReport {
              \"failed\": {},\n  \"retries\": {},\n  \"breaker_trips\": {},\n  \
              \"breaker_recoveries\": {},\n  \"recovered_cells\": {},\n  \
              \"latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
-             \"saturation_rps\": {},\n  \"config\": {}\n}}\n",
+             \"saturation_rps\": {},\n  \"metrics_series\": {},\n  \"flight_pushed\": {},\n  \
+             \"flight_dumps\": {},\n  \"telemetry_enabled\": {},\n  \"config\": {}\n}}\n",
             self.requests,
             self.ok,
             self.cached,
@@ -143,6 +156,10 @@ impl ChaosReport {
             json::num(self.latency_ms.p99),
             json::num(self.latency_ms.max),
             json::num(self.saturation_rps),
+            self.metrics_series,
+            self.flight_pushed,
+            self.flight_dumps,
+            self.telemetry_enabled,
             json::str_lit(&self.config),
         )
     }
@@ -170,6 +187,7 @@ struct Recorder {
     latencies_us: Mutex<Vec<u64>>,
     transport_errors: AtomicUsize,
     unstructured: AtomicUsize,
+    missing_echo: AtomicUsize,
     cells: Mutex<Vec<(String, String)>>, // (fp, geps_bits) pairs served
 }
 
@@ -184,6 +202,9 @@ impl Recorder {
                 if !resp.body.contains("\"status\"") {
                     self.unstructured.fetch_add(1, Ordering::Relaxed);
                 }
+                if resp.request_id.is_none() {
+                    self.missing_echo.fetch_add(1, Ordering::Relaxed);
+                }
                 let mut cells = self.cells.lock().unwrap_or_else(|e| e.into_inner());
                 cells.extend(extract_cells(&resp.body));
             }
@@ -192,6 +213,29 @@ impl Recorder {
             }
         }
     }
+}
+
+/// First integer value of `"key":` in a flat JSON body.
+fn json_u64(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = body.find(&pat)? + pat.len();
+    let rest = body[i..].trim_start();
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Value of the un-labeled Prometheus sample named exactly `name`.
+fn prom_u64(text: &str, name: &str) -> Option<u64> {
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix(name) {
+            if let Some(v) = rest.strip_prefix(' ') {
+                return v.trim().parse().ok();
+            }
+        }
+    }
+    None
 }
 
 /// Pulls `(fp, geps_bits)` pairs out of a success body.
@@ -269,6 +313,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
         workers: 2,
         queue: 4,
         default_deadline: opts.deadline,
+        flightrec_dir: opts.flightrec_dir.clone(),
         ..ServerConfig::default()
     };
     cfg.breaker.threshold = 3;
@@ -393,6 +438,41 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
     let tput_secs = tput_started.elapsed().as_secs_f64().max(1e-9);
     let saturation_rps = tput_n as f64 / tput_secs;
 
+    // ---- phase 5b: /metrics exposition agrees with /stats. The server is
+    // quiet now, and the scrapes themselves only bump requests/ok, so the
+    // cross-checked counters cannot move between the two reads.
+    let stats_resp =
+        client::get(addr, "/stats", timeout).map_err(|e| format!("/stats scrape failed: {e}"))?;
+    let metrics_resp = client::get(addr, "/metrics", timeout)
+        .map_err(|e| format!("/metrics scrape failed: {e}"))?;
+    if metrics_resp.status != 200 {
+        return Err(format!("/metrics returned {}", metrics_resp.status));
+    }
+    let metrics_series = crate::metrics::validate_exposition(&metrics_resp.body)
+        .map_err(|e| format!("/metrics exposition invalid: {e}"))? as u64;
+    for key in ["shed", "cache_hits", "breaker_trips"] {
+        let from_stats = json_u64(&stats_resp.body, key)
+            .ok_or_else(|| format!("/stats body is missing \"{key}\""))?;
+        let name = format!("indigo_serve_{key}_total");
+        let from_metrics = prom_u64(&metrics_resp.body, &name)
+            .ok_or_else(|| format!("/metrics exposition is missing {name}"))?;
+        if from_stats != from_metrics {
+            return Err(format!(
+                "counter drift: /stats {key}={from_stats} but /metrics {name}={from_metrics}"
+            ));
+        }
+    }
+    let flightrec_resp = client::get(addr, "/debug/flightrec", timeout)
+        .map_err(|e| format!("/debug/flightrec scrape failed: {e}"))?;
+    if flightrec_resp.status != 200 || !flightrec_resp.body.contains("\"records\":") {
+        return Err(format!(
+            "/debug/flightrec returned {} without a records array",
+            flightrec_resp.status
+        ));
+    }
+    let flight_pushed = json_u64(&flightrec_resp.body, "pushed").unwrap_or(0);
+    let flight_dumps = json_u64(&flightrec_resp.body, "dumps_written").unwrap_or(0);
+
     // ---- collect server stats, then tear down for the restart phase
     let health = client::get(addr, "/health", timeout)
         .map_err(|e| format!("final health check failed: {e}"))?;
@@ -457,6 +537,41 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
             "{unstructured} response(s) lacked a structured status"
         ));
     }
+    let missing_echo = rec.missing_echo.load(Ordering::Relaxed);
+    if missing_echo != 0 {
+        return Err(format!(
+            "{missing_echo} response(s) lacked an X-Request-Id echo"
+        ));
+    }
+    if flight_pushed == 0 {
+        return Err("flight recorder retained no records over the run".into());
+    }
+    if let Some(dir) = &opts.flightrec_dir {
+        if snap.failed > 0 || snap.timeouts > 0 {
+            if flight_dumps == 0 {
+                return Err(format!(
+                    "{} failure(s) and {} timeout(s) produced no flight-recorder dump",
+                    snap.failed, snap.timeouts
+                ));
+            }
+            let on_disk = std::fs::read_dir(dir)
+                .map_err(|e| format!("flightrec dir {}: {e}", dir.display()))?
+                .filter_map(|e| e.ok())
+                .filter(|e| {
+                    let n = e.file_name();
+                    let n = n.to_string_lossy();
+                    n.starts_with("FLIGHT_") && n.ends_with(".jsonl")
+                })
+                .count();
+            if on_disk == 0 {
+                return Err(format!(
+                    "flight recorder reported {flight_dumps} dump(s) but no \
+                     FLIGHT_*.jsonl exists in {}",
+                    dir.display()
+                ));
+            }
+        }
+    }
     let mut lat = rec
         .latencies_us
         .lock()
@@ -512,6 +627,10 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
         recovered_cells,
         latency_ms,
         saturation_rps,
+        metrics_series,
+        flight_pushed,
+        flight_dumps,
+        telemetry_enabled: indigo_obs::enabled(),
         config: format!(
             "clients={} requests={} fault={} deadline_ms={deadline_ms} workers={} queue={}",
             opts.clients,

@@ -13,6 +13,8 @@ pub struct ClientResponse {
     pub status: u16,
     /// `Retry-After` header value, when present.
     pub retry_after: Option<u64>,
+    /// `X-Request-Id` echo, when present (DESIGN.md §7.10).
+    pub request_id: Option<String>,
     /// Response body.
     pub body: String,
 }
@@ -45,13 +47,23 @@ impl Client {
     /// Issues `GET {target}`, reusing the kept-alive connection when one
     /// exists.
     pub fn get(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+        self.get_with_id(target, None)
+    }
+
+    /// Like [`Client::get`], optionally sending a caller-chosen
+    /// `X-Request-Id` the server will echo back.
+    pub fn get_with_id(
+        &mut self,
+        target: &str,
+        request_id: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
         let reused = self.stream.is_some();
-        match self.roundtrip(target) {
+        match self.roundtrip(target, request_id) {
             Ok(resp) => Ok(resp),
             Err(e) if reused => {
                 // stale keep-alive connection: reconnect and retry once
                 self.stream = None;
-                self.roundtrip(target).map_err(|_| e)
+                self.roundtrip(target, request_id).map_err(|_| e)
             }
             Err(e) => {
                 self.stream = None;
@@ -60,7 +72,11 @@ impl Client {
         }
     }
 
-    fn roundtrip(&mut self, target: &str) -> std::io::Result<ClientResponse> {
+    fn roundtrip(
+        &mut self,
+        target: &str,
+        request_id: Option<&str>,
+    ) -> std::io::Result<ClientResponse> {
         let mut stream = match self.stream.take() {
             Some(s) => s,
             None => {
@@ -71,7 +87,13 @@ impl Client {
                 s
             }
         };
-        stream.write_all(format!("GET {target} HTTP/1.1\r\nHost: indigo\r\n\r\n").as_bytes())?;
+        let id_header = match request_id {
+            Some(id) => format!("X-Request-Id: {id}\r\n"),
+            None => String::new(),
+        };
+        stream.write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: indigo\r\n{id_header}\r\n").as_bytes(),
+        )?;
         // read until the head is complete
         let mut raw = Vec::with_capacity(512);
         let mut chunk = [0u8; 1024];
@@ -117,6 +139,7 @@ impl Client {
         Ok(ClientResponse {
             status: parsed.status,
             retry_after: parsed.retry_after,
+            request_id: parsed.request_id,
             body: String::from_utf8_lossy(&body).into_owned(),
         })
     }
@@ -136,6 +159,7 @@ fn find_head_end(raw: &[u8]) -> Option<usize> {
 struct ParsedHead {
     status: u16,
     retry_after: Option<u64>,
+    request_id: Option<String>,
     content_length: Option<usize>,
     close: bool,
 }
@@ -156,12 +180,15 @@ fn parse_head(head: &str) -> std::io::Result<ParsedHead> {
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| std::io::Error::other(format!("bad status line: {status_line}")))?;
     let mut retry_after = None;
+    let mut request_id = None;
     let mut content_length = None;
     let mut close = false;
     for (k, v) in lines.filter_map(|l| l.split_once(':')) {
         let v = v.trim();
         if k.eq_ignore_ascii_case("retry-after") {
             retry_after = v.parse().ok();
+        } else if k.eq_ignore_ascii_case("x-request-id") {
+            request_id = Some(v.to_string());
         } else if k.eq_ignore_ascii_case("content-length") {
             content_length = v.parse().ok();
         } else if k.eq_ignore_ascii_case("connection") && v.eq_ignore_ascii_case("close") {
@@ -171,6 +198,7 @@ fn parse_head(head: &str) -> std::io::Result<ParsedHead> {
     Ok(ParsedHead {
         status,
         retry_after,
+        request_id,
         content_length,
         close,
     })
@@ -184,11 +212,13 @@ mod tests {
     fn parses_status_retry_after_framing_and_close() {
         let h = parse_head(
             "HTTP/1.1 429 Too Many Requests\r\nRetry-After: 7\r\n\
+             X-Request-Id: abc-123\r\n\
              Content-Length: 2\r\nConnection: close\r\n",
         )
         .unwrap();
         assert_eq!(h.status, 429);
         assert_eq!(h.retry_after, Some(7));
+        assert_eq!(h.request_id.as_deref(), Some("abc-123"));
         assert_eq!(h.content_length, Some(2));
         assert!(h.close);
         let h = parse_head("HTTP/1.1 200 OK\r\nContent-Length: 10\r\n").unwrap();

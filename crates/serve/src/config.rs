@@ -50,6 +50,13 @@ pub struct ServerConfig {
     /// How long a connection may dribble in its request head before the
     /// reactor reaps it (slow-loris bound).
     pub header_timeout: Duration,
+    /// Directory the flight recorder dumps `FLIGHT_*.jsonl` files into on
+    /// any 5xx response (`None` disables dumping; the in-memory ring and
+    /// `/debug/flightrec` stay live either way).
+    pub flightrec_dir: Option<PathBuf>,
+    /// Latency SLO threshold, µs — `/metrics` reports the rolling-window
+    /// violation ratio and burn rate against it.
+    pub slo_micros: u64,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +79,8 @@ impl Default for ServerConfig {
             keep_alive: true,
             reactor: true,
             header_timeout: Duration::from_secs(10),
+            flightrec_dir: None,
+            slo_micros: 250_000,
         }
     }
 }

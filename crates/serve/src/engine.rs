@@ -21,9 +21,10 @@ use crate::batch::{Batcher, CellClaim, Flight, FlightResult, Flights, Submission
 use crate::breaker::{Admit, Breaker, BreakerConfig, Transition};
 use crate::cache::ResultCache;
 use crate::config::{parse_scale, scale_label, ServerConfig};
+use crate::flightrec::{Outcome, RequestScope};
 use crate::http::{Request, Response};
 use crate::json;
-use crate::stats::Stats;
+use crate::stats::{ServeCounter, Stats};
 use indigo_core::serial;
 use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo_graph::{Csr, INF};
@@ -259,15 +260,23 @@ pub struct EngineCtx<'a> {
 /// a round with only joins just waits. Either way the request then settles
 /// its own verdict — its 504 clock, retry budget, and breaker report are
 /// never delegated to whoever happens to execute the cells.
-pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Instant) -> Response {
-    use std::sync::atomic::Ordering::Relaxed;
-
+///
+/// `scope` is the request's observability scope (DESIGN.md §7.10): the
+/// engine fills in attempts, batch-wait attribution, the serving flight's
+/// owner for coalesced waiters, and the refined outcome.
+pub fn execute(
+    ctx: &EngineCtx<'_>,
+    shard: &Shard,
+    q: &Query,
+    deadline_at: Instant,
+    scope: &mut RequestScope,
+) -> Response {
     let cells = cells_for(q);
 
     // ---- cache: a fully answered query never touches the breaker
     if cells.iter().all(|c| ctx.cache.get(c.fp).is_some()) {
-        ctx.stats.cache_hits.fetch_add(1, Relaxed);
-        indigo_obs::Counter::ServeCacheHits.incr();
+        ctx.stats.bump(ServeCounter::CacheHits);
+        scope.outcome = Outcome::Cached;
         return Response::json(200, result_body(ctx, q, &cells, true, false, 0));
     }
 
@@ -275,7 +284,7 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
     let probe = match shard.breaker.admit() {
         Admit::Run => false,
         Admit::Probe => true,
-        Admit::Degraded { retry_after } => return degraded(ctx, shard, q, retry_after),
+        Admit::Degraded { retry_after } => return degraded(ctx, shard, q, retry_after, scope),
     };
 
     // ---- claim/join/wait loop over the still-missing cells
@@ -288,8 +297,9 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         if remaining < MIN_ATTEMPT_BUDGET {
             // the request's own deadline expired — any shared flights keep
             // running for their other waiters and land in the cache
-            ctx.stats.timeouts.fetch_add(1, Relaxed);
-            indigo_obs::Counter::ServeTimeouts.incr();
+            ctx.stats.bump(ServeCounter::Timeouts);
+            scope.attempts = u64::from(attempt);
+            scope.outcome = Outcome::Timeout;
             report_breaker(ctx, shard, false, probe);
             let body = format!(
                 "{{\"status\":\"timeout\",\"error\":{},\"attempts\":{attempt}}}",
@@ -319,7 +329,7 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
                     target: &c.target,
                 })
                 .collect();
-            Flights::claim_or_join(ctx.flights, &wanted)
+            Flights::claim_or_join(ctx.flights, &wanted, scope.seq)
         } else {
             // out of execution attempts: free-ride on flights others run
             let fps: Vec<u64> = missing.iter().map(|c| c.fp).collect();
@@ -330,25 +340,33 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
             if joined.is_empty() {
                 // nothing left to wait on and no attempts left to execute
                 report_breaker(ctx, shard, false, probe);
+                scope.attempts = u64::from(attempt);
                 return if timed_out_only {
-                    ctx.stats.timeouts.fetch_add(1, Relaxed);
-                    indigo_obs::Counter::ServeTimeouts.incr();
+                    ctx.stats.bump(ServeCounter::Timeouts);
+                    scope.outcome = Outcome::Timeout;
                     Response::json(
                         504,
                         failure_body("timeout", "timed out on every attempt", attempt, &failures),
                     )
                 } else {
-                    ctx.stats.failed.fetch_add(1, Relaxed);
+                    ctx.stats.bump(ServeCounter::Failed);
+                    scope.outcome = Outcome::Error;
                     Response::json(
                         500,
                         failure_body("error", "retries exhausted", attempt, &failures),
                     )
                 };
             }
-            // pure waiter: every missing cell is already in the air
-            ctx.stats.coalesced.fetch_add(1, Relaxed);
-            indigo_obs::Counter::ServeCoalesced.incr();
-            if let Some(resp) = wait_flights(ctx, shard, probe, &joined, deadline_at, attempt) {
+            // pure waiter: every missing cell is already in the air —
+            // record whose flight is doing our work (first joined flight's
+            // claimer; a multi-cell join credits the first)
+            ctx.stats.bump(ServeCounter::Coalesced);
+            if scope.served_by == 0 {
+                scope.served_by = joined.first().map(|f| f.owner()).unwrap_or(0);
+            }
+            if let Some(resp) =
+                wait_flights(ctx, shard, probe, &joined, deadline_at, attempt, scope)
+            {
                 return resp;
             }
             continue; // re-check cache / deadline, re-claim what failed
@@ -415,6 +433,11 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         let all: Vec<Arc<Flight>> = my_flights.into_iter().chain(joined).collect();
         let mut wrong_answer = false;
         for flight in &all {
+            // batch-wait attribution: how long our claims sat in the former
+            // before a merged plan actually started running them
+            if flight.owner() == scope.seq {
+                scope.batch_wait_us = scope.batch_wait_us.max(flight.batch_wait_us());
+            }
             match flight.wait_until(deadline_at) {
                 // still running past our deadline: the shared run keeps
                 // going for its other waiters; our top-of-loop check 504s
@@ -445,7 +468,9 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         if wrong_answer {
             // a verification failure is not transient: retrying would burn
             // the deadline re-computing the same wrong bits
-            ctx.stats.failed.fetch_add(1, Relaxed);
+            ctx.stats.bump(ServeCounter::Failed);
+            scope.attempts = u64::from(attempt);
+            scope.outcome = Outcome::Quarantined;
             report_breaker(ctx, shard, false, probe);
             return Response::json(
                 500,
@@ -457,15 +482,17 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         }
         if attempt >= ctx.cfg.retry.max_attempts {
             report_breaker(ctx, shard, false, probe);
+            scope.attempts = u64::from(attempt);
             return if timed_out_only {
-                ctx.stats.timeouts.fetch_add(1, Relaxed);
-                indigo_obs::Counter::ServeTimeouts.incr();
+                ctx.stats.bump(ServeCounter::Timeouts);
+                scope.outcome = Outcome::Timeout;
                 Response::json(
                     504,
                     failure_body("timeout", "timed out on every attempt", attempt, &failures),
                 )
             } else {
-                ctx.stats.failed.fetch_add(1, Relaxed);
+                ctx.stats.bump(ServeCounter::Failed);
+                scope.outcome = Outcome::Error;
                 Response::json(
                     500,
                     failure_body("error", "retries exhausted", attempt, &failures),
@@ -474,8 +501,7 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
         }
 
         // transient: back off (within the deadline) and go again
-        ctx.stats.retries.fetch_add(failures.len() as u64, Relaxed);
-        indigo_obs::Counter::ServeRetries.add(failures.len() as u64);
+        ctx.stats.add(ServeCounter::Retries, failures.len() as u64);
         let fp0 = cells.first().map(|c| c.fp).unwrap_or(0);
         let backoff = ctx.cfg.retry.backoff(fp0, attempt);
         let remaining = deadline_at.saturating_duration_since(Instant::now());
@@ -485,6 +511,12 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
     // loop only breaks when every cell is cached; `attempt == 0` means this
     // request never executed anything (pure cache/coalescing win)
     report_breaker(ctx, shard, true, probe);
+    scope.attempts = u64::from(attempt);
+    scope.outcome = if attempt == 0 && scope.served_by == 0 {
+        Outcome::Cached
+    } else {
+        Outcome::Ok
+    };
     Response::json(
         200,
         result_body(ctx, q, &cells, attempt == 0, false, attempt),
@@ -494,6 +526,7 @@ pub fn execute(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, deadline_at: Insta
 /// Waits out a pure-waiter round. Returns the final response when a joined
 /// flight was poisoned (the only verdict a waiter settles mid-round);
 /// otherwise `None`, and the caller loops to re-check the cache.
+#[allow(clippy::too_many_arguments)]
 fn wait_flights(
     ctx: &EngineCtx<'_>,
     shard: &Shard,
@@ -501,8 +534,8 @@ fn wait_flights(
     joined: &[Arc<Flight>],
     deadline_at: Instant,
     attempt: u32,
+    scope: &mut RequestScope,
 ) -> Option<Response> {
-    use std::sync::atomic::Ordering::Relaxed;
     let mut poisoned: Vec<(String, String, &'static str, String)> = Vec::new();
     for flight in joined {
         // Done/Transient/still-running need nothing here: the top of the
@@ -520,7 +553,9 @@ fn wait_flights(
     if poisoned.is_empty() {
         return None;
     }
-    ctx.stats.failed.fetch_add(1, Relaxed);
+    ctx.stats.bump(ServeCounter::Failed);
+    scope.attempts = u64::from(attempt);
+    scope.outcome = Outcome::Quarantined;
     report_breaker(ctx, shard, false, probe);
     Some(Response::json(
         500,
@@ -529,15 +564,14 @@ fn wait_flights(
 }
 
 fn report_breaker(ctx: &EngineCtx<'_>, shard: &Shard, ok: bool, probe: bool) {
-    use std::sync::atomic::Ordering::Relaxed;
     match shard.breaker.report(ok, probe) {
         Some(Transition::Tripped) => {
-            ctx.stats.breaker_trips.fetch_add(1, Relaxed);
-            indigo_obs::Counter::ServeBreakerTrips.incr();
+            ctx.stats.bump(ServeCounter::BreakerTrips);
+            indigo_obs::Gauge::ServeOpenBreakers.add(1);
         }
         Some(Transition::Recovered) => {
-            ctx.stats.breaker_recoveries.fetch_add(1, Relaxed);
-            indigo_obs::Counter::ServeBreakerRecoveries.incr();
+            ctx.stats.bump(ServeCounter::BreakerRecoveries);
+            indigo_obs::Gauge::ServeOpenBreakers.add(-1);
         }
         None => {}
     }
@@ -625,10 +659,15 @@ fn failure_body(
 /// Degraded path: journal-cached cells when the query is fully covered,
 /// otherwise a serial-oracle summary — either way `degraded: true` and a
 /// `Retry-After` pointing at the breaker's half-open horizon.
-fn degraded(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, retry_after: Duration) -> Response {
-    use std::sync::atomic::Ordering::Relaxed;
-    ctx.stats.degraded.fetch_add(1, Relaxed);
-    indigo_obs::Counter::ServeDegraded.incr();
+fn degraded(
+    ctx: &EngineCtx<'_>,
+    shard: &Shard,
+    q: &Query,
+    retry_after: Duration,
+    scope: &mut RequestScope,
+) -> Response {
+    ctx.stats.bump(ServeCounter::Degraded);
+    scope.outcome = Outcome::Degraded;
     let retry_secs = retry_after.as_secs().max(1);
 
     let g = shard.graph(q.scale);
@@ -647,7 +686,8 @@ fn degraded(ctx: &EngineCtx<'_>, shard: &Shard, q: &Query, retry_after: Duration
             Response::json(200, body).with_retry_after(retry_secs)
         }
         Err(_) => {
-            ctx.stats.failed.fetch_add(1, Relaxed);
+            ctx.stats.bump(ServeCounter::Failed);
+            scope.outcome = Outcome::Error;
             Response::json(
                 503,
                 "{\"status\":\"unavailable\",\"error\":\"breaker open and the serial fallback failed\"}",

@@ -16,6 +16,26 @@ use std::net::TcpStream;
 /// Largest request head (request line + headers) the server will read.
 pub const MAX_HEAD_BYTES: usize = 8 * 1024;
 
+/// Longest client-supplied `X-Request-Id` the server will echo.
+pub const MAX_REQUEST_ID_BYTES: usize = 64;
+
+/// Keeps the characters of a client-supplied request ID that are safe to
+/// echo into a header and a JSON body (alphanumerics plus `-_.:`), capped
+/// at [`MAX_REQUEST_ID_BYTES`]. Returns `None` when nothing survives.
+fn sanitize_request_id(raw: &str) -> Option<String> {
+    let cleaned: String = raw
+        .trim()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        .take(MAX_REQUEST_ID_BYTES)
+        .collect();
+    if cleaned.is_empty() {
+        None
+    } else {
+        Some(cleaned)
+    }
+}
+
 /// A parsed request line: method, path, and split query parameters.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
@@ -27,6 +47,11 @@ pub struct Request {
     pub params: Vec<(String, String)>,
     /// The client asked for `Connection: close` (or spoke HTTP/1.0).
     pub close: bool,
+    /// Client-supplied `X-Request-Id`, sanitized (token characters only,
+    /// capped at [`MAX_REQUEST_ID_BYTES`]). The server echoes it back so a
+    /// caller's own correlation IDs survive the round trip; absent, the
+    /// server assigns one (DESIGN.md §7.10).
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -51,6 +76,7 @@ impl Request {
         // HTTP/1.0 has no keep-alive by default; 1.1 keeps alive unless the
         // client says otherwise
         let mut close = version == "HTTP/1.0";
+        let mut request_id = None;
         for h in head.lines().skip(1) {
             if let Some((k, v)) = h.split_once(':') {
                 if k.eq_ignore_ascii_case("connection") {
@@ -60,6 +86,8 @@ impl Request {
                     } else if v.eq_ignore_ascii_case("keep-alive") {
                         close = false;
                     }
+                } else if k.eq_ignore_ascii_case("x-request-id") {
+                    request_id = sanitize_request_id(v);
                 }
             }
         }
@@ -80,6 +108,7 @@ impl Request {
             path: path.to_string(),
             params,
             close,
+            request_id,
         })
     }
 }
@@ -146,6 +175,11 @@ pub struct Response {
     /// Close the connection after this response (sheds and malformed
     /// requests do; everything else keeps the connection alive).
     pub close: bool,
+    /// `X-Request-Id` echoed on every response (DESIGN.md §7.10).
+    pub request_id: Option<String>,
+    /// `Content-Type` header value (`application/json` for the query API;
+    /// `/metrics` overrides with the Prometheus text type).
+    pub content_type: &'static str,
 }
 
 impl Response {
@@ -156,7 +190,24 @@ impl Response {
             body: body.into(),
             retry_after: None,
             close: false,
+            request_id: None,
+            content_type: "application/json",
         }
+    }
+
+    /// A plain-text response (Prometheus exposition uses
+    /// `text/plain; version=0.0.4`).
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            ..Response::json(status, body)
+        }
+    }
+
+    /// Attaches the request ID to echo as `X-Request-Id`.
+    pub fn with_request_id(mut self, id: impl Into<String>) -> Response {
+        self.request_id = Some(id.into());
+        self
     }
 
     /// Attaches `Retry-After` advice.
@@ -174,14 +225,18 @@ impl Response {
     /// Serializes the full response (head + body).
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n",
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
             self.status,
             status_text(self.status),
+            self.content_type,
             self.body.len(),
             if self.close { "close" } else { "keep-alive" }
         );
         if let Some(secs) = self.retry_after {
             head.push_str(&format!("Retry-After: {secs}\r\n"));
+        }
+        if let Some(id) = &self.request_id {
+            head.push_str(&format!("X-Request-Id: {id}\r\n"));
         }
         head.push_str("\r\n");
         let mut out = head.into_bytes();
@@ -274,5 +329,41 @@ mod tests {
     fn responses_keep_alive_by_default() {
         let text = String::from_utf8(Response::json(200, "{}").to_bytes()).unwrap();
         assert!(text.contains("Connection: keep-alive\r\n"));
+    }
+
+    #[test]
+    fn request_id_is_parsed_sanitized_and_capped() {
+        let r = Request::parse("GET / HTTP/1.1\r\nX-Request-Id: client-7.a_b:c\r\n\r\n").unwrap();
+        assert_eq!(r.request_id.as_deref(), Some("client-7.a_b:c"));
+        // header-injection and control characters are stripped, not echoed
+        let evil = Request::parse("GET / HTTP/1.1\r\nx-request-id: a b\"<>\r\n\r\n").unwrap();
+        assert_eq!(evil.request_id.as_deref(), Some("ab"));
+        let blank = Request::parse("GET / HTTP/1.1\r\nX-Request-Id: \"\"\r\n\r\n").unwrap();
+        assert_eq!(blank.request_id, None);
+        let long = format!(
+            "GET / HTTP/1.1\r\nX-Request-Id: {}\r\n\r\n",
+            "x".repeat(500)
+        );
+        let capped = Request::parse(&long).unwrap();
+        assert_eq!(capped.request_id.unwrap().len(), MAX_REQUEST_ID_BYTES);
+        let none = Request::parse("GET / HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(none.request_id, None);
+    }
+
+    #[test]
+    fn responses_echo_the_request_id_header() {
+        let resp = Response::json(200, "{}").with_request_id("abc-123");
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.contains("X-Request-Id: abc-123\r\n"));
+        let bare = String::from_utf8(Response::json(200, "{}").to_bytes()).unwrap();
+        assert!(!bare.contains("X-Request-Id"));
+    }
+
+    #[test]
+    fn text_responses_carry_the_exposition_content_type() {
+        let text = String::from_utf8(Response::text(200, "x 1\n").to_bytes()).unwrap();
+        assert!(text.contains("Content-Type: text/plain; version=0.0.4; charset=utf-8\r\n"));
+        let json = String::from_utf8(Response::json(200, "{}").to_bytes()).unwrap();
+        assert!(json.contains("Content-Type: application/json\r\n"));
     }
 }

@@ -22,6 +22,13 @@
 //! readiness reactor with HTTP/1.1 keep-alive ([`reactor`], [`http`]), and
 //! a coordinated-omission-safe open-loop load generator ([`loadgen`])
 //! behind the `serve_perf` CI gate.
+//!
+//! PR 9 adds request-scoped observability (DESIGN.md §7.10): every request
+//! carries a deterministic ID (echoed as `X-Request-Id`) and a per-stage
+//! latency breakdown through coalescing and batching; `/metrics` exposes
+//! the full counter/gauge/histogram surface in Prometheus text exposition
+//! ([`metrics`]); and a lock-free flight recorder ([`flightrec`]) dumps
+//! the recent request tail to `FLIGHT_*.jsonl` on any 5xx.
 
 #![warn(missing_docs)]
 
@@ -33,9 +40,11 @@ pub mod chaos;
 pub mod client;
 pub mod config;
 pub mod engine;
+pub mod flightrec;
 pub mod http;
 mod json;
 pub mod loadgen;
+pub mod metrics;
 pub mod reactor;
 pub mod retry;
 pub mod server;

@@ -89,6 +89,40 @@ impl Default for LoadgenOptions {
     }
 }
 
+/// p50/p99 of one pipeline stage, microseconds (server-reported).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StagePcts {
+    /// Median.
+    pub p50_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+}
+
+/// Server-side stage attribution aggregated over the paced phase, taken
+/// from the `"timing"` fragment each `/run`/`/sweep` body carries
+/// (DESIGN.md §7.10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StageLatency {
+    /// Admission-queue wait (arrival → worker pickup).
+    pub queue: StagePcts,
+    /// Flight claim → batch execution start (0 for unbatched cells).
+    pub batch_wait: StagePcts,
+    /// Worker pickup → response assembly.
+    pub execute: StagePcts,
+}
+
+impl StageLatency {
+    fn to_json(self) -> String {
+        let stage = |s: StagePcts| format!("{{\"p50\": {}, \"p99\": {}}}", s.p50_us, s.p99_us);
+        format!(
+            "{{\"queue\": {}, \"batch_wait\": {}, \"execute\": {}}}",
+            stage(self.queue),
+            stage(self.batch_wait),
+            stage(self.execute)
+        )
+    }
+}
+
 /// What one serving mode measured.
 #[derive(Clone, Debug, Default)]
 pub struct ModeReport {
@@ -122,6 +156,8 @@ pub struct ModeReport {
     pub keepalive_reuses: u64,
     /// Closed-loop completions per second.
     pub saturation_rps: f64,
+    /// Server-reported per-stage latency attribution (paced phase).
+    pub stage_latency_us: StageLatency,
 }
 
 impl ModeReport {
@@ -131,7 +167,7 @@ impl ModeReport {
              {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"p999\": {}, \"max\": {}}}, \
              \"transport_errors\": {}, \"non_2xx\": {}, \"shed\": {}, \
              \"coalesced\": {}, \"batches\": {}, \"keepalive_reuses\": {}, \
-             \"saturation_rps\": {}}}",
+             \"saturation_rps\": {}, \"stage_latency_us\": {}}}",
             json::num(self.offered_rps),
             json::num(self.achieved_rps),
             json::num(self.p50_ms),
@@ -146,6 +182,7 @@ impl ModeReport {
             self.batches,
             self.keepalive_reuses,
             json::num(self.saturation_rps),
+            self.stage_latency_us.to_json(),
         )
     }
 }
@@ -214,6 +251,26 @@ fn pct_ms(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank.min(sorted_us.len()) - 1] as f64 / 1_000.0
 }
 
+/// Exact percentile from a sorted microsecond vector, in microseconds.
+fn pct_us(sorted_us: &[u64], p: f64) -> u64 {
+    if sorted_us.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted_us.len() as f64).ceil().max(1.0) as usize;
+    sorted_us[rank.min(sorted_us.len()) - 1]
+}
+
+/// First integer after `"key":` in a response body's timing fragment.
+fn timing_u64(body: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\":");
+    let i = body.find(&pat)? + pat.len();
+    let rest = &body[i..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Runs one serving mode end to end: prime, paced open-loop, closed-loop
 /// saturation.
 fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<ModeReport, String> {
@@ -242,6 +299,9 @@ fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<Mod
     // times; latency is measured from the intended start (CO-safe)
     let next = AtomicUsize::new(0);
     let latencies: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+    // per-stage samples parsed from the server's "timing" body fragment:
+    // [queue_us, batch_wait_us, execute_us]
+    let stage_samples: Mutex<[Vec<u64>; 3]> = Mutex::new([Vec::new(), Vec::new(), Vec::new()]);
     let transport_errors = AtomicU64::new(0);
     let non_2xx = AtomicU64::new(0);
     let completed = AtomicU64::new(0);
@@ -251,6 +311,7 @@ fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<Mod
             s.spawn(|| {
                 let mut conn = Client::new(addr, timeout);
                 let mut local = Vec::new();
+                let mut local_stages: [Vec<u64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let offset = Duration::from_secs_f64(i as f64 / opts.rps.max(1.0));
@@ -266,7 +327,16 @@ fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<Mod
                         Ok(resp) => {
                             local.push(intended.elapsed().as_micros().min(u64::MAX as u128) as u64);
                             completed.fetch_add(1, Ordering::Relaxed);
-                            if !(200..300).contains(&resp.status) {
+                            if (200..300).contains(&resp.status) {
+                                for (slot, key) in ["queue_us", "batch_wait_us", "execute_us"]
+                                    .iter()
+                                    .enumerate()
+                                {
+                                    if let Some(v) = timing_u64(&resp.body, key) {
+                                        local_stages[slot].push(v);
+                                    }
+                                }
+                            } else {
                                 non_2xx.fetch_add(1, Ordering::Relaxed);
                             }
                         }
@@ -279,6 +349,10 @@ fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<Mod
                     .lock()
                     .unwrap_or_else(|e| e.into_inner())
                     .extend(local);
+                let mut shared = stage_samples.lock().unwrap_or_else(|e| e.into_inner());
+                for (slot, v) in local_stages.into_iter().enumerate() {
+                    shared[slot].extend(v);
+                }
             });
         }
     });
@@ -318,6 +392,22 @@ fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<Mod
 
     let mut lat = latencies.lock().unwrap_or_else(|e| e.into_inner()).clone();
     lat.sort_unstable();
+    let stage_latency_us = {
+        let mut stages = stage_samples.lock().unwrap_or_else(|e| e.into_inner());
+        let mut pcts = [StagePcts::default(); 3];
+        for (slot, v) in stages.iter_mut().enumerate() {
+            v.sort_unstable();
+            pcts[slot] = StagePcts {
+                p50_us: pct_us(v, 50.0),
+                p99_us: pct_us(v, 99.0),
+            };
+        }
+        StageLatency {
+            queue: pcts[0],
+            batch_wait: pcts[1],
+            execute: pcts[2],
+        }
+    };
     Ok(ModeReport {
         label: label.into(),
         offered_rps: opts.rps,
@@ -334,6 +424,7 @@ fn run_mode(opts: &LoadgenOptions, label: &str, cfg: ServerConfig) -> Result<Mod
         batches: snap.batches,
         keepalive_reuses: snap.keepalive_reuses,
         saturation_rps,
+        stage_latency_us,
     })
 }
 
@@ -412,5 +503,16 @@ mod tests {
         assert!(j.contains("\"unbatched\""));
         assert!(j.contains("\"batched\""));
         assert!(j.contains("\"speedup\""));
+        assert!(j.contains("\"stage_latency_us\""));
+        assert!(j.contains("\"batch_wait\""));
+    }
+
+    #[test]
+    fn timing_extractor_reads_the_body_fragment() {
+        let body = r#"{"status":"ok","rid":"ab","timing":{"queue_us":12,"batch_wait_us":0,"execute_us":340,"total_us":352}}"#;
+        assert_eq!(timing_u64(body, "queue_us"), Some(12));
+        assert_eq!(timing_u64(body, "batch_wait_us"), Some(0));
+        assert_eq!(timing_u64(body, "execute_us"), Some(340));
+        assert_eq!(timing_u64("{}", "queue_us"), None);
     }
 }

@@ -1,0 +1,526 @@
+//! `/metrics`: Prometheus text exposition for the serving layer
+//! (DESIGN.md §7.10).
+//!
+//! Two metric families, two sources of truth:
+//!
+//! * `indigo_serve_*` — rendered from the always-on [`StatsSnapshot`] (the
+//!   same coherent sweep `/stats` serves, so the two endpoints agree by
+//!   construction in every build), plus live gauges read directly from the
+//!   server (queue depth, live flights, parked connections, open
+//!   breakers) and the rolling-window view (live p50/p99, SLO violation
+//!   ratio and burn rate against the configured threshold).
+//! * `indigo_obs_*` — every pre-registered obs counter, gauge, and log₂
+//!   histogram, names sanitized (`.` → `_`). These read zero in
+//!   `telemetry`-off builds; the family is emitted anyway so dashboards
+//!   keep a stable shape across build flavors.
+//!
+//! Histograms use the shared log₂ buckets: bucket `k` holds integer values
+//! `[2^(k−1), 2^k)`, so its inclusive upper bound is `le="2^k − 1"`; the
+//! top bucket is `+Inf`. `_sum` is approximated from bucket floors and
+//! documented as a lower bound (the exact sum is not tracked — recording
+//! stays one `fetch_add`).
+//!
+//! [`validate_exposition`] is the hand-rolled syntax checker the chaos
+//! harness and CI scrape gate run against the rendered text.
+
+use std::collections::{HashMap, HashSet};
+
+use indigo_obs::hist::{bucket_floor, NUM_BUCKETS};
+use indigo_obs::{counters_snapshot, gauges_snapshot, hists_snapshot, RollingSnapshot};
+use indigo_obs::{Counter, Gauge, Hist};
+
+use crate::stats::{ServeCounter, StatsSnapshot};
+
+/// Everything the renderer needs, gathered by the server at scrape time.
+pub struct MetricsView<'a> {
+    /// The same coherent counter sweep `/stats` reports.
+    pub stats: &'a StatsSnapshot,
+    /// Last ~10 s of request latencies.
+    pub rolling: RollingSnapshot,
+    /// Admission-queue depth right now.
+    pub queue_depth: usize,
+    /// Cells in flight in the single-flight registry right now.
+    pub live_flights: usize,
+    /// Keep-alive connections parked in the reactor right now.
+    pub parked_conns: usize,
+    /// Circuit breakers currently open.
+    pub open_breakers: usize,
+    /// Flight-recorder lifetime pushes.
+    pub recorder_pushed: u64,
+    /// Flight-recorder dumps written.
+    pub recorder_dumps: u64,
+    /// SLO latency threshold, µs (config `slo_micros`).
+    pub slo_micros: u64,
+}
+
+/// `.` → `_` (obs names are `layer.snake_case`; exposition names are
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`).
+fn sanitize(name: &str) -> String {
+    name.replace('.', "_")
+}
+
+fn family(out: &mut String, name: &str, help: &str, kind: &str) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+}
+
+/// Renders one log₂ histogram in exposition form from raw bucket counts.
+fn render_log2_hist(out: &mut String, name: &str, help: &str, buckets: &[u64; NUM_BUCKETS]) {
+    family(out, name, help, "histogram");
+    let mut cumulative = 0u64;
+    let mut sum_floor = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        cumulative += c;
+        sum_floor = sum_floor.saturating_add(c.saturating_mul(bucket_floor(i)));
+        if i == NUM_BUCKETS - 1 {
+            out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        } else {
+            // bucket i holds [2^(i-1), 2^i): inclusive integer upper bound
+            let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+            out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "{name}_sum {sum_floor}\n{name}_count {cumulative}\n"
+    ));
+}
+
+/// Renders the full `/metrics` body.
+#[must_use]
+pub fn render(v: &MetricsView) -> String {
+    let mut out = String::with_capacity(16 * 1024);
+
+    // ---- serve family: always-on stats, agrees with /stats ----
+    for c in ServeCounter::ALL {
+        let name = format!("indigo_serve_{}_total", c.name());
+        family(
+            &mut out,
+            &name,
+            "Serving pipeline counter (see /stats).",
+            "counter",
+        );
+        out.push_str(&format!("{name} {}\n", v.stats.get(c)));
+    }
+    render_log2_hist(
+        &mut out,
+        "indigo_serve_request_latency_us",
+        "End-to-end request latency since boot, microseconds (log2 buckets; _sum is a bucket-floor lower bound).",
+        &v.stats.latency_buckets,
+    );
+
+    // rolling window: live percentiles + SLO burn
+    let win = [
+        (
+            "indigo_serve_rolling_p50_us",
+            "Rolling-window (10s) p50 request latency floor, microseconds.",
+            v.rolling.percentile_floor(50.0).to_string(),
+        ),
+        (
+            "indigo_serve_rolling_p99_us",
+            "Rolling-window (10s) p99 request latency floor, microseconds.",
+            v.rolling.percentile_floor(99.0).to_string(),
+        ),
+        (
+            "indigo_serve_rolling_window_requests",
+            "Requests finished inside the rolling window.",
+            v.rolling.count().to_string(),
+        ),
+        (
+            "indigo_serve_slo_threshold_us",
+            "Configured latency SLO threshold, microseconds.",
+            v.slo_micros.to_string(),
+        ),
+        (
+            "indigo_serve_slo_violation_ratio",
+            "Fraction of rolling-window requests at or above the SLO threshold.",
+            format!("{:.6}", v.rolling.violation_ratio(v.slo_micros)),
+        ),
+        (
+            "indigo_serve_slo_burn_rate",
+            "SLO violation ratio divided by a 1% error budget (>1 burns budget).",
+            format!("{:.6}", v.rolling.violation_ratio(v.slo_micros) / 0.01),
+        ),
+        (
+            "indigo_serve_queue_depth",
+            "Admission-queue depth right now.",
+            v.queue_depth.to_string(),
+        ),
+        (
+            "indigo_serve_live_flights",
+            "Cells currently in flight in the single-flight registry.",
+            v.live_flights.to_string(),
+        ),
+        (
+            "indigo_serve_parked_connections",
+            "Keep-alive connections parked in the reactor.",
+            v.parked_conns.to_string(),
+        ),
+        (
+            "indigo_serve_open_breakers",
+            "Circuit breakers currently open.",
+            v.open_breakers.to_string(),
+        ),
+    ];
+    for (name, help, value) in win {
+        family(&mut out, name, help, "gauge");
+        out.push_str(&format!("{name} {value}\n"));
+    }
+    for (name, help, value) in [
+        (
+            "indigo_serve_flightrec_pushed_total",
+            "Requests recorded into the flight-recorder ring.",
+            v.recorder_pushed,
+        ),
+        (
+            "indigo_serve_flight_dumps_total",
+            "Flight-recorder dumps written to FLIGHT_*.jsonl.",
+            v.recorder_dumps,
+        ),
+    ] {
+        family(&mut out, name, help, "counter");
+        out.push_str(&format!("{name} {value}\n"));
+    }
+
+    // ---- obs family: every pre-registered counter/gauge/histogram ----
+    let counters = counters_snapshot();
+    for c in Counter::ALL {
+        let name = format!("indigo_obs_{}_total", sanitize(c.name()));
+        family(
+            &mut out,
+            &name,
+            "Workspace obs counter (zero in telemetry-off builds).",
+            "counter",
+        );
+        out.push_str(&format!("{name} {}\n", counters.get(c)));
+    }
+    let gauges = gauges_snapshot();
+    for g in Gauge::ALL {
+        let name = format!("indigo_obs_{}", sanitize(g.name()));
+        family(
+            &mut out,
+            &name,
+            "Workspace obs gauge (zero in telemetry-off builds).",
+            "gauge",
+        );
+        out.push_str(&format!("{name} {}\n", gauges.get(g)));
+    }
+    let hists = hists_snapshot();
+    for h in Hist::ALL {
+        let name = format!("indigo_obs_{}", sanitize(h.name()));
+        render_log2_hist(
+            &mut out,
+            &name,
+            "Workspace obs histogram (log2 buckets; zero in telemetry-off builds).",
+            hists.buckets(h),
+        );
+    }
+    out
+}
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_value(s: &str) -> bool {
+    matches!(s, "+Inf" | "-Inf" | "NaN") || s.parse::<f64>().is_ok()
+}
+
+/// Splits `name{labels}` into the name and the raw label text (labels may
+/// be absent). Errors on unbalanced braces.
+fn split_sample(line: &str) -> Result<(&str, Option<&str>, &str), String> {
+    if let Some(open) = line.find('{') {
+        let close = line
+            .rfind('}')
+            .ok_or_else(|| "unbalanced `{`".to_string())?;
+        if close < open {
+            return Err("unbalanced `}`".to_string());
+        }
+        let value = line[close + 1..].trim();
+        Ok((&line[..open], Some(&line[open + 1..close]), value))
+    } else {
+        let (name, value) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| "sample missing value".to_string())?;
+        Ok((name, None, value.trim()))
+    }
+}
+
+fn validate_labels(raw: &str) -> Result<(), String> {
+    for part in raw.split(',').filter(|p| !p.trim().is_empty()) {
+        let (k, v) = part
+            .trim()
+            .split_once('=')
+            .ok_or_else(|| format!("label `{part}` missing `=`"))?;
+        if !valid_metric_name(k.trim()) {
+            return Err(format!("bad label name `{k}`"));
+        }
+        let v = v.trim();
+        if !(v.starts_with('"') && v.ends_with('"') && v.len() >= 2) {
+            return Err(format!("label value `{v}` not quoted"));
+        }
+    }
+    Ok(())
+}
+
+/// Validates Prometheus text exposition syntax: `# TYPE` declared once per
+/// family and before its samples, metric/label name charsets, quoted label
+/// values, parseable sample values, no duplicate (name, labels) series,
+/// histogram `_bucket`/`_sum`/`_count` consistency (cumulative buckets,
+/// `+Inf` present and equal to `_count`), and a trailing newline. Returns
+/// the number of samples on success.
+pub fn validate_exposition(text: &str) -> Result<usize, String> {
+    if text.is_empty() {
+        return Err("empty exposition".into());
+    }
+    if !text.ends_with('\n') {
+        return Err("exposition must end with a newline".into());
+    }
+    let mut types: HashMap<String, String> = HashMap::new();
+    let mut seen_series: HashSet<String> = HashSet::new();
+    // histogram family → (buckets in order, has_inf, inf_value, count)
+    #[derive(Default)]
+    struct HistCheck {
+        last_cumulative: Option<u64>,
+        inf_value: Option<u64>,
+        count: Option<u64>,
+    }
+    let mut hist_checks: HashMap<String, HistCheck> = HashMap::new();
+    let mut samples = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let ln = lineno + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(decl) = rest.strip_prefix("TYPE ") {
+                let mut parts = decl.split_whitespace();
+                let name = parts
+                    .next()
+                    .ok_or(format!("line {ln}: TYPE missing name"))?;
+                let kind = parts
+                    .next()
+                    .ok_or(format!("line {ln}: TYPE missing kind"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {ln}: bad metric name `{name}`"));
+                }
+                if !matches!(
+                    kind,
+                    "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                ) {
+                    return Err(format!("line {ln}: unknown TYPE `{kind}`"));
+                }
+                if types.insert(name.to_string(), kind.to_string()).is_some() {
+                    return Err(format!("line {ln}: duplicate TYPE for `{name}`"));
+                }
+            } else if let Some(decl) = rest.strip_prefix("HELP ") {
+                let name = decl
+                    .split_whitespace()
+                    .next()
+                    .ok_or(format!("line {ln}: HELP missing name"))?;
+                if !valid_metric_name(name) {
+                    return Err(format!("line {ln}: bad metric name `{name}`"));
+                }
+            }
+            // other comments are legal and ignored
+            continue;
+        }
+
+        let (name, labels, value) = split_sample(line).map_err(|e| format!("line {ln}: {e}"))?;
+        if !valid_metric_name(name) {
+            return Err(format!("line {ln}: bad metric name `{name}`"));
+        }
+        if let Some(raw) = labels {
+            validate_labels(raw).map_err(|e| format!("line {ln}: {e}"))?;
+        }
+        // allow an optional trailing integer timestamp after the value
+        let mut vparts = value.split_whitespace();
+        let value = vparts.next().unwrap_or("");
+        if let Some(ts) = vparts.next() {
+            if ts.parse::<i64>().is_err() {
+                return Err(format!("line {ln}: bad timestamp `{ts}`"));
+            }
+        }
+        if !valid_value(value) {
+            return Err(format!("line {ln}: bad sample value `{value}`"));
+        }
+
+        // the family a sample belongs to: itself, or base name for
+        // histogram/summary series suffixes
+        let base = ["_bucket", "_sum", "_count"]
+            .iter()
+            .find_map(|suf| name.strip_suffix(suf))
+            .filter(|base| types.contains_key(*base))
+            .unwrap_or(name);
+        let kind = types
+            .get(base)
+            .ok_or(format!("line {ln}: sample `{name}` has no preceding TYPE"))?;
+
+        let series = format!("{name}{{{}}}", labels.unwrap_or(""));
+        if !seen_series.insert(series) {
+            return Err(format!("line {ln}: duplicate series for `{name}`"));
+        }
+
+        if kind == "histogram" && base != name {
+            let check = hist_checks.entry(base.to_string()).or_default();
+            let v: u64 = value
+                .parse::<f64>()
+                .map(|f| f as u64)
+                .map_err(|_| format!("line {ln}: histogram series must be numeric"))?;
+            match name.strip_prefix(base).unwrap_or("") {
+                "_bucket" => {
+                    let is_inf = labels.is_some_and(|l| l.contains("+Inf"));
+                    if let Some(prev) = check.last_cumulative {
+                        if v < prev {
+                            return Err(format!(
+                                "line {ln}: `{base}` buckets not cumulative ({v} < {prev})"
+                            ));
+                        }
+                    }
+                    check.last_cumulative = Some(v);
+                    if is_inf {
+                        check.inf_value = Some(v);
+                    }
+                }
+                "_count" => check.count = Some(v),
+                _ => {}
+            }
+        }
+        samples += 1;
+    }
+
+    for (base, check) in &hist_checks {
+        let inf = check
+            .inf_value
+            .ok_or(format!("histogram `{base}` missing +Inf bucket"))?;
+        let count = check
+            .count
+            .ok_or(format!("histogram `{base}` missing _count"))?;
+        if inf != count {
+            return Err(format!(
+                "histogram `{base}`: +Inf bucket {inf} != _count {count}"
+            ));
+        }
+    }
+    if samples == 0 {
+        return Err("exposition has no samples".into());
+    }
+    Ok(samples)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::Stats;
+
+    fn view_of(stats: &StatsSnapshot) -> MetricsView<'_> {
+        MetricsView {
+            stats,
+            rolling: indigo_obs::RollingHist::new().snapshot_at(0),
+            queue_depth: 2,
+            live_flights: 1,
+            parked_conns: 3,
+            open_breakers: 0,
+            recorder_pushed: 9,
+            recorder_dumps: 1,
+            slo_micros: 250_000,
+        }
+    }
+
+    #[test]
+    fn rendered_exposition_validates_and_covers_all_families() {
+        let stats = Stats::new();
+        stats.bump(crate::stats::ServeCounter::Requests);
+        stats.record_latency(1_000);
+        let snap = stats.snapshot();
+        let body = render(&view_of(&snap));
+        let samples = validate_exposition(&body).expect("own exposition must validate");
+        assert!(samples > 100, "expected a rich exposition, got {samples}");
+        // serve family agrees with the snapshot
+        assert!(body.contains("indigo_serve_requests_total 1\n"));
+        // every obs counter is present (40+ of them)
+        for c in Counter::ALL {
+            assert!(
+                body.contains(&format!("indigo_obs_{}_total ", sanitize(c.name()))),
+                "missing counter {}",
+                c.name()
+            );
+        }
+        for g in Gauge::ALL {
+            assert!(body.contains(&format!("indigo_obs_{}", sanitize(g.name()))));
+        }
+        for h in Hist::ALL {
+            assert!(body.contains(&format!("indigo_obs_{}_count", sanitize(h.name()))));
+        }
+        assert!(body.contains("indigo_serve_request_latency_us_bucket{le=\"+Inf\"} 1\n"));
+        assert!(body.contains("indigo_serve_queue_depth 2\n"));
+        assert!(body.contains("indigo_serve_slo_threshold_us 250000\n"));
+    }
+
+    #[test]
+    fn validator_accepts_well_formed_text() {
+        let ok = "# HELP x_total things\n# TYPE x_total counter\nx_total 3\n\
+                  # TYPE g gauge\ng{shard=\"a\",n=\"1\"} 2.5\n\
+                  # TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n";
+        assert_eq!(validate_exposition(ok).unwrap(), 6);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_text() {
+        let cases: &[(&str, &str)] = &[
+            ("x_total 3\n", "no preceding TYPE"),
+            ("# TYPE x counter\nx nope\n", "bad sample value"),
+            ("# TYPE x counter\n# TYPE x counter\nx 1\n", "duplicate TYPE"),
+            ("# TYPE x counter\nx 1\nx 1\n", "duplicate series"),
+            ("# TYPE 9bad counter\n9bad 1\n", "bad metric name"),
+            ("# TYPE x counter\nx{l=unquoted} 1\n", "not quoted"),
+            ("# TYPE x counter\nx{l=\"v\" 1\n", "unbalanced"),
+            ("# TYPE x counter\nx 1", "end with a newline"),
+            ("# TYPE x wat\nx 1\n", "unknown TYPE"),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 2\n",
+                "not cumulative",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+                "missing +Inf",
+            ),
+            (
+                "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 2\n",
+                "!= _count",
+            ),
+            ("", "empty"),
+        ];
+        for (text, want) in cases {
+            let err = validate_exposition(text).expect_err(&format!("accepted: {text:?}"));
+            assert!(
+                err.contains(want),
+                "error `{err}` should mention `{want}` for {text:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn log2_histogram_edges_are_inclusive_upper_bounds() {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        buckets[0] = 2; // value 0
+        buckets[1] = 1; // value 1
+        buckets[3] = 4; // values 4..8
+        let mut out = String::new();
+        render_log2_hist(&mut out, "t", "test", &buckets);
+        assert!(out.contains("t_bucket{le=\"0\"} 2\n"));
+        assert!(out.contains("t_bucket{le=\"1\"} 3\n"));
+        assert!(out.contains("t_bucket{le=\"7\"} 7\n"));
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 7\n"));
+        assert!(out.contains("t_count 7\n"));
+        // floor-sum lower bound: 2*0 + 1*1 + 4*4 = 17
+        assert!(out.contains("t_sum 17\n"));
+        assert!(validate_exposition(&out).is_ok());
+    }
+}

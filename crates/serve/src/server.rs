@@ -23,18 +23,19 @@ use crate::batch::{BatchConfig, Batcher, Flights};
 use crate::cache::ResultCache;
 use crate::config::ServerConfig;
 use crate::engine::{self, EngineCtx, Shard};
+use crate::flightrec::{FlightRecorder, Outcome, ReqRecord, RequestScope};
 use crate::http::{head_end, Request, Response, MAX_HEAD_BYTES};
 use crate::json;
-use crate::stats::Stats;
+use crate::stats::{ServeCounter, Stats};
 use indigo_graph::gen::SUITE_GRAPHS;
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 #[cfg(target_os = "linux")]
-use std::sync::Mutex;
+use std::sync::{atomic::AtomicUsize, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -76,6 +77,9 @@ struct Parked {
 struct ReactorShared {
     wake_tx: Mutex<std::os::unix::net::UnixStream>,
     parked: Mutex<Vec<Parked>>,
+    /// Connections the reactor is currently watching (the `/metrics`
+    /// `parked_connections` gauge; updated once per reactor turn).
+    watched: AtomicUsize,
 }
 
 #[cfg(target_os = "linux")]
@@ -97,8 +101,17 @@ struct Inner {
     flights: Arc<Flights>,
     batcher: Option<Batcher>,
     shutdown: AtomicBool,
+    /// Request sequence counter; `next_seq` starts at 1 so `served_by == 0`
+    /// always means "executed its own cells".
+    req_seq: AtomicU64,
+    recorder: FlightRecorder,
     #[cfg(target_os = "linux")]
     reactor: Option<Arc<ReactorShared>>,
+}
+
+/// The next request sequence number (1-based).
+fn next_seq(inner: &Inner) -> u64 {
+    inner.req_seq.fetch_add(1, Ordering::Relaxed) + 1
 }
 
 /// A running server; dropping it shuts down and joins every thread.
@@ -146,6 +159,7 @@ impl Server {
                     let shared = Arc::new(ReactorShared {
                         wake_tx: Mutex::new(wake_tx),
                         parked: Mutex::new(Vec::new()),
+                        watched: AtomicUsize::new(0),
                     });
                     (Some(Arc::clone(&shared)), Some((poller, wake_rx, shared)))
                 }
@@ -164,6 +178,8 @@ impl Server {
             flights: Arc::new(Flights::new()),
             batcher,
             shutdown: AtomicBool::new(false),
+            req_seq: AtomicU64::new(0),
+            recorder: FlightRecorder::new(),
             #[cfg(target_os = "linux")]
             reactor: reactor_shared,
         });
@@ -338,6 +354,8 @@ mod reactor_impl {
                     }
                 }
             }
+            shared.watched.store(conns.len(), Ordering::Relaxed);
+            indigo_obs::Gauge::ServeParkedConns.set(conns.len() as i64);
             // reap connections dribbling a head (slow-loris) or wedged on a
             // pending write
             let deadline = inner.cfg.header_timeout;
@@ -467,16 +485,17 @@ mod reactor_impl {
                         return Verdict::Dispatch(end);
                     }
                     if cb.buf.len() > MAX_HEAD_BYTES {
-                        inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                        indigo_obs::Counter::ServeRequests.incr();
-                        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        inner.stats.bump(ServeCounter::Requests);
+                        inner.stats.bump(ServeCounter::BadRequests);
+                        let seq = next_seq(inner);
                         let resp = Response::json(
                             400,
                             format!(
                                 "{{\"status\":\"bad-request\",\"error\":\"request head exceeds {MAX_HEAD_BYTES} bytes\"}}"
                             ),
                         )
-                        .with_close();
+                        .with_close()
+                        .with_request_id(format!("{seq:016x}"));
                         cb.buf.clear();
                         cb.write_buf = resp.to_bytes();
                         cb.wpos = 0;
@@ -533,11 +552,9 @@ mod reactor_impl {
                 let _ = poller.remove(cb.stream.as_raw_fd());
             }
             Verdict::Dispatch(end) => {
-                inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                indigo_obs::Counter::ServeRequests.incr();
+                inner.stats.bump(ServeCounter::Requests);
                 if cb.reused {
-                    inner.stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
-                    indigo_obs::Counter::ServeKeepAliveReuses.incr();
+                    inner.stats.bump(ServeCounter::KeepAliveReuses);
                 }
                 let head = String::from_utf8_lossy(&cb.buf[..end]).into_owned();
                 let req = Request::parse(&head);
@@ -557,11 +574,30 @@ mod reactor_impl {
                     Err(PushError::Full(job)) => {
                         // shed without blocking: queue the 429 on the
                         // connection and let readiness flush it
-                        let Job::Ready { stream, .. } = job else {
+                        let Job::Ready {
+                            stream,
+                            req,
+                            arrived,
+                            ..
+                        } = job
+                        else {
                             return;
                         };
-                        inner.stats.shed.fetch_add(1, Ordering::Relaxed);
-                        indigo_obs::Counter::ServeShed.incr();
+                        inner.stats.bump(ServeCounter::Shed);
+                        let mut scope = RequestScope::new(
+                            next_seq(inner),
+                            req.as_ref().ok().and_then(|r| r.request_id.clone()),
+                            arrived,
+                        );
+                        scope.queue_us = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                        scope.outcome = Outcome::Shed;
+                        let target = req
+                            .as_ref()
+                            .map(req_target)
+                            .unwrap_or_else(|_| "<unparsed>".into());
+                        inner
+                            .recorder
+                            .push(ReqRecord::from_scope(&scope, &target, 429, 0));
                         let secs = inner.stats.retry_after_secs(inner.queue.depth());
                         let resp = Response::json(
                             429,
@@ -570,7 +606,8 @@ mod reactor_impl {
                             ),
                         )
                         .with_retry_after(secs)
-                        .with_close();
+                        .with_close()
+                        .with_request_id(scope.echo);
                         cb = ConnBuf {
                             stream,
                             buf: Vec::new(),
@@ -663,10 +700,13 @@ fn accept_loop(inner: &Inner, listener: &TcpListener) {
 /// Load shedding on the fallback path: answered by the *acceptor* so a
 /// saturated worker pool can't delay the 429 itself.
 fn shed(inner: &Inner, mut stream: TcpStream) {
-    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-    indigo_obs::Counter::ServeRequests.incr();
-    inner.stats.shed.fetch_add(1, Ordering::Relaxed);
-    indigo_obs::Counter::ServeShed.incr();
+    inner.stats.bump(ServeCounter::Requests);
+    inner.stats.bump(ServeCounter::Shed);
+    let mut scope = RequestScope::new(next_seq(inner), None, Instant::now());
+    scope.outcome = Outcome::Shed;
+    inner
+        .recorder
+        .push(ReqRecord::from_scope(&scope, "<shed>", 429, 0));
     let secs = inner.stats.retry_after_secs(inner.queue.depth());
     let resp = Response::json(
         429,
@@ -675,7 +715,8 @@ fn shed(inner: &Inner, mut stream: TcpStream) {
         ),
     )
     .with_retry_after(secs)
-    .with_close();
+    .with_close()
+    .with_request_id(scope.echo);
     // drain the request first: closing a socket with unread bytes makes the
     // kernel send RST, which destroys the 429 before the client reads it.
     // The timeout is short — a client too slow to finish its request head
@@ -714,6 +755,65 @@ fn worker_loop(inner: &Inner) {
     }
 }
 
+/// The original request target, path + query, for flight-recorder records.
+fn req_target(req: &Request) -> String {
+    if req.params.is_empty() {
+        return req.path.clone();
+    }
+    let qs: Vec<String> = req
+        .params
+        .iter()
+        .map(|(k, v)| {
+            if v.is_empty() {
+                k.clone()
+            } else {
+                format!("{k}={v}")
+            }
+        })
+        .collect();
+    format!("{}?{}", req.path, qs.join("&"))
+}
+
+/// Stamps the execute stage, splices the `rid`/`served_by`/`timing`
+/// fragment into engine-route JSON bodies, and sets the `X-Request-Id`
+/// echo header (DESIGN.md §7.10). `total_us` is stamped here, at body
+/// assembly, so `queue_us + execute_us ≈ total_us` holds in the body.
+fn finalize(mut resp: Response, path: &str, scope: &mut RequestScope) -> Response {
+    scope.execute_us = scope.total_us().saturating_sub(scope.queue_us);
+    if matches!(path, "/run" | "/sweep" | "/cell") && resp.body.ends_with('}') {
+        resp.body.pop();
+        resp.body.push_str(&scope.body_fragment());
+        resp.body.push('}');
+    }
+    resp.with_request_id(scope.echo.clone())
+}
+
+/// Folds a finished request into the stage histograms and the flight
+/// recorder; any 5xx dumps the ring to `cfg.flightrec_dir` (best-effort,
+/// budget-capped — see [`FlightRecorder::dump`]).
+fn observe_done(inner: &Inner, scope: &RequestScope, target: &str, status: u16, write_us: u64) {
+    indigo_obs::Hist::ServeQueueWaitMicros.record(scope.queue_us);
+    indigo_obs::Hist::ServeExecuteMicros.record(scope.execute_us);
+    indigo_obs::Hist::ServeWriteMicros.record(write_us);
+    if indigo_obs::enabled() {
+        let total = scope.total_us();
+        let start = indigo_obs::now_micros().saturating_sub(total);
+        indigo_obs::emit(
+            &indigo_obs::TraceEvent::span("request", target, start, total)
+                .with_arg("rid", scope.echo.clone())
+                .with_arg("status", status.to_string()),
+        );
+    }
+    inner
+        .recorder
+        .push(ReqRecord::from_scope(scope, target, status, write_us));
+    if status >= 500 {
+        if let Some(dir) = &inner.cfg.flightrec_dir {
+            let _ = inner.recorder.dump(dir, scope.seq, &scope.echo);
+        }
+    }
+}
+
 /// Serves one reactor-parsed request, then parks the connection back with
 /// the reactor when it stays alive.
 fn handle_ready(
@@ -727,27 +827,38 @@ fn handle_ready(
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(STREAM_TIMEOUT));
     let _ = stream.set_write_timeout(Some(STREAM_TIMEOUT));
-    let (resp, req_close) = match &req {
-        Ok(r) => (route(inner, r, arrived), r.close),
+    let mut scope = RequestScope::new(
+        next_seq(inner),
+        req.as_ref().ok().and_then(|r| r.request_id.clone()),
+        arrived,
+    );
+    scope.queue_us = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+    let (resp, req_close, target) = match &req {
+        Ok(r) => {
+            let resp = route(inner, r, arrived, &mut scope);
+            (finalize(resp, &r.path, &mut scope), r.close, req_target(r))
+        }
         Err(e) => {
-            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
-            (
-                Response::json(
-                    400,
-                    format!(
-                        "{{\"status\":\"bad-request\",\"error\":{}}}",
-                        json::str_lit(e)
-                    ),
-                )
-                .with_close(),
-                true,
+            inner.stats.bump(ServeCounter::BadRequests);
+            scope.outcome = Outcome::BadRequest;
+            let resp = Response::json(
+                400,
+                format!(
+                    "{{\"status\":\"bad-request\",\"error\":{}}}",
+                    json::str_lit(e)
+                ),
             )
+            .with_close();
+            (finalize(resp, "", &mut scope), true, "<unparsed>".into())
         }
     };
     let resp = finish_response(inner, resp, req_close);
+    let write_start = Instant::now();
     let wrote = resp.write_to(&mut stream).is_ok();
+    let write_us = write_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
     let micros = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
     inner.stats.record_latency(micros);
+    observe_done(inner, &scope, &target, resp.status, write_us);
     let keep = wrote && !resp.close && !inner.shutdown.load(Ordering::SeqCst);
     if keep {
         #[cfg(target_os = "linux")]
@@ -774,16 +885,21 @@ fn handle_raw(inner: &Inner, mut stream: TcpStream, arrived: Instant) {
             Ok(None) => break, // clean close / idle keep-alive expiry
             Ok(Some(req)) => {
                 let arrived = if served == 0 { arrived } else { Instant::now() };
-                inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                indigo_obs::Counter::ServeRequests.incr();
+                inner.stats.bump(ServeCounter::Requests);
                 if served > 0 {
-                    inner.stats.keepalive_reuses.fetch_add(1, Ordering::Relaxed);
-                    indigo_obs::Counter::ServeKeepAliveReuses.incr();
+                    inner.stats.bump(ServeCounter::KeepAliveReuses);
                 }
-                let resp = finish_response(inner, route(inner, &req, arrived), req.close);
+                let mut scope = RequestScope::new(next_seq(inner), req.request_id.clone(), arrived);
+                scope.queue_us = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                let routed = route(inner, &req, arrived, &mut scope);
+                let resp =
+                    finish_response(inner, finalize(routed, &req.path, &mut scope), req.close);
+                let write_start = Instant::now();
                 let wrote = resp.write_to(&mut stream).is_ok();
+                let write_us = write_start.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 let micros = arrived.elapsed().as_micros().min(u64::MAX as u128) as u64;
                 inner.stats.record_latency(micros);
+                observe_done(inner, &scope, &req_target(&req), resp.status, write_us);
                 served += 1;
                 if !wrote || resp.close || inner.shutdown.load(Ordering::SeqCst) {
                     break;
@@ -791,9 +907,10 @@ fn handle_raw(inner: &Inner, mut stream: TcpStream, arrived: Instant) {
             }
             Err(e) => {
                 if served == 0 {
-                    inner.stats.requests.fetch_add(1, Ordering::Relaxed);
-                    indigo_obs::Counter::ServeRequests.incr();
-                    inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    inner.stats.bump(ServeCounter::Requests);
+                    inner.stats.bump(ServeCounter::BadRequests);
+                    let mut scope = RequestScope::new(next_seq(inner), None, arrived);
+                    scope.outcome = Outcome::BadRequest;
                     let resp = Response::json(
                         400,
                         format!(
@@ -801,8 +918,12 @@ fn handle_raw(inner: &Inner, mut stream: TcpStream, arrived: Instant) {
                             json::str_lit(&e)
                         ),
                     )
-                    .with_close();
+                    .with_close()
+                    .with_request_id(scope.echo.clone());
                     let _ = resp.write_to(&mut stream);
+                    inner
+                        .recorder
+                        .push(ReqRecord::from_scope(&scope, "<unparsed>", 400, 0));
                 }
                 break;
             }
@@ -853,7 +974,7 @@ fn read_head_blocking(
 /// when the client asked to, when keep-alive is off, or when shutting down.
 fn finish_response(inner: &Inner, mut resp: Response, req_close: bool) -> Response {
     if (200..300).contains(&resp.status) {
-        inner.stats.ok.fetch_add(1, Ordering::Relaxed);
+        inner.stats.bump(ServeCounter::Ok);
     }
     if req_close || !inner.cfg.keep_alive || inner.shutdown.load(Ordering::SeqCst) {
         resp = resp.with_close();
@@ -863,9 +984,10 @@ fn finish_response(inner: &Inner, mut resp: Response, req_close: bool) -> Respon
 
 // ---- routing ---------------------------------------------------------------
 
-fn route(inner: &Inner, req: &Request, arrived: Instant) -> Response {
+fn route(inner: &Inner, req: &Request, arrived: Instant, scope: &mut RequestScope) -> Response {
     if req.method != "GET" {
-        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        inner.stats.bump(ServeCounter::BadRequests);
+        scope.outcome = Outcome::BadRequest;
         return Response::json(
             405,
             "{\"status\":\"bad-request\",\"error\":\"only GET is supported\"}",
@@ -875,21 +997,58 @@ fn route(inner: &Inner, req: &Request, arrived: Instant) -> Response {
     match path {
         "/health" => health(inner),
         "/stats" => Response::json(200, inner.stats.snapshot().to_json()),
-        "/cell" => cell(inner, req),
-        "/run" | "/sweep" => run(inner, req, arrived, path == "/sweep"),
+        "/metrics" => metrics_page(inner),
+        "/debug/flightrec" => Response::json(200, inner.recorder.to_json()),
+        "/cell" => cell(inner, req, scope),
+        "/run" | "/sweep" => run(inner, req, arrived, path == "/sweep", scope),
         _ => {
-            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            inner.stats.bump(ServeCounter::BadRequests);
+            scope.outcome = Outcome::BadRequest;
             Response::json(
                 404,
                 format!(
                     "{{\"status\":\"bad-request\",\"error\":{}}}",
                     json::str_lit(&format!(
-                        "no route `{path}` (/health /stats /cell /run /sweep)"
+                        "no route `{path}` (/health /stats /metrics /cell /run /sweep /debug/flightrec)"
                     ))
                 ),
             )
         }
     }
+}
+
+/// `/metrics`: the whole observability surface in Prometheus text
+/// exposition. The `indigo_serve_*` family renders from the same coherent
+/// [`Stats::snapshot`] sweep `/stats` reports, so the two endpoints agree
+/// by construction (the CI chaos stage cross-checks them).
+fn metrics_page(inner: &Inner) -> Response {
+    indigo_obs::Counter::ServeMetricsScrapes.incr();
+    let stats = inner.stats.snapshot();
+    let open_breakers = inner
+        .shards
+        .values()
+        .filter(|s| s.breaker.state_label() != "closed")
+        .count();
+    #[cfg(target_os = "linux")]
+    let parked_conns = inner
+        .reactor
+        .as_ref()
+        .map(|r| r.watched.load(Ordering::Relaxed))
+        .unwrap_or(0);
+    #[cfg(not(target_os = "linux"))]
+    let parked_conns = 0usize;
+    let view = crate::metrics::MetricsView {
+        stats: &stats,
+        rolling: inner.stats.rolling_snapshot(),
+        queue_depth: inner.queue.depth(),
+        live_flights: inner.flights.in_flight(),
+        parked_conns,
+        open_breakers,
+        recorder_pushed: inner.recorder.pushed(),
+        recorder_dumps: inner.recorder.dumps_written(),
+        slo_micros: inner.cfg.slo_micros,
+    };
+    Response::text(200, crate::metrics::render(&view))
 }
 
 fn health(inner: &Inner) -> Response {
@@ -919,16 +1078,18 @@ fn health(inner: &Inner) -> Response {
     )
 }
 
-fn cell(inner: &Inner, req: &Request) -> Response {
+fn cell(inner: &Inner, req: &Request, scope: &mut RequestScope) -> Response {
     let Some(fp_hex) = req.param("fp") else {
-        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        inner.stats.bump(ServeCounter::BadRequests);
+        scope.outcome = Outcome::BadRequest;
         return Response::json(
             400,
             "{\"status\":\"bad-request\",\"error\":\"missing `fp` parameter (hex fingerprint)\"}",
         );
     };
     let Ok(fp) = u64::from_str_radix(fp_hex.trim_start_matches("0x"), 16) else {
-        inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+        inner.stats.bump(ServeCounter::BadRequests);
+        scope.outcome = Outcome::BadRequest;
         return Response::json(
             400,
             format!(
@@ -939,8 +1100,8 @@ fn cell(inner: &Inner, req: &Request) -> Response {
     };
     match inner.cache.get(fp) {
         Some(c) => {
-            inner.stats.cache_hits.fetch_add(1, Ordering::Relaxed);
-            indigo_obs::Counter::ServeCacheHits.incr();
+            inner.stats.bump(ServeCounter::CacheHits);
+            scope.outcome = Outcome::Cached;
             Response::json(
                 200,
                 format!(
@@ -960,11 +1121,18 @@ fn cell(inner: &Inner, req: &Request) -> Response {
     }
 }
 
-fn run(inner: &Inner, req: &Request, arrived: Instant, sweep: bool) -> Response {
+fn run(
+    inner: &Inner,
+    req: &Request,
+    arrived: Instant,
+    sweep: bool,
+    scope: &mut RequestScope,
+) -> Response {
     let q = match engine::parse_query(req, &inner.cfg, sweep) {
         Ok(q) => q,
         Err(e) => {
-            inner.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+            inner.stats.bump(ServeCounter::BadRequests);
+            scope.outcome = Outcome::BadRequest;
             return Response::json(
                 400,
                 format!(
@@ -977,8 +1145,8 @@ fn run(inner: &Inner, req: &Request, arrived: Instant, sweep: bool) -> Response 
     // the deadline started at accept: queue wait already spent part of it
     let deadline_at = arrived + q.deadline;
     if deadline_at.saturating_duration_since(Instant::now()) < Duration::from_millis(5) {
-        inner.stats.timeouts.fetch_add(1, Ordering::Relaxed);
-        indigo_obs::Counter::ServeTimeouts.incr();
+        inner.stats.bump(ServeCounter::Timeouts);
+        scope.outcome = Outcome::Timeout;
         return Response::json(
             504,
             format!(
@@ -998,5 +1166,5 @@ fn run(inner: &Inner, req: &Request, arrived: Instant, sweep: bool) -> Response 
         flights: &inner.flights,
         batcher: inner.batcher.as_ref(),
     };
-    engine::execute(&ctx, shard, &q, deadline_at)
+    engine::execute(&ctx, shard, &q, deadline_at, scope)
 }

@@ -84,10 +84,29 @@ stage "serve chaos gate (admission, deadlines, retries, breaker, restart)"
 bench_serve="$smoke_dir/serve/BENCH_serve.json"
 [ -s "$bench_serve" ] || { echo "chaos run wrote no BENCH_serve.json"; exit 1; }
 for key in '"schema": "bench-serve-v1"' '"requests"' '"shed"' '"retries"' \
-           '"breaker_trips"' '"breaker_recoveries"' '"latency_ms"' '"saturation_rps"'; do
+           '"breaker_trips"' '"breaker_recoveries"' '"latency_ms"' '"saturation_rps"' \
+           '"metrics_series"' '"flight_pushed"' '"flight_dumps"'; do
     grep -q "$key" "$bench_serve" ||
         { echo "BENCH_serve.json is missing $key"; exit 1; }
 done
+# the chaos run scraped /metrics on the quiet server, validated the
+# exposition syntax, and cross-checked shed/cache_hits/breaker_trips
+# against /stats in-process (DESIGN.md §7.10); a zero series count would
+# mean that phase silently did nothing
+! grep -q '"metrics_series": 0,' "$bench_serve" ||
+    { echo "chaos run validated an empty /metrics exposition"; exit 1; }
+# this stage runs with telemetry compiled OUT: request IDs, stage timing,
+# /metrics, and the flight recorder must be fully live regardless
+grep -q '"telemetry_enabled": false' "$bench_serve" ||
+    { echo "chaos gate expected a telemetry-off build"; exit 1; }
+# every 5xx during chaos must have produced a flight-recorder dump that
+# names the failing request and carries its stage timeline
+ls "$smoke_dir"/serve/FLIGHT_*.jsonl >/dev/null 2>&1 ||
+    { echo "chaos 5xx responses produced no FLIGHT_*.jsonl dump"; exit 1; }
+grep -q '"trigger":true' "$smoke_dir"/serve/FLIGHT_*.jsonl ||
+    { echo "flight dumps carry no trigger record"; exit 1; }
+grep -q '"stages":{"queue_us":' "$smoke_dir"/serve/FLIGHT_*.jsonl ||
+    { echo "flight dumps carry no stage timeline"; exit 1; }
 cp "$bench_serve" results/BENCH_serve.json
 
 stage "simulator perf smoke (deterministic: cycles + allocation counts)"

@@ -728,12 +728,15 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
             }),
             None => ChaosOptions::default().fault,
         };
+        std::fs::create_dir_all(&cli.out_dir)
+            .map_err(|e| format!("cannot create {}: {e}", cli.out_dir))?;
         let opts = ChaosOptions {
             clients: cli.clients.max(1),
             requests: cli.requests.max(4),
             fault,
             journal: cli.res.journal.clone(),
             deadline: Duration::from_millis(cli.deadline_ms.max(1)),
+            flightrec_dir: Some(PathBuf::from(&cli.out_dir)),
         };
         console_line(&format!(
             "chaos: {} clients × {} requests/phase, fault {}, deadline {} ms",
@@ -745,8 +748,6 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
             cli.deadline_ms
         ));
         let report = indigo_serve::chaos::run_chaos(&opts)?;
-        std::fs::create_dir_all(&cli.out_dir)
-            .map_err(|e| format!("cannot create {}: {e}", cli.out_dir))?;
         let path = Path::new(&cli.out_dir).join("BENCH_serve.json");
         std::fs::write(&path, report.to_json())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -763,6 +764,18 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
             report.breaker_recoveries,
             report.latency_ms.p99,
             report.saturation_rps
+        ));
+        console_line(&format!(
+            "observability: {} /metrics series validated, flight recorder \
+             {} records / {} dump(s), telemetry {}",
+            report.metrics_series,
+            report.flight_pushed,
+            report.flight_dumps,
+            if report.telemetry_enabled {
+                "on"
+            } else {
+                "off"
+            }
         ));
         console_line(&format!("wrote {}", path.display()));
         return Ok(0);
@@ -783,13 +796,14 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
         journal: cli.res.journal.clone(),
         batch: cli.batch,
         batch_window: Duration::from_millis(cli.batch_window_ms),
+        flightrec_dir: Some(PathBuf::from(&cli.out_dir)),
         ..indigo_serve::ServerConfig::default()
     };
     let server =
         indigo_serve::Server::start(cfg).map_err(|e| format!("cannot start server: {e}"))?;
     console_line(&format!(
-        "serving on http://{} — routes: /health /stats /cell /run /sweep \
-         ({} recovered cells); ctrl-c to stop",
+        "serving on http://{} — routes: /health /stats /metrics /cell /run \
+         /sweep /debug/flightrec ({} recovered cells); ctrl-c to stop",
         server.addr(),
         server.recovered_cells()
     ));
@@ -845,6 +859,18 @@ fn cmd_loadgen(cli: &Cli) -> Result<i32, String> {
             m.coalesced,
             m.batches,
             m.keepalive_reuses
+        ));
+        let s = &m.stage_latency_us;
+        console_line(&format!(
+            "{} stages (p50/p99 µs): queue {}/{}, batch-wait {}/{}, \
+             execute {}/{}",
+            m.label,
+            s.queue.p50_us,
+            s.queue.p99_us,
+            s.batch_wait.p50_us,
+            s.batch_wait.p99_us,
+            s.execute.p50_us,
+            s.execute.p99_us
         ));
     }
     console_line(&format!(

@@ -248,4 +248,42 @@ fn steady_state_launches_do_not_allocate() {
         );
         assert_eq!(hists.count(indigo_obs::Hist::LaunchCycles), 0);
     }
+
+    // --- PR 9 observability primitives are allocation-free too ---
+    // Gauges are static atomics; the rolling window is a fixed ring of
+    // bucket rows; the flight recorder stores Copy records in a
+    // pre-sized seqlock ring. All of them sit on serving hot paths
+    // (admission, reactor turn, request completion), so pushes and
+    // snapshots must never touch the heap.
+    {
+        let rolling = indigo_obs::RollingHist::new();
+        let ring = indigo_obs::SeqRing::new(64, 0u64);
+        let recorder = indigo_serve::flightrec::FlightRecorder::new();
+        let record = indigo_serve::flightrec::ReqRecord::blank();
+        let delta = min_delta(5, 0, || {
+            for i in 0..1_000u64 {
+                indigo_obs::Gauge::ServeQueueDepth.set(i as i64);
+                indigo_obs::Gauge::ServeLiveFlights.add(1);
+                rolling.record_at(i / 100, i);
+                ring.push(i);
+                recorder.push(record);
+            }
+            let _ = indigo_obs::gauges_snapshot();
+            let _ = rolling.snapshot_at(10);
+        });
+        assert_eq!(delta, 0, "serving observability primitives allocated");
+        assert_eq!(recorder.pushed(), 1_000);
+        if indigo_obs::enabled() {
+            assert_eq!(
+                indigo_obs::gauges_snapshot().get(indigo_obs::Gauge::ServeQueueDepth),
+                999
+            );
+        } else {
+            assert_eq!(
+                indigo_obs::gauges_snapshot().get(indigo_obs::Gauge::ServeQueueDepth),
+                0,
+                "telemetry-off build recorded gauge writes"
+            );
+        }
+    }
 }
