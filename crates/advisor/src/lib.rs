@@ -1,0 +1,697 @@
+//! Data-driven style advisor — the paper's §5.13/§5.16 payoff as a predictor.
+//!
+//! The study's central lesson is that the best implementation style is
+//! predictable from graph structure (degree distribution and diameter)
+//! without running the full 1106-program sweep. This crate productizes that:
+//! [`Advisor::fit`] consumes journal-measured sweep cells (variant, graph,
+//! throughput) plus per-graph [`FeatureVector`]s, and [`Advisor::advise`]
+//! predicts a ranked list of style combinations for an *unseen* graph.
+//!
+//! The model is deliberately interpretable, two-layered:
+//!
+//! 1. **Nearest-neighbor** over the training graphs in a normalized
+//!    log-feature space: if the query graph is close to a measured graph
+//!    (within [`OOD_DISTANCE`]), reuse that graph's measured ranking. This is
+//!    exact where it applies — the paper's Table 9 "same family ⇒ same best
+//!    style" observation.
+//! 2. **Correlation rules** as the out-of-distribution fallback: per style
+//!    option, the Pearson correlation of relative performance against each
+//!    graph property (the §5.13 `corr513` computation, refit from the
+//!    training cells rather than hard-coded), combined linearly over the
+//!    query's standardized features to score every candidate variant.
+//!
+//! Everything is deterministic: ties break on variant name, and fitting the
+//! same cells always yields the same advisor.
+
+use std::collections::HashMap;
+
+pub use indigo_graph::stats::{FeatureVector, FEATURE_NAMES, NUM_FEATURES};
+use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
+
+/// One journal-measured sweep cell, the advisor's training unit.
+#[derive(Clone, Debug)]
+pub struct TrainingCell {
+    pub algo: Algorithm,
+    pub model: Model,
+    /// Graph label (e.g. `"rmat"`).
+    pub graph: String,
+    /// Variant name as produced by [`StyleConfig::name`].
+    pub variant: String,
+    /// Measured features of `graph` at the training scale.
+    pub features: FeatureVector,
+    /// Measured throughput (giga-edges/s).
+    pub geps: f64,
+}
+
+/// Normalized nearest-neighbor distance beyond which a query graph is
+/// treated as out-of-distribution and the correlation rules take over.
+pub const OOD_DISTANCE: f64 = 2.0;
+
+/// How a prediction was made.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Reused the measured ranking of the nearest training graph.
+    NearestNeighbor,
+    /// Scored candidates with the fitted §5.13 correlation rules.
+    CorrelationRules,
+    /// No training data for this (algorithm, model); canonical baseline.
+    Baseline,
+}
+
+impl Method {
+    /// Stable lowercase label for reports and JSON.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::NearestNeighbor => "nearest-neighbor",
+            Method::CorrelationRules => "correlation-rules",
+            Method::Baseline => "baseline",
+        }
+    }
+}
+
+/// The advisor's answer for one (algorithm, model, graph) query.
+#[derive(Clone, Debug)]
+pub struct Advice {
+    /// Candidate variant names, best predicted first. Never empty.
+    pub ranked: Vec<String>,
+    pub method: Method,
+    /// Nearest training graph and its normalized feature distance, when any
+    /// training graphs exist (informational even on the rules path).
+    pub neighbor: Option<(String, f64)>,
+}
+
+impl Advice {
+    /// The predicted-best variant name.
+    pub fn best(&self) -> &str {
+        &self.ranked[0]
+    }
+}
+
+/// One fitted §5.16-style rule: how strongly a style option's relative
+/// performance tracks one graph property across the training graphs.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    pub dimension: &'static str,
+    pub option: &'static str,
+    /// The most-correlated property ([`FEATURE_NAMES`] entry).
+    pub property: &'static str,
+    pub correlation: f64,
+}
+
+struct GraphEntry {
+    label: String,
+    z: [f64; NUM_FEATURES],
+}
+
+struct OptionFit {
+    dimension: &'static str,
+    option: &'static str,
+    /// Pearson correlation of the option's relative performance against each
+    /// (transformed) feature, across training graphs.
+    corr: [f64; NUM_FEATURES],
+}
+
+struct GroupFit {
+    /// Per training-graph ranking of measured variants, best first.
+    rankings: HashMap<String, Vec<String>>,
+    /// All variant names measured in this group, sorted.
+    variants: Vec<String>,
+    /// Name → enumerated config (for rule scoring).
+    configs: HashMap<String, StyleConfig>,
+    options: Vec<OptionFit>,
+}
+
+/// The fitted model. See the crate docs for the two-layer design.
+pub struct Advisor {
+    graphs: Vec<GraphEntry>,
+    groups: HashMap<(Algorithm, Model), GroupFit>,
+    /// Per-feature (mean, std) of the transformed training features;
+    /// std = 0 marks a dimension with no training variance (ignored).
+    norms: [(f64, f64); NUM_FEATURES],
+    cells: usize,
+}
+
+impl Advisor {
+    /// Fits the model from measured cells. Cells with non-finite or
+    /// non-positive throughput are ignored. An empty slice yields an advisor
+    /// that always answers [`Method::Baseline`].
+    pub fn fit(cells: &[TrainingCell]) -> Advisor {
+        let cells: Vec<&TrainingCell> = cells
+            .iter()
+            .filter(|c| c.geps.is_finite() && c.geps > 0.0)
+            .collect();
+
+        // Distinct graphs (first occurrence wins) and feature normalization.
+        let mut feats: Vec<(String, [f64; NUM_FEATURES])> = Vec::new();
+        for c in &cells {
+            if !feats.iter().any(|(l, _)| *l == c.graph) {
+                feats.push((c.graph.clone(), transform(&c.features)));
+            }
+        }
+        let norms = fit_norms(&feats);
+        let graphs = feats
+            .iter()
+            .map(|(label, t)| GraphEntry {
+                label: label.clone(),
+                z: zscore(t, &norms),
+            })
+            .collect();
+
+        // Group cells by (algorithm, model).
+        let mut by_group: HashMap<(Algorithm, Model), Vec<&TrainingCell>> = HashMap::new();
+        for c in &cells {
+            by_group.entry((c.algo, c.model)).or_default().push(c);
+        }
+        let feat_of = |label: &str| feats.iter().find(|(l, _)| l == label).map(|(_, t)| *t);
+        let groups = by_group
+            .into_iter()
+            .map(|((algo, model), cs)| ((algo, model), fit_group(algo, model, &cs, &feat_of)))
+            .collect();
+
+        Advisor {
+            graphs,
+            groups,
+            norms,
+            cells: cells.len(),
+        }
+    }
+
+    /// Number of usable training cells.
+    pub fn num_cells(&self) -> usize {
+        self.cells
+    }
+
+    /// Number of distinct training graphs.
+    pub fn num_graphs(&self) -> usize {
+        self.graphs.len()
+    }
+
+    /// Number of fitted (algorithm, model) groups.
+    pub fn num_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The fitted (algorithm, model) groups, sorted for determinism.
+    pub fn fitted_groups(&self) -> Vec<(Algorithm, Model)> {
+        let mut g: Vec<_> = self.groups.keys().copied().collect();
+        g.sort();
+        g
+    }
+
+    /// The training-covered variant names for one group, sorted.
+    pub fn candidates(&self, algo: Algorithm, model: Model) -> Option<&[String]> {
+        self.groups
+            .get(&(algo, model))
+            .map(|g| g.variants.as_slice())
+    }
+
+    /// Predicts a ranked list of variants for a graph with features `f`.
+    pub fn advise(&self, algo: Algorithm, model: Model, f: &FeatureVector) -> Advice {
+        let zq = zscore(&transform(f), &self.norms);
+        let neighbor = self
+            .graphs
+            .iter()
+            .map(|g| (g.label.clone(), distance(&zq, &g.z, &self.norms)))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+
+        let Some(group) = self.groups.get(&(algo, model)) else {
+            return Advice {
+                ranked: vec![StyleConfig::baseline(algo, model).name()],
+                method: Method::Baseline,
+                neighbor,
+            };
+        };
+
+        // Rule scores order the OOD path and break NN ties for variants the
+        // neighbor graph never measured.
+        let mut scored: Vec<(String, f64)> = group
+            .variants
+            .iter()
+            .map(|v| (v.clone(), rule_score(group, v, &zq)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+        if let Some((label, dist)) = &neighbor {
+            if *dist <= OOD_DISTANCE {
+                if let Some(ranking) = group.rankings.get(label) {
+                    let mut ranked = ranking.clone();
+                    for (v, _) in &scored {
+                        if !ranked.contains(v) {
+                            ranked.push(v.clone());
+                        }
+                    }
+                    return Advice {
+                        ranked,
+                        method: Method::NearestNeighbor,
+                        neighbor,
+                    };
+                }
+            }
+        }
+
+        Advice {
+            ranked: scored.into_iter().map(|(v, _)| v).collect(),
+            method: Method::CorrelationRules,
+            neighbor,
+        }
+    }
+
+    /// The fitted §5.16-style rules for one group, strongest first: each
+    /// measured style option paired with its most-correlated graph property.
+    /// This is what `examples/style_advisor.rs` prints instead of hard-coded
+    /// thresholds — guidance and predictions come from one fit.
+    pub fn guidelines(&self, algo: Algorithm, model: Model) -> Vec<Rule> {
+        let Some(group) = self.groups.get(&(algo, model)) else {
+            return Vec::new();
+        };
+        let mut rules: Vec<Rule> = group
+            .options
+            .iter()
+            .filter_map(|of| {
+                let (k, &c) = of
+                    .corr
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.abs().total_cmp(&b.1.abs()))?;
+                if c.abs() < 0.05 {
+                    return None; // no signal measured for this option
+                }
+                Some(Rule {
+                    dimension: of.dimension,
+                    option: of.option,
+                    property: FEATURE_NAMES[k],
+                    correlation: c,
+                })
+            })
+            .collect();
+        rules.sort_by(|a, b| {
+            b.correlation
+                .abs()
+                .total_cmp(&a.correlation.abs())
+                .then_with(|| (a.dimension, a.option).cmp(&(b.dimension, b.option)))
+        });
+        rules
+    }
+}
+
+fn fit_group(
+    algo: Algorithm,
+    model: Model,
+    cells: &[&TrainingCell],
+    feat_of: &dyn Fn(&str) -> Option<[f64; NUM_FEATURES]>,
+) -> GroupFit {
+    // Median throughput per (graph, variant).
+    let mut samples: HashMap<(String, String), Vec<f64>> = HashMap::new();
+    for c in cells {
+        samples
+            .entry((c.graph.clone(), c.variant.clone()))
+            .or_default()
+            .push(c.geps);
+    }
+    let medians: HashMap<(String, String), f64> = samples
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_by(f64::total_cmp);
+            let m = median_sorted(&v);
+            (k, m)
+        })
+        .collect();
+
+    let mut variants: Vec<String> = medians.keys().map(|(_, v)| v.clone()).collect();
+    variants.sort();
+    variants.dedup();
+    let mut graph_labels: Vec<String> = medians.keys().map(|(g, _)| g.clone()).collect();
+    graph_labels.sort();
+    graph_labels.dedup();
+
+    // Per-graph ranking, best first (ties on name for determinism).
+    let mut rankings = HashMap::new();
+    for g in &graph_labels {
+        let mut ranked: Vec<(String, f64)> = variants
+            .iter()
+            .filter_map(|v| {
+                medians
+                    .get(&(g.clone(), v.clone()))
+                    .map(|&m| (v.clone(), m))
+            })
+            .collect();
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        rankings.insert(g.clone(), ranked.into_iter().map(|(v, _)| v).collect());
+    }
+
+    // Resolve names back to configs for dimension-label access.
+    let configs: HashMap<String, StyleConfig> = enumerate::variants(algo, model)
+        .into_iter()
+        .map(|c| (c.name(), c))
+        .collect();
+
+    // Refit the §5.13 correlations from the training cells: for every style
+    // option observed, relative performance per graph vs every feature.
+    let mut options = Vec::new();
+    for dim in StyleConfig::DIMENSIONS {
+        if dim == "algo" || dim == "model" {
+            continue;
+        }
+        let mut opts: Vec<&'static str> = variants
+            .iter()
+            .filter_map(|v| configs.get(v).and_then(|c| c.dimension_label(dim)))
+            .collect();
+        opts.sort_unstable();
+        opts.dedup();
+        if opts.len() < 2 {
+            continue; // no contrast measured along this dimension
+        }
+        for opt in opts {
+            let mut rel = Vec::new();
+            let mut props: Vec<Vec<f64>> = vec![Vec::new(); NUM_FEATURES];
+            for g in &graph_labels {
+                let med = |pred: &dyn Fn(&StyleConfig) -> bool| {
+                    let mut vals: Vec<f64> = variants
+                        .iter()
+                        .filter(|v| configs.get(*v).is_some_and(pred))
+                        .filter_map(|v| medians.get(&(g.clone(), v.clone())))
+                        .copied()
+                        .collect();
+                    vals.sort_by(f64::total_cmp);
+                    median_sorted(&vals)
+                };
+                let with = med(&|c| c.dimension_label(dim) == Some(opt));
+                let all = med(&|c| c.dimension_label(dim).is_some());
+                if with.is_finite() && all.is_finite() && all > 0.0 {
+                    if let Some(t) = feat_of(g) {
+                        rel.push(with / all);
+                        for (k, tv) in t.iter().enumerate() {
+                            props[k].push(*tv);
+                        }
+                    }
+                }
+            }
+            let mut corr = [0.0; NUM_FEATURES];
+            for k in 0..NUM_FEATURES {
+                let c = pearson(&props[k], &rel);
+                corr[k] = if c.is_finite() { c } else { 0.0 };
+            }
+            options.push(OptionFit {
+                dimension: dim,
+                option: opt,
+                corr,
+            });
+        }
+    }
+
+    GroupFit {
+        rankings,
+        variants,
+        configs,
+        options,
+    }
+}
+
+/// Linear rule score of one candidate: the sum, over the candidate's style
+/// options, of the option's feature correlations dotted with the query's
+/// standardized features. Higher is better.
+fn rule_score(group: &GroupFit, variant: &str, zq: &[f64; NUM_FEATURES]) -> f64 {
+    let Some(cfg) = group.configs.get(variant) else {
+        return 0.0;
+    };
+    let mut score = 0.0;
+    for of in &group.options {
+        if cfg.dimension_label(of.dimension) == Some(of.option) {
+            for (c, z) in of.corr.iter().zip(zq) {
+                score += c * z;
+            }
+        }
+    }
+    score
+}
+
+/// Log-compresses the count-like features; percentages stay linear. Distances
+/// in this space compare graphs by shape rather than raw size.
+fn transform(f: &FeatureVector) -> [f64; NUM_FEATURES] {
+    let mut t = f.0;
+    for (i, name) in FEATURE_NAMES.iter().enumerate() {
+        if !name.starts_with("pct_") {
+            t[i] = (1.0 + t[i].max(0.0)).ln();
+        }
+    }
+    t
+}
+
+fn fit_norms(feats: &[(String, [f64; NUM_FEATURES])]) -> [(f64, f64); NUM_FEATURES] {
+    let mut norms = [(0.0, 0.0); NUM_FEATURES];
+    let n = feats.len();
+    if n == 0 {
+        return norms;
+    }
+    for (k, norm) in norms.iter_mut().enumerate() {
+        let mean = feats.iter().map(|(_, t)| t[k]).sum::<f64>() / n as f64;
+        let var = feats
+            .iter()
+            .map(|(_, t)| (t[k] - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        *norm = (mean, var.sqrt());
+    }
+    norms
+}
+
+fn zscore(t: &[f64; NUM_FEATURES], norms: &[(f64, f64); NUM_FEATURES]) -> [f64; NUM_FEATURES] {
+    let mut z = [0.0; NUM_FEATURES];
+    for k in 0..NUM_FEATURES {
+        let (mean, std) = norms[k];
+        if std > 0.0 {
+            z[k] = (t[k] - mean) / std;
+        }
+    }
+    z
+}
+
+/// Feature indices used for nearest-neighbor distance: the *shape* features
+/// the paper correlates against (§5.13) — degree statistics and diameter.
+/// Raw size (nodes, edges, components) is deliberately excluded so a graph
+/// is matched to the training family it resembles, not to whichever training
+/// graph happens to be the same size.
+const DIST_FEATURES: [usize; 5] = [2, 3, 4, 5, 6];
+
+/// RMS distance over the shape dimensions with training variance.
+fn distance(
+    a: &[f64; NUM_FEATURES],
+    b: &[f64; NUM_FEATURES],
+    norms: &[(f64, f64); NUM_FEATURES],
+) -> f64 {
+    let mut sum = 0.0;
+    let mut active = 0usize;
+    for k in DIST_FEATURES {
+        if norms[k].1 > 0.0 {
+            sum += (a[k] - b[k]).powi(2);
+            active += 1;
+        }
+    }
+    if active == 0 {
+        0.0
+    } else {
+        (sum / active as f64).sqrt()
+    }
+}
+
+/// Median of an already-sorted slice (interpolating for even lengths);
+/// NaN when empty.
+fn median_sorted(v: &[f64]) -> f64 {
+    let n = v.len();
+    if n == 0 {
+        f64::NAN
+    } else if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    }
+}
+
+/// Pearson correlation coefficient; 0 when either side has no variance.
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len().min(ys.len());
+    if n < 2 {
+        return 0.0;
+    }
+    let (xs, ys) = (&xs[..n], &ys[..n]);
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = xs[i] - mx;
+        let dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        0.0
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fv(avg: f64, max: f64, p32: f64, p512: f64, diam: f64) -> FeatureVector {
+        FeatureVector([1000.0, 1000.0 * avg, avg, max, p32, p512, diam, 1.0])
+    }
+
+    fn cell(
+        algo: Algorithm,
+        model: Model,
+        graph: &str,
+        variant: &str,
+        features: FeatureVector,
+        geps: f64,
+    ) -> TrainingCell {
+        TrainingCell {
+            algo,
+            model,
+            graph: graph.into(),
+            variant: variant.into(),
+            features,
+            geps,
+        }
+    }
+
+    /// Two synthetic training graphs with real variant names: a "mesh" where
+    /// variant A wins and a "social" where variant B wins.
+    fn toy_advisor() -> (Advisor, String, String, FeatureVector, FeatureVector) {
+        let variants = enumerate::variants(Algorithm::Bfs, Model::Cuda);
+        let a = variants[0].name();
+        let b = variants[1].name();
+        let mesh = fv(4.0, 4.0, 0.0, 0.0, 120.0);
+        let soc = fv(18.0, 600.0, 12.0, 0.1, 5.0);
+        let cells = vec![
+            cell(Algorithm::Bfs, Model::Cuda, "mesh", &a, mesh, 2.0),
+            cell(Algorithm::Bfs, Model::Cuda, "mesh", &b, mesh, 1.0),
+            cell(Algorithm::Bfs, Model::Cuda, "soc", &a, soc, 1.0),
+            cell(Algorithm::Bfs, Model::Cuda, "soc", &b, soc, 3.0),
+        ];
+        (Advisor::fit(&cells), a, b, mesh, soc)
+    }
+
+    #[test]
+    fn nearest_neighbor_reuses_measured_ranking() {
+        let (adv, a, b, mesh, soc) = toy_advisor();
+        assert_eq!(adv.num_graphs(), 2);
+        assert_eq!(adv.num_groups(), 1);
+        let near_mesh = adv.advise(Algorithm::Bfs, Model::Cuda, &mesh);
+        assert_eq!(near_mesh.method, Method::NearestNeighbor);
+        assert_eq!(near_mesh.best(), a);
+        let near_soc = adv.advise(Algorithm::Bfs, Model::Cuda, &soc);
+        assert_eq!(near_soc.best(), b);
+        assert_eq!(near_soc.neighbor.as_ref().unwrap().0, "soc");
+    }
+
+    #[test]
+    fn unseen_group_falls_back_to_baseline() {
+        let (adv, _, _, mesh, _) = toy_advisor();
+        let advice = adv.advise(Algorithm::Tc, Model::Omp, &mesh);
+        assert_eq!(advice.method, Method::Baseline);
+        assert_eq!(
+            advice.best(),
+            StyleConfig::baseline(Algorithm::Tc, Model::Omp).name()
+        );
+    }
+
+    #[test]
+    fn empty_fit_is_baseline_everywhere() {
+        let adv = Advisor::fit(&[]);
+        let advice = adv.advise(Algorithm::Bfs, Model::Cuda, &fv(4.0, 4.0, 0.0, 0.0, 10.0));
+        assert_eq!(advice.method, Method::Baseline);
+        assert!(advice.neighbor.is_none());
+        assert_eq!(adv.num_cells(), 0);
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let (a1, ..) = toy_advisor();
+        let (a2, _, _, mesh, _) = toy_advisor();
+        let r1 = a1.advise(Algorithm::Bfs, Model::Cuda, &mesh);
+        let r2 = a2.advise(Algorithm::Bfs, Model::Cuda, &mesh);
+        assert_eq!(r1.ranked, r2.ranked);
+        assert_eq!(r1.method, r2.method);
+    }
+
+    #[test]
+    fn ood_query_uses_rules_and_still_ranks_all_variants() {
+        let (adv, a, b, ..) = toy_advisor();
+        // A graph far outside the two training points in every dimension.
+        let weird = FeatureVector([5e7, 5e9, 100.0, 4e6, 90.0, 40.0, 1.0, 2e6]);
+        let advice = adv.advise(Algorithm::Bfs, Model::Cuda, &weird);
+        assert_eq!(advice.method, Method::CorrelationRules);
+        assert_eq!(advice.ranked.len(), 2);
+        assert!(advice.ranked.contains(&a) && advice.ranked.contains(&b));
+    }
+
+    #[test]
+    fn guidelines_come_from_the_fit() {
+        let variants = enumerate::variants(Algorithm::Bfs, Model::Cuda);
+        // Find two variants differing in granularity so the fit has contrast.
+        let thread = variants
+            .iter()
+            .find(|c| c.dimension_label("granularity") == Some("thread"))
+            .unwrap();
+        let warp = variants
+            .iter()
+            .find(|c| c.dimension_label("granularity") == Some("warp"))
+            .unwrap();
+        let mesh = fv(4.0, 4.0, 0.0, 0.0, 120.0);
+        let soc = fv(18.0, 600.0, 12.0, 0.1, 5.0);
+        let cells = vec![
+            cell(
+                Algorithm::Bfs,
+                Model::Cuda,
+                "mesh",
+                &thread.name(),
+                mesh,
+                2.0,
+            ),
+            cell(Algorithm::Bfs, Model::Cuda, "mesh", &warp.name(), mesh, 1.0),
+            cell(Algorithm::Bfs, Model::Cuda, "soc", &thread.name(), soc, 1.0),
+            cell(Algorithm::Bfs, Model::Cuda, "soc", &warp.name(), soc, 3.0),
+        ];
+        let adv = Advisor::fit(&cells);
+        let rules = adv.guidelines(Algorithm::Bfs, Model::Cuda);
+        assert!(!rules.is_empty());
+        // Warp must correlate positively with some density-like property
+        // (it won on the dense social graph).
+        let warp_rule = rules
+            .iter()
+            .find(|r| r.dimension == "granularity" && r.option == "warp")
+            .expect("warp rule fitted");
+        assert!(warp_rule.correlation > 0.0);
+        assert!(adv.guidelines(Algorithm::Pr, Model::Cpp).is_empty());
+    }
+
+    #[test]
+    fn dist_features_are_shape_features() {
+        let shape = [
+            "avg_degree",
+            "max_degree",
+            "pct_deg_ge32",
+            "pct_deg_ge512",
+            "diameter_lb",
+        ];
+        assert_eq!(DIST_FEATURES.len(), shape.len());
+        for (k, want) in DIST_FEATURES.into_iter().zip(shape) {
+            assert_eq!(FEATURE_NAMES[k], want);
+        }
+    }
+
+    #[test]
+    fn pearson_and_median_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(median_sorted(&[1.0, 2.0, 4.0]), 2.0);
+        assert_eq!(median_sorted(&[1.0, 3.0]), 2.0);
+        assert!(median_sorted(&[]).is_nan());
+    }
+}

@@ -5,8 +5,15 @@
 //! the largest component — exact on trees/paths and within a small factor in
 //! general, which is all Table 5 is used for (classifying inputs into
 //! low- vs high-diameter regimes).
+//!
+//! The same numbers double as the style advisor's input: [`GraphStats::features`]
+//! packs them into a fixed-order [`FeatureVector`] that `crates/advisor`
+//! consumes. For repeated extraction (the serving path), thread a
+//! [`StatsScratch`] through [`GraphStats::compute_with`] — once warm, the
+//! traversals reuse one distance/label buffer and allocate nothing.
 
 use crate::{Csr, NodeId};
+use std::collections::VecDeque;
 
 /// Summary statistics for one input graph.
 #[derive(Clone, Debug, PartialEq)]
@@ -31,9 +38,75 @@ pub struct GraphStats {
     pub components: usize,
 }
 
+/// Number of entries in a [`FeatureVector`].
+pub const NUM_FEATURES: usize = 8;
+
+/// Names of the [`FeatureVector`] entries, in order.
+pub const FEATURE_NAMES: [&str; NUM_FEATURES] = [
+    "nodes",
+    "edges",
+    "avg_degree",
+    "max_degree",
+    "pct_deg_ge32",
+    "pct_deg_ge512",
+    "diameter_lb",
+    "components",
+];
+
+/// Fixed-order numeric view of [`GraphStats`] — the advisor's input.
+///
+/// The order and meaning of the entries are stable ([`FEATURE_NAMES`]);
+/// models fitted against one build keep working against the next.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FeatureVector(pub [f64; NUM_FEATURES]);
+
+impl FeatureVector {
+    /// Looks an entry up by its [`FEATURE_NAMES`] name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        FEATURE_NAMES
+            .iter()
+            .position(|&f| f == name)
+            .map(|i| self.0[i])
+    }
+}
+
+/// Reusable traversal buffers for [`GraphStats::compute_with`].
+///
+/// One `usize` buffer serves as both the BFS distance array and the
+/// component label array; the queue and stack are likewise retained across
+/// calls. After one warm-up computation at a given graph size, further
+/// computations at the same (or smaller) size allocate nothing — pinned by
+/// `tests/alloc_regression.rs`.
+#[derive(Default)]
+pub struct StatsScratch {
+    marks: Vec<usize>,
+    queue: VecDeque<NodeId>,
+    stack: Vec<NodeId>,
+}
+
+impl StatsScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> StatsScratch {
+        StatsScratch::default()
+    }
+
+    /// Resets the mark buffer to `n` entries of `usize::MAX` without
+    /// shrinking capacity.
+    fn reset_marks(&mut self, n: usize) {
+        self.marks.clear();
+        self.marks.resize(n, usize::MAX);
+    }
+}
+
 impl GraphStats {
     /// Computes all statistics for `g`.
     pub fn compute(g: &Csr) -> GraphStats {
+        GraphStats::compute_with(g, &mut StatsScratch::new())
+    }
+
+    /// [`GraphStats::compute`] with caller-owned traversal buffers; the
+    /// allocation-free path for repeated feature extraction.
+    pub fn compute_with(g: &Csr, scratch: &mut StatsScratch) -> GraphStats {
         let n = g.num_nodes();
         let mut max_degree = 0usize;
         let mut ge32 = 0usize;
@@ -48,11 +121,11 @@ impl GraphStats {
                 ge512 += 1;
             }
         }
-        let (components, largest_rep) = component_info(g);
+        let (components, largest_rep) = component_info(g, scratch);
         let diameter_lb = if n == 0 {
             0
         } else {
-            double_sweep(g, largest_rep)
+            double_sweep(g, largest_rep, scratch)
         };
         GraphStats {
             nodes: n,
@@ -71,10 +144,24 @@ impl GraphStats {
         }
     }
 
+    /// The statistics as a fixed-order numeric vector ([`FEATURE_NAMES`]).
+    pub fn features(&self) -> FeatureVector {
+        FeatureVector([
+            self.nodes as f64,
+            self.edges as f64,
+            self.avg_degree,
+            self.max_degree as f64,
+            self.pct_deg_ge32,
+            self.pct_deg_ge512,
+            self.diameter_lb as f64,
+            self.components as f64,
+        ])
+    }
+
     /// One row of the Table 4/5 analog, pipe-separated.
     pub fn table_row(&self, name: &str) -> String {
         format!(
-            "{name} | {} | {} | {:.1} MB | {:.1} | {} | {:.1}% | {:.3}% | {} | {}",
+            "{name} | {} | {} | {:.1} MB | {:.1} | {} | {:.2}% | {:.2}% | {} | {}",
             self.nodes,
             self.edges,
             self.size_mb,
@@ -97,10 +184,12 @@ fn pct(count: usize, total: usize) -> f64 {
 }
 
 /// BFS from `src`; returns (farthest vertex, its distance, visited count).
-fn bfs_far(g: &Csr, src: NodeId) -> (NodeId, usize, usize) {
-    let n = g.num_nodes();
-    let mut dist = vec![usize::MAX; n];
-    let mut queue = std::collections::VecDeque::new();
+/// Distances live in `scratch.marks`, reset (not reallocated) per call.
+fn bfs_far(g: &Csr, src: NodeId, scratch: &mut StatsScratch) -> (NodeId, usize, usize) {
+    scratch.reset_marks(g.num_nodes());
+    let dist = &mut scratch.marks;
+    let queue = &mut scratch.queue;
+    queue.clear();
     dist[src as usize] = 0;
     queue.push_back(src);
     let mut far = src;
@@ -124,15 +213,19 @@ fn bfs_far(g: &Csr, src: NodeId) -> (NodeId, usize, usize) {
 }
 
 /// Counts components and returns a representative of the largest one.
-fn component_info(g: &Csr) -> (usize, NodeId) {
+/// Labels live in `scratch.marks` (shared with [`bfs_far`]'s distances —
+/// the two traversals never overlap).
+fn component_info(g: &Csr, scratch: &mut StatsScratch) -> (usize, NodeId) {
     let n = g.num_nodes();
     if n == 0 {
         return (0, 0);
     }
-    let mut comp = vec![usize::MAX; n];
+    scratch.reset_marks(n);
+    let comp = &mut scratch.marks;
+    let stack = &mut scratch.stack;
+    stack.clear();
     let mut count = 0usize;
     let mut best = (0usize, 0 as NodeId); // (size, representative)
-    let mut stack = Vec::new();
     for s in 0..n {
         if comp[s] != usize::MAX {
             continue;
@@ -159,13 +252,13 @@ fn component_info(g: &Csr) -> (usize, NodeId) {
 }
 
 /// Double-sweep diameter lower bound with a few extra refinement sweeps.
-fn double_sweep(g: &Csr, start: NodeId) -> usize {
-    let (far1, _, _) = bfs_far(g, start);
-    let (mut from, mut best, _) = bfs_far(g, far1);
+fn double_sweep(g: &Csr, start: NodeId, scratch: &mut StatsScratch) -> usize {
+    let (far1, _, _) = bfs_far(g, start, scratch);
+    let (mut from, mut best, _) = bfs_far(g, far1, scratch);
     // a couple of extra sweeps from the new periphery tighten the bound on
     // non-tree graphs at negligible cost
     for _ in 0..2 {
-        let (nf, d, _) = bfs_far(g, from);
+        let (nf, d, _) = bfs_far(g, from, scratch);
         if d > best {
             best = d;
             from = nf;
@@ -224,6 +317,7 @@ mod tests {
         assert_eq!(s.nodes, 0);
         assert_eq!(s.components, 0);
         assert_eq!(s.diameter_lb, 0);
+        assert_eq!(s.features().0, [0.0; NUM_FEATURES]);
     }
 
     #[test]
@@ -237,5 +331,59 @@ mod tests {
         let s = GraphStats::compute(&toy::path(3));
         let row = s.table_row("p3");
         assert!(row.starts_with("p3 | 3 | 4 |"));
+    }
+
+    /// Golden Table 4/5 rows for all five suite families at Small scale —
+    /// must match `results/table45.txt` byte-for-byte, including the (now
+    /// aligned) two-decimal degree-percentage columns.
+    #[test]
+    fn table_rows_golden_suite() {
+        use crate::gen::{suite_graph, Scale, SUITE_GRAPHS};
+        let expected = [
+            "2d-grid | 4096 | 16128 | 0.1 MB | 3.9 | 4 | 0.00% | 0.00% | 126 | 1",
+            "copapers | 1500 | 80962 | 0.3 MB | 54.0 | 172 | 77.27% | 0.00% | 5 | 23",
+            "rmat | 2048 | 25432 | 0.1 MB | 12.4 | 584 | 11.04% | 0.05% | 6 | 485",
+            "soc-net | 3000 | 53910 | 0.2 MB | 18.0 | 260 | 9.20% | 0.00% | 4 | 1",
+            "road | 3840 | 11000 | 0.1 MB | 2.9 | 6 | 0.00% | 0.00% | 114 | 1",
+        ];
+        let mut scratch = StatsScratch::new();
+        for (which, want) in SUITE_GRAPHS.iter().zip(expected) {
+            let g = suite_graph(*which, Scale::Small);
+            let s = GraphStats::compute_with(&g, &mut scratch);
+            assert_eq!(s.table_row(which.label()), want);
+        }
+    }
+
+    /// A disconnected graph's diameter bound is taken on the *largest*
+    /// component: path(9) ∪ path(3) must report the long path's diameter,
+    /// regardless of which component holds vertex 0.
+    #[test]
+    fn disconnected_diameter_uses_largest_component() {
+        // Build path(3) ∪ path(9) by hand: vertices 0-2 then 3-11.
+        let mut b = crate::GraphBuilder::new(12);
+        for (u, v) in [(0, 1), (1, 2)] {
+            b.add_edge(u, v);
+        }
+        for v in 3..11 {
+            b.add_edge(v, v + 1);
+        }
+        let g = b.build("two-paths");
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.components, 2);
+        assert_eq!(s.diameter_lb, 8); // the 9-vertex path, not the 3-vertex one
+    }
+
+    /// `compute_with` is bit-identical to `compute`, and the scratch can be
+    /// reused across differently-sized graphs.
+    #[test]
+    fn scratch_reuse_matches_fresh_compute() {
+        let graphs = [toy::path(64), toy::star(8), crate::gen::grid2d(9, 5)];
+        let mut scratch = StatsScratch::new();
+        for g in &graphs {
+            assert_eq!(
+                GraphStats::compute_with(g, &mut scratch),
+                GraphStats::compute(g)
+            );
+        }
     }
 }

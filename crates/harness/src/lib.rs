@@ -33,6 +33,7 @@
 //! * the `indigo-exp` binary — CLI driver that writes reports and CSVs
 //!   under `results/`.
 
+pub mod advise;
 pub mod experiments;
 pub mod journal;
 pub mod matrix;

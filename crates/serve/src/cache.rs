@@ -170,6 +170,18 @@ impl ResultCache {
         }
     }
 
+    /// A point-in-time copy of every cached cell, in unspecified order.
+    /// The style advisor fits from this (DESIGN.md §7.11); serving caches
+    /// stay small enough that a full copy is the simple, safe choice.
+    pub fn cells(&self) -> Vec<CachedCell> {
+        self.map
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .values()
+            .cloned()
+            .collect()
+    }
+
     /// Cached cell count.
     pub fn len(&self) -> usize {
         self.map.lock().unwrap_or_else(|e| e.into_inner()).len()

@@ -9,7 +9,9 @@
 //!    answers are observed, then recovery via a half-open probe;
 //! 4. **saturation** — stalled requests pin the worker pool while a burst
 //!    overflows the admission queue → load shedding;
-//! 5. **throughput** — cached-query requests per second;
+//! 5. **throughput** — cached-query requests per second, then the style
+//!    advisor: `/advise` must name a variant and `style=auto` on `/run`
+//!    must answer bit-identically to requesting that variant explicitly;
 //! 6. **restart** — the server is torn down and restarted on the same
 //!    journal; previously served cells must come back bit-exact.
 //!
@@ -106,6 +108,8 @@ pub struct ChaosReport {
     pub saturation_rps: f64,
     /// Samples in the validated `/metrics` exposition (phase 5b).
     pub metrics_series: u64,
+    /// Style-advisor answers (`/advise` queries + `style=auto` runs).
+    pub advised: u64,
     /// Requests the flight recorder retained over the run.
     pub flight_pushed: u64,
     /// `FLIGHT_*.jsonl` dumps the server wrote (5xx-triggered).
@@ -138,7 +142,8 @@ impl ChaosReport {
              \"failed\": {},\n  \"retries\": {},\n  \"breaker_trips\": {},\n  \
              \"breaker_recoveries\": {},\n  \"recovered_cells\": {},\n  \
              \"latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \
-             \"saturation_rps\": {},\n  \"metrics_series\": {},\n  \"flight_pushed\": {},\n  \
+             \"saturation_rps\": {},\n  \"metrics_series\": {},\n  \"advised\": {},\n  \
+             \"flight_pushed\": {},\n  \
              \"flight_dumps\": {},\n  \"telemetry_enabled\": {},\n  \"config\": {}\n}}\n",
             self.requests,
             self.ok,
@@ -157,6 +162,7 @@ impl ChaosReport {
             json::num(self.latency_ms.max),
             json::num(self.saturation_rps),
             self.metrics_series,
+            self.advised,
             self.flight_pushed,
             self.flight_dumps,
             self.telemetry_enabled,
@@ -224,6 +230,14 @@ fn json_u64(body: &str, key: &str) -> Option<u64> {
         .find(|c: char| !c.is_ascii_digit())
         .unwrap_or(rest.len());
     rest[..end].parse().ok()
+}
+
+/// First string value of `"key":"…"` in a flat JSON body.
+fn json_str(body: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let i = body.find(&pat)? + pat.len();
+    let rest = &body[i..];
+    Some(rest[..rest.find('"')?].to_string())
 }
 
 /// Value of the un-labeled Prometheus sample named exactly `name`.
@@ -438,6 +452,50 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
     let tput_secs = tput_started.elapsed().as_secs_f64().max(1e-9);
     let saturation_rps = tput_n as f64 / tput_secs;
 
+    // ---- phase 5a: style advisor. `/advise` predicts from the cells the
+    // run has cached so far; `style=auto` on `/run` must then serve exactly
+    // what an explicit `variant=` request for the advised style serves —
+    // tc/2d-grid is fully cached from phase 1, so both answers are pure
+    // cache hits and the bodies must agree byte-for-byte once the
+    // per-request observability splice (`,"rid":…`) is stripped.
+    let advise_resp = client::get(addr, "/advise?algo=tc&graph=2d-grid&scale=tiny", timeout)
+        .map_err(|e| format!("/advise transport error: {e}"))?;
+    if advise_resp.status != 200 || !advise_resp.body.contains("\"status\":\"ok\"") {
+        return Err(format!(
+            "/advise returned {} ({})",
+            advise_resp.status, advise_resp.body
+        ));
+    }
+    let style = json_str(&advise_resp.body, "style")
+        .ok_or_else(|| format!("/advise body has no \"style\": {}", advise_resp.body))?;
+    let advised_pair = [
+        format!("/run?algo=tc&graph=2d-grid&scale=tiny&style=auto&deadline_ms={deadline_ms}"),
+        format!("/run?algo=tc&graph=2d-grid&scale=tiny&variant={style}&deadline_ms={deadline_ms}"),
+    ]
+    .map(|target| -> Result<String, String> {
+        let started = Instant::now();
+        let r = client::get(addr, &target, timeout);
+        rec.observe(&r, started);
+        let resp = r.map_err(|e| format!("{target}: transport error: {e}"))?;
+        if resp.status != 200 {
+            return Err(format!("{target}: status {} ({})", resp.status, resp.body));
+        }
+        Ok(resp.body)
+    });
+    let [auto_body, explicit_body] = advised_pair;
+    let (auto_body, explicit_body) = (auto_body?, explicit_body?);
+    if !auto_body.contains(&format!("\"variant\":\"{style}\"")) {
+        return Err(format!(
+            "style=auto body does not echo the advised variant {style}: {auto_body}"
+        ));
+    }
+    let strip = |b: &str| b.split(",\"rid\":").next().unwrap_or(b).to_string();
+    if strip(&auto_body) != strip(&explicit_body) {
+        return Err(format!(
+            "style=auto body diverges from explicit variant {style}:\n{auto_body}\n{explicit_body}"
+        ));
+    }
+
     // ---- phase 5b: /metrics exposition agrees with /stats. The server is
     // quiet now, and the scrapes themselves only bump requests/ok, so the
     // cross-checked counters cannot move between the two reads.
@@ -450,7 +508,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
     }
     let metrics_series = crate::metrics::validate_exposition(&metrics_resp.body)
         .map_err(|e| format!("/metrics exposition invalid: {e}"))? as u64;
-    for key in ["shed", "cache_hits", "breaker_trips"] {
+    for key in ["shed", "cache_hits", "breaker_trips", "advised"] {
         let from_stats = json_u64(&stats_resp.body, key)
             .ok_or_else(|| format!("/stats body is missing \"{key}\""))?;
         let name = format!("indigo_serve_{key}_total");
@@ -609,6 +667,13 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
     if snap.shed == 0 {
         return Err("saturation produced no load shedding".into());
     }
+    if snap.advised < 2 {
+        return Err(format!(
+            "advise phase should have counted one /advise and one style=auto \
+             resolution, saw {}",
+            snap.advised
+        ));
+    }
     if opts.fault.is_some() && snap.retries == 0 {
         return Err("fault storm produced no retries".into());
     }
@@ -628,6 +693,7 @@ pub fn run_chaos(opts: &ChaosOptions) -> Result<ChaosReport, String> {
         latency_ms,
         saturation_rps,
         metrics_series,
+        advised: snap.advised,
         flight_pushed,
         flight_dumps,
         telemetry_enabled: indigo_obs::enabled(),

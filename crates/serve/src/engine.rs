@@ -97,36 +97,76 @@ pub struct Query {
     pub variants: Vec<StyleConfig>,
     /// Sweep (style-slice) query, vs single-variant run.
     pub sweep: bool,
+    /// `style=auto`: the server resolves `variants` to the advisor's
+    /// predicted-best style before execution (DESIGN.md §7.11). Until that
+    /// resolution happens `variants` holds the baseline placeholder.
+    pub auto: bool,
     /// Request deadline.
     pub deadline: Duration,
     /// Injected fault (chaos mode).
     pub fault: Option<RequestFault>,
 }
 
+/// Parses the `algo` query value (shared by `/run`, `/sweep`, `/advise`).
+pub fn parse_algo(label: &str) -> Result<Algorithm, String> {
+    Algorithm::ALL
+        .iter()
+        .find(|a| a.label() == label)
+        .copied()
+        .ok_or_else(|| format!("unknown algo `{label}` (bfs|sssp|cc|mis|pr|tc)"))
+}
+
+/// Parses the optional `model` query value (default CUDA).
+pub fn parse_model(label: Option<&str>) -> Result<Model, String> {
+    match label {
+        None => Ok(Model::Cuda),
+        Some(m) => Model::ALL
+            .iter()
+            .find(|x| x.label() == m)
+            .copied()
+            .ok_or_else(|| format!("unknown model `{m}` (cuda|omp|cpp)")),
+    }
+}
+
+/// Parses the `graph` query value into a suite graph.
+pub fn parse_graph(label: &str) -> Result<SuiteGraph, String> {
+    SUITE_GRAPHS
+        .iter()
+        .find(|g| g.label() == label)
+        .copied()
+        .ok_or_else(|| format!("unknown graph `{label}` (2d-grid|copapers|rmat|soc-net|road)"))
+}
+
 /// Parses `/run` (`sweep = false`) or `/sweep` (`sweep = true`) params.
 pub fn parse_query(req: &Request, cfg: &ServerConfig, sweep: bool) -> Result<Query, String> {
     let algo_label = req.param("algo").ok_or("missing `algo` parameter")?;
-    let algo = *Algorithm::ALL
-        .iter()
-        .find(|a| a.label() == algo_label)
-        .ok_or_else(|| format!("unknown algo `{algo_label}` (bfs|sssp|cc|mis|pr|tc)"))?;
-    let model = match req.param("model") {
-        None => Model::Cuda,
-        Some(m) => *Model::ALL
-            .iter()
-            .find(|x| x.label() == m)
-            .ok_or_else(|| format!("unknown model `{m}` (cuda|omp|cpp)"))?,
-    };
+    let algo = parse_algo(algo_label)?;
+    let model = parse_model(req.param("model"))?;
     let graph_label = req.param("graph").ok_or("missing `graph` parameter")?;
-    let graph = *SUITE_GRAPHS
-        .iter()
-        .find(|g| g.label() == graph_label)
-        .ok_or_else(|| {
-            format!("unknown graph `{graph_label}` (2d-grid|copapers|rmat|soc-net|road)")
-        })?;
+    let graph = parse_graph(graph_label)?;
     let scale = match req.param("scale") {
         None => cfg.default_scale,
         Some(s) => parse_scale(s)?,
+    };
+    let auto = match req.param("style") {
+        None => false,
+        Some("auto") => {
+            if sweep {
+                return Err(
+                    "`style=auto` applies to /run only (a sweep measures every style)".into(),
+                );
+            }
+            if req.param("variant").is_some() {
+                return Err("`style=auto` conflicts with an explicit `variant`".into());
+            }
+            true
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown `style` value `{other}` (only `auto`; name an explicit style \
+                 with `variant=`)"
+            ))
+        }
     };
     let reps = match req.param("reps") {
         None => cfg.reps,
@@ -164,6 +204,10 @@ pub fn parse_query(req: &Request, cfg: &ServerConfig, sweep: bool) -> Result<Que
             v.truncate(limit);
         }
         v
+    } else if auto {
+        // placeholder until the server resolves the advised style; keeps
+        // the Query invariant (`variants` never empty) for every consumer
+        vec![StyleConfig::baseline(algo, model)]
     } else {
         let name = req.param("variant").unwrap_or("baseline");
         if name == "baseline" {
@@ -207,6 +251,7 @@ pub fn parse_query(req: &Request, cfg: &ServerConfig, sweep: bool) -> Result<Que
         reps,
         variants,
         sweep,
+        auto,
         deadline,
         fault,
     })
@@ -806,11 +851,32 @@ mod tests {
             ),
             ("/run?algo=tc&graph=2d-grid&variant=zzz", "unknown variant"),
             ("/run?algo=tc&graph=2d-grid&fault=panic", "chaos mode only"),
+            (
+                "/run?algo=tc&graph=2d-grid&style=fastest",
+                "unknown `style`",
+            ),
+            (
+                "/run?algo=tc&graph=2d-grid&style=auto&variant=baseline",
+                "conflicts",
+            ),
         ];
         for (target, want) in cases {
             let err = parse_query(&req(target), &cfg(), false).unwrap_err();
             assert!(err.contains(want), "{target}: {err}");
         }
+    }
+
+    #[test]
+    fn style_auto_parses_on_run_and_rejects_on_sweep() {
+        let q = parse_query(&req("/run?algo=bfs&graph=rmat&style=auto"), &cfg(), false).unwrap();
+        assert!(q.auto);
+        // placeholder until the server resolves the advised style
+        assert_eq!(q.variants.len(), 1);
+        let plain = parse_query(&req("/run?algo=bfs&graph=rmat"), &cfg(), false).unwrap();
+        assert!(!plain.auto);
+        let err =
+            parse_query(&req("/sweep?algo=bfs&graph=rmat&style=auto"), &cfg(), true).unwrap_err();
+        assert!(err.contains("/run only"), "{err}");
     }
 
     #[test]

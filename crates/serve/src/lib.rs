@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod advise;
 pub mod batch;
 pub mod breaker;
 pub mod cache;

@@ -27,7 +27,9 @@ use crate::flightrec::{FlightRecorder, Outcome, ReqRecord, RequestScope};
 use crate::http::{head_end, Request, Response, MAX_HEAD_BYTES};
 use crate::json;
 use crate::stats::{ServeCounter, Stats};
-use indigo_graph::gen::SUITE_GRAPHS;
+use indigo_graph::gen::{Scale, SuiteGraph, SUITE_GRAPHS};
+use indigo_graph::stats::FEATURE_NAMES;
+use indigo_styles::{enumerate, Algorithm, Model, StyleConfig};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -100,6 +102,7 @@ struct Inner {
     stats: Arc<Stats>,
     flights: Arc<Flights>,
     batcher: Option<Batcher>,
+    advisors: crate::advise::AdvisorHub,
     shutdown: AtomicBool,
     /// Request sequence counter; `next_seq` starts at 1 so `served_by == 0`
     /// always means "executed its own cells".
@@ -177,6 +180,7 @@ impl Server {
             stats,
             flights: Arc::new(Flights::new()),
             batcher,
+            advisors: crate::advise::AdvisorHub::new(),
             shutdown: AtomicBool::new(false),
             req_seq: AtomicU64::new(0),
             recorder: FlightRecorder::new(),
@@ -1000,6 +1004,7 @@ fn route(inner: &Inner, req: &Request, arrived: Instant, scope: &mut RequestScop
         "/metrics" => metrics_page(inner),
         "/debug/flightrec" => Response::json(200, inner.recorder.to_json()),
         "/cell" => cell(inner, req, scope),
+        "/advise" => advise(inner, req, scope),
         "/run" | "/sweep" => run(inner, req, arrived, path == "/sweep", scope),
         _ => {
             inner.stats.bump(ServeCounter::BadRequests);
@@ -1009,7 +1014,7 @@ fn route(inner: &Inner, req: &Request, arrived: Instant, scope: &mut RequestScop
                 format!(
                     "{{\"status\":\"bad-request\",\"error\":{}}}",
                     json::str_lit(&format!(
-                        "no route `{path}` (/health /stats /metrics /cell /run /sweep /debug/flightrec)"
+                        "no route `{path}` (/health /stats /metrics /cell /advise /run /sweep /debug/flightrec)"
                     ))
                 ),
             )
@@ -1121,6 +1126,91 @@ fn cell(inner: &Inner, req: &Request, scope: &mut RequestScope) -> Response {
     }
 }
 
+/// `/advise`: read-only style prediction for one (algo, model, graph,
+/// scale) — nothing executes, nothing is cached. The returned `style` is
+/// exactly what `style=auto` on `/run` would resolve to against the same
+/// cache generation (DESIGN.md §7.11).
+fn advise(inner: &Inner, req: &Request, scope: &mut RequestScope) -> Response {
+    let parsed = (|| -> Result<(Algorithm, Model, SuiteGraph, Scale), String> {
+        let algo = engine::parse_algo(req.param("algo").ok_or("missing `algo` parameter")?)?;
+        let model = engine::parse_model(req.param("model"))?;
+        let graph = engine::parse_graph(req.param("graph").ok_or("missing `graph` parameter")?)?;
+        let scale = match req.param("scale") {
+            None => inner.cfg.default_scale,
+            Some(s) => crate::config::parse_scale(s)?,
+        };
+        Ok((algo, model, graph, scale))
+    })();
+    let (algo, model, graph, scale) = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            inner.stats.bump(ServeCounter::BadRequests);
+            scope.outcome = Outcome::BadRequest;
+            return Response::json(
+                400,
+                format!(
+                    "{{\"status\":\"bad-request\",\"error\":{}}}",
+                    json::str_lit(&e)
+                ),
+            );
+        }
+    };
+    let shard = &inner.shards[graph.label()];
+    let a = crate::advise::advise(
+        &inner.advisors,
+        &inner.cache,
+        &inner.shards,
+        shard,
+        scale,
+        algo,
+        model,
+    );
+    inner.stats.bump(ServeCounter::Advised);
+    let features: Vec<String> = FEATURE_NAMES
+        .iter()
+        .map(|n| {
+            format!(
+                "{}:{}",
+                json::str_lit(n),
+                json::num(a.features.get(n).unwrap_or(0.0))
+            )
+        })
+        .collect();
+    let ranked: Vec<String> = a
+        .advice
+        .ranked
+        .iter()
+        .take(5)
+        .map(|v| json::str_lit(v))
+        .collect();
+    let neighbor = match &a.advice.neighbor {
+        Some((label, d)) => format!(
+            "{{\"graph\":{},\"distance\":{}}}",
+            json::str_lit(label),
+            json::num(*d)
+        ),
+        None => "null".into(),
+    };
+    Response::json(
+        200,
+        format!(
+            "{{\"status\":\"ok\",\"algo\":{},\"model\":{},\"graph\":{},\"scale\":{},\
+             \"style\":{},\"method\":{},\"neighbor\":{neighbor},\"ranked\":[{}],\
+             \"features\":{{{}}},\"training_cells\":{},\"training_graphs\":{}}}",
+            json::str_lit(algo.label()),
+            json::str_lit(model.label()),
+            json::str_lit(graph.label()),
+            json::str_lit(crate::config::scale_label(scale)),
+            json::str_lit(a.advice.best()),
+            json::str_lit(a.advice.method.label()),
+            ranked.join(","),
+            features.join(","),
+            a.training_cells,
+            a.training_graphs,
+        ),
+    )
+}
+
 fn run(
     inner: &Inner,
     req: &Request,
@@ -1128,7 +1218,7 @@ fn run(
     sweep: bool,
     scope: &mut RequestScope,
 ) -> Response {
-    let q = match engine::parse_query(req, &inner.cfg, sweep) {
+    let mut q = match engine::parse_query(req, &inner.cfg, sweep) {
         Ok(q) => q,
         Err(e) => {
             inner.stats.bump(ServeCounter::BadRequests);
@@ -1142,6 +1232,32 @@ fn run(
             );
         }
     };
+    if q.auto {
+        // `style=auto`: resolve to the advisor's predicted-best variant
+        // before execution. From here on the request is indistinguishable
+        // from one that asked for that variant explicitly — same cells,
+        // same fingerprints, same (bit-identical) body; the chosen style is
+        // echoed in the body's `cells[].variant` (DESIGN.md §7.11).
+        let shard = &inner.shards[q.graph.label()];
+        let advised = crate::advise::advise(
+            &inner.advisors,
+            &inner.cache,
+            &inner.shards,
+            shard,
+            q.scale,
+            q.algo,
+            q.model,
+        );
+        let all = enumerate::variants(q.algo, q.model);
+        let chosen = advised
+            .advice
+            .ranked
+            .iter()
+            .find_map(|name| all.iter().find(|c| &c.name() == name).cloned())
+            .unwrap_or_else(|| StyleConfig::baseline(q.algo, q.model));
+        q.variants = vec![chosen];
+        inner.stats.bump(ServeCounter::Advised);
+    }
     // the deadline started at accept: queue wait already spent part of it
     let deadline_at = arrived + q.deadline;
     if deadline_at.saturating_duration_since(Instant::now()) < Duration::from_millis(5) {

@@ -20,7 +20,7 @@ use indigo_obs::{RollingHist, RollingSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Number of serve-layer counters (kept in sync with [`ServeCounter::ALL`]).
-pub const NUM_SERVE_COUNTERS: usize = 16;
+pub const NUM_SERVE_COUNTERS: usize = 17;
 
 /// Every always-on serving counter, in storage (and `/stats` JSON) order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -59,6 +59,9 @@ pub enum ServeCounter {
     Coalesced,
     /// Requests served over a reused keep-alive connection.
     KeepAliveReuses,
+    /// Style-advisor answers: `style=auto` resolutions on `/run` plus
+    /// `/advise` queries (DESIGN.md §7.11).
+    Advised,
 }
 
 impl ServeCounter {
@@ -80,6 +83,7 @@ impl ServeCounter {
         ServeCounter::BatchedCells,
         ServeCounter::Coalesced,
         ServeCounter::KeepAliveReuses,
+        ServeCounter::Advised,
     ];
 
     /// JSON key in the `/stats` body (and, prefixed, the `/metrics` name).
@@ -102,6 +106,7 @@ impl ServeCounter {
             ServeCounter::BatchedCells => "batched_cells",
             ServeCounter::Coalesced => "coalesced",
             ServeCounter::KeepAliveReuses => "keepalive_reuses",
+            ServeCounter::Advised => "advised",
         }
     }
 
@@ -125,7 +130,8 @@ impl ServeCounter {
             ServeCounter::Ok
             | ServeCounter::Failed
             | ServeCounter::BadRequests
-            | ServeCounter::JournalErrors => None,
+            | ServeCounter::JournalErrors
+            | ServeCounter::Advised => None,
         }
     }
 }
@@ -260,6 +266,7 @@ impl Stats {
             batched_cells: g(ServeCounter::BatchedCells),
             coalesced: g(ServeCounter::Coalesced),
             keepalive_reuses: g(ServeCounter::KeepAliveReuses),
+            advised: g(ServeCounter::Advised),
             latency_buckets,
         }
     }
@@ -300,6 +307,8 @@ pub struct StatsSnapshot {
     pub coalesced: u64,
     /// See [`ServeCounter::KeepAliveReuses`].
     pub keepalive_reuses: u64,
+    /// See [`ServeCounter::Advised`].
+    pub advised: u64,
     /// Log₂ latency buckets (microseconds).
     pub latency_buckets: [u64; NUM_BUCKETS],
 }
@@ -326,6 +335,7 @@ impl StatsSnapshot {
             ServeCounter::BatchedCells => self.batched_cells,
             ServeCounter::Coalesced => self.coalesced,
             ServeCounter::KeepAliveReuses => self.keepalive_reuses,
+            ServeCounter::Advised => self.advised,
         }
     }
 

@@ -1,74 +1,122 @@
-//! The §5.16 programming guidelines as an executable advisor.
-//!
-//! Analyzes a graph's structural properties, prints the style
-//! recommendations the paper's guidelines imply, then *checks* them by
-//! racing a handful of candidate variants and reporting the winner.
+//! The §5.16 programming guidelines, fitted from data instead of
+//! hard-coded: train the style advisor on four suite families, hold the
+//! fifth out, and check its prediction against a measured ground-truth
+//! sweep of every variant on the held-out graph.
 //!
 //! ```text
 //! cargo run --release --example style_advisor [-- road|grid|social|rmat|copapers]
 //! ```
 
+use indigo_advisor::{Advisor, TrainingCell};
 use indigo_core::{run_gpu, GraphInput};
 use indigo_gpusim::rtx3090;
-use indigo_graph::gen::{suite_graph, Scale, SuiteGraph};
+use indigo_graph::gen::{suite_graph, Scale, SuiteGraph, SUITE_GRAPHS};
 use indigo_graph::stats::GraphStats;
 use indigo_styles::{enumerate, Algorithm, Model};
 
+const ALGO: Algorithm = Algorithm::Sssp;
+const MODEL: Model = Model::Cuda;
+const SCALE: Scale = Scale::Tiny;
+
+/// Measured (variant name, GE/s) for every SSSP/CUDA variant on one graph.
+fn sweep(which: SuiteGraph) -> Vec<(String, f64)> {
+    let input = GraphInput::new(suite_graph(which, SCALE));
+    let dg = indigo_core::gpu::DeviceGraph::upload(&input);
+    enumerate::variants(ALGO, MODEL)
+        .into_iter()
+        .map(|cfg| {
+            let r = run_gpu(&cfg, &dg, rtx3090());
+            (cfg.name(), r.gigaedges_per_sec(input.num_edges()))
+        })
+        .collect()
+}
+
 fn main() {
-    let which = match std::env::args().nth(1).as_deref() {
+    let held = match std::env::args().nth(1).as_deref() {
         Some("grid") => SuiteGraph::Grid2d,
         Some("social") => SuiteGraph::SocialNetwork,
         Some("rmat") => SuiteGraph::Rmat,
         Some("copapers") => SuiteGraph::CoPapers,
         _ => SuiteGraph::RoadMap,
     };
-    let graph = suite_graph(which, Scale::Small);
-    let stats = GraphStats::compute(&graph);
-    println!("analyzing {} ({} family)", graph.name(), which.label());
     println!(
-        "  d_avg {:.1}, d_max {}, {:.1}% of vertices with degree >= 32, diameter >= {}",
-        stats.avg_degree, stats.max_degree, stats.pct_deg_ge32, stats.diameter_lb
+        "holding out the {} family; training on the other four",
+        held.label()
     );
 
-    // the paper's guidelines (§5.16), conditioned on the measured stats
-    println!("\nguideline-based recommendations (§5.16):");
-    println!("  - use the non-deterministic and push styles");
-    println!("  - avoid default CudaAtomic and critical sections");
-    println!("  - prefer non-persistent kernels");
-    if stats.pct_deg_ge32 > 10.0 || stats.max_degree > 256 {
-        println!("  - high-degree input: prefer WARP granularity");
-    } else {
-        println!("  - uniform low-degree input: prefer THREAD granularity");
+    let mut cells = Vec::new();
+    for g in SUITE_GRAPHS {
+        if g.label() == held.label() {
+            continue;
+        }
+        let features = GraphStats::compute(&suite_graph(g, SCALE)).features();
+        let measured = sweep(g);
+        println!("  measured {}: {} variants", g.label(), measured.len());
+        for (variant, geps) in measured {
+            cells.push(TrainingCell {
+                algo: ALGO,
+                model: MODEL,
+                graph: g.label().to_string(),
+                variant,
+                features,
+                geps,
+            });
+        }
     }
-    if stats.diameter_lb > 50 {
-        println!("  - high diameter: prefer DATA-DRIVEN worklists for BFS/SSSP");
-    } else {
-        println!("  - low diameter: topology-driven is competitive");
+    let advisor = Advisor::fit(&cells);
+
+    // The §5.16 guidelines, refit from the measurements — each rule says
+    // how strongly one style option's relative performance tracks one
+    // graph property across the training graphs.
+    println!("\nfitted guidelines (strongest correlations first):");
+    for r in advisor.guidelines(ALGO, MODEL).iter().take(8) {
+        println!(
+            "  {:>14} = {:<16} tracks {:<13} (r = {:+.2})",
+            r.dimension, r.option, r.property, r.correlation
+        );
     }
 
-    // empirical check: race all CUDA SSSP variants on the simulator
-    println!("\nracing all CUDA SSSP variants on the simulated RTX 3090...");
-    let input = GraphInput::new(graph);
-    let dg = indigo_core::gpu::DeviceGraph::upload(&input);
-    let mut results: Vec<(f64, String)> = enumerate::variants(Algorithm::Sssp, Model::Cuda)
-        .into_iter()
-        .map(|cfg| {
-            let r = run_gpu(&cfg, &dg, rtx3090());
-            (r.gigaedges_per_sec(input.num_edges()), cfg.name())
-        })
-        .collect();
-    results.sort_by(|a, b| b.0.total_cmp(&a.0));
-    println!("top 5 of {} variants:", results.len());
-    for (geps, name) in results.iter().take(5) {
-        println!("  {geps:>8.3} GE/s  {name}");
-    }
-    println!("bottom 3:");
-    for (geps, name) in results.iter().rev().take(3) {
-        println!("  {geps:>8.3} GE/s  {name}");
-    }
-    let spread = results.first().unwrap().0 / results.last().unwrap().0;
+    let stats = GraphStats::compute(&suite_graph(held, SCALE));
     println!(
-        "\nbest/worst spread: {spread:.0}x — \"choosing the wrong style can \
+        "\n{} features: d_avg {:.1}, d_max {}, {:.1}% of vertices with \
+         degree >= 32, diameter >= {}",
+        held.label(),
+        stats.avg_degree,
+        stats.max_degree,
+        stats.pct_deg_ge32,
+        stats.diameter_lb
+    );
+    let advice = advisor.advise(ALGO, MODEL, &stats.features());
+    println!("prediction ({}): {}", advice.method.label(), advice.best());
+    if let Some((label, d)) = &advice.neighbor {
+        println!("  nearest training graph: {label} (distance {d:.2})");
+    }
+
+    // Ground truth: race every variant on the held-out graph.
+    let mut truth = sweep(held);
+    truth.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\nground truth, top 5 of {} variants:", truth.len());
+    for (name, geps) in truth.iter().take(5) {
+        println!("  {geps:>8.3} GE/s  {name}");
+    }
+    let best = truth[0].1;
+    let rank = truth
+        .iter()
+        .position(|(n, _)| n == advice.best())
+        .expect("advised variant must be in the enumeration");
+    let predicted = truth[rank].1;
+    println!(
+        "\npredicted-best actual rank: {}/{} — {:.3} GE/s vs best {:.3} \
+         ({:.1}% regret)",
+        rank + 1,
+        truth.len(),
+        predicted,
+        best,
+        (1.0 - predicted / best) * 100.0
+    );
+    let spread = best / truth.last().unwrap().1.max(1e-12);
+    println!(
+        "best/worst spread: {spread:.0}x — \"choosing the wrong style can \
          cost orders of magnitude\" (paper abstract)"
     );
 }

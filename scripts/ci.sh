@@ -74,6 +74,28 @@ set -e
 "$exp" --smoke --out "$smoke_dir/clean" >/dev/null ||
     { echo "clean smoke run exited $?, want 0"; exit 1; }
 
+stage "style advisor gate (fit from smoke journal, held-out regret bound)"
+# the data-driven style advisor (DESIGN.md §7.11): fitted from the fault
+# run's journal above (its crashed cell must be skipped, not learned), then
+# validated against deterministic CUDA-sim ground truth on held-out
+# generated graphs — so the reported regret is bit-reproducible and gateable
+"$exp" advise --journal "$journal" --out "$smoke_dir/advise" >/dev/null ||
+    { echo "advise run failed"; exit 1; }
+bench_advisor="$smoke_dir/advise/BENCH_advisor.json"
+[ -s "$bench_advisor" ] || { echo "advise run wrote no BENCH_advisor.json"; exit 1; }
+for key in '"schema": "bench-advisor-v1"' '"training_cells"' '"held_out_cases"' \
+           '"mean_regret_top1"' '"mean_regret_top3"' '"method": "nearest-neighbor"'; do
+    grep -q "$key" "$bench_advisor" ||
+        { echo "BENCH_advisor.json is missing $key"; exit 1; }
+done
+# top-3 regret on the held-out graphs must stay small: the smoke fit's
+# measured value is ~0.0006, so 0.10 catches a broken model, not noise
+# (the ground truth is simulated cycles — there is no noise to absorb)
+regret=$(sed -n 's/.*"mean_regret_top3": \([0-9.eE+-]*\).*/\1/p' "$bench_advisor" | head -n 1)
+[ -n "$regret" ] || { echo "BENCH_advisor.json has no mean_regret_top3"; exit 1; }
+awk -v v="$regret" 'BEGIN { exit !(v >= 0 && v <= 0.10) }' ||
+    { echo "held-out top-3 regret $regret exceeds the 0.10 bound"; exit 1; }
+
 stage "serve chaos gate (admission, deadlines, retries, breaker, restart)"
 # the query server's robustness invariants (DESIGN.md §7.8), offline on an
 # ephemeral loopback port: synthetic multi-client traffic with injected
@@ -85,7 +107,7 @@ bench_serve="$smoke_dir/serve/BENCH_serve.json"
 [ -s "$bench_serve" ] || { echo "chaos run wrote no BENCH_serve.json"; exit 1; }
 for key in '"schema": "bench-serve-v1"' '"requests"' '"shed"' '"retries"' \
            '"breaker_trips"' '"breaker_recoveries"' '"latency_ms"' '"saturation_rps"' \
-           '"metrics_series"' '"flight_pushed"' '"flight_dumps"'; do
+           '"metrics_series"' '"advised"' '"flight_pushed"' '"flight_dumps"'; do
     grep -q "$key" "$bench_serve" ||
         { echo "BENCH_serve.json is missing $key"; exit 1; }
 done
@@ -95,6 +117,11 @@ done
 # mean that phase silently did nothing
 ! grep -q '"metrics_series": 0,' "$bench_serve" ||
     { echo "chaos run validated an empty /metrics exposition"; exit 1; }
+# the chaos run also asserted style=auto bit-identity in-process: /advise
+# named a variant and a style=auto /run answered byte-for-byte the same as
+# requesting that variant explicitly; a zero count means the phase vanished
+! grep -q '"advised": 0,' "$bench_serve" ||
+    { echo "chaos run exercised no style-advisor answers"; exit 1; }
 # this stage runs with telemetry compiled OUT: request IDs, stage timing,
 # /metrics, and the flight recorder must be fully live regardless
 grep -q '"telemetry_enabled": false' "$bench_serve" ||

@@ -243,6 +243,7 @@ fn real_main(args: Vec<String>) -> Result<i32, String> {
         Some("sanitize") => return cmd_sanitize(&cli),
         Some("serve") => return cmd_serve(&cli),
         Some("loadgen") => return cmd_loadgen(&cli),
+        Some("advise") => return cmd_advise(&cli),
         _ => {}
     }
 
@@ -802,8 +803,8 @@ fn cmd_serve(cli: &Cli) -> Result<i32, String> {
     let server =
         indigo_serve::Server::start(cfg).map_err(|e| format!("cannot start server: {e}"))?;
     console_line(&format!(
-        "serving on http://{} — routes: /health /stats /metrics /cell /run \
-         /sweep /debug/flightrec ({} recovered cells); ctrl-c to stop",
+        "serving on http://{} — routes: /health /stats /metrics /cell /advise \
+         /run /sweep /debug/flightrec ({} recovered cells); ctrl-c to stop",
         server.addr(),
         server.recovered_cells()
     ));
@@ -879,6 +880,87 @@ fn cmd_loadgen(cli: &Cli) -> Result<i32, String> {
     ));
     console_line(&format!("wrote {}", path.display()));
     Ok(0)
+}
+
+/// `indigo-exp advise --journal PATH [--out DIR]` — fits the style advisor
+/// from a measured sweep journal (DESIGN.md §7.11), validates it against
+/// deterministic ground-truth sweeps on held-out generated graphs, prints
+/// the fitted §5.16-style guidelines, and writes `BENCH_advisor.json`.
+fn cmd_advise(cli: &Cli) -> Result<i32, String> {
+    let Some(journal) = &cli.res.journal else {
+        return Err("advise needs --journal PATH (a sweep journal to fit from)".into());
+    };
+    let set = indigo_harness::advise::training_from_journal(journal)
+        .map_err(|e| format!("cannot fit from {}: {e}", journal.display()))?;
+    console_line(&format!(
+        "advise: {} completed cells in {} ({} unmappable skipped), \
+         detected scale {:?} reps {}",
+        set.total_ok,
+        journal.display(),
+        set.skipped,
+        set.scale,
+        set.reps
+    ));
+    let advisor = indigo_advisor::Advisor::fit(&set.cells);
+    console_line(&format!(
+        "advisor: fitted {} cells over {} graphs into {} (algo, model) groups",
+        advisor.num_cells(),
+        advisor.num_graphs(),
+        advisor.num_groups()
+    ));
+    if advisor.num_groups() == 0 {
+        return Err("journal has no cells the advisor can learn from".into());
+    }
+    for (algo, model) in advisor.fitted_groups() {
+        for r in advisor.guidelines(algo, model).iter().take(4) {
+            console_line(&format!(
+                "  [{}/{}] prefer {}={} when {} is {} (corr {:+.2})",
+                algo.label(),
+                model.label(),
+                r.dimension,
+                r.option,
+                r.property,
+                if r.correlation >= 0.0 { "high" } else { "low" },
+                r.correlation
+            ));
+        }
+    }
+
+    console_line("validating on held-out graphs (deterministic CUDA-sim ground truth)...");
+    let mut bench = indigo_harness::advise::evaluate(&advisor, set.scale);
+    bench.reps = set.reps;
+    for c in &bench.cases {
+        console_line(&format!(
+            "  {} {}/{}: predicted {} via {} — regret top-1 {:.1}%, top-3 {:.1}% \
+             ({} candidates, best {})",
+            c.graph,
+            c.algo.label(),
+            c.model.label(),
+            c.predicted,
+            c.method.label(),
+            100.0 * c.regret_top1,
+            100.0 * c.regret_top3,
+            c.candidates,
+            c.best
+        ));
+    }
+    console_line(&format!(
+        "regret over {} held-out cases: top-1 mean {:.1}% / max {:.1}%, \
+         top-3 mean {:.1}% / max {:.1}%",
+        bench.cases.len(),
+        100.0 * bench.mean_regret_top1,
+        100.0 * bench.max_regret_top1,
+        100.0 * bench.mean_regret_top3,
+        100.0 * bench.max_regret_top3
+    ));
+
+    std::fs::create_dir_all(&cli.out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", cli.out_dir))?;
+    let path = Path::new(&cli.out_dir).join("BENCH_advisor.json");
+    indigo_harness::advise::write_bench(&path, &bench)
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    console_line(&format!("wrote {}", path.display()));
+    Ok(if bench.cases.is_empty() { 2 } else { 0 })
 }
 
 // ---- trace / profile subcommands ----------------------------------------
@@ -1228,6 +1310,7 @@ usage: indigo-exp <ids...> [--scale tiny|small|default|large] [--reps N]
                   [--inject-fault panic|stall|corrupt@EVERY] [--out DIR]
        indigo-exp loadgen [--rps R] [--conns N] [--duration-ms MS]
                   [--mix cached|sweep|mixed] [--out DIR]
+       indigo-exp advise  --journal PATH [--out DIR]
 
 ids: all, tables, table1 table2 table3 table45,
      fig01 fig02 fig02c fig03 fig04 fig05 fig06 fig07 fig08,
@@ -1273,6 +1356,16 @@ open-loop generator (latency from intended start times, so coordinated
 omission cannot hide server stalls) drives an unbatched and a batched
 in-process server and writes BENCH_loadgen.json with the saturation
 speedup; scripts/ci.sh gates it against results/BENCH_serve_baseline.json.
+
+advising: `advise` productizes the paper's 5.13/5.16 payoff (DESIGN.md
+7.11): it fits an interpretable predictor (nearest-neighbor over the
+journal-measured sweep + refitted correlation rules for out-of-
+distribution graphs) from a `--journal` sweep, prints the fitted style
+guidelines, validates top-1/top-3 regret against deterministic ground-
+truth sweeps on held-out generated graphs, and writes BENCH_advisor.json.
+The server consumes the same model: `/run?...&style=auto` resolves to the
+predicted-best variant (bit-identical to requesting it explicitly) and
+`/advise` returns features + ranked prediction without executing.
 
 exit codes: 0 all cells clean; 2 run completed with failed cells;
 1 harness error.";

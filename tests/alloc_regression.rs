@@ -215,6 +215,25 @@ fn steady_state_launches_do_not_allocate() {
         }
     }
 
+    // --- warmed feature extraction is allocation-free too ---
+    // (DESIGN.md §7.11.) The style advisor recomputes graph features on
+    // the serving path, so `GraphStats::compute_with` must run out of the
+    // leased `StatsScratch` once warm — `bfs_far`'s per-call buffers were
+    // exactly the regression this window pins.
+    {
+        let g = gen::gnp(600, 0.02, 42);
+        let mut scratch = indigo_graph::stats::StatsScratch::default();
+        for _ in 0..2 {
+            let _ = indigo_graph::stats::GraphStats::compute_with(&g, &mut scratch);
+        }
+        let delta = min_delta(5, 0, || {
+            for _ in 0..4 {
+                let _ = indigo_graph::stats::GraphStats::compute_with(&g, &mut scratch);
+            }
+        });
+        assert_eq!(delta, 0, "warmed feature extraction allocated");
+    }
+
     // --- telemetry recording is allocation-free too (DESIGN.md §7.5) ---
     // Counters and histograms are pre-registered static atomics, so the
     // instrumented hot paths above stay on the zero-alloc budget whether
